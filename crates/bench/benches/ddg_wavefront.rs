@@ -1,0 +1,57 @@
+//! DDG-extraction and wavefront-execution benchmarks: the cost of
+//! building the graph speculatively (vs. the inspector, where one
+//! exists) and the payoff of reusing the wavefront schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlrpd_core::{
+    execute_wavefronts, extract_ddg, run_inspector_executor, CostModel, ExecMode,
+    RunConfig, WavefrontSchedule, WindowConfig,
+};
+use rlrpd_loops::{Dcdcmp15Loop, QuadLoop};
+use std::hint::black_box;
+
+fn ddg_extraction(c: &mut Criterion) {
+    let lp = Dcdcmp15Loop::small(11);
+    c.bench_function("extract_ddg_600_iters", |b| {
+        let cfg = RunConfig::new(4);
+        b.iter(|| black_box(extract_ddg(&lp, &cfg, WindowConfig::fixed(32)).graph.num_edges()));
+    });
+}
+
+fn wavefront_reuse(c: &mut Criterion) {
+    // Extract once, then benchmark pure wavefront execution — the
+    // reusable-schedule payoff the paper exploits across SPICE's many
+    // loop instantiations.
+    let lp = Dcdcmp15Loop::small(11);
+    let ddg = extract_ddg(&lp, &RunConfig::new(4), WindowConfig::fixed(32));
+    let schedule = WavefrontSchedule::from_graph(&ddg.graph);
+    c.bench_function("wavefront_execute_600_iters", |b| {
+        b.iter(|| {
+            let (arrays, _) =
+                execute_wavefronts(&lp, &schedule, 4, ExecMode::Simulated, CostModel::default());
+            black_box(arrays.len())
+        });
+    });
+}
+
+fn inspector_vs_speculative_ddg(c: &mut Criterion) {
+    let lp = QuadLoop::new(600, 200, 5);
+    let mut g = c.benchmark_group("ddg_acquisition_quad600");
+    g.bench_function("inspector_executor", |b| {
+        b.iter(|| {
+            black_box(
+                run_inspector_executor(&lp, 4, ExecMode::Simulated, CostModel::default())
+                    .graph
+                    .num_edges(),
+            )
+        });
+    });
+    g.bench_function("speculative_sw_extraction", |b| {
+        let cfg = RunConfig::new(4);
+        b.iter(|| black_box(extract_ddg(&lp, &cfg, WindowConfig::fixed(32)).graph.num_edges()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ddg_extraction, wavefront_reuse, inspector_vs_speculative_ddg);
+criterion_main!(benches);

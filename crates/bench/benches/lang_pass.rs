@@ -1,0 +1,70 @@
+//! Benchmarks of the mini-language pass: compilation (parse +
+//! classify) and interpreted vs native loop bodies under the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlrpd_core::{run_speculative, ArrayDecl, ArrayId, ClosureLoop, RunConfig, ShadowKind};
+use rlrpd_lang::compile;
+use std::hint::black_box;
+
+const SOURCE: &str = "
+array A[552] = 1;
+array B[512];
+array H[8];
+for i in 0..512 {
+    let src = (i * 11 + 3) % 512;
+    let v = A[src] * 0.5 + i;
+    B[i] = v;
+    if i % 31 == 0 { A[src + 40] = v; }
+    H[i % 8] += v;
+}";
+
+fn compilation(c: &mut Criterion) {
+    c.bench_function("compile_and_classify", |b| {
+        b.iter(|| black_box(compile(SOURCE).unwrap().classifications().len()));
+    });
+}
+
+fn interpreted_vs_native(c: &mut Criterion) {
+    let mut g = c.benchmark_group("body_dispatch");
+    let compiled = compile(SOURCE).unwrap();
+    g.bench_function("interpreted", |b| {
+        let cfg = RunConfig::new(4);
+        b.iter(|| black_box(run_speculative(&compiled, cfg).report.stages.len()));
+    });
+    // The same loop hand-written against the engine API.
+    const A: ArrayId = ArrayId(0);
+    const B: ArrayId = ArrayId(1);
+    const H: ArrayId = ArrayId(2);
+    let native = ClosureLoop::new(
+        512,
+        || {
+            vec![
+                ArrayDecl::tested("A", vec![1.0; 552], ShadowKind::Dense),
+                ArrayDecl::untested("B", vec![0.0; 512]),
+                ArrayDecl::reduction(
+                    "H",
+                    vec![0.0; 8],
+                    ShadowKind::Dense,
+                    rlrpd_core::Reduction::sum(),
+                ),
+            ]
+        },
+        |i, ctx| {
+            let src = (i * 11 + 3) % 512;
+            let v = ctx.read(A, src) * 0.5 + i as f64;
+            ctx.write(B, i, v);
+            if i % 31 == 0 {
+                ctx.write(A, src + 40, v);
+            }
+            ctx.reduce(H, i % 8, v);
+        },
+    );
+    g.bench_function("native", |b| {
+        let cfg = RunConfig::new(4);
+        b.iter(|| black_box(run_speculative(&native, cfg).report.stages.len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, compilation, interpreted_vs_native);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Microbenchmarks of the shadow structures: marking throughput, clear
+//! cost, and the dense-vs-sparse representation trade-off the driver
+//! chooses per array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlrpd_shadow::{DenseShadow, IterMarks, PackedShadow, Shadow, SparseShadow};
+use std::hint::black_box;
+
+fn marking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marking");
+    for &touches in &[100usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("dense", touches), &touches, |b, &t| {
+            let mut s = DenseShadow::new(t.max(1));
+            b.iter(|| {
+                s.clear();
+                for i in 0..t {
+                    s.on_read(black_box(i));
+                    s.on_write(black_box(i));
+                }
+                s.num_touched()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("packed", touches), &touches, |b, &t| {
+            let mut s = PackedShadow::new(t.max(1));
+            b.iter(|| {
+                s.clear();
+                for i in 0..t {
+                    s.on_read(black_box(i));
+                    s.on_write(black_box(i));
+                }
+                s.num_touched()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("sparse", touches), &touches, |b, &t| {
+            let mut s = SparseShadow::new();
+            b.iter(|| {
+                s.clear();
+                for i in 0..t {
+                    s.on_read(black_box(i));
+                    s.on_write(black_box(i));
+                }
+                s.num_touched()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn sparse_touch_of_huge_space(c: &mut Criterion) {
+    // The SPICE case: a handful of touches scattered over a huge index
+    // space — dense shadows pay allocation+clear, sparse shadows don't.
+    let mut g = c.benchmark_group("sparse_touches_huge_space");
+    const SPACE: usize = 1_000_000;
+    const TOUCHES: usize = 200;
+    g.bench_function("dense_alloc_per_stage", |b| {
+        b.iter(|| {
+            let mut s = Shadow::dense(SPACE);
+            for i in 0..TOUCHES {
+                s.on_write(black_box(i * 4999));
+            }
+            s.num_touched()
+        });
+    });
+    g.bench_function("sparse", |b| {
+        let mut s = Shadow::sparse();
+        b.iter(|| {
+            s.clear();
+            for i in 0..TOUCHES {
+                s.on_write(black_box(i * 4999));
+            }
+            s.num_touched()
+        });
+    });
+    g.finish();
+}
+
+fn touched_clear(c: &mut Criterion) {
+    // The paper's re-init optimization: clear in O(touched), not
+    // O(array size).
+    let mut g = c.benchmark_group("clear");
+    g.bench_function("dense_touched_list_clear", |b| {
+        let mut s = DenseShadow::new(1_000_000);
+        b.iter(|| {
+            for i in 0..100usize {
+                s.on_write(i * 7919);
+            }
+            s.clear();
+        });
+    });
+    g.finish();
+}
+
+fn iter_marks(c: &mut Criterion) {
+    c.bench_function("iter_marks_log_1000_events", |b| {
+        let mut m = IterMarks::new();
+        b.iter(|| {
+            m.clear();
+            for i in 0..1000u32 {
+                m.on_write(black_box((i % 64) as usize), i);
+                m.on_read(black_box(((i + 1) % 64) as usize), i);
+            }
+            m.num_touched()
+        });
+    });
+}
+
+criterion_group!(benches, marking, sparse_touch_of_huge_space, touched_clear, iter_marks);
+criterion_main!(benches);

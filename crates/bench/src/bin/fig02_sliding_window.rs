@@ -1,0 +1,62 @@
+//! Fig. 2 — the sliding-window strategy walkthrough.
+//!
+//! Eight iterations, four processors, window of one iteration per
+//! processor. A dependence between the second and third blocks of the
+//! first window makes the analysis commit blocks 1–2, advance the
+//! commit point to iteration 3, and reschedule; the paper's trace is
+//! three windows: commit 1–2, commit 3–6, commit 7–8.
+
+use rlrpd_bench::print_table;
+use rlrpd_core::{
+    run_sequential, run_speculative, ArrayDecl, ArrayId, ClosureLoop, RunConfig, ShadowKind,
+    Strategy, WindowConfig,
+};
+
+const A: ArrayId = ArrayId(0);
+
+fn fig2_loop() -> ClosureLoop {
+    ClosureLoop::new(
+        8,
+        || vec![ArrayDecl::tested("A", vec![0.0; 8], ShadowKind::Dense)],
+        |i, ctx| {
+            // Iteration 2 (third block of window 1) reads what
+            // iteration 1 (second block) wrote.
+            let v = if i == 2 { ctx.read(A, 1) } else { 0.0 };
+            ctx.write(A, i, v + 1.0 + i as f64);
+        },
+    )
+}
+
+fn main() {
+    println!("Fig. 2 walkthrough: sliding window, w = 1 iteration/processor, p = 4");
+    let lp = fig2_loop();
+    let cfg = RunConfig::new(4)
+        .with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(1)));
+    let res = run_speculative(&lp, cfg);
+
+    let rows: Vec<Vec<String>> = res
+        .report
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            vec![
+                k.to_string(),
+                s.iters_attempted.to_string(),
+                s.iters_committed.to_string(),
+            ]
+        })
+        .collect();
+    print_table("window trace", &["window", "attempted", "committed"], &rows);
+    println!("  restarts = {}", res.report.restarts);
+
+    let (seq, _) = run_sequential(&lp);
+    assert_eq!(res.array("A"), &seq[0].1[..]);
+    println!("  final state identical to sequential execution ✓");
+
+    // The paper's trace: window 1 commits 2 blocks (iterations 1-2),
+    // the rescheduled window commits 4 (3-6), the last commits 2 (7-8).
+    let committed: Vec<usize> = res.report.stages.iter().map(|s| s.iters_committed).collect();
+    assert_eq!(committed, vec![2, 4, 2], "commit-point advance as in Fig. 2");
+    println!("  commit sequence 2 / 4 / 2 matches the paper's example ✓");
+}

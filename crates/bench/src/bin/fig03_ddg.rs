@@ -1,0 +1,67 @@
+//! Section 3 (Fig. 3) — DDG extraction walkthrough.
+//!
+//! A small loop with a known dependence structure is run under the
+//! sliding-window R-LRPD test with N-level mark lists; the extracted
+//! edges and the resulting wavefront schedule are printed and checked
+//! against ground truth.
+
+use rlrpd_bench::print_table;
+use rlrpd_core::{
+    extract_ddg, ArrayDecl, ArrayId, ClosureLoop, EdgeKind, RunConfig, ShadowKind,
+    WavefrontSchedule, WindowConfig,
+};
+
+const A: ArrayId = ArrayId(0);
+
+fn main() {
+    println!("Fig. 3 walkthrough: DDG extraction via the sliding-window R-LRPD test");
+    // A diamond: 0 -> {1, 2} -> 3, plus independent 4, 5.
+    let lp = ClosureLoop::new(
+        6,
+        || vec![ArrayDecl::tested("A", vec![1.0; 8], ShadowKind::Dense)],
+        |i, ctx| match i {
+            0 => ctx.write(A, 0, 10.0),
+            1 => {
+                let v = ctx.read(A, 0);
+                ctx.write(A, 1, v + 1.0);
+            }
+            2 => {
+                let v = ctx.read(A, 0);
+                ctx.write(A, 2, v + 2.0);
+            }
+            3 => {
+                let v = ctx.read(A, 1) + ctx.read(A, 2);
+                ctx.write(A, 3, v);
+            }
+            _ => ctx.write(A, i, i as f64),
+        },
+    );
+
+    let ddg = extract_ddg(&lp, &RunConfig::new(2), WindowConfig::fixed(2));
+    let rows: Vec<Vec<String>> = ddg
+        .graph
+        .flow
+        .iter()
+        .map(|(s, d)| vec![s.to_string(), d.to_string(), "flow".into()])
+        .collect();
+    print_table("extracted flow edges", &["src", "dst", "kind"], &rows);
+
+    assert_eq!(ddg.graph.flow, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    println!("  flow edges match the planted diamond ✓");
+
+    let schedule = WavefrontSchedule::from_graph(&ddg.graph);
+    let rows: Vec<Vec<String>> = schedule
+        .levels()
+        .iter()
+        .enumerate()
+        .map(|(l, iters)| vec![l.to_string(), format!("{iters:?}")])
+        .collect();
+    print_table("wavefront schedule", &["level", "iterations"], &rows);
+    assert_eq!(ddg.graph.flow_critical_path(), 3);
+    println!(
+        "  critical path = {} levels, average width = {:.2} ✓",
+        schedule.depth(),
+        schedule.avg_width()
+    );
+    let _ = EdgeKind::Flow;
+}

@@ -1,0 +1,104 @@
+//! Fig. 6 — SPICE 2G6 speedups (adder.128-shaped deck).
+//!
+//! Three loops plus the whole-code combination:
+//!
+//! * **DCDCMP loop 15** (sparse LU): partially parallel; the sparse
+//!   sliding-window R-LRPD test extracts the DDG once (14337
+//!   iterations, critical path ≈ 334), then a wavefront schedule is
+//!   generated and *reused* for the remaining instantiations — the
+//!   reported speedup is the wavefront executor's.
+//! * **DCDCMP loop 70**: fully parallel with a premature exit; one
+//!   speculative stage.
+//! * **BJT model evaluation**: sparse reductions into the Y matrix; one
+//!   speculative stage.
+//!
+//! The whole-code bar combines the loops by their share of sequential
+//! execution time (Amdahl; shares are our deck's estimates, recorded in
+//! EXPERIMENTS.md).
+
+use rlrpd_bench::{amdahl, fmt, print_table, PROCS};
+use rlrpd_core::{
+    execute_wavefronts, extract_ddg, run_speculative, CostModel, ExecMode, RunConfig,
+    Strategy, WavefrontSchedule, WindowConfig,
+};
+use rlrpd_loops::{BjtLoop, Dcdcmp15Loop, Dcdcmp70Loop};
+
+fn main() {
+    println!("Fig. 6: SPICE2G6 — per-loop and whole-code speedups (adder.128-shaped deck)");
+    let cost = CostModel::default();
+
+    // DCDCMP 15: extract the DDG once with the sparse SW R-LRPD test.
+    let lu = Dcdcmp15Loop::adder128();
+    let ddg = extract_ddg(&lu, &RunConfig::new(8).with_cost(cost), WindowConfig::fixed(64));
+    let schedule = WavefrontSchedule::from_graph(&ddg.graph);
+    println!(
+        "\nDCDCMP 15: {} iterations, flow critical path = {} (paper: 14337 / 334); \
+         wavefronts (all kinds) = {}",
+        lu.num_iters_pub(),
+        ddg.graph.flow_critical_path(),
+        schedule.depth()
+    );
+
+    let mut rows = Vec::new();
+    for &p in PROCS {
+        // DCDCMP 15 via the reusable wavefront schedule.
+        let (_, wf) = execute_wavefronts(&lu, &schedule, p, ExecMode::Simulated, cost);
+        // DCDCMP 70 and BJT via one-stage speculation.
+        let d70 = run_speculative(
+            &Dcdcmp70Loop::new(12000, 9000),
+            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+        );
+        let bjt = run_speculative(
+            &BjtLoop::adder128(),
+            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+        );
+        // Whole code: loop shares of sequential time for our deck —
+        // DCDCMP 40%, BJT/LOAD 45%, loop 70 5%, 10% serial.
+        let whole = amdahl(
+            &[0.40, 0.45, 0.05],
+            &[wf.speedup(), bjt.report.speedup(), d70.report.speedup()],
+        );
+        rows.push(vec![
+            p.to_string(),
+            fmt(wf.speedup()),
+            fmt(d70.report.speedup()),
+            fmt(bjt.report.speedup()),
+            fmt(whole),
+        ]);
+    }
+    print_table(
+        "speedups",
+        &["procs", "DCDCMP15 (wavefront)", "DCDCMP70", "BJT", "whole code"],
+        &rows,
+    );
+
+    // Amortization of the one-time DDG extraction over Newton
+    // iterations — the reason the paper's schedule reuse pays.
+    use rlrpd_loops::SpiceProgram;
+    let mut rows = Vec::new();
+    for iters in [1usize, 5, 20, 100] {
+        let mut prog = SpiceProgram::adder128();
+        let r = prog.run(iters, 8, cost);
+        rows.push(vec![
+            iters.to_string(),
+            fmt(r.total_speedup()),
+            fmt(r.steady_state_speedup()),
+        ]);
+    }
+    print_table(
+        "schedule-reuse amortization (p = 8)",
+        &["newton iters", "end-to-end speedup", "steady-state speedup"],
+        &rows,
+    );
+}
+
+/// Public accessor shim (num_iters is a trait method).
+trait NumIters {
+    fn num_iters_pub(&self) -> usize;
+}
+impl NumIters for Dcdcmp15Loop {
+    fn num_iters_pub(&self) -> usize {
+        use rlrpd_core::SpecLoop;
+        self.num_iters()
+    }
+}

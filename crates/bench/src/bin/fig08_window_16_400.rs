@@ -1,0 +1,58 @@
+//! Fig. 8 — NLFILT_300, input 16-400: sliding window vs (N)RD.
+//!
+//! PR and speedup as a function of the window size (iterations per
+//! processor per window), compared against the NRD and RD strategies.
+//! The paper's trade-off: larger windows mean fewer synchronizations
+//! but uncover more dependences; ideally one picks the largest window
+//! with a minimal number of failures.
+
+use rlrpd_bench::{fmt, print_table};
+use rlrpd_core::{CostModel, RunConfig, Strategy, WindowConfig};
+use rlrpd_loops::{NlfiltInput, NlfiltLoop};
+
+pub const WINDOWS: &[usize] = &[4, 8, 16, 32, 64, 128, 256];
+
+fn run_input(input: NlfiltInput, p: usize) {
+    let lp = NlfiltLoop::new(input);
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+
+    for &w in WINDOWS {
+        let cfg = RunConfig::new(p)
+            .with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(w)))
+            .with_cost(cost);
+        let res = rlrpd_core::run_speculative(&lp, cfg);
+        rows.push(vec![
+            format!("SW w={w}"),
+            res.report.stages.len().to_string(),
+            res.report.restarts.to_string(),
+            fmt(res.report.pr()),
+            fmt(res.report.speedup()),
+        ]);
+    }
+    for (label, strat) in [("NRD", Strategy::Nrd), ("RD", Strategy::Rd)] {
+        let res = rlrpd_core::run_speculative(
+            &lp,
+            RunConfig::new(p).with_strategy(strat).with_cost(cost),
+        );
+        rows.push(vec![
+            label.to_string(),
+            res.report.stages.len().to_string(),
+            res.report.restarts.to_string(),
+            fmt(res.report.pr()),
+            fmt(res.report.speedup()),
+        ]);
+    }
+
+    print_table(
+        &format!("input {} on p = {p}", input.name),
+        &["strategy", "stages", "restarts", "PR", "speedup"],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("Fig. 8: NLFILT 300 — sliding window vs (N)RD, input 16-400");
+    run_input(NlfiltInput::i16_400(), 8);
+    run_input(NlfiltInput::i16_400(), 16);
+}

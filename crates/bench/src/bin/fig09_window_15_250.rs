@@ -1,0 +1,64 @@
+//! Fig. 9 — NLFILT_300, input 15-250: sliding window vs (N)RD.
+//!
+//! The denser, longer-distance companion of Fig. 8, plus the adaptive
+//! window-size policies (grow-on-failure, shrink-on-failure) the paper
+//! sketches for tuning the window empirically.
+
+use rlrpd_bench::{fmt, print_table};
+use rlrpd_core::{CostModel, RunConfig, Strategy, WindowConfig, WindowPolicy};
+use rlrpd_loops::{NlfiltInput, NlfiltLoop};
+
+pub const WINDOWS: &[usize] = &[4, 8, 16, 32, 64, 128, 256];
+
+fn main() {
+    println!("Fig. 9: NLFILT 300 — sliding window vs (N)RD, input 15-250");
+    let p = 8;
+    let lp = NlfiltLoop::new(NlfiltInput::i15_250());
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+
+    let mut run = |label: String, strat: Strategy| {
+        let res = rlrpd_core::run_speculative(
+            &lp,
+            RunConfig::new(p).with_strategy(strat).with_cost(cost),
+        );
+        rows.push(vec![
+            label,
+            res.report.stages.len().to_string(),
+            res.report.restarts.to_string(),
+            fmt(res.report.pr()),
+            fmt(res.report.speedup()),
+        ]);
+    };
+
+    for &w in WINDOWS {
+        run(
+            format!("SW w={w}"),
+            Strategy::SlidingWindow(WindowConfig::fixed(w)),
+        );
+    }
+    run(
+        "SW grow 8→".into(),
+        Strategy::SlidingWindow(WindowConfig {
+            iters_per_proc: 8,
+            policy: WindowPolicy::GrowOnFailure { factor: 2.0, max: 256 },
+            circular: true,
+        }),
+    );
+    run(
+        "SW shrink 256→".into(),
+        Strategy::SlidingWindow(WindowConfig {
+            iters_per_proc: 256,
+            policy: WindowPolicy::ShrinkOnFailure { factor: 2.0, min: 8 },
+            circular: true,
+        }),
+    );
+    run("NRD".into(), Strategy::Nrd);
+    run("RD".into(), Strategy::Rd);
+
+    print_table(
+        &format!("input 15-250 on p = {p}"),
+        &["strategy", "stages", "restarts", "PR", "speedup"],
+        &rows,
+    );
+}

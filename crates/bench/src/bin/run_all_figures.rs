@@ -1,0 +1,43 @@
+//! Run every figure binary in sequence (used to produce
+//! `bench_output.txt` and the EXPERIMENTS.md record).
+//!
+//! Each figure is also a standalone binary; this wrapper just invokes
+//! them in paper order so one command regenerates the full evaluation.
+
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig01_walkthrough",
+    "fig02_sliding_window",
+    "fig03_ddg",
+    "fig04_model_validation",
+    "fig05_fma3d",
+    "fig06_spice",
+    "fig07_nlfilt",
+    "fig08_window_16_400",
+    "fig09_window_15_250",
+    "fig10_extend",
+    "fig11_fptrak",
+    "fig12_optimizations",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for fig in FIGURES {
+        println!("\n{:=^78}", format!(" {fig} "));
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        if !status.success() {
+            failed.push(*fig);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} figures regenerated ✓", FIGURES.len());
+    } else {
+        eprintln!("\nFAILED figures: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,184 @@
+//! The instrumented iteration context — the loop body's only window
+//! onto shared data.
+//!
+//! [`IterCtx`] plays the role of the marking code the Polaris run-time
+//! pass inserts around every reference:
+//!
+//! * **tested** arrays dispatch to the processor's privatized
+//!   [`crate::view::ProcView`] (shadow marking, copy-in, reduction
+//!   deltas);
+//! * **untested** arrays write directly to shared memory through the
+//!   [`crate::buf::SharedBuf`] contract, recording checkpoint entries;
+//! * in **direct** mode (sequential baseline, wavefront executor) all
+//!   speculation is bypassed and references go straight to shared
+//!   storage.
+//!
+//! The context also accumulates the iteration's extra virtual cost via
+//! [`IterCtx::charge`] and, in DDG-extraction mode, logs per-iteration
+//! marks.
+
+use crate::array::ArrayId;
+use crate::buf::SharedBuf;
+use crate::checkpoint::WriteLog;
+use crate::value::{Reduction, Value};
+use crate::view::ProcView;
+use rlrpd_shadow::IterMarks;
+
+/// Where an array's references are routed.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Route {
+    /// Tested array: `slot` indexes the per-processor view list.
+    Tested { slot: usize },
+    /// Untested array: `slot` indexes the untested (checkpointed) list.
+    Untested { slot: usize },
+}
+
+/// Per-array static metadata shared by all contexts of a run.
+pub(crate) struct ArrayMeta<T> {
+    pub name: &'static str,
+    pub route: Route,
+    pub reduction: Option<Reduction<T>>,
+}
+
+/// The body's view of one iteration.
+pub struct IterCtx<'a, T: Value = f64> {
+    pub(crate) iter: usize,
+    pub(crate) writer: u32,
+    pub(crate) meta: &'a [ArrayMeta<T>],
+    pub(crate) shared: &'a [SharedBuf<T>],
+    /// Per tested slot; empty in direct mode.
+    pub(crate) views: &'a mut [ProcView<T>],
+    /// `None` in direct mode.
+    pub(crate) wlog: Option<&'a mut WriteLog<T>>,
+    /// Per tested slot; present only during DDG extraction.
+    pub(crate) iter_marks: Option<&'a mut [IterMarks]>,
+    pub(crate) extra_cost: f64,
+    /// Set when this iteration requested a premature loop exit.
+    pub(crate) exited: bool,
+}
+
+impl<'a, T: Value> IterCtx<'a, T> {
+    /// The current iteration number.
+    #[inline]
+    pub fn iter(&self) -> usize {
+        self.iter
+    }
+
+    /// Read element `i` of array `a`.
+    #[inline]
+    pub fn read(&mut self, a: ArrayId, i: usize) -> T {
+        let m = &self.meta[a.index()];
+        match m.route {
+            Route::Tested { slot } if !self.views.is_empty() => {
+                if let Some(marks) = self.iter_marks.as_deref_mut() {
+                    marks[slot].on_read(i, self.iter as u32);
+                }
+                let buf = &self.shared[a.index()];
+                // SAFETY: tested arrays are never written during a
+                // speculative stage (all writes are privatized).
+                self.views[slot].read(i, |e| unsafe { buf.get(e) })
+            }
+            _ => {
+                // Direct mode, or untested array: read shared.
+                // SAFETY: untested disjointness contract — no concurrent
+                // writer of an element another iteration reads; direct
+                // mode is governed by the wavefront/sequential schedule.
+                unsafe { self.shared[a.index()].get(i) }
+            }
+        }
+    }
+
+    /// Write `v` to element `i` of array `a`.
+    #[inline]
+    pub fn write(&mut self, a: ArrayId, i: usize, v: T) {
+        let m = &self.meta[a.index()];
+        match m.route {
+            Route::Tested { slot } if !self.views.is_empty() => {
+                if let Some(marks) = self.iter_marks.as_deref_mut() {
+                    marks[slot].on_write(i, self.iter as u32);
+                }
+                self.views[slot].write(i, v);
+            }
+            Route::Untested { slot } => {
+                let buf = &self.shared[a.index()];
+                if let Some(wlog) = self.wlog.as_deref_mut() {
+                    // SAFETY: first-write snapshot read of an element
+                    // only this block writes (untested contract).
+                    wlog.record(slot, i, || unsafe { buf.get(i) });
+                }
+                // SAFETY: untested contract — this block is the sole
+                // writer of element i this stage.
+                unsafe { buf.set(i, v, self.writer) };
+            }
+            Route::Tested { .. } => {
+                // Direct mode write to a tested array.
+                // SAFETY: the direct schedule (sequential or wavefront
+                // level) guarantees exclusivity.
+                unsafe { self.shared[a.index()].set(i, v, self.writer) };
+            }
+        }
+    }
+
+    /// Reduction update `a[i] = a[i] ⊕ v`.
+    ///
+    /// # Panics
+    /// Panics when `a` was declared without a reduction operator, or is
+    /// untested.
+    #[inline]
+    pub fn reduce(&mut self, a: ArrayId, i: usize, v: T) {
+        let m = &self.meta[a.index()];
+        match m.route {
+            Route::Tested { slot } if !self.views.is_empty() => {
+                if let Some(marks) = self.iter_marks.as_deref_mut() {
+                    // Conservative: a reduction is a producer; log as a
+                    // write for DDG purposes.
+                    marks[slot].on_write(i, self.iter as u32);
+                }
+                let buf = &self.shared[a.index()];
+                // SAFETY: as in `read` — tested shared data is stable
+                // during the stage.
+                self.views[slot].reduce(i, v, |e| unsafe { buf.get(e) });
+            }
+            Route::Tested { .. } => {
+                // Direct mode: apply the operator in place.
+                let op = m
+                    .reduction
+                    .unwrap_or_else(|| panic!("reduce on array '{}' without operator", m.name));
+                // SAFETY: direct-mode exclusivity (see `write`).
+                unsafe {
+                    let cur = self.shared[a.index()].get(i);
+                    self.shared[a.index()].set(i, (op.combine)(cur, v), self.writer);
+                }
+            }
+            Route::Untested { .. } => {
+                panic!("reduce on untested array '{}'", m.name)
+            }
+        }
+    }
+
+    /// Add `cost` virtual time units to this iteration beyond the loop's
+    /// static [`crate::spec_loop::SpecLoop::cost`].
+    #[inline]
+    pub fn charge(&mut self, cost: f64) {
+        self.extra_cost += cost;
+    }
+
+    /// Request a premature loop exit: this iteration is the last one
+    /// executed (the paper's DCDCMP loop-70 pattern, refs [15, 4]).
+    ///
+    /// The body should perform no further side effects after calling
+    /// this. During speculation, later blocks have already run; the
+    /// engine *trusts* the exit only when the exiting block lies below
+    /// the earliest dependence sink, discards every later block's work
+    /// (restoring checkpointed state), and finishes the loop.
+    #[inline]
+    pub fn exit(&mut self) {
+        self.exited = true;
+    }
+
+    /// True once [`IterCtx::exit`] was called this iteration.
+    #[inline]
+    pub fn has_exited(&self) -> bool {
+        self.exited
+    }
+}

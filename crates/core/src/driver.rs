@@ -1,0 +1,439 @@
+//! The recursive R-LRPD driver: speculate → test → commit prefix →
+//! repair → recurse on the remainder.
+//!
+//! A partially parallel loop becomes a sequence of fully parallel
+//! stages. The driver chooses, after each failed stage, how the
+//! remaining iterations are scheduled:
+//!
+//! * [`Strategy::Nrd`] — failed processors re-run their own blocks;
+//!   successful processors idle (no redistribution, no remote misses);
+//! * [`Strategy::Rd`] — the remainder is re-blocked over all
+//!   processors (shorter stages, but new cross-processor dependences
+//!   may be uncovered and redistribution costs `ℓ` per moved
+//!   iteration);
+//! * [`Strategy::AdaptiveRd`] — redistribute only while it pays, by the
+//!   model condition of Eq. 4 or by the measured heuristic the paper's
+//!   Fig. 4 calls "adaptive";
+//! * [`Strategy::SlidingWindow`] — strip-mine the iteration space and
+//!   run the test window by window (see [`crate::window`]).
+//!
+//! Completion is guaranteed: the first non-empty block of every stage
+//! always commits, so each stage makes progress; a fully sequential
+//! loop degenerates to `p` stages under NRD — the paper's worst case of
+//! sequential time plus test overhead.
+
+use crate::analysis::DepArc;
+use crate::checkpoint::CheckpointPolicy;
+use crate::engine::{Engine, EngineCfg};
+use crate::report::{PrAccumulator, RunReport};
+use crate::spec_loop::SpecLoop;
+use crate::value::Value;
+use crate::window::{self, WindowConfig};
+use rlrpd_runtime::{
+    BlockSchedule, CostModel, ExecMode, FeedbackPartitioner, OverheadKind, TrendMode,
+};
+use std::ops::Range;
+
+/// How a failed stage's remainder is rescheduled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Strategy {
+    /// Never redistribute: failed blocks re-run in place.
+    Nrd,
+    /// Always redistribute the remainder over all processors.
+    Rd,
+    /// Redistribute while it pays, per the chosen rule.
+    AdaptiveRd(AdaptRule),
+    /// Strip-mine with the sliding-window R-LRPD test.
+    SlidingWindow(WindowConfig),
+}
+
+/// Decision rule for [`Strategy::AdaptiveRd`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptRule {
+    /// The paper's Eq. 4: redistribute while
+    /// `remaining ≥ p·s/(ω − ℓ)`.
+    ModelEq4,
+    /// The paper's measured heuristic: redistribute while the previous
+    /// stage's loop time exceeded its total overhead.
+    Measured,
+}
+
+/// How iteration blocks are cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Equal-count blocks.
+    Even,
+    /// Feedback-guided: balance by the previous instantiation's
+    /// per-iteration times (paper Section 5.1).
+    FeedbackGuided,
+    /// Feedback-guided with linear trend extrapolation across
+    /// instantiations — the paper's announced "higher order
+    /// derivatives" improvement.
+    FeedbackTrend,
+}
+
+/// Full configuration of a speculative run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Number of virtual processors.
+    pub p: usize,
+    /// Real threads or deterministic simulation.
+    pub exec: ExecMode,
+    /// Virtual cost parameters.
+    pub cost: CostModel,
+    /// Untested-array checkpoint policy.
+    pub checkpoint: CheckpointPolicy,
+    /// Rescheduling strategy.
+    pub strategy: Strategy,
+    /// Block-cutting policy.
+    pub balance: BalancePolicy,
+    /// Hard stage cap (diverging configurations panic past it).
+    pub max_stages: usize,
+}
+
+impl RunConfig {
+    /// A sensible default configuration on `p` processors: simulated
+    /// execution, adaptive redistribution by Eq. 4, on-demand
+    /// checkpointing, even blocks.
+    pub fn new(p: usize) -> Self {
+        RunConfig {
+            p,
+            exec: ExecMode::Simulated,
+            cost: CostModel::default(),
+            checkpoint: CheckpointPolicy::OnDemand,
+            strategy: Strategy::AdaptiveRd(AdaptRule::ModelEq4),
+            balance: BalancePolicy::Even,
+            max_stages: 100_000,
+        }
+    }
+
+    /// Replace the strategy.
+    pub fn with_strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Replace the execution mode.
+    pub fn with_exec(mut self, e: ExecMode) -> Self {
+        self.exec = e;
+        self
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Replace the checkpoint policy.
+    pub fn with_checkpoint(mut self, c: CheckpointPolicy) -> Self {
+        self.checkpoint = c;
+        self
+    }
+
+    /// Replace the balance policy.
+    pub fn with_balance(mut self, b: BalancePolicy) -> Self {
+        self.balance = b;
+        self
+    }
+
+    pub(crate) fn engine_cfg(&self) -> EngineCfg {
+        EngineCfg {
+            p: self.p,
+            exec: self.exec,
+            cost: self.cost,
+            checkpoint: self.checkpoint,
+            commit_prefix_on_failure: true,
+        }
+    }
+}
+
+/// Output of one speculative run.
+#[derive(Clone, Debug)]
+pub struct RunResult<T: Value> {
+    /// Final contents of every declared array, in declaration order.
+    pub arrays: Vec<(&'static str, Vec<T>)>,
+    /// Stage series, restarts, overheads, speedup.
+    pub report: RunReport,
+    /// Every cross-processor arc detected over the run.
+    pub arcs: Vec<DepArc>,
+}
+
+impl<T: Value> RunResult<T> {
+    /// The final contents of the array named `name`.
+    pub fn array(&self, name: &str) -> &[T] {
+        &self
+            .arrays
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no array named '{name}'"))
+            .1
+    }
+}
+
+/// A stateful runner: carries feedback-guided balancing history and the
+/// program-lifetime PR accumulator across loop instantiations.
+#[derive(Debug)]
+pub struct Runner {
+    cfg: RunConfig,
+    partitioner: FeedbackPartitioner,
+    /// Parallelism-ratio accumulator over all runs of this runner.
+    pub pr: PrAccumulator,
+}
+
+impl Runner {
+    /// A runner with the given configuration.
+    pub fn new(cfg: RunConfig) -> Self {
+        let partitioner = match cfg.balance {
+            BalancePolicy::FeedbackTrend => FeedbackPartitioner::with_trend(TrendMode::Linear),
+            _ => FeedbackPartitioner::new(),
+        };
+        Runner { cfg, partitioner, pr: PrAccumulator::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Execute one instantiation of `lp` speculatively.
+    pub fn run<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> RunResult<T> {
+        let result = match self.cfg.strategy {
+            Strategy::SlidingWindow(wcfg) => {
+                let mut engine = Engine::new(lp, self.cfg.engine_cfg(), false);
+                let (report, arcs) =
+                    window::run_window(&mut engine, &self.cfg, wcfg, |_| {});
+                self.finish(engine, report, arcs)
+            }
+            _ => self.run_recursive(lp),
+        };
+        self.pr.add(&result.report);
+        result
+    }
+
+    fn run_recursive<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> RunResult<T> {
+        let cfg = self.cfg;
+        let mut engine = Engine::new(lp, cfg.engine_cfg(), false);
+        let n = engine.n;
+        let mut report = RunReport {
+            sequential_work: engine.sequential_work(),
+            ..Default::default()
+        };
+        let mut arcs = Vec::new();
+
+        let mut schedule = self.cut(0..n, cfg.p);
+        // Redistribution cost to charge to the upcoming stage.
+        let mut pending_redist: Option<usize> = None;
+
+        loop {
+            assert!(
+                report.stages.len() < cfg.max_stages,
+                "R-LRPD exceeded max_stages = {}",
+                cfg.max_stages
+            );
+            let mut outcome = engine.run_stage(&schedule);
+            if let Some(moved) = pending_redist.take() {
+                outcome.stats.overhead.add(
+                    OverheadKind::Redistribution,
+                    moved as f64 * cfg.cost.ell / cfg.p as f64,
+                );
+            }
+            arcs.extend(outcome.arcs);
+            let violation = outcome.violation;
+            let restart = outcome.restart_iter;
+            let exit = outcome.exit;
+            report.stages.push(outcome.stats);
+
+            // A trusted premature exit completes the loop: the prefix
+            // up to the exit committed, everything later was dead.
+            if let Some(e) = exit {
+                report.exited_at = Some(e);
+                break;
+            }
+            let Some(q) = violation else { break };
+            report.restarts += 1;
+            let restart = restart.expect("violation implies restart point");
+            let remaining = restart..n;
+
+            let redistribute = match cfg.strategy {
+                Strategy::Nrd => false,
+                Strategy::Rd => true,
+                Strategy::AdaptiveRd(AdaptRule::ModelEq4) => {
+                    cfg.cost.redistribution_pays(remaining.len(), cfg.p)
+                }
+                Strategy::AdaptiveRd(AdaptRule::Measured) => {
+                    let last = report.stages.last().expect("at least one stage ran");
+                    last.loop_time > last.overhead.total()
+                }
+                Strategy::SlidingWindow(_) => unreachable!("handled in run()"),
+            };
+            schedule = if redistribute {
+                let new = self.cut(remaining, cfg.p);
+                // Charge ℓ only for iterations that actually changed
+                // processors (remote misses + data movement).
+                pending_redist = Some(new.moved_from(&schedule));
+                new
+            } else {
+                schedule.nrd_restart(q)
+            };
+        }
+
+        self.finish(engine, report, arcs)
+    }
+
+    fn finish<T: Value>(
+        &mut self,
+        mut engine: Engine<'_, T>,
+        mut report: RunReport,
+        arcs: Vec<DepArc>,
+    ) -> RunResult<T> {
+        report.wall_seconds = report.stages.iter().map(|s| s.wall_seconds).sum();
+        if matches!(
+            self.cfg.balance,
+            BalancePolicy::FeedbackGuided | BalancePolicy::FeedbackTrend
+        ) {
+            self.partitioner.record(engine.iter_times.clone());
+        }
+        RunResult { arrays: engine.arrays_out(), report, arcs }
+    }
+
+    fn cut(&self, iters: Range<usize>, p: usize) -> BlockSchedule {
+        match self.cfg.balance {
+            BalancePolicy::Even => BlockSchedule::even(iters, p),
+            BalancePolicy::FeedbackGuided | BalancePolicy::FeedbackTrend => {
+                self.partitioner.schedule(iters, p)
+            }
+        }
+    }
+}
+
+/// One-shot convenience: run `lp` once under `cfg`.
+pub fn run_speculative<T: Value>(lp: &dyn SpecLoop<T>, cfg: RunConfig) -> RunResult<T> {
+    Runner::new(cfg).run(lp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{ArrayDecl, ArrayId, ShadowKind};
+    use crate::spec_loop::ClosureLoop;
+
+    const A: ArrayId = ArrayId(0);
+
+    /// A geometric chain: sinks at n(1 - 2^-j), each reading its
+    /// predecessor.
+    fn alpha_half(n: usize) -> ClosureLoop {
+        ClosureLoop::new(
+            n,
+            move || vec![ArrayDecl::tested("A", vec![0.0; 4096], ShadowKind::Dense)],
+            move |i, ctx| {
+                let mut frac = 1.0f64;
+                let mut is_sink = false;
+                loop {
+                    frac *= 0.5;
+                    let s = ((n as f64) * (1.0 - frac)).ceil() as usize;
+                    if s == 0 || s >= n {
+                        break;
+                    }
+                    if s == i {
+                        is_sink = true;
+                        break;
+                    }
+                }
+                let v = if is_sink && i > 0 { ctx.read(A, i - 1) } else { 0.0 };
+                ctx.write(A, i, v + i as f64);
+            },
+        )
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = RunConfig::new(4)
+            .with_strategy(Strategy::Rd)
+            .with_exec(ExecMode::Threads)
+            .with_checkpoint(CheckpointPolicy::Eager)
+            .with_balance(BalancePolicy::FeedbackTrend)
+            .with_cost(CostModel::work_only(3.0));
+        assert_eq!(cfg.p, 4);
+        assert_eq!(cfg.strategy, Strategy::Rd);
+        assert_eq!(cfg.exec, ExecMode::Threads);
+        assert_eq!(cfg.checkpoint, CheckpointPolicy::Eager);
+        assert_eq!(cfg.balance, BalancePolicy::FeedbackTrend);
+        assert_eq!(cfg.cost.omega, 3.0);
+    }
+
+    #[test]
+    fn eq4_adaptive_redistributes_then_stops() {
+        // ω ≫ s: redistribution pays until the remainder shrinks below
+        // p·s/(ω − ℓ); witness the switch through the per-stage
+        // Redistribution overhead.
+        let lp = alpha_half(1024);
+        let cost = CostModel {
+            omega: 10.0,
+            ell: 1.0,
+            sync: 200.0, // cutoff = 8·200/9 ≈ 178 iterations
+            ..CostModel::work_only(10.0)
+        };
+        let res = run_speculative(
+            &lp,
+            RunConfig::new(8)
+                .with_strategy(Strategy::AdaptiveRd(AdaptRule::ModelEq4))
+                .with_cost(cost),
+        );
+        let redist: Vec<bool> = res
+            .report
+            .stages
+            .iter()
+            .map(|s| s.overhead.get(OverheadKind::Redistribution) > 0.0)
+            .collect();
+        assert!(!redist[0], "initial stage never redistributes");
+        assert!(redist.iter().any(|&r| r), "early restarts redistribute");
+        assert!(!redist.last().unwrap(), "late restarts stop redistributing");
+        // Once it stops, it never resumes (remaining only shrinks).
+        let first_off = redist.iter().skip(1).position(|&r| !r).unwrap() + 1;
+        assert!(redist[first_off..].iter().all(|&r| !r));
+    }
+
+    #[test]
+    fn measured_adaptive_reacts_to_overhead_dominance() {
+        // With enormous per-stage sync relative to work, the measured
+        // rule (loop time > overhead) must refuse to redistribute after
+        // the first failure.
+        let lp = alpha_half(256);
+        let cost = CostModel {
+            omega: 1.0,
+            ell: 0.5,
+            sync: 1e6,
+            ..CostModel::work_only(1.0)
+        };
+        let res = run_speculative(
+            &lp,
+            RunConfig::new(8)
+                .with_strategy(Strategy::AdaptiveRd(AdaptRule::Measured))
+                .with_cost(cost),
+        );
+        for (k, s) in res.report.stages.iter().enumerate() {
+            assert_eq!(
+                s.overhead.get(OverheadKind::Redistribution),
+                0.0,
+                "stage {k} must not redistribute when overhead dominates"
+            );
+        }
+    }
+
+    #[test]
+    fn one_shot_helper_equals_fresh_runner() {
+        let lp = alpha_half(128);
+        let a = run_speculative(&lp, RunConfig::new(4));
+        let b = Runner::new(RunConfig::new(4)).run(&lp);
+        assert_eq!(a.arrays, b.arrays);
+        assert_eq!(a.report.stages.len(), b.report.stages.len());
+    }
+
+    #[test]
+    fn run_result_array_lookup_panics_on_unknown_name() {
+        let lp = alpha_half(16);
+        let res = run_speculative(&lp, RunConfig::new(2));
+        assert!(std::panic::catch_unwind(|| res.array("NOPE")).is_err());
+    }
+}

@@ -1,0 +1,573 @@
+//! The stage engine: executes one speculative doall under the
+//! processor-wise LRPD test and performs analysis, commit, restoration,
+//! and shadow re-initialization.
+//!
+//! Strategy drivers ([`crate::driver`], [`crate::window`]) differ only
+//! in *which* [`BlockSchedule`] they hand to [`Engine::run_stage`] next;
+//! everything inside a stage is identical and lives here.
+
+use crate::analysis::{analyze, AnalysisResult, DepArc};
+use crate::array::{ArrayDecl, ArrayKind};
+use crate::buf::SharedBuf;
+use crate::checkpoint::{CheckpointPolicy, EagerSnapshot, WriteLog};
+use crate::commit::commit_tested;
+use crate::ctx::{ArrayMeta, IterCtx, Route};
+use crate::spec_loop::SpecLoop;
+use crate::value::{Reduction, Value};
+use crate::view::ProcView;
+use rlrpd_runtime::{
+    BlockSchedule, CostModel, ExecMode, Executor, OverheadKind, ProcId, StageStats,
+};
+use rlrpd_shadow::IterMarks;
+use std::ops::Range;
+
+/// Engine-level configuration (the driver adds strategy and balancing on
+/// top).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineCfg {
+    /// Number of virtual processors.
+    pub p: usize,
+    /// Real threads or deterministic simulation.
+    pub exec: ExecMode,
+    /// Virtual cost parameters.
+    pub cost: CostModel,
+    /// Untested-array checkpointing policy.
+    pub checkpoint: CheckpointPolicy,
+    /// Commit the passing prefix of blocks when a stage fails (the
+    /// R-LRPD behaviour). The classic LRPD baseline sets this to
+    /// `false`: a failed test discards *everything* and the loop
+    /// re-executes sequentially from pristine state.
+    pub commit_prefix_on_failure: bool,
+}
+
+/// Per-block (per-processor) speculative state for one stage.
+pub(crate) struct BlockState<T: Value> {
+    /// Privatized views, one per tested array slot.
+    pub views: Vec<ProcView<T>>,
+    /// Untested-array write tracking + undo log.
+    pub wlog: WriteLog<T>,
+    /// Per-iteration mark lists, one per tested slot (DDG mode only).
+    pub marks: Vec<IterMarks>,
+    /// `(iteration, cost)` pairs executed this stage.
+    pub iter_costs: Vec<(u32, f64)>,
+    /// Iteration at which this block's body requested a premature
+    /// exit, if any (execution of the block stops there).
+    pub exit_iter: Option<u32>,
+}
+
+/// Per-iteration marks of one committed block (DDG extraction).
+pub(crate) struct CommittedBlockMarks {
+    /// Iteration range the block committed.
+    pub range: Range<usize>,
+    /// One [`IterMarks`] per tested slot.
+    pub marks: Vec<IterMarks>,
+}
+
+/// What one stage produced.
+pub(crate) struct StageOutcome {
+    /// Earliest dependence-sink block position, if the test failed.
+    pub violation: Option<usize>,
+    /// First iteration that must re-execute.
+    pub restart_iter: Option<usize>,
+    /// Stage statistics (the driver may add redistribution overhead).
+    pub stats: StageStats,
+    /// Detected arcs (diagnostics, tests).
+    pub arcs: Vec<DepArc>,
+    /// Committed blocks' per-iteration marks (DDG mode only).
+    pub committed_marks: Vec<CommittedBlockMarks>,
+    /// A *trusted* premature exit (its block lies below the earliest
+    /// dependence sink): the last executed iteration. The loop is
+    /// complete once the prefix commits.
+    pub exit: Option<usize>,
+}
+
+/// The speculative execution engine for one loop run.
+pub(crate) struct Engine<'l, T: Value> {
+    pub lp: &'l dyn SpecLoop<T>,
+    pub n: usize,
+    pub meta: Vec<ArrayMeta<T>>,
+    pub shared: Vec<SharedBuf<T>>,
+    /// slot -> array declaration index.
+    pub tested_ids: Vec<usize>,
+    pub reductions: Vec<Option<Reduction<T>>>,
+    /// slot -> array declaration index for untested arrays.
+    pub untested_ids: Vec<usize>,
+    pub states: Vec<BlockState<T>>,
+    pub executor: Executor,
+    pub cfg: EngineCfg,
+    /// Committed per-iteration costs (feedback-guided load balancing).
+    pub iter_times: Vec<f64>,
+    /// Last processor to execute each iteration (u32::MAX = never):
+    /// drives the remote-miss locality accounting.
+    pub last_proc: Vec<u32>,
+    /// Record per-iteration marks for DDG extraction.
+    pub record_marks: bool,
+}
+
+impl<'l, T: Value> Engine<'l, T> {
+    /// Build an engine for `lp`, cloning the declared initial data.
+    pub fn new(lp: &'l dyn SpecLoop<T>, cfg: EngineCfg, record_marks: bool) -> Self {
+        assert!(cfg.p > 0, "need at least one processor");
+        let n = lp.num_iters();
+        let decls = lp.arrays();
+
+        let mut meta = Vec::with_capacity(decls.len());
+        let mut shared = Vec::with_capacity(decls.len());
+        let mut tested_ids = Vec::new();
+        let mut tested_sizes = Vec::new();
+        let mut tested_shadow = Vec::new();
+        let mut reductions = Vec::new();
+        let mut untested_ids = Vec::new();
+        let mut untested_sizes = Vec::new();
+
+        for (id, decl) in decls.into_iter().enumerate() {
+            let ArrayDecl { name, kind, init } = decl;
+            let route = match kind {
+                ArrayKind::Tested { shadow, reduction } => {
+                    let slot = tested_ids.len();
+                    tested_ids.push(id);
+                    tested_sizes.push(init.len());
+                    tested_shadow.push(shadow);
+                    reductions.push(reduction);
+                    Route::Tested { slot }
+                }
+                ArrayKind::Untested => {
+                    let slot = untested_ids.len();
+                    untested_ids.push(id);
+                    untested_sizes.push(init.len());
+                    Route::Untested { slot }
+                }
+            };
+            meta.push(ArrayMeta {
+                name,
+                route,
+                reduction: match route {
+                    Route::Tested { slot } => reductions[slot],
+                    Route::Untested { .. } => None,
+                },
+            });
+            shared.push(SharedBuf::new(init));
+        }
+
+        let states = ProcId::all(cfg.p)
+            .map(|_| BlockState {
+                views: tested_ids
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, _)| {
+                        ProcView::new(tested_sizes[slot], tested_shadow[slot], reductions[slot])
+                    })
+                    .collect(),
+                wlog: WriteLog::new(&untested_sizes, cfg.checkpoint),
+                marks: if record_marks {
+                    tested_ids.iter().map(|_| IterMarks::new()).collect()
+                } else {
+                    Vec::new()
+                },
+                iter_costs: Vec::new(),
+                exit_iter: None,
+            })
+            .collect();
+
+        Engine {
+            lp,
+            n,
+            meta,
+            shared,
+            tested_ids,
+            reductions,
+            untested_ids,
+            states,
+            executor: Executor::new(cfg.exec),
+            cfg,
+            iter_times: vec![0.0; n],
+            last_proc: vec![u32::MAX; n],
+            record_marks,
+        }
+    }
+
+    /// Run one speculative stage over `schedule` (which must carry
+    /// exactly `p` blocks).
+    pub fn run_stage(&mut self, schedule: &BlockSchedule) -> StageOutcome {
+        assert_eq!(schedule.num_blocks(), self.cfg.p, "one block per processor");
+        let cost = self.cfg.cost;
+        let mut stats = StageStats {
+            iters_attempted: schedule.num_iters(),
+            ..Default::default()
+        };
+
+        // 1. Eager checkpoint of untested arrays.
+        let snapshot = if self.cfg.checkpoint == CheckpointPolicy::Eager
+            && !self.untested_ids.is_empty()
+        {
+            let arrays: Vec<Vec<T>> = self
+                .untested_ids
+                .iter()
+                .map(|&id| self.shared[id].to_vec())
+                .collect();
+            let snap = EagerSnapshot::take(arrays);
+            stats
+                .overhead
+                .add(OverheadKind::Checkpoint, snap.num_elems() as f64 * cost.checkpoint_per_elem);
+            Some(snap)
+        } else {
+            None
+        };
+
+        // 2. New write epoch for the speculative phase.
+        for buf in &mut self.shared {
+            buf.new_epoch();
+        }
+
+        // 3. Execute the blocks.
+        let lp = self.lp;
+        let meta = &self.meta;
+        let shared = &self.shared;
+        let record = self.record_marks;
+        let timing = self.executor.run_blocks(&mut self.states, |pos, st| {
+            st.iter_costs.clear();
+            st.exit_iter = None;
+            let range = schedule.blocks()[pos].range.clone();
+            st.iter_costs.reserve(range.len());
+            let mut total = 0.0;
+            for iter in range {
+                let mut ctx = IterCtx {
+                    iter,
+                    writer: pos as u32,
+                    meta,
+                    shared,
+                    views: &mut st.views,
+                    wlog: Some(&mut st.wlog),
+                    iter_marks: if record { Some(&mut st.marks) } else { None },
+                    extra_cost: 0.0,
+                    exited: false,
+                };
+                lp.body(iter, &mut ctx);
+                let exited = ctx.exited;
+                let c = lp.cost(iter) + ctx.extra_cost;
+                st.iter_costs.push((iter as u32, c));
+                total += c;
+                if exited {
+                    // Within a block execution is sequential: the rest
+                    // of the block is known-dead and is skipped.
+                    st.exit_iter = Some(iter as u32);
+                    break;
+                }
+            }
+            total
+        });
+        stats.loop_time = timing.critical_path();
+        stats.total_work = timing.total_work();
+        stats.wall_seconds = timing.wall_seconds;
+
+        // Locality accounting: an iteration executing on a different
+        // processor than its last toucher pays a remote-miss penalty —
+        // the ccNUMA effect that motivates the circular sliding window
+        // and half the cost of redistribution. Charged as the max over
+        // blocks (misses happen inside the parallel section).
+        if cost.remote_miss > 0.0 {
+            let mut max_misses = 0usize;
+            for (pos, st) in self.states.iter().enumerate() {
+                let proc = schedule.blocks()[pos].proc.0;
+                let misses = st
+                    .iter_costs
+                    .iter()
+                    .filter(|(it, _)| {
+                        let lp = self.last_proc[*it as usize];
+                        lp != u32::MAX && lp != proc
+                    })
+                    .count();
+                max_misses = max_misses.max(misses);
+            }
+            stats
+                .overhead
+                .add(OverheadKind::RemoteMiss, max_misses as f64 * cost.remote_miss);
+        }
+        for (pos, st) in self.states.iter().enumerate() {
+            let proc = schedule.blocks()[pos].proc.0;
+            for &(it, _) in &st.iter_costs {
+                self.last_proc[it as usize] = proc;
+            }
+        }
+
+        // On-demand checkpoint entries were saved during the loop; the
+        // parallel cost is the max undo-log length over blocks.
+        if self.cfg.checkpoint == CheckpointPolicy::OnDemand {
+            let max_undo = self
+                .states
+                .iter()
+                .map(|st| st.wlog.num_undo())
+                .max()
+                .unwrap_or(0);
+            stats.overhead.add(
+                OverheadKind::Checkpoint,
+                max_undo as f64 * cost.checkpoint_per_elem,
+            );
+        }
+
+        // Marking overhead: per-processor, so the parallel cost is the
+        // max reference count over blocks.
+        let max_refs = self
+            .states
+            .iter()
+            .map(|st| st.views.iter().map(ProcView::refs).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        stats
+            .overhead
+            .add(OverheadKind::Marking, max_refs as f64 * cost.marking_per_ref);
+
+        // 4. Analysis: merge shadows, locate the earliest sink. The
+        // tree merge over p shadows costs O(max_touched · log p).
+        let per_pos: Vec<&[ProcView<T>]> =
+            self.states.iter().map(|s| s.views.as_slice()).collect();
+        let analysis: AnalysisResult = analyze(&per_pos, &self.tested_ids);
+        let merge_depth = (self.cfg.p as f64).log2().ceil().max(1.0);
+        stats.overhead.add(
+            OverheadKind::Analysis,
+            analysis.max_touched as f64 * cost.analysis_per_ref * merge_depth,
+        );
+        let violation = analysis.first_violation;
+        let mut commit_upto = match violation {
+            None => self.cfg.p,
+            Some(q) if self.cfg.commit_prefix_on_failure => q,
+            Some(_) => 0,
+        };
+        drop(per_pos);
+
+        // A premature exit is *trusted* only when its block lies below
+        // the earliest dependence sink — otherwise the block may have
+        // decided to exit on stale data and will re-execute anyway.
+        let exit = self.states[..commit_upto]
+            .iter()
+            .enumerate()
+            .find_map(|(pos, st)| st.exit_iter.map(|e| (pos, e as usize)));
+        if let Some((pos, _)) = exit {
+            // Blocks above the exiting one executed dead iterations:
+            // their work is discarded (the exiting block itself stopped
+            // at the exit, so everything it holds is valid).
+            commit_upto = pos + 1;
+        }
+
+        // 5. Commit the passing prefix (new epoch: the commit writers
+        // are distinct from the speculative writers).
+        for buf in &mut self.shared {
+            buf.new_epoch();
+        }
+        let committing: Vec<&[ProcView<T>]> = self.states[..commit_upto]
+            .iter()
+            .map(|s| s.views.as_slice())
+            .collect();
+        let cstats = commit_tested(
+            &committing,
+            &self.tested_ids,
+            &self.reductions,
+            &self.shared,
+            &self.executor,
+        );
+        stats.overhead.add(
+            OverheadKind::Commit,
+            cstats.max_per_block as f64 * cost.commit_per_elem,
+        );
+        drop(committing);
+
+        for st in &self.states[..commit_upto] {
+            for &(iter, c) in &st.iter_costs {
+                self.iter_times[iter as usize] = c;
+            }
+        }
+        stats.iters_committed = schedule.blocks()[..commit_upto]
+            .iter()
+            .map(|b| b.range.len())
+            .sum();
+        if let Some((pos, e)) = exit {
+            // The exiting block executed (and commits) only up to the
+            // exit iteration; the rest of its range was skipped.
+            stats.iters_committed -= schedule.blocks()[pos].range.end - (e + 1);
+        }
+
+        // 6. Restore untested state written by failed or dead blocks.
+        if (violation.is_some() || exit.is_some()) && !self.untested_ids.is_empty() {
+            let mut max_restored = 0usize;
+            for (off, st) in self.states[commit_upto..].iter().enumerate() {
+                let pos = commit_upto + off;
+                let restored = st.wlog.num_written();
+                match st.wlog.policy() {
+                    CheckpointPolicy::OnDemand => {
+                        for (slot, elem, old) in st.wlog.undo_rev() {
+                            // SAFETY: each failed block restores only the
+                            // elements it wrote, disjoint by the untested
+                            // contract; commit wrote only tested arrays.
+                            unsafe {
+                                self.shared[self.untested_ids[slot]].set(elem, old, pos as u32)
+                            };
+                        }
+                    }
+                    CheckpointPolicy::Eager => {
+                        let snap = snapshot.as_ref().expect("eager policy snapshots every stage");
+                        for (slot, &id) in self.untested_ids.iter().enumerate() {
+                            for elem in st.wlog.written(slot) {
+                                // SAFETY: as above.
+                                unsafe {
+                                    self.shared[id].set(elem, snap.value(slot, elem), pos as u32)
+                                };
+                            }
+                        }
+                    }
+                }
+                max_restored = max_restored.max(restored);
+            }
+            stats.overhead.add(
+                OverheadKind::Restore,
+                max_restored as f64 * cost.restore_per_elem,
+            );
+        }
+
+        // 7. Collect committed blocks' per-iteration marks (DDG mode).
+        let committed_marks = if self.record_marks {
+            self.states[..commit_upto]
+                .iter_mut()
+                .zip(schedule.blocks())
+                .map(|(st, b)| CommittedBlockMarks {
+                    range: b.range.clone(),
+                    marks: std::mem::take(&mut st.marks),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // 8. Shadow re-initialization (O(touched) per block).
+        let max_touched = self
+            .states
+            .iter()
+            .map(|st| st.views.iter().map(ProcView::num_touched).sum::<usize>())
+            .max()
+            .unwrap_or(0);
+        stats.overhead.add(
+            OverheadKind::ShadowInit,
+            max_touched as f64 * cost.shadow_init_per_elem,
+        );
+        for st in &mut self.states {
+            for v in &mut st.views {
+                v.clear();
+            }
+            st.wlog.clear();
+            if self.record_marks {
+                st.marks = self.tested_ids.iter().map(|_| IterMarks::new()).collect();
+            }
+        }
+
+        // 9. Barrier.
+        stats.overhead.add(OverheadKind::Sync, cost.sync);
+
+        StageOutcome {
+            violation,
+            restart_iter: violation.map(|q| schedule.block_start(q)),
+            stats,
+            arcs: analysis.arcs,
+            committed_marks,
+            exit: exit.map(|(_, e)| e),
+        }
+    }
+
+    /// Execute `range` directly (no speculation) against the engine's
+    /// current shared state, returning the virtual work performed. Used
+    /// by the classic-LRPD baseline's sequential re-execution.
+    pub fn run_direct(&mut self, range: Range<usize>) -> f64 {
+        for buf in &mut self.shared {
+            buf.new_epoch();
+        }
+        let mut work = 0.0;
+        for iter in range {
+            let mut ctx = IterCtx {
+                iter,
+                writer: 0,
+                meta: &self.meta,
+                shared: &self.shared,
+                views: &mut [],
+                wlog: None,
+                iter_marks: None,
+                extra_cost: 0.0,
+                exited: false,
+            };
+            self.lp.body(iter, &mut ctx);
+            work += self.lp.cost(iter) + ctx.extra_cost;
+            if ctx.exited {
+                break;
+            }
+        }
+        work
+    }
+
+    /// Final contents of every declared array, in declaration order.
+    pub fn arrays_out(&mut self) -> Vec<(&'static str, Vec<T>)> {
+        self.meta
+            .iter()
+            .map(|m| m.name)
+            .zip(self.shared.iter_mut().map(SharedBuf::to_vec))
+            .collect()
+    }
+
+    /// Total sequential work Σ cost(i) of the whole loop.
+    pub fn sequential_work(&self) -> f64 {
+        (0..self.n).map(|i| self.lp.cost(i)).sum()
+    }
+}
+
+/// Execute `lp` sequentially (direct references, no speculation) and
+/// return the final arrays and the total virtual work — the ground
+/// truth every speculative strategy is tested against, and the
+/// denominator of reported speedups.
+pub fn run_sequential<T: Value>(lp: &dyn SpecLoop<T>) -> (Vec<(&'static str, Vec<T>)>, f64) {
+    let decls = lp.arrays();
+    let mut meta = Vec::with_capacity(decls.len());
+    let mut shared = Vec::with_capacity(decls.len());
+    let mut tested_slot = 0usize;
+    let mut untested_slot = 0usize;
+    for decl in decls {
+        let route = match decl.kind {
+            ArrayKind::Tested { reduction, .. } => {
+                let r = Route::Tested { slot: tested_slot };
+                tested_slot += 1;
+                meta.push(ArrayMeta { name: decl.name, route: r, reduction });
+                shared.push(SharedBuf::new(decl.init));
+                continue;
+            }
+            ArrayKind::Untested => {
+                let r = Route::Untested { slot: untested_slot };
+                untested_slot += 1;
+                r
+            }
+        };
+        meta.push(ArrayMeta { name: decl.name, route, reduction: None });
+        shared.push(SharedBuf::new(decl.init));
+    }
+
+    let mut work = 0.0;
+    for iter in 0..lp.num_iters() {
+        let mut ctx = IterCtx {
+            iter,
+            writer: 0,
+            meta: &meta,
+            shared: &shared,
+            views: &mut [],
+            wlog: None,
+            iter_marks: None,
+            extra_cost: 0.0,
+            exited: false,
+        };
+        lp.body(iter, &mut ctx);
+        work += lp.cost(iter) + ctx.extra_cost;
+        if ctx.exited {
+            break;
+        }
+    }
+
+    let arrays = meta
+        .iter()
+        .map(|m| m.name)
+        .zip(shared.iter_mut().map(SharedBuf::to_vec))
+        .collect();
+    (arrays, work)
+}

@@ -1,0 +1,83 @@
+//! A boolean-per-element set with a touched list, so membership tests
+//! are O(1) but clearing is proportional to the number of set elements —
+//! the same trick as the dense shadow's cheap re-initialization.
+
+/// Dense flag set with touched-list clearing.
+#[derive(Clone, Debug, Default)]
+pub struct TouchedFlags {
+    bits: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+impl TouchedFlags {
+    /// Flags for `size` elements, all clear.
+    pub fn new(size: usize) -> Self {
+        assert!(size <= u32::MAX as usize);
+        TouchedFlags { bits: vec![false; size], touched: Vec::new() }
+    }
+
+    /// Set flag `i`; returns `true` when it was previously clear (first
+    /// touch).
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        if self.bits[i] {
+            false
+        } else {
+            self.bits[i] = true;
+            self.touched.push(i as u32);
+            true
+        }
+    }
+
+    /// Test flag `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Elements currently set, in first-set order.
+    pub fn touched(&self) -> impl Iterator<Item = usize> + '_ {
+        self.touched.iter().map(|&i| i as usize)
+    }
+
+    /// Number of set elements.
+    pub fn count(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Clear all set flags in O(set count).
+    pub fn clear(&mut self) {
+        for &i in &self.touched {
+            self.bits[i as usize] = false;
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_reported_once() {
+        let mut f = TouchedFlags::new(4);
+        assert!(f.set(2));
+        assert!(!f.set(2));
+        assert!(f.get(2));
+        assert!(!f.get(1));
+        assert_eq!(f.count(), 1);
+    }
+
+    #[test]
+    fn clear_resets_in_touch_order() {
+        let mut f = TouchedFlags::new(8);
+        f.set(5);
+        f.set(1);
+        let order: Vec<_> = f.touched().collect();
+        assert_eq!(order, vec![5, 1]);
+        f.clear();
+        assert_eq!(f.count(), 0);
+        assert!(!f.get(5));
+        assert!(f.set(5), "cleared flag is first-touch again");
+    }
+}

@@ -1,0 +1,58 @@
+//! The classic (non-recursive) LRPD test — the baseline the R-LRPD
+//! generalizes.
+//!
+//! One speculative doall over the whole iteration space; if the test
+//! detects *any* cross-processor dependence, everything is discarded
+//! (untested writes rolled back, nothing committed) and the loop
+//! re-executes **sequentially from the start**. For a fully parallel
+//! loop this is optimal; for a loop with even one cross-processor flow
+//! dependence it pays the entire speculative execution as pure slowdown
+//! — exactly the behaviour the R-LRPD test was designed to eliminate.
+
+use crate::driver::{RunConfig, RunResult};
+use crate::engine::{Engine, EngineCfg};
+use crate::report::RunReport;
+use crate::spec_loop::SpecLoop;
+use crate::value::Value;
+use rlrpd_runtime::{BlockSchedule, OverheadKind, StageStats};
+
+/// Run `lp` under the classic LRPD test: speculate once, re-execute
+/// sequentially on failure.
+pub fn run_classic_lrpd<T: Value>(lp: &dyn SpecLoop<T>, cfg: &RunConfig) -> RunResult<T> {
+    let engine_cfg = EngineCfg {
+        commit_prefix_on_failure: false, // discard everything on failure
+        ..cfg.engine_cfg()
+    };
+    let mut engine = Engine::new(lp, engine_cfg, false);
+    let n = engine.n;
+    let mut report = RunReport {
+        sequential_work: engine.sequential_work(),
+        ..Default::default()
+    };
+
+    let schedule = BlockSchedule::even(0..n, cfg.p);
+    let outcome = engine.run_stage(&schedule);
+    let arcs = outcome.arcs.clone();
+    let failed = outcome.violation.is_some() && outcome.exit.is_none();
+    report.exited_at = outcome.exit;
+    report.stages.push(outcome.stats);
+
+    if failed {
+        report.restarts += 1;
+        // Sequential re-execution from (restored) pristine state. Its
+        // time is pure loop work with one trailing synchronization.
+        let work = engine.run_direct(0..n);
+        let mut seq_stage = StageStats {
+            loop_time: work,
+            total_work: work,
+            iters_attempted: n,
+            iters_committed: n,
+            ..Default::default()
+        };
+        seq_stage.overhead.add(OverheadKind::Sync, cfg.cost.sync);
+        report.stages.push(seq_stage);
+    }
+
+    report.wall_seconds = report.stages.iter().map(|s| s.wall_seconds).sum();
+    RunResult { arrays: engine.arrays_out(), report, arcs }
+}

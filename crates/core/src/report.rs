@@ -1,0 +1,193 @@
+//! Run-level reports: stage series, restarts, parallelism ratio, and
+//! speedups.
+
+use rlrpd_runtime::{OverheadKind, StageStats};
+
+/// Report of one speculative run of a loop (one instantiation).
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// Per-stage statistics, in execution order.
+    pub stages: Vec<StageStats>,
+    /// Number of restarts (failed stages); `stages.len() - restarts` of
+    /// the stages committed the final pieces.
+    pub restarts: usize,
+    /// Σ of per-iteration useful work — the virtual time of a sequential
+    /// execution and the denominator of [`RunReport::speedup`].
+    pub sequential_work: f64,
+    /// Wall-clock seconds of the parallel sections (threads mode only).
+    pub wall_seconds: f64,
+    /// Last executed iteration when the loop exited prematurely.
+    pub exited_at: Option<usize>,
+}
+
+impl RunReport {
+    /// Total virtual time: Σ over stages of loop critical path plus all
+    /// overheads.
+    pub fn virtual_time(&self) -> f64 {
+        self.stages.iter().map(StageStats::virtual_time).sum()
+    }
+
+    /// Virtual speedup over sequential execution of the same loop.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_work / self.virtual_time()
+    }
+
+    /// This run's parallelism ratio contribution:
+    /// `PR = #instantiations / (#restarts + #instantiations)` with one
+    /// instantiation.
+    pub fn pr(&self) -> f64 {
+        1.0 / (1.0 + self.restarts as f64)
+    }
+
+    /// Total overhead of one kind across stages.
+    pub fn overhead(&self, kind: OverheadKind) -> f64 {
+        self.stages.iter().map(|s| s.overhead.get(kind)).sum()
+    }
+
+    /// Total useful work actually executed (including work discarded by
+    /// restarts); `total_work_executed - sequential_work` is the wasted
+    /// speculation.
+    pub fn total_work_executed(&self) -> f64 {
+        self.stages.iter().map(|s| s.total_work).sum()
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    /// A human-readable summary: headline numbers plus the Fig. 12-style
+    /// overhead decomposition.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "stages: {} ({} restarts{}), PR {:.3}",
+            self.stages.len(),
+            self.restarts,
+            match self.exited_at {
+                Some(e) => format!(", exited at iteration {e}"),
+                None => String::new(),
+            },
+            self.pr()
+        )?;
+        writeln!(
+            f,
+            "virtual time {:.1} vs sequential {:.1} -> speedup {:.2}x",
+            self.virtual_time(),
+            self.sequential_work,
+            self.speedup()
+        )?;
+        let loop_time: f64 = self.stages.iter().map(|s| s.loop_time).sum();
+        writeln!(
+            f,
+            "loop time {:.1} ({:.1} executed, {:.1} wasted)",
+            loop_time,
+            self.total_work_executed(),
+            self.total_work_executed() - self.sequential_work
+        )?;
+        writeln!(f, "overheads:")?;
+        for kind in OverheadKind::ALL {
+            let v = self.overhead(kind);
+            if v > 0.0 {
+                let name = format!("{kind:?}");
+                writeln!(f, "  {name:<16} {v:>12.2}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parallelism ratio over the life of a program:
+/// `PR = #instantiations / (#restarts + #instantiations)`.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct PrAccumulator {
+    /// Loop instantiations observed.
+    pub instantiations: u64,
+    /// Restarts (failed speculative stages) observed.
+    pub restarts: u64,
+}
+
+impl PrAccumulator {
+    /// Fold one run into the accumulator.
+    pub fn add(&mut self, report: &RunReport) {
+        self.instantiations += 1;
+        self.restarts += report.restarts as u64;
+    }
+
+    /// The accumulated parallelism ratio (1.0 when nothing recorded).
+    pub fn pr(&self) -> f64 {
+        if self.instantiations == 0 {
+            return 1.0;
+        }
+        self.instantiations as f64 / (self.restarts + self.instantiations) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(loop_time: f64, sync: f64) -> StageStats {
+        let mut s = StageStats { loop_time, ..Default::default() };
+        s.overhead.add(OverheadKind::Sync, sync);
+        s
+    }
+
+    #[test]
+    fn virtual_time_sums_stages() {
+        let r = RunReport {
+            stages: vec![stage(10.0, 1.0), stage(5.0, 1.0)],
+            restarts: 1,
+            sequential_work: 30.0,
+            wall_seconds: 0.0,
+            exited_at: None,
+        };
+        assert_eq!(r.virtual_time(), 17.0);
+        assert!((r.speedup() - 30.0 / 17.0).abs() < 1e-12);
+        assert_eq!(r.pr(), 0.5);
+    }
+
+    #[test]
+    fn fully_parallel_run_has_pr_one() {
+        let r = RunReport {
+            stages: vec![stage(10.0, 1.0)],
+            restarts: 0,
+            sequential_work: 40.0,
+            wall_seconds: 0.0,
+            exited_at: None,
+        };
+        assert_eq!(r.pr(), 1.0);
+    }
+
+    #[test]
+    fn accumulator_matches_paper_definition() {
+        let mut acc = PrAccumulator::default();
+        let run = |restarts| RunReport { restarts, ..Default::default() };
+        acc.add(&run(0));
+        acc.add(&run(2));
+        acc.add(&run(1));
+        // 3 instantiations, 3 restarts: PR = 3/6.
+        assert!((acc.pr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_a_summary() {
+        let mut s1 = stage(10.0, 1.0);
+        s1.overhead.add(OverheadKind::Commit, 2.0);
+        let r = RunReport {
+            stages: vec![s1],
+            restarts: 0,
+            sequential_work: 12.0,
+            wall_seconds: 0.0,
+            exited_at: Some(5),
+        };
+        let text = r.to_string();
+        assert!(text.contains("stages: 1"), "{text}");
+        assert!(text.contains("exited at iteration 5"), "{text}");
+        assert!(text.contains("Commit"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+        assert!(!text.contains("Restore"), "zero overheads omitted: {text}");
+    }
+
+    #[test]
+    fn empty_accumulator_reports_full_parallelism() {
+        assert_eq!(PrAccumulator::default().pr(), 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The speculative loop abstraction — what the Polaris run-time pass
+//! would emit.
+//!
+//! A [`SpecLoop`] is the transformed loop body: a pure function of the
+//! iteration number and an instrumented context. Every reference to a
+//! declared array goes through [`crate::ctx::IterCtx`], exactly as the
+//! compiler pass would have rewritten it with marking code. Because the
+//! body owns no mutable state of its own, re-executing any suffix of
+//! iterations in a later stage is trivially sound.
+
+use crate::array::ArrayDecl;
+use crate::ctx::IterCtx;
+use crate::value::Value;
+
+/// A loop prepared for speculative parallelization.
+pub trait SpecLoop<T: Value = f64>: Sync {
+    /// Total number of iterations.
+    fn num_iters(&self) -> usize;
+
+    /// Declarations of every shared array the body references, with
+    /// their loop-entry contents. Called once per run.
+    fn arrays(&self) -> Vec<ArrayDecl<T>>;
+
+    /// The loop body for iteration `iter`. All array references must go
+    /// through `ctx`.
+    fn body(&self, iter: usize, ctx: &mut IterCtx<'_, T>);
+
+    /// Useful work `ω_i` of iteration `iter`, in virtual time units.
+    /// Drives the simulated executor and feedback-guided load
+    /// balancing. Defaults to unit cost.
+    fn cost(&self, _iter: usize) -> f64 {
+        1.0
+    }
+}
+
+/// Boxed iteration-body closure.
+type BodyFn<T> = Box<dyn Fn(usize, &mut IterCtx<'_, T>) + Sync>;
+
+/// A [`SpecLoop`] assembled from closures — convenient for tests,
+/// examples, and synthetic workloads.
+pub struct ClosureLoop<T: Value = f64> {
+    n: usize,
+    decls: Box<dyn Fn() -> Vec<ArrayDecl<T>> + Sync>,
+    body: BodyFn<T>,
+    cost: Box<dyn Fn(usize) -> f64 + Sync>,
+}
+
+impl<T: Value> ClosureLoop<T> {
+    /// Build a loop of `n` iterations; `decls` produces the array
+    /// declarations, `body` is the iteration body.
+    pub fn new(
+        n: usize,
+        decls: impl Fn() -> Vec<ArrayDecl<T>> + Sync + 'static,
+        body: impl Fn(usize, &mut IterCtx<'_, T>) + Sync + 'static,
+    ) -> Self {
+        ClosureLoop {
+            n,
+            decls: Box::new(decls),
+            body: Box::new(body),
+            cost: Box::new(|_| 1.0),
+        }
+    }
+
+    /// Replace the per-iteration cost function.
+    pub fn with_cost(mut self, cost: impl Fn(usize) -> f64 + Sync + 'static) -> Self {
+        self.cost = Box::new(cost);
+        self
+    }
+}
+
+impl<T: Value> SpecLoop<T> for ClosureLoop<T> {
+    fn num_iters(&self) -> usize {
+        self.n
+    }
+
+    fn arrays(&self) -> Vec<ArrayDecl<T>> {
+        (self.decls)()
+    }
+
+    fn body(&self, iter: usize, ctx: &mut IterCtx<'_, T>) {
+        (self.body)(iter, ctx)
+    }
+
+    fn cost(&self, iter: usize) -> f64 {
+        (self.cost)(iter)
+    }
+}

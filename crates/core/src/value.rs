@@ -1,0 +1,86 @@
+//! Element values and speculative reduction operators.
+
+use std::fmt::Debug;
+
+/// The element type of arrays under speculative test.
+///
+/// The engine moves values between shared and privatized storage and
+/// compares final states against sequential execution, so elements must
+/// be cheap to copy and comparable. Implemented for every type with the
+/// listed bounds (notably `f64`, `i64`, `u32`, …).
+pub trait Value: Copy + PartialEq + Send + Sync + Default + Debug + 'static {}
+
+impl<T: Copy + PartialEq + Send + Sync + Default + Debug + 'static> Value for T {}
+
+/// A speculative reduction operator: `x = x ⊕ exp` with `⊕` associative
+/// and commutative and `x` not otherwise referenced (the paper's
+/// footnote 1).
+///
+/// During speculation each processor accumulates *deltas* starting from
+/// `identity`; the commit phase folds the per-processor deltas into the
+/// shared element in block order. Associativity + commutativity is the
+/// caller's promise — the run-time test validates the *access pattern*
+/// (reduction-only references), not the algebra.
+#[derive(Clone, Copy)]
+pub struct Reduction<T> {
+    /// Identity of `⊕` (`0` for sum, `1` for product, `-∞` for max…).
+    pub identity: T,
+    /// The combining operator.
+    pub combine: fn(T, T) -> T,
+}
+
+impl<T: Debug> Debug for Reduction<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reduction").field("identity", &self.identity).finish()
+    }
+}
+
+impl Reduction<f64> {
+    /// Sum reduction `x += exp`.
+    pub fn sum() -> Self {
+        Reduction { identity: 0.0, combine: |a, b| a + b }
+    }
+
+    /// Product reduction `x *= exp`.
+    pub fn product() -> Self {
+        Reduction { identity: 1.0, combine: |a, b| a * b }
+    }
+
+    /// Max reduction `x = max(x, exp)`.
+    pub fn max() -> Self {
+        Reduction { identity: f64::NEG_INFINITY, combine: f64::max }
+    }
+
+    /// Min reduction `x = min(x, exp)`.
+    pub fn min() -> Self {
+        Reduction { identity: f64::INFINITY, combine: f64::min }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_reduction_identity_and_combine() {
+        let r = Reduction::sum();
+        assert_eq!((r.combine)(r.identity, 5.0), 5.0);
+        assert_eq!((r.combine)(2.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn max_reduction_identity_absorbs() {
+        let r = Reduction::max();
+        assert_eq!((r.combine)(r.identity, -7.0), -7.0);
+        assert_eq!((r.combine)(4.0, -7.0), 4.0);
+    }
+
+    #[test]
+    fn product_and_min() {
+        let p = Reduction::product();
+        assert_eq!((p.combine)(p.identity, 6.0), 6.0);
+        let m = Reduction::min();
+        assert_eq!((m.combine)(m.identity, 6.0), 6.0);
+        assert_eq!((m.combine)(2.0, 6.0), 2.0);
+    }
+}

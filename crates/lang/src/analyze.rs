@@ -1,0 +1,443 @@
+//! The static classifier — the compile-time half of the paper's
+//! Polaris run-time pass.
+//!
+//! For each declared array the pass must decide how the transformed
+//! loop treats it:
+//!
+//! * **reduction** — every reference has the shape `A[e] ⊕= expr` with
+//!   one operator and `expr` free of `A` (the paper's footnote-1
+//!   pattern): parallelize speculatively as a reduction;
+//! * **untested** — every subscript is affine in the loop variable and
+//!   no two *different* iterations can touch the same element with a
+//!   write involved: statically safe for any block schedule, only
+//!   checkpointing is needed;
+//! * **tested** — anything else (indirection, data-dependent
+//!   subscripts, guarded cross-iteration writes, or affine subscripts
+//!   with provable cross-iteration conflicts): privatize, mark, and run
+//!   the LRPD test.
+//!
+//! The affine conflict check is exact (it enumerates the loop range),
+//! which a compiler would replace with a GCD/Banerjee test; guards are
+//! conservatively assumed taken, exactly as a static pass must.
+
+use crate::ast::*;
+
+/// How the run-time system will treat an array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Privatize + LRPD test.
+    Tested,
+    /// Direct writes + checkpoint.
+    Untested,
+    /// Speculative reduction with the given operator.
+    Reduction(UpdateOp),
+}
+
+/// Classification of one array, with the pass's reasoning.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// The decision.
+    pub class: Class,
+    /// Human-readable rationale (for diagnostics / reports).
+    pub rationale: String,
+}
+
+/// A subscript as an affine function of the loop variable, when it is
+/// one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Affine {
+    Lin { a: i64, b: i64 },
+    NotAffine,
+}
+
+impl Affine {
+    fn constant(b: i64) -> Self {
+        Affine::Lin { a: 0, b }
+    }
+}
+
+fn affine(expr: &Expr, locals: &[Affine]) -> Affine {
+    use Affine::*;
+    match expr {
+        Expr::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < i64::MAX as f64 {
+                Affine::constant(*n as i64)
+            } else {
+                NotAffine
+            }
+        }
+        Expr::LoopVar => Lin { a: 1, b: 0 },
+        Expr::Local(slot) => locals.get(*slot).copied().unwrap_or(NotAffine),
+        Expr::Neg(e) => match affine(e, locals) {
+            Lin { a, b } => Lin { a: -a, b: -b },
+            NotAffine => NotAffine,
+        },
+        Expr::Bin { op, lhs, rhs } => {
+            let (l, r) = (affine(lhs, locals), affine(rhs, locals));
+            match (op, l, r) {
+                (BinOp::Add, Lin { a: a1, b: b1 }, Lin { a: a2, b: b2 }) => {
+                    Lin { a: a1 + a2, b: b1 + b2 }
+                }
+                (BinOp::Sub, Lin { a: a1, b: b1 }, Lin { a: a2, b: b2 }) => {
+                    Lin { a: a1 - a2, b: b1 - b2 }
+                }
+                (BinOp::Mul, Lin { a: 0, b: c }, Lin { a, b }) => Lin { a: a * c, b: b * c },
+                (BinOp::Mul, Lin { a, b }, Lin { a: 0, b: c }) => Lin { a: a * c, b: b * c },
+                _ => NotAffine,
+            }
+        }
+        _ => NotAffine,
+    }
+}
+
+/// One array reference found by the walk.
+#[derive(Clone, Debug)]
+struct Access {
+    affine: Affine,
+    is_write: bool,
+}
+
+#[derive(Default)]
+struct Walk {
+    /// Per array: collected ordinary accesses.
+    accesses: Vec<Vec<Access>>,
+    /// Per array: update-statement operators seen (`A[e] ⊕= …`).
+    update_ops: Vec<Vec<UpdateOp>>,
+    /// Per array: referenced outside the update pattern, or inside an
+    /// update's delta/subscript of itself.
+    non_reduction_ref: Vec<bool>,
+    locals: Vec<Affine>,
+}
+
+impl Walk {
+    fn new(num_arrays: usize, num_locals: usize) -> Self {
+        Walk {
+            accesses: vec![Vec::new(); num_arrays],
+            update_ops: vec![Vec::new(); num_arrays],
+            non_reduction_ref: vec![false; num_arrays],
+            locals: vec![Affine::NotAffine; num_locals],
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Read { array, index } => {
+                self.non_reduction_ref[*array] = true;
+                let aff = affine(index, &self.locals);
+                self.accesses[*array].push(Access { affine: aff, is_write: false });
+                self.expr(index);
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Neg(e) | Expr::Not(e) => self.expr(e),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Num(_) | Expr::LoopVar | Expr::Counter | Expr::Local(_) => {}
+        }
+    }
+
+    fn reads_array(e: &Expr, array: usize) -> bool {
+        match e {
+            Expr::Read { array: a, index } => *a == array || Self::reads_array(index, array),
+            Expr::Bin { lhs, rhs, .. } => {
+                Self::reads_array(lhs, array) || Self::reads_array(rhs, array)
+            }
+            Expr::Neg(e) | Expr::Not(e) => Self::reads_array(e, array),
+            Expr::Call { args, .. } => args.iter().any(|a| Self::reads_array(a, array)),
+            _ => false,
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        for s in body {
+            match s {
+                Stmt::Let { slot, expr } => {
+                    self.expr(expr);
+                    self.locals[*slot] = affine(expr, &self.locals);
+                }
+                Stmt::Assign { array, index, expr } => {
+                    self.non_reduction_ref[*array] = true;
+                    let aff = affine(index, &self.locals);
+                    self.accesses[*array].push(Access { affine: aff, is_write: true });
+                    self.expr(index);
+                    self.expr(expr);
+                }
+                Stmt::Update { array, index, op, expr } => {
+                    self.update_ops[*array].push(*op);
+                    // The delta and subscript must not read the array
+                    // itself, or the reduction pattern is broken.
+                    if Self::reads_array(expr, *array) || Self::reads_array(index, *array) {
+                        self.non_reduction_ref[*array] = true;
+                    }
+                    let aff = affine(index, &self.locals);
+                    // For the non-reduction fallback the update is a
+                    // read-modify-write of one element.
+                    self.accesses[*array].push(Access { affine: aff, is_write: true });
+                    self.accesses[*array].push(Access { affine: aff, is_write: false });
+                    self.expr(index);
+                    self.expr(expr);
+                }
+                Stmt::Bump => {}
+                Stmt::Break { cond } => self.expr(cond),
+                Stmt::If { cond, then_body, else_body } => {
+                    self.expr(cond);
+                    // Guards are conservatively assumed taken.
+                    self.stmts(then_body);
+                    self.stmts(else_body);
+                }
+            }
+        }
+    }
+}
+
+/// Classify every array for every loop of `program`:
+/// `result[loop][array]`. An array may be tested in one loop and
+/// untested in another — each loop instance gets its own run-time
+/// treatment, exactly as the pass instruments each loop separately.
+pub fn classify_program(program: &Program) -> Vec<Vec<Classification>> {
+    (0..program.loops.len())
+        .map(|k| classify_loop(program, k))
+        .collect()
+}
+
+/// Classify every array of loop `k` (declaration order).
+pub fn classify_loop(program: &Program, k: usize) -> Vec<Classification> {
+    let nest = &program.loops[k];
+    let mut w = Walk::new(program.arrays.len(), nest.num_locals);
+    w.stmts(&nest.body);
+    let (lo, hi) = nest.range;
+
+    program
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(id, decl)| {
+            if let Some(hint) = decl.hint {
+                let class = match hint {
+                    KindHint::Tested => Class::Tested,
+                    KindHint::Untested => Class::Untested,
+                    KindHint::Reduction(op) => Class::Reduction(op),
+                };
+                return Classification {
+                    class,
+                    rationale: "explicit declaration hint".into(),
+                };
+            }
+
+            let updates = &w.update_ops[id];
+            if !updates.is_empty() && !w.non_reduction_ref[id] {
+                let op = updates[0];
+                if updates.iter().all(|&o| o == op) {
+                    return Classification {
+                        class: Class::Reduction(op),
+                        rationale: format!(
+                            "referenced only as 'x {}= expr' with x not in expr",
+                            match op {
+                                UpdateOp::Add => "+",
+                                UpdateOp::Mul => "*",
+                            }
+                        ),
+                    };
+                }
+                return Classification {
+                    class: Class::Tested,
+                    rationale: "mixed reduction operators".into(),
+                };
+            }
+
+            let accesses = &w.accesses[id];
+            if accesses.is_empty() {
+                return Classification {
+                    class: Class::Untested,
+                    rationale: "never referenced by the loop".into(),
+                };
+            }
+            if accesses.iter().any(|a| a.affine == Affine::NotAffine) {
+                return Classification {
+                    class: Class::Tested,
+                    rationale: "non-affine (data-dependent) subscript".into(),
+                };
+            }
+            if !accesses.iter().any(|a| a.is_write) {
+                return Classification {
+                    class: Class::Untested,
+                    rationale: "read-only".into(),
+                };
+            }
+
+            // Exact cross-iteration conflict check over the loop range.
+            if has_conflict(accesses, lo, hi) {
+                Classification {
+                    class: Class::Tested,
+                    rationale: "affine subscripts with a possible cross-iteration conflict"
+                        .into(),
+                }
+            } else {
+                Classification {
+                    class: Class::Untested,
+                    rationale: "affine subscripts, provably iteration-disjoint".into(),
+                }
+            }
+        })
+        .collect()
+}
+
+fn has_conflict(accesses: &[Access], lo: usize, hi: usize) -> bool {
+    use std::collections::HashMap;
+    // index -> iteration of some write to it.
+    let mut writers: HashMap<i64, usize> = HashMap::new();
+    for acc in accesses.iter().filter(|a| a.is_write) {
+        let Affine::Lin { a, b } = acc.affine else { unreachable!() };
+        for i in lo..hi {
+            let idx = a * i as i64 + b;
+            if let Some(&other) = writers.get(&idx) {
+                if other != i {
+                    return true; // cross-iteration output dependence
+                }
+            } else {
+                writers.insert(idx, i);
+            }
+        }
+    }
+    for acc in accesses.iter().filter(|a| !a.is_write) {
+        let Affine::Lin { a, b } = acc.affine else { unreachable!() };
+        for i in lo..hi {
+            let idx = a * i as i64 + b;
+            if let Some(&w) = writers.get(&idx) {
+                if w != i {
+                    return true; // cross-iteration flow/anti dependence
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn classes(src: &str) -> Vec<Class> {
+        let p = parse(src).unwrap();
+        classify_loop(&p, 0).into_iter().map(|c| c.class).collect()
+    }
+
+    #[test]
+    fn disjoint_affine_writes_are_untested() {
+        let c = classes("array A[100];\nfor i in 0..100 { A[i] = i; }");
+        assert_eq!(c, vec![Class::Untested]);
+    }
+
+    #[test]
+    fn shifted_affine_read_conflicts() {
+        // A[i] written, A[i-1] read: cross-iteration flow dependence.
+        let c = classes("array A[101];\nfor i in 1..100 { A[i] = A[i - 1] + 1; }");
+        assert_eq!(c, vec![Class::Tested]);
+    }
+
+    #[test]
+    fn same_iteration_rmw_is_untested() {
+        let c = classes("array A[100];\nfor i in 0..100 { A[i] = A[i] * 2; }");
+        assert_eq!(c, vec![Class::Untested]);
+    }
+
+    #[test]
+    fn strided_writes_that_collide_are_tested() {
+        // i % 10 is non-affine -> tested.
+        let c = classes("array A[10];\nfor i in 0..100 { A[i % 10] = i; }");
+        assert_eq!(c, vec![Class::Tested]);
+    }
+
+    #[test]
+    fn constant_subscript_write_is_tested() {
+        // Every iteration writes A[0]: output dependence.
+        let c = classes("array A[4];\nfor i in 0..10 { A[0] = i; }");
+        assert_eq!(c, vec![Class::Tested]);
+    }
+
+    #[test]
+    fn read_only_arrays_are_untested() {
+        let c = classes(
+            "array A[10];\narray B[10];\nfor i in 0..10 { A[i] = B[3] + B[i]; }",
+        );
+        assert_eq!(c, vec![Class::Untested, Class::Untested]);
+    }
+
+    #[test]
+    fn indirection_is_tested() {
+        let c = classes(
+            "array A[10];\narray IDX[10];\nfor i in 0..10 { A[IDX[i]] = i; }",
+        );
+        assert_eq!(c[0], Class::Tested, "A is indexed through IDX");
+        assert_eq!(c[1], Class::Untested, "IDX itself is read-only");
+    }
+
+    #[test]
+    fn pure_update_pattern_is_a_reduction() {
+        let c = classes("array Y[10];\narray W[100];\nfor i in 0..100 { W[i] = i; Y[W[i]] += 1; }");
+        assert_eq!(c[0], Class::Reduction(UpdateOp::Add));
+    }
+
+    #[test]
+    fn update_reading_itself_is_not_a_reduction() {
+        let c = classes("array Y[10];\nfor i in 0..10 { Y[i] += Y[0]; }");
+        assert_eq!(c[0], Class::Tested);
+    }
+
+    #[test]
+    fn update_mixed_with_assign_is_not_a_reduction() {
+        let c = classes("array Y[10];\nfor i in 0..10 { Y[i] += 1; Y[0] = 5; }");
+        assert_ne!(c[0], Class::Reduction(UpdateOp::Add));
+    }
+
+    #[test]
+    fn mixed_update_operators_fall_back_to_tested() {
+        let c = classes("array Y[10];\nfor i in 0..10 { Y[0] += 1; Y[1] *= 2; }");
+        assert_eq!(c[0], Class::Tested);
+    }
+
+    #[test]
+    fn affine_locals_propagate() {
+        // let j = i + 1 keeps the subscript affine and disjoint.
+        let c = classes("array A[101];\nfor i in 0..100 { let j = i + 1; A[j] = i; }");
+        assert_eq!(c, vec![Class::Untested]);
+    }
+
+    #[test]
+    fn data_dependent_locals_taint_subscripts() {
+        let c = classes(
+            "array A[100];\narray B[100];\nfor i in 0..100 { let j = B[i]; A[j] = i; }",
+        );
+        assert_eq!(c[0], Class::Tested);
+    }
+
+    #[test]
+    fn guarded_conflicting_write_is_tested() {
+        // The guard might not fire, but the pass must assume it can.
+        let c = classes(
+            "array A[110];\nfor i in 0..100 { if i % 7 == 0 { A[i + 5] = 1; } A[i] = A[i] + 1; }",
+        );
+        assert_eq!(c[0], Class::Tested);
+    }
+
+    #[test]
+    fn hints_override_analysis() {
+        let c = classes("array A[100] : tested;\nfor i in 0..100 { A[i] = i; }");
+        assert_eq!(c, vec![Class::Tested]);
+    }
+
+    #[test]
+    fn scaled_affine_subscripts_are_analyzed() {
+        // 2*i and 2*i+1 never collide across iterations.
+        let c = classes(
+            "array A[200];\nfor i in 0..100 { A[2 * i] = i; A[2 * i + 1] = i; }",
+        );
+        assert_eq!(c, vec![Class::Untested]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Compile- and run-time errors with source positions.
+
+/// An error produced while lexing, parsing, classifying or executing a
+/// mini-language program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    /// 1-based line (0 when not position-specific).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// An error at a source position.
+    pub fn at(line: u32, col: u32, message: impl Into<String>) -> Self {
+        LangError { line, col, message: message.into() }
+    }
+
+    /// A position-less error.
+    pub fn general(message: impl Into<String>) -> Self {
+        LangError { line: 0, col: 0, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_when_present() {
+        assert_eq!(LangError::at(3, 7, "oops").to_string(), "3:7: oops");
+        assert_eq!(LangError::general("oops").to_string(), "oops");
+    }
+}

@@ -1,0 +1,220 @@
+//! The interpreter: executes a parsed loop body against the speculative
+//! engine's instrumented context — the run-time half of the pass.
+//!
+//! The evaluator is generic over [`DataCtx`] so the same body can run
+//! against the ordinary speculative context ([`rlrpd_core::IterCtx`])
+//! or the induction-variable context ([`rlrpd_core::IndCtx`], the
+//! EXTEND two-pass scheme).
+
+use crate::analyze::Class;
+use crate::ast::*;
+use rlrpd_core::{ArrayId, IndCtx, IterCtx};
+use std::ops::ControlFlow;
+
+/// Evaluate a subscript value into an element index.
+///
+/// # Panics
+/// Panics on negative or non-integral subscripts (a bug in the source
+/// program, reported with the offending value).
+fn subscript(v: f64) -> usize {
+    let r = v.round();
+    assert!(
+        (v - r).abs() < 1e-9 && r >= 0.0,
+        "subscript {v} is not a non-negative integer"
+    );
+    r as usize
+}
+
+/// Uniform data-access interface over the engine's contexts.
+pub(crate) trait DataCtx {
+    fn read(&mut self, a: usize, i: usize) -> f64;
+    fn write(&mut self, a: usize, i: usize, v: f64);
+    fn reduce(&mut self, a: usize, i: usize, v: f64);
+    fn exit(&mut self);
+    /// Current induction-counter value (induction contexts only).
+    fn counter(&self) -> usize {
+        panic!("counters are only available in induction loops")
+    }
+    /// Bump the induction counter (induction contexts only).
+    fn bump(&mut self) {
+        panic!("counters are only available in induction loops")
+    }
+}
+
+impl DataCtx for IterCtx<'_, f64> {
+    fn read(&mut self, a: usize, i: usize) -> f64 {
+        IterCtx::read(self, ArrayId(a as u32), i)
+    }
+    fn write(&mut self, a: usize, i: usize, v: f64) {
+        IterCtx::write(self, ArrayId(a as u32), i, v)
+    }
+    fn reduce(&mut self, a: usize, i: usize, v: f64) {
+        IterCtx::reduce(self, ArrayId(a as u32), i, v)
+    }
+    fn exit(&mut self) {
+        IterCtx::exit(self)
+    }
+}
+
+impl DataCtx for IndCtx<'_, f64> {
+    fn read(&mut self, a: usize, i: usize) -> f64 {
+        IndCtx::read(self, a, i)
+    }
+    fn write(&mut self, a: usize, i: usize, v: f64) {
+        IndCtx::write(self, a, i, v)
+    }
+    fn reduce(&mut self, _a: usize, _i: usize, _v: f64) {
+        panic!("reductions are not supported inside induction loops")
+    }
+    fn exit(&mut self) {
+        panic!("premature exit is not supported inside induction loops")
+    }
+    fn counter(&self) -> usize {
+        IndCtx::counter(self)
+    }
+    fn bump(&mut self) {
+        IndCtx::bump(self)
+    }
+}
+
+/// One iteration's evaluation state: loop-variable value, `let` slots
+/// (reset per iteration), classifications (routing `⊕=`), and the
+/// engine context.
+pub(crate) struct Eval<'a, C> {
+    pub i: f64,
+    pub locals: &'a mut [f64],
+    pub classes: &'a [Class],
+    pub ctx: &'a mut C,
+}
+
+impl<'a, C: DataCtx> Eval<'a, C> {
+    pub fn expr(&mut self, e: &Expr) -> f64 {
+        match e {
+            Expr::Num(n) => *n,
+            Expr::LoopVar => self.i,
+            Expr::Counter => self.ctx.counter() as f64,
+            Expr::Local(slot) => self.locals[*slot],
+            Expr::Read { array, index } => {
+                let idx = self.expr(index);
+                self.ctx.read(*array, subscript(idx))
+            }
+            Expr::Call { func, args } => {
+                let a = self.expr(&args[0]);
+                match func {
+                    Intrinsic::Min => a.min(self.expr(&args[1])),
+                    Intrinsic::Max => a.max(self.expr(&args[1])),
+                    Intrinsic::Abs => a.abs(),
+                    Intrinsic::Sqrt => a.sqrt(),
+                    Intrinsic::Floor => a.floor(),
+                }
+            }
+            Expr::Neg(e) => -self.expr(e),
+            Expr::Not(e) => {
+                if self.expr(e) != 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        return if self.expr(lhs) != 0.0 && self.expr(rhs) != 0.0 {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                    }
+                    BinOp::Or => {
+                        return if self.expr(lhs) != 0.0 || self.expr(rhs) != 0.0 {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                    }
+                    _ => {}
+                }
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => l / r,
+                    BinOp::Rem => {
+                        let (li, ri) = (l.round() as i64, r.round() as i64);
+                        assert!(ri != 0, "modulo by zero");
+                        (li.rem_euclid(ri)) as f64
+                    }
+                    BinOp::Eq => bool_val(l == r),
+                    BinOp::Ne => bool_val(l != r),
+                    BinOp::Lt => bool_val(l < r),
+                    BinOp::Le => bool_val(l <= r),
+                    BinOp::Gt => bool_val(l > r),
+                    BinOp::Ge => bool_val(l >= r),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    /// Execute `body`; `Break(())` means the iteration requested a
+    /// premature loop exit and the rest of the body must not run.
+    pub fn stmts(&mut self, body: &[Stmt]) -> ControlFlow<()> {
+        for s in body {
+            match s {
+                Stmt::Let { slot, expr } => {
+                    self.locals[*slot] = self.expr(expr);
+                }
+                Stmt::Assign { array, index, expr } => {
+                    let idx = subscript(self.expr(index));
+                    let v = self.expr(expr);
+                    self.ctx.write(*array, idx, v);
+                }
+                Stmt::Update { array, index, op, expr } => {
+                    let idx = subscript(self.expr(index));
+                    let delta = self.expr(expr);
+                    if matches!(self.classes[*array], Class::Reduction(_)) {
+                        self.ctx.reduce(*array, idx, delta);
+                    } else {
+                        // Desugared read-modify-write under the LRPD
+                        // test (or direct access for untested arrays).
+                        let cur = self.ctx.read(*array, idx);
+                        let v = match op {
+                            UpdateOp::Add => cur + delta,
+                            UpdateOp::Mul => cur * delta,
+                        };
+                        self.ctx.write(*array, idx, v);
+                    }
+                }
+                Stmt::Bump => self.ctx.bump(),
+                Stmt::Break { cond } => {
+                    if self.expr(cond) != 0.0 {
+                        self.ctx.exit();
+                        return ControlFlow::Break(());
+                    }
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    let taken = if self.expr(cond) != 0.0 {
+                        self.stmts(then_body)
+                    } else {
+                        self.stmts(else_body)
+                    };
+                    if taken.is_break() {
+                        return ControlFlow::Break(());
+                    }
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+fn bool_val(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,207 @@
+//! Lexer for the mini loop language.
+
+use crate::error::LangError;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `(`, `)`, `{`, `}`, `[`, `]`, `;`, `,`, `:`.
+    Punct(char),
+    /// Operators: `+ - * / % = += *= == != < <= > >= && || ! ..`.
+    Op(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Punct(c) => write!(f, "'{c}'"),
+            Tok::Op(o) => write!(f, "'{o}'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenize `src`, stripping `#` line comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $c:expr) => {
+            out.push(Token { kind: $kind, line, col: $c })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start_col = col;
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | ':' => {
+                push!(Tok::Punct(c), start_col);
+                i += 1;
+                col += 1;
+            }
+            '0'..='9' => {
+                let s = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' && {
+                        // Don't swallow the range operator `..` or a
+                        // second decimal point.
+                        !(src[s..i].contains('.')
+                            || i + 1 < bytes.len() && bytes[i + 1] == b'.')
+                    })
+                {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[s..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| LangError::at(line, start_col, format!("bad number '{text}'")))?;
+                push!(Tok::Num(n), start_col);
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let s = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                push!(Tok::Ident(src[s..i].to_string()), start_col);
+            }
+            _ => {
+                // Multi-char operators first.
+                let rest = &src[i..];
+                let two = ["+=", "*=", "==", "!=", "<=", ">=", "&&", "||", ".."];
+                if let Some(op) = two.iter().find(|op| rest.starts_with(**op)) {
+                    push!(Tok::Op(op), start_col);
+                    i += 2;
+                    col += 2;
+                } else if "+-*/%=<>!".contains(c) {
+                    let op = match c {
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        '%' => "%",
+                        '=' => "=",
+                        '<' => "<",
+                        '>' => ">",
+                        _ => "!",
+                    };
+                    push!(Tok::Op(op), start_col);
+                    i += 1;
+                    col += 1;
+                } else {
+                    return Err(LangError::at(line, start_col, format!("unexpected character '{c}'")));
+                }
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_statement() {
+        let toks = kinds("A[i] = B[i] + 2.5;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Punct('['),
+                Tok::Ident("i".into()),
+                Tok::Punct(']'),
+                Tok::Op("="),
+                Tok::Ident("B".into()),
+                Tok::Punct('['),
+                Tok::Ident("i".into()),
+                Tok::Punct(']'),
+                Tok::Op("+"),
+                Tok::Num(2.5),
+                Tok::Punct(';'),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_dots_are_not_a_decimal_point() {
+        let toks = kinds("0..100");
+        assert_eq!(toks, vec![Tok::Num(0.0), Tok::Op(".."), Tok::Num(100.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let toks = kinds("a # the rest vanishes\nb");
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn compound_ops_lex_greedily() {
+        let toks = kinds("a += b && c <= d");
+        assert!(toks.contains(&Tok::Op("+=")));
+        assert!(toks.contains(&Tok::Op("&&")));
+        assert!(toks.contains(&Tok::Op("<=")));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a @ b").is_err());
+    }
+}

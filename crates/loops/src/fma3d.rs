@@ -1,0 +1,164 @@
+//! FMA3D's `Quad` loop (Fig. 5).
+//!
+//! The paper: the loop accounts for 56% of sequential execution time,
+//! references stress and state arrays *through indirection* with a call
+//! graph several levels deep — statically un-analyzable in practice,
+//! although "theoretically this loop can be statically parallelized
+//! because it is input independent". At run time it is fully parallel:
+//! the R-LRPD test has exactly one stage and the whole overhead is the
+//! test itself.
+//!
+//! Because the connectivity is input-independent, this is also the one
+//! evaluation loop that honestly admits a *proper inspector* — so
+//! [`QuadLoop`] implements [`rlrpd_core::Inspectable`] and doubles as
+//! the comparison point for the inspector/executor baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlrpd_core::{
+    AccessTrace, ArrayDecl, ArrayId, Inspectable, IterCtx, ShadowKind, SpecLoop,
+};
+
+const COORD: ArrayId = ArrayId(0);
+const STRESS: ArrayId = ArrayId(1);
+const STATE: ArrayId = ArrayId(2);
+
+/// Stress components per element.
+const NSTR: usize = 4;
+
+/// The `Quad` (4-node shell element) kernel: `elements` elements over
+/// `nodes` mesh nodes.
+#[derive(Clone, Debug)]
+pub struct QuadLoop {
+    elements: usize,
+    nodes: usize,
+    /// Connectivity: the 4 nodes of each element (indirection array).
+    conn: Vec<[u32; 4]>,
+}
+
+impl QuadLoop {
+    /// A synthetic quadrilateral mesh.
+    pub fn new(elements: usize, nodes: usize, seed: u64) -> Self {
+        assert!(nodes >= 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conn = (0..elements)
+            .map(|_| {
+                [
+                    rng.random_range(0..nodes) as u32,
+                    rng.random_range(0..nodes) as u32,
+                    rng.random_range(0..nodes) as u32,
+                    rng.random_range(0..nodes) as u32,
+                ]
+            })
+            .collect();
+        QuadLoop { elements, nodes, conn }
+    }
+
+    /// A default mesh comparable to the SPEC reference size's shape.
+    pub fn reference() -> Self {
+        Self::new(8000, 2500, 0xF3A3D)
+    }
+}
+
+impl SpecLoop for QuadLoop {
+    fn num_iters(&self) -> usize {
+        self.elements
+    }
+
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        vec![
+            // Nodal coordinates: read-only through indirection.
+            ArrayDecl::tested(
+                "COORD",
+                (0..self.nodes).map(|k| (k % 13) as f64 * 0.25).collect(),
+                ShadowKind::Dense,
+            ),
+            // Per-element stress: written at element-disjoint slots.
+            ArrayDecl::tested("STRESS", vec![0.0; self.elements * NSTR], ShadowKind::Dense),
+            // Per-element material state: read-modify-write, disjoint.
+            ArrayDecl::tested("STATE", vec![1.0; self.elements], ShadowKind::Dense),
+        ]
+    }
+
+    fn body(&self, e: usize, ctx: &mut IterCtx<'_, f64>) {
+        // Gather nodal data through the indirection.
+        let c = self.conn[e];
+        let mut g = 0.0;
+        for &node in &c {
+            g += ctx.read(COORD, node as usize);
+        }
+        // Element-local state update (read before write — but the slot
+        // is element-disjoint, so the exposed read can never be a
+        // cross-processor sink).
+        let s = ctx.read(STATE, e);
+        ctx.write(STATE, e, s * 0.99 + g * 0.01);
+        // Scatter the stress components to this element's slots.
+        for k in 0..NSTR {
+            ctx.write(STRESS, e * NSTR + k, g * (k + 1) as f64 + s);
+        }
+    }
+
+    fn cost(&self, _e: usize) -> f64 {
+        5.0
+    }
+}
+
+impl Inspectable<f64> for QuadLoop {
+    fn inspect(&self, e: usize) -> AccessTrace {
+        // The connectivity is input-independent, so the trace is
+        // computable without side effects — the "proper inspector" the
+        // paper's SPICE loops lack.
+        let c = self.conn[e];
+        AccessTrace {
+            reads: c
+                .iter()
+                .map(|&n| (COORD, n as usize))
+                .chain(std::iter::once((STATE, e)))
+                .collect(),
+            writes: std::iter::once((STATE, e))
+                .chain((0..NSTR).map(|k| (STRESS, e * NSTR + k)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlrpd_core::{
+        run_inspector_executor, run_sequential, run_speculative, CostModel, ExecMode,
+        RunConfig, Strategy,
+    };
+
+    #[test]
+    fn quad_loop_is_fully_parallel_one_stage() {
+        let lp = QuadLoop::new(500, 200, 1);
+        for strat in [Strategy::Nrd, Strategy::Rd] {
+            let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(strat));
+            assert_eq!(spec.report.stages.len(), 1, "the R-LRPD test has only one stage");
+            assert_eq!(spec.report.pr(), 1.0);
+            let (seq, _) = run_sequential(&lp);
+            assert_eq!(spec.array("STRESS"), seq[1].1.as_slice());
+            assert_eq!(spec.array("STATE"), seq[2].1.as_slice());
+        }
+    }
+
+    #[test]
+    fn inspector_executor_agrees_with_speculation() {
+        let lp = QuadLoop::new(300, 100, 2);
+        let insp = run_inspector_executor(&lp, 4, ExecMode::Simulated, CostModel::default());
+        let (seq, _) = run_sequential(&lp);
+        assert_eq!(insp.arrays[1].1, seq[1].1, "STRESS");
+        assert_eq!(insp.arrays[2].1, seq[2].1, "STATE");
+        // Input-independent connectivity: no flow dependences at all.
+        assert!(insp.graph.flow.is_empty());
+        assert_eq!(insp.schedule.depth(), 1, "fully parallel wavefront");
+    }
+
+    #[test]
+    fn mesh_is_deterministic() {
+        let a = QuadLoop::new(100, 50, 7);
+        let b = QuadLoop::new(100, 50, 7);
+        assert_eq!(a.conn, b.conn);
+    }
+}

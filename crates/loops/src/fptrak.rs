@@ -1,0 +1,161 @@
+//! TRACK, loop FPTRAK_300.
+//!
+//! The paper: *"This loop is very similar to, yet simpler than,
+//! EXTEND_400. The array under test is privatized."* The kernel
+//! exercises exactly the speculative-privatization path: every
+//! iteration uses a shared scratch array `WORK` in a write-first
+//! pattern (the `(Write|Read)*` half of the copy-in condition), so all
+//! processors write the same scratch slots — output dependences that
+//! privatization plus last-value commit resolve without any restart —
+//! and posts its result to a per-track slot of `FPT`.
+//!
+//! An input-dependent gate occasionally reads a *neighbouring track's*
+//! result before it was posted, producing the rare short-distance flow
+//! dependences that push PR below 1 on the denser decks (Fig. 11).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlrpd_core::{ArrayDecl, ArrayId, IterCtx, ShadowKind, SpecLoop};
+
+const WORK: ArrayId = ArrayId(0);
+const FPT: ArrayId = ArrayId(1);
+
+/// Scratch slots used (write-first) by every iteration.
+const SCRATCH: usize = 8;
+
+/// An input deck for FPTRAK_300.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FptrakInput {
+    /// Label used in reports.
+    pub name: &'static str,
+    /// Iterations (tracks to file).
+    pub n: usize,
+    /// Probability an iteration reads an earlier track's posted
+    /// result.
+    pub chain_rate: f64,
+    /// Maximum backward distance of such a read.
+    pub max_chain_distance: usize,
+    /// RNG seed standing in for the deck.
+    pub seed: u64,
+}
+
+impl FptrakInput {
+    /// Fully privatizable deck (no cross-track reads): PR = 1.
+    pub fn clean() -> Self {
+        FptrakInput { name: "clean", n: 3000, chain_rate: 0.0, max_chain_distance: 1, seed: 0xF1 }
+    }
+
+    /// Occasional cross-track reads.
+    pub fn chained() -> Self {
+        FptrakInput { name: "chained", n: 3000, chain_rate: 0.004, max_chain_distance: 250, seed: 0xF2 }
+    }
+
+    /// All decks used by the figure benches.
+    pub fn all() -> Vec<FptrakInput> {
+        vec![Self::clean(), Self::chained()]
+    }
+}
+
+/// The FPTRAK_300 kernel.
+#[derive(Clone, Debug)]
+pub struct FptrakLoop {
+    input: FptrakInput,
+    chain: Vec<Option<usize>>,
+    cost: Vec<f64>,
+}
+
+impl FptrakLoop {
+    /// Instantiate the kernel for one input deck.
+    pub fn new(input: FptrakInput) -> Self {
+        let mut rng = StdRng::seed_from_u64(input.seed);
+        let chain = (0..input.n)
+            .map(|i| {
+                if i > 0 && rng.random_bool(input.chain_rate) {
+                    let d = rng.random_range(1..=input.max_chain_distance.min(i));
+                    Some(i - d)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let cost = (0..input.n).map(|_| rng.random_range(1.0..3.0)).collect();
+        FptrakLoop { input, chain, cost }
+    }
+
+    /// The input deck.
+    pub fn input(&self) -> &FptrakInput {
+        &self.input
+    }
+}
+
+impl SpecLoop for FptrakLoop {
+    fn num_iters(&self) -> usize {
+        self.input.n
+    }
+
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        vec![
+            ArrayDecl::tested("WORK", vec![0.0; SCRATCH], ShadowKind::Dense),
+            ArrayDecl::tested("FPT", vec![0.0; self.input.n], ShadowKind::Dense),
+        ]
+    }
+
+    fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
+        // Write-first scratch usage: privatizable on every processor.
+        for k in 0..SCRATCH {
+            ctx.write(WORK, k, (i + k) as f64);
+        }
+        let mut acc = 0.0;
+        for k in 0..SCRATCH {
+            acc += ctx.read(WORK, k); // covered reads: never exposed
+        }
+        // Rare input-dependent chain to an earlier track's result.
+        if let Some(src) = self.chain[i] {
+            acc += ctx.read(FPT, src);
+        }
+        ctx.write(FPT, i, acc);
+    }
+
+    fn cost(&self, i: usize) -> f64 {
+        self.cost[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlrpd_core::{run_sequential, run_speculative, RunConfig, Strategy};
+
+    #[test]
+    fn clean_deck_is_fully_parallel_despite_shared_scratch() {
+        let lp = FptrakLoop::new(FptrakInput::clean());
+        let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
+        assert_eq!(spec.report.stages.len(), 1, "privatization removes all conflicts");
+        assert_eq!(spec.report.pr(), 1.0);
+        let (seq, _) = run_sequential(&lp);
+        assert_eq!(spec.array("FPT"), seq[1].1.as_slice());
+        assert_eq!(spec.array("WORK"), seq[0].1.as_slice(), "last-value commit of scratch");
+    }
+
+    #[test]
+    fn chained_deck_matches_sequential_with_restarts() {
+        let lp = FptrakLoop::new(FptrakInput::chained());
+        let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
+        let (seq, _) = run_sequential(&lp);
+        assert_eq!(spec.array("FPT"), seq[1].1.as_slice());
+        assert!(spec.report.restarts > 0, "chained deck must uncover dependences");
+        assert!(spec.report.pr() < 1.0);
+    }
+
+    #[test]
+    fn chained_deck_arcs_point_at_fpt_not_work() {
+        let lp = FptrakLoop::new(FptrakInput::chained());
+        let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Nrd));
+        assert!(!spec.arcs.is_empty());
+        assert!(
+            spec.arcs.iter().all(|a| a.array == 1),
+            "scratch array must never cause an arc: {:?}",
+            spec.arcs
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! TRACK, loop NLFILT_300.
+//!
+//! The paper: *"The compiler un-analyzable array that can cause
+//! dependences (mostly short distances) is NUSED. Its write reference
+//! is guarded by a loop variant condition."* The loop also carries a
+//! large modified state (per-track filter state), which is why
+//! on-demand checkpointing is its single most important optimization
+//! (Fig. 12a), and its iteration costs are irregular, which is why
+//! feedback-guided load balancing matters.
+//!
+//! The kernel: iteration `i` processes one track/observation pair —
+//!
+//! * reads `NUSED` at a handful of nearby slots (tested array),
+//! * under an input-dependent guard, *writes* `NUSED` at a slot a short
+//!   distance ahead of a later iteration's read — the short-distance
+//!   flow dependences the paper describes,
+//! * updates its own rows of the big filter `STATE` (untested,
+//!   checkpointed),
+//! * costs a track-dependent amount of work (heavy tails for FGLB).
+//!
+//! Input decks are modeled by [`NlfiltInput`]: the paper's "16-400" /
+//! "15-250" labels become (tracks, iterations, guard rate, dependence
+//! distance) tuples with seeded deterministic guard decisions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlrpd_core::{ArrayDecl, ArrayId, IterCtx, ShadowKind, SpecLoop};
+
+const NUSED: ArrayId = ArrayId(0);
+const STATE: ArrayId = ArrayId(1);
+
+/// Width of one iteration's STATE stripe.
+const STATE_STRIDE: usize = 16;
+
+/// An input deck for NLFILT_300.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NlfiltInput {
+    /// Label used in reports ("16-400" etc.).
+    pub name: &'static str,
+    /// Iterations of the loop (observations × tracks).
+    pub n: usize,
+    /// Size of the NUSED array (number of track slots).
+    pub slots: usize,
+    /// Probability that an iteration's guarded NUSED write fires.
+    pub write_rate: f64,
+    /// Maximum forward distance (in iterations) at which a guarded
+    /// write collides with a later read — "mostly short distances".
+    pub max_distance: usize,
+    /// RNG seed standing in for the rest of the deck.
+    pub seed: u64,
+}
+
+impl NlfiltInput {
+    /// The paper's largest input: many tracks, moderately frequent
+    /// guarded writes.
+    pub fn i16_400() -> Self {
+        NlfiltInput {
+            name: "16-400",
+            n: 6400,
+            slots: 6400,
+            write_rate: 0.012,
+            max_distance: 24,
+            seed: 0x16_0400,
+        }
+    }
+
+    /// The paper's second input: fewer tracks, denser dependences.
+    pub fn i15_250() -> Self {
+        NlfiltInput {
+            name: "15-250",
+            n: 3750,
+            slots: 3750,
+            write_rate: 0.010,
+            max_distance: 50,
+            seed: 0x15_0250,
+        }
+    }
+
+    /// A small, mostly parallel deck.
+    pub fn i8_100() -> Self {
+        NlfiltInput {
+            name: "8-100",
+            n: 800,
+            slots: 800,
+            write_rate: 0.004,
+            max_distance: 12,
+            seed: 0x08_0100,
+        }
+    }
+
+    /// A dense, heavily dependent deck.
+    pub fn i4_50() -> Self {
+        NlfiltInput {
+            name: "4-50",
+            n: 200,
+            slots: 200,
+            write_rate: 0.05,
+            max_distance: 20,
+            seed: 0x04_0050,
+        }
+    }
+
+    /// All decks used by the figure benches.
+    pub fn all() -> Vec<NlfiltInput> {
+        vec![Self::i16_400(), Self::i15_250(), Self::i8_100(), Self::i4_50()]
+    }
+}
+
+/// One iteration's precomputed reference plan (the deck decides it; the
+/// body replays it deterministically).
+#[derive(Clone, Debug)]
+struct IterPlan {
+    /// NUSED slots read by the filter update.
+    reads: Vec<usize>,
+    /// Guarded NUSED write target, when the guard fires.
+    write: Option<usize>,
+    /// Work of this iteration (irregular; heavy when the track gate
+    /// opens).
+    cost: f64,
+}
+
+/// The NLFILT_300 kernel.
+#[derive(Clone, Debug)]
+pub struct NlfiltLoop {
+    input: NlfiltInput,
+    plans: Vec<IterPlan>,
+    state_size: usize,
+}
+
+impl NlfiltLoop {
+    /// Instantiate the kernel for one input deck.
+    pub fn new(input: NlfiltInput) -> Self {
+        let mut rng = StdRng::seed_from_u64(input.seed);
+        let slot_of = |i: usize, slots: usize| i % slots;
+        let plans = (0..input.n)
+            .map(|i| {
+                let base = slot_of(i, input.slots);
+                // The filter reads its own slot and two neighbours.
+                let reads = vec![
+                    base,
+                    (base + 1) % input.slots,
+                    (base + input.slots - 1) % input.slots,
+                ];
+                // Guarded write: fires rarely, targets the slot a later
+                // iteration (i + d) will read as ITS base slot — a
+                // short-distance cross-iteration flow dependence.
+                let write = if rng.random_bool(input.write_rate) {
+                    let d = rng.random_range(1..=input.max_distance);
+                    if i + d < input.n {
+                        Some(slot_of(i + d, input.slots))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                // Irregular work: most iterations are cheap, some open
+                // the full nonlinear-filter gate.
+                let cost = if rng.random_bool(0.2) {
+                    rng.random_range(4.0..12.0)
+                } else {
+                    rng.random_range(0.5..2.0)
+                };
+                IterPlan { reads, write, cost }
+            })
+            .collect();
+        NlfiltLoop {
+            input,
+            plans,
+            state_size: input.n * STATE_STRIDE,
+        }
+    }
+
+    /// The input deck.
+    pub fn input(&self) -> &NlfiltInput {
+        &self.input
+    }
+
+    /// Number of planted guarded writes (diagnostics).
+    pub fn num_guarded_writes(&self) -> usize {
+        self.plans.iter().filter(|p| p.write.is_some()).count()
+    }
+}
+
+impl SpecLoop for NlfiltLoop {
+    fn num_iters(&self) -> usize {
+        self.input.n
+    }
+
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        vec![
+            ArrayDecl::tested("NUSED", vec![1.0; self.input.slots], ShadowKind::Dense),
+            // The big modified filter state: statically analyzable
+            // (iteration i owns stripe i) but needing checkpoints.
+            ArrayDecl::untested("STATE", vec![0.0; self.state_size]),
+        ]
+    }
+
+    fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
+        let plan = &self.plans[i];
+        let mut acc = 0.0;
+        for &r in &plan.reads {
+            acc += ctx.read(NUSED, r);
+        }
+        if let Some(w) = plan.write {
+            // The loop-variant guard fired: extend/overwrite the slot.
+            ctx.write(NUSED, w, acc * 0.5 + i as f64);
+        }
+        // Update this iteration's stripe of the filter state.
+        let base = i * STATE_STRIDE;
+        for k in 0..STATE_STRIDE {
+            let old = ctx.read(STATE, base + k);
+            ctx.write(STATE, base + k, old + acc + k as f64);
+        }
+    }
+
+    fn cost(&self, i: usize) -> f64 {
+        self.plans[i].cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlrpd_core::{
+        run_sequential, run_speculative, CheckpointPolicy, RunConfig, Strategy,
+    };
+
+    #[test]
+    fn decks_are_deterministic() {
+        let a = NlfiltLoop::new(NlfiltInput::i15_250());
+        let b = NlfiltLoop::new(NlfiltInput::i15_250());
+        assert_eq!(a.num_guarded_writes(), b.num_guarded_writes());
+    }
+
+    #[test]
+    fn all_decks_have_guarded_writes() {
+        for input in NlfiltInput::all() {
+            let lp = NlfiltLoop::new(input);
+            assert!(lp.num_guarded_writes() > 0, "{} has no dependences", input.name);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_under_both_checkpoint_policies() {
+        let lp = NlfiltLoop::new(NlfiltInput::i4_50());
+        let (seq, _) = run_sequential(&lp);
+        for ckpt in [CheckpointPolicy::OnDemand, CheckpointPolicy::Eager] {
+            let spec = run_speculative(
+                &lp,
+                RunConfig::new(4).with_strategy(Strategy::Rd).with_checkpoint(ckpt),
+            );
+            assert_eq!(spec.array("NUSED"), seq[0].1.as_slice(), "{ckpt:?}");
+            assert_eq!(spec.array("STATE"), seq[1].1.as_slice(), "{ckpt:?}");
+        }
+    }
+
+    #[test]
+    fn dense_deck_restarts_more_than_sparse_deck() {
+        let sparse = run_speculative(
+            &NlfiltLoop::new(NlfiltInput::i8_100()),
+            RunConfig::new(8).with_strategy(Strategy::Rd),
+        );
+        let dense = run_speculative(
+            &NlfiltLoop::new(NlfiltInput::i4_50()),
+            RunConfig::new(8).with_strategy(Strategy::Rd),
+        );
+        assert!(
+            dense.report.restarts >= sparse.report.restarts,
+            "dense {} vs sparse {}",
+            dense.report.restarts,
+            sparse.report.restarts
+        );
+    }
+
+    #[test]
+    fn pr_degrades_with_processor_count() {
+        // Only inter-processor dependences trigger restarts, so more
+        // processors can only uncover more of them (Fig. 7a's shape).
+        let lp = NlfiltLoop::new(NlfiltInput::i15_250());
+        let pr_at = |p| {
+            run_speculative(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd)).report.pr()
+        };
+        let pr2 = pr_at(2);
+        let pr16 = pr_at(16);
+        assert!(pr16 <= pr2, "PR(16)={pr16} should not exceed PR(2)={pr2}");
+    }
+}

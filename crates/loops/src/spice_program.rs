@@ -1,0 +1,195 @@
+//! The SPICE analysis harness: Newton iterations over one circuit,
+//! amortizing the DDG extraction.
+//!
+//! SPICE re-solves the same sparse system every Newton iteration of
+//! every timepoint: the circuit *topology* — and therefore DCDCMP's
+//! dependence structure — is fixed, only the numeric values change.
+//! That is exactly why the paper extracts the DDG **once** with the
+//! sparse sliding-window R-LRPD test and generates a wavefront schedule
+//! "which can then be reused throughout the remainder of the program
+//! execution". This harness reproduces the workflow:
+//!
+//! * iteration 0 pays the speculative extraction (and is itself a
+//!   correct execution of the loop);
+//! * iterations 1..N replay the cached [`WavefrontSchedule`];
+//! * BJT model evaluation (speculative sparse reductions) and the
+//!   premature-exit check loop run every iteration;
+//! * the report separates the one-time extraction cost from the
+//!   steady-state per-iteration time, showing the amortization.
+
+use crate::spice::{BjtLoop, Dcdcmp15Loop, Dcdcmp70Loop};
+use rlrpd_core::{
+    execute_wavefronts, extract_ddg, run_speculative, CostModel, ExecMode, RunConfig,
+    Strategy, WavefrontSchedule, WindowConfig,
+};
+
+/// One circuit's analysis state with the cached wavefront schedule.
+pub struct SpiceProgram {
+    lu: Dcdcmp15Loop,
+    bjt: BjtLoop,
+    check: Dcdcmp70Loop,
+    /// Extracted on the first Newton iteration, reused afterwards.
+    schedule: Option<WavefrontSchedule>,
+}
+
+/// Per-iteration timing split.
+#[derive(Clone, Debug)]
+pub struct NewtonReport {
+    /// Virtual time of the one-time DDG extraction (iteration 0 only).
+    pub extraction_time: f64,
+    /// Virtual time of one steady-state Newton iteration (LU wavefront
+    /// + BJT + check loop).
+    pub steady_state_time: f64,
+    /// Sequential virtual work of one Newton iteration.
+    pub sequential_work: f64,
+    /// Newton iterations executed.
+    pub iterations: usize,
+    /// Flow critical path of the extracted DDG.
+    pub critical_path: usize,
+}
+
+impl NewtonReport {
+    /// Steady-state speedup (schedule cost amortized away).
+    pub fn steady_state_speedup(&self) -> f64 {
+        self.sequential_work / self.steady_state_time
+    }
+
+    /// End-to-end speedup including the one-time extraction.
+    pub fn total_speedup(&self) -> f64 {
+        let total = self.extraction_time + self.steady_state_time * self.iterations as f64;
+        (self.sequential_work * self.iterations as f64) / total
+    }
+}
+
+impl SpiceProgram {
+    /// A small synthetic circuit (for tests and quick runs).
+    pub fn small(seed: u64) -> Self {
+        SpiceProgram {
+            lu: Dcdcmp15Loop::small(seed),
+            bjt: BjtLoop::new(400, 64, seed),
+            check: Dcdcmp70Loop::new(600, 599),
+            schedule: None,
+        }
+    }
+
+    /// The adder.128-shaped deck (14337 unknowns, CP 334).
+    pub fn adder128() -> Self {
+        SpiceProgram {
+            lu: Dcdcmp15Loop::adder128(),
+            bjt: BjtLoop::adder128(),
+            check: Dcdcmp70Loop::new(12000, 11999),
+            schedule: None,
+        }
+    }
+
+    /// Run `iterations` Newton iterations on `p` processors.
+    pub fn run(&mut self, iterations: usize, p: usize, cost: CostModel) -> NewtonReport {
+        assert!(iterations >= 1);
+        let cfg = RunConfig::new(p).with_cost(cost);
+
+        // One-time: extract the DDG speculatively (a correct execution)
+        // and build the reusable schedule.
+        let mut extraction_time = 0.0;
+        if self.schedule.is_none() {
+            let ddg = extract_ddg(&self.lu, &cfg, WindowConfig::fixed(64));
+            extraction_time = ddg.run.report.virtual_time();
+            self.schedule = Some(WavefrontSchedule::from_graph(&ddg.graph));
+        }
+        let schedule = self.schedule.as_ref().expect("cached above");
+
+        // Steady state: wavefront LU + speculative BJT + check loop.
+        let (_, lu_report) =
+            execute_wavefronts(&self.lu, schedule, p, ExecMode::Simulated, cost);
+        let bjt = run_speculative(
+            &self.bjt,
+            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+        );
+        let check = run_speculative(
+            &self.check,
+            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+        );
+
+        NewtonReport {
+            extraction_time,
+            steady_state_time: lu_report.virtual_time
+                + bjt.report.virtual_time()
+                + check.report.virtual_time(),
+            sequential_work: lu_report.sequential_work
+                + bjt.report.sequential_work
+                + check.report.sequential_work,
+            iterations,
+            critical_path: schedule.depth(),
+        }
+    }
+
+    /// The cached schedule, if extracted (e.g. to persist with
+    /// [`WavefrontSchedule::to_bytes`]).
+    pub fn schedule(&self) -> Option<&WavefrontSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// Install a previously persisted schedule, skipping extraction.
+    ///
+    /// # Panics
+    /// Panics if the schedule does not cover the LU loop.
+    pub fn install_schedule(&mut self, schedule: WavefrontSchedule) {
+        use rlrpd_core::SpecLoop;
+        assert_eq!(schedule.num_iters(), self.lu.num_iters(), "schedule/deck mismatch");
+        self.schedule = Some(schedule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_happens_once_and_amortizes() {
+        let mut prog = SpiceProgram::small(5);
+        let first = prog.run(10, 8, CostModel::default());
+        assert!(first.extraction_time > 0.0);
+        assert!(
+            first.total_speedup() < first.steady_state_speedup(),
+            "extraction must cost something"
+        );
+        // Second call reuses the cached schedule: no extraction cost.
+        let second = prog.run(10, 8, CostModel::default());
+        assert_eq!(second.extraction_time, 0.0);
+        assert_eq!(second.steady_state_time, first.steady_state_time);
+    }
+
+    #[test]
+    fn amortization_improves_with_iteration_count() {
+        let report = |iters| {
+            let mut prog = SpiceProgram::small(5);
+            prog.run(iters, 8, CostModel::default()).total_speedup()
+        };
+        let short = report(1);
+        let long = report(50);
+        assert!(long > short, "more Newton iterations amortize the extraction: {short} vs {long}");
+    }
+
+    #[test]
+    fn persisted_schedule_round_trips_through_install() {
+        let mut a = SpiceProgram::small(9);
+        let r1 = a.run(2, 4, CostModel::default());
+        let bytes = a.schedule().unwrap().to_bytes();
+
+        let mut b = SpiceProgram::small(9);
+        b.install_schedule(WavefrontSchedule::from_bytes(&bytes).unwrap());
+        let r2 = b.run(2, 4, CostModel::default());
+        assert_eq!(r2.extraction_time, 0.0, "no extraction with an installed schedule");
+        assert_eq!(r1.steady_state_time, r2.steady_state_time);
+        assert_eq!(r1.critical_path, r2.critical_path);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule/deck mismatch")]
+    fn mismatched_schedule_is_rejected() {
+        let mut a = SpiceProgram::small(9);
+        a.run(1, 4, CostModel::default());
+        let bytes = a.schedule().unwrap().to_bytes();
+        let mut other = SpiceProgram::adder128();
+        other.install_schedule(WavefrontSchedule::from_bytes(&bytes).unwrap());
+    }
+}

@@ -1,0 +1,329 @@
+//! Synthetic loops with engineered dependence structure.
+//!
+//! These drive the analytical-model validation (the paper's Fig. 4 runs
+//! a synthetic α = 1/2 loop on 8 processors), the strategy/window
+//! benches, and the property tests. Each loop writes `A[i]` at every
+//! iteration and plants *flow-dependence sinks* — iterations that first
+//! read an element a strictly earlier iteration wrote — at engineered
+//! positions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlrpd_core::{ArrayDecl, ArrayId, IterCtx, ShadowKind, SpecLoop};
+
+const A: ArrayId = ArrayId(0);
+
+fn decls(n: usize) -> Vec<ArrayDecl<f64>> {
+    vec![ArrayDecl::tested("A", vec![0.0; n], ShadowKind::Dense)]
+}
+
+/// Body shared by the planted-sink loops: every iteration writes its
+/// own element; sink iterations first read the element their source
+/// wrote.
+fn planted_body(i: usize, src_of: Option<usize>, ctx: &mut IterCtx<'_, f64>) {
+    let v = match src_of {
+        Some(src) => ctx.read(A, src) + 1.0,
+        None => i as f64,
+    };
+    ctx.write(A, i, v);
+}
+
+/// A geometric (α) loop: under redistribution into even blocks, each
+/// speculative stage completes a fraction `1 − α` of the *remaining*
+/// iterations.
+///
+/// Construction: dependence sinks at `s_j = ⌈n·(1 − α^j)⌉`, each
+/// reading the element written by iteration `s_j − 1`. Stage `j`'s
+/// earliest sink is `s_j`, so the remainder after stage `j` is
+/// `n − s_j = n·α^j`.
+#[derive(Clone, Debug)]
+pub struct AlphaLoop {
+    n: usize,
+    omega: f64,
+    /// `src_of[i]` = the source iteration sink `i` reads from.
+    src_of: Vec<Option<usize>>,
+    /// The planted sink positions, ascending.
+    pub sinks: Vec<usize>,
+}
+
+impl AlphaLoop {
+    /// An α-loop of `n` iterations with `omega` work per iteration.
+    pub fn new(n: usize, alpha: f64, omega: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha));
+        let mut src_of = vec![None; n];
+        let mut sinks = Vec::new();
+        if alpha > 0.0 {
+            let mut frac = 1.0;
+            loop {
+                frac *= alpha;
+                let s = ((n as f64) * (1.0 - frac)).ceil() as usize;
+                if s == 0 || s >= n {
+                    break;
+                }
+                if src_of[s].is_none() {
+                    src_of[s] = Some(s - 1);
+                    sinks.push(s);
+                }
+            }
+        }
+        AlphaLoop { n, omega, src_of, sinks }
+    }
+}
+
+impl SpecLoop for AlphaLoop {
+    fn num_iters(&self) -> usize {
+        self.n
+    }
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        decls(self.n)
+    }
+    fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
+        planted_body(i, self.src_of[i], ctx);
+    }
+    fn cost(&self, _i: usize) -> f64 {
+        self.omega
+    }
+}
+
+/// A linear (β) loop: a constant fraction `1 − β` of the *original*
+/// iterations completes per NRD stage — i.e. a constant number of
+/// processors succeeds each time.
+///
+/// Construction for `p` processors with `c` blocks completing per
+/// stage: every `c`-th block boundary is a sink reading the previous
+/// iteration. β = (p − c)/p.
+#[derive(Clone, Debug)]
+pub struct BetaLoop {
+    n: usize,
+    omega: f64,
+    src_of: Vec<Option<usize>>,
+}
+
+impl BetaLoop {
+    /// A β-loop for `p` even blocks with `blocks_per_stage` of them
+    /// completing per stage.
+    pub fn new(n: usize, p: usize, blocks_per_stage: usize, omega: f64) -> Self {
+        assert!(p > 0 && blocks_per_stage > 0);
+        let mut src_of = vec![None; n];
+        let base = n / p;
+        let extra = n % p;
+        let block_start = |k: usize| k * base + k.min(extra);
+        let mut k = blocks_per_stage;
+        while k < p {
+            let s = block_start(k);
+            if s > 0 && s < n {
+                src_of[s] = Some(s - 1);
+            }
+            k += blocks_per_stage;
+        }
+        BetaLoop { n, omega, src_of }
+    }
+}
+
+impl SpecLoop for BetaLoop {
+    fn num_iters(&self) -> usize {
+        self.n
+    }
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        decls(self.n)
+    }
+    fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
+        planted_body(i, self.src_of[i], ctx);
+    }
+    fn cost(&self, _i: usize) -> f64 {
+        self.omega
+    }
+}
+
+/// A fully parallel loop (β = 0): disjoint writes, reads of the
+/// read-only initial state only. One speculative stage, PR = 1.
+#[derive(Clone, Debug)]
+pub struct FullyParallelLoop {
+    n: usize,
+    omega: f64,
+}
+
+impl FullyParallelLoop {
+    /// `n` iterations of `omega` work each.
+    pub fn new(n: usize, omega: f64) -> Self {
+        FullyParallelLoop { n, omega }
+    }
+}
+
+impl SpecLoop for FullyParallelLoop {
+    fn num_iters(&self) -> usize {
+        self.n
+    }
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        decls(self.n)
+    }
+    fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
+        planted_body(i, None, ctx);
+    }
+    fn cost(&self, _i: usize) -> f64 {
+        self.omega
+    }
+}
+
+/// A fully sequential chain: every iteration reads its predecessor's
+/// element. Under NRD exactly one block completes per stage (the
+/// paper's worst case: sequential time plus test overhead).
+#[derive(Clone, Debug)]
+pub struct SequentialChainLoop {
+    n: usize,
+    omega: f64,
+}
+
+impl SequentialChainLoop {
+    /// `n` chained iterations of `omega` work each.
+    pub fn new(n: usize, omega: f64) -> Self {
+        SequentialChainLoop { n, omega }
+    }
+}
+
+impl SpecLoop for SequentialChainLoop {
+    fn num_iters(&self) -> usize {
+        self.n
+    }
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        decls(self.n)
+    }
+    fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
+        planted_body(i, if i > 0 { Some(i - 1) } else { None }, ctx);
+    }
+    fn cost(&self, _i: usize) -> f64 {
+        self.omega
+    }
+}
+
+/// A loop with randomly planted flow dependences of bounded distance —
+/// the knob set that stands in for "input decks" in the window-size
+/// studies, and the fuzz target of the property tests.
+#[derive(Clone, Debug)]
+pub struct RandomDepLoop {
+    n: usize,
+    omega: f64,
+    src_of: Vec<Option<usize>>,
+}
+
+impl RandomDepLoop {
+    /// `n` iterations; each becomes a sink with probability `density`,
+    /// reading a source `1..=max_distance` iterations back. Fully
+    /// deterministic in `seed`.
+    pub fn new(n: usize, density: f64, max_distance: usize, seed: u64, omega: f64) -> Self {
+        assert!((0.0..=1.0).contains(&density));
+        assert!(max_distance >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src_of = (0..n)
+            .map(|i| {
+                if i > 0 && rng.random_bool(density) {
+                    let d = rng.random_range(1..=max_distance.min(i));
+                    Some(i - d)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        RandomDepLoop { n, omega, src_of }
+    }
+
+    /// The planted `(src, sink)` pairs, ascending by sink.
+    pub fn planted_deps(&self) -> Vec<(usize, usize)> {
+        self.src_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|src| (src, i)))
+            .collect()
+    }
+}
+
+impl SpecLoop for RandomDepLoop {
+    fn num_iters(&self) -> usize {
+        self.n
+    }
+    fn arrays(&self) -> Vec<ArrayDecl<f64>> {
+        decls(self.n)
+    }
+    fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
+        planted_body(i, self.src_of[i], ctx);
+    }
+    fn cost(&self, _i: usize) -> f64 {
+        self.omega
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlrpd_core::{run_sequential, run_speculative, RunConfig, Strategy};
+
+    fn check_matches_sequential(lp: &dyn SpecLoop, cfg: RunConfig) -> rlrpd_core::RunReport {
+        let spec = run_speculative(lp, cfg);
+        let (seq, _) = run_sequential(lp);
+        assert_eq!(spec.array("A"), &seq[0].1[..], "speculative result must equal sequential");
+        spec.report
+    }
+
+    #[test]
+    fn alpha_loop_halves_remaining_per_stage() {
+        let lp = AlphaLoop::new(1024, 0.5, 1.0);
+        assert_eq!(lp.sinks, vec![512, 768, 896, 960, 992, 1008, 1016, 1020, 1022, 1023]);
+        let report = check_matches_sequential(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
+        // Remaining sequence 1024, 512, 256 ... : sinks past the point
+        // where a block holds a single iteration stop failing.
+        assert!(report.restarts >= 3, "restarts = {}", report.restarts);
+    }
+
+    #[test]
+    fn beta_loop_completes_fixed_blocks_per_stage_under_nrd() {
+        let p = 8;
+        let lp = BetaLoop::new(800, p, 2, 1.0);
+        let report =
+            check_matches_sequential(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
+        // 2 of 8 blocks complete per stage -> 4 stages, 3 restarts.
+        assert_eq!(report.stages.len(), 4);
+        assert_eq!(report.restarts, 3);
+    }
+
+    #[test]
+    fn fully_parallel_loop_runs_in_one_stage() {
+        let lp = FullyParallelLoop::new(256, 1.0);
+        for strat in [Strategy::Nrd, Strategy::Rd] {
+            let report = check_matches_sequential(&lp, RunConfig::new(8).with_strategy(strat));
+            assert_eq!(report.stages.len(), 1);
+            assert_eq!(report.pr(), 1.0);
+        }
+    }
+
+    #[test]
+    fn sequential_chain_takes_p_stages_under_nrd() {
+        let p = 4;
+        let lp = SequentialChainLoop::new(64, 1.0);
+        let report =
+            check_matches_sequential(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
+        assert_eq!(report.stages.len(), p, "one block commits per stage");
+        assert_eq!(report.restarts, p - 1);
+    }
+
+    #[test]
+    fn random_loop_is_deterministic_in_seed() {
+        let a = RandomDepLoop::new(200, 0.1, 10, 42, 1.0);
+        let b = RandomDepLoop::new(200, 0.1, 10, 42, 1.0);
+        assert_eq!(a.planted_deps(), b.planted_deps());
+        let c = RandomDepLoop::new(200, 0.1, 10, 43, 1.0);
+        assert_ne!(a.planted_deps(), c.planted_deps());
+    }
+
+    #[test]
+    fn random_loop_correct_under_every_strategy() {
+        use rlrpd_core::WindowConfig;
+        let lp = RandomDepLoop::new(300, 0.05, 20, 7, 1.0);
+        for strat in [
+            Strategy::Nrd,
+            Strategy::Rd,
+            Strategy::SlidingWindow(WindowConfig::fixed(8)),
+        ] {
+            check_matches_sequential(&lp, RunConfig::new(4).with_strategy(strat));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Closed-form expressions of Section 4.
+//!
+//! Conventions: stage counts are returned as real numbers (the paper
+//! manipulates them symbolically); callers round up when they need a
+//! discrete stage count. All times are in the same virtual unit as `ω`.
+
+use crate::params::ModelParams;
+
+/// `k_s` for a geometric (α) loop without redistribution (NRD):
+/// re-execution stops once the remaining work fits one processor's
+/// block, `n·α^{k} = n/p`, so `k_s = log_{1/α} p`.
+///
+/// Edge cases: `α = 0` (fully parallel) gives 1 stage; `p = 1` gives 1.
+pub fn k_s_geometric(alpha: f64, p: usize) -> f64 {
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0,1)");
+    assert!(p >= 1);
+    if alpha == 0.0 || p == 1 {
+        return 1.0;
+    }
+    ((p as f64).ln() / (1.0 / alpha).ln()).max(1.0)
+}
+
+/// `k_s` for a linear (β) loop: a constant fraction `1 − β` of the
+/// original iterations completes per stage, so `k_s = 1/(1 − β)`.
+pub fn k_s_linear(beta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&beta), "beta must be in [0,1)");
+    1.0 / (1.0 - beta)
+}
+
+/// `k_s` for any [`crate::params::LoopClass`].
+pub fn k_s(class: crate::params::LoopClass, p: usize) -> f64 {
+    match class {
+        crate::params::LoopClass::Geometric { alpha } => k_s_geometric(alpha, p),
+        crate::params::LoopClass::Linear { beta } => k_s_linear(beta),
+    }
+}
+
+/// Eq. 1 — NRD total time. Without redistribution every stage re-runs
+/// blocks of the original size `n/p`, so
+/// `T_static(n) = k_s · (n·ω/p + s)`.
+///
+/// Checks out against the paper's examples: a fully parallel loop
+/// (`k_s = 1`) costs `n·ω/p + s`; a sequential loop on `p` processors
+/// (`k_s = p`) costs `n·ω + p·s`.
+pub fn t_static(m: &ModelParams, k_s: f64) -> f64 {
+    k_s * (m.n as f64 * m.omega / m.p as f64 + m.sync)
+}
+
+/// Eq. 4 — the run-time redistribution condition: keep redistributing
+/// while the remaining iteration count satisfies
+/// `n_k ≥ p·s / (ω − ℓ)`. Never pays when `ω ≤ ℓ`.
+pub fn redistribution_pays(m: &ModelParams, remaining: usize) -> bool {
+    if m.omega <= m.ell {
+        return false;
+    }
+    remaining as f64 >= m.p as f64 * m.sync / (m.omega - m.ell)
+}
+
+/// Eq. 7 — the number of redistributing stages for a geometric loop:
+/// solve `n·α^{k_d} = p·s/(ω − ℓ)` for `k_d`, clamped to `≥ 0`.
+pub fn k_d_geometric(m: &ModelParams, alpha: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha));
+    if m.omega <= m.ell {
+        return 0.0; // redistribution never pays (Eq. 4 vacuous)
+    }
+    if alpha == 0.0 {
+        return 0.0; // loop completes in the initial stage
+    }
+    let cutoff = m.p as f64 * m.sync / (m.omega - m.ell);
+    let ratio = cutoff / m.n as f64;
+    if ratio >= 1.0 {
+        return 0.0;
+    }
+    // log_alpha(ratio) with 0 < alpha < 1 and 0 < ratio < 1 is positive.
+    ratio.ln() / alpha.ln()
+}
+
+/// Eq. 2–3 — time of the first `k_d` (redistributing) stages of a
+/// geometric loop: `Σ_{i=0}^{k_d} (n_i·(ω+ℓ)/p + s)` with `n_i = n·α^i`.
+/// The initial stage pays no redistribution (matching the paper's Fig. 4
+/// setup), so `ℓ` is charged from stage 1 on.
+pub fn t_dyn_geometric(m: &ModelParams, alpha: f64, k_d: f64) -> f64 {
+    let stages = k_d.ceil().max(0.0) as usize;
+    let mut t = 0.0;
+    let mut n_i = m.n as f64;
+    for i in 0..=stages {
+        let ell = if i == 0 { 0.0 } else { m.ell };
+        t += n_i * (m.omega + ell) / m.p as f64 + m.sync;
+        n_i *= alpha;
+    }
+    t
+}
+
+/// Eq. 5–6 — total predicted time of the adaptive strategy on a
+/// geometric loop: redistribute for `k_d` stages (Eq. 7), then fall back
+/// to NRD from `n' = n·α^{k_d}` iterations:
+/// `T(n) = T_dyn(n) + n_{k_d}·ω·k_s/p + k_s·s`.
+pub fn t_total_geometric(m: &ModelParams, alpha: f64) -> f64 {
+    let k_d = k_d_geometric(m, alpha);
+    let t_dyn = t_dyn_geometric(m, alpha, k_d);
+    let n_kd = m.n as f64 * alpha.powf(k_d.ceil());
+    if n_kd < 1.0 {
+        return t_dyn;
+    }
+    let k_s = k_s_geometric(alpha, m.p).ceil();
+    t_dyn + n_kd * m.omega * k_s / m.p as f64 + k_s * m.sync
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams { n: 1024, p: 8, omega: 100.0, ell: 5.0, sync: 20.0 }
+    }
+
+    #[test]
+    fn k_s_geometric_matches_paper_example() {
+        // Paper: "if α = 1/2, then k_s = log_2 p".
+        assert!((k_s_geometric(0.5, 8) - 3.0).abs() < 1e-12);
+        assert!((k_s_geometric(0.5, 16) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_s_geometric_edge_cases() {
+        assert_eq!(k_s_geometric(0.0, 8), 1.0);
+        assert_eq!(k_s_geometric(0.5, 1), 1.0);
+    }
+
+    #[test]
+    fn k_s_linear_matches_paper_examples() {
+        // Fully parallel: β = 0 ⇒ k_s = 1.
+        assert_eq!(k_s_linear(0.0), 1.0);
+        // Sequential on p processors: β = (p−1)/p ⇒ k_s = p.
+        assert!((k_s_linear(0.75) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_static_matches_paper_limits() {
+        let m = params();
+        // Fully parallel: T = nω/p + s.
+        let t_par = t_static(&m, 1.0);
+        assert!((t_par - (1024.0 * 100.0 / 8.0 + 20.0)).abs() < 1e-9);
+        // Sequential: k_s = p ⇒ T = nω + p·s.
+        let t_seq = t_static(&m, m.p as f64);
+        assert!((t_seq - (1024.0 * 100.0 + 8.0 * 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq4_threshold_is_ps_over_omega_minus_ell() {
+        let m = ModelParams { n: 0, p: 8, omega: 10.0, ell: 2.0, sync: 16.0 };
+        // threshold = 8·16/8 = 16
+        assert!(redistribution_pays(&m, 16));
+        assert!(!redistribution_pays(&m, 15));
+    }
+
+    #[test]
+    fn eq4_never_pays_when_moving_costs_more_than_work() {
+        let m = ModelParams { n: 0, p: 8, omega: 2.0, ell: 2.0, sync: 1.0 };
+        assert!(!redistribution_pays(&m, usize::MAX));
+    }
+
+    #[test]
+    fn k_d_solves_eq7() {
+        let m = params();
+        let alpha = 0.5;
+        let k_d = k_d_geometric(&m, alpha);
+        // n·α^{k_d} should equal the Eq. 4 cutoff p·s/(ω−ℓ).
+        let cutoff = m.p as f64 * m.sync / (m.omega - m.ell);
+        let n_kd = m.n as f64 * alpha.powf(k_d);
+        assert!((n_kd - cutoff).abs() < 1e-6, "n_kd={n_kd} cutoff={cutoff}");
+        assert!(k_d > 0.0);
+    }
+
+    #[test]
+    fn k_d_clamps_to_zero_for_tiny_loops() {
+        // Loop so small that redistribution never pays even at stage 0.
+        let m = ModelParams { n: 2, p: 8, omega: 10.0, ell: 2.0, sync: 100.0 };
+        assert_eq!(k_d_geometric(&m, 0.5), 0.0);
+    }
+
+    #[test]
+    fn adaptive_total_beats_pure_nrd_when_redistribution_is_cheap() {
+        let m = params(); // ω ≫ ℓ + s: redistribution pays
+        let alpha = 0.5;
+        let t_adaptive = t_total_geometric(&m, alpha);
+        let t_nrd = t_static(&m, k_s_geometric(alpha, m.p).ceil());
+        assert!(
+            t_adaptive < t_nrd,
+            "adaptive {t_adaptive} should beat NRD {t_nrd} when ω ≫ ℓ+s"
+        );
+    }
+
+    #[test]
+    fn k_s_dispatches_by_class() {
+        use crate::params::LoopClass;
+        assert_eq!(k_s(LoopClass::Geometric { alpha: 0.5 }, 8), k_s_geometric(0.5, 8));
+        assert_eq!(k_s(LoopClass::Linear { beta: 0.75 }, 8), k_s_linear(0.75));
+        assert_eq!(k_s(LoopClass::fully_parallel(), 8), 1.0);
+        assert_eq!(k_s(LoopClass::sequential(8), 8), 8.0);
+    }
+
+    #[test]
+    fn t_dyn_first_stage_pays_no_redistribution() {
+        let m = params();
+        let one_stage = t_dyn_geometric(&m, 0.5, 0.0);
+        assert!((one_stage - (m.n as f64 * m.omega / m.p as f64 + m.sync)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the Section-4 analytical model.
+
+use proptest::prelude::*;
+use rlrpd_model::{
+    k_d_geometric, k_s_geometric, k_s_linear, redistribution_pays, simulate_stages,
+    stage_sim::cumulative, t_static, t_total_geometric, ModelParams, RedistPolicy,
+};
+
+fn params() -> impl Strategy<Value = ModelParams> {
+    (64usize..10_000, 2usize..32, 1.0f64..500.0, 0.0f64..50.0, 0.1f64..200.0).prop_map(
+        |(n, p, omega, ell, sync)| ModelParams { n, p, omega, ell, sync },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// k_s grows with p and shrinks as the loop gets more parallel.
+    #[test]
+    fn k_s_monotonicity(alpha in 0.05f64..0.95, p in 2usize..64) {
+        let k = k_s_geometric(alpha, p);
+        prop_assert!(k >= 1.0);
+        prop_assert!(k_s_geometric(alpha, p * 2) >= k);
+        prop_assert!(k_s_geometric(alpha * 0.5, p) <= k + 1e-9);
+    }
+
+    /// The linear-loop stage count is exactly the reciprocal completed
+    /// fraction.
+    #[test]
+    fn k_s_linear_reciprocal(beta in 0.0f64..0.99) {
+        let k = k_s_linear(beta);
+        prop_assert!((k * (1.0 - beta) - 1.0).abs() < 1e-9);
+    }
+
+    /// Eq. 4 and Eq. 7 agree: k_d redistributing stages leave exactly
+    /// the cutoff where redistribution stops paying.
+    #[test]
+    fn eq4_eq7_consistency(m in params(), alpha in 0.1f64..0.9) {
+        prop_assume!(m.omega > m.ell + 1e-6);
+        let k_d = k_d_geometric(&m, alpha);
+        prop_assert!(k_d >= 0.0);
+        if k_d > 0.0 {
+            // Just above k_d stages, the remainder is at the cutoff.
+            let n_kd = m.n as f64 * alpha.powf(k_d);
+            let cutoff = m.p as f64 * m.sync / (m.omega - m.ell);
+            prop_assert!((n_kd - cutoff).abs() / cutoff.max(1.0) < 1e-6);
+            // One stage earlier, redistribution still pays.
+            let before = (m.n as f64 * alpha.powf((k_d - 1.0).max(0.0))).ceil() as usize;
+            prop_assert!(redistribution_pays(&m, before));
+        }
+    }
+
+    /// Every policy's simulation terminates, makes monotone progress,
+    /// and its cumulative series is nondecreasing.
+    #[test]
+    fn simulations_terminate_and_are_monotone(
+        m in params(),
+        alpha in 0.0f64..0.9,
+        policy in prop_oneof![
+            Just(RedistPolicy::Never),
+            Just(RedistPolicy::Adaptive),
+            Just(RedistPolicy::Always)
+        ],
+    ) {
+        let stages = simulate_stages(&m, alpha, policy);
+        prop_assert!(!stages.is_empty());
+        for w in stages.windows(2) {
+            prop_assert!(w[1].remaining < w[0].remaining, "remaining must shrink");
+        }
+        let cum = cumulative(&stages);
+        for w in cum.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        // Total time is at least the ideal parallel time of one pass.
+        prop_assert!(*cum.last().unwrap() >= m.n as f64 * m.omega / m.p as f64);
+    }
+
+    /// The adaptive policy follows Eq. 4 exactly: every restart
+    /// redistributes iff the remaining iteration count is at or above
+    /// the cutoff. (Eq. 4 is a heuristic — the paper does not claim it
+    /// dominates both fixed policies in every regime, and it doesn't;
+    /// the Fig. 4 regime where it wins is covered by unit tests.)
+    #[test]
+    fn adaptive_follows_eq4_exactly(m in params(), alpha in 0.0f64..0.9) {
+        let stages = simulate_stages(&m, alpha, RedistPolicy::Adaptive);
+        prop_assert!(!stages[0].redistributed, "initial stage never redistributes");
+        for r in &stages[1..] {
+            prop_assert_eq!(
+                r.redistributed,
+                redistribution_pays(&m, r.remaining),
+                "stage {} with {} remaining",
+                r.stage,
+                r.remaining
+            );
+        }
+    }
+
+    /// In the paper's profitable regime (ω ≫ ℓ + s/p, big loops), the
+    /// adaptive policy beats pure NRD — the claim Fig. 4 makes — in
+    /// both the closed forms and the simulation.
+    /// (The win requires `k_s = log_{1/α} p` comfortably above
+    /// `(1 + ℓ/ω)/(1 − α)` — Fig. 4's p = 8 regime; at p ≤ 4 and
+    /// α ≈ 0.5 NRD legitimately ties, k_s being only 2.)
+    #[test]
+    fn adaptive_beats_nrd_in_the_profitable_regime(
+        n in 2048usize..20_000,
+        p in 8usize..17,
+        alpha in 0.45f64..0.7,
+    ) {
+        let m = ModelParams { n, p, omega: 100.0, ell: 5.0, sync: 20.0 };
+        let total = |policy| {
+            cumulative(&simulate_stages(&m, alpha, policy)).last().copied().unwrap()
+        };
+        prop_assert!(total(RedistPolicy::Adaptive) < total(RedistPolicy::Never));
+        prop_assert!(
+            t_total_geometric(&m, alpha) < t_static(&m, k_s_geometric(alpha, m.p).ceil())
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Stage executors: real threads or a deterministic simulated machine.
+//!
+//! A speculative stage runs one closure per block, each against that
+//! block's private per-processor state. Blocks are independent during a
+//! stage *by construction* (all writes go to privatized storage, the
+//! shared array is read-only), which is exactly what permits the two
+//! interchangeable execution modes:
+//!
+//! * [`ExecMode::Threads`] — one crossbeam scoped thread per block; this
+//!   proves the engine is genuinely parallel and data-race-free and
+//!   provides real wall-clock measurements.
+//! * [`ExecMode::Simulated`] — blocks run sequentially in block order and
+//!   report *virtual* cost; stage time is the max over blocks, as on an
+//!   idealized `p`-processor machine. This is our deterministic
+//!   substitution for the paper's 16-processor HP V2200 (DESIGN.md §2):
+//!   stage structure, commit decisions, and the figures' time series are
+//!   bit-for-bit reproducible on any host.
+//!
+//! Both modes produce identical speculative outcomes; integration tests
+//! assert this.
+
+use crate::cost::Cost;
+
+/// How to run the blocks of one stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecMode {
+    /// One OS thread per block (crossbeam scoped threads).
+    Threads,
+    /// Deterministic sequential emulation with virtual per-block clocks.
+    Simulated,
+}
+
+/// Raw timing of one executed stage, before the driver layers analysis /
+/// commit / restore costs on top.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageTiming {
+    /// Virtual cost accumulated by each block, in block order.
+    pub per_block_cost: Vec<Cost>,
+    /// Wall-clock seconds of the parallel section (0.0 when simulated).
+    pub wall_seconds: f64,
+}
+
+impl StageTiming {
+    /// Virtual critical path of the doall: the maximum block cost.
+    pub fn critical_path(&self) -> Cost {
+        self.per_block_cost.iter().copied().fold(0.0, Cost::max)
+    }
+
+    /// Total useful virtual work across all blocks.
+    pub fn total_work(&self) -> Cost {
+        self.per_block_cost.iter().sum()
+    }
+}
+
+/// Executes the blocks of speculative stages under a chosen [`ExecMode`].
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    mode: ExecMode,
+}
+
+impl Executor {
+    /// Create an executor with the given mode.
+    pub fn new(mode: ExecMode) -> Self {
+        Executor { mode }
+    }
+
+    /// The executor's mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Run one stage: `work(pos, &mut states[pos])` for every block
+    /// position, concurrently under [`ExecMode::Threads`], sequentially
+    /// (but observably identically) under [`ExecMode::Simulated`].
+    ///
+    /// `work` returns the virtual cost the block accumulated.
+    pub fn run_blocks<S, F>(&self, states: &mut [S], work: F) -> StageTiming
+    where
+        S: Send,
+        F: Fn(usize, &mut S) -> Cost + Sync,
+    {
+        match self.mode {
+            ExecMode::Simulated => {
+                let per_block_cost = states
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(pos, s)| work(pos, s))
+                    .collect();
+                StageTiming {
+                    per_block_cost,
+                    wall_seconds: 0.0,
+                }
+            }
+            ExecMode::Threads => {
+                let start = std::time::Instant::now();
+                let work = &work;
+                let mut per_block_cost = vec![0.0; states.len()];
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = states
+                        .iter_mut()
+                        .zip(per_block_cost.iter_mut())
+                        .enumerate()
+                        .map(|(pos, (s, out))| {
+                            scope.spawn(move |_| {
+                                *out = work(pos, s);
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("speculative block panicked");
+                    }
+                })
+                .expect("stage scope failed");
+                StageTiming {
+                    per_block_cost,
+                    wall_seconds: start.elapsed().as_secs_f64(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn modes() -> [Executor; 2] {
+        [Executor::new(ExecMode::Simulated), Executor::new(ExecMode::Threads)]
+    }
+
+    #[test]
+    fn every_block_runs_exactly_once_with_its_state() {
+        for ex in modes() {
+            let mut states: Vec<usize> = vec![0; 6];
+            let calls = AtomicUsize::new(0);
+            let t = ex.run_blocks(&mut states, |pos, s| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                *s = pos + 100;
+                pos as Cost
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 6);
+            assert_eq!(states, vec![100, 101, 102, 103, 104, 105]);
+            assert_eq!(t.per_block_cost, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn critical_path_and_total_work() {
+        let t = StageTiming {
+            per_block_cost: vec![3.0, 7.0, 5.0],
+            wall_seconds: 0.0,
+        };
+        assert_eq!(t.critical_path(), 7.0);
+        assert_eq!(t.total_work(), 15.0);
+    }
+
+    #[test]
+    fn simulated_reports_zero_wall_time() {
+        let ex = Executor::new(ExecMode::Simulated);
+        let mut states = vec![(); 3];
+        let t = ex.run_blocks(&mut states, |_, _| 1.0);
+        assert_eq!(t.wall_seconds, 0.0);
+    }
+
+    #[test]
+    fn threads_mode_actually_reports_wall_time() {
+        let ex = Executor::new(ExecMode::Threads);
+        let mut states = vec![(); 4];
+        let t = ex.run_blocks(&mut states, |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            1.0
+        });
+        assert!(t.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn empty_stage_is_a_noop() {
+        for ex in modes() {
+            let mut states: Vec<u8> = vec![];
+            let t = ex.run_blocks(&mut states, |_, _| 1.0);
+            assert!(t.per_block_cost.is_empty());
+            assert_eq!(t.critical_path(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Prefix sums — sequential and blocked-parallel.
+//!
+//! Two users in this reproduction, both straight from the paper:
+//!
+//! * feedback-guided load balancing (Section 5.1) prefix-sums the
+//!   measured per-iteration times to find perfectly balancing cut points;
+//! * the EXTEND_400 technique (Section 5.2) has every processor compute
+//!   the conditionally incremented induction variable LSTTRK from a zero
+//!   offset and then prefix-sums the per-processor totals to obtain each
+//!   processor's true starting offset for the second doall.
+
+use crate::cost::Cost;
+
+/// Exclusive prefix sum: `out[i] = Σ_{j<i} xs[j]`, with `out.len() ==
+/// xs.len() + 1` so that `out[xs.len()]` is the grand total.
+pub fn exclusive_prefix_sum(xs: &[Cost]) -> Vec<Cost> {
+    let mut out = Vec::with_capacity(xs.len() + 1);
+    let mut acc = 0.0;
+    out.push(0.0);
+    for &x in xs {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// Exclusive prefix sum for integer counts (induction-variable offsets).
+pub fn exclusive_prefix_sum_usize(xs: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(xs.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &x in xs {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// Blocked parallel prefix sum over `xs`, using `p` blocks: each block is
+/// summed independently, block offsets are prefix-summed, then each block
+/// is rescanned with its offset. This is the classic two-pass scheme the
+/// paper's "parallel prefix routine" refers to; we run the passes with
+/// scoped threads.
+///
+/// Returns the *exclusive* prefix (same contract as
+/// [`exclusive_prefix_sum`]).
+pub fn parallel_exclusive_prefix_sum(xs: &[Cost], p: usize) -> Vec<Cost> {
+    assert!(p > 0);
+    let n = xs.len();
+    if n == 0 {
+        return vec![0.0];
+    }
+    let chunk = n.div_ceil(p);
+    let mut block_sums = vec![0.0; xs.chunks(chunk).count()];
+    crossbeam::thread::scope(|scope| {
+        for (sum, block) in block_sums.iter_mut().zip(xs.chunks(chunk)) {
+            scope.spawn(move |_| {
+                *sum = block.iter().sum();
+            });
+        }
+    })
+    .expect("prefix-sum scope failed");
+
+    let offsets = exclusive_prefix_sum(&block_sums);
+
+    let mut out = vec![0.0; n + 1];
+    // out[0] = 0 already; fill out[1..=n] blockwise.
+    crossbeam::thread::scope(|scope| {
+        let mut rest = &mut out[1..];
+        for (b, block) in xs.chunks(chunk).enumerate() {
+            let (mine, tail) = rest.split_at_mut(block.len());
+            rest = tail;
+            let base = offsets[b];
+            scope.spawn(move |_| {
+                let mut acc = base;
+                for (o, &x) in mine.iter_mut().zip(block) {
+                    acc += x;
+                    *o = acc;
+                }
+            });
+        }
+    })
+    .expect("prefix-sum scope failed");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_prefix_matches_definition() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(exclusive_prefix_sum(&xs), vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_input_yields_zero_total() {
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0.0]);
+        assert_eq!(exclusive_prefix_sum_usize(&[]), vec![0]);
+    }
+
+    #[test]
+    fn usize_prefix_for_induction_offsets() {
+        // Per-processor LSTTRK increments 3, 0, 2, 1 -> offsets 0, 3, 3, 5
+        // and total 6, exactly the EXTEND_400 second-pass offsets.
+        let incs = [3, 0, 2, 1];
+        assert_eq!(exclusive_prefix_sum_usize(&incs), vec![0, 3, 3, 5, 6]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_uneven_sizes() {
+        for n in [0usize, 1, 2, 7, 64, 101] {
+            let xs: Vec<Cost> = (0..n).map(|i| (i as Cost) * 0.5 + 1.0).collect();
+            for p in [1, 2, 3, 8] {
+                let seq = exclusive_prefix_sum(&xs);
+                let par = parallel_exclusive_prefix_sum(&xs, p);
+                assert_eq!(seq.len(), par.len());
+                for (a, b) in seq.iter().zip(par.iter()) {
+                    assert!((a - b).abs() < 1e-9, "n={n} p={p}: {a} vs {b}");
+                }
+            }
+        }
+    }
+}

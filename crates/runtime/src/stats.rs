@@ -1,0 +1,154 @@
+//! Per-stage execution statistics and overhead accounting.
+//!
+//! The paper's Fig. 4 decomposes each R-LRPD stage into loop time and
+//! overhead (testing, synchronization, redistribution); Fig. 12 compares
+//! optimizations by their effect on these components. [`StageStats`]
+//! carries exactly that decomposition, in virtual time units, alongside
+//! wall-clock measurements when real threads were used.
+
+use crate::cost::Cost;
+
+/// The overhead categories the R-LRPD test adds around the useful loop
+/// work, mirroring Section 4's accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum OverheadKind {
+    /// Shadow-array marking during the speculative loop itself.
+    Marking,
+    /// The fully parallel analysis (shadow merge + test evaluation).
+    Analysis,
+    /// Last-value copy-out of correctly computed private data.
+    Commit,
+    /// Restoring checkpointed state on processors whose work failed.
+    Restore,
+    /// Saving checkpoints of untested-but-modified arrays.
+    Checkpoint,
+    /// Re-initializing shadow structures before a restart.
+    ShadowInit,
+    /// Moving iterations to different processors (RD strategy): remote
+    /// misses plus data movement, `ℓ` per moved iteration.
+    Redistribution,
+    /// Cold/remote-cache penalties for iterations executing on a
+    /// different processor than their last toucher (what the circular
+    /// sliding window minimizes).
+    RemoteMiss,
+    /// Barrier synchronizations (`s` each).
+    Sync,
+}
+
+impl OverheadKind {
+    /// All categories, in report order.
+    pub const ALL: [OverheadKind; 9] = [
+        OverheadKind::Marking,
+        OverheadKind::Analysis,
+        OverheadKind::Commit,
+        OverheadKind::Restore,
+        OverheadKind::Checkpoint,
+        OverheadKind::ShadowInit,
+        OverheadKind::Redistribution,
+        OverheadKind::RemoteMiss,
+        OverheadKind::Sync,
+    ];
+}
+
+/// Virtual-time overhead totals per category.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OverheadBreakdown {
+    costs: [Cost; 9],
+}
+
+impl OverheadBreakdown {
+    /// Add `cost` to category `kind`.
+    pub fn add(&mut self, kind: OverheadKind, cost: Cost) {
+        self.costs[Self::slot(kind)] += cost;
+    }
+
+    /// Total of one category.
+    pub fn get(&self, kind: OverheadKind) -> Cost {
+        self.costs[Self::slot(kind)]
+    }
+
+    /// Sum across all categories.
+    pub fn total(&self) -> Cost {
+        self.costs.iter().sum()
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &OverheadBreakdown) {
+        for (a, b) in self.costs.iter_mut().zip(other.costs.iter()) {
+            *a += b;
+        }
+    }
+
+    fn slot(kind: OverheadKind) -> usize {
+        OverheadKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind present in ALL")
+    }
+}
+
+/// Statistics of a single speculative stage (one doall attempt).
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageStats {
+    /// Virtual loop time: `max` over processors of their accumulated
+    /// per-iteration work (the critical path of the doall).
+    pub loop_time: Cost,
+    /// Useful work summed across all processors this stage (used to
+    /// separate "work executed" from "work wasted" after a failure).
+    pub total_work: Cost,
+    /// Virtual overhead decomposition for the stage.
+    pub overhead: OverheadBreakdown,
+    /// Number of iterations attempted this stage.
+    pub iters_attempted: usize,
+    /// Number of iterations committed by this stage's analysis.
+    pub iters_committed: usize,
+    /// Wall-clock seconds of the parallel section, when real threads ran
+    /// it; `0.0` under the simulated executor.
+    pub wall_seconds: f64,
+}
+
+impl StageStats {
+    /// Virtual stage time: loop critical path plus all overheads.
+    pub fn virtual_time(&self) -> Cost {
+        self.loop_time + self.overhead.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_totals() {
+        let mut b = OverheadBreakdown::default();
+        b.add(OverheadKind::Sync, 2.0);
+        b.add(OverheadKind::Sync, 3.0);
+        b.add(OverheadKind::Commit, 1.5);
+        assert_eq!(b.get(OverheadKind::Sync), 5.0);
+        assert_eq!(b.get(OverheadKind::Commit), 1.5);
+        assert_eq!(b.get(OverheadKind::Restore), 0.0);
+        assert_eq!(b.total(), 6.5);
+    }
+
+    #[test]
+    fn breakdown_merge_is_elementwise() {
+        let mut a = OverheadBreakdown::default();
+        a.add(OverheadKind::Marking, 1.0);
+        let mut b = OverheadBreakdown::default();
+        b.add(OverheadKind::Marking, 2.0);
+        b.add(OverheadKind::Analysis, 4.0);
+        a.merge(&b);
+        assert_eq!(a.get(OverheadKind::Marking), 3.0);
+        assert_eq!(a.get(OverheadKind::Analysis), 4.0);
+    }
+
+    #[test]
+    fn stage_virtual_time_includes_overheads() {
+        let mut s = StageStats {
+            loop_time: 10.0,
+            ..StageStats::default()
+        };
+        s.overhead.add(OverheadKind::Sync, 2.0);
+        assert_eq!(s.virtual_time(), 12.0);
+    }
+}

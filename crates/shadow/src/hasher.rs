@@ -1,0 +1,104 @@
+//! A fast, non-cryptographic hasher for sparse shadow structures.
+//!
+//! Shadow lookups sit on the marking fast path of every speculative
+//! memory reference, and keys are array indices (small integers), for
+//! which SipHash is needlessly slow. This is the Fx multiply-rotate
+//! scheme (as used by rustc); implemented locally because the approved
+//! offline dependency list does not include `rustc-hash`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher specialized for integer keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// `BuildHasher` for [`FxHasher`] — plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn distinct_keys_hash_distinctly_enough() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000usize {
+            let mut h = FxHasher::default();
+            h.write_usize(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on small consecutive keys");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_usize(42);
+        b.write_usize(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn usable_as_hashmap_hasher() {
+        let mut m: HashMap<usize, u8, FxBuildHasher> = HashMap::default();
+        for i in 0..100 {
+            m.insert(i, (i % 256) as u8);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&7], 7);
+    }
+
+    #[test]
+    fn byte_stream_and_word_paths_agree_on_word_sized_input() {
+        let mut a = FxHasher::default();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = FxHasher::default();
+        b.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

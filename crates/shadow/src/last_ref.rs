@@ -1,0 +1,92 @@
+//! The last-reference table for cross-window dependence detection.
+//!
+//! Sliding-window DDG extraction (paper Section 3) analyzes one window
+//! of iterations at a time; a flow dependence whose source iteration was
+//! already committed in an earlier window would otherwise be lost. The
+//! [`LastRefTable`] maintains, per element, the *last valid (committed)
+//! writing iteration*, so a later window's exposed read can be matched
+//! to its out-of-window producer.
+
+use crate::hasher::FxBuildHasher;
+use std::collections::HashMap;
+
+/// Element → last committed writing iteration.
+#[derive(Clone, Debug, Default)]
+pub struct LastRefTable {
+    last_write: HashMap<usize, u32, FxBuildHasher>,
+}
+
+impl LastRefTable {
+    /// An empty table (no committed writes yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that committed iteration `iter` wrote `elem`. Keeps the
+    /// maximum iteration per element; commits arrive in window order so
+    /// later calls dominate, but out-of-order merges are tolerated.
+    pub fn record_write(&mut self, elem: usize, iter: u32) {
+        self.last_write
+            .entry(elem)
+            .and_modify(|cur| *cur = (*cur).max(iter))
+            .or_insert(iter);
+    }
+
+    /// The last committed iteration that wrote `elem`, if any.
+    pub fn last_writer(&self, elem: usize) -> Option<u32> {
+        self.last_write.get(&elem).copied()
+    }
+
+    /// Number of elements with a recorded writer.
+    pub fn len(&self) -> usize {
+        self.last_write.len()
+    }
+
+    /// True when no writes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.last_write.is_empty()
+    }
+
+    /// Forget everything (new loop instantiation).
+    pub fn clear(&mut self) {
+        self.last_write.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn later_writes_dominate() {
+        let mut t = LastRefTable::new();
+        t.record_write(3, 5);
+        t.record_write(3, 9);
+        assert_eq!(t.last_writer(3), Some(9));
+    }
+
+    #[test]
+    fn out_of_order_merge_keeps_maximum() {
+        let mut t = LastRefTable::new();
+        t.record_write(3, 9);
+        t.record_write(3, 5);
+        assert_eq!(t.last_writer(3), Some(9));
+    }
+
+    #[test]
+    fn untouched_elements_have_no_writer() {
+        let t = LastRefTable::new();
+        assert_eq!(t.last_writer(0), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clear_forgets_state() {
+        let mut t = LastRefTable::new();
+        t.record_write(1, 1);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.last_writer(1), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the three shadow representations are observationally
+//! identical, and per-iteration mark lists obey the exposure rule.
+
+use proptest::prelude::*;
+use rlrpd_shadow::{DenseShadow, IterMarks, PackedShadow, SparseShadow};
+
+/// An operation against an element, mirroring the view layer's legal
+/// routing (ordinary ops materialize reduction-marked elements first).
+#[derive(Clone, Debug)]
+enum Op {
+    Read(usize),
+    Write(usize),
+    Reduce(usize),
+}
+
+fn ops(size: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0usize..size, 0u8..3).prop_map(|(e, k)| match k {
+            0 => Op::Read(e),
+            1 => Op::Write(e),
+            _ => Op::Reduce(e),
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dense, packed and sparse shadows agree on every mark after any
+    /// legal operation sequence.
+    #[test]
+    fn representations_agree(ops in ops(64)) {
+        let size = 64;
+        let mut dense = DenseShadow::new(size);
+        let mut packed = PackedShadow::new(size);
+        let mut sparse = SparseShadow::new();
+        for op in &ops {
+            match *op {
+                Op::Read(e) => {
+                    if dense.mark(e).is_reduction_only() {
+                        dense.materialize(e);
+                        packed.materialize(e);
+                        sparse.materialize(e);
+                    }
+                    dense.on_read(e);
+                    packed.on_read(e);
+                    sparse.on_read(e);
+                }
+                Op::Write(e) => {
+                    if dense.mark(e).is_reduction_only() {
+                        dense.materialize(e);
+                        packed.materialize(e);
+                        sparse.materialize(e);
+                    }
+                    dense.on_write(e);
+                    packed.on_write(e);
+                    sparse.on_write(e);
+                }
+                Op::Reduce(e) => {
+                    // Reduce is only legal on untouched/reduction marks.
+                    if !dense.mark(e).is_touched() || dense.mark(e).is_reduction_only() {
+                        dense.on_reduce(e);
+                        packed.on_reduce(e);
+                        sparse.on_reduce(e);
+                    }
+                }
+            }
+        }
+        for e in 0..size {
+            prop_assert_eq!(dense.mark(e), packed.mark(e));
+            prop_assert_eq!(dense.mark(e), sparse.mark(e));
+        }
+        prop_assert_eq!(dense.num_touched(), packed.num_touched());
+        prop_assert_eq!(dense.num_touched(), sparse.num_touched());
+    }
+
+    /// Clearing restores pristine semantics for every representation.
+    #[test]
+    fn clear_is_complete(elems in prop::collection::vec(0usize..32, 1..50)) {
+        let mut dense = DenseShadow::new(32);
+        let mut packed = PackedShadow::new(32);
+        let mut sparse = SparseShadow::new();
+        for &e in &elems {
+            dense.on_write(e);
+            packed.on_write(e);
+            sparse.on_write(e);
+        }
+        dense.clear();
+        packed.clear();
+        sparse.clear();
+        for e in 0..32 {
+            prop_assert!(!dense.mark(e).is_touched());
+            prop_assert!(!packed.mark(e).is_touched());
+            prop_assert!(!sparse.mark(e).is_touched());
+        }
+        // A fresh read after clear is exposed again.
+        let probe = elems[0];
+        dense.on_read(probe);
+        prop_assert!(dense.mark(probe).is_exposed_read());
+    }
+
+    /// IterMarks: a read is logged as exposed iff its own iteration has
+    /// not written the element earlier.
+    #[test]
+    fn iter_marks_exposure_rule(
+        events in prop::collection::vec((0usize..16, 0u32..8, any::<bool>()), 0..100)
+    ) {
+        use rlrpd_shadow::EventKind;
+        use std::collections::HashSet;
+        let mut marks = IterMarks::new();
+        // Model: (elem, iter) pairs that have written.
+        let mut wrote: HashSet<(usize, u32)> = HashSet::new();
+        let mut expect_exposed: HashSet<(usize, u32)> = HashSet::new();
+        // Events must arrive in nondecreasing iteration order per the
+        // block contract; sort to enforce it.
+        let mut events = events;
+        events.sort_by_key(|&(_, it, _)| it);
+        for &(e, it, is_write) in &events {
+            if is_write {
+                marks.on_write(e, it);
+                wrote.insert((e, it));
+            } else {
+                marks.on_read(e, it);
+                if !wrote.contains(&(e, it)) {
+                    expect_exposed.insert((e, it));
+                }
+            }
+        }
+        for (e, ev) in marks.elems() {
+            for &(it, kind) in ev.events() {
+                if kind == EventKind::ExposedRead {
+                    prop_assert!(
+                        expect_exposed.contains(&(e, it)),
+                        "spurious exposed read ({e}, {it})"
+                    );
+                }
+            }
+        }
+        // Every expected exposure is present.
+        for &(e, it) in &expect_exposed {
+            let found = marks
+                .get(e)
+                .map(|ev| ev.events().contains(&(it, EventKind::ExposedRead)))
+                .unwrap_or(false);
+            prop_assert!(found, "missing exposed read ({e}, {it})");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Explore the Section-4 analytical model from the command line.
+//!
+//! ```sh
+//! cargo run --example model_explorer -- [n] [p] [omega] [ell] [sync] [alpha]
+//! ```
+//!
+//! Prints `k_s`, `k_d`, the Eq. 4 redistribution cutoff, the NRD /
+//! adaptive / always predictions, and the per-stage simulation for the
+//! given geometric loop.
+
+use rlrpd::model::{
+    k_d_geometric, k_s_geometric, simulate_stages, t_static, t_total_geometric, ModelParams,
+    RedistPolicy,
+};
+
+fn arg(k: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(k)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let params = ModelParams {
+        n: arg(1, 4096.0) as usize,
+        p: arg(2, 8.0) as usize,
+        omega: arg(3, 100.0),
+        ell: arg(4, 10.0),
+        sync: arg(5, 50.0),
+    };
+    let alpha = arg(6, 0.5);
+
+    println!("model parameters: {params:?}, alpha = {alpha}");
+    println!("  total work n·ω            = {}", params.total_work());
+    println!("  ideal parallel time       = {}", params.ideal_parallel_time());
+
+    let k_s = k_s_geometric(alpha, params.p);
+    let k_d = k_d_geometric(&params, alpha);
+    let cutoff = params.p as f64 * params.sync / (params.omega - params.ell).max(1e-12);
+    println!("  k_s (NRD stages)          = {k_s:.2}");
+    println!("  k_d (redistributing)      = {k_d:.2}");
+    println!("  Eq. 4 cutoff (iterations) = {cutoff:.1}");
+    println!("  T_static (pure NRD)       = {:.1}", t_static(&params, k_s.ceil()));
+    println!("  T(n) (adaptive, Eq. 6)    = {:.1}", t_total_geometric(&params, alpha));
+
+    for policy in [RedistPolicy::Never, RedistPolicy::Adaptive, RedistPolicy::Always] {
+        let stages = simulate_stages(&params, alpha, policy);
+        let total: f64 = stages.iter().map(|s| s.total()).sum();
+        println!(
+            "\n  {policy:?}: {} stages, total {total:.1}",
+            stages.len()
+        );
+        for s in &stages {
+            println!(
+                "    stage {:>2}: remaining {:>6}  loop {:>9.1}  redist {:>7.1}  sync {:>6.1}{}",
+                s.stage,
+                s.remaining,
+                s.loop_time,
+                s.redist_overhead,
+                s.sync_overhead,
+                if s.redistributed { "  [RD]" } else { "" }
+            );
+        }
+    }
+}

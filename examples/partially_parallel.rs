@@ -1,0 +1,63 @@
+//! Strategy comparison on a partially parallel loop (an NLFILT-style
+//! tracking kernel with guarded short-distance dependences).
+//!
+//! ```sh
+//! cargo run --example partially_parallel
+//! ```
+//!
+//! Shows the trade-offs of Section 2: NRD never wastes redistribution
+//! but leaves processors idle; RD keeps everyone busy but may uncover
+//! new dependences; the adaptive rule switches between them; the
+//! sliding window re-executes the least work at the price of more
+//! synchronizations. The classic (non-recursive) LRPD test is included
+//! to show the slowdown the R-LRPD test eliminates.
+
+use rlrpd::core::{run_classic_lrpd, AdaptRule};
+use rlrpd::loops::{NlfiltInput, NlfiltLoop};
+use rlrpd::{run_speculative, RunConfig, Strategy, WindowConfig};
+
+fn main() {
+    let lp = NlfiltLoop::new(NlfiltInput::i16_400());
+    let p = 8;
+    println!(
+        "NLFILT-style loop, input {}, {} guarded writes, p = {p}\n",
+        lp.input().name,
+        lp.num_guarded_writes()
+    );
+    println!(
+        "{:<28} {:>7} {:>9} {:>7} {:>9}",
+        "strategy", "stages", "restarts", "PR", "speedup"
+    );
+
+    let cases = [
+        ("NRD", Strategy::Nrd),
+        ("RD", Strategy::Rd),
+        ("adaptive (Eq. 4)", Strategy::AdaptiveRd(AdaptRule::ModelEq4)),
+        ("adaptive (measured)", Strategy::AdaptiveRd(AdaptRule::Measured)),
+        ("sliding window w=32", Strategy::SlidingWindow(WindowConfig::fixed(32))),
+        ("sliding window w=128", Strategy::SlidingWindow(WindowConfig::fixed(128))),
+    ];
+    for (label, strategy) in cases {
+        let r = run_speculative(&lp, RunConfig::new(p).with_strategy(strategy));
+        println!(
+            "{:<28} {:>7} {:>9} {:>7.3} {:>8.2}x",
+            label,
+            r.report.stages.len(),
+            r.report.restarts,
+            r.report.pr(),
+            r.report.speedup()
+        );
+    }
+
+    // The baseline the paper improves on: one failed doall, then fully
+    // sequential re-execution.
+    let classic = run_classic_lrpd(&lp, &RunConfig::new(p));
+    println!(
+        "{:<28} {:>7} {:>9} {:>7.3} {:>8.2}x   <- pays the whole speculation as slowdown",
+        "classic LRPD (baseline)",
+        classic.report.stages.len(),
+        classic.report.restarts,
+        classic.report.pr(),
+        classic.report.speedup()
+    );
+}

@@ -1,0 +1,42 @@
+//! The whole-TRACK program over many radar frames, with history-based
+//! strategy prediction.
+//!
+//! ```sh
+//! cargo run --release --example track_pipeline
+//! ```
+//!
+//! TRACK's three measured loops (≈95% of sequential time) run once per
+//! frame; the parallelism ratio accumulates "over the life of the
+//! program" as the paper reports it, feedback-guided balancing learns
+//! across frames, and the predictive mode picks each loop's strategy
+//! from its own history.
+
+use rlrpd::loops::{ProgramMode, TrackProgram};
+use rlrpd::CostModel;
+
+fn main() {
+    let frames = 10;
+    let prog = TrackProgram::new(frames, 2026);
+    println!("TRACK pipeline: {frames} frames, loops NLFILT / EXTEND / FPTRAK\n");
+
+    for p in [4usize, 8, 16] {
+        for (label, mode) in [("fixed", ProgramMode::Fixed), ("predictive", ProgramMode::Predictive)] {
+            let report = prog.run(p, CostModel::default(), mode);
+            let loops: Vec<String> = report
+                .loops
+                .iter()
+                .map(|l| format!("{} PR={:.2} {:.2}x", l.name, l.pr, l.speedup()))
+                .collect();
+            println!(
+                "p = {p:>2} [{label:<10}]  {}  =>  program {:.2}x",
+                loops.join(" | "),
+                report.program_speedup
+            );
+        }
+    }
+
+    println!(
+        "\nPR accumulates across instantiations (paper §5.2); the predictive mode\n\
+         explores NRD/adaptive/window strategies per loop and settles on the best."
+    );
+}

@@ -1,0 +1,337 @@
+//! The `rlrpd` command-line tool: compile and speculatively execute
+//! mini-language loop programs.
+//!
+//! ```text
+//! rlrpd run <file.rlp> [--procs N] [--strategy nrd|rd|adaptive|sw:W]
+//!                      [--checkpoint eager|ondemand]
+//!                      [--balance even|feedback|trend]
+//!                      [--threads] [--timeline] [--report] [--runs K]
+//! rlrpd classify <file.rlp>
+//! rlrpd fmt <file.rlp>
+//! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
+//! rlrpd model [n] [p] [omega] [ell] [sync] [alpha]
+//! ```
+
+use rlrpd::core::{AdaptRule, Timeline};
+use rlrpd::{
+    extract_ddg, run_sequential, BalancePolicy, CheckpointPolicy, ExecMode, RunConfig, Runner,
+    Strategy, WindowConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("rlrpd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  rlrpd run <file.rlp> [--procs N] [--strategy nrd|rd|adaptive|sw:W] \
+     [--checkpoint eager|ondemand] [--balance even|feedback|trend] [--threads] \
+     [--timeline] [--report] [--runs K]\n  rlrpd classify <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
+     [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
+        .into()
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut it = args.into_iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let rest: Vec<String> = it.collect();
+    match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "classify" => cmd_classify(rest),
+        "fmt" => cmd_fmt(rest),
+        "ddg" => cmd_ddg(rest),
+        "model" => cmd_model(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+/// Pull `--flag value` pairs and lone `--flag`s out of `args`; the
+/// remaining positional arguments are returned in order.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    lone: Vec<String>,
+    positional: Vec<String>,
+}
+
+const VALUE_FLAGS: &[&str] = &[
+    "--procs", "--strategy", "--checkpoint", "--balance", "--window", "--save", "--runs",
+];
+
+fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
+    let mut flags = Flags { pairs: Vec::new(), lone: Vec::new(), positional: Vec::new() };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            let v = it.next().ok_or(format!("{a} needs a value"))?;
+            flags.pairs.push((a, v));
+        } else if a.starts_with("--") {
+            flags.lone.push(a);
+        } else {
+            flags.positional.push(a);
+        }
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.lone.iter().any(|f| f == name)
+    }
+
+    fn usize_of(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{name} expects an integer, got '{v}'")),
+        }
+    }
+}
+
+fn source(flags: &Flags) -> Result<String, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("expected a program file (.rlp)".to_string())?;
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load(flags: &Flags) -> Result<rlrpd::lang::CompiledProgram, String> {
+    rlrpd::lang::CompiledProgram::compile(&source(flags)?).map_err(|e| e.to_string())
+}
+
+fn config(flags: &Flags) -> Result<RunConfig, String> {
+    let p = flags.usize_of("--procs", 8)?;
+    let strategy = match flags.get("--strategy").unwrap_or("adaptive") {
+        "nrd" => Strategy::Nrd,
+        "rd" => Strategy::Rd,
+        "adaptive" => Strategy::AdaptiveRd(AdaptRule::Measured),
+        s if s.starts_with("sw:") => {
+            let w: usize = s[3..]
+                .parse()
+                .map_err(|_| format!("bad window size in '{s}'"))?;
+            Strategy::SlidingWindow(WindowConfig::fixed(w))
+        }
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let checkpoint = match flags.get("--checkpoint").unwrap_or("ondemand") {
+        "eager" => CheckpointPolicy::Eager,
+        "ondemand" => CheckpointPolicy::OnDemand,
+        other => return Err(format!("unknown checkpoint policy '{other}'")),
+    };
+    let balance = match flags.get("--balance").unwrap_or("even") {
+        "even" => BalancePolicy::Even,
+        "feedback" => BalancePolicy::FeedbackGuided,
+        "trend" => BalancePolicy::FeedbackTrend,
+        other => return Err(format!("unknown balance policy '{other}'")),
+    };
+    let exec = if flags.has("--threads") { ExecMode::Threads } else { ExecMode::Simulated };
+    Ok(RunConfig::new(p)
+        .with_strategy(strategy)
+        .with_checkpoint(checkpoint)
+        .with_balance(balance)
+        .with_exec(exec))
+}
+
+fn cmd_run(args: Vec<String>) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let src = source(&flags)?;
+    // Counter programs run under the EXTEND two-pass induction scheme.
+    if let Ok(ind) = rlrpd::lang::CompiledInduction::compile(&src) {
+        return run_induction_program(ind, &flags);
+    }
+    let prog = rlrpd::lang::CompiledProgram::compile(&src).map_err(|e| e.to_string())?;
+    let cfg = config(&flags)?;
+    let runs = flags.usize_of("--runs", 1)?.max(1);
+
+    println!("classification:\n{}", prog.report());
+
+    if prog.num_loops() == 1 {
+        // Single loop: a stateful runner accumulates PR and balancing
+        // history across --runs instantiations.
+        let lp = prog.loop_view(0, initial_state(&prog));
+        let mut runner = Runner::new(cfg);
+        let mut last = None;
+        for k in 0..runs {
+            let res = runner.run(&lp);
+            println!(
+                "run {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}",
+                res.report.stages.len(),
+                res.report.restarts,
+                res.report.pr(),
+                res.report.speedup(),
+                match res.report.exited_at {
+                    Some(e) => format!(", exited at iteration {e}"),
+                    None => String::new(),
+                }
+            );
+            last = Some(res);
+        }
+        let res = last.expect("at least one run");
+        println!("program-lifetime PR = {:.3}", runner.pr.pr());
+
+        if flags.has("--report") {
+            println!("\n{}", res.report);
+        }
+        if flags.has("--timeline") {
+            println!("\n{}", Timeline::from_result(&res, cfg.p).render());
+        }
+
+        // Always verify against sequential execution. Reductions
+        // reassociate floating-point sums across blocks, so compare
+        // with a rounding-level tolerance.
+        let (seq, _) = run_sequential(&lp);
+        verify(&seq, &res.arrays)?;
+    } else {
+        // Multi-loop program: run the phases in sequence.
+        let res = prog.run(cfg);
+        for (k, report) in res.reports.iter().enumerate() {
+            println!(
+                "loop {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}",
+                report.stages.len(),
+                report.restarts,
+                report.pr(),
+                report.speedup(),
+                match report.exited_at {
+                    Some(e) => format!(", exited at iteration {e}"),
+                    None => String::new(),
+                }
+            );
+        }
+        println!("whole-program speedup = {:.2}x", res.speedup());
+        let seq = prog.run_sequential();
+        verify(&seq, &res.arrays)?;
+    }
+    println!("verified against sequential execution ✓");
+    Ok(())
+}
+
+fn run_induction_program(
+    ind: rlrpd::lang::CompiledInduction,
+    flags: &Flags,
+) -> Result<(), String> {
+    let cfg = config(flags)?;
+    let (name, init) = ind.counter();
+    println!("induction program: counter '{name}' starting at {init}");
+    let res = rlrpd::run_induction(&ind, cfg.p, cfg.exec, cfg.cost);
+    println!(
+        "range test {}; stages = {}, PR = {:.3}, speedup = {:.2}x, final {name} = {}",
+        if res.test_passed { "PASSED (two doalls)" } else { "FAILED (sequential fallback)" },
+        res.report.stages.len(),
+        res.report.pr(),
+        res.report.speedup(),
+        res.final_counter
+    );
+    Ok(())
+}
+
+/// Compare speculative and sequential array states, allowing
+/// rounding-level differences from reduction reassociation.
+fn verify(
+    seq: &[(&'static str, Vec<f64>)],
+    spec: &[(&'static str, Vec<f64>)],
+) -> Result<(), String> {
+    for ((name, s), (_, r)) in seq.iter().zip(spec) {
+        for (k, (a, b)) in s.iter().zip(r).enumerate() {
+            let tol = 1e-9 * a.abs().max(1.0);
+            if (a - b).abs() > tol {
+                return Err(format!(
+                    "INTERNAL: array {name}[{k}] differs from sequential execution                      ({a} vs {b})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn initial_state(prog: &rlrpd::lang::CompiledProgram) -> Vec<Vec<f64>> {
+    prog.program()
+        .arrays
+        .iter()
+        .map(|d| vec![d.init; d.size])
+        .collect()
+}
+
+fn cmd_fmt(args: Vec<String>) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let src = source(&flags)?;
+    // Both compilation schemes share the parser; format whatever parses.
+    let program = rlrpd::lang::parse(&src).map_err(|e| e.to_string())?;
+    print!("{}", rlrpd::lang::print_program(&program));
+    Ok(())
+}
+
+fn cmd_classify(args: Vec<String>) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let prog = load(&flags)?;
+    print!("{}", prog.report());
+    Ok(())
+}
+
+fn cmd_ddg(args: Vec<String>) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let prog = load(&flags)?;
+    if prog.num_loops() != 1 {
+        return Err("ddg extraction operates on single-loop programs".into());
+    }
+    let lp = prog.loop_view(0, initial_state(&prog));
+    let cfg = config(&flags)?;
+    let w = flags.usize_of("--window", 32)?;
+    let ddg = extract_ddg(&lp, &cfg, WindowConfig::fixed(w));
+    println!(
+        "iterations = {}, flow edges = {}, anti = {}, output = {}",
+        ddg.graph.n,
+        ddg.graph.flow.len(),
+        ddg.graph.anti.len(),
+        ddg.graph.output.len()
+    );
+    let schedule = rlrpd::WavefrontSchedule::from_graph(&ddg.graph);
+    println!(
+        "wavefronts = {} (flow-only critical path = {}), average width = {:.1}",
+        schedule.depth(),
+        ddg.graph.flow_critical_path(),
+        schedule.avg_width()
+    );
+    if let Some(path) = flags.get("--save") {
+        std::fs::write(path, schedule.to_bytes()).map_err(|e| format!("{path}: {e}"))?;
+        println!("schedule saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_model(args: Vec<String>) -> Result<(), String> {
+    use rlrpd::model::{simulate_stages, ModelParams, RedistPolicy};
+    let nums: Vec<f64> = args
+        .iter()
+        .map(|a| a.parse().map_err(|_| format!("bad number '{a}'")))
+        .collect::<Result<_, _>>()?;
+    let get = |k: usize, d: f64| nums.get(k).copied().unwrap_or(d);
+    let m = ModelParams {
+        n: get(0, 4096.0) as usize,
+        p: get(1, 8.0) as usize,
+        omega: get(2, 100.0),
+        ell: get(3, 10.0),
+        sync: get(4, 50.0),
+    };
+    let alpha = get(5, 0.5);
+    println!("{m:?}, alpha = {alpha}");
+    for policy in [RedistPolicy::Never, RedistPolicy::Adaptive, RedistPolicy::Always] {
+        let stages = simulate_stages(&m, alpha, policy);
+        let total: f64 = stages.iter().map(|s| s.total()).sum();
+        println!("  {policy:?}: {} stages, total {total:.1}", stages.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `rlrpd` command-line tool.
+
+use std::process::Command;
+
+fn rlrpd(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rlrpd"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn program(path: &str) -> String {
+    format!("{}/examples/programs/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn run_executes_and_verifies() {
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--strategy",
+        "nrd",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("classification:"), "{stdout}");
+    assert!(stdout.contains("verified against sequential execution"), "{stdout}");
+    assert!(stdout.contains("speedup"), "{stdout}");
+}
+
+#[test]
+fn run_with_timeline_renders_the_chart() {
+    let (ok, stdout, _) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--timeline",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("stage  0"), "{stdout}");
+    assert!(stdout.contains("wasted speculation"), "{stdout}");
+}
+
+#[test]
+fn classify_prints_the_pass_decisions() {
+    let (ok, stdout, _) = rlrpd(&["classify", &program("tracking.rlp")]);
+    assert!(ok);
+    assert!(stdout.contains("TESTED"));
+    assert!(stdout.contains("UNTESTED"));
+    assert!(stdout.contains("REDUCTION(+)"));
+}
+
+#[test]
+fn ddg_reports_wavefronts_and_saves_schedules() {
+    let dir = std::env::temp_dir().join("rlrpd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let save = dir.join("schedule.bin");
+    let save_str = save.to_str().unwrap();
+    let (ok, stdout, stderr) = rlrpd(&[
+        "ddg",
+        &program("lu_sparse.rlp"),
+        "--procs",
+        "4",
+        "--save",
+        save_str,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wavefronts"), "{stdout}");
+    // The saved artifact round-trips through the persistence layer.
+    let bytes = std::fs::read(&save).unwrap();
+    let schedule = rlrpd::WavefrontSchedule::from_bytes(&bytes).unwrap();
+    assert!(schedule.depth() > 1);
+    std::fs::remove_file(&save).ok();
+}
+
+#[test]
+fn premature_exit_program_reports_the_exit() {
+    let (ok, stdout, _) = rlrpd(&["run", &program("premature_exit.rlp"), "--procs", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("exited at iteration 613"), "{stdout}");
+}
+
+#[test]
+fn multi_loop_program_runs_phase_by_phase() {
+    let (ok, stdout, stderr) = rlrpd(&["run", &program("two_phase.rlp"), "--procs", "4"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("loop 0:"), "{stdout}");
+    assert!(stdout.contains("loop 1:"), "{stdout}");
+    assert!(stdout.contains("whole-program speedup"), "{stdout}");
+    assert!(stdout.contains("verified against sequential execution"), "{stdout}");
+}
+
+#[test]
+fn ddg_rejects_multi_loop_programs() {
+    let (ok, _, stderr) = rlrpd(&["ddg", &program("two_phase.rlp")]);
+    assert!(!ok);
+    assert!(stderr.contains("single-loop"), "{stderr}");
+}
+
+#[test]
+fn counter_program_uses_the_induction_scheme() {
+    let (ok, stdout, stderr) = rlrpd(&["run", &program("extend.rlp"), "--procs", "8"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("induction program"), "{stdout}");
+    assert!(stdout.contains("range test PASSED"), "{stdout}");
+}
+
+#[test]
+fn fmt_prints_a_reparseable_canonical_form() {
+    let (ok, stdout, stderr) = rlrpd(&["fmt", &program("two_phase.rlp")]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("for i in 0..256 {"), "{stdout}");
+    // The output must itself be a valid program.
+    assert!(rlrpd::lang::parse(&stdout).is_ok(), "{stdout}");
+}
+
+#[test]
+fn model_subcommand_ranks_policies() {
+    let (ok, stdout, _) = rlrpd(&["model"]);
+    assert!(ok);
+    assert!(stdout.contains("Never"));
+    assert!(stdout.contains("Adaptive"));
+    assert!(stdout.contains("Always"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, _, stderr) = rlrpd(&["run", "/nonexistent.rlp"]);
+    assert!(!ok);
+    assert!(stderr.contains("rlrpd:"), "{stderr}");
+
+    let (ok, _, stderr) = rlrpd(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = rlrpd(&["run", &program("tracking.rlp"), "--strategy", "warp"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown strategy"), "{stderr}");
+}

@@ -1,0 +1,111 @@
+//! The R-LRPD correctness guarantee, end to end: *every* strategy ×
+//! *every* workload × *both* checkpoint policies produces exactly the
+//! state sequential execution produces.
+
+use rlrpd::core::AdaptRule;
+use rlrpd::loops::*;
+use rlrpd::{
+    run_sequential, run_speculative, CheckpointPolicy, RunConfig, SpecLoop, Strategy,
+    WindowConfig,
+};
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Nrd,
+        Strategy::Rd,
+        Strategy::AdaptiveRd(AdaptRule::ModelEq4),
+        Strategy::AdaptiveRd(AdaptRule::Measured),
+        Strategy::SlidingWindow(WindowConfig::fixed(7)),
+        Strategy::SlidingWindow(WindowConfig::fixed(64)),
+    ]
+}
+
+fn assert_matches_sequential(name: &str, lp: &dyn SpecLoop) {
+    let (seq, _) = run_sequential(lp);
+    for strategy in strategies() {
+        for ckpt in [CheckpointPolicy::OnDemand, CheckpointPolicy::Eager] {
+            for p in [1usize, 3, 8] {
+                let cfg = RunConfig::new(p).with_strategy(strategy).with_checkpoint(ckpt);
+                let res = run_speculative(lp, cfg);
+                for ((sname, sdata), (rname, rdata)) in seq.iter().zip(&res.arrays) {
+                    assert_eq!(sname, rname);
+                    assert_eq!(
+                        sdata, rdata,
+                        "{name}: array {sname} differs under {strategy:?}/{ckpt:?}/p={p}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn synthetic_alpha_loop() {
+    assert_matches_sequential("alpha", &AlphaLoop::new(512, 0.5, 1.0));
+}
+
+#[test]
+fn synthetic_beta_loop() {
+    assert_matches_sequential("beta", &BetaLoop::new(400, 8, 2, 1.0));
+}
+
+#[test]
+fn synthetic_sequential_chain() {
+    assert_matches_sequential("chain", &SequentialChainLoop::new(96, 1.0));
+}
+
+#[test]
+fn synthetic_fully_parallel() {
+    assert_matches_sequential("parallel", &FullyParallelLoop::new(300, 1.0));
+}
+
+#[test]
+fn synthetic_random_dependences() {
+    for seed in 0..4 {
+        assert_matches_sequential(
+            "random",
+            &RandomDepLoop::new(250, 0.08, 30, seed, 1.0),
+        );
+    }
+}
+
+#[test]
+fn nlfilt_small_deck() {
+    assert_matches_sequential("nlfilt", &NlfiltLoop::new(NlfiltInput::i4_50()));
+}
+
+#[test]
+fn fptrak_decks() {
+    for input in rlrpd::loops::fptrak::FptrakInput::all() {
+        assert_matches_sequential("fptrak", &FptrakLoop::new(input));
+    }
+}
+
+#[test]
+fn spice_small_lu() {
+    assert_matches_sequential("dcdcmp15", &Dcdcmp15Loop::small(17));
+}
+
+#[test]
+fn spice_premature_exit() {
+    assert_matches_sequential("dcdcmp70", &Dcdcmp70Loop::new(500, 420));
+}
+
+#[test]
+fn fma3d_quad() {
+    assert_matches_sequential("quad", &QuadLoop::new(200, 80, 3));
+}
+
+#[test]
+fn bjt_reductions_match_within_fp_tolerance() {
+    // Reductions reassociate floating-point sums, so exact equality is
+    // not required — but the error must stay at rounding level.
+    let lp = BjtLoop::new(300, 50, 4);
+    let (seq, _) = run_sequential(&lp);
+    for strategy in strategies() {
+        let res = run_speculative(&lp, RunConfig::new(8).with_strategy(strategy));
+        for (a, b) in seq[0].1.iter().zip(res.array("Y")) {
+            assert!((a - b).abs() < 1e-9, "{strategy:?}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The engine is generic over the element type: anything `Copy +
+//! PartialEq (+ Default, Send, Sync)` works, including user-defined
+//! structs — exercised here with `i64` and a fixed-point newtype, under
+//! failure and restart.
+
+use rlrpd::{
+    run_sequential, run_speculative, ArrayDecl, ArrayId, ClosureLoop, Reduction, RunConfig,
+    ShadowKind, Strategy,
+};
+
+const A: ArrayId = ArrayId(0);
+
+#[test]
+fn i64_elements_with_restarts() {
+    let lp = ClosureLoop::<i64>::new(
+        64,
+        || vec![ArrayDecl::tested("A", vec![7i64; 64], ShadowKind::Dense)],
+        |i, ctx| {
+            let v = if i % 9 == 0 && i > 3 { ctx.read(A, i - 4) } else { i as i64 };
+            ctx.write(A, i, v * 3);
+        },
+    );
+    let (seq, _) = run_sequential(&lp);
+    let res = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Nrd));
+    assert!(res.report.restarts > 0);
+    assert_eq!(res.array("A"), &seq[0].1[..]);
+}
+
+/// A Q32.32 fixed-point value: exact arithmetic, so reduction
+/// reassociation across blocks changes nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct Fixed(i64);
+
+impl Fixed {
+    fn from_int(v: i64) -> Self {
+        Fixed(v << 32)
+    }
+}
+
+#[test]
+fn custom_fixed_point_elements_and_exact_reductions() {
+    let lp = ClosureLoop::<Fixed>::new(
+        100,
+        || {
+            vec![ArrayDecl::reduction(
+                "A",
+                vec![Fixed::from_int(1); 8],
+                ShadowKind::Dense,
+                Reduction { identity: Fixed(0), combine: |a, b| Fixed(a.0 + b.0) },
+            )]
+        },
+        |i, ctx| {
+            // Scatter exact fixed-point contributions.
+            ctx.reduce(A, i % 8, Fixed::from_int(i as i64));
+        },
+    );
+    let (seq, _) = run_sequential(&lp);
+    for p in [1usize, 4, 16] {
+        let res = run_speculative(&lp, RunConfig::new(p));
+        assert_eq!(res.report.stages.len(), 1, "p={p}");
+        // EXACT equality: fixed point is associative, unlike floats.
+        assert_eq!(res.array("A"), &seq[0].1[..], "p={p}");
+    }
+}
+
+#[test]
+fn bool_like_elements() {
+    // u8 flags with write-first privatization semantics.
+    let lp = ClosureLoop::<u8>::new(
+        32,
+        || vec![ArrayDecl::tested("A", vec![0u8; 4], ShadowKind::Dense)],
+        |i, ctx| {
+            ctx.write(A, 0, (i % 2) as u8); // everyone writes the flag
+            let f = ctx.read(A, 0); // covered read
+            ctx.write(A, 1 + (i % 3), f + 1);
+        },
+    );
+    let (seq, _) = run_sequential(&lp);
+    let res = run_speculative(&lp, RunConfig::new(4));
+    assert_eq!(res.array("A"), &seq[0].1[..]);
+    assert_eq!(res.report.stages.len(), 1, "write-first flag privatizes");
+}

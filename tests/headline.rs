@@ -1,0 +1,72 @@
+//! Regression net for the reproduction's headline results — the
+//! numbers EXPERIMENTS.md advertises must not silently drift.
+
+use rlrpd::loops::{AlphaLoop, Dcdcmp15Loop};
+use rlrpd::model::{simulate_stages, ModelParams, RedistPolicy};
+use rlrpd::{
+    extract_ddg, run_speculative, CostModel, RunConfig, Strategy, WindowConfig,
+};
+
+/// The paper's SPICE adder.128 deck: 14337 iterations, critical path
+/// 334 wavefronts. Our generator is tuned to land exactly there; the
+/// DDG extraction must recover it.
+#[test]
+fn spice_adder128_critical_path_is_334() {
+    let lp = Dcdcmp15Loop::adder128();
+    let ddg = extract_ddg(&lp, &RunConfig::new(8), WindowConfig::fixed(64));
+    assert_eq!(ddg.graph.n, 14337);
+    assert_eq!(ddg.graph.flow_critical_path(), 334);
+}
+
+/// Fig. 4's model-vs-engine agreement: on the synthetic α = 1/2 loop
+/// the engine's totals must stay within 1% of the analytical stage
+/// simulation for every policy (the engine's only divergence is its
+/// more precise moved-iteration redistribution accounting).
+#[test]
+fn fig4_model_and_engine_agree_within_one_percent() {
+    const N: usize = 4096;
+    const P: usize = 8;
+    let cost = CostModel {
+        omega: 100.0,
+        ell: 10.0,
+        sync: 50.0,
+        ..CostModel::work_only(100.0)
+    };
+    let m = ModelParams { n: N, p: P, omega: 100.0, ell: 10.0, sync: 50.0 };
+    let lp = AlphaLoop::new(N, 0.5, 100.0);
+
+    for (policy, strategy) in [
+        (RedistPolicy::Never, Strategy::Nrd),
+        (RedistPolicy::Always, Strategy::Rd),
+    ] {
+        let model: f64 = simulate_stages(&m, 0.5, policy).iter().map(|r| r.total()).sum();
+        let engine = run_speculative(
+            &lp,
+            RunConfig::new(P).with_strategy(strategy).with_cost(cost),
+        )
+        .report
+        .virtual_time();
+        let err = (model - engine).abs() / model;
+        assert!(err < 0.01, "{policy:?}: model {model} vs engine {engine} ({err:.3})");
+    }
+}
+
+/// The paper's bottom-line guarantee, stated in the introduction: "we
+/// can guarantee that a speculatively parallelized program will run at
+/// least as fast as its sequential version and with some additional
+/// testing overhead". Under NRD, loop time alone never exceeds
+/// sequential work, and the total overhead stays a small fraction of
+/// it for a realistic cost model.
+#[test]
+fn nrd_guarantee_on_the_synthetic_worst_case() {
+    let lp = AlphaLoop::new(2048, 0.5, 100.0);
+    let res = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Nrd));
+    let loop_time: f64 = res.report.stages.iter().map(|s| s.loop_time).sum();
+    assert!(loop_time <= res.report.sequential_work + 1e-9);
+    let overhead = res.report.virtual_time() - loop_time;
+    assert!(
+        overhead < 0.05 * res.report.sequential_work,
+        "test overhead {overhead} should be <5% of work {}",
+        res.report.sequential_work
+    );
+}

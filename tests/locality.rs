@@ -1,0 +1,84 @@
+//! Locality accounting: the remote-miss penalties that motivate the
+//! paper's circular sliding window and NRD's "no remote misses"
+//! advantage.
+
+use rlrpd::core::WindowPolicy;
+use rlrpd::loops::RandomDepLoop;
+use rlrpd::runtime::OverheadKind;
+use rlrpd::{run_speculative, CostModel, RunConfig, Strategy, WindowConfig};
+
+fn cost() -> CostModel {
+    CostModel { remote_miss: 5.0, ..CostModel::default() }
+}
+
+#[test]
+fn nrd_restarts_pay_no_remote_misses() {
+    // NRD re-executes failed blocks on their original processors: the
+    // data is already local.
+    let lp = RandomDepLoop::new(400, 0.05, 30, 11, 1.0);
+    let res = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Nrd).with_cost(cost()));
+    assert!(res.report.restarts > 0, "need failures to observe restarts");
+    assert_eq!(
+        res.report.overhead(OverheadKind::RemoteMiss),
+        0.0,
+        "NRD keeps every iteration on its original processor"
+    );
+}
+
+#[test]
+fn rd_restarts_pay_remote_misses() {
+    let lp = RandomDepLoop::new(400, 0.05, 30, 11, 1.0);
+    let res = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd).with_cost(cost()));
+    assert!(res.report.restarts > 0);
+    assert!(
+        res.report.overhead(OverheadKind::RemoteMiss) > 0.0,
+        "redistribution migrates iterations across processors"
+    );
+}
+
+#[test]
+fn circular_window_pays_far_fewer_remote_misses_than_linear() {
+    // A loop with enough failures that windows get rescheduled. The
+    // circular assignment keeps re-executed blocks on their original
+    // processor (up to block re-alignment at short boundary windows);
+    // the linear assignment restarts every window at processor 0 and
+    // migrates almost all re-executed iterations.
+    let lp = RandomDepLoop::new(600, 0.04, 20, 23, 1.0);
+    let run = |circular: bool| {
+        let cfg = RunConfig::new(8)
+            .with_strategy(Strategy::SlidingWindow(WindowConfig {
+                iters_per_proc: 8,
+                policy: WindowPolicy::Fixed,
+                circular,
+            }))
+            .with_cost(cost());
+        run_speculative(&lp, cfg)
+    };
+    let circ = run(true);
+    let line = run(false);
+    assert!(circ.report.restarts > 0, "need failures for the comparison to bite");
+    let circ_miss = circ.report.overhead(OverheadKind::RemoteMiss);
+    let line_miss = line.report.overhead(OverheadKind::RemoteMiss);
+    assert!(
+        circ_miss < 0.5 * line_miss,
+        "circular ({circ_miss}) must migrate far less than linear ({line_miss})"
+    );
+    // Both remain correct, of course.
+    assert_eq!(circ.arrays, line.arrays);
+}
+
+#[test]
+fn remote_misses_are_counted_once_per_migration() {
+    // A fully parallel loop has no restarts: zero remote misses under
+    // any strategy (first touches are not migrations).
+    use rlrpd::loops::FullyParallelLoop;
+    let lp = FullyParallelLoop::new(256, 1.0);
+    for strategy in [Strategy::Nrd, Strategy::Rd, Strategy::SlidingWindow(WindowConfig::fixed(8))] {
+        let res = run_speculative(&lp, RunConfig::new(8).with_strategy(strategy).with_cost(cost()));
+        assert_eq!(
+            res.report.overhead(OverheadKind::RemoteMiss),
+            0.0,
+            "{strategy:?}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Speculative execution of loops with a premature exit (the paper's
+//! DCDCMP loop-70 pattern, refs [15, 4]): iterations past the exit are
+//! dynamically dead; the engine trusts an exit only when its block lies
+//! below the earliest dependence sink, discards later blocks' work, and
+//! restores checkpointed state.
+
+use rlrpd::{
+    run_sequential, run_speculative, ArrayDecl, ArrayId, ClosureLoop, RunConfig, SpecLoop,
+    Strategy, WindowConfig,
+};
+
+const A: ArrayId = ArrayId(0);
+const B: ArrayId = ArrayId(1);
+
+/// n iterations; exit fires at `exit_at`; untested B is written per
+/// iteration (dead writes must be rolled back).
+fn exit_loop(n: usize, exit_at: usize) -> ClosureLoop {
+    ClosureLoop::new(
+        n,
+        move || {
+            vec![
+                ArrayDecl::tested("A", vec![0.0; n], rlrpd::ShadowKind::Dense),
+                ArrayDecl::untested("B", vec![-1.0; n]),
+            ]
+        },
+        move |i, ctx| {
+            ctx.write(A, i, i as f64 + 1.0);
+            ctx.write(B, i, i as f64 * 2.0);
+            if i == exit_at {
+                ctx.exit();
+            }
+        },
+    )
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Nrd,
+        Strategy::Rd,
+        Strategy::SlidingWindow(WindowConfig::fixed(5)),
+    ]
+}
+
+#[test]
+fn exit_matches_sequential_under_every_strategy() {
+    let lp = exit_loop(100, 37);
+    let (seq, _) = run_sequential(&lp);
+    for strategy in strategies() {
+        for p in [1usize, 4, 8] {
+            let res = run_speculative(&lp, RunConfig::new(p).with_strategy(strategy));
+            assert_eq!(res.array("A"), &seq[0].1[..], "{strategy:?} p={p}");
+            assert_eq!(res.array("B"), &seq[1].1[..], "{strategy:?} p={p}");
+            assert_eq!(res.report.exited_at, Some(37), "{strategy:?} p={p}");
+        }
+    }
+}
+
+#[test]
+fn dead_untested_writes_are_rolled_back() {
+    let lp = exit_loop(64, 10);
+    let res = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Nrd));
+    // Iterations 11..64 ran speculatively and wrote B; the rollback
+    // must restore the initial value.
+    assert!(res.array("B")[11..].iter().all(|&v| v == -1.0));
+    assert_eq!(res.array("B")[10], 20.0, "the exiting iteration's write persists");
+}
+
+#[test]
+fn exit_in_first_block_completes_in_one_stage() {
+    let lp = exit_loop(64, 2);
+    let res = run_speculative(&lp, RunConfig::new(8));
+    assert_eq!(res.report.stages.len(), 1);
+    assert_eq!(res.report.restarts, 0);
+    // Committed iterations = 0..=2 only.
+    assert_eq!(res.report.stages[0].iters_committed, 3);
+}
+
+#[test]
+fn exit_decision_fed_by_stale_data_is_not_trusted() {
+    // Iteration k reads A[k-20]; the exit at iteration 30 only fires if
+    // that value is "ready" (> 0) — on stale data (0.0) the exit
+    // mis-fires *differently* than sequential. The engine must not
+    // trust an exit at/above the earliest dependence sink.
+    let n = 64;
+    let lp = ClosureLoop::new(
+        n,
+        move || vec![ArrayDecl::tested("A", vec![0.0; 64], rlrpd::ShadowKind::Dense)],
+        move |i, ctx| {
+            let upstream = if i >= 20 { ctx.read(A, i - 20) } else { 1.0 };
+            ctx.write(A, i, i as f64 + 1.0);
+            if i == 30 && upstream > 0.0 {
+                ctx.exit();
+            }
+        },
+    );
+    let (seq, _) = run_sequential(&lp);
+    for p in [4usize, 8] {
+        for strategy in strategies() {
+            let res = run_speculative(&lp, RunConfig::new(p).with_strategy(strategy));
+            assert_eq!(res.array("A"), &seq[0].1[..], "{strategy:?} p={p}");
+            assert_eq!(res.report.exited_at, Some(30), "{strategy:?} p={p}");
+        }
+    }
+}
+
+#[test]
+fn exit_on_last_iteration_is_a_normal_completion() {
+    let lp = exit_loop(40, 39);
+    let res = run_speculative(&lp, RunConfig::new(4));
+    let (seq, _) = run_sequential(&lp);
+    assert_eq!(res.array("A"), &seq[0].1[..]);
+    assert_eq!(res.report.exited_at, Some(39));
+    let committed: usize = res.report.stages.iter().map(|s| s.iters_committed).sum();
+    assert_eq!(committed, 40);
+}
+
+#[test]
+fn classic_lrpd_handles_exit_loops() {
+    use rlrpd::run_classic_lrpd;
+    let lp = exit_loop(64, 20);
+    let res = run_classic_lrpd(&lp, &RunConfig::new(4));
+    let (seq, _) = run_sequential(&lp);
+    assert_eq!(res.array("A"), &seq[0].1[..]);
+    assert_eq!(res.array("B"), &seq[1].1[..]);
+    assert_eq!(res.report.exited_at, Some(20));
+}
+
+#[test]
+fn exit_loop_work_accounting_counts_only_live_prefix_commits() {
+    let lp = exit_loop(100, 49);
+    let res = run_speculative(&lp, RunConfig::new(4).with_strategy(Strategy::Nrd));
+    let committed: usize = res.report.stages.iter().map(|s| s.iters_committed).sum();
+    assert_eq!(committed, 50, "iterations 0..=49 commit exactly once");
+}
+
+/// The sequential baseline itself must stop at the exit.
+#[test]
+fn sequential_baseline_respects_exit() {
+    let lp = exit_loop(64, 5);
+    let (seq, work) = run_sequential(&lp);
+    assert_eq!(seq[0].1[5], 6.0);
+    assert_eq!(seq[0].1[6], 0.0, "iteration 6 never ran");
+    assert_eq!(work, 6.0, "only 6 iterations' work");
+    let _ = lp.cost(0);
+}

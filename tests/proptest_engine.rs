@@ -1,0 +1,141 @@
+//! Property-based tests of the engine's core invariants, fuzzing over
+//! randomly generated loops and configurations (see DESIGN.md §7).
+
+use proptest::prelude::*;
+use rlrpd::core::AdaptRule;
+use rlrpd::loops::RandomDepLoop;
+use rlrpd::{
+    extract_ddg, run_sequential, run_speculative, CheckpointPolicy, RunConfig, Strategy,
+    WindowConfig,
+};
+
+/// Arbitrary loop parameters kept small enough for fast shrinking.
+fn loop_params() -> impl proptest::strategy::Strategy<Value = (usize, f64, usize, u64)> {
+    (10usize..200, 0.0f64..0.4, 1usize..40, any::<u64>())
+}
+
+fn strategy_from(selector: u8) -> Strategy {
+    match selector % 6 {
+        0 => Strategy::Nrd,
+        1 => Strategy::Rd,
+        2 => Strategy::AdaptiveRd(AdaptRule::ModelEq4),
+        3 => Strategy::AdaptiveRd(AdaptRule::Measured),
+        4 => Strategy::SlidingWindow(WindowConfig::fixed(3)),
+        _ => Strategy::SlidingWindow(WindowConfig::fixed(17)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: under every strategy, checkpoint policy, and
+    /// processor count, the speculative result equals sequential
+    /// execution.
+    #[test]
+    fn speculative_equals_sequential(
+        (n, density, dist, seed) in loop_params(),
+        sel in any::<u8>(),
+        p in 1usize..10,
+        eager in any::<bool>(),
+    ) {
+        let lp = RandomDepLoop::new(n, density, dist, seed, 1.0);
+        let ckpt = if eager { CheckpointPolicy::Eager } else { CheckpointPolicy::OnDemand };
+        let cfg = RunConfig::new(p).with_strategy(strategy_from(sel)).with_checkpoint(ckpt);
+        let res = run_speculative(&lp, cfg);
+        let (seq, _) = run_sequential(&lp);
+        prop_assert_eq!(res.array("A"), &seq[0].1[..]);
+    }
+
+    /// Invariant 2: the committed prefix of a failed stage never
+    /// contains a dependence sink — every arc's sink lies at or beyond
+    /// the restart point of its stage. Verified indirectly: committed
+    /// iteration totals over the run sum exactly to n with no
+    /// double-commits.
+    #[test]
+    fn commits_partition_the_iteration_space(
+        (n, density, dist, seed) in loop_params(),
+        sel in any::<u8>(),
+        p in 1usize..10,
+    ) {
+        let lp = RandomDepLoop::new(n, density, dist, seed, 1.0);
+        let cfg = RunConfig::new(p).with_strategy(strategy_from(sel));
+        let res = run_speculative(&lp, cfg);
+        let committed: usize = res.report.stages.iter().map(|s| s.iters_committed).sum();
+        prop_assert_eq!(committed, n, "each iteration commits exactly once");
+    }
+
+    /// Invariant 3: NRD's stage count never exceeds p (the bounded
+    /// slowdown guarantee).
+    #[test]
+    fn nrd_stage_bound(
+        (n, density, dist, seed) in loop_params(),
+        p in 1usize..10,
+    ) {
+        let lp = RandomDepLoop::new(n, density, dist, seed, 1.0);
+        let res = run_speculative(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
+        prop_assert!(res.report.stages.len() <= p.max(1));
+    }
+
+    /// Invariant 4: extracted flow edges are exactly the planted
+    /// dependences (deduplicated), regardless of window size and
+    /// processor count.
+    #[test]
+    fn ddg_extraction_is_exact(
+        (n, density, dist, seed) in loop_params(),
+        p in 1usize..6,
+        w in 1usize..32,
+    ) {
+        let lp = RandomDepLoop::new(n, density, dist, seed, 1.0);
+        let ddg = extract_ddg(&lp, &RunConfig::new(p), WindowConfig::fixed(w));
+        let mut expected: Vec<(u32, u32)> = lp
+            .planted_deps()
+            .iter()
+            .map(|&(s, d)| (s as u32, d as u32))
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(ddg.graph.flow, expected);
+    }
+
+    /// Invariant 5: wavefront schedules derived from extracted DDGs are
+    /// topological — every edge goes to a strictly later level — and
+    /// cover every iteration exactly once.
+    #[test]
+    fn wavefronts_are_valid_topological_levels(
+        (n, density, dist, seed) in loop_params(),
+    ) {
+        use rlrpd::core::{EdgeKind, WavefrontSchedule};
+        let lp = RandomDepLoop::new(n, density, dist, seed, 1.0);
+        let ddg = extract_ddg(&lp, &RunConfig::new(4), WindowConfig::fixed(8));
+        let schedule = WavefrontSchedule::from_graph(&ddg.graph);
+        let mut level_of = vec![usize::MAX; n];
+        let mut seen = 0usize;
+        for (l, iters) in schedule.levels().iter().enumerate() {
+            for &i in iters {
+                prop_assert_eq!(level_of[i as usize], usize::MAX, "iteration scheduled twice");
+                level_of[i as usize] = l;
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, n);
+        for (s, d) in ddg.graph.edges(&[EdgeKind::Flow, EdgeKind::Anti, EdgeKind::Output]) {
+            prop_assert!(level_of[s as usize] < level_of[d as usize]);
+        }
+    }
+
+    /// Invariant 6: virtual time accounting is internally consistent —
+    /// total work executed ≥ useful work, and speedup = useful /
+    /// virtual time.
+    #[test]
+    fn accounting_is_consistent(
+        (n, density, dist, seed) in loop_params(),
+        sel in any::<u8>(),
+    ) {
+        let lp = RandomDepLoop::new(n, density, dist, seed, 1.0);
+        let res = run_speculative(&lp, RunConfig::new(4).with_strategy(strategy_from(sel)));
+        let r = &res.report;
+        prop_assert!(r.total_work_executed() + 1e-9 >= r.sequential_work);
+        prop_assert!((r.speedup() - r.sequential_work / r.virtual_time()).abs() < 1e-12);
+        prop_assert!(r.pr() > 0.0 && r.pr() <= 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Larger end-to-end runs: the engine at realistic iteration counts.
+//! The moderate sizes run in the normal suite; the big ones are
+//! `#[ignore]`d (run with `cargo test -- --ignored`, ideally
+//! `--release`).
+
+use rlrpd::core::AdaptRule;
+use rlrpd::loops::{Dcdcmp15Loop, NlfiltInput, NlfiltLoop, RandomDepLoop};
+use rlrpd::{
+    extract_ddg, run_sequential, run_speculative, RunConfig, Strategy, WindowConfig,
+};
+
+#[test]
+fn fifty_thousand_iterations_with_scattered_dependences() {
+    let lp = RandomDepLoop::new(50_000, 0.002, 200, 77, 1.0);
+    let (seq, _) = run_sequential(&lp);
+    for strategy in [Strategy::Nrd, Strategy::AdaptiveRd(AdaptRule::Measured)] {
+        let res = run_speculative(&lp, RunConfig::new(16).with_strategy(strategy));
+        assert_eq!(res.array("A"), &seq[0].1[..], "{strategy:?}");
+    }
+}
+
+#[test]
+fn full_nlfilt_deck_on_sixteen_processors() {
+    let lp = NlfiltLoop::new(NlfiltInput::i16_400());
+    let (seq, _) = run_sequential(&lp);
+    let res = run_speculative(
+        &lp,
+        RunConfig::new(16).with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(64))),
+    );
+    assert_eq!(res.array("NUSED"), &seq[0].1[..]);
+    assert_eq!(res.array("STATE"), &seq[1].1[..]);
+}
+
+#[test]
+#[ignore = "big: ~14k-iteration DDG extraction in debug mode"]
+fn adder128_extraction_under_many_window_sizes() {
+    let lp = Dcdcmp15Loop::adder128();
+    let a = extract_ddg(&lp, &RunConfig::new(8), WindowConfig::fixed(32));
+    let b = extract_ddg(&lp, &RunConfig::new(16), WindowConfig::fixed(128));
+    assert_eq!(a.graph.flow, b.graph.flow, "extraction is configuration-invariant");
+    assert_eq!(a.graph.flow_critical_path(), 334);
+}
+
+#[test]
+#[ignore = "big: quarter-million iterations"]
+fn quarter_million_iteration_loop() {
+    let lp = RandomDepLoop::new(250_000, 0.0005, 500, 3, 1.0);
+    let (seq, _) = run_sequential(&lp);
+    let res = run_speculative(&lp, RunConfig::new(16).with_strategy(Strategy::Nrd));
+    assert_eq!(res.array("A"), &seq[0].1[..]);
+    assert!(res.report.stages.len() <= 16);
+}

@@ -1,0 +1,92 @@
+//! The paper's worked examples (Fig. 1 and Fig. 2), asserted exactly.
+
+use rlrpd::{
+    run_sequential, run_speculative, ArrayDecl, ArrayId, ClosureLoop, RunConfig, ShadowKind,
+    Strategy, WindowConfig,
+};
+
+const A: ArrayId = ArrayId(0);
+const B: ArrayId = ArrayId(1);
+
+/// Fig. 1: 8 iterations, 4 processors, one dependence from processor
+/// 2's block (iteration 3) into processor 3's block (iteration 4).
+fn fig1_loop() -> ClosureLoop {
+    ClosureLoop::new(
+        8,
+        || {
+            vec![
+                ArrayDecl::tested("A", vec![10.0; 8], ShadowKind::Dense),
+                ArrayDecl::untested("B", vec![0.0; 8]),
+            ]
+        },
+        |i, ctx| {
+            let v = if i == 4 { ctx.read(A, 3) } else { i as f64 };
+            ctx.write(A, i, v + 1.0);
+            ctx.write(B, i, v * 2.0);
+        },
+    )
+}
+
+#[test]
+fn fig1_finishes_in_two_steps_committing_half_each() {
+    for strategy in [Strategy::Nrd, Strategy::Rd] {
+        let res = run_speculative(&fig1_loop(), RunConfig::new(4).with_strategy(strategy));
+        let committed: Vec<usize> =
+            res.report.stages.iter().map(|s| s.iters_committed).collect();
+        assert_eq!(committed, vec![4, 4], "{strategy:?}");
+        assert_eq!(res.report.restarts, 1);
+        // The single arc: element 3, source block 1, sink block 2.
+        assert_eq!(res.arcs.len(), 1);
+        assert_eq!((res.arcs[0].elem, res.arcs[0].src_pos, res.arcs[0].sink_pos), (3, 1, 2));
+    }
+}
+
+#[test]
+fn fig1_checkpointed_array_is_restored_for_failed_processors() {
+    let lp = fig1_loop();
+    let res = run_speculative(&lp, RunConfig::new(4).with_strategy(Strategy::Nrd));
+    let (seq, _) = run_sequential(&lp);
+    assert_eq!(res.array("B"), &seq[1].1[..], "B must survive the restart intact");
+}
+
+/// Fig. 2: same shape under the sliding window, w = 1.
+#[test]
+fn fig2_commit_point_advances_2_4_2() {
+    let lp = ClosureLoop::new(
+        8,
+        || vec![ArrayDecl::tested("A", vec![0.0; 8], ShadowKind::Dense)],
+        |i, ctx| {
+            let v = if i == 2 { ctx.read(A, 1) } else { 0.0 };
+            ctx.write(A, i, v + 1.0 + i as f64);
+        },
+    );
+    let res = run_speculative(
+        &lp,
+        RunConfig::new(4).with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(1))),
+    );
+    let committed: Vec<usize> = res.report.stages.iter().map(|s| s.iters_committed).collect();
+    assert_eq!(committed, vec![2, 4, 2]);
+    assert_eq!(res.report.restarts, 1);
+}
+
+#[test]
+fn fig2_circular_window_reexecutes_on_the_original_processor() {
+    // With circular assignment the failed block's iterations stay on
+    // the processor that first ran them; verify by checking the window
+    // driver keeps producing correct results with rotation in play for
+    // a longer loop.
+    let lp = ClosureLoop::new(
+        64,
+        || vec![ArrayDecl::tested("A", vec![0.0; 64], ShadowKind::Dense)],
+        |i, ctx| {
+            let v = if i % 9 == 0 && i > 0 { ctx.read(A, i - 1) } else { 0.0 };
+            ctx.write(A, i, v + i as f64);
+        },
+    );
+    let res = run_speculative(
+        &lp,
+        RunConfig::new(4).with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(2))),
+    );
+    let (seq, _) = run_sequential(&lp);
+    assert_eq!(res.array("A"), &seq[0].1[..]);
+}
