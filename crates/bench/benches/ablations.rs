@@ -14,9 +14,14 @@ use std::hint::black_box;
 fn checkpoint_policy(c: &mut Criterion) {
     let lp = NlfiltLoop::new(NlfiltInput::i8_100());
     let mut g = c.benchmark_group("checkpoint_policy");
-    for (label, p) in [("eager", CheckpointPolicy::Eager), ("on_demand", CheckpointPolicy::OnDemand)] {
+    for (label, p) in [
+        ("eager", CheckpointPolicy::Eager),
+        ("on_demand", CheckpointPolicy::OnDemand),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, &ckpt| {
-            let cfg = RunConfig::new(8).with_checkpoint(ckpt).with_strategy(Strategy::Nrd);
+            let cfg = RunConfig::new(8)
+                .with_checkpoint(ckpt)
+                .with_strategy(Strategy::Nrd);
             b.iter(|| black_box(rlrpd_core::run_speculative(&lp, cfg).report.restarts));
         });
     }
@@ -26,9 +31,14 @@ fn checkpoint_policy(c: &mut Criterion) {
 fn balance_policy(c: &mut Criterion) {
     let lp = NlfiltLoop::new(NlfiltInput::i8_100());
     let mut g = c.benchmark_group("balance_policy");
-    for (label, pol) in [("even", BalancePolicy::Even), ("feedback", BalancePolicy::FeedbackGuided)] {
+    for (label, pol) in [
+        ("even", BalancePolicy::Even),
+        ("feedback", BalancePolicy::FeedbackGuided),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &pol, |b, &bal| {
-            let cfg = RunConfig::new(8).with_balance(bal).with_strategy(Strategy::Nrd);
+            let cfg = RunConfig::new(8)
+                .with_balance(bal)
+                .with_strategy(Strategy::Nrd);
             b.iter(|| {
                 let mut runner = Runner::new(cfg);
                 let _ = runner.run(&lp);

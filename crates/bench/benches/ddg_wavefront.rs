@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rlrpd_core::{
-    execute_wavefronts, extract_ddg, run_inspector_executor, CostModel, ExecMode,
-    RunConfig, WavefrontSchedule, WindowConfig,
+    execute_wavefronts, extract_ddg, run_inspector_executor, CostModel, ExecMode, RunConfig,
+    WavefrontSchedule, WindowConfig,
 };
 use rlrpd_loops::{Dcdcmp15Loop, QuadLoop};
 use std::hint::black_box;
@@ -14,7 +14,13 @@ fn ddg_extraction(c: &mut Criterion) {
     let lp = Dcdcmp15Loop::small(11);
     c.bench_function("extract_ddg_600_iters", |b| {
         let cfg = RunConfig::new(4);
-        b.iter(|| black_box(extract_ddg(&lp, &cfg, WindowConfig::fixed(32)).graph.num_edges()));
+        b.iter(|| {
+            black_box(
+                extract_ddg(&lp, &cfg, WindowConfig::fixed(32))
+                    .graph
+                    .num_edges(),
+            )
+        });
     });
 }
 
@@ -48,10 +54,21 @@ fn inspector_vs_speculative_ddg(c: &mut Criterion) {
     });
     g.bench_function("speculative_sw_extraction", |b| {
         let cfg = RunConfig::new(4);
-        b.iter(|| black_box(extract_ddg(&lp, &cfg, WindowConfig::fixed(32)).graph.num_edges()));
+        b.iter(|| {
+            black_box(
+                extract_ddg(&lp, &cfg, WindowConfig::fixed(32))
+                    .graph
+                    .num_edges(),
+            )
+        });
     });
     g.finish();
 }
 
-criterion_group!(benches, ddg_extraction, wavefront_reuse, inspector_vs_speculative_ddg);
+criterion_group!(
+    benches,
+    ddg_extraction,
+    wavefront_reuse,
+    inspector_vs_speculative_ddg
+);
 criterion_main!(benches);

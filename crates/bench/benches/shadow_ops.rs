@@ -104,5 +104,11 @@ fn iter_marks(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, marking, sparse_touch_of_huge_space, touched_clear, iter_marks);
+criterion_group!(
+    benches,
+    marking,
+    sparse_touch_of_huge_space,
+    touched_clear,
+    iter_marks
+);
 criterion_main!(benches);

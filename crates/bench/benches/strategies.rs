@@ -42,7 +42,10 @@ fn thread_vs_simulated(c: &mut Criterion) {
     use rlrpd_core::ExecMode;
     let lp = FullyParallelLoop::new(4096, 1.0);
     let mut g = c.benchmark_group("exec_mode_p4");
-    for (label, mode) in [("simulated", ExecMode::Simulated), ("threads", ExecMode::Threads)] {
+    for (label, mode) in [
+        ("simulated", ExecMode::Simulated),
+        ("threads", ExecMode::Threads),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
             let cfg = RunConfig::new(4).with_exec(m);
             b.iter(|| black_box(run_speculative(&lp, cfg).report.stages.len()));

@@ -8,9 +8,8 @@
 
 use rlrpd_bench::{fmt, print_table};
 use rlrpd_core::{
-    run_speculative, AdaptRule, ArrayDecl, ArrayId, BalancePolicy, CheckpointPolicy,
-    ClosureLoop, CostModel, RunConfig, Runner, ShadowKind, Strategy, WindowConfig,
-    WindowPolicy,
+    run_speculative, AdaptRule, ArrayDecl, ArrayId, BalancePolicy, CheckpointPolicy, ClosureLoop,
+    CostModel, RunConfig, Runner, ShadowKind, Strategy, WindowConfig, WindowPolicy,
 };
 use rlrpd_loops::{NlfiltInput, NlfiltLoop};
 
@@ -37,21 +36,38 @@ fn main() {
     let rows: Vec<Vec<String>> = [
         ("NRD", Strategy::Nrd),
         ("RD", Strategy::Rd),
-        ("adaptive (Eq. 4)", Strategy::AdaptiveRd(AdaptRule::ModelEq4)),
-        ("adaptive (measured)", Strategy::AdaptiveRd(AdaptRule::Measured)),
+        (
+            "adaptive (Eq. 4)",
+            Strategy::AdaptiveRd(AdaptRule::ModelEq4),
+        ),
+        (
+            "adaptive (measured)",
+            Strategy::AdaptiveRd(AdaptRule::Measured),
+        ),
         ("SW w=32", Strategy::SlidingWindow(WindowConfig::fixed(32))),
-        ("SW w=128", Strategy::SlidingWindow(WindowConfig::fixed(128))),
+        (
+            "SW w=128",
+            Strategy::SlidingWindow(WindowConfig::fixed(128)),
+        ),
         (
             "SW grow 16→256",
             Strategy::SlidingWindow(WindowConfig {
                 iters_per_proc: 16,
-                policy: WindowPolicy::GrowOnFailure { factor: 2.0, max: 256 },
+                policy: WindowPolicy::GrowOnFailure {
+                    factor: 2.0,
+                    max: 256,
+                },
                 circular: true,
             }),
         ),
     ]
     .into_iter()
-    .map(|(label, s)| vec![label.to_string(), fmt(time_of(base_cfg().with_strategy(s), 1))])
+    .map(|(label, s)| {
+        vec![
+            label.to_string(),
+            fmt(time_of(base_cfg().with_strategy(s), 1)),
+        ]
+    })
     .collect();
     print_table("strategy", &["configuration", "time"], &rows);
 
@@ -62,10 +78,17 @@ fn main() {
     ]
     .into_iter()
     .map(|(label, c)| {
-        vec![label.to_string(), fmt(time_of(base_cfg().with_checkpoint(c), 1))]
+        vec![
+            label.to_string(),
+            fmt(time_of(base_cfg().with_checkpoint(c), 1)),
+        ]
     })
     .collect();
-    print_table("checkpoint policy (adaptive Eq. 4)", &["configuration", "time"], &rows);
+    print_table(
+        "checkpoint policy (adaptive Eq. 4)",
+        &["configuration", "time"],
+        &rows,
+    );
 
     // 3. Load balancing under NRD (block boundaries matter most when
     // failed blocks re-run in place): measure the third instantiation,
@@ -78,8 +101,7 @@ fn main() {
     .into_iter()
     .map(|(label, b)| {
         let lp = NlfiltLoop::new(NlfiltInput::i16_400());
-        let mut runner =
-            Runner::new(base_cfg().with_strategy(Strategy::Nrd).with_balance(b));
+        let mut runner = Runner::new(base_cfg().with_strategy(Strategy::Nrd).with_balance(b));
         let mut last = 0.0;
         for _ in 0..3 {
             last = runner.run(&lp).report.virtual_time();
@@ -108,7 +130,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("window processor assignment", &["configuration", "time"], &rows);
+    print_table(
+        "window processor assignment",
+        &["configuration", "time"],
+        &rows,
+    );
 
     // 5. Shadow representation on a dense chain (virtual times equal by
     // construction — representation is a wall-clock concern — so report
@@ -125,7 +151,11 @@ fn main() {
             2048,
             move || vec![ArrayDecl::tested("A", vec![0.0; 2048], kind)],
             |i, ctx| {
-                let v = if i % 33 == 0 && i > 0 { ctx.read(A, i - 5) } else { 0.0 };
+                let v = if i % 33 == 0 && i > 0 {
+                    ctx.read(A, i - 5)
+                } else {
+                    0.0
+                };
                 ctx.write(A, i, v + i as f64);
             },
         );
@@ -143,6 +173,9 @@ fn main() {
         &rows,
     );
     let times: Vec<&String> = rows.iter().map(|r| &r[1]).collect();
-    assert!(times.windows(2).all(|w| w[0] == w[1]), "representation must not change decisions");
+    assert!(
+        times.windows(2).all(|w| w[0] == w[1]),
+        "representation must not change decisions"
+    );
     println!("\nshadow representations produce identical speculative decisions ✓");
 }

@@ -30,8 +30,7 @@ fn fig2_loop() -> ClosureLoop {
 fn main() {
     println!("Fig. 2 walkthrough: sliding window, w = 1 iteration/processor, p = 4");
     let lp = fig2_loop();
-    let cfg = RunConfig::new(4)
-        .with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(1)));
+    let cfg = RunConfig::new(4).with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(1)));
     let res = run_speculative(&lp, cfg);
 
     let rows: Vec<Vec<String>> = res
@@ -56,7 +55,16 @@ fn main() {
 
     // The paper's trace: window 1 commits 2 blocks (iterations 1-2),
     // the rescheduled window commits 4 (3-6), the last commits 2 (7-8).
-    let committed: Vec<usize> = res.report.stages.iter().map(|s| s.iters_committed).collect();
-    assert_eq!(committed, vec![2, 4, 2], "commit-point advance as in Fig. 2");
+    let committed: Vec<usize> = res
+        .report
+        .stages
+        .iter()
+        .map(|s| s.iters_committed)
+        .collect();
+    assert_eq!(
+        committed,
+        vec![2, 4, 2],
+        "commit-point advance as in Fig. 2"
+    );
     println!("  commit sequence 2 / 4 / 2 matches the paper's example ✓");
 }

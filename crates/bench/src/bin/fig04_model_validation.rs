@@ -13,9 +13,7 @@
 //! worst "by a wide margin".
 
 use rlrpd_bench::{fmt, print_table};
-use rlrpd_core::{
-    run_speculative, AdaptRule, CostModel, RunConfig, RunReport, Strategy,
-};
+use rlrpd_core::{run_speculative, AdaptRule, CostModel, RunConfig, RunReport, Strategy};
 use rlrpd_loops::AlphaLoop;
 use rlrpd_model::{simulate_stages, ModelParams, RedistPolicy};
 use rlrpd_runtime::OverheadKind;
@@ -34,13 +32,24 @@ fn cost_model() -> CostModel {
 }
 
 fn model_params() -> ModelParams {
-    ModelParams { n: N, p: P, omega: 100.0, ell: 10.0, sync: 50.0 }
+    ModelParams {
+        n: N,
+        p: P,
+        omega: 100.0,
+        ell: 10.0,
+        sync: 50.0,
+    }
 }
 
 fn engine_run(strategy: Strategy) -> RunReport {
     let lp = AlphaLoop::new(N, ALPHA, 100.0);
-    run_speculative(&lp, RunConfig::new(P).with_strategy(strategy).with_cost(cost_model()))
-        .report
+    run_speculative(
+        &lp,
+        RunConfig::new(P)
+            .with_strategy(strategy)
+            .with_cost(cost_model()),
+    )
+    .report
 }
 
 fn main() {
@@ -123,7 +132,11 @@ fn main() {
             &["stage", "model", "engine"],
             &rows,
         );
-        finals.push((label, *model_cum.last().unwrap(), *engine_cum.last().unwrap()));
+        finals.push((
+            label,
+            *model_cum.last().unwrap(),
+            *engine_cum.last().unwrap(),
+        ));
     }
 
     let rows: Vec<Vec<String>> = finals
@@ -144,7 +157,9 @@ fn main() {
         let lp = BetaLoop::new(N, P, blocks_per_stage, 100.0);
         let engine = run_speculative(
             &lp,
-            RunConfig::new(P).with_strategy(Strategy::Nrd).with_cost(cost_model()),
+            RunConfig::new(P)
+                .with_strategy(Strategy::Nrd)
+                .with_cost(cost_model()),
         )
         .report;
         let k_s = rlrpd_model::k_s_linear(beta);
@@ -172,7 +187,13 @@ fn main() {
     let always = finals[2];
     assert!(adaptive.2 < never.2, "engine: adaptive must beat NRD");
     assert!(always.2 < never.2, "engine: always must beat NRD");
-    assert!(adaptive.2 <= always.2 + 1e-9, "engine: adaptive ends at/below always");
-    assert!(adaptive.1 <= always.1 + 1e-9, "model: adaptive ends at/below always");
+    assert!(
+        adaptive.2 <= always.2 + 1e-9,
+        "engine: adaptive ends at/below always"
+    );
+    assert!(
+        adaptive.1 <= always.1 + 1e-9,
+        "model: adaptive ends at/below always"
+    );
     println!("\nranking matches the paper: adaptive ≤ always < never ✓");
 }

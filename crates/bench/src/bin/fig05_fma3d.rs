@@ -21,7 +21,9 @@ fn main() {
     for &p in PROCS {
         let res = run_speculative(
             &lp,
-            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+            RunConfig::new(p)
+                .with_strategy(Strategy::Nrd)
+                .with_cost(cost),
         );
         assert_eq!(res.report.stages.len(), 1, "fully parallel: one stage");
         let insp = run_inspector_executor(&lp, p, ExecMode::Simulated, cost);
@@ -34,7 +36,12 @@ fn main() {
     }
     print_table(
         "Quad loop",
-        &["procs", "R-LRPD speedup", "PR", "inspector/executor speedup"],
+        &[
+            "procs",
+            "R-LRPD speedup",
+            "PR",
+            "inspector/executor speedup",
+        ],
         &rows,
     );
     println!("\nPR = 1 at every processor count; speedup scales with p minus test overhead.");

@@ -18,8 +18,8 @@
 
 use rlrpd_bench::{amdahl, fmt, print_table, PROCS};
 use rlrpd_core::{
-    execute_wavefronts, extract_ddg, run_speculative, CostModel, ExecMode, RunConfig,
-    Strategy, WavefrontSchedule, WindowConfig,
+    execute_wavefronts, extract_ddg, run_speculative, CostModel, ExecMode, RunConfig, Strategy,
+    WavefrontSchedule, WindowConfig,
 };
 use rlrpd_loops::{BjtLoop, Dcdcmp15Loop, Dcdcmp70Loop};
 
@@ -29,7 +29,11 @@ fn main() {
 
     // DCDCMP 15: extract the DDG once with the sparse SW R-LRPD test.
     let lu = Dcdcmp15Loop::adder128();
-    let ddg = extract_ddg(&lu, &RunConfig::new(8).with_cost(cost), WindowConfig::fixed(64));
+    let ddg = extract_ddg(
+        &lu,
+        &RunConfig::new(8).with_cost(cost),
+        WindowConfig::fixed(64),
+    );
     let schedule = WavefrontSchedule::from_graph(&ddg.graph);
     println!(
         "\nDCDCMP 15: {} iterations, flow critical path = {} (paper: 14337 / 334); \
@@ -46,11 +50,15 @@ fn main() {
         // DCDCMP 70 and BJT via one-stage speculation.
         let d70 = run_speculative(
             &Dcdcmp70Loop::new(12000, 9000),
-            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+            RunConfig::new(p)
+                .with_strategy(Strategy::Nrd)
+                .with_cost(cost),
         );
         let bjt = run_speculative(
             &BjtLoop::adder128(),
-            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+            RunConfig::new(p)
+                .with_strategy(Strategy::Nrd)
+                .with_cost(cost),
         );
         // Whole code: loop shares of sequential time for our deck —
         // DCDCMP 40%, BJT/LOAD 45%, loop 70 5%, 10% serial.
@@ -68,7 +76,13 @@ fn main() {
     }
     print_table(
         "speedups",
-        &["procs", "DCDCMP15 (wavefront)", "DCDCMP70", "BJT", "whole code"],
+        &[
+            "procs",
+            "DCDCMP15 (wavefront)",
+            "DCDCMP70",
+            "BJT",
+            "whole code",
+        ],
         &rows,
     );
 

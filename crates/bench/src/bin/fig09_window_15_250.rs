@@ -41,7 +41,10 @@ fn main() {
         "SW grow 8→".into(),
         Strategy::SlidingWindow(WindowConfig {
             iters_per_proc: 8,
-            policy: WindowPolicy::GrowOnFailure { factor: 2.0, max: 256 },
+            policy: WindowPolicy::GrowOnFailure {
+                factor: 2.0,
+                max: 256,
+            },
             circular: true,
         }),
     );
@@ -49,7 +52,10 @@ fn main() {
         "SW shrink 256→".into(),
         Strategy::SlidingWindow(WindowConfig {
             iters_per_proc: 256,
-            policy: WindowPolicy::ShrinkOnFailure { factor: 2.0, min: 8 },
+            policy: WindowPolicy::ShrinkOnFailure {
+                factor: 2.0,
+                min: 8,
+            },
             circular: true,
         }),
     );

@@ -58,8 +58,15 @@ fn main() {
     let mut rows = Vec::new();
     for &p in PROCS {
         let res = run_induction(&compiled, p, ExecMode::Simulated, cost);
-        assert!(res.test_passed, "source-level EXTEND must pass the range test");
-        rows.push(vec![p.to_string(), fmt(res.report.pr()), fmt(res.report.speedup())]);
+        assert!(
+            res.test_passed,
+            "source-level EXTEND must pass the range test"
+        );
+        rows.push(vec![
+            p.to_string(),
+            fmt(res.report.pr()),
+            fmt(res.report.speedup()),
+        ]);
     }
     print_table(
         "EXTEND from mini-language source (counter/bump)",

@@ -23,7 +23,9 @@ fn main() {
             // Best of NRD (bounded slowdown) and measured-adaptive.
             let nrd = rlrpd_core::run_speculative(
                 &lp,
-                RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+                RunConfig::new(p)
+                    .with_strategy(Strategy::Nrd)
+                    .with_cost(cost),
             );
             let ad = rlrpd_core::run_speculative(
                 &lp,
@@ -31,7 +33,11 @@ fn main() {
                     .with_strategy(Strategy::AdaptiveRd(AdaptRule::Measured))
                     .with_cost(cost),
             );
-            let res = if nrd.report.speedup() >= ad.report.speedup() { nrd } else { ad };
+            let res = if nrd.report.speedup() >= ad.report.speedup() {
+                nrd
+            } else {
+                ad
+            };
             pr_row.push(fmt(res.report.pr()));
             sp_row.push(fmt(res.report.speedup()));
         }

@@ -13,8 +13,8 @@
 
 use rlrpd_bench::{amdahl, fmt, print_table, PROCS};
 use rlrpd_core::{
-    run_induction, AdaptRule, BalancePolicy, CheckpointPolicy, CostModel, ExecMode,
-    RunConfig, Runner, Strategy,
+    run_induction, AdaptRule, BalancePolicy, CheckpointPolicy, CostModel, ExecMode, RunConfig,
+    Runner, Strategy,
 };
 use rlrpd_loops::{
     extend::ExtendInput, fptrak::FptrakInput, ExtendLoop, FptrakLoop, NlfiltInput, NlfiltLoop,
@@ -37,7 +37,10 @@ fn nlfilt_time(
     // Two instantiations so feedback-guided balancing has history.
     let first = runner.run(&lp);
     let second = runner.run(&lp);
-    let best = first.report.virtual_time().min(second.report.virtual_time());
+    let best = first
+        .report
+        .virtual_time()
+        .min(second.report.virtual_time());
     (best, second.report.overhead(OverheadKind::Checkpoint))
 }
 
@@ -48,10 +51,30 @@ fn main() {
     let nrd = Strategy::Nrd;
     let ad = Strategy::AdaptiveRd(AdaptRule::Measured);
     let cases = [
-        ("baseline: NRD + eager ckpt + even", CheckpointPolicy::Eager, BalancePolicy::Even, nrd),
-        ("+ on-demand checkpointing", CheckpointPolicy::OnDemand, BalancePolicy::Even, nrd),
-        ("+ feedback-guided balancing", CheckpointPolicy::OnDemand, BalancePolicy::FeedbackGuided, nrd),
-        ("+ adaptive redistribution (all on)", CheckpointPolicy::OnDemand, BalancePolicy::FeedbackGuided, ad),
+        (
+            "baseline: NRD + eager ckpt + even",
+            CheckpointPolicy::Eager,
+            BalancePolicy::Even,
+            nrd,
+        ),
+        (
+            "+ on-demand checkpointing",
+            CheckpointPolicy::OnDemand,
+            BalancePolicy::Even,
+            nrd,
+        ),
+        (
+            "+ feedback-guided balancing",
+            CheckpointPolicy::OnDemand,
+            BalancePolicy::FeedbackGuided,
+            nrd,
+        ),
+        (
+            "+ adaptive redistribution (all on)",
+            CheckpointPolicy::OnDemand,
+            BalancePolicy::FeedbackGuided,
+            ad,
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -119,13 +142,7 @@ fn main() {
         .speedup();
         let fp = best_speedup(&FptrakLoop::new(FptrakInput::chained()), p);
         let whole = amdahl(&[0.50, 0.30, 0.15], &[nl, ex, fp]);
-        rows.push(vec![
-            p.to_string(),
-            fmt(nl),
-            fmt(ex),
-            fmt(fp),
-            fmt(whole),
-        ]);
+        rows.push(vec![p.to_string(), fmt(nl), fmt(ex), fmt(fp), fmt(whole)]);
     }
     print_table(
         "speedups",

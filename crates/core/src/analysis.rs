@@ -25,7 +25,9 @@
 
 use crate::value::Value;
 use crate::view::ProcView;
+use rlrpd_runtime::{ExecMode, Executor};
 use rlrpd_shadow::hasher::FxBuildHasher;
+use rlrpd_shadow::Mark;
 use std::collections::HashMap;
 
 /// One detected cross-block flow arc (first arc per element reported).
@@ -67,12 +69,31 @@ pub struct AnalysisResult {
 }
 
 /// Merge the per-block shadows of every tested array and find the
-/// earliest cross-block flow-dependence sink.
+/// earliest cross-block flow-dependence sink, choosing the merge
+/// implementation by the executor's mode: the sequential scan under
+/// [`ExecMode::Simulated`] (whose determinism contract excludes any
+/// dependence on host parallelism), the partitioned parallel merge
+/// otherwise. Both produce identical [`AnalysisResult`]s — the
+/// randomized equivalence suite asserts it.
+pub(crate) fn analyze<T: Value>(
+    per_pos_views: &[&[ProcView<T>]],
+    tested_ids: &[usize],
+    executor: &Executor,
+) -> AnalysisResult {
+    match executor.mode() {
+        ExecMode::Simulated => analyze_seq(per_pos_views, tested_ids),
+        ExecMode::Threads | ExecMode::Pooled => {
+            analyze_parallel(per_pos_views, tested_ids, executor)
+        }
+    }
+}
+
+/// Sequential reference implementation of the shadow merge.
 ///
 /// `per_pos_views[pos][slot]` is block `pos`'s view of tested array
 /// `slot`; `tested_ids[slot]` maps a slot back to its declaration index
-/// for reporting.
-pub(crate) fn analyze<T: Value>(
+/// for reporting. Arcs are returned in canonical `(array, elem)` order.
+pub fn analyze_seq<T: Value>(
     per_pos_views: &[&[ProcView<T>]],
     tested_ids: &[usize],
 ) -> AnalysisResult {
@@ -110,15 +131,120 @@ pub(crate) fn analyze<T: Value>(
         }
     }
 
-    for (pos, views) in per_pos_views.iter().enumerate() {
+    finish(&mut result, per_pos_views);
+    result
+}
+
+/// Parallel shadow merge, partitioned by element.
+///
+/// Three passes:
+///
+/// 1. **Partition** (parallel over block positions): each block's
+///    touched lists are split into one bucket per worker by a hash of
+///    `(slot, elem)`.
+/// 2. **Merge** (parallel over buckets): every entry of a given element
+///    lands in exactly one bucket, and within a bucket entries are
+///    scanned in block order — so the per-element producer/reported
+///    logic is *verbatim* the sequential one, run independently per
+///    bucket with no sharing.
+/// 3. **Combine** (sequential, cheap): bucket arc lists are
+///    concatenated and canonically sorted; the earliest sink is a `min`
+///    over all arcs.
+///
+/// The result is identical to [`analyze_seq`] for any bucket count:
+/// arcs are a per-element property (first exposed read above an earlier
+/// producer), the canonical sort fixes the order, and the sink minimum
+/// is order-insensitive.
+pub fn analyze_parallel<T: Value>(
+    per_pos_views: &[&[ProcView<T>]],
+    tested_ids: &[usize],
+    executor: &Executor,
+) -> AnalysisResult {
+    let num_pos = per_pos_views.len();
+    let num_slots = tested_ids.len();
+    let buckets = merge_width(executor, num_pos);
+
+    // Pass 1: partition each block's touched entries by element bucket.
+    let partitioned: Vec<Vec<Vec<(u32, usize, Mark)>>> = executor.run_indexed(num_pos, |pos| {
+        let mut out: Vec<Vec<(u32, usize, Mark)>> = vec![Vec::new(); buckets];
+        for slot in 0..num_slots {
+            for (elem, mark) in per_pos_views[pos][slot].touched() {
+                out[bucket_of(slot, elem, buckets)].push((slot as u32, elem, mark));
+            }
+        }
+        out
+    });
+
+    // Pass 2: per-bucket merge in block order.
+    let per_bucket_arcs: Vec<Vec<DepArc>> = executor.run_indexed(buckets, |b| {
+        let mut producers: HashMap<(u32, usize), usize, FxBuildHasher> = HashMap::default();
+        let mut reported: HashMap<(u32, usize), (), FxBuildHasher> = HashMap::default();
+        let mut arcs = Vec::new();
+        for (pos, block_buckets) in partitioned.iter().enumerate() {
+            for &(slot, elem, mark) in &block_buckets[b] {
+                if mark.is_exposed_read() {
+                    if let Some(&src) = producers.get(&(slot, elem)) {
+                        if reported.insert((slot, elem), ()).is_none() {
+                            arcs.push(DepArc {
+                                array: tested_ids[slot as usize] as u32,
+                                elem,
+                                src_pos: src,
+                                sink_pos: pos,
+                            });
+                        }
+                    }
+                }
+                if mark.is_dependence_source() {
+                    producers.entry((slot, elem)).or_insert(pos);
+                }
+            }
+        }
+        arcs
+    });
+
+    // Pass 3: combine.
+    let mut result = AnalysisResult::default();
+    for mut arcs in per_bucket_arcs {
+        result.arcs.append(&mut arcs);
+    }
+    finish(&mut result, per_pos_views);
+    result
+}
+
+/// Shared tail of both merge implementations: canonical arc order,
+/// touch counts, earliest sink.
+fn finish<T: Value>(result: &mut AnalysisResult, per_pos_views: &[&[ProcView<T>]]) {
+    // At most one arc per (array, elem) is ever reported, so this sort
+    // key is a total order and both implementations emit byte-identical
+    // arc lists.
+    result.arcs.sort_unstable_by_key(|a| (a.array, a.elem));
+
+    for views in per_pos_views {
         let touched: usize = views.iter().map(|v| v.num_touched()).sum();
         result.total_touched += touched;
         result.max_touched = result.max_touched.max(touched);
-        let _ = pos;
     }
 
     result.first_violation = result.arcs.iter().map(|a| a.sink_pos).min();
-    result
+}
+
+/// Number of merge buckets: the pool's width when pooled, one bucket
+/// per block under scoped threads, and a single bucket sequentially.
+fn merge_width(executor: &Executor, num_pos: usize) -> usize {
+    match executor.pool() {
+        Some(pool) => pool.threads(),
+        None if executor.mode() == ExecMode::Simulated => 1,
+        None => num_pos,
+    }
+    .max(1)
+}
+
+/// Deterministic element-to-bucket assignment (multiplicative hash so
+/// striding access patterns spread instead of aliasing onto one bucket).
+#[inline]
+fn bucket_of(slot: usize, elem: usize, buckets: usize) -> usize {
+    let h = (elem ^ (slot << 56)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h >> 32) % buckets
 }
 
 #[cfg(test)]
@@ -142,7 +268,21 @@ mod tests {
     fn run(views: Vec<ProcView<f64>>) -> AnalysisResult {
         let wrapped: Vec<Vec<ProcView<f64>>> = views.into_iter().map(|v| vec![v]).collect();
         let refs: Vec<&[ProcView<f64>]> = wrapped.iter().map(|v| v.as_slice()).collect();
-        analyze(&refs, &[0])
+        let seq = analyze_seq(&refs, &[0]);
+        // Every fixture doubles as an equivalence check: the parallel
+        // merge must agree with the sequential one in every mode.
+        for executor in [
+            Executor::new(ExecMode::Simulated),
+            Executor::new(ExecMode::Threads),
+            Executor::with_procs(ExecMode::Pooled, 4),
+        ] {
+            let par = analyze_parallel(&refs, &[0], &executor);
+            assert_eq!(par.first_violation, seq.first_violation);
+            assert_eq!(par.arcs, seq.arcs, "mode {:?}", executor.mode());
+            assert_eq!(par.max_touched, seq.max_touched);
+            assert_eq!(par.total_touched, seq.total_touched);
+        }
+        seq
     }
 
     #[test]
@@ -166,7 +306,12 @@ mod tests {
         assert_eq!(r.first_violation, Some(1));
         assert_eq!(
             r.arcs,
-            vec![DepArc { array: 0, elem: 3, src_pos: 0, sink_pos: 1 }]
+            vec![DepArc {
+                array: 0,
+                elem: 3,
+                src_pos: 0,
+                sink_pos: 1
+            }]
         );
     }
 
@@ -274,7 +419,12 @@ mod tests {
 
     #[test]
     fn arc_display_is_compact() {
-        let arc = DepArc { array: 2, elem: 7, src_pos: 1, sink_pos: 3 };
+        let arc = DepArc {
+            array: 2,
+            elem: 7,
+            src_pos: 1,
+            sink_pos: 3,
+        };
         assert_eq!(arc.to_string(), "array#2[7]: block 1 -> block 3");
     }
 

@@ -90,7 +90,10 @@ impl<T: Value> ArrayDecl<T> {
     pub fn tested(name: &'static str, init: Vec<T>, shadow: ShadowKind) -> Self {
         ArrayDecl {
             name,
-            kind: ArrayKind::Tested { shadow, reduction: None },
+            kind: ArrayKind::Tested {
+                shadow,
+                reduction: None,
+            },
             init,
         }
     }
@@ -104,14 +107,21 @@ impl<T: Value> ArrayDecl<T> {
     ) -> Self {
         ArrayDecl {
             name,
-            kind: ArrayKind::Tested { shadow, reduction: Some(op) },
+            kind: ArrayKind::Tested {
+                shadow,
+                reduction: Some(op),
+            },
             init,
         }
     }
 
     /// An untested (checkpointed) array.
     pub fn untested(name: &'static str, init: Vec<T>) -> Self {
-        ArrayDecl { name, kind: ArrayKind::Untested, init }
+        ArrayDecl {
+            name,
+            kind: ArrayKind::Untested,
+            init,
+        }
     }
 
     /// True for tested (shadow-marked) arrays.

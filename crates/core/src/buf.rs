@@ -135,9 +135,7 @@ impl<T: Copy> SharedBuf<T> {
     /// Exclusive mutable view of the contents.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         // SAFETY: &mut self — no other reference exists.
-        unsafe {
-            std::slice::from_raw_parts_mut(self.data.as_mut_ptr() as *mut T, self.data.len())
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.data.as_mut_ptr() as *mut T, self.data.len()) }
     }
 
     /// Copy the contents out (exclusive access).
@@ -171,18 +169,17 @@ mod tests {
     #[test]
     fn disjoint_parallel_writes_are_sound() {
         let b = SharedBuf::new(vec![0usize; 64]);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4usize {
                 let b = &b;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in (t..64).step_by(4) {
                         // SAFETY: each thread writes i ≡ t (mod 4) — disjoint.
                         unsafe { b.set(i, i * 10, t as u32) };
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut b = b;
         for (i, &v) in b.as_slice().iter().enumerate() {
             assert_eq!(v, i * 10);

@@ -68,7 +68,10 @@ impl<T: Value> WriteLog<T> {
     /// Undo entries in reverse write order: replaying them restores the
     /// pre-stage state of everything this processor wrote.
     pub fn undo_rev(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
-        self.undo.iter().rev().map(|&(s, e, v)| (s as usize, e as usize, v))
+        self.undo
+            .iter()
+            .rev()
+            .map(|&(s, e, v)| (s as usize, e as usize, v))
     }
 
     /// Total writes recorded (distinct elements across all slots).

@@ -18,7 +18,7 @@
 use crate::buf::SharedBuf;
 use crate::value::{Reduction, Value};
 use crate::view::ProcView;
-use rlrpd_runtime::Executor;
+use rlrpd_runtime::{ExecMode, Executor};
 use rlrpd_shadow::hasher::FxBuildHasher;
 use std::collections::HashMap;
 
@@ -38,11 +38,14 @@ pub(crate) struct CommitStats {
 /// `tested_ids[slot]` maps the slot to its array declaration index in
 /// `shared`.
 ///
-/// The *merge* (resolving last-value/reduction order per element) is a
-/// sequential pass over the touched lists; the *write-back* — the
-/// memory-heavy part — is partitioned by last contributing block and
-/// executed in parallel, which is how the paper's commit "is fully
-/// parallel and scales with the number of processors".
+/// The *merge* (resolving last-value/reduction order per element) runs
+/// sequentially under [`ExecMode::Simulated`] and as an
+/// element-partitioned parallel merge otherwise (same bucketing scheme
+/// as the parallel analysis); the *write-back* — the memory-heavy part
+/// — is partitioned by last contributing block and executed in
+/// parallel, which is how the paper's commit "is fully parallel and
+/// scales with the number of processors". Both merges produce the same
+/// final arrays and the same [`CommitStats`].
 pub(crate) fn commit_tested<T: Value>(
     per_pos_views: &[&[ProcView<T>]],
     tested_ids: &[usize],
@@ -50,10 +53,30 @@ pub(crate) fn commit_tested<T: Value>(
     shared: &[SharedBuf<T>],
     executor: &Executor,
 ) -> CommitStats {
+    let (stats, per_block) = match executor.mode() {
+        ExecMode::Simulated => merge_seq(per_pos_views, tested_ids, reductions, shared),
+        ExecMode::Threads | ExecMode::Pooled => {
+            merge_parallel(per_pos_views, tested_ids, reductions, shared, executor)
+        }
+    };
+    writeback(per_block, shared, executor);
+    stats
+}
+
+/// Write-back work list per contributing block:
+/// (array declaration index, element, final value).
+type PerBlock<T> = Vec<Vec<(u32, usize, T)>>;
+
+/// Sequential reference merge: per slot, fold touched entries in block
+/// order into each element's final value and last contributor.
+fn merge_seq<T: Value>(
+    per_pos_views: &[&[ProcView<T>]],
+    tested_ids: &[usize],
+    reductions: &[Option<Reduction<T>>],
+    shared: &[SharedBuf<T>],
+) -> (CommitStats, PerBlock<T>) {
     let mut stats = CommitStats::default();
-    // Write-back work list per contributing block:
-    // (array declaration index, element, final value).
-    let mut per_block: Vec<Vec<(u32, usize, T)>> = vec![Vec::new(); per_pos_views.len()];
+    let mut per_block: PerBlock<T> = vec![Vec::new(); per_pos_views.len()];
 
     for (slot, &array_id) in tested_ids.iter().enumerate() {
         let buf = &shared[array_id];
@@ -88,8 +111,146 @@ pub(crate) fn commit_tested<T: Value>(
         }
     }
 
-    // Parallel write-back: each block writes the elements it owns (it
-    // was the last contributor), so the sets are disjoint per element.
+    (stats, per_block)
+}
+
+/// One merge-relevant touched entry, with its value fetched up front so
+/// the bucket pass never touches the views again.
+#[derive(Clone, Copy)]
+struct Contribution<T> {
+    slot: u32,
+    elem: usize,
+    /// `true`: ordinary write (replaces). `false`: reduction delta
+    /// (folds with the slot's operator).
+    is_write: bool,
+    value: T,
+}
+
+/// Element-partitioned parallel merge. Pass 1 (parallel over blocks)
+/// extracts each block's contributions — mark kind, element, and the
+/// private value — bucketed by element hash, and counts contributions
+/// per `(block, slot)` for the critical-path statistic. Pass 2
+/// (parallel over buckets) folds each bucket's contributions in block
+/// order, exactly as [`merge_seq`] does per element; every entry of a
+/// given `(slot, elem)` lands in one bucket, so the fold is the
+/// sequential one. Pass 3 (sequential, cheap) redistributes the final
+/// values into per-last-contributor write-back lists.
+fn merge_parallel<T: Value>(
+    per_pos_views: &[&[ProcView<T>]],
+    tested_ids: &[usize],
+    reductions: &[Option<Reduction<T>>],
+    shared: &[SharedBuf<T>],
+    executor: &Executor,
+) -> (CommitStats, PerBlock<T>) {
+    let num_pos = per_pos_views.len();
+    let num_slots = tested_ids.len();
+    let buckets = match executor.pool() {
+        Some(pool) => pool.threads(),
+        None => num_pos,
+    }
+    .max(1);
+
+    // Pass 1: per-block contribution extraction.
+    struct BlockPart<T> {
+        buckets: Vec<Vec<Contribution<T>>>,
+        /// Contribution count per slot (sequential counts per
+        /// `(slot, pos)`; the stats maximum ranges over both).
+        per_slot_contribs: Vec<usize>,
+    }
+    let parts: Vec<BlockPart<T>> = executor.run_indexed(num_pos, |pos| {
+        let mut part = BlockPart {
+            buckets: vec![Vec::new(); buckets],
+            per_slot_contribs: vec![0; num_slots],
+        };
+        for (slot, view) in per_pos_views[pos].iter().enumerate().take(num_slots) {
+            for (elem, mark) in view.touched() {
+                let contribution = if mark.is_written() {
+                    Contribution {
+                        slot: slot as u32,
+                        elem,
+                        is_write: true,
+                        value: view.written_value(elem),
+                    }
+                } else if mark.is_reduction_only() {
+                    Contribution {
+                        slot: slot as u32,
+                        elem,
+                        is_write: false,
+                        value: view.reduction_delta(elem),
+                    }
+                } else {
+                    continue;
+                };
+                part.per_slot_contribs[slot] += 1;
+                part.buckets[bucket_of(slot, elem, buckets)].push(contribution);
+            }
+        }
+        part
+    });
+
+    // Pass 2: per-bucket fold in block order.
+    let folded: Vec<Vec<(u32, usize, T, u32)>> = executor.run_indexed(buckets, |b| {
+        // (slot, elem) -> (value so far, last contributing block).
+        let mut final_vals: HashMap<(u32, usize), (T, usize), FxBuildHasher> = HashMap::default();
+        for (pos, part) in parts.iter().enumerate() {
+            for &Contribution {
+                slot,
+                elem,
+                is_write,
+                value,
+            } in &part.buckets[b]
+            {
+                if is_write {
+                    final_vals.insert((slot, elem), (value, pos));
+                } else {
+                    let op = reductions[slot as usize].expect("reduction mark without operator");
+                    let base = final_vals
+                        .get(&(slot, elem))
+                        .map(|&(v, _)| v)
+                        .unwrap_or_else(
+                            // SAFETY: commit runs after the stage barrier;
+                            // no concurrent writers of tested shared data.
+                            || unsafe { shared[tested_ids[slot as usize]].get(elem) },
+                        );
+                    final_vals.insert((slot, elem), ((op.combine)(base, value), pos));
+                }
+            }
+        }
+        final_vals
+            .into_iter()
+            .map(|((slot, elem), (v, who))| (tested_ids[slot as usize] as u32, elem, v, who as u32))
+            .collect()
+    });
+
+    // Pass 3: redistribute by last contributor.
+    let mut stats = CommitStats::default();
+    for part in &parts {
+        for &c in &part.per_slot_contribs {
+            stats.max_per_block = stats.max_per_block.max(c);
+        }
+    }
+    let mut per_block: PerBlock<T> = vec![Vec::new(); num_pos];
+    for bucket in folded {
+        stats.elems_committed += bucket.len();
+        for (array_id, elem, v, who) in bucket {
+            per_block[who as usize].push((array_id, elem, v));
+        }
+    }
+
+    (stats, per_block)
+}
+
+/// Same deterministic element-to-bucket hash the parallel analysis
+/// uses.
+#[inline]
+fn bucket_of(slot: usize, elem: usize, buckets: usize) -> usize {
+    let h = (elem ^ (slot << 56)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h >> 32) % buckets
+}
+
+/// Parallel write-back: each block writes the elements it owns (it was
+/// the last contributor), so the sets are disjoint per element.
+fn writeback<T: Value>(mut per_block: PerBlock<T>, shared: &[SharedBuf<T>], executor: &Executor) {
     executor.run_blocks(&mut per_block, |who, entries| {
         for &(array_id, elem, v) in entries.iter() {
             // SAFETY: ownership partition — element `elem` of this
@@ -98,8 +259,6 @@ pub(crate) fn commit_tested<T: Value>(
         }
         entries.len() as f64
     });
-
-    stats
 }
 
 #[cfg(test)]
@@ -127,7 +286,10 @@ mod tests {
     #[test]
     fn parallel_writeback_matches_sequential() {
         // Same commit through both executors must yield identical state.
-        for mode in [rlrpd_runtime::ExecMode::Simulated, rlrpd_runtime::ExecMode::Threads] {
+        for mode in [
+            rlrpd_runtime::ExecMode::Simulated,
+            rlrpd_runtime::ExecMode::Threads,
+        ] {
             let mut buf = SharedBuf::new(vec![0.0; 64]);
             buf.new_epoch();
             let mut views = Vec::new();
@@ -195,7 +357,11 @@ mod tests {
         let mut b = ProcView::new(2, ShadowKind::Dense, Some(op));
         b.reduce(0, 4.0, |_| 0.0);
         commit_one(vec![a, b], Some(op), &mut buf);
-        assert_eq!(buf.as_slice()[0], 54.0, "delta composes over the committed write");
+        assert_eq!(
+            buf.as_slice()[0],
+            54.0,
+            "delta composes over the committed write"
+        );
     }
 
     #[test]

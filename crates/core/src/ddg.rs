@@ -80,8 +80,9 @@ impl DepGraph {
             indeg[d as usize] += 1;
         }
         let mut levels = Vec::new();
-        let mut frontier: Vec<u32> =
-            (0..self.n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut frontier: Vec<u32> = (0..self.n as u32)
+            .filter(|&i| indeg[i as usize] == 0)
+            .collect();
         let mut placed = 0usize;
         while !frontier.is_empty() {
             placed += frontier.len();
@@ -96,13 +97,17 @@ impl DepGraph {
             }
             levels.push(std::mem::replace(&mut frontier, next));
         }
-        assert_eq!(placed, self.n, "dependence graph has a cycle (impossible: edges go forward)");
+        assert_eq!(
+            placed, self.n,
+            "dependence graph has a cycle (impossible: edges go forward)"
+        );
         levels
     }
 
     /// Critical path length = number of wavefronts over all edge kinds.
     pub fn critical_path(&self) -> usize {
-        self.wavefronts(&[EdgeKind::Flow, EdgeKind::Anti, EdgeKind::Output]).len()
+        self.wavefronts(&[EdgeKind::Flow, EdgeKind::Anti, EdgeKind::Output])
+            .len()
     }
 
     /// Critical path length counting flow edges only (the figure the
@@ -214,7 +219,8 @@ impl DepCollector {
             anti: dedup(self.anti),
             output: dedup(self.output),
         };
-        debug_assert!(g.edges(&[EdgeKind::Flow, EdgeKind::Anti, EdgeKind::Output])
+        debug_assert!(g
+            .edges(&[EdgeKind::Flow, EdgeKind::Anti, EdgeKind::Output])
             .all(|(s, d)| s < d));
         g
     }
@@ -247,8 +253,15 @@ pub fn extract_ddg<T: Value>(
     let (report, arcs) = window::run_window(&mut engine, cfg, wcfg, |blocks| {
         collector.consume(blocks);
     });
-    let run = RunResult { arrays: engine.arrays_out(), report, arcs };
-    DdgResult { graph: collector.finish(n), run }
+    let run = RunResult {
+        arrays: engine.arrays_out(),
+        report,
+        arcs,
+    };
+    DdgResult {
+        graph: collector.finish(n),
+        run,
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +339,10 @@ mod tests {
 
     #[test]
     fn independent_iterations_form_one_wavefront() {
-        let g = DepGraph { n: 6, ..Default::default() };
+        let g = DepGraph {
+            n: 6,
+            ..Default::default()
+        };
         assert_eq!(g.critical_path(), 1);
         assert_eq!(g.wavefronts(&[EdgeKind::Flow])[0].len(), 6);
     }

@@ -188,7 +188,11 @@ impl Runner {
             BalancePolicy::FeedbackTrend => FeedbackPartitioner::with_trend(TrendMode::Linear),
             _ => FeedbackPartitioner::new(),
         };
-        Runner { cfg, partitioner, pr: PrAccumulator::default() }
+        Runner {
+            cfg,
+            partitioner,
+            pr: PrAccumulator::default(),
+        }
     }
 
     /// The active configuration.
@@ -201,8 +205,7 @@ impl Runner {
         let result = match self.cfg.strategy {
             Strategy::SlidingWindow(wcfg) => {
                 let mut engine = Engine::new(lp, self.cfg.engine_cfg(), false);
-                let (report, arcs) =
-                    window::run_window(&mut engine, &self.cfg, wcfg, |_| {});
+                let (report, arcs) = window::run_window(&mut engine, &self.cfg, wcfg, |_| {});
                 self.finish(engine, report, arcs)
             }
             _ => self.run_recursive(lp),
@@ -294,7 +297,11 @@ impl Runner {
         ) {
             self.partitioner.record(engine.iter_times.clone());
         }
-        RunResult { arrays: engine.arrays_out(), report, arcs }
+        RunResult {
+            arrays: engine.arrays_out(),
+            report,
+            arcs,
+        }
     }
 
     fn cut(&self, iters: Range<usize>, p: usize) -> BlockSchedule {
@@ -340,7 +347,11 @@ mod tests {
                         break;
                     }
                 }
-                let v = if is_sink && i > 0 { ctx.read(A, i - 1) } else { 0.0 };
+                let v = if is_sink && i > 0 {
+                    ctx.read(A, i - 1)
+                } else {
+                    0.0
+                };
                 ctx.write(A, i, v + i as f64);
             },
         )

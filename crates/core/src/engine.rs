@@ -178,7 +178,7 @@ impl<'l, T: Value> Engine<'l, T> {
             reductions,
             untested_ids,
             states,
-            executor: Executor::new(cfg.exec),
+            executor: Executor::with_procs(cfg.exec, cfg.p),
             cfg,
             iter_times: vec![0.0; n],
             last_proc: vec![u32::MAX; n],
@@ -197,22 +197,22 @@ impl<'l, T: Value> Engine<'l, T> {
         };
 
         // 1. Eager checkpoint of untested arrays.
-        let snapshot = if self.cfg.checkpoint == CheckpointPolicy::Eager
-            && !self.untested_ids.is_empty()
-        {
-            let arrays: Vec<Vec<T>> = self
-                .untested_ids
-                .iter()
-                .map(|&id| self.shared[id].to_vec())
-                .collect();
-            let snap = EagerSnapshot::take(arrays);
-            stats
-                .overhead
-                .add(OverheadKind::Checkpoint, snap.num_elems() as f64 * cost.checkpoint_per_elem);
-            Some(snap)
-        } else {
-            None
-        };
+        let snapshot =
+            if self.cfg.checkpoint == CheckpointPolicy::Eager && !self.untested_ids.is_empty() {
+                let arrays: Vec<Vec<T>> = self
+                    .untested_ids
+                    .iter()
+                    .map(|&id| self.shared[id].to_vec())
+                    .collect();
+                let snap = EagerSnapshot::take(arrays);
+                stats.overhead.add(
+                    OverheadKind::Checkpoint,
+                    snap.num_elems() as f64 * cost.checkpoint_per_elem,
+                );
+                Some(snap)
+            } else {
+                None
+            };
 
         // 2. New write epoch for the speculative phase.
         for buf in &mut self.shared {
@@ -279,9 +279,10 @@ impl<'l, T: Value> Engine<'l, T> {
                     .count();
                 max_misses = max_misses.max(misses);
             }
-            stats
-                .overhead
-                .add(OverheadKind::RemoteMiss, max_misses as f64 * cost.remote_miss);
+            stats.overhead.add(
+                OverheadKind::RemoteMiss,
+                max_misses as f64 * cost.remote_miss,
+            );
         }
         for (pos, st) in self.states.iter().enumerate() {
             let proc = schedule.blocks()[pos].proc.0;
@@ -313,15 +314,25 @@ impl<'l, T: Value> Engine<'l, T> {
             .map(|st| st.views.iter().map(ProcView::refs).sum::<u64>())
             .max()
             .unwrap_or(0);
-        stats
-            .overhead
-            .add(OverheadKind::Marking, max_refs as f64 * cost.marking_per_ref);
+        stats.overhead.add(
+            OverheadKind::Marking,
+            max_refs as f64 * cost.marking_per_ref,
+        );
+
+        // Host phase timing is only meaningful (and only measured) when
+        // real threads run the stage; the simulated executor's contract
+        // keeps every reported number independent of the host.
+        let timed = self.executor.mode() != ExecMode::Simulated;
+        stats.phases.execute_seconds = timing.wall_seconds;
 
         // 4. Analysis: merge shadows, locate the earliest sink. The
         // tree merge over p shadows costs O(max_touched · log p).
-        let per_pos: Vec<&[ProcView<T>]> =
-            self.states.iter().map(|s| s.views.as_slice()).collect();
-        let analysis: AnalysisResult = analyze(&per_pos, &self.tested_ids);
+        let phase_start = std::time::Instant::now();
+        let per_pos: Vec<&[ProcView<T>]> = self.states.iter().map(|s| s.views.as_slice()).collect();
+        let analysis: AnalysisResult = analyze(&per_pos, &self.tested_ids, &self.executor);
+        if timed {
+            stats.phases.analysis_seconds = phase_start.elapsed().as_secs_f64();
+        }
         let merge_depth = (self.cfg.p as f64).log2().ceil().max(1.0);
         stats.overhead.add(
             OverheadKind::Analysis,
@@ -351,6 +362,7 @@ impl<'l, T: Value> Engine<'l, T> {
 
         // 5. Commit the passing prefix (new epoch: the commit writers
         // are distinct from the speculative writers).
+        let phase_start = std::time::Instant::now();
         for buf in &mut self.shared {
             buf.new_epoch();
         }
@@ -370,6 +382,9 @@ impl<'l, T: Value> Engine<'l, T> {
             cstats.max_per_block as f64 * cost.commit_per_elem,
         );
         drop(committing);
+        if timed {
+            stats.phases.commit_seconds = phase_start.elapsed().as_secs_f64();
+        }
 
         for st in &self.states[..commit_upto] {
             for &(iter, c) in &st.iter_costs {
@@ -387,6 +402,7 @@ impl<'l, T: Value> Engine<'l, T> {
         }
 
         // 6. Restore untested state written by failed or dead blocks.
+        let phase_start = std::time::Instant::now();
         if (violation.is_some() || exit.is_some()) && !self.untested_ids.is_empty() {
             let mut max_restored = 0usize;
             for (off, st) in self.states[commit_upto..].iter().enumerate() {
@@ -404,7 +420,9 @@ impl<'l, T: Value> Engine<'l, T> {
                         }
                     }
                     CheckpointPolicy::Eager => {
-                        let snap = snapshot.as_ref().expect("eager policy snapshots every stage");
+                        let snap = snapshot
+                            .as_ref()
+                            .expect("eager policy snapshots every stage");
                         for (slot, &id) in self.untested_ids.iter().enumerate() {
                             for elem in st.wlog.written(slot) {
                                 // SAFETY: as above.
@@ -421,6 +439,9 @@ impl<'l, T: Value> Engine<'l, T> {
                 OverheadKind::Restore,
                 max_restored as f64 * cost.restore_per_elem,
             );
+            if timed {
+                stats.phases.restore_seconds = phase_start.elapsed().as_secs_f64();
+            }
         }
 
         // 7. Collect committed blocks' per-iteration marks (DDG mode).
@@ -437,7 +458,11 @@ impl<'l, T: Value> Engine<'l, T> {
             Vec::new()
         };
 
-        // 8. Shadow re-initialization (O(touched) per block).
+        // 8. Shadow re-initialization (O(touched) per block). Each
+        // block clears only its own private state, so the clears run on
+        // the stage executor — under the pooled mode they reuse the
+        // same persistent workers as the doall itself.
+        let phase_start = std::time::Instant::now();
         let max_touched = self
             .states
             .iter()
@@ -448,14 +473,20 @@ impl<'l, T: Value> Engine<'l, T> {
             OverheadKind::ShadowInit,
             max_touched as f64 * cost.shadow_init_per_elem,
         );
-        for st in &mut self.states {
+        let record = self.record_marks;
+        let num_slots = self.tested_ids.len();
+        self.executor.run_blocks(&mut self.states, |_, st| {
             for v in &mut st.views {
                 v.clear();
             }
             st.wlog.clear();
-            if self.record_marks {
-                st.marks = self.tested_ids.iter().map(|_| IterMarks::new()).collect();
+            if record {
+                st.marks = (0..num_slots).map(|_| IterMarks::new()).collect();
             }
+            0.0
+        });
+        if timed {
+            stats.phases.shadow_clear_seconds = phase_start.elapsed().as_secs_f64();
         }
 
         // 9. Barrier.
@@ -530,17 +561,27 @@ pub fn run_sequential<T: Value>(lp: &dyn SpecLoop<T>) -> (Vec<(&'static str, Vec
             ArrayKind::Tested { reduction, .. } => {
                 let r = Route::Tested { slot: tested_slot };
                 tested_slot += 1;
-                meta.push(ArrayMeta { name: decl.name, route: r, reduction });
+                meta.push(ArrayMeta {
+                    name: decl.name,
+                    route: r,
+                    reduction,
+                });
                 shared.push(SharedBuf::new(decl.init));
                 continue;
             }
             ArrayKind::Untested => {
-                let r = Route::Untested { slot: untested_slot };
+                let r = Route::Untested {
+                    slot: untested_slot,
+                };
                 untested_slot += 1;
                 r
             }
         };
-        meta.push(ArrayMeta { name: decl.name, route, reduction: None });
+        meta.push(ArrayMeta {
+            name: decl.name,
+            route,
+            reduction: None,
+        });
         shared.push(SharedBuf::new(decl.init));
     }
 

@@ -13,7 +13,10 @@ impl TouchedFlags {
     /// Flags for `size` elements, all clear.
     pub fn new(size: usize) -> Self {
         assert!(size <= u32::MAX as usize);
-        TouchedFlags { bits: vec![false; size], touched: Vec::new() }
+        TouchedFlags {
+            bits: vec![false; size],
+            touched: Vec::new(),
+        }
     }
 
     /// Set flag `i`; returns `true` when it was previously clear (first

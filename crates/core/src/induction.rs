@@ -116,8 +116,7 @@ impl<'a, T: Value> IndCtx<'a, T> {
                     v
                 } else {
                     let r = &mut st.ranges[a];
-                    r.max_exposed_read =
-                        Some(r.max_exposed_read.map_or(i, |m| m.max(i)));
+                    r.max_exposed_read = Some(r.max_exposed_read.map_or(i, |m| m.max(i)));
                     // SAFETY: speculative passes never write shared.
                     unsafe { self.shared[a].get(i) }
                 }
@@ -174,10 +173,9 @@ pub fn run_induction<T: Value>(
     let decls = lp.arrays();
     let num_arrays = decls.len();
     let names: Vec<&'static str> = decls.iter().map(|d| d.name).collect();
-    let mut shared: Vec<SharedBuf<T>> =
-        decls.into_iter().map(|d| SharedBuf::new(d.init)).collect();
+    let mut shared: Vec<SharedBuf<T>> = decls.into_iter().map(|d| SharedBuf::new(d.init)).collect();
     let initial = lp.initial_counter();
-    let executor = Executor::new(exec);
+    let executor = Executor::with_procs(exec, p);
     let schedule = BlockSchedule::even(0..n, p);
     let mut report = RunReport {
         sequential_work: (0..n).map(|i| lp.cost(i)).sum(),
@@ -185,8 +183,7 @@ pub fn run_induction<T: Value>(
     };
 
     // Pass 1: zero-offset speculation, collect bumps + ranges.
-    let mut states: Vec<PassState<T>> =
-        (0..p).map(|_| PassState::new(num_arrays)).collect();
+    let mut states: Vec<PassState<T>> = (0..p).map(|_| PassState::new(num_arrays)).collect();
     let timing = run_pass(lp, &executor, &schedule, &shared, &mut states, |_| initial);
     let mut stage1 = StageStats {
         loop_time: timing.0,
@@ -248,10 +245,7 @@ pub fn run_induction<T: Value>(
             .iter()
             .filter_map(|st| st.ranges[a].max_exposed_read)
             .max();
-        let min_write = states
-            .iter()
-            .filter_map(|st| st.ranges[a].min_write)
-            .min();
+        let min_write = states.iter().filter_map(|st| st.ranges[a].min_write).min();
         if let (Some(r), Some(w)) = (max_read, min_write) {
             if r >= w {
                 test_passed = false;
@@ -280,9 +274,10 @@ pub fn run_induction<T: Value>(
                 unsafe { shared[a as usize].set(i, v, pos as u32) };
             }
         }
-        stage2
-            .overhead
-            .add(OverheadKind::Commit, committed as f64 * cost.commit_per_elem);
+        stage2.overhead.add(
+            OverheadKind::Commit,
+            committed as f64 * cost.commit_per_elem,
+        );
         stage2.overhead.add(OverheadKind::Sync, cost.sync);
         report.stages.push(stage2);
     } else {
@@ -370,5 +365,9 @@ fn run_pass<T: Value>(
         }
         total
     });
-    (timing.critical_path(), timing.total_work(), timing.wall_seconds)
+    (
+        timing.critical_path(),
+        timing.total_work(),
+        timing.wall_seconds,
+    )
 }

@@ -150,10 +150,22 @@ mod tests {
     impl Inspectable<f64> for Diamond {
         fn inspect(&self, i: usize) -> AccessTrace {
             match i {
-                0 => AccessTrace { reads: vec![], writes: vec![(A, 0)] },
-                1 => AccessTrace { reads: vec![(A, 0)], writes: vec![(A, 1)] },
-                2 => AccessTrace { reads: vec![(A, 0)], writes: vec![(A, 2)] },
-                _ => AccessTrace { reads: vec![(A, 1), (A, 2)], writes: vec![(A, 3)] },
+                0 => AccessTrace {
+                    reads: vec![],
+                    writes: vec![(A, 0)],
+                },
+                1 => AccessTrace {
+                    reads: vec![(A, 0)],
+                    writes: vec![(A, 1)],
+                },
+                2 => AccessTrace {
+                    reads: vec![(A, 0)],
+                    writes: vec![(A, 2)],
+                },
+                _ => AccessTrace {
+                    reads: vec![(A, 1), (A, 2)],
+                    writes: vec![(A, 3)],
+                },
             }
         }
     }

@@ -54,5 +54,9 @@ pub fn run_classic_lrpd<T: Value>(lp: &dyn SpecLoop<T>, cfg: &RunConfig) -> RunR
     }
 
     report.wall_seconds = report.stages.iter().map(|s| s.wall_seconds).sum();
-    RunResult { arrays: engine.arrays_out(), report, arcs }
+    RunResult {
+        arrays: engine.arrays_out(),
+        report,
+        arcs,
+    }
 }

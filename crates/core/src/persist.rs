@@ -111,7 +111,10 @@ impl<'a> Reader<'a> {
         if buf[8] != kind {
             return Err(PersistError::WrongKind);
         }
-        Ok(Reader { buf: &buf[..body_end], pos: 9 })
+        Ok(Reader {
+            buf: &buf[..body_end],
+            pos: 9,
+        })
     }
 
     fn u64(&mut self) -> Result<u64, PersistError> {
@@ -180,7 +183,12 @@ impl DepGraph {
         let anti = r.edges()?;
         let output = r.edges()?;
         r.done()?;
-        Ok(DepGraph { n, flow, anti, output })
+        Ok(DepGraph {
+            n,
+            flow,
+            anti,
+            output,
+        })
     }
 }
 
@@ -306,7 +314,10 @@ mod tests {
 
     #[test]
     fn empty_graph_round_trips() {
-        let g = DepGraph { n: 0, ..Default::default() };
+        let g = DepGraph {
+            n: 0,
+            ..Default::default()
+        };
         let back = DepGraph::from_bytes(&g.to_bytes()).unwrap();
         assert_eq!(back.n, 0);
         assert_eq!(back.num_edges(), 0);

@@ -65,11 +65,18 @@ impl StrategyPredictor {
     /// # Panics
     /// Panics on an empty candidate set.
     pub fn with_candidates(candidates: Vec<Strategy>) -> Self {
-        assert!(!candidates.is_empty(), "need at least one candidate strategy");
+        assert!(
+            !candidates.is_empty(),
+            "need at least one candidate strategy"
+        );
         StrategyPredictor {
             scores: candidates
                 .into_iter()
-                .map(|strategy| Score { strategy, norm_time: None, trials: 0 })
+                .map(|strategy| Score {
+                    strategy,
+                    norm_time: None,
+                    trials: 0,
+                })
                 .collect(),
             round: 0,
             reexplore_every: 16,
@@ -122,7 +129,10 @@ impl StrategyPredictor {
 
     /// `(strategy, smoothed normalized time, trials)` per candidate.
     pub fn scores(&self) -> Vec<(Strategy, Option<f64>, u32)> {
-        self.scores.iter().map(|s| (s.strategy, s.norm_time, s.trials)).collect()
+        self.scores
+            .iter()
+            .map(|s| (s.strategy, s.norm_time, s.trials))
+            .collect()
     }
 }
 
@@ -192,7 +202,10 @@ mod tests {
 
     fn report(virtual_time: f64, work: f64) -> RunReport {
         RunReport {
-            stages: vec![StageStats { loop_time: virtual_time, ..Default::default() }],
+            stages: vec![StageStats {
+                loop_time: virtual_time,
+                ..Default::default()
+            }],
             restarts: 0,
             sequential_work: work,
             wall_seconds: 0.0,
@@ -245,9 +258,15 @@ mod tests {
             if s == Strategy::Rd {
                 explored_loser = true;
             }
-            p.observe(s, &report(if s == Strategy::Nrd { 5.0 } else { 50.0 }, 10.0));
+            p.observe(
+                s,
+                &report(if s == Strategy::Nrd { 5.0 } else { 50.0 }, 10.0),
+            );
         }
-        assert!(explored_loser, "the losing candidate must be retried eventually");
+        assert!(
+            explored_loser,
+            "the losing candidate must be retried eventually"
+        );
     }
 
     #[test]
@@ -266,7 +285,11 @@ mod tests {
             },
             |i, ctx| {
                 let a = crate::array::ArrayId(0);
-                let v = if i % 37 == 0 && i > 0 { ctx.read(a, i - 5) } else { 0.0 };
+                let v = if i % 37 == 0 && i > 0 {
+                    ctx.read(a, i - 5)
+                } else {
+                    0.0
+                };
                 ctx.write(a, i, v + i as f64);
             },
         );
@@ -277,6 +300,9 @@ mod tests {
             assert_eq!(res.array("A"), &seq[0].1[..]);
         }
         let scores = runner.predictor().scores();
-        assert!(scores.iter().all(|(_, t, _)| t.is_some()), "all candidates tried");
+        assert!(
+            scores.iter().all(|(_, t, _)| t.is_some()),
+            "all candidates tried"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Run-level reports: stage series, restarts, parallelism ratio, and
 //! speedups.
 
-use rlrpd_runtime::{OverheadKind, StageStats};
+use rlrpd_runtime::{OverheadKind, PhaseSeconds, StageStats};
 
 /// Report of one speculative run of a loop (one instantiation).
 #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
@@ -50,6 +50,16 @@ impl RunReport {
     pub fn total_work_executed(&self) -> f64 {
         self.stages.iter().map(|s| s.total_work).sum()
     }
+
+    /// Wall-clock per-phase totals across all stages (all zero when the
+    /// run used the simulated executor).
+    pub fn phase_totals(&self) -> PhaseSeconds {
+        let mut total = PhaseSeconds::default();
+        for s in &self.stages {
+            total.merge(&s.phases);
+        }
+        total
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -90,6 +100,19 @@ impl std::fmt::Display for RunReport {
                 writeln!(f, "  {name:<16} {v:>12.2}")?;
             }
         }
+        let phases = self.phase_totals();
+        if phases.total() > 0.0 {
+            writeln!(
+                f,
+                "wall phases (s): execute {:.4}, analysis {:.4}, commit {:.4}, \
+                 restore {:.4}, shadow-clear {:.4}",
+                phases.execute_seconds,
+                phases.analysis_seconds,
+                phases.commit_seconds,
+                phases.restore_seconds,
+                phases.shadow_clear_seconds,
+            )?;
+        }
         Ok(())
     }
 }
@@ -125,7 +148,10 @@ mod tests {
     use super::*;
 
     fn stage(loop_time: f64, sync: f64) -> StageStats {
-        let mut s = StageStats { loop_time, ..Default::default() };
+        let mut s = StageStats {
+            loop_time,
+            ..Default::default()
+        };
         s.overhead.add(OverheadKind::Sync, sync);
         s
     }
@@ -159,7 +185,10 @@ mod tests {
     #[test]
     fn accumulator_matches_paper_definition() {
         let mut acc = PrAccumulator::default();
-        let run = |restarts| RunReport { restarts, ..Default::default() };
+        let run = |restarts| RunReport {
+            restarts,
+            ..Default::default()
+        };
         acc.add(&run(0));
         acc.add(&run(2));
         acc.add(&run(1));
@@ -189,5 +218,22 @@ mod tests {
     #[test]
     fn empty_accumulator_reports_full_parallelism() {
         assert_eq!(PrAccumulator::default().pr(), 1.0);
+    }
+
+    #[test]
+    fn phase_totals_sum_across_stages() {
+        let mut s1 = stage(1.0, 0.0);
+        s1.phases.analysis_seconds = 0.5;
+        s1.phases.execute_seconds = 2.0;
+        let mut s2 = stage(1.0, 0.0);
+        s2.phases.analysis_seconds = 0.25;
+        let r = RunReport {
+            stages: vec![s1, s2],
+            ..Default::default()
+        };
+        let t = r.phase_totals();
+        assert_eq!(t.analysis_seconds, 0.75);
+        assert_eq!(t.execute_seconds, 2.0);
+        assert!(r.to_string().contains("wall phases"), "{r}");
     }
 }

@@ -73,7 +73,9 @@ impl Timeline {
                         cells.push(Cell::Committed { iters: len });
                     } else if committed_left > 0 {
                         // Partially committed block (premature exit).
-                        cells.push(Cell::Committed { iters: committed_left });
+                        cells.push(Cell::Committed {
+                            iters: committed_left,
+                        });
                         committed_left = 0;
                     } else {
                         cells.push(Cell::Discarded { iters: len });
@@ -82,7 +84,11 @@ impl Timeline {
                 cells
             })
             .collect();
-        Timeline { p, rows, stats: result.report.stages.clone() }
+        Timeline {
+            p,
+            rows,
+            stats: result.report.stages.clone(),
+        }
     }
 
     /// Number of stages.
@@ -143,11 +149,7 @@ impl Timeline {
                 }
                 let _ = write!(out, " P{proc} {bar} {tag} |");
             }
-            let _ = writeln!(
-                out,
-                " t={:.1}",
-                self.stats[k].virtual_time()
-            );
+            let _ = writeln!(out, " t={:.1}", self.stats[k].virtual_time());
         }
         let _ = writeln!(
             out,
@@ -173,7 +175,11 @@ mod tests {
             n,
             move || vec![ArrayDecl::tested("A", vec![0.0; 64], ShadowKind::Dense)],
             move |i, ctx| {
-                let v = if i == sink { ctx.read(A, sink - 1) } else { 0.0 };
+                let v = if i == sink {
+                    ctx.read(A, sink - 1)
+                } else {
+                    0.0
+                };
                 ctx.write(A, i % 64, v + i as f64);
             },
         )
@@ -183,7 +189,10 @@ mod tests {
     fn fig1_shape_reconstructs() {
         // 8 iterations, 4 procs, sink at 4: stage 0 commits P0-P1,
         // discards P2-P3; stage 1 runs P2-P3 (NRD: P0-P1 idle).
-        let res = run_speculative(&dep_loop(8, 4), RunConfig::new(4).with_strategy(Strategy::Nrd));
+        let res = run_speculative(
+            &dep_loop(8, 4),
+            RunConfig::new(4).with_strategy(Strategy::Nrd),
+        );
         let t = Timeline::from_result(&res, 4);
         assert_eq!(t.num_stages(), 2);
         assert_eq!(t.stage(0)[0], Cell::Committed { iters: 2 });
@@ -199,12 +208,18 @@ mod tests {
         let t = Timeline::from_result(&res, 4);
         assert_eq!(t.num_stages(), 1);
         assert_eq!(t.wasted_iters(), 0);
-        assert!(t.stage(0).iter().all(|c| matches!(c, Cell::Committed { .. })));
+        assert!(t
+            .stage(0)
+            .iter()
+            .all(|c| matches!(c, Cell::Committed { .. })));
     }
 
     #[test]
     fn render_is_well_formed() {
-        let res = run_speculative(&dep_loop(16, 8), RunConfig::new(4).with_strategy(Strategy::Rd));
+        let res = run_speculative(
+            &dep_loop(16, 8),
+            RunConfig::new(4).with_strategy(Strategy::Rd),
+        );
         let t = Timeline::from_result(&res, 4);
         let text = t.render();
         assert!(text.lines().count() > t.num_stages());

@@ -31,29 +31,43 @@ pub struct Reduction<T> {
 
 impl<T: Debug> Debug for Reduction<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Reduction").field("identity", &self.identity).finish()
+        f.debug_struct("Reduction")
+            .field("identity", &self.identity)
+            .finish()
     }
 }
 
 impl Reduction<f64> {
     /// Sum reduction `x += exp`.
     pub fn sum() -> Self {
-        Reduction { identity: 0.0, combine: |a, b| a + b }
+        Reduction {
+            identity: 0.0,
+            combine: |a, b| a + b,
+        }
     }
 
     /// Product reduction `x *= exp`.
     pub fn product() -> Self {
-        Reduction { identity: 1.0, combine: |a, b| a * b }
+        Reduction {
+            identity: 1.0,
+            combine: |a, b| a * b,
+        }
     }
 
     /// Max reduction `x = max(x, exp)`.
     pub fn max() -> Self {
-        Reduction { identity: f64::NEG_INFINITY, combine: f64::max }
+        Reduction {
+            identity: f64::NEG_INFINITY,
+            combine: f64::max,
+        }
     }
 
     /// Min reduction `x = min(x, exp)`.
     pub fn min() -> Self {
-        Reduction { identity: f64::INFINITY, combine: f64::min }
+        Reduction {
+            identity: f64::INFINITY,
+            combine: f64::min,
+        }
     }
 }
 

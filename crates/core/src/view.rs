@@ -87,7 +87,13 @@ impl<T: Value> ProcView<T> {
                 Shadow::sparse(),
             ),
         };
-        ProcView { store, accum, op, shadow, refs: 0 }
+        ProcView {
+            store,
+            accum,
+            op,
+            shadow,
+            refs: 0,
+        }
     }
 
     /// Ordinary read of element `e`; `shared` supplies the committed
@@ -131,7 +137,9 @@ impl<T: Value> ProcView<T> {
     /// Panics if the array was declared without a reduction operator.
     pub fn reduce(&mut self, e: usize, v: T, shared: impl Fn(usize) -> T) {
         self.refs += 1;
-        let op = self.op.expect("reduce on array declared without a reduction operator");
+        let op = self
+            .op
+            .expect("reduce on array declared without a reduction operator");
         let m = self.shadow.mark(e);
         if m.is_written() {
             // Ordinary read-modify-write on the private value.
@@ -202,7 +210,12 @@ impl<T: Value> ProcView<T> {
 
 impl<T: Value> std::fmt::Debug for ProcView<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ProcView(touched={}, refs={})", self.num_touched(), self.refs)
+        write!(
+            f,
+            "ProcView(touched={}, refs={})",
+            self.num_touched(),
+            self.refs
+        )
     }
 }
 
@@ -268,7 +281,10 @@ mod tests {
         let got = v.read(0, shared_of(&shared));
         assert_eq!(got, 103.0, "shared ⊕ delta");
         assert!(v.mark(0).is_written());
-        assert!(v.mark(0).is_exposed_read(), "materialization consumed shared data");
+        assert!(
+            v.mark(0).is_exposed_read(),
+            "materialization consumed shared data"
+        );
         // Further reduces fold into the private value.
         v.reduce(0, 1.0, shared_of(&shared));
         assert_eq!(v.written_value(0), 104.0);

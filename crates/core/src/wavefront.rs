@@ -121,16 +121,22 @@ pub fn execute_wavefronts<T: Value>(
                 (r, reduction)
             }
             ArrayKind::Untested => {
-                let r = Route::Untested { slot: untested_slot };
+                let r = Route::Untested {
+                    slot: untested_slot,
+                };
                 untested_slot += 1;
                 (r, None)
             }
         };
-        meta.push(ArrayMeta { name: decl.name, route, reduction });
+        meta.push(ArrayMeta {
+            name: decl.name,
+            route,
+            reduction,
+        });
         shared.push(SharedBuf::new(decl.init));
     }
 
-    let executor = Executor::new(exec);
+    let executor = Executor::with_procs(exec, p);
     let mut virtual_time = 0.0;
     let mut wall = 0.0;
     let mut sequential_work = 0.0;

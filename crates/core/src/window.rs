@@ -64,7 +64,11 @@ pub struct WindowConfig {
 impl WindowConfig {
     /// A fixed-size circular window of `w` iterations per processor.
     pub fn fixed(w: usize) -> Self {
-        WindowConfig { iters_per_proc: w, policy: WindowPolicy::Fixed, circular: true }
+        WindowConfig {
+            iters_per_proc: w,
+            policy: WindowPolicy::Fixed,
+            circular: true,
+        }
     }
 }
 
@@ -161,7 +165,10 @@ mod tests {
 
     #[test]
     fn grow_policy_grows_and_saturates() {
-        let p = WindowPolicy::GrowOnFailure { factor: 2.0, max: 16 };
+        let p = WindowPolicy::GrowOnFailure {
+            factor: 2.0,
+            max: 16,
+        };
         assert_eq!(adapt(4, p), 8);
         assert_eq!(adapt(8, p), 16);
         assert_eq!(adapt(16, p), 16);
@@ -169,7 +176,10 @@ mod tests {
 
     #[test]
     fn shrink_policy_shrinks_and_saturates() {
-        let p = WindowPolicy::ShrinkOnFailure { factor: 2.0, min: 2 };
+        let p = WindowPolicy::ShrinkOnFailure {
+            factor: 2.0,
+            min: 2,
+        };
         assert_eq!(adapt(8, p), 4);
         assert_eq!(adapt(4, p), 2);
         assert_eq!(adapt(2, p), 2);
@@ -177,7 +187,10 @@ mod tests {
 
     #[test]
     fn grow_always_makes_progress_even_with_small_factor() {
-        let p = WindowPolicy::GrowOnFailure { factor: 1.01, max: 100 };
+        let p = WindowPolicy::GrowOnFailure {
+            factor: 1.01,
+            max: 100,
+        };
         assert!(adapt(4, p) > 4);
     }
 }

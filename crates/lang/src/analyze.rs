@@ -75,12 +75,14 @@ fn affine(expr: &Expr, locals: &[Affine]) -> Affine {
         Expr::Bin { op, lhs, rhs } => {
             let (l, r) = (affine(lhs, locals), affine(rhs, locals));
             match (op, l, r) {
-                (BinOp::Add, Lin { a: a1, b: b1 }, Lin { a: a2, b: b2 }) => {
-                    Lin { a: a1 + a2, b: b1 + b2 }
-                }
-                (BinOp::Sub, Lin { a: a1, b: b1 }, Lin { a: a2, b: b2 }) => {
-                    Lin { a: a1 - a2, b: b1 - b2 }
-                }
+                (BinOp::Add, Lin { a: a1, b: b1 }, Lin { a: a2, b: b2 }) => Lin {
+                    a: a1 + a2,
+                    b: b1 + b2,
+                },
+                (BinOp::Sub, Lin { a: a1, b: b1 }, Lin { a: a2, b: b2 }) => Lin {
+                    a: a1 - a2,
+                    b: b1 - b2,
+                },
                 (BinOp::Mul, Lin { a: 0, b: c }, Lin { a, b }) => Lin { a: a * c, b: b * c },
                 (BinOp::Mul, Lin { a, b }, Lin { a: 0, b: c }) => Lin { a: a * c, b: b * c },
                 _ => NotAffine,
@@ -124,7 +126,10 @@ impl Walk {
             Expr::Read { array, index } => {
                 self.non_reduction_ref[*array] = true;
                 let aff = affine(index, &self.locals);
-                self.accesses[*array].push(Access { affine: aff, is_write: false });
+                self.accesses[*array].push(Access {
+                    affine: aff,
+                    is_write: false,
+                });
                 self.expr(index);
             }
             Expr::Bin { lhs, rhs, .. } => {
@@ -163,11 +168,19 @@ impl Walk {
                 Stmt::Assign { array, index, expr } => {
                     self.non_reduction_ref[*array] = true;
                     let aff = affine(index, &self.locals);
-                    self.accesses[*array].push(Access { affine: aff, is_write: true });
+                    self.accesses[*array].push(Access {
+                        affine: aff,
+                        is_write: true,
+                    });
                     self.expr(index);
                     self.expr(expr);
                 }
-                Stmt::Update { array, index, op, expr } => {
+                Stmt::Update {
+                    array,
+                    index,
+                    op,
+                    expr,
+                } => {
                     self.update_ops[*array].push(*op);
                     // The delta and subscript must not read the array
                     // itself, or the reduction pattern is broken.
@@ -177,14 +190,24 @@ impl Walk {
                     let aff = affine(index, &self.locals);
                     // For the non-reduction fallback the update is a
                     // read-modify-write of one element.
-                    self.accesses[*array].push(Access { affine: aff, is_write: true });
-                    self.accesses[*array].push(Access { affine: aff, is_write: false });
+                    self.accesses[*array].push(Access {
+                        affine: aff,
+                        is_write: true,
+                    });
+                    self.accesses[*array].push(Access {
+                        affine: aff,
+                        is_write: false,
+                    });
                     self.expr(index);
                     self.expr(expr);
                 }
                 Stmt::Bump => {}
                 Stmt::Break { cond } => self.expr(cond),
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     self.expr(cond);
                     // Guards are conservatively assumed taken.
                     self.stmts(then_body);
@@ -274,8 +297,7 @@ pub fn classify_loop(program: &Program, k: usize) -> Vec<Classification> {
             if has_conflict(accesses, lo, hi) {
                 Classification {
                     class: Class::Tested,
-                    rationale: "affine subscripts with a possible cross-iteration conflict"
-                        .into(),
+                    rationale: "affine subscripts with a possible cross-iteration conflict".into(),
                 }
             } else {
                 Classification {
@@ -292,7 +314,9 @@ fn has_conflict(accesses: &[Access], lo: usize, hi: usize) -> bool {
     // index -> iteration of some write to it.
     let mut writers: HashMap<i64, usize> = HashMap::new();
     for acc in accesses.iter().filter(|a| a.is_write) {
-        let Affine::Lin { a, b } = acc.affine else { unreachable!() };
+        let Affine::Lin { a, b } = acc.affine else {
+            unreachable!()
+        };
         for i in lo..hi {
             let idx = a * i as i64 + b;
             if let Some(&other) = writers.get(&idx) {
@@ -305,7 +329,9 @@ fn has_conflict(accesses: &[Access], lo: usize, hi: usize) -> bool {
         }
     }
     for acc in accesses.iter().filter(|a| !a.is_write) {
-        let Affine::Lin { a, b } = acc.affine else { unreachable!() };
+        let Affine::Lin { a, b } = acc.affine else {
+            unreachable!()
+        };
         for i in lo..hi {
             let idx = a * i as i64 + b;
             if let Some(&w) = writers.get(&idx) {
@@ -363,17 +389,13 @@ mod tests {
 
     #[test]
     fn read_only_arrays_are_untested() {
-        let c = classes(
-            "array A[10];\narray B[10];\nfor i in 0..10 { A[i] = B[3] + B[i]; }",
-        );
+        let c = classes("array A[10];\narray B[10];\nfor i in 0..10 { A[i] = B[3] + B[i]; }");
         assert_eq!(c, vec![Class::Untested, Class::Untested]);
     }
 
     #[test]
     fn indirection_is_tested() {
-        let c = classes(
-            "array A[10];\narray IDX[10];\nfor i in 0..10 { A[IDX[i]] = i; }",
-        );
+        let c = classes("array A[10];\narray IDX[10];\nfor i in 0..10 { A[IDX[i]] = i; }");
         assert_eq!(c[0], Class::Tested, "A is indexed through IDX");
         assert_eq!(c[1], Class::Untested, "IDX itself is read-only");
     }
@@ -411,9 +433,8 @@ mod tests {
 
     #[test]
     fn data_dependent_locals_taint_subscripts() {
-        let c = classes(
-            "array A[100];\narray B[100];\nfor i in 0..100 { let j = B[i]; A[j] = i; }",
-        );
+        let c =
+            classes("array A[100];\narray B[100];\nfor i in 0..100 { let j = B[i]; A[j] = i; }");
         assert_eq!(c[0], Class::Tested);
     }
 
@@ -435,9 +456,7 @@ mod tests {
     #[test]
     fn scaled_affine_subscripts_are_analyzed() {
         // 2*i and 2*i+1 never collide across iterations.
-        let c = classes(
-            "array A[200];\nfor i in 0..100 { A[2 * i] = i; A[2 * i + 1] = i; }",
-        );
+        let c = classes("array A[200];\nfor i in 0..100 { A[2 * i] = i; A[2 * i + 1] = i; }");
         assert_eq!(c, vec![Class::Untested]);
     }
 }

@@ -15,12 +15,20 @@ pub struct LangError {
 impl LangError {
     /// An error at a source position.
     pub fn at(line: u32, col: u32, message: impl Into<String>) -> Self {
-        LangError { line, col, message: message.into() }
+        LangError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 
     /// A position-less error.
     pub fn general(message: impl Into<String>) -> Self {
-        LangError { line: 0, col: 0, message: message.into() }
+        LangError {
+            line: 0,
+            col: 0,
+            message: message.into(),
+        }
     }
 }
 

@@ -172,7 +172,12 @@ impl<'a, C: DataCtx> Eval<'a, C> {
                     let v = self.expr(expr);
                     self.ctx.write(*array, idx, v);
                 }
-                Stmt::Update { array, index, op, expr } => {
+                Stmt::Update {
+                    array,
+                    index,
+                    op,
+                    expr,
+                } => {
                     let idx = subscript(self.expr(index));
                     let delta = self.expr(expr);
                     if matches!(self.classes[*array], Class::Reduction(_)) {
@@ -195,7 +200,11 @@ impl<'a, C: DataCtx> Eval<'a, C> {
                         return ControlFlow::Break(());
                     }
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     let taken = if self.expr(cond) != 0.0 {
                         self.stmts(then_body)
                     } else {

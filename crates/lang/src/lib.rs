@@ -125,7 +125,11 @@ impl CompiledProgram {
             .iter()
             .map(|d| &*Box::leak(d.name.clone().into_boxed_str()))
             .collect();
-        Ok(CompiledProgram { program, classes, names })
+        Ok(CompiledProgram {
+            program,
+            classes,
+            names,
+        })
     }
 
     /// Number of loops in the program.
@@ -147,12 +151,20 @@ impl CompiledProgram {
     /// contents (declaration order).
     pub fn loop_view(&self, k: usize, init: Vec<Vec<f64>>) -> ProgramLoop<'_> {
         assert_eq!(init.len(), self.program.arrays.len());
-        ProgramLoop { prog: self, k, init }
+        ProgramLoop {
+            prog: self,
+            k,
+            init,
+        }
     }
 
     /// Initial array contents from the declarations.
     fn initial_arrays(&self) -> Vec<Vec<f64>> {
-        self.program.arrays.iter().map(|d| vec![d.init; d.size]).collect()
+        self.program
+            .arrays
+            .iter()
+            .map(|d| vec![d.init; d.size])
+            .collect()
     }
 
     /// Execute the whole program speculatively: each loop runs under
@@ -266,13 +278,17 @@ impl SpecLoop<f64> for ProgramLoop<'_> {
     fn body(&self, iter: usize, ctx: &mut IterCtx<'_, f64>) {
         let nest = &self.prog.program.loops[self.k];
         let i = (nest.range.0 + iter) as f64;
-        let classes: Vec<Class> =
-            self.prog.classes[self.k].iter().map(|c| c.class).collect();
+        let classes: Vec<Class> = self.prog.classes[self.k].iter().map(|c| c.class).collect();
         LOCALS.with(|cell| {
             let mut locals = cell.borrow_mut();
             locals.clear();
             locals.resize(nest.num_locals, 0.0);
-            let mut eval = Eval { i, locals: &mut locals, classes: &classes, ctx };
+            let mut eval = Eval {
+                i,
+                locals: &mut locals,
+                classes: &classes,
+                ctx,
+            };
             let _ = eval.stmts(&nest.body);
         });
     }
@@ -349,7 +365,12 @@ impl SpecLoop<f64> for CompiledLoop {
             let mut locals = cell.borrow_mut();
             locals.clear();
             locals.resize(nest.num_locals, 0.0);
-            let mut eval = Eval { i, locals: &mut locals, classes: &classes, ctx };
+            let mut eval = Eval {
+                i,
+                locals: &mut locals,
+                classes: &classes,
+                ctx,
+            };
             let _ = eval.stmts(&nest.body);
         });
     }
@@ -382,10 +403,14 @@ impl CompiledInduction {
     pub fn compile(src: &str) -> Result<Self, LangError> {
         let program = parse(src)?;
         if program.counter.is_none() {
-            return Err(LangError::general("induction compilation requires a counter"));
+            return Err(LangError::general(
+                "induction compilation requires a counter",
+            ));
         }
         if program.loops.len() != 1 {
-            return Err(LangError::general("induction programs have exactly one loop"));
+            return Err(LangError::general(
+                "induction programs have exactly one loop",
+            ));
         }
         let names = program
             .arrays
@@ -435,7 +460,12 @@ impl InductionLoop<f64> for CompiledInduction {
             let mut locals = cell.borrow_mut();
             locals.clear();
             locals.resize(nest.num_locals, 0.0);
-            let mut eval = Eval { i, locals: &mut locals, classes: &classes, ctx };
+            let mut eval = Eval {
+                i,
+                locals: &mut locals,
+                classes: &classes,
+                ctx,
+            };
             let _ = eval.stmts(&nest.body);
         });
     }
@@ -531,10 +561,8 @@ mod tests {
 
     #[test]
     fn report_names_every_array() {
-        let lp = compile(
-            "array A[8];\narray Y[4];\nfor i in 0..8 { A[i] = i; Y[0] += i; }",
-        )
-        .unwrap();
+        let lp =
+            compile("array A[8];\narray Y[4];\nfor i in 0..8 { A[i] = i; Y[0] += i; }").unwrap();
         let report = lp.report();
         assert!(report.contains("A"), "{report}");
         assert!(report.contains("UNTESTED"), "{report}");
@@ -636,7 +664,8 @@ mod tests {
         // s = s * 0.9 + i: read-before-write every iteration — a true
         // recurrence. The R-LRPD test degenerates to p stages (NRD) but
         // the result is exact.
-        let src = "scalar s = 1;\narray OUT[32];\nfor i in 0..32 {\n  s = s * 0.5 + i;\n  OUT[i] = s;\n}";
+        let src =
+            "scalar s = 1;\narray OUT[32];\nfor i in 0..32 {\n  s = s * 0.5 + i;\n  OUT[i] = s;\n}";
         let res = check(src, 4);
         assert!(res.report.restarts > 0, "a recurrence must serialize");
         // Spot value: s after 2 iterations = (1*0.5 + 0)*0.5 + 1 = 1.25.
@@ -723,8 +752,15 @@ mod tests {
         let lp = CompiledInduction::compile(src).unwrap();
         assert_eq!(lp.counter(), ("lsttrk", 100));
         let res = run_induction(&lp, 8, ExecMode::Simulated, CostModel::default());
-        assert!(res.test_passed, "range test passes: reads stay in the prefix");
-        assert_eq!(res.final_counter, 100 + 167, "167 bumps (i % 3 == 0, i < 500)");
+        assert!(
+            res.test_passed,
+            "range test passes: reads stay in the prefix"
+        );
+        assert_eq!(
+            res.final_counter,
+            100 + 167,
+            "167 bumps (i % 3 == 0, i < 500)"
+        );
         assert_eq!(res.report.stages.len(), 2, "two doalls");
 
         // Ground truth by hand.
@@ -770,20 +806,16 @@ mod tests {
     #[test]
     fn counter_misuse_is_rejected() {
         // Counter in a SpecLoop program.
-        let err = CompiledProgram::compile(
-            "array A[4];\ncounter c;\nfor i in 0..4 { A[i] = c; }",
-        )
-        .unwrap_err();
+        let err = CompiledProgram::compile("array A[4];\ncounter c;\nfor i in 0..4 { A[i] = c; }")
+            .unwrap_err();
         assert!(err.message.contains("induction"), "{err}");
         // Induction compile without a counter.
         let err =
             CompiledInduction::compile("array A[4];\nfor i in 0..4 { A[i] = 1; }").unwrap_err();
         assert!(err.message.contains("requires a counter"), "{err}");
         // Bumping a non-counter name.
-        let err = CompiledInduction::compile(
-            "array A[4];\ncounter c;\nfor i in 0..4 { bump A; }",
-        )
-        .unwrap_err();
+        let err = CompiledInduction::compile("array A[4];\ncounter c;\nfor i in 0..4 { bump A; }")
+            .unwrap_err();
         assert!(err.message.contains("not the declared counter"), "{err}");
     }
 

@@ -220,7 +220,13 @@ impl Parser {
         };
         self.expect_punct(';')?;
         self.array_ids.insert(name.clone(), self.arrays.len());
-        self.arrays.push(ArrayDeclAst { name, size, init, hint, line });
+        self.arrays.push(ArrayDeclAst {
+            name,
+            size,
+            init,
+            hint,
+            line,
+        });
         Ok(())
     }
 
@@ -245,7 +251,13 @@ impl Parser {
         self.expect_punct(';')?;
         let id = self.arrays.len();
         self.scalar_ids.insert(name.clone(), id);
-        self.arrays.push(ArrayDeclAst { name, size: 1, init, hint: None, line });
+        self.arrays.push(ArrayDeclAst {
+            name,
+            size: 1,
+            init,
+            hint: None,
+            line,
+        });
         Ok(())
     }
 
@@ -342,7 +354,11 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
             }
             Tok::Ident(name) => {
                 let (_, line, col) = self.ident()?;
@@ -358,12 +374,22 @@ impl Parser {
                         Tok::Op("+=") => {
                             self.bump();
                             let expr = self.expr()?;
-                            Stmt::Update { array, index, op: UpdateOp::Add, expr }
+                            Stmt::Update {
+                                array,
+                                index,
+                                op: UpdateOp::Add,
+                                expr,
+                            }
                         }
                         Tok::Op("*=") => {
                             self.bump();
                             let expr = self.expr()?;
-                            Stmt::Update { array, index, op: UpdateOp::Mul, expr }
+                            Stmt::Update {
+                                array,
+                                index,
+                                op: UpdateOp::Mul,
+                                expr,
+                            }
                         }
                         ref other => {
                             let msg = format!("expected '=', '+=' or '*=', found {other}");
@@ -392,12 +418,22 @@ impl Parser {
                     Tok::Op("+=") => {
                         self.bump();
                         let expr = self.expr()?;
-                        Stmt::Update { array, index, op: UpdateOp::Add, expr }
+                        Stmt::Update {
+                            array,
+                            index,
+                            op: UpdateOp::Add,
+                            expr,
+                        }
                     }
                     Tok::Op("*=") => {
                         self.bump();
                         let expr = self.expr()?;
-                        Stmt::Update { array, index, op: UpdateOp::Mul, expr }
+                        Stmt::Update {
+                            array,
+                            index,
+                            op: UpdateOp::Mul,
+                            expr,
+                        }
                     }
                     ref other => {
                         let msg = format!("expected '=', '+=' or '*=', found {other}");
@@ -423,7 +459,11 @@ impl Parser {
         while self.peek().kind == Tok::Op("||") {
             self.bump();
             let rhs = self.and_expr()?;
-            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -433,7 +473,11 @@ impl Parser {
         while self.peek().kind == Tok::Op("&&") {
             self.bump();
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -451,7 +495,11 @@ impl Parser {
         };
         self.bump();
         let rhs = self.add_expr()?;
-        Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr, LangError> {
@@ -464,7 +512,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -480,7 +532,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -550,15 +606,20 @@ impl Parser {
                     self.bump();
                     let index = self.expr()?;
                     self.expect_punct(']')?;
-                    Ok(Expr::Read { array, index: Box::new(index) })
+                    Ok(Expr::Read {
+                        array,
+                        index: Box::new(index),
+                    })
                 } else if name == self.loop_var {
                     Ok(Expr::LoopVar)
-                } else if let Some(&(_, slot)) =
-                    self.locals.iter().rev().find(|(n, _)| *n == name)
+                } else if let Some(&(_, slot)) = self.locals.iter().rev().find(|(n, _)| *n == name)
                 {
                     Ok(Expr::Local(slot))
                 } else if let Some(&array) = self.scalar_ids.get(&name) {
-                    Ok(Expr::Read { array, index: Box::new(Expr::Num(0.0)) })
+                    Ok(Expr::Read {
+                        array,
+                        index: Box::new(Expr::Num(0.0)),
+                    })
                 } else if matches!(&self.counter, Some((c, _)) if *c == name) {
                     Ok(Expr::Counter)
                 } else {
@@ -612,7 +673,15 @@ mod tests {
     fn precedence_is_conventional() {
         let p = parse("array A[4];\nfor i in 0..4 { A[0] = 1 + 2 * 3; }").unwrap();
         match &p.loops[0].body[0] {
-            Stmt::Assign { expr: Expr::Bin { op: BinOp::Add, rhs, .. }, .. } => {
+            Stmt::Assign {
+                expr:
+                    Expr::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
             }
             other => panic!("{other:?}"),
@@ -621,10 +690,8 @@ mod tests {
 
     #[test]
     fn locals_are_scoped_to_their_block() {
-        let err = parse(
-            "array A[4];\nfor i in 0..4 { if i > 0 { let v = 1; } A[i] = v; }",
-        )
-        .unwrap_err();
+        let err =
+            parse("array A[4];\nfor i in 0..4 { if i > 0 { let v = 1; } A[i] = v; }").unwrap_err();
         assert!(err.message.contains("unknown name 'v'"), "{err}");
     }
 

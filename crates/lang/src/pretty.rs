@@ -41,7 +41,10 @@ pub fn print_program(program: &Program) -> String {
             "for {} in {}..{} {{",
             nest.loop_var, nest.range.0, nest.range.1
         );
-        let names = Names { program, loop_var: &nest.loop_var };
+        let names = Names {
+            program,
+            loop_var: &nest.loop_var,
+        };
         for s in &nest.body {
             stmt(&mut out, s, &names, 1);
         }
@@ -92,7 +95,12 @@ fn stmt(out: &mut String, s: &Stmt, names: &Names<'_>, depth: usize) {
             expr_str(out, expr, names);
             out.push_str(";\n");
         }
-        Stmt::Update { array, index, op, expr } => {
+        Stmt::Update {
+            array,
+            index,
+            op,
+            expr,
+        } => {
             let _ = write!(out, "{}[", names.array(*array));
             expr_str(out, index, names);
             let _ = write!(out, "] {}= ", if *op == UpdateOp::Add { "+" } else { "*" });
@@ -100,7 +108,11 @@ fn stmt(out: &mut String, s: &Stmt, names: &Names<'_>, depth: usize) {
             out.push_str(";\n");
         }
         Stmt::Bump => {
-            let (name, _) = names.program.counter.as_ref().expect("bump without counter");
+            let (name, _) = names
+                .program
+                .counter
+                .as_ref()
+                .expect("bump without counter");
             let _ = writeln!(out, "bump {name};");
         }
         Stmt::Break { cond } => {
@@ -108,7 +120,11 @@ fn stmt(out: &mut String, s: &Stmt, names: &Names<'_>, depth: usize) {
             expr_str(out, cond, names);
             out.push_str(";\n");
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             out.push_str("if ");
             expr_str(out, cond, names);
             out.push_str(" {\n");
@@ -214,7 +230,11 @@ mod tests {
         let p2 = parse(&printed).unwrap_or_else(|e| panic!("reprint failed: {e}\n{printed}"));
         // Structural equality up to (stable) local slot numbering: the
         // printer names locals by slot, so a second print is a fixpoint.
-        assert_eq!(print_program(&p2), printed, "printing is a fixpoint\n{printed}");
+        assert_eq!(
+            print_program(&p2),
+            printed,
+            "printing is a fixpoint\n{printed}"
+        );
         assert_eq!(normalize(&p2).arrays, p1.arrays);
         assert_eq!(p2.counter, p1.counter);
         assert_eq!(p2.loops.len(), p1.loops.len());
@@ -244,9 +264,7 @@ mod tests {
 
     #[test]
     fn round_trips_counter_programs() {
-        round_trip(
-            "array T[100];\ncounter c = 10;\nfor i in 0..50 { T[c] = i; bump c; }",
-        );
+        round_trip("array T[100];\ncounter c = 10;\nfor i in 0..50 { T[c] = i; bump c; }");
     }
 
     #[test]

@@ -50,7 +50,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
 
     macro_rules! push {
         ($kind:expr, $c:expr) => {
-            out.push(Token { kind: $kind, line, col: $c })
+            out.push(Token {
+                kind: $kind,
+                line,
+                col: $c,
+            })
         };
     }
 
@@ -80,12 +84,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             '0'..='9' => {
                 let s = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' && {
-                        // Don't swallow the range operator `..` or a
-                        // second decimal point.
-                        !(src[s..i].contains('.')
-                            || i + 1 < bytes.len() && bytes[i + 1] == b'.')
-                    })
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.' && {
+                            // Don't swallow the range operator `..` or a
+                            // second decimal point.
+                            !(src[s..i].contains('.')
+                                || i + 1 < bytes.len() && bytes[i + 1] == b'.')
+                        })
                 {
                     i += 1;
                     col += 1;
@@ -98,9 +103,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let s = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                     col += 1;
                 }
@@ -130,12 +133,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     i += 1;
                     col += 1;
                 } else {
-                    return Err(LangError::at(line, start_col, format!("unexpected character '{c}'")));
+                    return Err(LangError::at(
+                        line,
+                        start_col,
+                        format!("unexpected character '{c}'"),
+                    ));
                 }
             }
         }
     }
-    out.push(Token { kind: Tok::Eof, line, col });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -173,7 +184,10 @@ mod tests {
     #[test]
     fn range_dots_are_not_a_decimal_point() {
         let toks = kinds("0..100");
-        assert_eq!(toks, vec![Tok::Num(0.0), Tok::Op(".."), Tok::Num(100.0), Tok::Eof]);
+        assert_eq!(
+            toks,
+            vec![Tok::Num(0.0), Tok::Op(".."), Tok::Num(100.0), Tok::Eof]
+        );
     }
 
     #[test]

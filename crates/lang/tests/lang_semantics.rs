@@ -123,10 +123,26 @@ fn error_positions_point_at_the_problem() {
         assert_eq!(err.line, line, "{err}");
         assert!(err.message.contains(needle), "{err}");
     };
-    check("array A[4];\nfor i in 0..4 { A[i] = x; }", 2, "unknown name 'x'");
-    check("array A[4];\nfor i in 0..4 { B[i] = 1; }", 2, "not a declared array");
-    check("array A[4];\nfor i in 0..4 {\n  A[i] = ;\n}", 3, "expected an expression");
-    check("array A[4];\nfor i in 4..0 { A[0] = 1; }", 2, "inverted range");
+    check(
+        "array A[4];\nfor i in 0..4 { A[i] = x; }",
+        2,
+        "unknown name 'x'",
+    );
+    check(
+        "array A[4];\nfor i in 0..4 { B[i] = 1; }",
+        2,
+        "not a declared array",
+    );
+    check(
+        "array A[4];\nfor i in 0..4 {\n  A[i] = ;\n}",
+        3,
+        "expected an expression",
+    );
+    check(
+        "array A[4];\nfor i in 4..0 { A[0] = 1; }",
+        2,
+        "inverted range",
+    );
 }
 
 #[test]
@@ -135,7 +151,10 @@ fn division_produces_fractions_subscripts_reject_them() {
     let src = "array A[8];\nfor i in 1..2 { A[i / 2] = 1; }";
     let lp = compile(src).unwrap();
     let panicked = std::panic::catch_unwind(|| run_sequential(&lp)).is_err();
-    assert!(panicked, "fractional subscript must panic with a clear message");
+    assert!(
+        panicked,
+        "fractional subscript must panic with a clear message"
+    );
 }
 
 #[test]

@@ -38,9 +38,7 @@ fn program(n: usize, stmts: Vec<(u8, usize, usize)>) -> String {
             _ => body.push_str(&format!("  B[i] = min(B[i], {y}) + max(i, {x});\n")),
         }
     }
-    format!(
-        "array A[{n}] = 1;\narray B[{n}] = 2;\narray H[8];\nfor i in 0..{n} {{\n{body}}}"
-    )
+    format!("array A[{n}] = 1;\narray B[{n}] = 2;\narray H[8];\nfor i in 0..{n} {{\n{body}}}")
 }
 
 fn stmt_vec() -> impl proptest::strategy::Strategy<Value = Vec<(u8, usize, usize)>> {

@@ -106,7 +106,9 @@ impl ExtendLoop {
     /// Instantiate the kernel for one input deck.
     pub fn new(input: ExtendInput) -> Self {
         let mut rng = StdRng::seed_from_u64(input.seed);
-        let accept = (0..input.n).map(|_| rng.random_bool(input.accept_rate)).collect();
+        let accept = (0..input.n)
+            .map(|_| rng.random_bool(input.accept_rate))
+            .collect();
         let probes = (0..input.n)
             .map(|i| {
                 let wild = input.wild_probe_rate > 0.0 && rng.random_bool(input.wild_probe_rate);

@@ -15,9 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rlrpd_core::{
-    AccessTrace, ArrayDecl, ArrayId, Inspectable, IterCtx, ShadowKind, SpecLoop,
-};
+use rlrpd_core::{AccessTrace, ArrayDecl, ArrayId, Inspectable, IterCtx, ShadowKind, SpecLoop};
 
 const COORD: ArrayId = ArrayId(0);
 const STRESS: ArrayId = ArrayId(1);
@@ -51,7 +49,11 @@ impl QuadLoop {
                 ]
             })
             .collect();
-        QuadLoop { elements, nodes, conn }
+        QuadLoop {
+            elements,
+            nodes,
+            conn,
+        }
     }
 
     /// A default mesh comparable to the SPEC reference size's shape.
@@ -126,8 +128,8 @@ impl Inspectable<f64> for QuadLoop {
 mod tests {
     use super::*;
     use rlrpd_core::{
-        run_inspector_executor, run_sequential, run_speculative, CostModel, ExecMode,
-        RunConfig, Strategy,
+        run_inspector_executor, run_sequential, run_speculative, CostModel, ExecMode, RunConfig,
+        Strategy,
     };
 
     #[test]
@@ -135,7 +137,11 @@ mod tests {
         let lp = QuadLoop::new(500, 200, 1);
         for strat in [Strategy::Nrd, Strategy::Rd] {
             let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(strat));
-            assert_eq!(spec.report.stages.len(), 1, "the R-LRPD test has only one stage");
+            assert_eq!(
+                spec.report.stages.len(),
+                1,
+                "the R-LRPD test has only one stage"
+            );
             assert_eq!(spec.report.pr(), 1.0);
             let (seq, _) = run_sequential(&lp);
             assert_eq!(spec.array("STRESS"), seq[1].1.as_slice());

@@ -51,7 +51,13 @@ impl FockBuildLoop {
                 let j = near(i, &mut rng);
                 let k = rng.random_range(0..basis as u32);
                 let l = near(k, &mut rng);
-                Quartet { i, j, k, l, value: rng.random_range(-1.0..1.0) }
+                Quartet {
+                    i,
+                    j,
+                    k,
+                    l,
+                    value: rng.random_range(-1.0..1.0),
+                }
             })
             .collect();
         FockBuildLoop { basis, quartets }
@@ -84,7 +90,9 @@ impl SpecLoop for FockBuildLoop {
             // The density matrix is read-only during the Fock build.
             ArrayDecl::untested(
                 "DENSITY",
-                (0..self.basis * self.basis).map(|k| ((k % 23) as f64 - 11.0) * 0.05).collect(),
+                (0..self.basis * self.basis)
+                    .map(|k| ((k % 23) as f64 - 11.0) * 0.05)
+                    .collect(),
             ),
         ]
     }
@@ -135,7 +143,11 @@ mod tests {
         for (a, b) in spec.array("FOCK").iter().zip(&seq[0].1) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
-        assert_eq!(spec.array("DENSITY"), seq[1].1.as_slice(), "density untouched");
+        assert_eq!(
+            spec.array("DENSITY"),
+            seq[1].1.as_slice(),
+            "density untouched"
+        );
     }
 
     #[test]

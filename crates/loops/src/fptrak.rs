@@ -42,12 +42,24 @@ pub struct FptrakInput {
 impl FptrakInput {
     /// Fully privatizable deck (no cross-track reads): PR = 1.
     pub fn clean() -> Self {
-        FptrakInput { name: "clean", n: 3000, chain_rate: 0.0, max_chain_distance: 1, seed: 0xF1 }
+        FptrakInput {
+            name: "clean",
+            n: 3000,
+            chain_rate: 0.0,
+            max_chain_distance: 1,
+            seed: 0xF1,
+        }
     }
 
     /// Occasional cross-track reads.
     pub fn chained() -> Self {
-        FptrakInput { name: "chained", n: 3000, chain_rate: 0.004, max_chain_distance: 250, seed: 0xF2 }
+        FptrakInput {
+            name: "chained",
+            n: 3000,
+            chain_rate: 0.004,
+            max_chain_distance: 250,
+            seed: 0xF2,
+        }
     }
 
     /// All decks used by the figure benches.
@@ -130,11 +142,19 @@ mod tests {
     fn clean_deck_is_fully_parallel_despite_shared_scratch() {
         let lp = FptrakLoop::new(FptrakInput::clean());
         let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
-        assert_eq!(spec.report.stages.len(), 1, "privatization removes all conflicts");
+        assert_eq!(
+            spec.report.stages.len(),
+            1,
+            "privatization removes all conflicts"
+        );
         assert_eq!(spec.report.pr(), 1.0);
         let (seq, _) = run_sequential(&lp);
         assert_eq!(spec.array("FPT"), seq[1].1.as_slice());
-        assert_eq!(spec.array("WORK"), seq[0].1.as_slice(), "last-value commit of scratch");
+        assert_eq!(
+            spec.array("WORK"),
+            seq[0].1.as_slice(),
+            "last-value commit of scratch"
+        );
     }
 
     #[test]
@@ -143,7 +163,10 @@ mod tests {
         let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
         let (seq, _) = run_sequential(&lp);
         assert_eq!(spec.array("FPT"), seq[1].1.as_slice());
-        assert!(spec.report.restarts > 0, "chained deck must uncover dependences");
+        assert!(
+            spec.report.restarts > 0,
+            "chained deck must uncover dependences"
+        );
         assert!(spec.report.pr() < 1.0);
     }
 

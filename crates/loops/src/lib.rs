@@ -58,7 +58,5 @@ pub use moldyn::{ConstraintLoop, MoldynSystem, NonbondedLoop};
 pub use nlfilt::{NlfiltInput, NlfiltLoop};
 pub use spice::{BjtLoop, Dcdcmp15Loop, Dcdcmp70Loop};
 pub use spice_program::{NewtonReport, SpiceProgram};
+pub use synthetic::{AlphaLoop, BetaLoop, FullyParallelLoop, RandomDepLoop, SequentialChainLoop};
 pub use track_program::{ProgramMode, ProgramReport, TrackProgram};
-pub use synthetic::{
-    AlphaLoop, BetaLoop, FullyParallelLoop, RandomDepLoop, SequentialChainLoop,
-};

@@ -81,7 +81,9 @@ impl SpecLoop for NonbondedLoop {
             // Positions are read-only during the force sweep.
             ArrayDecl::untested(
                 "POS",
-                (0..self.system.atoms).map(|k| (k % 17) as f64 * 0.3).collect(),
+                (0..self.system.atoms)
+                    .map(|k| (k % 17) as f64 * 0.3)
+                    .collect(),
             ),
         ]
     }
@@ -124,7 +126,10 @@ impl ConstraintLoop {
                 bonds.push((base + k, base + k + 1));
             }
         }
-        ConstraintLoop { atoms: chains * chain_len, bonds }
+        ConstraintLoop {
+            atoms: chains * chain_len,
+            bonds,
+        }
     }
 
     /// Number of constraints (= iterations).
@@ -171,7 +176,11 @@ mod tests {
     fn nonbonded_forces_validate_as_reductions_in_one_stage() {
         let lp = NonbondedLoop::new(MoldynSystem::new(200, 8, 3));
         let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
-        assert_eq!(spec.report.stages.len(), 1, "irregular reductions never conflict");
+        assert_eq!(
+            spec.report.stages.len(),
+            1,
+            "irregular reductions never conflict"
+        );
         let (seq, _) = run_sequential(&lp);
         for (a, b) in spec.array("FORCE").iter().zip(&seq[0].1) {
             assert!((a - b).abs() < 1e-9);
@@ -203,7 +212,11 @@ mod tests {
         let chains = 8;
         let lp = ConstraintLoop::new(chains, 9); // 8 bonds per chain
         let spec = run_speculative(&lp, RunConfig::new(chains).with_strategy(Strategy::Nrd));
-        assert_eq!(spec.report.stages.len(), 1, "chain-aligned blocks never conflict");
+        assert_eq!(
+            spec.report.stages.len(),
+            1,
+            "chain-aligned blocks never conflict"
+        );
         let (seq, _) = run_sequential(&lp);
         assert_eq!(spec.array("X"), seq[0].1.as_slice());
     }

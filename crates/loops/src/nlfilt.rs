@@ -102,7 +102,12 @@ impl NlfiltInput {
 
     /// All decks used by the figure benches.
     pub fn all() -> Vec<NlfiltInput> {
-        vec![Self::i16_400(), Self::i15_250(), Self::i8_100(), Self::i4_50()]
+        vec![
+            Self::i16_400(),
+            Self::i15_250(),
+            Self::i8_100(),
+            Self::i4_50(),
+        ]
     }
 }
 
@@ -222,9 +227,7 @@ impl SpecLoop for NlfiltLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlrpd_core::{
-        run_sequential, run_speculative, CheckpointPolicy, RunConfig, Strategy,
-    };
+    use rlrpd_core::{run_sequential, run_speculative, CheckpointPolicy, RunConfig, Strategy};
 
     #[test]
     fn decks_are_deterministic() {
@@ -237,7 +240,11 @@ mod tests {
     fn all_decks_have_guarded_writes() {
         for input in NlfiltInput::all() {
             let lp = NlfiltLoop::new(input);
-            assert!(lp.num_guarded_writes() > 0, "{} has no dependences", input.name);
+            assert!(
+                lp.num_guarded_writes() > 0,
+                "{} has no dependences",
+                input.name
+            );
         }
     }
 
@@ -248,7 +255,9 @@ mod tests {
         for ckpt in [CheckpointPolicy::OnDemand, CheckpointPolicy::Eager] {
             let spec = run_speculative(
                 &lp,
-                RunConfig::new(4).with_strategy(Strategy::Rd).with_checkpoint(ckpt),
+                RunConfig::new(4)
+                    .with_strategy(Strategy::Rd)
+                    .with_checkpoint(ckpt),
             );
             assert_eq!(spec.array("NUSED"), seq[0].1.as_slice(), "{ckpt:?}");
             assert_eq!(spec.array("STATE"), seq[1].1.as_slice(), "{ckpt:?}");
@@ -279,7 +288,9 @@ mod tests {
         // processors can only uncover more of them (Fig. 7a's shape).
         let lp = NlfiltLoop::new(NlfiltInput::i15_250());
         let pr_at = |p| {
-            run_speculative(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd)).report.pr()
+            run_speculative(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd))
+                .report
+                .pr()
         };
         let pr2 = pr_at(2);
         let pr16 = pr_at(16);

@@ -56,8 +56,9 @@ impl Dcdcmp15Loop {
                 }
                 let prev = (level - 1) * per_level..(level * per_level).min(n);
                 let fanin = rng.random_range(1..=3usize);
-                let mut ps: Vec<u32> =
-                    (0..fanin).map(|_| rng.random_range(prev.clone()) as u32).collect();
+                let mut ps: Vec<u32> = (0..fanin)
+                    .map(|_| rng.random_range(prev.clone()) as u32)
+                    .collect();
                 ps.sort_unstable();
                 ps.dedup();
                 ps
@@ -149,7 +150,11 @@ impl SpecLoop for Dcdcmp70Loop {
     }
 
     fn arrays(&self) -> Vec<ArrayDecl<f64>> {
-        vec![ArrayDecl::tested("D", vec![0.5; self.n], ShadowKind::Sparse)]
+        vec![ArrayDecl::tested(
+            "D",
+            vec![0.5; self.n],
+            ShadowKind::Sparse,
+        )]
     }
 
     fn body(&self, i: usize, ctx: &mut IterCtx<'_, f64>) {
@@ -210,7 +215,12 @@ impl BjtLoop {
                 ]
             })
             .collect();
-        BjtLoop { devices, nodes, order, terminals }
+        BjtLoop {
+            devices,
+            nodes,
+            order,
+            terminals,
+        }
     }
 
     /// A deck shaped like the paper's 128-bit adder in BJT technology.
@@ -294,7 +304,11 @@ mod tests {
         assert_eq!(spec.array("D"), seq[0].1.as_slice());
         // Iterations past the exit never executed: original value.
         assert_eq!(spec.array("D")[1500], 0.5);
-        assert_eq!(spec.array("D")[1499], 2.0, "the exiting iteration completed");
+        assert_eq!(
+            spec.array("D")[1499],
+            2.0,
+            "the exiting iteration completed"
+        );
     }
 
     #[test]
@@ -314,7 +328,11 @@ mod tests {
     fn bjt_reductions_validate_in_one_stage() {
         let lp = BjtLoop::new(400, 64, 9);
         let spec = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
-        assert_eq!(spec.report.stages.len(), 1, "pure reductions never conflict");
+        assert_eq!(
+            spec.report.stages.len(),
+            1,
+            "pure reductions never conflict"
+        );
         let (seq, _) = run_sequential(&lp);
         let spec_y = spec.array("Y");
         let seq_y = &seq[0].1;

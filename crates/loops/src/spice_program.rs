@@ -19,8 +19,8 @@
 
 use crate::spice::{BjtLoop, Dcdcmp15Loop, Dcdcmp70Loop};
 use rlrpd_core::{
-    execute_wavefronts, extract_ddg, run_speculative, CostModel, ExecMode, RunConfig,
-    Strategy, WavefrontSchedule, WindowConfig,
+    execute_wavefronts, extract_ddg, run_speculative, CostModel, ExecMode, RunConfig, Strategy,
+    WavefrontSchedule, WindowConfig,
 };
 
 /// One circuit's analysis state with the cached wavefront schedule.
@@ -98,15 +98,18 @@ impl SpiceProgram {
         let schedule = self.schedule.as_ref().expect("cached above");
 
         // Steady state: wavefront LU + speculative BJT + check loop.
-        let (_, lu_report) =
-            execute_wavefronts(&self.lu, schedule, p, ExecMode::Simulated, cost);
+        let (_, lu_report) = execute_wavefronts(&self.lu, schedule, p, ExecMode::Simulated, cost);
         let bjt = run_speculative(
             &self.bjt,
-            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+            RunConfig::new(p)
+                .with_strategy(Strategy::Nrd)
+                .with_cost(cost),
         );
         let check = run_speculative(
             &self.check,
-            RunConfig::new(p).with_strategy(Strategy::Nrd).with_cost(cost),
+            RunConfig::new(p)
+                .with_strategy(Strategy::Nrd)
+                .with_cost(cost),
         );
 
         NewtonReport {
@@ -134,7 +137,11 @@ impl SpiceProgram {
     /// Panics if the schedule does not cover the LU loop.
     pub fn install_schedule(&mut self, schedule: WavefrontSchedule) {
         use rlrpd_core::SpecLoop;
-        assert_eq!(schedule.num_iters(), self.lu.num_iters(), "schedule/deck mismatch");
+        assert_eq!(
+            schedule.num_iters(),
+            self.lu.num_iters(),
+            "schedule/deck mismatch"
+        );
         self.schedule = Some(schedule);
     }
 }
@@ -166,7 +173,10 @@ mod tests {
         };
         let short = report(1);
         let long = report(50);
-        assert!(long > short, "more Newton iterations amortize the extraction: {short} vs {long}");
+        assert!(
+            long > short,
+            "more Newton iterations amortize the extraction: {short} vs {long}"
+        );
     }
 
     #[test]
@@ -178,7 +188,10 @@ mod tests {
         let mut b = SpiceProgram::small(9);
         b.install_schedule(WavefrontSchedule::from_bytes(&bytes).unwrap());
         let r2 = b.run(2, 4, CostModel::default());
-        assert_eq!(r2.extraction_time, 0.0, "no extraction with an installed schedule");
+        assert_eq!(
+            r2.extraction_time, 0.0,
+            "no extraction with an installed schedule"
+        );
         assert_eq!(r1.steady_state_time, r2.steady_state_time);
         assert_eq!(r1.critical_path, r2.critical_path);
     }

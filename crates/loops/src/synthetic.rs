@@ -66,7 +66,12 @@ impl AlphaLoop {
                 }
             }
         }
-        AlphaLoop { n, omega, src_of, sinks }
+        AlphaLoop {
+            n,
+            omega,
+            src_of,
+            sinks,
+        }
     }
 }
 
@@ -260,14 +265,21 @@ mod tests {
     fn check_matches_sequential(lp: &dyn SpecLoop, cfg: RunConfig) -> rlrpd_core::RunReport {
         let spec = run_speculative(lp, cfg);
         let (seq, _) = run_sequential(lp);
-        assert_eq!(spec.array("A"), &seq[0].1[..], "speculative result must equal sequential");
+        assert_eq!(
+            spec.array("A"),
+            &seq[0].1[..],
+            "speculative result must equal sequential"
+        );
         spec.report
     }
 
     #[test]
     fn alpha_loop_halves_remaining_per_stage() {
         let lp = AlphaLoop::new(1024, 0.5, 1.0);
-        assert_eq!(lp.sinks, vec![512, 768, 896, 960, 992, 1008, 1016, 1020, 1022, 1023]);
+        assert_eq!(
+            lp.sinks,
+            vec![512, 768, 896, 960, 992, 1008, 1016, 1020, 1022, 1023]
+        );
         let report = check_matches_sequential(&lp, RunConfig::new(8).with_strategy(Strategy::Rd));
         // Remaining sequence 1024, 512, 256 ... : sinks past the point
         // where a block holds a single iteration stop failing.
@@ -278,8 +290,7 @@ mod tests {
     fn beta_loop_completes_fixed_blocks_per_stage_under_nrd() {
         let p = 8;
         let lp = BetaLoop::new(800, p, 2, 1.0);
-        let report =
-            check_matches_sequential(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
+        let report = check_matches_sequential(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
         // 2 of 8 blocks complete per stage -> 4 stages, 3 restarts.
         assert_eq!(report.stages.len(), 4);
         assert_eq!(report.restarts, 3);
@@ -299,8 +310,7 @@ mod tests {
     fn sequential_chain_takes_p_stages_under_nrd() {
         let p = 4;
         let lp = SequentialChainLoop::new(64, 1.0);
-        let report =
-            check_matches_sequential(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
+        let report = check_matches_sequential(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
         assert_eq!(report.stages.len(), p, "one block commits per stage");
         assert_eq!(report.restarts, p - 1);
     }

@@ -75,7 +75,10 @@ impl TrackProgram {
     /// `base_seed`.
     pub fn new(timesteps: usize, base_seed: u64) -> Self {
         assert!(timesteps > 0);
-        TrackProgram { timesteps, base_seed }
+        TrackProgram {
+            timesteps,
+            base_seed,
+        }
     }
 
     fn nlfilt_at(&self, t: usize) -> NlfiltLoop {
@@ -184,7 +187,10 @@ impl TrackProgram {
         let serial = loops_seq / (1.0 - SERIAL_SHARE) * SERIAL_SHARE;
         let program_speedup = (loops_seq + serial) / (loops_par + serial);
 
-        ProgramReport { loops, program_speedup }
+        ProgramReport {
+            loops,
+            program_speedup,
+        }
     }
 }
 
@@ -208,8 +214,12 @@ mod tests {
     #[test]
     fn program_speedup_grows_with_processors() {
         let prog = TrackProgram::new(3, 7);
-        let s2 = prog.run(2, CostModel::default(), ProgramMode::Fixed).program_speedup;
-        let s16 = prog.run(16, CostModel::default(), ProgramMode::Fixed).program_speedup;
+        let s2 = prog
+            .run(2, CostModel::default(), ProgramMode::Fixed)
+            .program_speedup;
+        let s16 = prog
+            .run(16, CostModel::default(), ProgramMode::Fixed)
+            .program_speedup;
         assert!(s16 > s2, "p=16 ({s16}) must beat p=2 ({s2})");
     }
 

@@ -111,7 +111,13 @@ mod tests {
     use super::*;
 
     fn params() -> ModelParams {
-        ModelParams { n: 1024, p: 8, omega: 100.0, ell: 5.0, sync: 20.0 }
+        ModelParams {
+            n: 1024,
+            p: 8,
+            omega: 100.0,
+            ell: 5.0,
+            sync: 20.0,
+        }
     }
 
     #[test]
@@ -148,7 +154,13 @@ mod tests {
 
     #[test]
     fn eq4_threshold_is_ps_over_omega_minus_ell() {
-        let m = ModelParams { n: 0, p: 8, omega: 10.0, ell: 2.0, sync: 16.0 };
+        let m = ModelParams {
+            n: 0,
+            p: 8,
+            omega: 10.0,
+            ell: 2.0,
+            sync: 16.0,
+        };
         // threshold = 8·16/8 = 16
         assert!(redistribution_pays(&m, 16));
         assert!(!redistribution_pays(&m, 15));
@@ -156,7 +168,13 @@ mod tests {
 
     #[test]
     fn eq4_never_pays_when_moving_costs_more_than_work() {
-        let m = ModelParams { n: 0, p: 8, omega: 2.0, ell: 2.0, sync: 1.0 };
+        let m = ModelParams {
+            n: 0,
+            p: 8,
+            omega: 2.0,
+            ell: 2.0,
+            sync: 1.0,
+        };
         assert!(!redistribution_pays(&m, usize::MAX));
     }
 
@@ -175,7 +193,13 @@ mod tests {
     #[test]
     fn k_d_clamps_to_zero_for_tiny_loops() {
         // Loop so small that redistribution never pays even at stage 0.
-        let m = ModelParams { n: 2, p: 8, omega: 10.0, ell: 2.0, sync: 100.0 };
+        let m = ModelParams {
+            n: 2,
+            p: 8,
+            omega: 10.0,
+            ell: 2.0,
+            sync: 100.0,
+        };
         assert_eq!(k_d_geometric(&m, 0.5), 0.0);
     }
 
@@ -194,7 +218,10 @@ mod tests {
     #[test]
     fn k_s_dispatches_by_class() {
         use crate::params::LoopClass;
-        assert_eq!(k_s(LoopClass::Geometric { alpha: 0.5 }, 8), k_s_geometric(0.5, 8));
+        assert_eq!(
+            k_s(LoopClass::Geometric { alpha: 0.5 }, 8),
+            k_s_geometric(0.5, 8)
+        );
         assert_eq!(k_s(LoopClass::Linear { beta: 0.75 }, 8), k_s_linear(0.75));
         assert_eq!(k_s(LoopClass::fully_parallel(), 8), 1.0);
         assert_eq!(k_s(LoopClass::sequential(8), 8), 8.0);

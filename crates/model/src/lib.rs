@@ -43,8 +43,8 @@ pub mod params;
 pub mod stage_sim;
 
 pub use formulas::{
-    k_d_geometric, k_s, k_s_geometric, k_s_linear, redistribution_pays, t_dyn_geometric,
-    t_static, t_total_geometric,
+    k_d_geometric, k_s, k_s_geometric, k_s_linear, redistribution_pays, t_dyn_geometric, t_static,
+    t_total_geometric,
 };
 pub use params::{LoopClass, ModelParams};
 pub use stage_sim::{simulate_stages, simulate_stages_linear, RedistPolicy, StageRecord};

@@ -68,7 +68,13 @@ mod tests {
 
     #[test]
     fn ideal_time_is_work_over_p_plus_barrier() {
-        let m = ModelParams { n: 100, p: 4, omega: 2.0, ell: 0.1, sync: 3.0 };
+        let m = ModelParams {
+            n: 100,
+            p: 4,
+            omega: 2.0,
+            ell: 0.1,
+            sync: 3.0,
+        };
         assert_eq!(m.total_work(), 200.0);
         assert_eq!(m.ideal_parallel_time(), 53.0);
     }

@@ -149,7 +149,11 @@ pub fn simulate_stages_linear(
             remaining,
             redistributed,
             loop_time: block * m.omega,
-            redist_overhead: if redistributed { remaining as f64 * m.ell / p } else { 0.0 },
+            redist_overhead: if redistributed {
+                remaining as f64 * m.ell / p
+            } else {
+                0.0
+            },
             sync_overhead: m.sync,
         });
         remaining = remaining.saturating_sub(step);
@@ -177,7 +181,13 @@ mod tests {
 
     fn fig4_params() -> ModelParams {
         // ω ≫ ℓ + s so redistribution initially pays, as in the paper.
-        ModelParams { n: 4096, p: 8, omega: 100.0, ell: 10.0, sync: 50.0 }
+        ModelParams {
+            n: 4096,
+            p: 8,
+            omega: 100.0,
+            ell: 10.0,
+            sync: 50.0,
+        }
     }
 
     #[test]
@@ -211,7 +221,11 @@ mod tests {
 
     #[test]
     fn initial_stage_never_pays_redistribution() {
-        for policy in [RedistPolicy::Never, RedistPolicy::Adaptive, RedistPolicy::Always] {
+        for policy in [
+            RedistPolicy::Never,
+            RedistPolicy::Adaptive,
+            RedistPolicy::Always,
+        ] {
             let recs = simulate_stages(&fig4_params(), 0.5, policy);
             assert!(!recs[0].redistributed);
             assert_eq!(recs[0].redist_overhead, 0.0);
@@ -221,7 +235,13 @@ mod tests {
     #[test]
     fn adaptive_stops_redistributing_below_cutoff() {
         // Make the cutoff bite early: huge sync cost.
-        let m = ModelParams { n: 1024, p: 8, omega: 10.0, ell: 2.0, sync: 200.0 };
+        let m = ModelParams {
+            n: 1024,
+            p: 8,
+            omega: 10.0,
+            ell: 2.0,
+            sync: 200.0,
+        };
         // cutoff = p·s/(ω−ℓ) = 8·200/8 = 200 iterations.
         let recs = simulate_stages(&m, 0.5, RedistPolicy::Adaptive);
         let mut seen_non_redist_after_redist = false;
@@ -245,13 +265,21 @@ mod tests {
         // In the paper's regime the NRD strategy performs worst "by a
         // wide margin", and adaptive ends at or below always.
         let m = fig4_params();
-        let total = |p| cumulative(&simulate_stages(&m, 0.5, p)).last().copied().unwrap();
+        let total = |p| {
+            cumulative(&simulate_stages(&m, 0.5, p))
+                .last()
+                .copied()
+                .unwrap()
+        };
         let never = total(RedistPolicy::Never);
         let adaptive = total(RedistPolicy::Adaptive);
         let always = total(RedistPolicy::Always);
         assert!(adaptive < never, "adaptive {adaptive} < never {never}");
         assert!(always < never, "always {always} < never {never}");
-        assert!(adaptive <= always + 1e-9, "adaptive {adaptive} <= always {always}");
+        assert!(
+            adaptive <= always + 1e-9,
+            "adaptive {adaptive} <= always {always}"
+        );
     }
 
     #[test]
@@ -269,8 +297,8 @@ mod tests {
     #[test]
     fn linear_loop_takes_reciprocal_stages_under_nrd() {
         let m = fig4_params(); // n = 4096, p = 8
-        // β = 3/4: a quarter of the original iterations per stage -> 4
-        // stages, each re-running a full original block under NRD.
+                               // β = 3/4: a quarter of the original iterations per stage -> 4
+                               // stages, each re-running a full original block under NRD.
         let recs = simulate_stages_linear(&m, 0.75, RedistPolicy::Never);
         assert_eq!(recs.len(), 4);
         let first = recs[0].loop_time;
@@ -288,7 +316,10 @@ mod tests {
         // Total loop time = n·ω, the paper's T = nω + p·s.
         let total: f64 = recs.iter().map(|r| r.total()).sum();
         let expect = m.n as f64 * m.omega + m.p as f64 * m.sync;
-        assert!((total - expect).abs() / expect < 0.01, "{total} vs {expect}");
+        assert!(
+            (total - expect).abs() / expect < 0.01,
+            "{total} vs {expect}"
+        );
     }
 
     #[test]

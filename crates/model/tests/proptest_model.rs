@@ -7,9 +7,20 @@ use rlrpd_model::{
 };
 
 fn params() -> impl Strategy<Value = ModelParams> {
-    (64usize..10_000, 2usize..32, 1.0f64..500.0, 0.0f64..50.0, 0.1f64..200.0).prop_map(
-        |(n, p, omega, ell, sync)| ModelParams { n, p, omega, ell, sync },
+    (
+        64usize..10_000,
+        2usize..32,
+        1.0f64..500.0,
+        0.0f64..50.0,
+        0.1f64..200.0,
     )
+        .prop_map(|(n, p, omega, ell, sync)| ModelParams {
+            n,
+            p,
+            omega,
+            ell,
+            sync,
+        })
 }
 
 proptest! {

@@ -49,7 +49,10 @@ impl FeedbackPartitioner {
 
     /// A partitioner using the given trend predictor.
     pub fn with_trend(trend: TrendMode) -> Self {
-        FeedbackPartitioner { trend, ..Self::default() }
+        FeedbackPartitioner {
+            trend,
+            ..Self::default()
+        }
     }
 
     /// Feed the measured per-iteration times of the instantiation that
@@ -183,7 +186,10 @@ mod tests {
         fp.record(times);
         // Predict for 20 iterations: the cheap/expensive boundary scales.
         let s = fp.schedule(0..20, 2);
-        assert!(s.blocks()[0].range.len() > 10, "cheap side should get most iters");
+        assert!(
+            s.blocks()[0].range.len() > 10,
+            "cheap side should get most iters"
+        );
         assert_eq!(s.num_iters(), 20);
     }
 
@@ -238,7 +244,11 @@ mod tests {
         li.record(vec![10.0, 10.0, 10.0, 10.0]);
         li.record(vec![1.0, 10.0, 10.0, 10.0]); // extrapolates to -8 at slot 0
         let s = li.schedule(0..4, 2);
-        assert_eq!(s.num_iters(), 4, "clamped prediction still yields a valid schedule");
+        assert_eq!(
+            s.num_iters(),
+            4,
+            "clamped prediction still yields a valid schedule"
+        );
     }
 
     #[test]

@@ -1,14 +1,19 @@
-//! Stage executors: real threads or a deterministic simulated machine.
+//! Stage executors: real threads, a persistent worker pool, or a
+//! deterministic simulated machine.
 //!
 //! A speculative stage runs one closure per block, each against that
 //! block's private per-processor state. Blocks are independent during a
 //! stage *by construction* (all writes go to privatized storage, the
-//! shared array is read-only), which is exactly what permits the two
+//! shared array is read-only), which is exactly what permits the
 //! interchangeable execution modes:
 //!
-//! * [`ExecMode::Threads`] — one crossbeam scoped thread per block; this
-//!   proves the engine is genuinely parallel and data-race-free and
-//!   provides real wall-clock measurements.
+//! * [`ExecMode::Threads`] — one scoped OS thread per block; this proves
+//!   the engine is genuinely parallel and data-race-free and provides
+//!   real wall-clock measurements.
+//! * [`ExecMode::Pooled`] — blocks run on a persistent work-stealing
+//!   [`WorkerPool`] created once and reused by every stage, phase, and
+//!   restart (see [`crate::pool`]). Same observable results as
+//!   `Threads`, without per-stage thread spawn cost.
 //! * [`ExecMode::Simulated`] — blocks run sequentially in block order and
 //!   report *virtual* cost; stage time is the max over blocks, as on an
 //!   idealized `p`-processor machine. This is our deterministic
@@ -16,16 +21,20 @@
 //!   stage structure, commit decisions, and the figures' time series are
 //!   bit-for-bit reproducible on any host.
 //!
-//! Both modes produce identical speculative outcomes; integration tests
+//! All modes produce identical speculative outcomes; integration tests
 //! assert this.
 
 use crate::cost::Cost;
+use crate::pool::{SendPtr, WorkerPool};
+use std::sync::Arc;
 
 /// How to run the blocks of one stage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ExecMode {
-    /// One OS thread per block (crossbeam scoped threads).
+    /// One scoped OS thread per block, spawned per stage.
     Threads,
+    /// A persistent work-stealing worker pool, reused across stages.
+    Pooled,
     /// Deterministic sequential emulation with virtual per-block clocks.
     Simulated,
 }
@@ -53,15 +62,37 @@ impl StageTiming {
 }
 
 /// Executes the blocks of speculative stages under a chosen [`ExecMode`].
-#[derive(Clone, Copy, Debug)]
+///
+/// Cheap to clone: a pooled executor shares its [`WorkerPool`] (the pool
+/// itself is process-global per width, see [`WorkerPool::shared`]), so
+/// cloning never spawns threads.
+#[derive(Clone, Debug)]
 pub struct Executor {
     mode: ExecMode,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Executor {
-    /// Create an executor with the given mode.
+    /// Create an executor with the given mode. A pooled executor is
+    /// sized to the host's available parallelism; use
+    /// [`Executor::with_procs`] to size it to the run's virtual
+    /// processor count instead.
     pub fn new(mode: ExecMode) -> Self {
-        Executor { mode }
+        let procs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_procs(mode, procs)
+    }
+
+    /// Create an executor whose pool (if any) has `procs` workers.
+    /// Pools are memoized per width, so repeated construction — e.g.
+    /// one engine per restarted run — reuses the same OS threads.
+    pub fn with_procs(mode: ExecMode, procs: usize) -> Self {
+        let pool = match mode {
+            ExecMode::Pooled => Some(WorkerPool::shared(procs)),
+            ExecMode::Threads | ExecMode::Simulated => None,
+        };
+        Executor { mode, pool }
     }
 
     /// The executor's mode.
@@ -69,9 +100,15 @@ impl Executor {
         self.mode
     }
 
+    /// The persistent pool backing this executor, when pooled.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
     /// Run one stage: `work(pos, &mut states[pos])` for every block
-    /// position, concurrently under [`ExecMode::Threads`], sequentially
-    /// (but observably identically) under [`ExecMode::Simulated`].
+    /// position, concurrently under [`ExecMode::Threads`] /
+    /// [`ExecMode::Pooled`], sequentially (but observably identically)
+    /// under [`ExecMode::Simulated`].
     ///
     /// `work` returns the virtual cost the block accumulated.
     pub fn run_blocks<S, F>(&self, states: &mut [S], work: F) -> StageTiming
@@ -95,26 +132,69 @@ impl Executor {
                 let start = std::time::Instant::now();
                 let work = &work;
                 let mut per_block_cost = vec![0.0; states.len()];
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = states
-                        .iter_mut()
-                        .zip(per_block_cost.iter_mut())
-                        .enumerate()
-                        .map(|(pos, (s, out))| {
-                            scope.spawn(move |_| {
-                                *out = work(pos, s);
-                            })
-                        })
-                        .collect();
-                    for h in handles {
-                        h.join().expect("speculative block panicked");
+                std::thread::scope(|scope| {
+                    for (pos, (s, out)) in
+                        states.iter_mut().zip(per_block_cost.iter_mut()).enumerate()
+                    {
+                        scope.spawn(move || {
+                            *out = work(pos, s);
+                        });
                     }
-                })
-                .expect("stage scope failed");
+                });
                 StageTiming {
                     per_block_cost,
                     wall_seconds: start.elapsed().as_secs_f64(),
                 }
+            }
+            ExecMode::Pooled => {
+                let start = std::time::Instant::now();
+                let pool = self.pool.as_ref().expect("pooled executor has a pool");
+                let states_ptr = SendPtr::new(states.as_mut_ptr());
+                let per_block_cost = pool.run_indexed(states.len(), |pos| {
+                    // SAFETY: block positions are distinct, so each task
+                    // derives an exclusive &mut to its own state.
+                    let s = unsafe { &mut *states_ptr.get().add(pos) };
+                    work(pos, s)
+                });
+                StageTiming {
+                    per_block_cost,
+                    wall_seconds: start.elapsed().as_secs_f64(),
+                }
+            }
+        }
+    }
+
+    /// Run `f(i)` for `i in 0..n` under this executor's parallelism and
+    /// collect the results in index order. This is the substrate for
+    /// the parallel analysis / commit-merge phases: sequential under
+    /// [`ExecMode::Simulated`] (preserving bit-for-bit determinism),
+    /// scoped threads under [`ExecMode::Threads`], pool workers under
+    /// [`ExecMode::Pooled`].
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match self.mode {
+            ExecMode::Simulated => (0..n).map(f).collect(),
+            ExecMode::Pooled => self
+                .pool
+                .as_ref()
+                .expect("pooled executor has a pool")
+                .run_indexed(n, f),
+            ExecMode::Threads => {
+                let f = &f;
+                let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+                std::thread::scope(|scope| {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        scope.spawn(move || {
+                            *slot = Some(f(i));
+                        });
+                    }
+                });
+                out.into_iter()
+                    .map(|slot| slot.expect("indexed task did not run"))
+                    .collect()
             }
         }
     }
@@ -125,8 +205,12 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn modes() -> [Executor; 2] {
-        [Executor::new(ExecMode::Simulated), Executor::new(ExecMode::Threads)]
+    fn modes() -> [Executor; 3] {
+        [
+            Executor::new(ExecMode::Simulated),
+            Executor::new(ExecMode::Threads),
+            Executor::with_procs(ExecMode::Pooled, 4),
+        ]
     }
 
     #[test]
@@ -172,6 +256,32 @@ mod tests {
             1.0
         });
         assert!(t.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn pooled_mode_reuses_one_pool_across_stages() {
+        let ex = Executor::with_procs(ExecMode::Pooled, 3);
+        let pool = Arc::clone(ex.pool().expect("pooled executor has a pool"));
+        for stage in 0..50 {
+            let mut states = vec![0usize; 5];
+            let t = ex.run_blocks(&mut states, |pos, s| {
+                *s = stage * 10 + pos;
+                1.0
+            });
+            assert_eq!(t.per_block_cost, vec![1.0; 5]);
+            assert!(states.iter().enumerate().all(|(p, &s)| s == stage * 10 + p));
+        }
+        // Same executor, same pool object throughout.
+        assert!(Arc::ptr_eq(&pool, ex.pool().unwrap()));
+    }
+
+    #[test]
+    fn run_indexed_matches_sequential_in_every_mode() {
+        for ex in modes() {
+            let out = ex.run_indexed(17, |i| i * 3 + 1);
+            let expect: Vec<usize> = (0..17).map(|i| i * 3 + 1).collect();
+            assert_eq!(out, expect, "mode {:?}", ex.mode());
+        }
     }
 
     #[test]

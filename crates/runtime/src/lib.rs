@@ -9,11 +9,12 @@
 //! * [`BlockSchedule`] — contiguous, increasing-order iteration blocks
 //!   (the paper requires static block scheduling so that partial work can
 //!   be committed in iteration order),
-//! * [`Executor`] — runs one speculative stage either on real threads
-//!   (crossbeam scoped threads, one per virtual processor) or on a
-//!   deterministic *simulated machine* with per-processor virtual clocks
-//!   (our substitution for the paper's 16-processor HP V2200; see
-//!   DESIGN.md §2),
+//! * [`Executor`] — runs one speculative stage on real threads (one
+//!   scoped OS thread per virtual processor), on a persistent
+//!   work-stealing [`WorkerPool`] reused across stages and restarts, or
+//!   on a deterministic *simulated machine* with per-processor virtual
+//!   clocks (our substitution for the paper's 16-processor HP V2200;
+//!   see DESIGN.md §2),
 //! * [`CostModel`] — the (ω, ℓ, s) parameters of the paper's Section 4
 //!   analytical model plus a remote-miss penalty for redistribution,
 //! * [`prefix`] — sequential and parallel prefix sums (used by the
@@ -49,6 +50,7 @@
 pub mod balance;
 pub mod cost;
 pub mod executor;
+pub mod pool;
 pub mod prefix;
 pub mod proc;
 pub mod schedule;
@@ -57,6 +59,7 @@ pub mod stats;
 pub use balance::{FeedbackPartitioner, TrendMode};
 pub use cost::{Cost, CostModel};
 pub use executor::{ExecMode, Executor, StageTiming};
+pub use pool::WorkerPool;
 pub use proc::ProcId;
 pub use schedule::{Block, BlockSchedule};
-pub use stats::{OverheadBreakdown, OverheadKind, StageStats};
+pub use stats::{OverheadBreakdown, OverheadKind, PhaseSeconds, StageStats};

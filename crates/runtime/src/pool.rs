@@ -1,0 +1,486 @@
+//! A persistent work-stealing worker pool for speculative stages.
+//!
+//! The seed executor spawned one scoped OS thread per block per stage.
+//! An R-LRPD run executes *many* stages — every restart re-runs the
+//! remaining iterations as a fresh doall, and the analysis / commit /
+//! shadow-reset phases between stages are themselves parallel loops — so
+//! thread creation cost was paid hundreds of times per loop
+//! instantiation. This module replaces that with a pool of workers
+//! created **once** (per requested width) and reused by every stage,
+//! every phase, and every restart.
+//!
+//! Design:
+//!
+//! * Each submitted job is a *parallel for* over indices `0..n`. The
+//!   index space is split into one contiguous chunk per worker, each
+//!   held in an [`IndexDeque`]: a `(start, end)` pair packed into one
+//!   atomic word. The owning worker claims indices from the front with
+//!   CAS; idle workers steal from the back of other workers' deques with
+//!   the same CAS word, so claiming is lock-free and a task index is
+//!   executed exactly once.
+//! * Workers park on a condvar between jobs; submission bumps an epoch
+//!   and wakes everyone. A job completes when every worker has drained
+//!   all deques (`active` hits zero), at which point the submitter is
+//!   released. Jobs are serialized: a second submitter waits until the
+//!   pool is idle.
+//! * Task closures are lifetime-erased (`&'a dyn Fn(usize)` →
+//!   `&'static`). This is sound because [`WorkerPool::run`] blocks until
+//!   `active == 0`, i.e. until no worker can touch the closure again, so
+//!   the erased borrow strictly outlives every use.
+//! * A panicking task marks the job poisoned (remaining indices are
+//!   claimed but skipped), the payload is stashed, and the submitter
+//!   re-raises it with `resume_unwind`. The pool itself stays usable.
+//!
+//! [`WorkerPool::shared`] memoizes pools by width in a process-global
+//! map so independent engines (and restarted runs) reuse the same OS
+//! threads instead of re-spawning.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A raw pointer that may be shared across the pool's workers.
+///
+/// Used to hand disjoint `&mut` slots of a slice to tasks: each task
+/// index derives exactly one element pointer, so exclusivity is an
+/// indexing invariant the caller upholds (and documents at the use
+/// site), not something the type system can see.
+pub struct SendPtr<T>(*mut T);
+
+// SAFETY: a SendPtr is only a capability to *derive* element pointers;
+// every dereference happens at an unsafe site whose caller guarantees
+// disjointness. Sending the pointer itself between threads is sound
+// whenever the pointee values may move between threads.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wrap a base pointer for cross-thread indexed access.
+    pub fn new(p: *mut T) -> Self {
+        SendPtr(p)
+    }
+
+    /// The wrapped base pointer.
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// One worker's contiguous slice of the job's index space, packed as
+/// `(start << 32) | end` in a single atomic word. The owner pops from
+/// the front, thieves pop from the back; both are CAS loops on the same
+/// word, so the deque never hands out an index twice.
+struct IndexDeque(AtomicU64);
+
+impl IndexDeque {
+    fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end && end <= u32::MAX as usize);
+        IndexDeque(AtomicU64::new(((start as u64) << 32) | end as u64))
+    }
+
+    fn pop_front(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = ((cur >> 32) as u32, cur as u32);
+            if start >= end {
+                return None;
+            }
+            let next = ((u64::from(start) + 1) << 32) | u64::from(end);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(start as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn pop_back(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = ((cur >> 32) as u32, cur as u32);
+            if start >= end {
+                return None;
+            }
+            let next = (u64::from(start) << 32) | u64::from(end - 1);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some((end - 1) as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Lifetime-erased task reference. `&dyn Fn + Sync` is `Send + Sync`,
+/// so the reference may be handed to every worker.
+#[derive(Clone, Copy)]
+struct TaskRef(&'static (dyn Fn(usize) + Sync));
+
+/// One submitted parallel-for.
+struct Job {
+    task: TaskRef,
+    deques: Box<[IndexDeque]>,
+    /// Workers that have not yet finished this job. The submitter is
+    /// released when this hits zero.
+    active: AtomicUsize,
+    /// Set on the first task panic; later indices are claimed but
+    /// skipped so the job still drains promptly.
+    panicked: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Job {
+    fn exec(&self, i: usize) {
+        if self.panicked.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.task.0)(i))) {
+            if !self.panicked.swap(true, Ordering::SeqCst) {
+                *self.panic.lock().unwrap() = Some(payload);
+            }
+        }
+    }
+
+    /// Drain the job from worker `me`'s point of view: own deque from
+    /// the front, then every other deque from the back. The index space
+    /// is fixed at submission, so one pass that fully drains each deque
+    /// in turn leaves nothing claimable.
+    fn run_from(&self, me: usize) {
+        let w = self.deques.len();
+        for k in 0..w {
+            let victim = (me + k) % w;
+            if k == 0 {
+                while let Some(i) = self.deques[victim].pop_front() {
+                    self.exec(i);
+                }
+            } else {
+                while let Some(i) = self.deques[victim].pop_back() {
+                    self.exec(i);
+                }
+            }
+        }
+    }
+}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    /// Bumped on every submission; each worker runs each epoch once.
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// Submitters park here while the pool is busy / their job runs.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of `threads` workers executing parallel-fors.
+///
+/// Create one with [`WorkerPool::new`] or — preferred, so restarts and
+/// independent engines share OS threads — [`WorkerPool::shared`].
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool(threads={})", self.threads)
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rlrpd-pool-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// The process-wide pool of this width, created on first use and
+    /// kept alive for the life of the process.
+    pub fn shared(threads: usize) -> Arc<WorkerPool> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
+        let threads = threads.max(1);
+        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        Arc::clone(
+            pools
+                .lock()
+                .unwrap()
+                .entry(threads)
+                .or_insert_with(|| Arc::new(WorkerPool::new(threads))),
+        )
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(i)` for every `i in 0..n` across the pool and block until
+    /// all calls finish. Panics from tasks are re-raised here. Jobs are
+    /// serialized; concurrent submitters queue.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        assert!(n <= u32::MAX as usize, "pool job too large");
+        // SAFETY: we do not return until `active == 0`, i.e. until every
+        // worker has finished with the job, so the erased borrow
+        // strictly outlives every use of `task`.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let w = self.threads;
+        let chunk = n.div_ceil(w);
+        let deques = (0..w)
+            .map(|k| IndexDeque::new((k * chunk).min(n), ((k + 1) * chunk).min(n)))
+            .collect();
+        let job = Arc::new(Job {
+            task: TaskRef(task),
+            deques,
+            active: AtomicUsize::new(w),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+
+        let sh = &*self.shared;
+        {
+            let mut st = sh.state.lock().unwrap();
+            while st.job.is_some() {
+                st = sh.done_cv.wait(st).unwrap();
+            }
+            st.job = Some(Arc::clone(&job));
+            st.epoch += 1;
+        }
+        sh.work_cv.notify_all();
+
+        {
+            let mut st = sh.state.lock().unwrap();
+            while job.active.load(Ordering::Acquire) != 0 {
+                st = sh.done_cv.wait(st).unwrap();
+            }
+        }
+
+        if job.panicked.load(Ordering::SeqCst) {
+            if let Some(payload) = job.panic.lock().unwrap().take() {
+                resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Run `f(i)` for every `i in 0..n` and collect the results in index
+    /// order.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let slots = SendPtr::new(out.as_mut_ptr());
+        self.run(n, &|i| {
+            // SAFETY: task indices are distinct and each writes only its
+            // own slot, so the derived &mut is exclusive.
+            unsafe { *slots.get().add(i) = Some(f(i)) };
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("pool task did not run"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &PoolShared, me: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = sh.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = &st.job {
+                        seen_epoch = st.epoch;
+                        break Arc::clone(job);
+                    }
+                }
+                st = sh.work_cv.wait(st).unwrap();
+            }
+        };
+        job.run_from(me);
+        if job.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last worker out: mark the pool idle and release the
+            // submitter (and anyone queued behind it).
+            let mut st = sh.state.lock().unwrap();
+            st.job = None;
+            drop(st);
+            sh.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn index_deque_front_and_back_partition_the_range() {
+        let d = IndexDeque::new(3, 8);
+        assert_eq!(d.pop_front(), Some(3));
+        assert_eq!(d.pop_back(), Some(7));
+        assert_eq!(d.pop_front(), Some(4));
+        assert_eq!(d.pop_back(), Some(6));
+        assert_eq!(d.pop_front(), Some(5));
+        assert_eq!(d.pop_front(), None);
+        assert_eq!(d.pop_back(), None);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for n in [0usize, 1, 3, 4, 7, 64, 1000] {
+            let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            pool.run(n, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "n={n}: some index ran 0 or 2+ times"
+            );
+        }
+    }
+
+    #[test]
+    fn run_indexed_returns_results_in_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.run_indexed(10, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_jobs() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.run(5, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn skewed_work_is_stolen_and_completes() {
+        // All the work lands in worker 0's chunk by cost; thieves must
+        // take from the back for the job to finish quickly — but
+        // correctness alone is what we assert here.
+        let pool = WorkerPool::new(4);
+        let done = AtomicUsize::new(0);
+        pool.run(64, &|i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must propagate to the submitter");
+        // The pool remains usable.
+        let ok = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_cleanly() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        pool.run(7, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 7);
+    }
+
+    #[test]
+    fn shared_pools_are_memoized_by_width() {
+        let a = WorkerPool::shared(3);
+        let b = WorkerPool::shared(3);
+        let c = WorkerPool::shared(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.threads(), 5);
+    }
+
+    #[test]
+    fn zero_width_pool_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run_indexed(3, |i| i + 1), vec![1, 2, 3]);
+    }
+}

@@ -52,26 +52,25 @@ pub fn parallel_exclusive_prefix_sum(xs: &[Cost], p: usize) -> Vec<Cost> {
     }
     let chunk = n.div_ceil(p);
     let mut block_sums = vec![0.0; xs.chunks(chunk).count()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (sum, block) in block_sums.iter_mut().zip(xs.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *sum = block.iter().sum();
             });
         }
-    })
-    .expect("prefix-sum scope failed");
+    });
 
     let offsets = exclusive_prefix_sum(&block_sums);
 
     let mut out = vec![0.0; n + 1];
     // out[0] = 0 already; fill out[1..=n] blockwise.
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = &mut out[1..];
         for (b, block) in xs.chunks(chunk).enumerate() {
             let (mine, tail) = rest.split_at_mut(block.len());
             rest = tail;
             let base = offsets[b];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut acc = base;
                 for (o, &x) in mine.iter_mut().zip(block) {
                     acc += x;
@@ -79,8 +78,7 @@ pub fn parallel_exclusive_prefix_sum(xs: &[Cost], p: usize) -> Vec<Cost> {
                 }
             });
         }
-    })
-    .expect("prefix-sum scope failed");
+    });
     out
 }
 

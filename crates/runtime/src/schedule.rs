@@ -65,7 +65,11 @@ impl BlockSchedule {
             if !b.is_empty() {
                 last_end = Some(b.range.end);
             }
-            assert!(seen.insert(b.proc), "processor {:?} scheduled twice", b.proc);
+            assert!(
+                seen.insert(b.proc),
+                "processor {:?} scheduled twice",
+                b.proc
+            );
         }
         BlockSchedule { blocks }
     }
@@ -183,9 +187,7 @@ impl BlockSchedule {
     /// The block position (dependence rank) executing global iteration
     /// `iter`, if any block covers it.
     pub fn position_of_iter(&self, iter: usize) -> Option<usize> {
-        self.blocks
-            .iter()
-            .position(|b| b.range.contains(&iter))
+        self.blocks.iter().position(|b| b.range.contains(&iter))
     }
 
     /// The block position held by processor `proc`, if it participates.
@@ -298,8 +300,14 @@ mod tests {
     #[should_panic(expected = "overlap")]
     fn overlapping_blocks_rejected() {
         BlockSchedule::new(vec![
-            Block { proc: ProcId(0), range: 0..5 },
-            Block { proc: ProcId(1), range: 4..8 },
+            Block {
+                proc: ProcId(0),
+                range: 0..5,
+            },
+            Block {
+                proc: ProcId(1),
+                range: 4..8,
+            },
         ]);
     }
 
@@ -307,8 +315,14 @@ mod tests {
     #[should_panic(expected = "scheduled twice")]
     fn duplicate_processor_rejected() {
         BlockSchedule::new(vec![
-            Block { proc: ProcId(0), range: 0..2 },
-            Block { proc: ProcId(0), range: 2..4 },
+            Block {
+                proc: ProcId(0),
+                range: 0..2,
+            },
+            Block {
+                proc: ProcId(0),
+                range: 2..4,
+            },
         ]);
     }
 
@@ -322,9 +336,9 @@ mod tests {
     #[test]
     fn redistribution_counts_only_changed_assignments() {
         let old = BlockSchedule::even(0..16, 4); // blocks of 4
-        // Restart from iteration 8: redistribute 8..16 over all 4 procs
-        // (blocks of 2). Old owners: 8..12 -> P2, 12..16 -> P3.
-        // New: 8..10 P0, 10..12 P1, 12..14 P2, 14..16 P3.
+                                                 // Restart from iteration 8: redistribute 8..16 over all 4 procs
+                                                 // (blocks of 2). Old owners: 8..12 -> P2, 12..16 -> P3.
+                                                 // New: 8..10 P0, 10..12 P1, 12..14 P2, 14..16 P3.
         let new = BlockSchedule::even(8..16, 4);
         // 8..12 moved (P2 -> P0/P1), 12..14 moved (P3 -> P2),
         // 14..16 stayed on P3.

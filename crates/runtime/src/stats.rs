@@ -87,6 +87,48 @@ impl OverheadBreakdown {
     }
 }
 
+/// Wall-clock seconds spent in each phase of one speculative stage.
+///
+/// Measured only when real threads execute the stage; all fields are
+/// `0.0` under the simulated executor (whose determinism contract
+/// forbids host timing from leaking into results). The breakdown is
+/// what the pooled analysis/commit pipeline optimizes: `analysis` and
+/// `commit` were sequential merges in the seed, `shadow_clear` a
+/// sequential loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseSeconds {
+    /// The speculative doall itself (the parallel section).
+    pub execute_seconds: f64,
+    /// Shadow merge + dependence-test evaluation.
+    pub analysis_seconds: f64,
+    /// Commit merge and parallel write-back.
+    pub commit_seconds: f64,
+    /// Restoring untested state written by failed blocks.
+    pub restore_seconds: f64,
+    /// Shadow/write-log re-initialization between stages.
+    pub shadow_clear_seconds: f64,
+}
+
+impl PhaseSeconds {
+    /// Sum of all phases.
+    pub fn total(&self) -> f64 {
+        self.execute_seconds
+            + self.analysis_seconds
+            + self.commit_seconds
+            + self.restore_seconds
+            + self.shadow_clear_seconds
+    }
+
+    /// Accumulate another stage's phases into this one.
+    pub fn merge(&mut self, other: &PhaseSeconds) {
+        self.execute_seconds += other.execute_seconds;
+        self.analysis_seconds += other.analysis_seconds;
+        self.commit_seconds += other.commit_seconds;
+        self.restore_seconds += other.restore_seconds;
+        self.shadow_clear_seconds += other.shadow_clear_seconds;
+    }
+}
+
 /// Statistics of a single speculative stage (one doall attempt).
 #[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StageStats {
@@ -105,6 +147,9 @@ pub struct StageStats {
     /// Wall-clock seconds of the parallel section, when real threads ran
     /// it; `0.0` under the simulated executor.
     pub wall_seconds: f64,
+    /// Wall-clock per-phase breakdown (all `0.0` under the simulated
+    /// executor).
+    pub phases: PhaseSeconds,
 }
 
 impl StageStats {
@@ -140,6 +185,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get(OverheadKind::Marking), 3.0);
         assert_eq!(a.get(OverheadKind::Analysis), 4.0);
+    }
+
+    #[test]
+    fn phase_seconds_total_and_merge() {
+        let mut a = PhaseSeconds {
+            execute_seconds: 1.0,
+            analysis_seconds: 0.5,
+            ..Default::default()
+        };
+        let b = PhaseSeconds {
+            analysis_seconds: 0.25,
+            commit_seconds: 2.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.analysis_seconds, 0.75);
+        assert_eq!(a.total(), 1.0 + 0.75 + 2.0);
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct DenseShadow {
 impl DenseShadow {
     /// Shadow for an array of `size` elements, all unmarked.
     pub fn new(size: usize) -> Self {
-        assert!(size <= u32::MAX as usize, "dense shadow limited to u32 indices");
+        assert!(
+            size <= u32::MAX as usize,
+            "dense shadow limited to u32 indices"
+        );
         DenseShadow {
             marks: vec![Mark::CLEAR; size],
             touched: Vec::new(),
@@ -71,7 +74,9 @@ impl DenseShadow {
 
     /// Distinct elements referenced, in first-touch order.
     pub fn touched(&self) -> impl Iterator<Item = (usize, Mark)> + '_ {
-        self.touched.iter().map(|&e| (e as usize, self.marks[e as usize]))
+        self.touched
+            .iter()
+            .map(|&e| (e as usize, self.marks[e as usize]))
     }
 
     /// Number of distinct elements referenced.
@@ -132,7 +137,10 @@ mod tests {
         }
         // Reusable after clear with fresh semantics.
         s.on_read(3);
-        assert!(s.mark(3).is_exposed_read(), "cleared write must not cover a new read");
+        assert!(
+            s.mark(3).is_exposed_read(),
+            "cleared write must not cover a new read"
+        );
     }
 
     #[test]

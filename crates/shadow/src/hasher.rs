@@ -71,7 +71,11 @@ mod tests {
             h.write_usize(i);
             seen.insert(h.finish());
         }
-        assert_eq!(seen.len(), 10_000, "no collisions on small consecutive keys");
+        assert_eq!(
+            seen.len(),
+            10_000,
+            "no collisions on small consecutive keys"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! invariant the analysis phase (in `rlrpd-core`) relies on.
 
 /// A per-element mark byte.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Mark(pub u8);
 
 impl Mark {
@@ -43,7 +45,10 @@ impl Mark {
     /// write has been observed, per the paper's marking rule.
     #[inline]
     pub fn on_read(&mut self) {
-        debug_assert!(!self.is_reduction_only() || self.0 == 0, "materialize first");
+        debug_assert!(
+            !self.is_reduction_only() || self.0 == 0,
+            "materialize first"
+        );
         if self.0 & Mark::WRITE == 0 {
             self.0 |= Mark::EXPOSED_READ;
         }
@@ -129,7 +134,10 @@ mod tests {
         let mut m = Mark::CLEAR;
         m.on_write();
         m.on_read();
-        assert!(!m.is_exposed_read(), "write-first read must not set the read bit");
+        assert!(
+            !m.is_exposed_read(),
+            "write-first read must not set the read bit"
+        );
         assert!(m.is_written());
     }
 

@@ -130,7 +130,9 @@ impl PackedShadow {
 
     /// Distinct elements referenced, in first-touch order.
     pub fn touched(&self) -> impl Iterator<Item = (usize, Mark)> + '_ {
-        self.touched.iter().map(|&e| (e as usize, self.mark(e as usize)))
+        self.touched
+            .iter()
+            .map(|&e| (e as usize, self.mark(e as usize)))
     }
 
     /// Number of distinct elements referenced.
@@ -169,7 +171,9 @@ mod tests {
         let mut dense = DenseShadow::new(size);
         let mut x = 0x9e3779b97f4a7c15u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = (x >> 33) as usize % size;
             match (x >> 7) % 3 {
                 0 => {

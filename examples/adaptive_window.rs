@@ -24,7 +24,10 @@ fn main() {
         "random loop: n = 4096, {} planted dependences (distance ≤ 12), p = {p}\n",
         lp.planted_deps().len()
     );
-    println!("{:<26} {:>7} {:>9} {:>9}", "window policy", "stages", "restarts", "speedup");
+    println!(
+        "{:<26} {:>7} {:>9} {:>9}",
+        "window policy", "stages", "restarts", "speedup"
+    );
 
     let run = |label: &str, wcfg: WindowConfig| {
         let r = run_speculative(
@@ -47,7 +50,10 @@ fn main() {
         "grow 4→256 on failure",
         WindowConfig {
             iters_per_proc: 4,
-            policy: WindowPolicy::GrowOnFailure { factor: 2.0, max: 256 },
+            policy: WindowPolicy::GrowOnFailure {
+                factor: 2.0,
+                max: 256,
+            },
             circular: true,
         },
     );
@@ -55,7 +61,10 @@ fn main() {
         "shrink 256→4 on failure",
         WindowConfig {
             iters_per_proc: 256,
-            policy: WindowPolicy::ShrinkOnFailure { factor: 2.0, min: 4 },
+            policy: WindowPolicy::ShrinkOnFailure {
+                factor: 2.0,
+                min: 4,
+            },
             circular: true,
         },
     );

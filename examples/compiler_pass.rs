@@ -38,7 +38,10 @@ fn main() {
     for (label, strategy) in [
         ("NRD", Strategy::Nrd),
         ("RD", Strategy::Rd),
-        ("SW64", Strategy::SlidingWindow(rlrpd::WindowConfig::fixed(64))),
+        (
+            "SW64",
+            Strategy::SlidingWindow(rlrpd::WindowConfig::fixed(64)),
+        ),
     ] {
         let res = run_speculative(&lp, RunConfig::new(8).with_strategy(strategy));
         println!(

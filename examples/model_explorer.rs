@@ -32,7 +32,10 @@ fn main() {
 
     println!("model parameters: {params:?}, alpha = {alpha}");
     println!("  total work n·ω            = {}", params.total_work());
-    println!("  ideal parallel time       = {}", params.ideal_parallel_time());
+    println!(
+        "  ideal parallel time       = {}",
+        params.ideal_parallel_time()
+    );
 
     let k_s = k_s_geometric(alpha, params.p);
     let k_d = k_d_geometric(&params, alpha);
@@ -40,16 +43,23 @@ fn main() {
     println!("  k_s (NRD stages)          = {k_s:.2}");
     println!("  k_d (redistributing)      = {k_d:.2}");
     println!("  Eq. 4 cutoff (iterations) = {cutoff:.1}");
-    println!("  T_static (pure NRD)       = {:.1}", t_static(&params, k_s.ceil()));
-    println!("  T(n) (adaptive, Eq. 6)    = {:.1}", t_total_geometric(&params, alpha));
+    println!(
+        "  T_static (pure NRD)       = {:.1}",
+        t_static(&params, k_s.ceil())
+    );
+    println!(
+        "  T(n) (adaptive, Eq. 6)    = {:.1}",
+        t_total_geometric(&params, alpha)
+    );
 
-    for policy in [RedistPolicy::Never, RedistPolicy::Adaptive, RedistPolicy::Always] {
+    for policy in [
+        RedistPolicy::Never,
+        RedistPolicy::Adaptive,
+        RedistPolicy::Always,
+    ] {
         let stages = simulate_stages(&params, alpha, policy);
         let total: f64 = stages.iter().map(|s| s.total()).sum();
-        println!(
-            "\n  {policy:?}: {} stages, total {total:.1}",
-            stages.len()
-        );
+        println!("\n  {policy:?}: {} stages, total {total:.1}", stages.len());
         for s in &stages {
             println!(
                 "    stage {:>2}: remaining {:>6}  loop {:>9.1}  redist {:>7.1}  sync {:>6.1}{}",

@@ -32,10 +32,22 @@ fn main() {
     let cases = [
         ("NRD", Strategy::Nrd),
         ("RD", Strategy::Rd),
-        ("adaptive (Eq. 4)", Strategy::AdaptiveRd(AdaptRule::ModelEq4)),
-        ("adaptive (measured)", Strategy::AdaptiveRd(AdaptRule::Measured)),
-        ("sliding window w=32", Strategy::SlidingWindow(WindowConfig::fixed(32))),
-        ("sliding window w=128", Strategy::SlidingWindow(WindowConfig::fixed(128))),
+        (
+            "adaptive (Eq. 4)",
+            Strategy::AdaptiveRd(AdaptRule::ModelEq4),
+        ),
+        (
+            "adaptive (measured)",
+            Strategy::AdaptiveRd(AdaptRule::Measured),
+        ),
+        (
+            "sliding window w=32",
+            Strategy::SlidingWindow(WindowConfig::fixed(32)),
+        ),
+        (
+            "sliding window w=128",
+            Strategy::SlidingWindow(WindowConfig::fixed(128)),
+        ),
     ];
     for (label, strategy) in cases {
         let r = run_speculative(&lp, RunConfig::new(p).with_strategy(strategy));

@@ -46,7 +46,10 @@ fn main() {
     println!("stages executed : {}", result.report.stages.len());
     println!("restarts        : {}", result.report.restarts);
     println!("parallelism PR  : {:.3}", result.report.pr());
-    println!("virtual speedup : {:.2}x over sequential", result.report.speedup());
+    println!(
+        "virtual speedup : {:.2}x over sequential",
+        result.report.speedup()
+    );
     println!("dependence arcs : {}", result.arcs.len());
 
     // The guarantee: identical to sequential execution, always.

@@ -20,7 +20,10 @@ fn main() {
     println!("TRACK pipeline: {frames} frames, loops NLFILT / EXTEND / FPTRAK\n");
 
     for p in [4usize, 8, 16] {
-        for (label, mode) in [("fixed", ProgramMode::Fixed), ("predictive", ProgramMode::Predictive)] {
+        for (label, mode) in [
+            ("fixed", ProgramMode::Fixed),
+            ("predictive", ProgramMode::Predictive),
+        ] {
             let report = prog.run(p, CostModel::default(), mode);
             let loops: Vec<String> = report
                 .loops

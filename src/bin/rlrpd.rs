@@ -5,7 +5,7 @@
 //! rlrpd run <file.rlp> [--procs N] [--strategy nrd|rd|adaptive|sw:W]
 //!                      [--checkpoint eager|ondemand]
 //!                      [--balance even|feedback|trend]
-//!                      [--threads] [--timeline] [--report] [--runs K]
+//!                      [--threads|--pooled] [--timeline] [--report] [--runs K]
 //! rlrpd classify <file.rlp>
 //! rlrpd fmt <file.rlp>
 //! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
@@ -32,7 +32,7 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  rlrpd run <file.rlp> [--procs N] [--strategy nrd|rd|adaptive|sw:W] \
-     [--checkpoint eager|ondemand] [--balance even|feedback|trend] [--threads] \
+     [--checkpoint eager|ondemand] [--balance even|feedback|trend] [--threads|--pooled] \
      [--timeline] [--report] [--runs K]\n  rlrpd classify <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
         .into()
@@ -65,11 +65,21 @@ struct Flags {
 }
 
 const VALUE_FLAGS: &[&str] = &[
-    "--procs", "--strategy", "--checkpoint", "--balance", "--window", "--save", "--runs",
+    "--procs",
+    "--strategy",
+    "--checkpoint",
+    "--balance",
+    "--window",
+    "--save",
+    "--runs",
 ];
 
 fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
-    let mut flags = Flags { pairs: Vec::new(), lone: Vec::new(), positional: Vec::new() };
+    let mut flags = Flags {
+        pairs: Vec::new(),
+        lone: Vec::new(),
+        positional: Vec::new(),
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if VALUE_FLAGS.contains(&a.as_str()) {
@@ -86,7 +96,11 @@ fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
 
 impl Flags {
     fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -96,7 +110,9 @@ impl Flags {
     fn usize_of(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("{name} expects an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} expects an integer, got '{v}'")),
         }
     }
 }
@@ -138,7 +154,13 @@ fn config(flags: &Flags) -> Result<RunConfig, String> {
         "trend" => BalancePolicy::FeedbackTrend,
         other => return Err(format!("unknown balance policy '{other}'")),
     };
-    let exec = if flags.has("--threads") { ExecMode::Threads } else { ExecMode::Simulated };
+    let exec = if flags.has("--pooled") {
+        ExecMode::Pooled
+    } else if flags.has("--threads") {
+        ExecMode::Threads
+    } else {
+        ExecMode::Simulated
+    };
     Ok(RunConfig::new(p)
         .with_strategy(strategy)
         .with_checkpoint(checkpoint)
@@ -219,17 +241,18 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn run_induction_program(
-    ind: rlrpd::lang::CompiledInduction,
-    flags: &Flags,
-) -> Result<(), String> {
+fn run_induction_program(ind: rlrpd::lang::CompiledInduction, flags: &Flags) -> Result<(), String> {
     let cfg = config(flags)?;
     let (name, init) = ind.counter();
     println!("induction program: counter '{name}' starting at {init}");
     let res = rlrpd::run_induction(&ind, cfg.p, cfg.exec, cfg.cost);
     println!(
         "range test {}; stages = {}, PR = {:.3}, speedup = {:.2}x, final {name} = {}",
-        if res.test_passed { "PASSED (two doalls)" } else { "FAILED (sequential fallback)" },
+        if res.test_passed {
+            "PASSED (two doalls)"
+        } else {
+            "FAILED (sequential fallback)"
+        },
         res.report.stages.len(),
         res.report.pr(),
         res.report.speedup(),
@@ -328,7 +351,11 @@ fn cmd_model(args: Vec<String>) -> Result<(), String> {
     };
     let alpha = get(5, 0.5);
     println!("{m:?}, alpha = {alpha}");
-    for policy in [RedistPolicy::Never, RedistPolicy::Adaptive, RedistPolicy::Always] {
+    for policy in [
+        RedistPolicy::Never,
+        RedistPolicy::Adaptive,
+        RedistPolicy::Always,
+    ] {
         let stages = simulate_stages(&m, alpha, policy);
         let total: f64 = stages.iter().map(|s| s.total()).sum();
         println!("  {policy:?}: {} stages, total {total:.1}", stages.len());

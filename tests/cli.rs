@@ -30,7 +30,10 @@ fn run_executes_and_verifies() {
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("classification:"), "{stdout}");
-    assert!(stdout.contains("verified against sequential execution"), "{stdout}");
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
     assert!(stdout.contains("speedup"), "{stdout}");
 }
 
@@ -94,7 +97,10 @@ fn multi_loop_program_runs_phase_by_phase() {
     assert!(stdout.contains("loop 0:"), "{stdout}");
     assert!(stdout.contains("loop 1:"), "{stdout}");
     assert!(stdout.contains("whole-program speedup"), "{stdout}");
-    assert!(stdout.contains("verified against sequential execution"), "{stdout}");
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
 }
 
 #[test]

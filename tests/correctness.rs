@@ -5,8 +5,7 @@
 use rlrpd::core::AdaptRule;
 use rlrpd::loops::*;
 use rlrpd::{
-    run_sequential, run_speculative, CheckpointPolicy, RunConfig, SpecLoop, Strategy,
-    WindowConfig,
+    run_sequential, run_speculative, CheckpointPolicy, RunConfig, SpecLoop, Strategy, WindowConfig,
 };
 
 fn strategies() -> Vec<Strategy> {
@@ -25,7 +24,9 @@ fn assert_matches_sequential(name: &str, lp: &dyn SpecLoop) {
     for strategy in strategies() {
         for ckpt in [CheckpointPolicy::OnDemand, CheckpointPolicy::Eager] {
             for p in [1usize, 3, 8] {
-                let cfg = RunConfig::new(p).with_strategy(strategy).with_checkpoint(ckpt);
+                let cfg = RunConfig::new(p)
+                    .with_strategy(strategy)
+                    .with_checkpoint(ckpt);
                 let res = run_speculative(lp, cfg);
                 for ((sname, sdata), (rname, rdata)) in seq.iter().zip(&res.arrays) {
                     assert_eq!(sname, rname);
@@ -62,10 +63,7 @@ fn synthetic_fully_parallel() {
 #[test]
 fn synthetic_random_dependences() {
     for seed in 0..4 {
-        assert_matches_sequential(
-            "random",
-            &RandomDepLoop::new(250, 0.08, 30, seed, 1.0),
-        );
+        assert_matches_sequential("random", &RandomDepLoop::new(250, 0.08, 30, seed, 1.0));
     }
 }
 

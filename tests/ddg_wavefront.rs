@@ -3,9 +3,7 @@
 //! respect them, and executing the schedule must reproduce sequential
 //! state.
 
-use rlrpd::core::{
-    execute_wavefronts, run_inspector_executor, EdgeKind, WavefrontSchedule,
-};
+use rlrpd::core::{execute_wavefronts, run_inspector_executor, EdgeKind, WavefrontSchedule};
 use rlrpd::loops::{Dcdcmp15Loop, QuadLoop, RandomDepLoop, SequentialChainLoop};
 use rlrpd::{extract_ddg, run_sequential, CostModel, ExecMode, RunConfig, SpecLoop, WindowConfig};
 
@@ -47,8 +45,14 @@ fn wavefront_schedule_respects_every_edge() {
             level_of[i as usize] = l;
         }
     }
-    assert!(level_of.iter().all(|&l| l != usize::MAX), "every iteration scheduled");
-    for (s, d) in ddg.graph.edges(&[EdgeKind::Flow, EdgeKind::Anti, EdgeKind::Output]) {
+    assert!(
+        level_of.iter().all(|&l| l != usize::MAX),
+        "every iteration scheduled"
+    );
+    for (s, d) in ddg
+        .graph
+        .edges(&[EdgeKind::Flow, EdgeKind::Anti, EdgeKind::Output])
+    {
         assert!(
             level_of[s as usize] < level_of[d as usize],
             "edge {s}->{d} violated by levels {} -> {}",
@@ -98,7 +102,11 @@ fn inspector_and_speculative_extraction_agree_where_both_apply() {
 fn chain_loop_yields_serial_wavefronts() {
     let lp = SequentialChainLoop::new(40, 1.0);
     let ddg = extract_ddg(&lp, &RunConfig::new(4), WindowConfig::fixed(4));
-    assert_eq!(ddg.graph.flow_critical_path(), 40, "a chain has no parallelism");
+    assert_eq!(
+        ddg.graph.flow_critical_path(),
+        40,
+        "a chain has no parallelism"
+    );
     let schedule = WavefrontSchedule::from_graph(&ddg.graph);
     assert!((schedule.avg_width() - 1.0).abs() < 1e-12);
 }

@@ -16,7 +16,11 @@ fn programs() -> Vec<(String, String)> {
             out.push((name, std::fs::read_to_string(&path).unwrap()));
         }
     }
-    assert!(out.len() >= 4, "expected several demo programs, found {}", out.len());
+    assert!(
+        out.len() >= 4,
+        "expected several demo programs, found {}",
+        out.len()
+    );
     out.sort();
     out
 }
@@ -59,10 +63,15 @@ fn every_speculative_demo_matches_sequential_under_all_strategies() {
 #[test]
 fn induction_demos_pass_their_range_tests() {
     for (name, src) in programs() {
-        let Ok(ind) = CompiledInduction::compile(&src) else { continue };
+        let Ok(ind) = CompiledInduction::compile(&src) else {
+            continue;
+        };
         let res = rlrpd::run_induction(&ind, 8, ExecMode::Simulated, CostModel::default());
         assert!(res.test_passed, "{name}: range test should pass");
-        assert!(res.report.speedup() > 1.0, "{name}: two-pass scheme should profit at p=8");
+        assert!(
+            res.report.speedup() > 1.0,
+            "{name}: two-pass scheme should profit at p=8"
+        );
     }
 }
 
@@ -73,7 +82,9 @@ fn demo_classifications_are_nontrivial() {
     let mut saw_untested = false;
     let mut saw_reduction = false;
     for (_, src) in programs() {
-        let Ok(prog) = CompiledProgram::compile(&src) else { continue };
+        let Ok(prog) = CompiledProgram::compile(&src) else {
+            continue;
+        };
         for k in 0..prog.num_loops() {
             for c in prog.classifications(k) {
                 match c.class {

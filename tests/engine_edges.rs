@@ -4,8 +4,8 @@
 
 use rlrpd::core::AdaptRule;
 use rlrpd::{
-    run_sequential, run_speculative, ArrayDecl, ArrayId, CheckpointPolicy, ClosureLoop,
-    Reduction, RunConfig, ShadowKind, SpecLoop, Strategy, WindowConfig,
+    run_sequential, run_speculative, ArrayDecl, ArrayId, CheckpointPolicy, ClosureLoop, Reduction,
+    RunConfig, ShadowKind, SpecLoop, Strategy, WindowConfig,
 };
 
 const A: ArrayId = ArrayId(0);
@@ -111,7 +111,9 @@ fn three_kinds_of_arrays_in_one_loop() {
         for ckpt in [CheckpointPolicy::Eager, CheckpointPolicy::OnDemand] {
             let res = run_speculative(
                 &lp,
-                RunConfig::new(8).with_strategy(strategy).with_checkpoint(ckpt),
+                RunConfig::new(8)
+                    .with_strategy(strategy)
+                    .with_checkpoint(ckpt),
             );
             assert_eq!(res.array("A"), &seq[0].1[..], "{strategy:?}/{ckpt:?}");
             assert_eq!(res.array("B"), &seq[1].1[..], "{strategy:?}/{ckpt:?}");
@@ -129,7 +131,14 @@ fn reduction_read_across_stage_boundary_materializes_committed_deltas() {
     // see the committed (folded) value.
     let lp = ClosureLoop::new(
         8,
-        || vec![ArrayDecl::reduction("A", vec![100.0; 2], ShadowKind::Dense, Reduction::sum())],
+        || {
+            vec![ArrayDecl::reduction(
+                "A",
+                vec![100.0; 2],
+                ShadowKind::Dense,
+                Reduction::sum(),
+            )]
+        },
         |i, ctx| {
             if i < 4 {
                 ctx.reduce(A, 0, 1.0);
@@ -140,7 +149,10 @@ fn reduction_read_across_stage_boundary_materializes_committed_deltas() {
         },
     );
     let res = run_speculative(&lp, RunConfig::new(2).with_strategy(Strategy::Nrd));
-    assert_eq!(res.report.restarts, 1, "the exposed read over the delta must restart");
+    assert_eq!(
+        res.report.restarts, 1,
+        "the exposed read over the delta must restart"
+    );
     assert_eq!(res.array("A"), &[104.0, 104.0]);
     let (seq, _) = run_sequential(&lp);
     assert_eq!(res.array("A"), &seq[0].1[..]);
@@ -152,7 +164,14 @@ fn mixed_reduce_then_read_within_one_block_is_exact() {
     // more reduces as RMW. Sequential equivalence is the oracle.
     let lp = ClosureLoop::new(
         6,
-        || vec![ArrayDecl::reduction("A", vec![10.0; 1], ShadowKind::Dense, Reduction::sum())],
+        || {
+            vec![ArrayDecl::reduction(
+                "A",
+                vec![10.0; 1],
+                ShadowKind::Dense,
+                Reduction::sum(),
+            )]
+        },
         |i, ctx| {
             ctx.reduce(A, 0, 1.0);
             if i == 2 {
@@ -185,7 +204,11 @@ fn checkpoint_policies_agree_under_repeated_failures() {
             ]
         },
         move |i, ctx| {
-            let v = if i % 13 == 0 && i > 0 { ctx.read(A, i - 7) } else { 0.0 };
+            let v = if i % 13 == 0 && i > 0 {
+                ctx.read(A, i - 7)
+            } else {
+                0.0
+            };
             ctx.write(A, i, v + i as f64);
             let old = ctx.read(B, i);
             ctx.write(B, i, old * 1.5 + v);
@@ -193,11 +216,15 @@ fn checkpoint_policies_agree_under_repeated_failures() {
     );
     let eager = run_speculative(
         &lp,
-        RunConfig::new(8).with_strategy(Strategy::Rd).with_checkpoint(CheckpointPolicy::Eager),
+        RunConfig::new(8)
+            .with_strategy(Strategy::Rd)
+            .with_checkpoint(CheckpointPolicy::Eager),
     );
     let ondemand = run_speculative(
         &lp,
-        RunConfig::new(8).with_strategy(Strategy::Rd).with_checkpoint(CheckpointPolicy::OnDemand),
+        RunConfig::new(8)
+            .with_strategy(Strategy::Rd)
+            .with_checkpoint(CheckpointPolicy::OnDemand),
     );
     assert!(eager.report.restarts > 0);
     assert_eq!(eager.arrays, ondemand.arrays);
@@ -212,7 +239,11 @@ fn packed_shadow_kind_runs_identically_to_dense() {
             64,
             move || vec![ArrayDecl::tested("A", vec![0.0; 64], kind)],
             |i, ctx| {
-                let v = if i % 9 == 0 && i > 0 { ctx.read(A, i - 4) } else { 0.0 };
+                let v = if i % 9 == 0 && i > 0 {
+                    ctx.read(A, i - 4)
+                } else {
+                    0.0
+                };
                 ctx.write(A, i, v + i as f64);
             },
         )
@@ -306,7 +337,10 @@ fn cost_function_drives_the_virtual_critical_path() {
         |i, ctx| ctx.write(A, i, i as f64),
     )
     .with_cost(|i| if i == 0 { 100.0 } else { 1.0 });
-    let res = run_speculative(&lp, RunConfig::new(4).with_cost(rlrpd::CostModel::work_only(0.0)));
+    let res = run_speculative(
+        &lp,
+        RunConfig::new(4).with_cost(rlrpd::CostModel::work_only(0.0)),
+    );
     // Block 0 carries iterations 0..2 = 101 work; others 2 each.
     assert_eq!(res.report.stages[0].loop_time, 101.0);
     let _ = lp.cost(0);

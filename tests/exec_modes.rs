@@ -10,26 +10,45 @@ use rlrpd::{run_speculative, ExecMode, RunConfig, SpecLoop, Strategy, WindowConf
 fn assert_modes_agree(name: &str, lp: &dyn SpecLoop, strategy: Strategy, p: usize) {
     let sim = run_speculative(
         lp,
-        RunConfig::new(p).with_strategy(strategy).with_exec(ExecMode::Simulated),
+        RunConfig::new(p)
+            .with_strategy(strategy)
+            .with_exec(ExecMode::Simulated),
     );
     let thr = run_speculative(
         lp,
-        RunConfig::new(p).with_strategy(strategy).with_exec(ExecMode::Threads),
+        RunConfig::new(p)
+            .with_strategy(strategy)
+            .with_exec(ExecMode::Threads),
     );
     assert_eq!(
         sim.report.stages.len(),
         thr.report.stages.len(),
         "{name}: stage count differs between executors"
     );
-    assert_eq!(sim.report.restarts, thr.report.restarts, "{name}: restarts differ");
+    assert_eq!(
+        sim.report.restarts, thr.report.restarts,
+        "{name}: restarts differ"
+    );
     for (a, b) in sim.report.stages.iter().zip(&thr.report.stages) {
-        assert_eq!(a.iters_committed, b.iters_committed, "{name}: commits differ");
-        assert_eq!(a.loop_time, b.loop_time, "{name}: virtual loop time differs");
+        assert_eq!(
+            a.iters_committed, b.iters_committed,
+            "{name}: commits differ"
+        );
+        assert_eq!(
+            a.loop_time, b.loop_time,
+            "{name}: virtual loop time differs"
+        );
     }
     assert_eq!(sim.arcs, thr.arcs, "{name}: detected arcs differ");
     assert_eq!(sim.arrays, thr.arrays, "{name}: final arrays differ");
-    assert!(thr.report.wall_seconds > 0.0, "{name}: threads mode must measure wall time");
-    assert_eq!(sim.report.wall_seconds, 0.0, "{name}: simulated mode has no wall time");
+    assert!(
+        thr.report.wall_seconds > 0.0,
+        "{name}: threads mode must measure wall time"
+    );
+    assert_eq!(
+        sim.report.wall_seconds, 0.0,
+        "{name}: simulated mode has no wall time"
+    );
 }
 
 #[test]

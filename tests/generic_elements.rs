@@ -16,7 +16,11 @@ fn i64_elements_with_restarts() {
         64,
         || vec![ArrayDecl::tested("A", vec![7i64; 64], ShadowKind::Dense)],
         |i, ctx| {
-            let v = if i % 9 == 0 && i > 3 { ctx.read(A, i - 4) } else { i as i64 };
+            let v = if i % 9 == 0 && i > 3 {
+                ctx.read(A, i - 4)
+            } else {
+                i as i64
+            };
             ctx.write(A, i, v * 3);
         },
     );
@@ -46,7 +50,10 @@ fn custom_fixed_point_elements_and_exact_reductions() {
                 "A",
                 vec![Fixed::from_int(1); 8],
                 ShadowKind::Dense,
-                Reduction { identity: Fixed(0), combine: |a, b| Fixed(a.0 + b.0) },
+                Reduction {
+                    identity: Fixed(0),
+                    combine: |a, b| Fixed(a.0 + b.0),
+                },
             )]
         },
         |i, ctx| {

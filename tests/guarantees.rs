@@ -21,7 +21,11 @@ fn nrd_never_exceeds_p_stages() {
         // The worst case: a fully sequential chain.
         let lp = SequentialChainLoop::new(p * 13, 1.0);
         let res = run_speculative(&lp, RunConfig::new(p).with_strategy(Strategy::Nrd));
-        assert_eq!(res.report.stages.len(), p, "exactly one block commits per stage");
+        assert_eq!(
+            res.report.stages.len(),
+            p,
+            "exactly one block commits per stage"
+        );
     }
 }
 
@@ -40,7 +44,10 @@ fn nrd_slowdown_is_bounded_by_test_overhead() {
         );
         // And the total overhead is the test's bookkeeping only.
         let overhead = res.report.virtual_time() - loop_time;
-        assert!(overhead < seq, "test overhead should be small relative to work");
+        assert!(
+            overhead < seq,
+            "test overhead should be small relative to work"
+        );
     }
 }
 
@@ -51,10 +58,7 @@ fn fully_parallel_loops_run_in_one_stage_with_near_ideal_speedup() {
         let res = run_speculative(&lp, RunConfig::new(p));
         assert_eq!(res.report.stages.len(), 1);
         let s = res.report.speedup();
-        assert!(
-            s > 0.8 * p as f64,
-            "p={p}: speedup {s} too far from ideal"
-        );
+        assert!(s > 0.8 * p as f64, "p={p}: speedup {s} too far from ideal");
     }
 }
 
@@ -108,7 +112,9 @@ fn wasted_work_is_attempted_minus_sequential() {
 fn eager_checkpoint_costs_scale_with_state_not_writes() {
     use rlrpd::CheckpointPolicy;
     let lp = NlfiltLoop::new(NlfiltInput::i4_50());
-    let cfg = RunConfig::new(4).with_strategy(Strategy::Nrd).with_cost(CostModel::default());
+    let cfg = RunConfig::new(4)
+        .with_strategy(Strategy::Nrd)
+        .with_cost(CostModel::default());
     let eager = run_speculative(&lp, cfg.with_checkpoint(CheckpointPolicy::Eager));
     let on_demand = run_speculative(&lp, cfg.with_checkpoint(CheckpointPolicy::OnDemand));
     let e = eager.report.overhead(OverheadKind::Checkpoint);

@@ -3,9 +3,7 @@
 
 use rlrpd::loops::{AlphaLoop, Dcdcmp15Loop};
 use rlrpd::model::{simulate_stages, ModelParams, RedistPolicy};
-use rlrpd::{
-    extract_ddg, run_speculative, CostModel, RunConfig, Strategy, WindowConfig,
-};
+use rlrpd::{extract_ddg, run_speculative, CostModel, RunConfig, Strategy, WindowConfig};
 
 /// The paper's SPICE adder.128 deck: 14337 iterations, critical path
 /// 334 wavefronts. Our generator is tuned to land exactly there; the
@@ -32,14 +30,23 @@ fn fig4_model_and_engine_agree_within_one_percent() {
         sync: 50.0,
         ..CostModel::work_only(100.0)
     };
-    let m = ModelParams { n: N, p: P, omega: 100.0, ell: 10.0, sync: 50.0 };
+    let m = ModelParams {
+        n: N,
+        p: P,
+        omega: 100.0,
+        ell: 10.0,
+        sync: 50.0,
+    };
     let lp = AlphaLoop::new(N, 0.5, 100.0);
 
     for (policy, strategy) in [
         (RedistPolicy::Never, Strategy::Nrd),
         (RedistPolicy::Always, Strategy::Rd),
     ] {
-        let model: f64 = simulate_stages(&m, 0.5, policy).iter().map(|r| r.total()).sum();
+        let model: f64 = simulate_stages(&m, 0.5, policy)
+            .iter()
+            .map(|r| r.total())
+            .sum();
         let engine = run_speculative(
             &lp,
             RunConfig::new(P).with_strategy(strategy).with_cost(cost),
@@ -47,7 +54,10 @@ fn fig4_model_and_engine_agree_within_one_percent() {
         .report
         .virtual_time();
         let err = (model - engine).abs() / model;
-        assert!(err < 0.01, "{policy:?}: model {model} vs engine {engine} ({err:.3})");
+        assert!(
+            err < 0.01,
+            "{policy:?}: model {model} vs engine {engine} ({err:.3})"
+        );
     }
 }
 

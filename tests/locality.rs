@@ -8,7 +8,10 @@ use rlrpd::runtime::OverheadKind;
 use rlrpd::{run_speculative, CostModel, RunConfig, Strategy, WindowConfig};
 
 fn cost() -> CostModel {
-    CostModel { remote_miss: 5.0, ..CostModel::default() }
+    CostModel {
+        remote_miss: 5.0,
+        ..CostModel::default()
+    }
 }
 
 #[test]
@@ -16,7 +19,12 @@ fn nrd_restarts_pay_no_remote_misses() {
     // NRD re-executes failed blocks on their original processors: the
     // data is already local.
     let lp = RandomDepLoop::new(400, 0.05, 30, 11, 1.0);
-    let res = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Nrd).with_cost(cost()));
+    let res = run_speculative(
+        &lp,
+        RunConfig::new(8)
+            .with_strategy(Strategy::Nrd)
+            .with_cost(cost()),
+    );
     assert!(res.report.restarts > 0, "need failures to observe restarts");
     assert_eq!(
         res.report.overhead(OverheadKind::RemoteMiss),
@@ -28,7 +36,12 @@ fn nrd_restarts_pay_no_remote_misses() {
 #[test]
 fn rd_restarts_pay_remote_misses() {
     let lp = RandomDepLoop::new(400, 0.05, 30, 11, 1.0);
-    let res = run_speculative(&lp, RunConfig::new(8).with_strategy(Strategy::Rd).with_cost(cost()));
+    let res = run_speculative(
+        &lp,
+        RunConfig::new(8)
+            .with_strategy(Strategy::Rd)
+            .with_cost(cost()),
+    );
     assert!(res.report.restarts > 0);
     assert!(
         res.report.overhead(OverheadKind::RemoteMiss) > 0.0,
@@ -56,7 +69,10 @@ fn circular_window_pays_far_fewer_remote_misses_than_linear() {
     };
     let circ = run(true);
     let line = run(false);
-    assert!(circ.report.restarts > 0, "need failures for the comparison to bite");
+    assert!(
+        circ.report.restarts > 0,
+        "need failures for the comparison to bite"
+    );
     let circ_miss = circ.report.overhead(OverheadKind::RemoteMiss);
     let line_miss = line.report.overhead(OverheadKind::RemoteMiss);
     assert!(
@@ -73,8 +89,15 @@ fn remote_misses_are_counted_once_per_migration() {
     // any strategy (first touches are not migrations).
     use rlrpd::loops::FullyParallelLoop;
     let lp = FullyParallelLoop::new(256, 1.0);
-    for strategy in [Strategy::Nrd, Strategy::Rd, Strategy::SlidingWindow(WindowConfig::fixed(8))] {
-        let res = run_speculative(&lp, RunConfig::new(8).with_strategy(strategy).with_cost(cost()));
+    for strategy in [
+        Strategy::Nrd,
+        Strategy::Rd,
+        Strategy::SlidingWindow(WindowConfig::fixed(8)),
+    ] {
+        let res = run_speculative(
+            &lp,
+            RunConfig::new(8).with_strategy(strategy).with_cost(cost()),
+        );
         assert_eq!(
             res.report.overhead(OverheadKind::RemoteMiss),
             0.0,

@@ -62,7 +62,11 @@ fn dead_untested_writes_are_rolled_back() {
     // Iterations 11..64 ran speculatively and wrote B; the rollback
     // must restore the initial value.
     assert!(res.array("B")[11..].iter().all(|&v| v == -1.0));
-    assert_eq!(res.array("B")[10], 20.0, "the exiting iteration's write persists");
+    assert_eq!(
+        res.array("B")[10],
+        20.0,
+        "the exiting iteration's write persists"
+    );
 }
 
 #[test]
@@ -84,7 +88,13 @@ fn exit_decision_fed_by_stale_data_is_not_trusted() {
     let n = 64;
     let lp = ClosureLoop::new(
         n,
-        move || vec![ArrayDecl::tested("A", vec![0.0; 64], rlrpd::ShadowKind::Dense)],
+        move || {
+            vec![ArrayDecl::tested(
+                "A",
+                vec![0.0; 64],
+                rlrpd::ShadowKind::Dense,
+            )]
+        },
         move |i, ctx| {
             let upstream = if i >= 20 { ctx.read(A, i - 20) } else { 1.0 };
             ctx.write(A, i, i as f64 + 1.0);

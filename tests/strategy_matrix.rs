@@ -22,7 +22,11 @@ fn workload(kind: ShadowKind) -> ClosureLoop {
             ]
         },
         |i, ctx| {
-            let v = if i % 29 == 0 && i >= 11 { ctx.read(A, i - 11) } else { i as f64 };
+            let v = if i % 29 == 0 && i >= 11 {
+                ctx.read(A, i - 11)
+            } else {
+                i as f64
+            };
             ctx.write(A, i, v * 0.5 + 1.0);
             let old = ctx.read(B, i);
             ctx.write(B, i, old + v);
@@ -46,7 +50,11 @@ fn every_configuration_combination_is_correct() {
         BalancePolicy::FeedbackTrend,
     ];
     let checkpoints = [CheckpointPolicy::Eager, CheckpointPolicy::OnDemand];
-    let kinds = [ShadowKind::Dense, ShadowKind::DensePacked, ShadowKind::Sparse];
+    let kinds = [
+        ShadowKind::Dense,
+        ShadowKind::DensePacked,
+        ShadowKind::Sparse,
+    ];
 
     for kind in kinds {
         let lp = workload(kind);
@@ -107,7 +115,9 @@ fn stage_structure_is_identical_across_shadow_kinds_and_checkpoints() {
         for checkpoint in [CheckpointPolicy::Eager, CheckpointPolicy::OnDemand] {
             let res = run_speculative(
                 &workload(kind),
-                RunConfig::new(6).with_strategy(Strategy::Nrd).with_checkpoint(checkpoint),
+                RunConfig::new(6)
+                    .with_strategy(Strategy::Nrd)
+                    .with_checkpoint(checkpoint),
             );
             assert_eq!(res.report.restarts, baseline.report.restarts, "{kind:?}");
             assert_eq!(res.arcs, baseline.arcs, "{kind:?}/{checkpoint:?}");

@@ -5,9 +5,7 @@
 
 use rlrpd::core::AdaptRule;
 use rlrpd::loops::{Dcdcmp15Loop, NlfiltInput, NlfiltLoop, RandomDepLoop};
-use rlrpd::{
-    extract_ddg, run_sequential, run_speculative, RunConfig, Strategy, WindowConfig,
-};
+use rlrpd::{extract_ddg, run_sequential, run_speculative, RunConfig, Strategy, WindowConfig};
 
 #[test]
 fn fifty_thousand_iterations_with_scattered_dependences() {
@@ -37,7 +35,10 @@ fn adder128_extraction_under_many_window_sizes() {
     let lp = Dcdcmp15Loop::adder128();
     let a = extract_ddg(&lp, &RunConfig::new(8), WindowConfig::fixed(32));
     let b = extract_ddg(&lp, &RunConfig::new(16), WindowConfig::fixed(128));
-    assert_eq!(a.graph.flow, b.graph.flow, "extraction is configuration-invariant");
+    assert_eq!(
+        a.graph.flow, b.graph.flow,
+        "extraction is configuration-invariant"
+    );
     assert_eq!(a.graph.flow_critical_path(), 334);
 }
 

@@ -31,13 +31,20 @@ fn fig1_loop() -> ClosureLoop {
 fn fig1_finishes_in_two_steps_committing_half_each() {
     for strategy in [Strategy::Nrd, Strategy::Rd] {
         let res = run_speculative(&fig1_loop(), RunConfig::new(4).with_strategy(strategy));
-        let committed: Vec<usize> =
-            res.report.stages.iter().map(|s| s.iters_committed).collect();
+        let committed: Vec<usize> = res
+            .report
+            .stages
+            .iter()
+            .map(|s| s.iters_committed)
+            .collect();
         assert_eq!(committed, vec![4, 4], "{strategy:?}");
         assert_eq!(res.report.restarts, 1);
         // The single arc: element 3, source block 1, sink block 2.
         assert_eq!(res.arcs.len(), 1);
-        assert_eq!((res.arcs[0].elem, res.arcs[0].src_pos, res.arcs[0].sink_pos), (3, 1, 2));
+        assert_eq!(
+            (res.arcs[0].elem, res.arcs[0].src_pos, res.arcs[0].sink_pos),
+            (3, 1, 2)
+        );
     }
 }
 
@@ -46,7 +53,11 @@ fn fig1_checkpointed_array_is_restored_for_failed_processors() {
     let lp = fig1_loop();
     let res = run_speculative(&lp, RunConfig::new(4).with_strategy(Strategy::Nrd));
     let (seq, _) = run_sequential(&lp);
-    assert_eq!(res.array("B"), &seq[1].1[..], "B must survive the restart intact");
+    assert_eq!(
+        res.array("B"),
+        &seq[1].1[..],
+        "B must survive the restart intact"
+    );
 }
 
 /// Fig. 2: same shape under the sliding window, w = 1.
@@ -64,7 +75,12 @@ fn fig2_commit_point_advances_2_4_2() {
         &lp,
         RunConfig::new(4).with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(1))),
     );
-    let committed: Vec<usize> = res.report.stages.iter().map(|s| s.iters_committed).collect();
+    let committed: Vec<usize> = res
+        .report
+        .stages
+        .iter()
+        .map(|s| s.iters_committed)
+        .collect();
     assert_eq!(committed, vec![2, 4, 2]);
     assert_eq!(res.report.restarts, 1);
 }
@@ -79,7 +95,11 @@ fn fig2_circular_window_reexecutes_on_the_original_processor() {
         64,
         || vec![ArrayDecl::tested("A", vec![0.0; 64], ShadowKind::Dense)],
         |i, ctx| {
-            let v = if i % 9 == 0 && i > 0 { ctx.read(A, i - 1) } else { 0.0 };
+            let v = if i % 9 == 0 && i > 0 {
+                ctx.read(A, i - 1)
+            } else {
+                0.0
+            };
             ctx.write(A, i, v + i as f64);
         },
     );

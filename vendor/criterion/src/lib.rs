@@ -1,0 +1,245 @@
+//! Offline shim for `criterion`: a minimal timing harness with the
+//! `criterion_group!`/`criterion_main!`/`benchmark_group` surface.
+//!
+//! Each benchmark is auto-calibrated to a target measurement budget and
+//! reports the median per-iteration time over a fixed number of
+//! measurement batches. No plots, no statistics beyond the median —
+//! enough to compare implementations and record baselines offline.
+//! `cargo bench -- <filter>` runs only benchmarks whose id contains the
+//! filter substring.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark id.
+const TARGET: Duration = Duration::from_millis(300);
+/// Measurement batches per benchmark id (median is reported).
+const BATCHES: usize = 11;
+
+/// The benchmark driver handed to group/target functions.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// A driver with its id filter parsed from the command line.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        // cargo bench passes `--bench` plus any user filter strings.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.enabled(id) {
+            run_one(id, &mut f);
+        }
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().0);
+        if self.c.enabled(&id) {
+            run_one(&id, &mut f);
+        }
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.0);
+        if self.c.enabled(&id) {
+            run_one(&id, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    /// Declare the group's throughput (recorded, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Override the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Declared throughput of a benchmark.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures inside a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    // Calibrate: grow the iteration count until one batch is long enough
+    // to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed * (BATCHES as u32) >= TARGET || iters >= 1 << 24 {
+            break;
+        }
+        let target_batch = TARGET / BATCHES as u32;
+        if b.elapsed.is_zero() {
+            iters *= 16;
+        } else {
+            let scale = target_batch.as_secs_f64() / b.elapsed.as_secs_f64();
+            iters = ((iters as f64 * scale.clamp(1.1, 16.0)) as u64).max(iters + 1);
+        }
+    }
+
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    println!(
+        "{id:<60} {:>12} ns/iter  (x{iters})",
+        format_ns(median * 1e9)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Collect benchmark target functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dense", 100).0, "dense/100");
+        assert_eq!(BenchmarkId::from_parameter("even").0, "even");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 1000);
+    }
+}

@@ -1,0 +1,86 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::RngCore;
+use std::marker::PhantomData;
+
+/// Strategy generating any value of `T` (see [`any`]).
+#[derive(Clone, Debug, Default)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary_with(rng: &mut StdRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_with(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_with(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_with(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_with(rng: &mut StdRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (0x20u8 + (rng.next_u64() % 0x5f) as u8) as char
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_with(rng: &mut StdRng) -> f64 {
+        // Finite, symmetric, spanning many magnitudes.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (unit - 0.5) * 2e12
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_with(rng: &mut StdRng) -> f32 {
+        f64::arbitrary_with(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = any::<u64>();
+        let a = s.sample(&mut rng);
+        let b = s.sample(&mut rng);
+        assert_ne!(a, b);
+        let _: bool = any::<bool>().sample(&mut rng);
+        let f = any::<f64>().sample(&mut rng);
+        assert!(f.is_finite());
+    }
+}

@@ -1,0 +1,101 @@
+//! Test-runner configuration and case errors.
+
+/// Configuration of one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases (overridable via the
+    /// `PROPTEST_CASES` environment variable).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// A failed or rejected property-test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError {
+            message,
+            reject: false,
+        }
+    }
+
+    /// A rejected case (`prop_assume!` did not hold): skipped, not a
+    /// failure.
+    pub fn reject(message: String) -> Self {
+        TestCaseError {
+            message,
+            reject: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+/// A deterministic RNG for the named test, seeded from the name alone.
+pub fn new_rng(seed: u64) -> rand::rngs::StdRng {
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic 64-bit FNV-1a hash of a test's name, used as its RNG
+/// seed so every run generates the same cases.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_per_name() {
+        assert_ne!(seed_from_name("a::b"), seed_from_name("a::c"));
+    }
+
+    #[test]
+    fn config_carries_cases() {
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+            assert_eq!(ProptestConfig::default().cases, 256);
+        }
+    }
+}

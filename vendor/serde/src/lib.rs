@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus re-exported no-op
+//! derive macros. The workspace derives `Serialize`/`Deserialize` on
+//! report/statistics types for future serialization surface but never
+//! calls a serializer, so empty traits are sufficient.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

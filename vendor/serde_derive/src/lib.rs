@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace only ever *derives* these traits (for future
+//! serialization surface); nothing bounds on them, so the derives can
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derive macro accepting `#[derive(serde::Serialize)]`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro accepting `#[derive(serde::Deserialize)]`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
