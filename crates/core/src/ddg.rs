@@ -252,7 +252,8 @@ pub fn extract_ddg<T: Value>(
     let mut collector = DepCollector::new(num_slots);
     let (report, arcs) = window::run_window(&mut engine, cfg, wcfg, |blocks| {
         collector.consume(blocks);
-    });
+    })
+    .unwrap_or_else(|e| panic!("DDG extraction failed: {e}"));
     let run = RunResult {
         arrays: engine.arrays_out(),
         report,

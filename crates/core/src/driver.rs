@@ -25,14 +25,17 @@
 use crate::analysis::DepArc;
 use crate::checkpoint::CheckpointPolicy;
 use crate::engine::{Engine, EngineCfg};
+use crate::error::RlrpdError;
 use crate::report::{PrAccumulator, RunReport};
 use crate::spec_loop::SpecLoop;
 use crate::value::Value;
 use crate::window::{self, WindowConfig};
 use rlrpd_runtime::{
-    BlockSchedule, CostModel, ExecMode, FeedbackPartitioner, OverheadKind, TrendMode,
+    BlockSchedule, CostModel, ExecMode, FaultPlan, FeedbackPartitioner, OverheadKind, StageStats,
+    TrendMode,
 };
 use std::ops::Range;
+use std::sync::Arc;
 
 /// How a failed stage's remainder is rescheduled.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -72,6 +75,80 @@ pub enum BalancePolicy {
     FeedbackTrend,
 }
 
+/// Why the driver abandoned speculation and executed the remainder
+/// directly (sequentially).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FallbackReason {
+    /// The restart budget ([`FallbackPolicy::max_restarts`]) was
+    /// exhausted.
+    MaxRestarts,
+    /// Accumulated virtual time exceeded the watchdog budget
+    /// ([`FallbackPolicy::watchdog_factor`] × sequential work).
+    Watchdog,
+    /// The checkpoint machinery failed at a stage boundary (before any
+    /// speculative write, so direct execution from the commit point is
+    /// safe).
+    CheckpointFault,
+}
+
+/// Bounded-retry and sequential-fallback policy.
+///
+/// Speculation is an optimization, never a correctness requirement:
+/// when a run keeps restarting (a fault-heavy environment, a badly
+/// mispredicted loop) or overruns its time budget, the driver degrades
+/// to plain sequential execution of the uncommitted remainder — the
+/// result is still exact, only the speedup is lost. The default policy
+/// never falls back (both bounds are infinite).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FallbackPolicy {
+    /// Restarts (failed stages — dependence violations and contained
+    /// faults alike) tolerated before falling back. `usize::MAX`
+    /// disables the bound.
+    pub max_restarts: usize,
+    /// Virtual-time watchdog budget as a multiple of the loop's
+    /// sequential work: when the accumulated virtual time of all stages
+    /// exceeds `watchdog_factor × sequential_work`, the run falls back.
+    /// `f64::INFINITY` disables the watchdog.
+    pub watchdog_factor: f64,
+}
+
+impl Default for FallbackPolicy {
+    fn default() -> Self {
+        FallbackPolicy {
+            max_restarts: usize::MAX,
+            watchdog_factor: f64::INFINITY,
+        }
+    }
+}
+
+impl FallbackPolicy {
+    /// Replace the restart budget.
+    pub fn with_max_restarts(mut self, n: usize) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Replace the watchdog factor.
+    pub fn with_watchdog(mut self, factor: f64) -> Self {
+        self.watchdog_factor = factor;
+        self
+    }
+
+    /// Should the run fall back, given its report so far? Checked at
+    /// stage boundaries (virtual time is only meaningful there).
+    pub(crate) fn check(&self, report: &RunReport) -> Option<FallbackReason> {
+        if report.restarts > self.max_restarts {
+            return Some(FallbackReason::MaxRestarts);
+        }
+        if self.watchdog_factor.is_finite()
+            && report.virtual_time() > self.watchdog_factor * report.sequential_work
+        {
+            return Some(FallbackReason::Watchdog);
+        }
+        None
+    }
+}
+
 /// Full configuration of a speculative run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunConfig {
@@ -87,8 +164,11 @@ pub struct RunConfig {
     pub strategy: Strategy,
     /// Block-cutting policy.
     pub balance: BalancePolicy,
-    /// Hard stage cap (diverging configurations panic past it).
+    /// Hard stage cap; a run past it reports
+    /// [`RlrpdError::StageLimit`].
     pub max_stages: usize,
+    /// Bounded-retry / sequential-fallback policy.
+    pub fallback: FallbackPolicy,
 }
 
 impl RunConfig {
@@ -104,6 +184,7 @@ impl RunConfig {
             strategy: Strategy::AdaptiveRd(AdaptRule::ModelEq4),
             balance: BalancePolicy::Even,
             max_stages: 100_000,
+            fallback: FallbackPolicy::default(),
         }
     }
 
@@ -137,6 +218,12 @@ impl RunConfig {
         self
     }
 
+    /// Replace the fallback policy.
+    pub fn with_fallback(mut self, f: FallbackPolicy) -> Self {
+        self.fallback = f;
+        self
+    }
+
     pub(crate) fn engine_cfg(&self) -> EngineCfg {
         EngineCfg {
             p: self.p,
@@ -144,6 +231,7 @@ impl RunConfig {
             cost: self.cost,
             checkpoint: self.checkpoint,
             commit_prefix_on_failure: true,
+            fault: None,
         }
     }
 }
@@ -177,6 +265,7 @@ impl<T: Value> RunResult<T> {
 pub struct Runner {
     cfg: RunConfig,
     partitioner: FeedbackPartitioner,
+    fault: Option<Arc<FaultPlan>>,
     /// Parallelism-ratio accumulator over all runs of this runner.
     pub pr: PrAccumulator,
 }
@@ -191,8 +280,16 @@ impl Runner {
         Runner {
             cfg,
             partitioner,
+            fault: None,
             pr: PrAccumulator::default(),
         }
+    }
+
+    /// Inject a deterministic fault plan into every run of this runner
+    /// (testing and resilience benchmarks).
+    pub fn with_fault(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// The active configuration.
@@ -200,23 +297,47 @@ impl Runner {
         &self.cfg
     }
 
-    /// Execute one instantiation of `lp` speculatively.
-    pub fn run<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> RunResult<T> {
-        let result = match self.cfg.strategy {
-            Strategy::SlidingWindow(wcfg) => {
-                let mut engine = Engine::new(lp, self.cfg.engine_cfg(), false);
-                let (report, arcs) = window::run_window(&mut engine, &self.cfg, wcfg, |_| {});
-                self.finish(engine, report, arcs)
-            }
-            _ => self.run_recursive(lp),
-        };
-        self.pr.add(&result.report);
-        result
+    fn engine_cfg(&self) -> EngineCfg {
+        let mut ecfg = self.cfg.engine_cfg();
+        ecfg.fault = self.fault.clone();
+        ecfg
     }
 
-    fn run_recursive<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> RunResult<T> {
+    /// Execute one instantiation of `lp` speculatively, panicking on an
+    /// unrecoverable fault (see [`Runner::try_run`] for the fallible
+    /// surface).
+    pub fn run<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> RunResult<T> {
+        self.try_run(lp)
+            .unwrap_or_else(|e| panic!("speculative run failed: {e}"))
+    }
+
+    /// Execute one instantiation of `lp` speculatively.
+    ///
+    /// Contained faults, watchdog trips, exhausted restart budgets and
+    /// checkpoint faults are all recovered internally (by rollback and,
+    /// if the [`FallbackPolicy`] demands it, sequential execution of
+    /// the remainder) and reported on the [`RunReport`]. An `Err` means
+    /// the loop itself is faulty ([`RlrpdError::ProgramFault`]) or the
+    /// run hit its hard stage cap.
+    pub fn try_run<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> Result<RunResult<T>, RlrpdError> {
+        let result = match self.cfg.strategy {
+            Strategy::SlidingWindow(wcfg) => {
+                let mut engine = Engine::new(lp, self.engine_cfg(), false);
+                let (report, arcs) = window::run_window(&mut engine, &self.cfg, wcfg, |_| {})?;
+                self.finish(engine, report, arcs)
+            }
+            _ => self.run_recursive(lp)?,
+        };
+        self.pr.add(&result.report);
+        Ok(result)
+    }
+
+    fn run_recursive<T: Value>(
+        &mut self,
+        lp: &dyn SpecLoop<T>,
+    ) -> Result<RunResult<T>, RlrpdError> {
         let cfg = self.cfg;
-        let mut engine = Engine::new(lp, cfg.engine_cfg(), false);
+        let mut engine = Engine::new(lp, self.engine_cfg(), false);
         let n = engine.n;
         let mut report = RunReport {
             sequential_work: engine.sequential_work(),
@@ -227,14 +348,36 @@ impl Runner {
         let mut schedule = self.cut(0..n, cfg.p);
         // Redistribution cost to charge to the upcoming stage.
         let mut pending_redist: Option<usize> = None;
+        // First uncommitted iteration (everything below it is final).
+        let mut commit_point = 0usize;
+        // Restart point of the last fault-bound stage: a second fault
+        // binding at the same point means the faulting iteration re-ran
+        // from sequential-equivalent state — a genuine program fault.
+        let mut last_fault_restart: Option<usize> = None;
 
         loop {
-            assert!(
-                report.stages.len() < cfg.max_stages,
-                "R-LRPD exceeded max_stages = {}",
-                cfg.max_stages
-            );
-            let mut outcome = engine.run_stage(&schedule);
+            if report.stages.len() >= cfg.max_stages {
+                return Err(RlrpdError::StageLimit {
+                    max_stages: cfg.max_stages,
+                });
+            }
+            let mut outcome = match engine.run_stage(&schedule) {
+                Ok(o) => o,
+                Err(RlrpdError::CheckpointFault { .. }) => {
+                    // Checkpoint faults fire before any speculative
+                    // write, so the remainder can run directly from the
+                    // commit point.
+                    sequential_fallback(
+                        &mut engine,
+                        &cfg,
+                        &mut report,
+                        commit_point,
+                        FallbackReason::CheckpointFault,
+                    )?;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
             if let Some(moved) = pending_redist.take() {
                 outcome.stats.overhead.add(
                     OverheadKind::Redistribution,
@@ -245,6 +388,7 @@ impl Runner {
             let violation = outcome.violation;
             let restart = outcome.restart_iter;
             let exit = outcome.exit;
+            let fault = outcome.fault;
             report.stages.push(outcome.stats);
 
             // A trusted premature exit completes the loop: the prefix
@@ -255,7 +399,30 @@ impl Runner {
             }
             let Some(q) = violation else { break };
             report.restarts += 1;
-            let restart = restart.expect("violation implies restart point");
+            let restart = restart.ok_or_else(|| RlrpdError::StageInvariant {
+                message: "violation implies a restart point".into(),
+            })?;
+            if let Some(f) = &fault {
+                // The fault bound the restart (no earlier dependence
+                // sink) and bound it at the same point as the previous
+                // fault: the iteration re-executed from a fully
+                // committed prefix — state identical to sequential
+                // execution — and panicked again. Genuine.
+                if q == f.pos {
+                    if last_fault_restart == Some(restart) {
+                        return Err(RlrpdError::ProgramFault {
+                            iter: f.iter,
+                            message: f.message.clone(),
+                        });
+                    }
+                    last_fault_restart = Some(restart);
+                }
+            }
+            if let Some(reason) = cfg.fallback.check(&report) {
+                sequential_fallback(&mut engine, &cfg, &mut report, restart, reason)?;
+                break;
+            }
+            commit_point = restart;
             let remaining = restart..n;
 
             let redistribute = match cfg.strategy {
@@ -264,10 +431,10 @@ impl Runner {
                 Strategy::AdaptiveRd(AdaptRule::ModelEq4) => {
                     cfg.cost.redistribution_pays(remaining.len(), cfg.p)
                 }
-                Strategy::AdaptiveRd(AdaptRule::Measured) => {
-                    let last = report.stages.last().expect("at least one stage ran");
-                    last.loop_time > last.overhead.total()
-                }
+                Strategy::AdaptiveRd(AdaptRule::Measured) => report
+                    .stages
+                    .last()
+                    .is_some_and(|last| last.loop_time > last.overhead.total()),
                 Strategy::SlidingWindow(_) => unreachable!("handled in run()"),
             };
             schedule = if redistribute {
@@ -281,7 +448,7 @@ impl Runner {
             };
         }
 
-        self.finish(engine, report, arcs)
+        Ok(self.finish(engine, report, arcs))
     }
 
     fn finish<T: Value>(
@@ -317,6 +484,45 @@ impl Runner {
 /// One-shot convenience: run `lp` once under `cfg`.
 pub fn run_speculative<T: Value>(lp: &dyn SpecLoop<T>, cfg: RunConfig) -> RunResult<T> {
     Runner::new(cfg).run(lp)
+}
+
+/// Fallible one-shot convenience: run `lp` once under `cfg`, surfacing
+/// genuine program faults as [`RlrpdError`] instead of panicking.
+pub fn try_run_speculative<T: Value>(
+    lp: &dyn SpecLoop<T>,
+    cfg: RunConfig,
+) -> Result<RunResult<T>, RlrpdError> {
+    Runner::new(cfg).try_run(lp)
+}
+
+/// Execute the remainder `from..n` directly (sequentially) and account
+/// for it as one pseudo-stage, recording why speculation was abandoned.
+/// Shared by the recursive and sliding-window drivers.
+pub(crate) fn sequential_fallback<T: Value>(
+    engine: &mut Engine<'_, T>,
+    cfg: &RunConfig,
+    report: &mut RunReport,
+    from: usize,
+    reason: FallbackReason,
+) -> Result<(), RlrpdError> {
+    let n = engine.n;
+    let (work, exited) = engine.run_direct(from..n)?;
+    let attempted = n - from;
+    let committed = exited.map_or(attempted, |e| e + 1 - from);
+    let mut seq = StageStats {
+        loop_time: work,
+        total_work: work,
+        iters_attempted: attempted,
+        iters_committed: committed,
+        ..Default::default()
+    };
+    seq.overhead.add(OverheadKind::Sync, cfg.cost.sync);
+    report.stages.push(seq);
+    report.fallback = Some(reason);
+    if exited.is_some() {
+        report.exited_at = exited;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

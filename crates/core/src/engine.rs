@@ -12,18 +12,22 @@ use crate::buf::SharedBuf;
 use crate::checkpoint::{CheckpointPolicy, EagerSnapshot, WriteLog};
 use crate::commit::commit_tested;
 use crate::ctx::{ArrayMeta, IterCtx, Route};
+use crate::error::RlrpdError;
 use crate::spec_loop::SpecLoop;
 use crate::value::{Reduction, Value};
 use crate::view::ProcView;
 use rlrpd_runtime::{
-    BlockSchedule, CostModel, ExecMode, Executor, OverheadKind, ProcId, StageStats,
+    panic_message, BlockSchedule, CostModel, ExecMode, Executor, FaultPlan, InjectedFault,
+    OverheadKind, ProcId, StageStats,
 };
 use rlrpd_shadow::IterMarks;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Engine-level configuration (the driver adds strategy and balancing on
 /// top).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineCfg {
     /// Number of virtual processors.
     pub p: usize,
@@ -38,6 +42,9 @@ pub struct EngineCfg {
     /// `false`: a failed test discards *everything* and the loop
     /// re-executes sequentially from pristine state.
     pub commit_prefix_on_failure: bool,
+    /// Deterministic fault-injection plan, if any. `None` is the
+    /// zero-cost fast path: no per-iteration injection checks run.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 /// Per-block (per-processor) speculative state for one stage.
@@ -63,6 +70,22 @@ pub(crate) struct CommittedBlockMarks {
     pub marks: Vec<IterMarks>,
 }
 
+/// A panic contained inside one stage's speculative doall.
+///
+/// The engine records the fault as a speculation failure of its block —
+/// exactly like a detected dependence arc whose sink is that block — so
+/// the passing prefix still commits and the driver re-executes from the
+/// block's first iteration.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultEvent {
+    /// Block position (in the stage schedule) that panicked.
+    pub pos: usize,
+    /// Iteration that was executing when the panic fired.
+    pub iter: usize,
+    /// Rendered panic message.
+    pub message: String,
+}
+
 /// What one stage produced.
 pub(crate) struct StageOutcome {
     /// Earliest dependence-sink block position, if the test failed.
@@ -79,6 +102,10 @@ pub(crate) struct StageOutcome {
     /// dependence sink): the last executed iteration. The loop is
     /// complete once the prefix commits.
     pub exit: Option<usize>,
+    /// A panic contained during this stage (already folded into
+    /// `violation`; carried separately for fault accounting and
+    /// genuine-fault detection).
+    pub fault: Option<FaultEvent>,
 }
 
 /// The speculative execution engine for one loop run.
@@ -102,6 +129,9 @@ pub(crate) struct Engine<'l, T: Value> {
     pub last_proc: Vec<u32>,
     /// Record per-iteration marks for DDG extraction.
     pub record_marks: bool,
+    /// Stages run over this engine's lifetime (keys checkpoint-fault
+    /// injection sites).
+    pub stage_ordinal: usize,
 }
 
 impl<'l, T: Value> Engine<'l, T> {
@@ -183,13 +213,37 @@ impl<'l, T: Value> Engine<'l, T> {
             iter_times: vec![0.0; n],
             last_proc: vec![u32::MAX; n],
             record_marks,
+            stage_ordinal: 0,
         }
     }
 
     /// Run one speculative stage over `schedule` (which must carry
     /// exactly `p` blocks).
-    pub fn run_stage(&mut self, schedule: &BlockSchedule) -> StageOutcome {
+    ///
+    /// A panic inside a speculative block is **contained**: it is folded
+    /// into the outcome as a speculation fault of that block (the
+    /// passing prefix still commits, the block's untested writes are
+    /// restored) and reported via [`StageOutcome::fault`]. An `Err` is
+    /// returned only for failures of the stage machinery itself — an
+    /// injected checkpoint fault (recoverable by the driver's
+    /// sequential fallback, because it fires before any speculative
+    /// write) or a violated internal invariant.
+    pub fn run_stage(&mut self, schedule: &BlockSchedule) -> Result<StageOutcome, RlrpdError> {
         assert_eq!(schedule.num_blocks(), self.cfg.p, "one block per processor");
+        let stage = self.stage_ordinal;
+        self.stage_ordinal += 1;
+        let fault_plan = self.cfg.fault.clone().filter(|pl| !pl.is_empty());
+        if let Some(plan) = &fault_plan {
+            // Checkpoint faults fire before the stage touches any
+            // state, so the caller can always recover by executing the
+            // remainder sequentially from the current commit point.
+            if plan.should_fail_checkpoint(stage) {
+                return Err(RlrpdError::CheckpointFault {
+                    stage,
+                    message: "injected checkpoint failure".into(),
+                });
+            }
+        }
         let cost = self.cfg.cost;
         let mut stats = StageStats {
             iters_attempted: schedule.num_iters(),
@@ -219,18 +273,28 @@ impl<'l, T: Value> Engine<'l, T> {
             buf.new_epoch();
         }
 
-        // 3. Execute the blocks.
+        // 3. Execute the blocks, containing any panic: a panic in one
+        // block must not discard the independent work of the others.
         let lp = self.lp;
         let meta = &self.meta;
         let shared = &self.shared;
         let record = self.record_marks;
-        let timing = self.executor.run_blocks(&mut self.states, |pos, st| {
+        let plan = fault_plan.as_deref();
+        let (mut timing, panic) = self.executor.try_run_blocks(&mut self.states, |pos, st| {
             st.iter_costs.clear();
             st.exit_iter = None;
             let range = schedule.blocks()[pos].range.clone();
+            let proc = schedule.blocks()[pos].proc.0;
             st.iter_costs.reserve(range.len());
             let mut total = 0.0;
             for iter in range {
+                if let Some(plan) = plan {
+                    if plan.should_panic(proc, iter) {
+                        // resume_unwind skips the panic hook: injected
+                        // faults stay silent on stderr.
+                        std::panic::resume_unwind(Box::new(InjectedFault { proc, iter }));
+                    }
+                }
                 let mut ctx = IterCtx {
                     iter,
                     writer: pos as u32,
@@ -244,7 +308,10 @@ impl<'l, T: Value> Engine<'l, T> {
                 };
                 lp.body(iter, &mut ctx);
                 let exited = ctx.exited;
-                let c = lp.cost(iter) + ctx.extra_cost;
+                let mut c = lp.cost(iter) + ctx.extra_cost;
+                if let Some(plan) = plan {
+                    c += plan.delay_for(proc, iter);
+                }
                 st.iter_costs.push((iter as u32, c));
                 total += c;
                 if exited {
@@ -256,6 +323,23 @@ impl<'l, T: Value> Engine<'l, T> {
             }
             total
         });
+        let fault = panic.map(|jp| {
+            let pos = jp.index;
+            let range = &schedule.blocks()[pos].range;
+            // iter_costs holds one entry per iteration completed before
+            // the panic, and blocks run their contiguous range in
+            // order, so the faulting iteration is the next one.
+            let iter = range.start + self.states[pos].iter_costs.len();
+            // The executor reports 0.0 for the panicked block; restore
+            // the partial work it actually performed.
+            timing.per_block_cost[pos] = self.states[pos].iter_costs.iter().map(|&(_, c)| c).sum();
+            FaultEvent {
+                pos,
+                iter,
+                message: panic_message(jp.payload.as_ref()),
+            }
+        });
+        stats.contained_faults = fault.is_some() as usize;
         stats.loop_time = timing.critical_path();
         stats.total_work = timing.total_work();
         stats.wall_seconds = timing.wall_seconds;
@@ -298,8 +382,7 @@ impl<'l, T: Value> Engine<'l, T> {
                 .states
                 .iter()
                 .map(|st| st.wlog.num_undo())
-                .max()
-                .unwrap_or(0);
+                .fold(0, usize::max);
             stats.overhead.add(
                 OverheadKind::Checkpoint,
                 max_undo as f64 * cost.checkpoint_per_elem,
@@ -312,8 +395,7 @@ impl<'l, T: Value> Engine<'l, T> {
             .states
             .iter()
             .map(|st| st.views.iter().map(ProcView::refs).sum::<u64>())
-            .max()
-            .unwrap_or(0);
+            .fold(0, u64::max);
         stats.overhead.add(
             OverheadKind::Marking,
             max_refs as f64 * cost.marking_per_ref,
@@ -338,7 +420,14 @@ impl<'l, T: Value> Engine<'l, T> {
             OverheadKind::Analysis,
             analysis.max_touched as f64 * cost.analysis_per_ref * merge_depth,
         );
-        let violation = analysis.first_violation;
+        // A contained panic is a speculation fault of its block: fold
+        // it into the violation as if a dependence arc sank there. The
+        // blocks before it are unaffected (they commit below); the
+        // faulted block and everything after it re-execute.
+        let violation = match (analysis.first_violation, fault.as_ref().map(|f| f.pos)) {
+            (None, None) => None,
+            (v, f) => Some(v.unwrap_or(usize::MAX).min(f.unwrap_or(usize::MAX))),
+        };
         let mut commit_upto = match violation {
             None => self.cfg.p,
             Some(q) if self.cfg.commit_prefix_on_failure => q,
@@ -420,9 +509,16 @@ impl<'l, T: Value> Engine<'l, T> {
                         }
                     }
                     CheckpointPolicy::Eager => {
+                        // A missing snapshot under the eager policy is
+                        // an engine bug; surface it as a structured
+                        // error rather than aborting a long run.
                         let snap = snapshot
                             .as_ref()
-                            .expect("eager policy snapshots every stage");
+                            .ok_or_else(|| RlrpdError::StageInvariant {
+                                message: format!(
+                                    "eager policy took no snapshot before stage {stage}"
+                                ),
+                            })?;
                         for (slot, &id) in self.untested_ids.iter().enumerate() {
                             for elem in st.wlog.written(slot) {
                                 // SAFETY: as above.
@@ -467,8 +563,7 @@ impl<'l, T: Value> Engine<'l, T> {
             .states
             .iter()
             .map(|st| st.views.iter().map(ProcView::num_touched).sum::<usize>())
-            .max()
-            .unwrap_or(0);
+            .fold(0, usize::max);
         stats.overhead.add(
             OverheadKind::ShadowInit,
             max_touched as f64 * cost.shadow_init_per_elem,
@@ -492,43 +587,68 @@ impl<'l, T: Value> Engine<'l, T> {
         // 9. Barrier.
         stats.overhead.add(OverheadKind::Sync, cost.sync);
 
-        StageOutcome {
+        Ok(StageOutcome {
             violation,
             restart_iter: violation.map(|q| schedule.block_start(q)),
             stats,
             arcs: analysis.arcs,
             committed_marks,
             exit: exit.map(|(_, e)| e),
-        }
+            fault,
+        })
     }
 
     /// Execute `range` directly (no speculation) against the engine's
-    /// current shared state, returning the virtual work performed. Used
-    /// by the classic-LRPD baseline's sequential re-execution.
-    pub fn run_direct(&mut self, range: Range<usize>) -> f64 {
+    /// current shared state, returning the virtual work performed and
+    /// the exit iteration if the body requested a premature exit. Used
+    /// by the classic-LRPD baseline's sequential re-execution and by
+    /// the driver's sequential fallback.
+    ///
+    /// A panic here *is* a genuine program fault — the iteration ran on
+    /// exactly the state sequential execution would have given it — and
+    /// is reported as [`RlrpdError::ProgramFault`] instead of
+    /// unwinding. Fault injection does not apply: direct execution is
+    /// the trusted baseline the containment layer falls back to.
+    pub fn run_direct(&mut self, range: Range<usize>) -> Result<(f64, Option<usize>), RlrpdError> {
         for buf in &mut self.shared {
             buf.new_epoch();
         }
+        let start = range.start;
         let mut work = 0.0;
-        for iter in range {
-            let mut ctx = IterCtx {
-                iter,
-                writer: 0,
-                meta: &self.meta,
-                shared: &self.shared,
-                views: &mut [],
-                wlog: None,
-                iter_marks: None,
-                extra_cost: 0.0,
-                exited: false,
-            };
-            self.lp.body(iter, &mut ctx);
-            work += self.lp.cost(iter) + ctx.extra_cost;
-            if ctx.exited {
-                break;
+        let mut done = 0usize;
+        let mut exited = None;
+        let lp = self.lp;
+        let meta = &self.meta;
+        let shared = &self.shared;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            for iter in range {
+                let mut ctx = IterCtx {
+                    iter,
+                    writer: 0,
+                    meta,
+                    shared,
+                    views: &mut [],
+                    wlog: None,
+                    iter_marks: None,
+                    extra_cost: 0.0,
+                    exited: false,
+                };
+                lp.body(iter, &mut ctx);
+                work += lp.cost(iter) + ctx.extra_cost;
+                done += 1;
+                if ctx.exited {
+                    exited = Some(iter);
+                    break;
+                }
             }
+        }));
+        match run {
+            Ok(()) => Ok((work, exited)),
+            Err(payload) => Err(RlrpdError::ProgramFault {
+                iter: start + done,
+                message: panic_message(payload.as_ref()),
+            }),
         }
-        work
     }
 
     /// Final contents of every declared array, in declaration order.

@@ -62,6 +62,7 @@ pub mod ctx;
 pub mod ddg;
 pub mod driver;
 mod engine;
+pub mod error;
 pub mod flags;
 pub mod induction;
 pub mod inspector;
@@ -82,12 +83,14 @@ pub use checkpoint::CheckpointPolicy;
 pub use ctx::IterCtx;
 pub use ddg::{extract_ddg, DdgResult, DepCollector, DepGraph, EdgeKind};
 pub use driver::{
-    run_speculative, AdaptRule, BalancePolicy, RunConfig, RunResult, Runner, Strategy,
+    run_speculative, try_run_speculative, AdaptRule, BalancePolicy, FallbackPolicy, FallbackReason,
+    RunConfig, RunResult, Runner, Strategy,
 };
 pub use engine::run_sequential;
+pub use error::RlrpdError;
 pub use induction::{run_induction, IndCtx, InductionLoop, InductionResult};
 pub use inspector::{run_inspector_executor, AccessTrace, Inspectable, InspectorResult};
-pub use lrpd::run_classic_lrpd;
+pub use lrpd::{run_classic_lrpd, try_run_classic_lrpd};
 pub use persist::PersistError;
 pub use predictor::{PredictiveRunner, StrategyPredictor};
 pub use report::{PrAccumulator, RunReport};
@@ -98,4 +101,4 @@ pub use wavefront::{execute_wavefronts, WavefrontReport, WavefrontSchedule};
 pub use window::{WindowConfig, WindowPolicy};
 
 // Re-export the runtime types users need to configure runs.
-pub use rlrpd_runtime::{CostModel, ExecMode};
+pub use rlrpd_runtime::{CostModel, ExecMode, FaultPlan, InjectedFault};

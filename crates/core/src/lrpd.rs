@@ -11,14 +11,28 @@
 
 use crate::driver::{RunConfig, RunResult};
 use crate::engine::{Engine, EngineCfg};
+use crate::error::RlrpdError;
 use crate::report::RunReport;
 use crate::spec_loop::SpecLoop;
 use crate::value::Value;
 use rlrpd_runtime::{BlockSchedule, OverheadKind, StageStats};
 
 /// Run `lp` under the classic LRPD test: speculate once, re-execute
-/// sequentially on failure.
+/// sequentially on failure. Panics on an unrecoverable fault; see
+/// [`try_run_classic_lrpd`] for the fallible surface.
 pub fn run_classic_lrpd<T: Value>(lp: &dyn SpecLoop<T>, cfg: &RunConfig) -> RunResult<T> {
+    try_run_classic_lrpd(lp, cfg).unwrap_or_else(|e| panic!("classic LRPD run failed: {e}"))
+}
+
+/// Fallible classic LRPD: a panic during the speculative doall is
+/// contained (the test simply fails and the loop re-executes
+/// sequentially — classic LRPD's recovery is always total); a panic
+/// during the sequential re-execution is a genuine
+/// [`RlrpdError::ProgramFault`].
+pub fn try_run_classic_lrpd<T: Value>(
+    lp: &dyn SpecLoop<T>,
+    cfg: &RunConfig,
+) -> Result<RunResult<T>, RlrpdError> {
     let engine_cfg = EngineCfg {
         commit_prefix_on_failure: false, // discard everything on failure
         ..cfg.engine_cfg()
@@ -31,7 +45,7 @@ pub fn run_classic_lrpd<T: Value>(lp: &dyn SpecLoop<T>, cfg: &RunConfig) -> RunR
     };
 
     let schedule = BlockSchedule::even(0..n, cfg.p);
-    let outcome = engine.run_stage(&schedule);
+    let outcome = engine.run_stage(&schedule)?;
     let arcs = outcome.arcs.clone();
     let failed = outcome.violation.is_some() && outcome.exit.is_none();
     report.exited_at = outcome.exit;
@@ -41,22 +55,24 @@ pub fn run_classic_lrpd<T: Value>(lp: &dyn SpecLoop<T>, cfg: &RunConfig) -> RunR
         report.restarts += 1;
         // Sequential re-execution from (restored) pristine state. Its
         // time is pure loop work with one trailing synchronization.
-        let work = engine.run_direct(0..n);
+        let (work, exited) = engine.run_direct(0..n)?;
+        let committed = exited.map_or(n, |e| e + 1);
         let mut seq_stage = StageStats {
             loop_time: work,
             total_work: work,
             iters_attempted: n,
-            iters_committed: n,
+            iters_committed: committed,
             ..Default::default()
         };
         seq_stage.overhead.add(OverheadKind::Sync, cfg.cost.sync);
         report.stages.push(seq_stage);
+        report.exited_at = exited;
     }
 
     report.wall_seconds = report.stages.iter().map(|s| s.wall_seconds).sum();
-    RunResult {
+    Ok(RunResult {
         arrays: engine.arrays_out(),
         report,
         arcs,
-    }
+    })
 }

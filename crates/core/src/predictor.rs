@@ -210,6 +210,7 @@ mod tests {
             sequential_work: work,
             wall_seconds: 0.0,
             exited_at: None,
+            fallback: None,
         }
     }
 

@@ -1,6 +1,7 @@
 //! Run-level reports: stage series, restarts, parallelism ratio, and
 //! speedups.
 
+use crate::driver::FallbackReason;
 use rlrpd_runtime::{OverheadKind, PhaseSeconds, StageStats};
 
 /// Report of one speculative run of a loop (one instantiation).
@@ -18,6 +19,9 @@ pub struct RunReport {
     pub wall_seconds: f64,
     /// Last executed iteration when the loop exited prematurely.
     pub exited_at: Option<usize>,
+    /// Why (and whether) the driver abandoned speculation and finished
+    /// the remainder with direct sequential execution.
+    pub fallback: Option<FallbackReason>,
 }
 
 impl RunReport {
@@ -51,6 +55,12 @@ impl RunReport {
         self.stages.iter().map(|s| s.total_work).sum()
     }
 
+    /// Panics contained across all stages (each was recorded as a
+    /// speculation fault of its block and recovered by re-execution).
+    pub fn contained_faults(&self) -> usize {
+        self.stages.iter().map(|s| s.contained_faults).sum()
+    }
+
     /// Wall-clock per-phase totals across all stages (all zero when the
     /// run used the simulated executor).
     pub fn phase_totals(&self) -> PhaseSeconds {
@@ -77,6 +87,13 @@ impl std::fmt::Display for RunReport {
             },
             self.pr()
         )?;
+        let faults = self.contained_faults();
+        if faults > 0 {
+            writeln!(f, "contained faults: {faults}")?;
+        }
+        if let Some(reason) = self.fallback {
+            writeln!(f, "fell back to sequential execution: {reason:?}")?;
+        }
         writeln!(
             f,
             "virtual time {:.1} vs sequential {:.1} -> speedup {:.2}x",
@@ -164,6 +181,7 @@ mod tests {
             sequential_work: 30.0,
             wall_seconds: 0.0,
             exited_at: None,
+            fallback: None,
         };
         assert_eq!(r.virtual_time(), 17.0);
         assert!((r.speedup() - 30.0 / 17.0).abs() < 1e-12);
@@ -178,6 +196,7 @@ mod tests {
             sequential_work: 40.0,
             wall_seconds: 0.0,
             exited_at: None,
+            fallback: None,
         };
         assert_eq!(r.pr(), 1.0);
     }
@@ -206,6 +225,7 @@ mod tests {
             sequential_work: 12.0,
             wall_seconds: 0.0,
             exited_at: Some(5),
+            fallback: None,
         };
         let text = r.to_string();
         assert!(text.contains("stages: 1"), "{text}");

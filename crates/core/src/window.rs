@@ -16,8 +16,9 @@
 //! ([`WindowPolicy`]).
 
 use crate::analysis::DepArc;
-use crate::driver::RunConfig;
+use crate::driver::{sequential_fallback, FallbackReason, RunConfig};
 use crate::engine::{CommittedBlockMarks, Engine};
+use crate::error::RlrpdError;
 use crate::report::RunReport;
 use crate::value::Value;
 use rlrpd_runtime::BlockSchedule;
@@ -80,7 +81,7 @@ pub(crate) fn run_window<T: Value>(
     cfg: &RunConfig,
     wcfg: WindowConfig,
     mut on_commit: impl FnMut(&[CommittedBlockMarks]),
-) -> (RunReport, Vec<DepArc>) {
+) -> Result<(RunReport, Vec<DepArc>), RlrpdError> {
     let n = engine.n;
     let p = cfg.p;
     let mut report = RunReport {
@@ -92,13 +93,16 @@ pub(crate) fn run_window<T: Value>(
     let mut w = wcfg.iters_per_proc.max(1);
     let mut commit_point = 0usize;
     let mut rotation = 0usize;
+    // Restart point of the last fault-bound window (genuine-fault
+    // detection; see the recursive driver).
+    let mut last_fault_restart: Option<usize> = None;
 
     while commit_point < n {
-        assert!(
-            report.stages.len() < cfg.max_stages,
-            "sliding window exceeded max_stages = {}",
-            cfg.max_stages
-        );
+        if report.stages.len() >= cfg.max_stages {
+            return Err(RlrpdError::StageLimit {
+                max_stages: cfg.max_stages,
+            });
+        }
         let end = (commit_point + w * p).min(n);
         let window = commit_point..end;
         let schedule = if wcfg.circular {
@@ -107,7 +111,22 @@ pub(crate) fn run_window<T: Value>(
             BlockSchedule::even(window, p)
         };
 
-        let outcome = engine.run_stage(&schedule);
+        let outcome = match engine.run_stage(&schedule) {
+            Ok(o) => o,
+            Err(RlrpdError::CheckpointFault { .. }) => {
+                // Fired before any speculative write: finish the
+                // remainder directly from the commit point.
+                sequential_fallback(
+                    engine,
+                    cfg,
+                    &mut report,
+                    commit_point,
+                    FallbackReason::CheckpointFault,
+                )?;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         on_commit(&outcome.committed_marks);
         arcs.extend(outcome.arcs);
 
@@ -125,19 +144,42 @@ pub(crate) fn run_window<T: Value>(
             }
             Some(q) => {
                 report.restarts += 1;
-                commit_point = outcome
+                let restart = outcome
                     .restart_iter
-                    .expect("violation implies restart point");
+                    .ok_or_else(|| RlrpdError::StageInvariant {
+                        message: "violation implies a restart point".into(),
+                    })?;
+                if let Some(f) = &outcome.fault {
+                    // Same rule as the recursive driver: a fault that
+                    // binds the restart twice at the same point re-ran
+                    // its iteration from sequential-equivalent state.
+                    if q == f.pos {
+                        if last_fault_restart == Some(restart) {
+                            return Err(RlrpdError::ProgramFault {
+                                iter: f.iter,
+                                message: f.message.clone(),
+                            });
+                        }
+                        last_fault_restart = Some(restart);
+                    }
+                }
+                commit_point = restart;
                 // Keep the failed block on its original processor.
                 rotation = schedule.blocks()[q].proc.index();
                 w = adapt(w, wcfg.policy);
             }
         }
         report.stages.push(outcome.stats);
+        if commit_point < n {
+            if let Some(reason) = cfg.fallback.check(&report) {
+                sequential_fallback(engine, cfg, &mut report, commit_point, reason)?;
+                break;
+            }
+        }
     }
 
     report.wall_seconds = report.stages.iter().map(|s| s.wall_seconds).sum();
-    (report, arcs)
+    Ok((report, arcs))
 }
 
 fn adapt(w: usize, policy: WindowPolicy) -> usize {

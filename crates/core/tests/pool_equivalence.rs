@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use rlrpd_core::view::ProcView;
 use rlrpd_core::{
     analyze_parallel, analyze_seq, run_speculative, ArrayDecl, ArrayId, ClosureLoop, ExecMode,
-    Reduction, RunConfig, ShadowKind,
+    FaultPlan, Reduction, RunConfig, Runner, ShadowKind,
 };
 use rlrpd_runtime::Executor;
 use std::sync::Arc;
@@ -238,6 +238,48 @@ fn commit_prefix_identical_across_modes_on_fixed_loop() {
                 "mode={mode:?} p={p}"
             );
             assert_eq!(got.arcs, reference.arcs, "mode={mode:?} p={p}");
+        }
+    }
+}
+
+/// An injected panic is contained identically whatever executor runs
+/// the stage: same arrays, same restart count, same number of contained
+/// faults, same per-stage commit decisions. A [`FaultPlan`] holds
+/// one-shot interior state, so each run gets a fresh plan.
+#[test]
+fn fault_injection_is_identical_across_modes() {
+    for p in [2usize, 4] {
+        for seed in [7u64, 42, 1009] {
+            let run = |mode: ExecMode| {
+                let lp = ClosureLoop::<i64>::new(
+                    48,
+                    || vec![ArrayDecl::tested("A", vec![0i64; 48], ShadowKind::Dense)],
+                    |i, ctx| {
+                        let v = ctx.read(A, i.saturating_sub(3));
+                        ctx.write(A, i, v + 1);
+                    },
+                );
+                let plan = FaultPlan::seeded_panic(seed, 48);
+                let res = Runner::new(RunConfig::new(p).with_exec(mode))
+                    .with_fault(Arc::new(plan))
+                    .try_run(&lp)
+                    .expect("injected fault must be contained");
+                (
+                    res.array("A").to_vec(),
+                    res.report.restarts,
+                    res.report.contained_faults(),
+                    res.report
+                        .stages
+                        .iter()
+                        .map(|s| (s.iters_attempted, s.iters_committed))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            let reference = run(ExecMode::Simulated);
+            assert_eq!(reference.2, 1, "p={p} seed={seed}: fault must fire once");
+            for mode in [ExecMode::Threads, ExecMode::Pooled] {
+                assert_eq!(run(mode), reference, "mode={mode:?} p={p} seed={seed}");
+            }
         }
     }
 }

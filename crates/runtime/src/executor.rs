@@ -25,8 +25,9 @@
 //! assert this.
 
 use crate::cost::Cost;
-use crate::pool::{SendPtr, WorkerPool};
-use std::sync::Arc;
+use crate::pool::{JobPanic, SendPtr, WorkerPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 
 /// How to run the blocks of one stage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -110,56 +111,127 @@ impl Executor {
     /// [`ExecMode::Pooled`], sequentially (but observably identically)
     /// under [`ExecMode::Simulated`].
     ///
-    /// `work` returns the virtual cost the block accumulated.
+    /// `work` returns the virtual cost the block accumulated. A block
+    /// panic is re-raised here; use [`Executor::try_run_blocks`] for
+    /// the containment surface.
     pub fn run_blocks<S, F>(&self, states: &mut [S], work: F) -> StageTiming
+    where
+        S: Send,
+        F: Fn(usize, &mut S) -> Cost + Sync,
+    {
+        let (timing, panic) = self.try_run_blocks(states, work);
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p.payload);
+        }
+        timing
+    }
+
+    /// Run one stage with **panic containment**: every block executes
+    /// even when another block panics, and the lowest-position panic is
+    /// returned alongside the timing instead of unwinding.
+    ///
+    /// A panicked block contributes `0.0` to `per_block_cost` (the
+    /// engine reconstructs its partial cost from the per-block state,
+    /// which the closure mutates in place before panicking). This is
+    /// the substrate of fault-contained speculation: a panic in block
+    /// *b* must not discard the independent, possibly-committable work
+    /// of every other block.
+    pub fn try_run_blocks<S, F>(&self, states: &mut [S], work: F) -> (StageTiming, Option<JobPanic>)
     where
         S: Send,
         F: Fn(usize, &mut S) -> Cost + Sync,
     {
         match self.mode {
             ExecMode::Simulated => {
+                let mut panic: Option<JobPanic> = None;
                 let per_block_cost = states
                     .iter_mut()
                     .enumerate()
-                    .map(|(pos, s)| work(pos, s))
+                    .map(|(pos, s)| {
+                        match catch_unwind(AssertUnwindSafe(|| work(pos, s))) {
+                            Ok(c) => c,
+                            Err(payload) => {
+                                // Sequential block order: the first panic
+                                // seen is the lowest position.
+                                if panic.is_none() {
+                                    panic = Some(JobPanic {
+                                        index: pos,
+                                        payload,
+                                    });
+                                }
+                                0.0
+                            }
+                        }
+                    })
                     .collect();
-                StageTiming {
-                    per_block_cost,
-                    wall_seconds: 0.0,
-                }
+                (
+                    StageTiming {
+                        per_block_cost,
+                        wall_seconds: 0.0,
+                    },
+                    panic,
+                )
             }
             ExecMode::Threads => {
                 let start = std::time::Instant::now();
                 let work = &work;
                 let mut per_block_cost = vec![0.0; states.len()];
+                let panic_slot: Mutex<Option<JobPanic>> = Mutex::new(None);
                 std::thread::scope(|scope| {
                     for (pos, (s, out)) in
                         states.iter_mut().zip(per_block_cost.iter_mut()).enumerate()
                     {
+                        let panic_slot = &panic_slot;
                         scope.spawn(move || {
-                            *out = work(pos, s);
+                            match catch_unwind(AssertUnwindSafe(|| work(pos, s))) {
+                                Ok(c) => *out = c,
+                                Err(payload) => {
+                                    let mut slot = panic_slot.lock().unwrap();
+                                    match &*slot {
+                                        Some(p) if p.index <= pos => {}
+                                        _ => {
+                                            *slot = Some(JobPanic {
+                                                index: pos,
+                                                payload,
+                                            })
+                                        }
+                                    }
+                                }
+                            }
                         });
                     }
                 });
-                StageTiming {
-                    per_block_cost,
-                    wall_seconds: start.elapsed().as_secs_f64(),
-                }
+                (
+                    StageTiming {
+                        per_block_cost,
+                        wall_seconds: start.elapsed().as_secs_f64(),
+                    },
+                    panic_slot.into_inner().unwrap(),
+                )
             }
             ExecMode::Pooled => {
                 let start = std::time::Instant::now();
                 let pool = self.pool.as_ref().expect("pooled executor has a pool");
                 let states_ptr = SendPtr::new(states.as_mut_ptr());
-                let per_block_cost = pool.run_indexed(states.len(), |pos| {
-                    // SAFETY: block positions are distinct, so each task
-                    // derives an exclusive &mut to its own state.
-                    let s = unsafe { &mut *states_ptr.get().add(pos) };
-                    work(pos, s)
-                });
-                StageTiming {
-                    per_block_cost,
-                    wall_seconds: start.elapsed().as_secs_f64(),
-                }
+                let mut per_block_cost = vec![0.0; states.len()];
+                let costs_ptr = SendPtr::new(per_block_cost.as_mut_ptr());
+                let panic = pool
+                    .try_run(states.len(), &|pos| {
+                        // SAFETY: block positions are distinct, so each
+                        // task derives an exclusive &mut to its own
+                        // state and cost slot.
+                        let s = unsafe { &mut *states_ptr.get().add(pos) };
+                        let c = work(pos, s);
+                        unsafe { *costs_ptr.get().add(pos) = c };
+                    })
+                    .err();
+                (
+                    StageTiming {
+                        per_block_cost,
+                        wall_seconds: start.elapsed().as_secs_f64(),
+                    },
+                    panic,
+                )
             }
         }
     }
@@ -281,6 +353,61 @@ mod tests {
             let out = ex.run_indexed(17, |i| i * 3 + 1);
             let expect: Vec<usize> = (0..17).map(|i| i * 3 + 1).collect();
             assert_eq!(out, expect, "mode {:?}", ex.mode());
+        }
+    }
+
+    #[test]
+    fn try_run_blocks_contains_a_block_panic_in_every_mode() {
+        for ex in modes() {
+            let mut states: Vec<usize> = vec![0; 5];
+            let (t, panic) = ex.try_run_blocks(&mut states, |pos, s| {
+                if pos == 2 {
+                    std::panic::resume_unwind(Box::new("block 2 down"));
+                }
+                *s = pos + 1;
+                1.0
+            });
+            let p = panic.unwrap_or_else(|| panic!("mode {:?}: panic reported", ex.mode()));
+            assert_eq!(p.index, 2, "mode {:?}", ex.mode());
+            assert_eq!(p.message(), "block 2 down");
+            // Every other block still ran and reported its cost.
+            assert_eq!(states, vec![1, 2, 0, 4, 5], "mode {:?}", ex.mode());
+            assert_eq!(
+                t.per_block_cost,
+                vec![1.0, 1.0, 0.0, 1.0, 1.0],
+                "mode {:?}",
+                ex.mode()
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_blocks_reports_lowest_panicking_position() {
+        for ex in modes() {
+            let mut states: Vec<usize> = vec![0; 6];
+            let (_, panic) = ex.try_run_blocks(&mut states, |pos, _| {
+                if pos == 4 || pos == 1 {
+                    std::panic::resume_unwind(Box::new(pos));
+                }
+                1.0
+            });
+            assert_eq!(panic.unwrap().index, 1, "mode {:?}", ex.mode());
+        }
+    }
+
+    #[test]
+    fn run_blocks_still_reraises_panics() {
+        for ex in modes() {
+            let mut states: Vec<usize> = vec![0; 3];
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                ex.run_blocks(&mut states, |pos, _| {
+                    if pos == 1 {
+                        std::panic::resume_unwind(Box::new("up"));
+                    }
+                    1.0
+                });
+            }));
+            assert!(caught.is_err(), "mode {:?}", ex.mode());
         }
     }
 

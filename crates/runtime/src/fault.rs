@@ -1,0 +1,316 @@
+//! Deterministic fault injection for speculative stages.
+//!
+//! The R-LRPD containment story is only trustworthy if every recovery
+//! path — contained panic, watchdog-tripping straggler, failed
+//! checkpoint — is exercised by deterministic tests. A [`FaultPlan`]
+//! describes *exactly* which faults to inject and where:
+//!
+//! * a **panic** at a `(proc, iteration)` pair: the engine raises an
+//!   [`InjectedFault`] unwind just before the iteration body runs,
+//!   exercising the same catch/contain/re-execute machinery a genuine
+//!   program fault would;
+//! * a **delay** at a `(proc, iteration)` pair: extra virtual cost
+//!   charged to that iteration, inflating the stage's critical path so
+//!   the driver's watchdog budget trips deterministically;
+//! * a **checkpoint fault** at a stage ordinal: the engine's
+//!   checkpoint phase reports failure at the start of that stage
+//!   (before any speculative write), modelling an I/O or allocation
+//!   error in the checkpoint machinery.
+//!
+//! Injected panics and checkpoint faults are **one-shot**: each site
+//! fires at most once per plan, modelling transient faults so the
+//! containment layer's retry actually succeeds. Delays fire on every
+//! execution of their site (a persistently slow iteration).
+//!
+//! A plan is injected through `EngineCfg`; engines without a plan pay
+//! only a single well-predicted branch per iteration (the no-fault fast
+//! path). Because sites are keyed by the *schedule-determined*
+//! `(proc, iteration)` pair, not by thread timing, injection is
+//! deterministic across the simulated, threaded, and pooled executors.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The unwind payload of an injected panic.
+///
+/// Raised with `std::panic::resume_unwind` rather than `panic!`, so the
+/// process-global panic hook never runs: injected faults are silent on
+/// stderr while genuine program panics still print normally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Virtual processor the fault was injected on.
+    pub proc: u32,
+    /// Iteration the fault was injected at.
+    pub iter: usize,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected fault at (proc {}, iteration {})",
+            self.proc, self.iter
+        )
+    }
+}
+
+/// Render a caught panic payload as a human-readable message.
+///
+/// Understands the payload types that actually occur: `&str` / `String`
+/// from `panic!`, and [`InjectedFault`] from fault injection.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        f.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Wildcard processor: the site fires on whichever processor executes
+/// its iteration (each stage's blocks partition the iteration space, so
+/// exactly one does).
+const ANY_PROC: u32 = u32::MAX;
+
+/// One injectable site keyed by `(proc, iteration)`.
+#[derive(Debug)]
+struct Site {
+    proc: u32,
+    iter: u32,
+    /// One-shot arming (panic sites) — cleared on first firing.
+    armed: AtomicBool,
+}
+
+impl Site {
+    fn new(proc: u32, iter: usize) -> Self {
+        Site {
+            proc,
+            iter: iter as u32,
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    fn matches(&self, proc: u32, iter: usize) -> bool {
+        (self.proc == proc || self.proc == ANY_PROC) && self.iter as usize == iter
+    }
+}
+
+/// A deterministic, seedable description of faults to inject into a
+/// speculative run. See the module docs for the fault vocabulary.
+///
+/// Plans hold interior one-shot state; build a **fresh plan per run**
+/// when comparing runs (e.g. cross-executor equivalence tests).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    panics: Vec<Site>,
+    delays: Vec<(u32, u32, f64)>,
+    checkpoint_faults: Vec<Site>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; useful for measuring the cost of
+    /// the injection checks themselves).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a one-shot panic at `(proc, iter)`.
+    pub fn panic_at(mut self, proc: usize, iter: usize) -> Self {
+        self.panics.push(Site::new(proc as u32, iter));
+        self
+    }
+
+    /// Add a one-shot panic at iteration `iter` on whichever processor
+    /// executes it (exact-`(proc, iter)` sites only fire when the
+    /// schedule happens to place the iteration on that processor; an
+    /// iteration-keyed site always fires).
+    pub fn panic_at_iter(mut self, iter: usize) -> Self {
+        self.panics.push(Site::new(ANY_PROC, iter));
+        self
+    }
+
+    /// Add `cost` virtual time units of delay to every execution of
+    /// iteration `iter` on processor `proc`.
+    pub fn delay_at(mut self, proc: usize, iter: usize, cost: f64) -> Self {
+        self.delays.push((proc as u32, iter as u32, cost));
+        self
+    }
+
+    /// Fail the checkpoint phase of stage ordinal `stage` (0-based,
+    /// counted over the engine's lifetime), one-shot.
+    pub fn checkpoint_fault_at(mut self, stage: usize) -> Self {
+        self.checkpoint_faults.push(Site::new(0, stage));
+        self
+    }
+
+    /// Derive a single-panic plan from `seed` for a loop of `n`
+    /// iterations: the canonical "inject a panic into any one
+    /// iteration" configuration of the containment acceptance suite,
+    /// reproducible from the seed alone. The site is iteration-keyed,
+    /// so it fires exactly once — on whichever processor the schedule
+    /// assigns that iteration to.
+    pub fn seeded_panic(seed: u64, n: usize) -> Self {
+        let mut s = SplitMix(seed);
+        let iter = (s.next() % n.max(1) as u64) as usize;
+        FaultPlan::new().panic_at_iter(iter)
+    }
+
+    /// True when the plan has no sites at all (checks can be skipped).
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty() && self.delays.is_empty() && self.checkpoint_faults.is_empty()
+    }
+
+    /// Should a panic fire for iteration `iter` on processor `proc`?
+    /// Disarms the site (one-shot).
+    #[inline]
+    pub fn should_panic(&self, proc: u32, iter: usize) -> bool {
+        self.panics
+            .iter()
+            .any(|s| s.matches(proc, iter) && s.armed.swap(false, Ordering::Relaxed))
+    }
+
+    /// Extra virtual cost to charge iteration `iter` on processor
+    /// `proc` (0.0 almost always).
+    #[inline]
+    pub fn delay_for(&self, proc: u32, iter: usize) -> f64 {
+        self.delays
+            .iter()
+            .filter(|(dp, di, _)| *dp == proc && *di as usize == iter)
+            .map(|(_, _, c)| *c)
+            .sum()
+    }
+
+    /// Should the checkpoint phase of stage ordinal `stage` fail?
+    /// Disarms the site (one-shot).
+    #[inline]
+    pub fn should_fail_checkpoint(&self, stage: usize) -> bool {
+        self.checkpoint_faults
+            .iter()
+            .any(|s| s.iter as usize == stage && s.armed.swap(false, Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        for s in &self.panics {
+            parts.push(if s.proc == ANY_PROC {
+                format!("panic@iter {}", s.iter)
+            } else {
+                format!("panic@(proc {}, iter {})", s.proc, s.iter)
+            });
+        }
+        for (proc, iter, cost) in &self.delays {
+            parts.push(format!("delay {cost}@(proc {proc}, iter {iter})"));
+        }
+        for s in &self.checkpoint_faults {
+            parts.push(format!("checkpoint-fault@stage {}", s.iter));
+        }
+        if parts.is_empty() {
+            write!(f, "no faults")
+        } else {
+            write!(f, "{}", parts.join(", "))
+        }
+    }
+}
+
+/// SplitMix64 — deterministic seed expansion with no dependencies.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_sites_are_one_shot() {
+        let plan = FaultPlan::new().panic_at(2, 7);
+        assert!(!plan.should_panic(2, 6));
+        assert!(!plan.should_panic(1, 7));
+        assert!(plan.should_panic(2, 7), "armed site fires");
+        assert!(!plan.should_panic(2, 7), "fired site is disarmed");
+    }
+
+    #[test]
+    fn delays_fire_every_time() {
+        let plan = FaultPlan::new().delay_at(0, 3, 1.5).delay_at(0, 3, 2.0);
+        assert_eq!(plan.delay_for(0, 3), 3.5);
+        assert_eq!(plan.delay_for(0, 3), 3.5, "delays are not one-shot");
+        assert_eq!(plan.delay_for(1, 3), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_faults_are_one_shot_per_stage() {
+        let plan = FaultPlan::new().checkpoint_fault_at(1);
+        assert!(!plan.should_fail_checkpoint(0));
+        assert!(plan.should_fail_checkpoint(1));
+        assert!(!plan.should_fail_checkpoint(1));
+    }
+
+    #[test]
+    fn seeded_plan_is_reproducible_and_in_range() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let a = FaultPlan::seeded_panic(seed, 100);
+            let b = FaultPlan::seeded_panic(seed, 100);
+            let site_a = &a.panics[0];
+            let site_b = &b.panics[0];
+            assert_eq!((site_a.proc, site_a.iter), (site_b.proc, site_b.iter));
+            assert_eq!(site_a.proc, ANY_PROC);
+            assert!((site_a.iter as usize) < 100);
+        }
+    }
+
+    #[test]
+    fn iteration_keyed_sites_fire_on_any_processor() {
+        let plan = FaultPlan::new().panic_at_iter(9);
+        assert!(!plan.should_panic(5, 8));
+        assert!(plan.should_panic(5, 9), "fires on whichever proc runs it");
+        assert!(!plan.should_panic(0, 9), "still one-shot");
+    }
+
+    #[test]
+    fn display_summarizes_sites() {
+        let plan = FaultPlan::new()
+            .panic_at(1, 2)
+            .panic_at_iter(7)
+            .delay_at(0, 3, 2.5)
+            .checkpoint_fault_at(4);
+        let text = plan.to_string();
+        assert!(text.contains("panic@(proc 1, iter 2)"), "{text}");
+        assert!(text.contains("panic@iter 7"), "{text}");
+        assert!(text.contains("delay 2.5@(proc 0, iter 3)"), "{text}");
+        assert!(text.contains("checkpoint-fault@stage 4"), "{text}");
+        assert_eq!(FaultPlan::new().to_string(), "no faults");
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(!FaultPlan::new().panic_at(0, 0).is_empty());
+    }
+
+    #[test]
+    fn panic_message_understands_payload_kinds() {
+        assert_eq!(
+            panic_message(&InjectedFault { proc: 1, iter: 4 }),
+            "injected fault at (proc 1, iteration 4)"
+        );
+        let s: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(s.as_ref()), "boom");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("sboom"));
+        assert_eq!(panic_message(s.as_ref()), "sboom");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(s.as_ref()), "panic with non-string payload");
+    }
+}

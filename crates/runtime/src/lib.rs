@@ -20,6 +20,9 @@
 //! * [`prefix`] — sequential and parallel prefix sums (used by the
 //!   feedback-guided load balancer and the EXTEND induction-variable
 //!   technique),
+//! * [`FaultPlan`] — deterministic, seedable fault injection (panics,
+//!   delays, checkpoint failures) used to exercise the engine's
+//!   containment and sequential-fallback paths,
 //! * [`FeedbackPartitioner`] — the Section 5.1 feedback-guided load
 //!   balancing: per-iteration timings from the previous instantiation are
 //!   prefix-summed into the block boundaries that would have achieved
@@ -50,6 +53,7 @@
 pub mod balance;
 pub mod cost;
 pub mod executor;
+pub mod fault;
 pub mod pool;
 pub mod prefix;
 pub mod proc;
@@ -59,7 +63,8 @@ pub mod stats;
 pub use balance::{FeedbackPartitioner, TrendMode};
 pub use cost::{Cost, CostModel};
 pub use executor::{ExecMode, Executor, StageTiming};
-pub use pool::WorkerPool;
+pub use fault::{panic_message, FaultPlan, InjectedFault};
+pub use pool::{JobPanic, WorkerPool};
 pub use proc::ProcId;
 pub use schedule::{Block, BlockSchedule};
 pub use stats::{OverheadBreakdown, OverheadKind, PhaseSeconds, StageStats};

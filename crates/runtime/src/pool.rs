@@ -27,18 +27,24 @@
 //!   `&'static`). This is sound because [`WorkerPool::run`] blocks until
 //!   `active == 0`, i.e. until no worker can touch the closure again, so
 //!   the erased borrow strictly outlives every use.
-//! * A panicking task marks the job poisoned (remaining indices are
-//!   claimed but skipped), the payload is stashed, and the submitter
-//!   re-raises it with `resume_unwind`. The pool itself stays usable.
+//! * Task panics are *contained*: a panicking task never takes down a
+//!   worker or the job. Every remaining index still executes (other
+//!   tasks are independent speculative work whose results the caller
+//!   may commit), and the panic of the lowest index is recorded in the
+//!   job. [`WorkerPool::try_run`] hands it back as a [`JobPanic`];
+//!   [`WorkerPool::run`] re-raises it with `resume_unwind`. Either way
+//!   the panic slot dies with the job, so the pool stays usable and the
+//!   next job starts clean.
 //!
 //! [`WorkerPool::shared`] memoizes pools by width in a process-global
 //! map so independent engines (and restarted runs) reuse the same OS
 //! threads instead of re-spawning.
 
+use crate::fault::panic_message;
 use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A raw pointer that may be shared across the pool's workers.
@@ -122,6 +128,28 @@ impl IndexDeque {
 #[derive(Clone, Copy)]
 struct TaskRef(&'static (dyn Fn(usize) + Sync));
 
+/// A contained task panic: which index panicked (the lowest, when
+/// several did) and the original unwind payload.
+pub struct JobPanic {
+    /// The lowest task index that panicked.
+    pub index: usize,
+    /// The panic payload of that task.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl JobPanic {
+    /// The payload rendered as a human-readable message.
+    pub fn message(&self) -> String {
+        panic_message(self.payload.as_ref())
+    }
+}
+
+impl std::fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JobPanic(index={}, {})", self.index, self.message())
+    }
+}
+
 /// One submitted parallel-for.
 struct Job {
     task: TaskRef,
@@ -129,20 +157,19 @@ struct Job {
     /// Workers that have not yet finished this job. The submitter is
     /// released when this hits zero.
     active: AtomicUsize,
-    /// Set on the first task panic; later indices are claimed but
-    /// skipped so the job still drains promptly.
-    panicked: AtomicBool,
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The lowest-index task panic, if any. Every index still executes
+    /// after a panic — tasks are independent, and the caller decides
+    /// what to do with the surviving results.
+    panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
 }
 
 impl Job {
     fn exec(&self, i: usize) {
-        if self.panicked.load(Ordering::Relaxed) {
-            return;
-        }
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.task.0)(i))) {
-            if !self.panicked.swap(true, Ordering::SeqCst) {
-                *self.panic.lock().unwrap() = Some(payload);
+            let mut slot = self.panic.lock().unwrap();
+            match &*slot {
+                Some((idx, _)) if *idx <= i => {}
+                _ => *slot = Some((i, payload)),
             }
         }
     }
@@ -249,11 +276,24 @@ impl WorkerPool {
     }
 
     /// Run `f(i)` for every `i in 0..n` across the pool and block until
-    /// all calls finish. Panics from tasks are re-raised here. Jobs are
+    /// all calls finish. Panics from tasks are re-raised here (the
+    /// lowest-index panic when several tasks panicked). Jobs are
     /// serialized; concurrent submitters queue.
     pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if let Err(p) = self.try_run(n, f) {
+            resume_unwind(p.payload);
+        }
+    }
+
+    /// Like [`WorkerPool::run`], but a task panic is *contained* and
+    /// returned as `Err(JobPanic)` instead of re-raised. Every index
+    /// still executes (panicked tasks excepted); the reported panic is
+    /// the one with the lowest index. The pool stays fully usable
+    /// either way — the panic slot lives in the job, which is dropped
+    /// here, so the next submission starts clean.
+    pub fn try_run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), JobPanic> {
         if n == 0 {
-            return;
+            return Ok(());
         }
         assert!(n <= u32::MAX as usize, "pool job too large");
         // SAFETY: we do not return until `active == 0`, i.e. until every
@@ -269,7 +309,6 @@ impl WorkerPool {
             task: TaskRef(task),
             deques,
             active: AtomicUsize::new(w),
-            panicked: AtomicBool::new(false),
             panic: Mutex::new(None),
         });
 
@@ -291,30 +330,45 @@ impl WorkerPool {
             }
         }
 
-        if job.panicked.load(Ordering::SeqCst) {
-            if let Some(payload) = job.panic.lock().unwrap().take() {
-                resume_unwind(payload);
-            }
+        let taken = job.panic.lock().unwrap().take();
+        match taken {
+            Some((index, payload)) => Err(JobPanic { index, payload }),
+            None => Ok(()),
         }
     }
 
     /// Run `f(i)` for every `i in 0..n` and collect the results in index
-    /// order.
+    /// order. Task panics are re-raised.
     pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match self.try_run_indexed(n, f) {
+            Ok(out) => out,
+            Err(p) => resume_unwind(p.payload),
+        }
+    }
+
+    /// Like [`WorkerPool::run_indexed`], but a task panic is contained
+    /// and returned as `Err(JobPanic)`; the surviving results are
+    /// discarded (the caller cannot know which slots are valid).
+    pub fn try_run_indexed<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, JobPanic>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let slots = SendPtr::new(out.as_mut_ptr());
-        self.run(n, &|i| {
+        self.try_run(n, &|i| {
             // SAFETY: task indices are distinct and each writes only its
             // own slot, so the derived &mut is exclusive.
             unsafe { *slots.get().add(i) = Some(f(i)) };
-        });
-        out.into_iter()
+        })?;
+        Ok(out
+            .into_iter()
             .map(|slot| slot.expect("pool task did not run"))
-            .collect()
+            .collect())
     }
 }
 
@@ -434,7 +488,7 @@ mod tests {
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run(8, &|i| {
                 if i == 3 {
-                    panic!("boom at {i}");
+                    std::panic::resume_unwind(Box::new("boom at 3"));
                 }
             });
         }));
@@ -445,6 +499,71 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn try_run_contains_panics_and_runs_every_other_index() {
+        let pool = WorkerPool::new(3);
+        let done = AtomicUsize::new(0);
+        let err = pool
+            .try_run(16, &|i| {
+                if i == 5 || i == 11 {
+                    std::panic::resume_unwind(Box::new(format!("boom at {i}")));
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect_err("two tasks panicked");
+        assert_eq!(err.index, 5, "the lowest panicking index is reported");
+        assert_eq!(err.message(), "boom at 5");
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            14,
+            "all non-panicking indices still execute"
+        );
+    }
+
+    #[test]
+    fn try_run_indexed_reports_the_panic() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run_indexed(6, |i| {
+                if i == 2 {
+                    std::panic::resume_unwind(Box::new("idx"));
+                }
+                i * 2
+            })
+            .expect_err("task 2 panicked");
+        assert_eq!(err.index, 2);
+        assert_eq!(pool.try_run_indexed(6, |i| i * 2).unwrap()[5], 10);
+    }
+
+    #[test]
+    fn back_to_back_panicking_and_clean_jobs_share_one_pool() {
+        // Regression: after a job panics, the pool must stay usable and
+        // the panic slot must be clear for the next job — alternating
+        // panicking and clean jobs on the same shared pool never
+        // cross-contaminate.
+        let pool = WorkerPool::shared(3);
+        for round in 0..20 {
+            let err = pool
+                .try_run(9, &|i| {
+                    if i == round % 9 {
+                        std::panic::resume_unwind(Box::new(format!("round {round}")));
+                    }
+                })
+                .expect_err("one task panics every round");
+            assert_eq!(err.index, round % 9);
+            assert_eq!(err.message(), format!("round {round}"));
+
+            // The very next job on the same pool is clean: no stale
+            // panic slot, all indices run.
+            let done = AtomicUsize::new(0);
+            pool.try_run(9, &|_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("clean job after a panicking one");
+            assert_eq!(done.load(Ordering::Relaxed), 9);
+        }
     }
 
     #[test]

@@ -150,6 +150,9 @@ pub struct StageStats {
     /// Wall-clock per-phase breakdown (all `0.0` under the simulated
     /// executor).
     pub phases: PhaseSeconds,
+    /// Number of panics contained by this stage (recorded as
+    /// speculation faults of their block, like a dependence arc).
+    pub contained_faults: usize,
 }
 
 impl StageStats {

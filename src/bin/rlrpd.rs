@@ -6,18 +6,20 @@
 //!                      [--checkpoint eager|ondemand]
 //!                      [--balance even|feedback|trend]
 //!                      [--threads|--pooled] [--timeline] [--report] [--runs K]
+//!                      [--fault-seed S] [--watchdog F] [--max-restarts R]
 //! rlrpd classify <file.rlp>
 //! rlrpd fmt <file.rlp>
 //! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
 //! rlrpd model [n] [p] [omega] [ell] [sync] [alpha]
 //! ```
 
-use rlrpd::core::{AdaptRule, Timeline};
+use rlrpd::core::{AdaptRule, FallbackPolicy, FaultPlan, Timeline};
 use rlrpd::{
     extract_ddg, run_sequential, BalancePolicy, CheckpointPolicy, ExecMode, RunConfig, Runner,
     Strategy, WindowConfig,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +35,8 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage:\n  rlrpd run <file.rlp> [--procs N] [--strategy nrd|rd|adaptive|sw:W] \
      [--checkpoint eager|ondemand] [--balance even|feedback|trend] [--threads|--pooled] \
-     [--timeline] [--report] [--runs K]\n  rlrpd classify <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
+     [--timeline] [--report] [--runs K] [--fault-seed S] [--watchdog F] \
+     [--max-restarts R]\n  rlrpd classify <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
         .into()
 }
@@ -72,6 +75,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--window",
     "--save",
     "--runs",
+    "--fault-seed",
+    "--watchdog",
+    "--max-restarts",
 ];
 
 fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
@@ -112,6 +118,25 @@ impl Flags {
             None => Ok(default),
             Some(v) => v
                 .parse()
+                .map_err(|_| format!("{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn f64_of(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} expects a number, got '{v}'")),
+        }
+    }
+
+    fn u64_opt(&self, name: &str) -> Result<Option<u64>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
                 .map_err(|_| format!("{name} expects an integer, got '{v}'")),
         }
     }
@@ -161,11 +186,15 @@ fn config(flags: &Flags) -> Result<RunConfig, String> {
     } else {
         ExecMode::Simulated
     };
+    let fallback = FallbackPolicy::default()
+        .with_max_restarts(flags.usize_of("--max-restarts", usize::MAX)?)
+        .with_watchdog(flags.f64_of("--watchdog", f64::INFINITY)?);
     Ok(RunConfig::new(p)
         .with_strategy(strategy)
         .with_checkpoint(checkpoint)
         .with_balance(balance)
-        .with_exec(exec))
+        .with_exec(exec)
+        .with_fallback(fallback))
 }
 
 fn cmd_run(args: Vec<String>) -> Result<(), String> {
@@ -186,17 +215,35 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
         // history across --runs instantiations.
         let lp = prog.loop_view(0, initial_state(&prog));
         let mut runner = Runner::new(cfg);
+        if let Some(seed) = flags.u64_opt("--fault-seed")? {
+            // Transient (one-shot) injected fault: the containment
+            // layer recovers and the run must still verify below.
+            use rlrpd::core::SpecLoop;
+            let plan = FaultPlan::seeded_panic(seed, lp.num_iters());
+            println!("fault injection: seed {seed} -> {plan}");
+            runner = runner.with_fault(Arc::new(plan));
+        }
         let mut last = None;
         for k in 0..runs {
-            let res = runner.run(&lp);
+            let res = runner.try_run(&lp).map_err(|e| e.to_string())?;
+            let faults = res.report.contained_faults();
             println!(
-                "run {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}",
+                "run {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}{}{}",
                 res.report.stages.len(),
                 res.report.restarts,
                 res.report.pr(),
                 res.report.speedup(),
                 match res.report.exited_at {
                     Some(e) => format!(", exited at iteration {e}"),
+                    None => String::new(),
+                },
+                if faults > 0 {
+                    format!(", contained faults = {faults}")
+                } else {
+                    String::new()
+                },
+                match res.report.fallback {
+                    Some(r) => format!(", fell back to sequential ({r:?})"),
                     None => String::new(),
                 }
             );
