@@ -24,8 +24,9 @@
 
 use crate::analysis::DepArc;
 use crate::checkpoint::CheckpointPolicy;
-use crate::engine::{Engine, EngineCfg};
+use crate::engine::{Engine, EngineCfg, StageDelta};
 use crate::error::RlrpdError;
+use crate::journal::{self, Journal, JournalElem, JournalError, JournalHeader, JournalSink};
 use crate::report::{PrAccumulator, RunReport};
 use crate::spec_loop::SpecLoop;
 use crate::value::Value;
@@ -232,6 +233,7 @@ impl RunConfig {
             checkpoint: self.checkpoint,
             commit_prefix_on_failure: true,
             fault: None,
+            capture_deltas: false,
         }
     }
 }
@@ -320,24 +322,157 @@ impl Runner {
     /// the loop itself is faulty ([`RlrpdError::ProgramFault`]) or the
     /// run hit its hard stage cap.
     pub fn try_run<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> Result<RunResult<T>, RlrpdError> {
-        let result = match self.cfg.strategy {
-            Strategy::SlidingWindow(wcfg) => {
-                let mut engine = Engine::new(lp, self.engine_cfg(), false);
-                let (report, arcs) = window::run_window(&mut engine, &self.cfg, wcfg, |_| {})?;
-                self.finish(engine, report, arcs)
-            }
-            _ => self.run_recursive(lp)?,
-        };
+        let mut engine = Engine::new(lp, self.engine_cfg(), false);
+        let (report, arcs) = self.drive(&mut engine, 0, &mut None)?;
+        let result = self.finish(&mut engine, report, arcs);
         self.pr.add(&result.report);
         Ok(result)
     }
 
-    fn run_recursive<T: Value>(
+    /// Execute one instantiation of `lp` speculatively, recording every
+    /// stage commit in `journal` (which must be freshly created — resume
+    /// an interrupted journal with [`Runner::resume`] instead).
+    ///
+    /// Appends are write-ahead: each commit record is fsynced before
+    /// the run advances past its commit point, so after a crash at any
+    /// moment the journal holds a consistent run prefix and
+    /// [`Runner::resume`] completes the run with final arrays
+    /// byte-identical to an uninterrupted execution.
+    pub fn try_run_journaled<T: Value + JournalElem>(
         &mut self,
         lp: &dyn SpecLoop<T>,
+        journal: &mut Journal,
     ) -> Result<RunResult<T>, RlrpdError> {
+        if !journal.is_empty() {
+            return Err(JournalError::NotEmpty.into());
+        }
+        let mut ecfg = self.engine_cfg();
+        ecfg.capture_deltas = true;
+        let mut engine = Engine::new(lp, ecfg, false);
+        let header = self.journal_header_for(&engine);
+        journal.set_fault(self.fault.clone());
+        journal.append_header(&header).map_err(RlrpdError::from)?;
+        let mut sink = Some(JournalSink::new(journal));
+        let (report, arcs) = self.drive(&mut engine, 0, &mut sink)?;
+        let result = self.finish(&mut engine, report, arcs);
+        self.pr.add(&result.report);
+        Ok(result)
+    }
+
+    /// Resume an interrupted journaled run of `lp`: validate the
+    /// journal's header against this configuration, replay the
+    /// committed deltas to reconstruct the shared arrays exactly as
+    /// they stood at the last durable commit point, and continue
+    /// speculation from the frontier (appending further records to the
+    /// same journal). A journal whose last record already completes the
+    /// run returns the final arrays without executing anything.
+    ///
+    /// The checkpoint policy is *not* part of the journal's identity: a
+    /// run recorded under [`CheckpointPolicy::Eager`] resumes under
+    /// [`CheckpointPolicy::OnDemand`] and vice versa (commit deltas are
+    /// policy-independent). Everything else — loop shape, array layout,
+    /// element type, strategy, processor count — must match, or the
+    /// resume is rejected with [`JournalError::Mismatch`].
+    pub fn resume<T: Value + JournalElem>(
+        &mut self,
+        lp: &dyn SpecLoop<T>,
+        journal: &mut Journal,
+    ) -> Result<RunResult<T>, RlrpdError> {
+        let mut ecfg = self.engine_cfg();
+        ecfg.capture_deltas = true;
+        let mut engine = Engine::new(lp, ecfg, false);
+        let recorded = journal.header().cloned().ok_or(JournalError::NoHeader)?;
+        let expected = self.journal_header_for(&engine);
+        if recorded != expected {
+            let message = if recorded.n != expected.n {
+                format!("iteration count {} != {}", recorded.n, expected.n)
+            } else if recorded.p != expected.p {
+                format!("processor count {} != {}", recorded.p, expected.p)
+            } else if recorded.strategy_hash != expected.strategy_hash {
+                "strategy fingerprint differs".into()
+            } else if recorded.elem_hash != expected.elem_hash {
+                "element type differs".into()
+            } else {
+                "array layout differs".into()
+            };
+            return Err(JournalError::Mismatch { message }.into());
+        }
+
+        // Replay every committed delta over the initial arrays: shared
+        // state becomes exactly the state at the recovered frontier
+        // (post-stage state = pre-stage state + delta, inductively).
+        let mut frontier = 0usize;
+        let mut exited = None;
+        let mut fell_back = false;
+        for rec in journal.commits() {
+            for (id, elems) in &rec.arrays {
+                let buf = engine.shared[*id as usize].as_mut_slice();
+                for &(elem, bits) in elems {
+                    buf[elem as usize] = T::from_bits(bits);
+                }
+            }
+            frontier = rec.frontier;
+            exited = rec.exited_at;
+            fell_back = fell_back || rec.fallback;
+        }
+        engine.stage_ordinal = journal.commits().len();
+
+        let resumed_from = frontier;
+        let complete = fell_back || exited.is_some() || frontier >= engine.n;
+        let (mut report, arcs) = if complete {
+            let report = RunReport {
+                sequential_work: engine.sequential_work(),
+                exited_at: exited,
+                ..Default::default()
+            };
+            (report, Vec::new())
+        } else {
+            journal.set_fault(self.fault.clone());
+            let mut sink = Some(JournalSink::new(journal));
+            self.drive(&mut engine, frontier, &mut sink)?
+        };
+        report.resumed_at = Some(resumed_from);
+        let result = self.finish(&mut engine, report, arcs);
+        self.pr.add(&result.report);
+        Ok(result)
+    }
+
+    /// The journal header describing this (loop, configuration) pair.
+    fn journal_header_for<T: Value + JournalElem>(&self, engine: &Engine<'_, T>) -> JournalHeader {
+        JournalHeader {
+            n: engine.n,
+            p: self.cfg.p,
+            strategy_hash: journal::strategy_fingerprint(&self.cfg.strategy, self.cfg.p),
+            elem_hash: journal::elem_fingerprint::<T>(),
+            arrays: engine.layout(),
+        }
+    }
+
+    /// Drive `engine` from iteration `start` to completion under the
+    /// configured strategy, journaling every commit when a sink is
+    /// attached.
+    fn drive<T: Value>(
+        &mut self,
+        engine: &mut Engine<'_, T>,
+        start: usize,
+        journal: &mut Option<JournalSink<'_, T>>,
+    ) -> Result<(RunReport, Vec<DepArc>), RlrpdError> {
+        match self.cfg.strategy {
+            Strategy::SlidingWindow(wcfg) => {
+                let cfg = self.cfg;
+                window::run_window(engine, &cfg, wcfg, start, journal, |_| {})
+            }
+            _ => self.drive_recursive(engine, start, journal),
+        }
+    }
+
+    fn drive_recursive<T: Value>(
+        &mut self,
+        engine: &mut Engine<'_, T>,
+        start: usize,
+        journal: &mut Option<JournalSink<'_, T>>,
+    ) -> Result<(RunReport, Vec<DepArc>), RlrpdError> {
         let cfg = self.cfg;
-        let mut engine = Engine::new(lp, self.engine_cfg(), false);
         let n = engine.n;
         let mut report = RunReport {
             sequential_work: engine.sequential_work(),
@@ -345,11 +480,11 @@ impl Runner {
         };
         let mut arcs = Vec::new();
 
-        let mut schedule = self.cut(0..n, cfg.p);
+        let mut schedule = self.cut(start..n, cfg.p);
         // Redistribution cost to charge to the upcoming stage.
         let mut pending_redist: Option<usize> = None;
         // First uncommitted iteration (everything below it is final).
-        let mut commit_point = 0usize;
+        let mut commit_point = start;
         // Restart point of the last fault-bound stage: a second fault
         // binding at the same point means the faulting iteration re-ran
         // from sequential-equivalent state — a genuine program fault.
@@ -368,11 +503,12 @@ impl Runner {
                     // write, so the remainder can run directly from the
                     // commit point.
                     sequential_fallback(
-                        &mut engine,
+                        engine,
                         &cfg,
                         &mut report,
                         commit_point,
                         FallbackReason::CheckpointFault,
+                        journal,
                     )?;
                     break;
                 }
@@ -386,9 +522,24 @@ impl Runner {
             }
             arcs.extend(outcome.arcs);
             let violation = outcome.violation;
-            let restart = outcome.restart_iter;
             let exit = outcome.exit;
             let fault = outcome.fault;
+            // The frontier this stage's commit advanced to: everything
+            // below it is permanently correct.
+            let frontier = match (exit, violation) {
+                (Some(e), _) => e + 1,
+                (None, Some(_)) => {
+                    outcome
+                        .restart_iter
+                        .ok_or_else(|| RlrpdError::StageInvariant {
+                            message: "violation implies a restart point".into(),
+                        })?
+                }
+                (None, None) => n,
+            };
+            // Write-ahead: the commit record must be durable before the
+            // in-memory run advances past the commit point.
+            journal_stage(journal, &mut outcome.stats, frontier, exit, outcome.delta)?;
             report.stages.push(outcome.stats);
 
             // A trusted premature exit completes the loop: the prefix
@@ -399,9 +550,7 @@ impl Runner {
             }
             let Some(q) = violation else { break };
             report.restarts += 1;
-            let restart = restart.ok_or_else(|| RlrpdError::StageInvariant {
-                message: "violation implies a restart point".into(),
-            })?;
+            let restart = frontier;
             if let Some(f) = &fault {
                 // The fault bound the restart (no earlier dependence
                 // sink) and bound it at the same point as the previous
@@ -419,7 +568,7 @@ impl Runner {
                 }
             }
             if let Some(reason) = cfg.fallback.check(&report) {
-                sequential_fallback(&mut engine, &cfg, &mut report, restart, reason)?;
+                sequential_fallback(engine, &cfg, &mut report, restart, reason, journal)?;
                 break;
             }
             commit_point = restart;
@@ -448,12 +597,12 @@ impl Runner {
             };
         }
 
-        Ok(self.finish(engine, report, arcs))
+        Ok((report, arcs))
     }
 
     fn finish<T: Value>(
         &mut self,
-        mut engine: Engine<'_, T>,
+        engine: &mut Engine<'_, T>,
         mut report: RunReport,
         arcs: Vec<DepArc>,
     ) -> RunResult<T> {
@@ -495,6 +644,27 @@ pub fn try_run_speculative<T: Value>(
     Runner::new(cfg).try_run(lp)
 }
 
+/// Append one stage's commit record (write-ahead) when a journal sink
+/// is attached, folding the measured append time and bytes into the
+/// stage's statistics. `None` is the zero-cost no-journal path.
+pub(crate) fn journal_stage<T: Value>(
+    journal: &mut Option<JournalSink<'_, T>>,
+    stats: &mut StageStats,
+    frontier: usize,
+    exited_at: Option<usize>,
+    delta: Option<StageDelta<T>>,
+) -> Result<(), RlrpdError> {
+    let Some(sink) = journal else { return Ok(()) };
+    let delta = delta.ok_or_else(|| RlrpdError::StageInvariant {
+        message: "journaled stage captured no delta".into(),
+    })?;
+    let start = std::time::Instant::now();
+    let bytes = sink.append_stage(frontier, exited_at, false, delta)?;
+    stats.journal_seconds = start.elapsed().as_secs_f64();
+    stats.journal_bytes = bytes;
+    Ok(())
+}
+
 /// Execute the remainder `from..n` directly (sequentially) and account
 /// for it as one pseudo-stage, recording why speculation was abandoned.
 /// Shared by the recursive and sliding-window drivers.
@@ -504,6 +674,7 @@ pub(crate) fn sequential_fallback<T: Value>(
     report: &mut RunReport,
     from: usize,
     reason: FallbackReason,
+    journal: &mut Option<JournalSink<'_, T>>,
 ) -> Result<(), RlrpdError> {
     let n = engine.n;
     let (work, exited) = engine.run_direct(from..n)?;
@@ -517,6 +688,16 @@ pub(crate) fn sequential_fallback<T: Value>(
         ..Default::default()
     };
     seq.overhead.add(OverheadKind::Sync, cfg.cost.sync);
+    if let Some(sink) = journal {
+        // Direct writes are not delta-tracked: the fallback's record
+        // holds the full final state (rare and terminal, so O(array)
+        // is acceptable).
+        let start = std::time::Instant::now();
+        let frontier = exited.map_or(n, |e| e + 1);
+        let bytes = sink.append_stage(frontier, exited, true, engine.full_state_delta())?;
+        seq.journal_seconds = start.elapsed().as_secs_f64();
+        seq.journal_bytes = bytes;
+    }
     report.stages.push(seq);
     report.fallback = Some(reason);
     if exited.is_some() {

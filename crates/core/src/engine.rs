@@ -45,6 +45,10 @@ pub struct EngineCfg {
     /// Deterministic fault-injection plan, if any. `None` is the
     /// zero-cost fast path: no per-iteration injection checks run.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Capture an O(touched) [`StageDelta`] of every stage's committed
+    /// writes (the crash journal's payload). `false` skips all capture
+    /// work — the no-journal path.
+    pub capture_deltas: bool,
 }
 
 /// Per-block (per-processor) speculative state for one stage.
@@ -70,6 +74,22 @@ pub(crate) struct CommittedBlockMarks {
     pub marks: Vec<IterMarks>,
 }
 
+/// What one stage's commit changed in shared storage, O(touched):
+/// per touched array, the sorted `(element, committed value)` pairs.
+///
+/// Tested-array entries are the elements the commit phase wrote or
+/// reduction-folded; untested-array entries are the elements the
+/// *committed* blocks wrote in place (failed blocks' writes were
+/// restored and are absent). Replaying every stage's delta over the
+/// initial arrays reproduces the shared state at the commit frontier
+/// exactly — the invariant the crash journal rests on.
+#[derive(Debug, Default, PartialEq)]
+pub(crate) struct StageDelta<T> {
+    /// `(array declaration id, sorted (element, value) pairs)`, only
+    /// for arrays with at least one changed element.
+    pub arrays: Vec<(u32, Vec<(u32, T)>)>,
+}
+
 /// A panic contained inside one stage's speculative doall.
 ///
 /// The engine records the fault as a speculation failure of its block —
@@ -87,7 +107,7 @@ pub(crate) struct FaultEvent {
 }
 
 /// What one stage produced.
-pub(crate) struct StageOutcome {
+pub(crate) struct StageOutcome<T: Value> {
     /// Earliest dependence-sink block position, if the test failed.
     pub violation: Option<usize>,
     /// First iteration that must re-execute.
@@ -106,6 +126,9 @@ pub(crate) struct StageOutcome {
     /// `violation`; carried separately for fault accounting and
     /// genuine-fault detection).
     pub fault: Option<FaultEvent>,
+    /// Committed-write delta for the crash journal (`Some` iff
+    /// [`EngineCfg::capture_deltas`]).
+    pub delta: Option<StageDelta<T>>,
 }
 
 /// The speculative execution engine for one loop run.
@@ -228,7 +251,7 @@ impl<'l, T: Value> Engine<'l, T> {
     /// injected checkpoint fault (recoverable by the driver's
     /// sequential fallback, because it fires before any speculative
     /// write) or a violated internal invariant.
-    pub fn run_stage(&mut self, schedule: &BlockSchedule) -> Result<StageOutcome, RlrpdError> {
+    pub fn run_stage(&mut self, schedule: &BlockSchedule) -> Result<StageOutcome<T>, RlrpdError> {
         assert_eq!(schedule.num_blocks(), self.cfg.p, "one block per processor");
         let stage = self.stage_ordinal;
         self.stage_ordinal += 1;
@@ -554,6 +577,15 @@ impl<'l, T: Value> Engine<'l, T> {
             Vec::new()
         };
 
+        // 7.5 Journal delta capture — must run after commit/restore
+        // (values read from shared are final) and before the shadow
+        // clear below wipes the views and write-logs it walks.
+        let delta = if self.cfg.capture_deltas {
+            Some(self.capture_delta(commit_upto))
+        } else {
+            None
+        };
+
         // 8. Shadow re-initialization (O(touched) per block). Each
         // block clears only its own private state, so the clears run on
         // the stage executor — under the pooled mode they reuse the
@@ -595,7 +627,86 @@ impl<'l, T: Value> Engine<'l, T> {
             committed_marks,
             exit: exit.map(|(_, e)| e),
             fault,
+            delta,
         })
+    }
+
+    /// Assemble the committed-write delta of the stage that just ran:
+    /// for tested arrays, the elements the committing prefix's views
+    /// would write or reduction-fold (exactly the commit phase's
+    /// selection); for untested arrays, the elements the committed
+    /// blocks' write-logs flagged. Values are read back from shared
+    /// storage, so the delta is what actually landed — identical under
+    /// the eager and on-demand checkpoint policies, and O(touched).
+    fn capture_delta(&mut self, commit_upto: usize) -> StageDelta<T> {
+        use std::collections::BTreeSet;
+        let mut arrays: Vec<(u32, Vec<(u32, T)>)> = Vec::new();
+        for (slot, &id) in self.tested_ids.iter().enumerate() {
+            let mut elems: BTreeSet<usize> = BTreeSet::new();
+            for st in &self.states[..commit_upto] {
+                for (elem, mark) in st.views[slot].touched() {
+                    if mark.is_written() || mark.is_reduction_only() {
+                        elems.insert(elem);
+                    }
+                }
+            }
+            if !elems.is_empty() {
+                let buf = self.shared[id].as_slice();
+                arrays.push((
+                    id as u32,
+                    elems.iter().map(|&e| (e as u32, buf[e])).collect(),
+                ));
+            }
+        }
+        for (slot, &id) in self.untested_ids.iter().enumerate() {
+            let mut elems: BTreeSet<usize> = BTreeSet::new();
+            for st in &self.states[..commit_upto] {
+                elems.extend(st.wlog.written(slot));
+            }
+            if !elems.is_empty() {
+                let buf = self.shared[id].as_slice();
+                arrays.push((
+                    id as u32,
+                    elems.iter().map(|&e| (e as u32, buf[e])).collect(),
+                ));
+            }
+        }
+        arrays.sort_by_key(|&(id, _)| id);
+        StageDelta { arrays }
+    }
+
+    /// A delta holding the complete current contents of every array —
+    /// the sequential fallback's journal record (its direct writes are
+    /// not tracked by write-logs, so O(array) is the honest capture;
+    /// fallback is rare and terminal).
+    pub(crate) fn full_state_delta(&mut self) -> StageDelta<T> {
+        let arrays = (0..self.shared.len())
+            .map(|id| {
+                let buf = self.shared[id].as_slice();
+                (
+                    id as u32,
+                    buf.iter()
+                        .enumerate()
+                        .map(|(e, &v)| (e as u32, v))
+                        .collect(),
+                )
+            })
+            .collect();
+        StageDelta { arrays }
+    }
+
+    /// Per declared array, in declaration order: `(size, is_tested)` —
+    /// the journal header's layout fingerprint.
+    pub(crate) fn layout(&self) -> Vec<(u64, bool)> {
+        let mut tested = vec![false; self.shared.len()];
+        for &id in &self.tested_ids {
+            tested[id] = true;
+        }
+        self.shared
+            .iter()
+            .zip(tested)
+            .map(|(buf, t)| (buf.len() as u64, t))
+            .collect()
     }
 
     /// Execute `range` directly (no speculation) against the engine's

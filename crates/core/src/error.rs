@@ -52,6 +52,22 @@ pub enum RlrpdError {
         /// The configured cap.
         max_stages: usize,
     },
+    /// The crash journal failed — an append could not be made durable
+    /// (the run aborts exactly as a crash would, resumable from the
+    /// last durable record), or a resume was attempted against a
+    /// mismatched or unrecoverable journal.
+    Journal {
+        /// The rendered [`crate::JournalError`].
+        message: String,
+    },
+}
+
+impl From<crate::journal::JournalError> for RlrpdError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        RlrpdError::Journal {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for RlrpdError {
@@ -68,6 +84,9 @@ impl std::fmt::Display for RlrpdError {
             }
             RlrpdError::StageLimit { max_stages } => {
                 write!(f, "run exceeded max_stages = {max_stages}")
+            }
+            RlrpdError::Journal { message } => {
+                write!(f, "journal failure: {message}")
             }
         }
     }

@@ -66,6 +66,7 @@ pub mod error;
 pub mod flags;
 pub mod induction;
 pub mod inspector;
+pub mod journal;
 pub mod lrpd;
 pub mod persist;
 pub mod predictor;
@@ -90,6 +91,7 @@ pub use engine::run_sequential;
 pub use error::RlrpdError;
 pub use induction::{run_induction, IndCtx, InductionLoop, InductionResult};
 pub use inspector::{run_inspector_executor, AccessTrace, Inspectable, InspectorResult};
+pub use journal::{CommitRecord, Journal, JournalElem, JournalError, JournalHeader};
 pub use lrpd::{run_classic_lrpd, try_run_classic_lrpd};
 pub use persist::PersistError;
 pub use predictor::{PredictiveRunner, StrategyPredictor};

@@ -21,6 +21,10 @@ const MAGIC: &[u8; 4] = b"RLPD";
 const VERSION: u32 = 1;
 const KIND_GRAPH: u8 = 1;
 const KIND_SCHEDULE: u8 = 2;
+/// Crash-journal header record (first record of a journal file).
+pub(crate) const KIND_JOURNAL_HEADER: u8 = 3;
+/// Crash-journal per-stage commit record.
+pub(crate) const KIND_JOURNAL_COMMIT: u8 = 4;
 
 /// Errors from decoding a persisted artifact.
 #[derive(Debug, PartialEq, Eq)]
@@ -53,12 +57,12 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-struct Writer {
+pub(crate) struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new(kind: u8) -> Self {
+    pub(crate) fn new(kind: u8) -> Self {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&VERSION.to_le_bytes());
@@ -66,11 +70,11 @@ impl Writer {
         Writer { buf }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -82,20 +86,20 @@ impl Writer {
         }
     }
 
-    fn finish(mut self) -> Vec<u8> {
+    pub(crate) fn finish(mut self) -> Vec<u8> {
         let sum = fnv(&self.buf);
         self.u64(sum);
         self.buf
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn open(buf: &'a [u8], kind: u8) -> Result<Self, PersistError> {
+    pub(crate) fn open(buf: &'a [u8], kind: u8) -> Result<Self, PersistError> {
         if buf.len() < 4 + 4 + 1 + 8 || &buf[..4] != MAGIC {
             return Err(PersistError::NotAnArtifact);
         }
@@ -117,18 +121,24 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
         let end = self.pos.checked_add(8).ok_or(PersistError::Corrupt)?;
         let bytes = self.buf.get(self.pos..end).ok_or(PersistError::Corrupt)?;
         self.pos = end;
         Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32, PersistError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
         let end = self.pos.checked_add(4).ok_or(PersistError::Corrupt)?;
         let bytes = self.buf.get(self.pos..end).ok_or(PersistError::Corrupt)?;
         self.pos = end;
         Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Remaining unread bytes of the payload (sanity caps for
+    /// corrupted length fields).
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
     }
 
     fn edges(&mut self) -> Result<Vec<(u32, u32)>, PersistError> {
@@ -146,7 +156,7 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
-    fn done(&self) -> Result<(), PersistError> {
+    pub(crate) fn done(&self) -> Result<(), PersistError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -155,7 +165,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn fnv(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -227,6 +237,37 @@ impl WavefrontSchedule {
         }
         r.done()?;
         Ok(WavefrontSchedule::from_levels(levels))
+    }
+}
+
+/// Exhaustive decode-hardening harness: decoding **every** prefix
+/// truncation (0..len bytes) and **every** single-byte corruption (all
+/// 255 non-identity values at every offset) of a valid artifact must
+/// return an error — never panic, and never succeed on mangled input.
+/// Shared by the artifact tests below and the journal-record tests.
+#[cfg(test)]
+pub(crate) fn assert_decode_hardened<T, E: std::fmt::Debug>(
+    bytes: &[u8],
+    decode: impl Fn(&[u8]) -> Result<T, E>,
+) {
+    assert!(decode(bytes).is_ok(), "harness needs a valid artifact");
+    for cut in 0..bytes.len() {
+        assert!(
+            decode(&bytes[..cut]).is_err(),
+            "truncation to {cut} of {} bytes decoded successfully",
+            bytes.len()
+        );
+    }
+    let mut mangled = bytes.to_vec();
+    for pos in 0..bytes.len() {
+        for flip in 1..=255u8 {
+            mangled[pos] = bytes[pos] ^ flip;
+            assert!(
+                decode(&mangled).is_err(),
+                "corrupting byte {pos} with ^{flip:#04x} decoded successfully"
+            );
+        }
+        mangled[pos] = bytes[pos];
     }
 }
 
@@ -310,6 +351,17 @@ mod tests {
             DepGraph::from_bytes(b"NOPEnope"),
             Err(PersistError::NotAnArtifact)
         ));
+    }
+
+    #[test]
+    fn graph_decoding_survives_every_truncation_and_corruption() {
+        assert_decode_hardened(&graph().to_bytes(), DepGraph::from_bytes);
+    }
+
+    #[test]
+    fn schedule_decoding_survives_every_truncation_and_corruption() {
+        let s = WavefrontSchedule::from_graph(&graph());
+        assert_decode_hardened(&s.to_bytes(), WavefrontSchedule::from_bytes);
     }
 
     #[test]

@@ -211,6 +211,7 @@ mod tests {
             wall_seconds: 0.0,
             exited_at: None,
             fallback: None,
+            resumed_at: None,
         }
     }
 

@@ -22,6 +22,10 @@ pub struct RunReport {
     /// Why (and whether) the driver abandoned speculation and finished
     /// the remainder with direct sequential execution.
     pub fallback: Option<FallbackReason>,
+    /// Commit frontier this run was resumed from (crash-journal
+    /// recovery); `None` for a run started from iteration 0. The
+    /// `stages` series covers only the post-resume stages.
+    pub resumed_at: Option<usize>,
 }
 
 impl RunReport {
@@ -61,6 +65,18 @@ impl RunReport {
         self.stages.iter().map(|s| s.contained_faults).sum()
     }
 
+    /// Wall-clock seconds spent appending crash-journal records across
+    /// all stages (0.0 for an unjournaled run).
+    pub fn journal_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.journal_seconds).sum()
+    }
+
+    /// Bytes appended to the crash journal across all stages (0 for an
+    /// unjournaled run).
+    pub fn journal_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.journal_bytes).sum()
+    }
+
     /// Wall-clock per-phase totals across all stages (all zero when the
     /// run used the simulated executor).
     pub fn phase_totals(&self) -> PhaseSeconds {
@@ -87,12 +103,24 @@ impl std::fmt::Display for RunReport {
             },
             self.pr()
         )?;
+        if let Some(from) = self.resumed_at {
+            writeln!(f, "resumed from journal at iteration {from}")?;
+        }
         let faults = self.contained_faults();
         if faults > 0 {
             writeln!(f, "contained faults: {faults}")?;
         }
         if let Some(reason) = self.fallback {
             writeln!(f, "fell back to sequential execution: {reason:?}")?;
+        }
+        let jbytes = self.journal_bytes();
+        if jbytes > 0 {
+            writeln!(
+                f,
+                "journal: {jbytes} bytes in {} records, {:.4}s append time",
+                self.stages.iter().filter(|s| s.journal_bytes > 0).count(),
+                self.journal_seconds()
+            )?;
         }
         writeln!(
             f,
@@ -182,6 +210,7 @@ mod tests {
             wall_seconds: 0.0,
             exited_at: None,
             fallback: None,
+            resumed_at: None,
         };
         assert_eq!(r.virtual_time(), 17.0);
         assert!((r.speedup() - 30.0 / 17.0).abs() < 1e-12);
@@ -197,6 +226,7 @@ mod tests {
             wall_seconds: 0.0,
             exited_at: None,
             fallback: None,
+            resumed_at: None,
         };
         assert_eq!(r.pr(), 1.0);
     }
@@ -226,6 +256,7 @@ mod tests {
             wall_seconds: 0.0,
             exited_at: Some(5),
             fallback: None,
+            resumed_at: None,
         };
         let text = r.to_string();
         assert!(text.contains("stages: 1"), "{text}");

@@ -16,9 +16,10 @@
 //! ([`WindowPolicy`]).
 
 use crate::analysis::DepArc;
-use crate::driver::{sequential_fallback, FallbackReason, RunConfig};
+use crate::driver::{journal_stage, sequential_fallback, FallbackReason, RunConfig};
 use crate::engine::{CommittedBlockMarks, Engine};
 use crate::error::RlrpdError;
+use crate::journal::JournalSink;
 use crate::report::RunReport;
 use crate::value::Value;
 use rlrpd_runtime::BlockSchedule;
@@ -73,13 +74,18 @@ impl WindowConfig {
     }
 }
 
-/// Drive `engine` with the sliding-window strategy. `on_commit`
-/// receives every stage's committed per-iteration marks (used by DDG
-/// extraction; pass a no-op otherwise).
+/// Drive `engine` with the sliding-window strategy, starting at
+/// iteration `start` (everything below it is already committed — 0 for
+/// a fresh run, the recovered frontier for a journal resume).
+/// `on_commit` receives every stage's committed per-iteration marks
+/// (used by DDG extraction; pass a no-op otherwise); `journal` receives
+/// every stage's commit record when a sink is attached.
 pub(crate) fn run_window<T: Value>(
     engine: &mut Engine<'_, T>,
     cfg: &RunConfig,
     wcfg: WindowConfig,
+    start: usize,
+    journal: &mut Option<JournalSink<'_, T>>,
     mut on_commit: impl FnMut(&[CommittedBlockMarks]),
 ) -> Result<(RunReport, Vec<DepArc>), RlrpdError> {
     let n = engine.n;
@@ -91,7 +97,7 @@ pub(crate) fn run_window<T: Value>(
     let mut arcs = Vec::new();
 
     let mut w = wcfg.iters_per_proc.max(1);
-    let mut commit_point = 0usize;
+    let mut commit_point = start;
     let mut rotation = 0usize;
     // Restart point of the last fault-bound window (genuine-fault
     // detection; see the recursive driver).
@@ -111,7 +117,7 @@ pub(crate) fn run_window<T: Value>(
             BlockSchedule::even(window, p)
         };
 
-        let outcome = match engine.run_stage(&schedule) {
+        let mut outcome = match engine.run_stage(&schedule) {
             Ok(o) => o,
             Err(RlrpdError::CheckpointFault { .. }) => {
                 // Fired before any speculative write: finish the
@@ -122,16 +128,18 @@ pub(crate) fn run_window<T: Value>(
                     &mut report,
                     commit_point,
                     FallbackReason::CheckpointFault,
+                    journal,
                 )?;
                 break;
             }
             Err(e) => return Err(e),
         };
         on_commit(&outcome.committed_marks);
-        arcs.extend(outcome.arcs);
+        arcs.extend(std::mem::take(&mut outcome.arcs));
 
         if let Some(e) = outcome.exit {
             // Trusted premature exit: the loop is complete.
+            journal_stage(journal, &mut outcome.stats, e + 1, Some(e), outcome.delta)?;
             report.exited_at = Some(e);
             report.stages.push(outcome.stats);
             break;
@@ -169,10 +177,20 @@ pub(crate) fn run_window<T: Value>(
                 w = adapt(w, wcfg.policy);
             }
         }
+        // Write-ahead: this window's commit becomes durable before the
+        // run advances past it (the frontier is the updated commit
+        // point in both the committed and the failed case).
+        journal_stage(
+            journal,
+            &mut outcome.stats,
+            commit_point,
+            None,
+            outcome.delta,
+        )?;
         report.stages.push(outcome.stats);
         if commit_point < n {
             if let Some(reason) = cfg.fallback.check(&report) {
-                sequential_fallback(engine, cfg, &mut report, commit_point, reason)?;
+                sequential_fallback(engine, cfg, &mut report, commit_point, reason, journal)?;
                 break;
             }
         }

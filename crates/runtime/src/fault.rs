@@ -15,7 +15,13 @@
 //! * a **checkpoint fault** at a stage ordinal: the engine's
 //!   checkpoint phase reports failure at the start of that stage
 //!   (before any speculative write), modelling an I/O or allocation
-//!   error in the checkpoint machinery.
+//!   error in the checkpoint machinery;
+//! * **journal I/O faults** at a journal-record ordinal: a *short
+//!   write* (the record is torn after a byte prefix and the run aborts,
+//!   modelling a crash mid-append), a *silent corruption* (one payload
+//!   byte is flipped as the record lands on disk, modelling media
+//!   corruption the next open must detect and truncate), and an
+//!   *fsync failure* (the durability barrier itself reports an error).
 //!
 //! Injected panics and checkpoint faults are **one-shot**: each site
 //! fires at most once per plan, modelling transient faults so the
@@ -107,6 +113,13 @@ pub struct FaultPlan {
     panics: Vec<Site>,
     delays: Vec<(u32, u32, f64)>,
     checkpoint_faults: Vec<Site>,
+    /// `(site keyed by record ordinal, bytes to keep)` — the append of
+    /// that journal record is torn after `keep` bytes.
+    io_short_writes: Vec<(Site, u32)>,
+    /// Record ordinals whose payload is silently corrupted on append.
+    io_corrupts: Vec<Site>,
+    /// Record ordinals whose durability barrier (fsync) fails.
+    io_fsync_fails: Vec<Site>,
 }
 
 impl FaultPlan {
@@ -145,6 +158,33 @@ impl FaultPlan {
         self
     }
 
+    /// Tear the append of journal record ordinal `record` (0-based over
+    /// the journal's lifetime, header included) after `keep` bytes,
+    /// one-shot. The append reports an I/O error after writing the
+    /// prefix, modelling a crash mid-write: the next open must truncate
+    /// the torn tail.
+    pub fn short_write_at(mut self, record: usize, keep: usize) -> Self {
+        self.io_short_writes
+            .push((Site::new(0, record), keep as u32));
+        self
+    }
+
+    /// Silently flip one byte of journal record ordinal `record` as it
+    /// lands on disk, one-shot. The append *succeeds* — the corruption
+    /// is only detectable by the checksum/chain validation on the next
+    /// open, which must truncate the record.
+    pub fn corrupt_record_at(mut self, record: usize) -> Self {
+        self.io_corrupts.push(Site::new(0, record));
+        self
+    }
+
+    /// Fail the fsync durability barrier after journal record ordinal
+    /// `record` is written, one-shot.
+    pub fn fsync_fail_at(mut self, record: usize) -> Self {
+        self.io_fsync_fails.push(Site::new(0, record));
+        self
+    }
+
     /// Derive a single-panic plan from `seed` for a loop of `n`
     /// iterations: the canonical "inject a panic into any one
     /// iteration" configuration of the containment acceptance suite,
@@ -159,7 +199,12 @@ impl FaultPlan {
 
     /// True when the plan has no sites at all (checks can be skipped).
     pub fn is_empty(&self) -> bool {
-        self.panics.is_empty() && self.delays.is_empty() && self.checkpoint_faults.is_empty()
+        self.panics.is_empty()
+            && self.delays.is_empty()
+            && self.checkpoint_faults.is_empty()
+            && self.io_short_writes.is_empty()
+            && self.io_corrupts.is_empty()
+            && self.io_fsync_fails.is_empty()
     }
 
     /// Should a panic fire for iteration `iter` on processor `proc`?
@@ -190,6 +235,34 @@ impl FaultPlan {
             .iter()
             .any(|s| s.iter as usize == stage && s.armed.swap(false, Ordering::Relaxed))
     }
+
+    /// Should the append of journal record ordinal `record` be torn?
+    /// Returns the byte count to keep, disarming the site (one-shot).
+    #[inline]
+    pub fn io_short_write(&self, record: usize) -> Option<usize> {
+        self.io_short_writes
+            .iter()
+            .find(|(s, _)| s.iter as usize == record && s.armed.swap(false, Ordering::Relaxed))
+            .map(|(_, keep)| *keep as usize)
+    }
+
+    /// Should journal record ordinal `record` be silently corrupted on
+    /// append? Disarms the site (one-shot).
+    #[inline]
+    pub fn io_corrupt(&self, record: usize) -> bool {
+        self.io_corrupts
+            .iter()
+            .any(|s| s.iter as usize == record && s.armed.swap(false, Ordering::Relaxed))
+    }
+
+    /// Should the fsync after journal record ordinal `record` fail?
+    /// Disarms the site (one-shot).
+    #[inline]
+    pub fn io_fsync_fail(&self, record: usize) -> bool {
+        self.io_fsync_fails
+            .iter()
+            .any(|s| s.iter as usize == record && s.armed.swap(false, Ordering::Relaxed))
+    }
 }
 
 impl std::fmt::Display for FaultPlan {
@@ -207,6 +280,15 @@ impl std::fmt::Display for FaultPlan {
         }
         for s in &self.checkpoint_faults {
             parts.push(format!("checkpoint-fault@stage {}", s.iter));
+        }
+        for (s, keep) in &self.io_short_writes {
+            parts.push(format!("short-write@record {} (keep {keep})", s.iter));
+        }
+        for s in &self.io_corrupts {
+            parts.push(format!("corrupt@record {}", s.iter));
+        }
+        for s in &self.io_fsync_fails {
+            parts.push(format!("fsync-fail@record {}", s.iter));
         }
         if parts.is_empty() {
             write!(f, "no faults")
@@ -298,6 +380,38 @@ mod tests {
     fn empty_plan_reports_empty() {
         assert!(FaultPlan::new().is_empty());
         assert!(!FaultPlan::new().panic_at(0, 0).is_empty());
+        assert!(!FaultPlan::new().short_write_at(0, 4).is_empty());
+        assert!(!FaultPlan::new().corrupt_record_at(0).is_empty());
+        assert!(!FaultPlan::new().fsync_fail_at(0).is_empty());
+    }
+
+    #[test]
+    fn io_faults_are_one_shot_and_keyed_by_record() {
+        let plan = FaultPlan::new()
+            .short_write_at(2, 11)
+            .corrupt_record_at(3)
+            .fsync_fail_at(4);
+        assert_eq!(plan.io_short_write(1), None);
+        assert_eq!(plan.io_short_write(2), Some(11));
+        assert_eq!(plan.io_short_write(2), None, "short-write is one-shot");
+        assert!(!plan.io_corrupt(2));
+        assert!(plan.io_corrupt(3));
+        assert!(!plan.io_corrupt(3), "corruption is one-shot");
+        assert!(!plan.io_fsync_fail(3));
+        assert!(plan.io_fsync_fail(4));
+        assert!(!plan.io_fsync_fail(4), "fsync failure is one-shot");
+    }
+
+    #[test]
+    fn io_faults_display() {
+        let plan = FaultPlan::new()
+            .short_write_at(1, 8)
+            .corrupt_record_at(2)
+            .fsync_fail_at(3);
+        let text = plan.to_string();
+        assert!(text.contains("short-write@record 1 (keep 8)"), "{text}");
+        assert!(text.contains("corrupt@record 2"), "{text}");
+        assert!(text.contains("fsync-fail@record 3"), "{text}");
     }
 
     #[test]

@@ -7,27 +7,97 @@
 //!                      [--balance even|feedback|trend]
 //!                      [--threads|--pooled] [--timeline] [--report] [--runs K]
 //!                      [--fault-seed S] [--watchdog F] [--max-restarts R]
+//!                      [--max-stages M] [--journal <path>] [--resume]
 //! rlrpd classify <file.rlp>
 //! rlrpd fmt <file.rlp>
 //! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
 //! rlrpd model [n] [p] [omega] [ell] [sync] [alpha]
 //! ```
+//!
+//! Exit codes:
+//!
+//! | code | meaning                                              |
+//! |------|------------------------------------------------------|
+//! |  0   | success                                              |
+//! |  1   | other failure (I/O, compile error, internal)         |
+//! |  2   | genuine program fault (the loop itself is faulty)    |
+//! |  3   | run exceeded its `--max-stages` cap                  |
+//! |  4   | crash-journal failure (corrupt, mismatched, or I/O)  |
+//! |  64  | usage error (unknown command, flag, or flag value)   |
 
 use rlrpd::core::{AdaptRule, FallbackPolicy, FaultPlan, Timeline};
 use rlrpd::{
-    extract_ddg, run_sequential, BalancePolicy, CheckpointPolicy, ExecMode, RunConfig, Runner,
-    Strategy, WindowConfig,
+    extract_ddg, run_sequential, BalancePolicy, CheckpointPolicy, ExecMode, Journal, RlrpdError,
+    RunConfig, Runner, Strategy, WindowConfig,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// A CLI failure, classified for the process exit code.
+enum CliError {
+    /// Bad invocation: unknown command, flag, or flag value (exit 64,
+    /// the BSD `EX_USAGE` convention).
+    Usage(String),
+    /// The program itself is faulty — the iteration re-fired from
+    /// sequential-equivalent state (exit 2).
+    Fault(String),
+    /// The run exceeded its hard stage cap (exit 3).
+    StageLimit(String),
+    /// Crash-journal failure: corrupt or mismatched journal, or a
+    /// journal append could not be made durable (exit 4).
+    Journal(String),
+    /// Everything else: I/O, compile errors, internal invariants
+    /// (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 64,
+            CliError::Fault(_) => 2,
+            CliError::StageLimit(_) => 3,
+            CliError::Journal(_) => 4,
+            CliError::Other(_) => 1,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Fault(m)
+            | CliError::StageLimit(m)
+            | CliError::Journal(m)
+            | CliError::Other(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Other(m)
+    }
+}
+
+impl From<RlrpdError> for CliError {
+    fn from(e: RlrpdError) -> Self {
+        let m = e.to_string();
+        match e {
+            RlrpdError::ProgramFault { .. } => CliError::Fault(m),
+            RlrpdError::StageLimit { .. } => CliError::StageLimit(m),
+            RlrpdError::Journal { .. } => CliError::Journal(m),
+            _ => CliError::Other(m),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("rlrpd: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("rlrpd: {}", e.message());
+            ExitCode::from(e.code())
         }
     }
 }
@@ -36,26 +106,30 @@ fn usage() -> String {
     "usage:\n  rlrpd run <file.rlp> [--procs N] [--strategy nrd|rd|adaptive|sw:W] \
      [--checkpoint eager|ondemand] [--balance even|feedback|trend] [--threads|--pooled] \
      [--timeline] [--report] [--runs K] [--fault-seed S] [--watchdog F] \
-     [--max-restarts R]\n  rlrpd classify <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
+     [--max-restarts R] [--max-stages M] [--journal <path>] [--resume]\n  rlrpd classify \
+     <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
         .into()
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<(), CliError> {
     let mut it = args.into_iter();
-    let cmd = it.next().ok_or_else(usage)?;
+    let cmd = it.next().ok_or_else(|| CliError::Usage(usage()))?;
     let rest: Vec<String> = it.collect();
     match cmd.as_str() {
         "run" => cmd_run(rest),
-        "classify" => cmd_classify(rest),
-        "fmt" => cmd_fmt(rest),
-        "ddg" => cmd_ddg(rest),
-        "model" => cmd_model(rest),
+        "classify" => cmd_classify(rest).map_err(CliError::from),
+        "fmt" => cmd_fmt(rest).map_err(CliError::from),
+        "ddg" => cmd_ddg(rest).map_err(CliError::from),
+        "model" => cmd_model(rest).map_err(CliError::from),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -78,6 +152,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--fault-seed",
     "--watchdog",
     "--max-restarts",
+    "--max-stages",
+    "--journal",
 ];
 
 fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
@@ -189,24 +265,41 @@ fn config(flags: &Flags) -> Result<RunConfig, String> {
     let fallback = FallbackPolicy::default()
         .with_max_restarts(flags.usize_of("--max-restarts", usize::MAX)?)
         .with_watchdog(flags.f64_of("--watchdog", f64::INFINITY)?);
-    Ok(RunConfig::new(p)
+    let mut cfg = RunConfig::new(p)
         .with_strategy(strategy)
         .with_checkpoint(checkpoint)
         .with_balance(balance)
         .with_exec(exec)
-        .with_fallback(fallback))
+        .with_fallback(fallback);
+    cfg.max_stages = flags.usize_of("--max-stages", cfg.max_stages)?;
+    Ok(cfg)
 }
 
-fn cmd_run(args: Vec<String>) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
+    let flags = parse_flags(args).map_err(CliError::Usage)?;
     let src = source(&flags)?;
+    let journal_path = flags.get("--journal").map(str::to_owned);
+    let resume = flags.has("--resume");
+    if resume && journal_path.is_none() {
+        return Err(CliError::Usage("--resume requires --journal <path>".into()));
+    }
     // Counter programs run under the EXTEND two-pass induction scheme.
     if let Ok(ind) = rlrpd::lang::CompiledInduction::compile(&src) {
-        return run_induction_program(ind, &flags);
+        if journal_path.is_some() {
+            return Err(CliError::Usage(
+                "--journal is not supported for induction programs".into(),
+            ));
+        }
+        return run_induction_program(ind, &flags).map_err(CliError::from);
     }
     let prog = rlrpd::lang::CompiledProgram::compile(&src).map_err(|e| e.to_string())?;
-    let cfg = config(&flags)?;
-    let runs = flags.usize_of("--runs", 1)?.max(1);
+    let cfg = config(&flags).map_err(CliError::Usage)?;
+    let runs = flags.usize_of("--runs", 1).map_err(CliError::Usage)?.max(1);
+    if journal_path.is_some() && runs > 1 {
+        return Err(CliError::Usage(
+            "--journal records exactly one run; drop --runs".into(),
+        ));
+    }
 
     println!("classification:\n{}", prog.report());
 
@@ -215,7 +308,7 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
         // history across --runs instantiations.
         let lp = prog.loop_view(0, initial_state(&prog));
         let mut runner = Runner::new(cfg);
-        if let Some(seed) = flags.u64_opt("--fault-seed")? {
+        if let Some(seed) = flags.u64_opt("--fault-seed").map_err(CliError::Usage)? {
             // Transient (one-shot) injected fault: the containment
             // layer recovers and the run must still verify below.
             use rlrpd::core::SpecLoop;
@@ -225,16 +318,49 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
         }
         let mut last = None;
         for k in 0..runs {
-            let res = runner.try_run(&lp).map_err(|e| e.to_string())?;
+            let res = match &journal_path {
+                Some(path) => {
+                    let mut journal = if resume {
+                        let j = Journal::open(path)
+                            .map_err(|e| CliError::Journal(format!("{path}: {e}")))?;
+                        if j.truncated_bytes() > 0 {
+                            println!(
+                                "journal: discarded {} torn/corrupt trailing bytes",
+                                j.truncated_bytes()
+                            );
+                        }
+                        j
+                    } else {
+                        Journal::create(path)
+                            .map_err(|e| CliError::Journal(format!("{path}: {e}")))?
+                    };
+                    let res = if resume {
+                        runner.resume(&lp, &mut journal)?
+                    } else {
+                        runner.try_run_journaled(&lp, &mut journal)?
+                    };
+                    println!(
+                        "journal: {path} holds {} records ({} commits)",
+                        journal.records(),
+                        journal.commits().len()
+                    );
+                    res
+                }
+                None => runner.try_run(&lp)?,
+            };
             let faults = res.report.contained_faults();
             println!(
-                "run {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}{}{}",
+                "run {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}{}{}{}",
                 res.report.stages.len(),
                 res.report.restarts,
                 res.report.pr(),
                 res.report.speedup(),
                 match res.report.exited_at {
                     Some(e) => format!(", exited at iteration {e}"),
+                    None => String::new(),
+                },
+                match res.report.resumed_at {
+                    Some(f) => format!(", resumed from iteration {f}"),
                     None => String::new(),
                 },
                 if faults > 0 {
@@ -265,6 +391,11 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
         let (seq, _) = run_sequential(&lp);
         verify(&seq, &res.arrays)?;
     } else {
+        if journal_path.is_some() {
+            return Err(CliError::Usage(
+                "--journal operates on single-loop programs".into(),
+            ));
+        }
         // Multi-loop program: run the phases in sequence.
         let res = prog.run(cfg);
         for (k, report) in res.reports.iter().enumerate() {

@@ -150,3 +150,128 @@ fn bad_inputs_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("unknown strategy"), "{stderr}");
 }
+
+/// Exit code of one invocation (panics if the process was signalled).
+fn exit_code(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_rlrpd"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+        .status
+        .code()
+        .expect("not signalled")
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rlrpd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+#[test]
+fn usage_errors_exit_64() {
+    assert_eq!(exit_code(&["frobnicate"]), 64);
+    assert_eq!(exit_code(&[]), 64);
+    assert_eq!(
+        exit_code(&["run", &program("tracking.rlp"), "--strategy", "warp"]),
+        64
+    );
+    assert_eq!(
+        exit_code(&["run", &program("tracking.rlp"), "--resume"]),
+        64,
+        "--resume without --journal is a usage error"
+    );
+}
+
+#[test]
+fn genuine_program_fault_exits_2() {
+    // A[i - 1] is a negative subscript at i = 0: the iteration panics
+    // even when re-executed from a fully committed prefix, so the
+    // containment layer classifies it as a genuine program fault.
+    let path = scratch("faulty.rlp");
+    std::fs::write(
+        &path,
+        "array A[64];\ncost 10;\nfor i in 0..64 {\n    A[i - 1] = 1;\n}\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_rlrpd"))
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("program fault"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stage_limit_exits_3() {
+    // tracking.rlp needs more than one stage under NRD; a cap of 1
+    // must abort with the StageLimit code.
+    assert_eq!(
+        exit_code(&[
+            "run",
+            &program("tracking.rlp"),
+            "--strategy",
+            "nrd",
+            "--max-stages",
+            "1",
+        ]),
+        3
+    );
+}
+
+#[test]
+fn journal_corruption_exits_4() {
+    let path = scratch("garbage-journal.bin");
+    std::fs::write(&path, b"this is not a journal").unwrap();
+    assert_eq!(
+        exit_code(&[
+            "run",
+            &program("tracking.rlp"),
+            "--journal",
+            path.to_str().unwrap(),
+            "--resume",
+        ]),
+        4
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn journaled_run_resumes_after_a_torn_tail() {
+    let path = scratch("resume-journal.bin");
+    let path_str = path.to_str().unwrap().to_owned();
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--journal",
+        &path_str,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("journal:"), "{stdout}");
+
+    // Tear the tail (a crash mid-append) and resume: the run must
+    // complete from the recovered frontier and still verify against
+    // sequential execution.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--journal",
+        &path_str,
+        "--resume",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("resumed from iteration"), "{stdout}");
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&path).ok();
+}
