@@ -82,7 +82,7 @@ pub(crate) fn analyze<T: Value>(
 ) -> AnalysisResult {
     match executor.mode() {
         ExecMode::Simulated => analyze_seq(per_pos_views, tested_ids),
-        ExecMode::Threads | ExecMode::Pooled => {
+        ExecMode::Threads | ExecMode::Pooled | ExecMode::Distributed => {
             analyze_parallel(per_pos_views, tested_ids, executor)
         }
     }

@@ -55,7 +55,7 @@ pub(crate) fn commit_tested<T: Value>(
 ) -> CommitStats {
     let (stats, per_block) = match executor.mode() {
         ExecMode::Simulated => merge_seq(per_pos_views, tested_ids, reductions, shared),
-        ExecMode::Threads | ExecMode::Pooled => {
+        ExecMode::Threads | ExecMode::Pooled | ExecMode::Distributed => {
             merge_parallel(per_pos_views, tested_ids, reductions, shared, executor)
         }
     };

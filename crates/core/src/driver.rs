@@ -27,6 +27,7 @@ use crate::checkpoint::CheckpointPolicy;
 use crate::engine::{Engine, EngineCfg, StageDelta};
 use crate::error::RlrpdError;
 use crate::journal::{self, Journal, JournalElem, JournalError, JournalHeader, JournalSink};
+use crate::remote::{self, DistConnector};
 use crate::report::{PrAccumulator, RunReport};
 use crate::spec_loop::SpecLoop;
 use crate::value::Value;
@@ -76,8 +77,10 @@ pub enum BalancePolicy {
     FeedbackTrend,
 }
 
-/// Why the driver abandoned speculation and executed the remainder
-/// directly (sequentially).
+/// Why the driver degraded a run: for the first three reasons it
+/// abandoned speculation and executed the remainder directly
+/// (sequentially); [`FallbackReason::WorkerLoss`] records a milder
+/// degradation, from distributed workers to in-process speculation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum FallbackReason {
     /// The restart budget ([`FallbackPolicy::max_restarts`]) was
@@ -90,6 +93,13 @@ pub enum FallbackReason {
     /// speculative write, so direct execution from the commit point is
     /// safe).
     CheckpointFault,
+    /// The distributed worker fleet was lost beyond recovery (respawn
+    /// budget exhausted, or it never launched). Unlike the other
+    /// reasons this does **not** mean sequential execution: the run
+    /// degraded to the in-process pooled path and kept speculating —
+    /// blocks are idempotent over the committed prefix, so no work was
+    /// lost.
+    WorkerLoss,
 }
 
 /// Bounded-retry and sequential-fallback policy.
@@ -437,6 +447,131 @@ impl Runner {
         Ok(result)
     }
 
+    /// Execute one instantiation of `lp` with every stage's blocks
+    /// dispatched to an external worker fleet obtained from `connector`
+    /// (the supervisor/worker execution mode). `spec` must be a loop
+    /// spec the workers can resolve to the *same* loop as `lp`.
+    ///
+    /// Robustness contract: a lost fleet — workers dead, hung, or
+    /// divergent beyond the connector's respawn budget, or a fleet that
+    /// never launched — is **never** an error. The run degrades to the
+    /// in-process pooled path mid-stage without losing committed work
+    /// (blocks are idempotent over the committed prefix) and records
+    /// [`FallbackReason::WorkerLoss`] on the report.
+    pub fn try_run_distributed<T: Value + JournalElem>(
+        &mut self,
+        lp: &dyn SpecLoop<T>,
+        spec: &str,
+        connector: &mut dyn DistConnector,
+    ) -> Result<RunResult<T>, RlrpdError> {
+        let mut ecfg = self.engine_cfg();
+        // Workers mirror commits via the same deltas the journal uses.
+        ecfg.capture_deltas = true;
+        let mut engine = Engine::new(lp, ecfg, false);
+        let header = self.journal_header_for(&engine);
+        remote::attach_remote(&mut engine, &header, spec, connector);
+        let (mut report, arcs) = self.drive(&mut engine, 0, &mut None)?;
+        remote::release_remote(&mut engine, &mut report);
+        let result = self.finish(&mut engine, report, arcs);
+        self.pr.add(&result.report);
+        Ok(result)
+    }
+
+    /// [`Runner::try_run_distributed`] combined with
+    /// [`Runner::try_run_journaled`]: distributed execution whose
+    /// commits are also written ahead to a crash journal. On a fresh
+    /// journal the wire broadcast and the disk journal carry
+    /// byte-identical record chains.
+    pub fn try_run_distributed_journaled<T: Value + JournalElem>(
+        &mut self,
+        lp: &dyn SpecLoop<T>,
+        spec: &str,
+        connector: &mut dyn DistConnector,
+        journal: &mut Journal,
+    ) -> Result<RunResult<T>, RlrpdError> {
+        if !journal.is_empty() {
+            return Err(JournalError::NotEmpty.into());
+        }
+        let mut ecfg = self.engine_cfg();
+        ecfg.capture_deltas = true;
+        let mut engine = Engine::new(lp, ecfg, false);
+        let header = self.journal_header_for(&engine);
+        remote::attach_remote(&mut engine, &header, spec, connector);
+        journal.set_fault(self.fault.clone());
+        journal.append_header(&header).map_err(RlrpdError::from)?;
+        let mut sink = Some(JournalSink::new(journal));
+        let (mut report, arcs) = self.drive(&mut engine, 0, &mut sink)?;
+        remote::release_remote(&mut engine, &mut report);
+        let result = self.finish(&mut engine, report, arcs);
+        self.pr.add(&result.report);
+        Ok(result)
+    }
+
+    /// [`Runner::resume`] with distributed execution of the remainder:
+    /// replay the journal's committed prefix locally, then bring a
+    /// fresh worker fleet up to the frontier with one synthetic
+    /// full-state broadcast and continue dispatching stages to it.
+    pub fn resume_distributed<T: Value + JournalElem>(
+        &mut self,
+        lp: &dyn SpecLoop<T>,
+        spec: &str,
+        connector: &mut dyn DistConnector,
+        journal: &mut Journal,
+    ) -> Result<RunResult<T>, RlrpdError> {
+        let mut ecfg = self.engine_cfg();
+        ecfg.capture_deltas = true;
+        let mut engine = Engine::new(lp, ecfg, false);
+        let recorded = journal.header().cloned().ok_or(JournalError::NoHeader)?;
+        let expected = self.journal_header_for(&engine);
+        if recorded != expected {
+            return Err(JournalError::Mismatch {
+                message: "journal does not describe this loop/configuration".into(),
+            }
+            .into());
+        }
+        let mut frontier = 0usize;
+        let mut exited = None;
+        let mut fell_back = false;
+        for rec in journal.commits() {
+            for (id, elems) in &rec.arrays {
+                let buf = engine.shared[*id as usize].as_mut_slice();
+                for &(elem, bits) in elems {
+                    buf[elem as usize] = T::from_bits(bits);
+                }
+            }
+            frontier = rec.frontier;
+            exited = rec.exited_at;
+            fell_back = fell_back || rec.fallback;
+        }
+        engine.stage_ordinal = journal.commits().len();
+
+        let resumed_from = frontier;
+        let complete = fell_back || exited.is_some() || frontier >= engine.n;
+        let (mut report, arcs) = if complete {
+            let report = RunReport {
+                sequential_work: engine.sequential_work(),
+                exited_at: exited,
+                ..Default::default()
+            };
+            (report, Vec::new())
+        } else {
+            remote::attach_remote(&mut engine, &expected, spec, connector);
+            // One synthetic record carries the replayed state to the
+            // fleet (the wire chain restarts at the hello; it need not
+            // match the on-disk chain of the pre-crash records).
+            let delta = engine.full_state_delta();
+            engine.broadcast_commit(frontier, None, false, &delta);
+            journal.set_fault(self.fault.clone());
+            let mut sink = Some(JournalSink::new(journal));
+            self.drive(&mut engine, frontier, &mut sink)?
+        };
+        report.resumed_at = Some(resumed_from);
+        remote::release_remote(&mut engine, &mut report);
+        let result = self.finish(&mut engine, report, arcs);
+        self.pr.add(&result.report);
+        Ok(result)
+    }
+
     /// The journal header describing this (loop, configuration) pair.
     fn journal_header_for<T: Value + JournalElem>(&self, engine: &Engine<'_, T>) -> JournalHeader {
         JournalHeader {
@@ -537,6 +672,11 @@ impl Runner {
                 }
                 (None, None) => n,
             };
+            // Keep the worker fleet's mirror of shared state current
+            // before the frontier advances (no-op without a fleet).
+            if let Some(delta) = outcome.delta.as_ref() {
+                engine.broadcast_commit(frontier, exit, false, delta);
+            }
             // Write-ahead: the commit record must be durable before the
             // in-memory run advances past the commit point.
             journal_stage(journal, &mut outcome.stats, frontier, exit, outcome.delta)?;

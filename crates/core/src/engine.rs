@@ -18,7 +18,7 @@ use crate::value::{Reduction, Value};
 use crate::view::ProcView;
 use rlrpd_runtime::{
     panic_message, BlockSchedule, CostModel, ExecMode, Executor, FaultPlan, InjectedFault,
-    OverheadKind, ProcId, StageStats,
+    OverheadKind, ProcId, StageStats, StageTiming,
 };
 use rlrpd_shadow::IterMarks;
 use std::ops::Range;
@@ -155,6 +155,12 @@ pub(crate) struct Engine<'l, T: Value> {
     /// Stages run over this engine's lifetime (keys checkpoint-fault
     /// injection sites).
     pub stage_ordinal: usize,
+    /// Live link to a distributed worker fleet; stages execute their
+    /// blocks remotely while this is `Some`.
+    pub remote: Option<crate::remote::RemoteLink<T>>,
+    /// The worker fleet was lost (or never launched) at some point of
+    /// this run — reported as [`crate::FallbackReason::WorkerLoss`].
+    pub worker_loss: bool,
 }
 
 impl<'l, T: Value> Engine<'l, T> {
@@ -237,6 +243,8 @@ impl<'l, T: Value> Engine<'l, T> {
             last_proc: vec![u32::MAX; n],
             record_marks,
             stage_ordinal: 0,
+            remote: None,
+            worker_loss: false,
         }
     }
 
@@ -296,72 +304,29 @@ impl<'l, T: Value> Engine<'l, T> {
             buf.new_epoch();
         }
 
-        // 3. Execute the blocks, containing any panic: a panic in one
-        // block must not discard the independent work of the others.
-        let lp = self.lp;
-        let meta = &self.meta;
-        let shared = &self.shared;
-        let record = self.record_marks;
-        let plan = fault_plan.as_deref();
-        let (mut timing, panic) = self.executor.try_run_blocks(&mut self.states, |pos, st| {
-            st.iter_costs.clear();
-            st.exit_iter = None;
-            let range = schedule.blocks()[pos].range.clone();
-            let proc = schedule.blocks()[pos].proc.0;
-            st.iter_costs.reserve(range.len());
-            let mut total = 0.0;
-            for iter in range {
-                if let Some(plan) = plan {
-                    if plan.should_panic(proc, iter) {
-                        // resume_unwind skips the panic hook: injected
-                        // faults stay silent on stderr.
-                        std::panic::resume_unwind(Box::new(InjectedFault { proc, iter }));
-                    }
-                }
-                let mut ctx = IterCtx {
-                    iter,
-                    writer: pos as u32,
-                    meta,
-                    shared,
-                    views: &mut st.views,
-                    wlog: Some(&mut st.wlog),
-                    iter_marks: if record { Some(&mut st.marks) } else { None },
-                    extra_cost: 0.0,
-                    exited: false,
-                };
-                lp.body(iter, &mut ctx);
-                let exited = ctx.exited;
-                let mut c = lp.cost(iter) + ctx.extra_cost;
-                if let Some(plan) = plan {
-                    c += plan.delay_for(proc, iter);
-                }
-                st.iter_costs.push((iter as u32, c));
-                total += c;
-                if exited {
-                    // Within a block execution is sequential: the rest
-                    // of the block is known-dead and is skipped.
-                    st.exit_iter = Some(iter as u32);
-                    break;
+        // 3. Execute the blocks — on the worker fleet when a remote
+        // link is attached, otherwise in-process (containing any panic:
+        // a panic in one block must not discard the independent work of
+        // the others). A lost fleet degrades to the in-process path for
+        // this same stage: nothing below mutates engine state until the
+        // remote dispatch has fully succeeded, so re-execution is safe.
+        let remote_result = if self.remote.is_some() {
+            match self.execute_remote(schedule, stage, &mut stats) {
+                Ok(r) => Some(r),
+                Err(_loss) => {
+                    self.remote = None;
+                    self.worker_loss = true;
+                    None
                 }
             }
-            total
-        });
-        let fault = panic.map(|jp| {
-            let pos = jp.index;
-            let range = &schedule.blocks()[pos].range;
-            // iter_costs holds one entry per iteration completed before
-            // the panic, and blocks run their contiguous range in
-            // order, so the faulting iteration is the next one.
-            let iter = range.start + self.states[pos].iter_costs.len();
-            // The executor reports 0.0 for the panicked block; restore
-            // the partial work it actually performed.
-            timing.per_block_cost[pos] = self.states[pos].iter_costs.iter().map(|&(_, c)| c).sum();
-            FaultEvent {
-                pos,
-                iter,
-                message: panic_message(jp.payload.as_ref()),
-            }
-        });
+        } else {
+            None
+        };
+        let (timing, fault) = if let Some(r) = remote_result {
+            r
+        } else {
+            self.run_blocks_local(schedule, fault_plan.as_deref())
+        };
         stats.contained_faults = fault.is_some() as usize;
         stats.loop_time = timing.critical_path();
         stats.total_work = timing.total_work();
@@ -629,6 +594,80 @@ impl<'l, T: Value> Engine<'l, T> {
             fault,
             delta,
         })
+    }
+
+    /// Execute the stage's blocks on the in-process executor, containing
+    /// any panic, and return the timing plus the contained fault (if
+    /// any) — the local half of phase 3 of [`Engine::run_stage`].
+    fn run_blocks_local(
+        &mut self,
+        schedule: &BlockSchedule,
+        plan: Option<&FaultPlan>,
+    ) -> (StageTiming, Option<FaultEvent>) {
+        let lp = self.lp;
+        let meta = &self.meta;
+        let shared = &self.shared;
+        let record = self.record_marks;
+        let (mut timing, panic) = self.executor.try_run_blocks(&mut self.states, |pos, st| {
+            st.iter_costs.clear();
+            st.exit_iter = None;
+            let range = schedule.blocks()[pos].range.clone();
+            let proc = schedule.blocks()[pos].proc.0;
+            st.iter_costs.reserve(range.len());
+            let mut total = 0.0;
+            for iter in range {
+                if let Some(plan) = plan {
+                    if plan.should_panic(proc, iter) {
+                        // resume_unwind skips the panic hook: injected
+                        // faults stay silent on stderr.
+                        std::panic::resume_unwind(Box::new(InjectedFault { proc, iter }));
+                    }
+                }
+                let mut ctx = IterCtx {
+                    iter,
+                    writer: pos as u32,
+                    meta,
+                    shared,
+                    views: &mut st.views,
+                    wlog: Some(&mut st.wlog),
+                    iter_marks: if record { Some(&mut st.marks) } else { None },
+                    extra_cost: 0.0,
+                    exited: false,
+                };
+                lp.body(iter, &mut ctx);
+                let exited = ctx.exited;
+                let mut c = lp.cost(iter) + ctx.extra_cost;
+                if let Some(plan) = plan {
+                    c += plan.delay_for(proc, iter);
+                }
+                st.iter_costs.push((iter as u32, c));
+                total += c;
+                if exited {
+                    // Within a block execution is sequential: the rest
+                    // of the block is known-dead and is skipped.
+                    st.exit_iter = Some(iter as u32);
+                    break;
+                }
+            }
+            total
+        });
+        let fault = panic.map(|jp| {
+            let pos = jp.index;
+            let range = &schedule.blocks()[pos].range;
+            // iter_costs holds one entry per iteration completed before
+            // the panic, and blocks run their contiguous range in
+            // order, so the faulting iteration is the next one.
+            let iter = range.start + self.states[pos].iter_costs.len();
+            // The executor reports 0.0 for the panicked block; restore
+            // the partial work it actually performed.
+            timing.per_block_cost[pos] = self.states[pos].iter_costs.iter().map(|&(_, c)| c).sum();
+            FaultEvent {
+                pos,
+                iter,
+                message: panic_message(jp.payload.as_ref()),
+            }
+        });
+        (timing, fault)
     }
 
     /// Assemble the committed-write delta of the stage that just ran:

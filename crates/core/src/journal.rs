@@ -56,8 +56,14 @@ use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Chain seed of record 0 (no previous record to hash).
-const CHAIN_SEED: u64 = 0x524c_5250_444a_4e4c; // "RLRPDJNL"
+/// Chain seed of record 0 (no previous record to hash). Shared with the
+/// distributed wire protocol ([`crate::remote`]), which replays the
+/// exact same record chain over worker pipes.
+pub(crate) const CHAIN_SEED: u64 = 0x524c_5250_444a_4e4c; // "RLRPDJNL"
+
+/// Bounded transient-errno (`EINTR`/`EAGAIN`) retries absorbed per
+/// journal frame before the failure surfaces.
+const TRANSIENT_RETRIES: u32 = 8;
 
 /// Sentinel for "no premature exit" in the on-disk flags.
 const NO_EXIT: u64 = u64::MAX;
@@ -189,7 +195,9 @@ pub struct JournalHeader {
 }
 
 impl JournalHeader {
-    fn encode(&self, prev_chain: u64) -> Vec<u8> {
+    /// Record bytes chained onto `prev_chain` (also the wire image of
+    /// the distributed Hello payload).
+    pub(crate) fn encode(&self, prev_chain: u64) -> Vec<u8> {
         let mut w = Writer::new(KIND_JOURNAL_HEADER);
         w.u64(prev_chain);
         w.u64(self.n as u64);
@@ -204,7 +212,7 @@ impl JournalHeader {
         w.finish()
     }
 
-    fn decode(bytes: &[u8], prev_chain: u64) -> Result<Self, PersistError> {
+    pub(crate) fn decode(bytes: &[u8], prev_chain: u64) -> Result<Self, PersistError> {
         let mut r = Reader::open(bytes, KIND_JOURNAL_HEADER)?;
         if r.u64()? != prev_chain {
             return Err(PersistError::Corrupt);
@@ -268,7 +276,9 @@ impl CommitRecord {
         self.frontier >= n || self.exited_at.is_some() || self.fallback
     }
 
-    fn encode(&self, prev_chain: u64) -> Vec<u8> {
+    /// Record bytes chained onto `prev_chain` (also the wire image of a
+    /// distributed commit broadcast).
+    pub(crate) fn encode(&self, prev_chain: u64) -> Vec<u8> {
         let mut w = Writer::new(KIND_JOURNAL_COMMIT);
         w.u64(prev_chain);
         w.u64(self.frontier as u64);
@@ -294,7 +304,7 @@ impl CommitRecord {
         w.finish()
     }
 
-    fn decode(bytes: &[u8], prev_chain: u64) -> Result<Self, PersistError> {
+    pub(crate) fn decode(bytes: &[u8], prev_chain: u64) -> Result<Self, PersistError> {
         let mut r = Reader::open(bytes, KIND_JOURNAL_COMMIT)?;
         if r.u64()? != prev_chain {
             return Err(PersistError::Corrupt);
@@ -410,14 +420,21 @@ impl Journal {
         let mut header = None;
         let mut commits = Vec::new();
         let mut records = 0usize;
-        while let Some(frame_len) = buf.get(pos..pos + 4) {
-            let len = u32::from_le_bytes(frame_len.try_into().unwrap()) as usize;
+        // Length-checked framing: every arithmetic step is guarded,
+        // so no byte sequence — torn, corrupt, or adversarial — can
+        // panic the scan. Any inconsistency ends the valid prefix.
+        while let Some(end_of_len) = pos.checked_add(4).filter(|&e| e <= buf.len()) {
+            let Ok(len_bytes) = <[u8; 4]>::try_from(&buf[pos..end_of_len]) else {
+                break;
+            };
+            let len = u32::from_le_bytes(len_bytes) as usize;
             if len == 0 {
                 break;
             }
-            let Some(rec) = buf.get(pos + 4..pos + 4 + len) else {
+            let Some(end) = end_of_len.checked_add(len).filter(|&e| e <= buf.len()) else {
                 break; // torn frame
             };
+            let rec = &buf[end_of_len..end];
             let ok = if records == 0 {
                 JournalHeader::decode(rec, chain)
                     .map(|h| header = Some(h))
@@ -432,7 +449,7 @@ impl Journal {
             }
             chain = fnv(rec);
             records += 1;
-            pos += 4 + len;
+            pos = end;
         }
 
         let truncated_bytes = (buf.len() - pos) as u64;
@@ -562,11 +579,52 @@ impl Journal {
             }
         }
 
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        self.write_frame_with_retry(&frame, ordinal)?;
         self.chain = next_chain;
         self.records += 1;
         Ok(frame.len() as u64)
+    }
+
+    /// Write and fsync one frame, absorbing up to
+    /// [`TRANSIENT_RETRIES`] transient errnos (`EINTR`/`EAGAIN`) per
+    /// frame. Transient failures are retried from the exact byte they
+    /// interrupted (never re-writing a landed prefix); anything else —
+    /// or a transient streak longer than the bound — surfaces as
+    /// [`JournalError::Io`].
+    fn write_frame_with_retry(&mut self, frame: &[u8], ordinal: usize) -> Result<(), JournalError> {
+        let mut transients = 0u32;
+        let mut absorb = |e: std::io::Error| -> Result<(), JournalError> {
+            let transient = matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+            );
+            if transient && transients < TRANSIENT_RETRIES {
+                transients += 1;
+                Ok(())
+            } else {
+                Err(e.into())
+            }
+        };
+        let mut written = 0usize;
+        while written < frame.len() {
+            if self.fault.as_ref().is_some_and(|p| p.io_transient(ordinal)) {
+                absorb(std::io::Error::from(std::io::ErrorKind::Interrupted))?;
+                continue;
+            }
+            match self.file.write(&frame[written..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::from(std::io::ErrorKind::WriteZero).into());
+                }
+                Ok(n) => written += n,
+                Err(e) => absorb(e)?,
+            }
+        }
+        loop {
+            match self.file.sync_data() {
+                Ok(()) => return Ok(()),
+                Err(e) => absorb(e)?,
+            }
+        }
     }
 }
 
@@ -614,27 +672,47 @@ impl<'j, T: Value> JournalSink<'j, T> {
         fallback: bool,
         delta: StageDelta<T>,
     ) -> Result<u64, JournalError> {
-        let to_bits = self.to_bits;
-        let rec = CommitRecord {
-            stage: self.journal.commits().len(),
+        let rec = record_from_delta(
+            self.journal.commits().len(),
             frontier,
             exited_at,
             fallback,
-            arrays: delta
-                .arrays
-                .into_iter()
-                .map(|(id, elems)| {
-                    (
-                        id,
-                        elems
-                            .into_iter()
-                            .map(|(e, v)| (e, to_bits(v)))
-                            .collect::<Vec<_>>(),
-                    )
-                })
-                .collect(),
-        };
+            &delta,
+            self.to_bits,
+        );
         self.journal.append_commit(rec)
+    }
+}
+
+/// Assemble one stage's [`CommitRecord`] from a [`StageDelta`]: the
+/// single conversion point shared by the crash journal and the
+/// distributed commit broadcast, so both write byte-identical records.
+pub(crate) fn record_from_delta<T: Copy>(
+    stage: usize,
+    frontier: usize,
+    exited_at: Option<usize>,
+    fallback: bool,
+    delta: &StageDelta<T>,
+    to_bits: fn(T) -> u64,
+) -> CommitRecord {
+    CommitRecord {
+        stage,
+        frontier,
+        exited_at,
+        fallback,
+        arrays: delta
+            .arrays
+            .iter()
+            .map(|(id, elems)| {
+                (
+                    *id,
+                    elems
+                        .iter()
+                        .map(|&(e, v)| (e, to_bits(v)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect(),
     }
 }
 
@@ -877,6 +955,72 @@ mod tests {
                 op: "fsync"
             }
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_io_failures_are_absorbed_by_the_bounded_retry() {
+        let path = tmp("transient-ok");
+        let mut j = Journal::create(&path).unwrap();
+        // 3 injected EINTRs on record 1: well under the retry bound, so
+        // the append succeeds and the bytes are intact.
+        j.set_fault(Some(Arc::new(FaultPlan::new().transient_io_at(1, 3))));
+        j.append_header(&header()).unwrap();
+        j.append_commit(commit(0, 32)).unwrap();
+        j.append_commit(commit(1, 64)).unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.commits(), &[commit(0, 32), commit(1, 64)]);
+        assert_eq!(j.truncated_bytes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_streak_beyond_the_bound_surfaces_as_io_error() {
+        let path = tmp("transient-exhaust");
+        let mut j = Journal::create(&path).unwrap();
+        j.set_fault(Some(Arc::new(FaultPlan::new().transient_io_at(0, 1000))));
+        let err = j.append_header(&header()).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Io { .. }),
+            "persistent EINTR must surface, got {err:?}"
+        );
+        // The journal did not advance: a clean retry still works.
+        drop(j);
+        let mut j = Journal::create(&path).unwrap();
+        j.append_header(&header()).unwrap();
+        assert_eq!(Journal::open(&path).unwrap().records(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn adversarial_frame_lengths_cannot_panic_open() {
+        // Frame lengths near u32::MAX, zero-length frames, and random
+        // garbage must all be treated as the end of the valid prefix.
+        let path = tmp("adversarial-len");
+        let mut j = Journal::create(&path).unwrap();
+        j.append_header(&header()).unwrap();
+        j.append_commit(commit(0, 32)).unwrap();
+        drop(j);
+        let good = std::fs::read(&path).unwrap();
+        for tail in [
+            &[0xff, 0xff, 0xff, 0xff][..], // len = u32::MAX, no bytes
+            &[0xff, 0xff, 0xff, 0xff, 1, 2, 3],
+            &[0, 0, 0, 0, 9, 9], // len = 0
+            &[4, 0, 0, 0],       // len = 4, torn payload
+            &[1],                // not even a length
+        ] {
+            let mut bytes = good.clone();
+            bytes.extend_from_slice(tail);
+            std::fs::write(&path, &bytes).unwrap();
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.commits().len(), 1, "tail {tail:?}");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len() as usize,
+                good.len(),
+                "tail {tail:?} truncated"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -70,6 +70,7 @@ pub mod journal;
 pub mod lrpd;
 pub mod persist;
 pub mod predictor;
+pub mod remote;
 pub mod report;
 pub mod spec_loop;
 pub mod timeline;
@@ -95,6 +96,10 @@ pub use journal::{CommitRecord, Journal, JournalElem, JournalError, JournalHeade
 pub use lrpd::{run_classic_lrpd, try_run_classic_lrpd};
 pub use persist::PersistError;
 pub use predictor::{PredictiveRunner, StrategyPredictor};
+pub use remote::{
+    serve_worker, BlockDispatcher, BlockReply, BlockRequest, DistConnector, SlotReply,
+    TransportStats, WireError, WireHello, WorkerLoss,
+};
 pub use report::{PrAccumulator, RunReport};
 pub use spec_loop::{ClosureLoop, SpecLoop};
 pub use timeline::Timeline;
@@ -103,4 +108,4 @@ pub use wavefront::{execute_wavefronts, WavefrontReport, WavefrontSchedule};
 pub use window::{WindowConfig, WindowPolicy};
 
 // Re-export the runtime types users need to configure runs.
-pub use rlrpd_runtime::{CostModel, ExecMode, FaultPlan, InjectedFault};
+pub use rlrpd_runtime::{CostModel, ExecMode, FaultPlan, InjectedFault, WorkerFault};

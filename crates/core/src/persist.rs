@@ -25,6 +25,18 @@ const KIND_SCHEDULE: u8 = 2;
 pub(crate) const KIND_JOURNAL_HEADER: u8 = 3;
 /// Crash-journal per-stage commit record.
 pub(crate) const KIND_JOURNAL_COMMIT: u8 = 4;
+/// Distributed wire: supervisor→worker session hello (run identity +
+/// loop spec). The embedded run-identity record is a
+/// [`KIND_JOURNAL_HEADER`] chained from the journal seed.
+pub(crate) const KIND_DIST_HELLO: u8 = 5;
+/// Distributed wire: supervisor→worker block request.
+pub(crate) const KIND_DIST_REQUEST: u8 = 6;
+/// Distributed wire: worker→supervisor block reply.
+pub(crate) const KIND_DIST_REPLY: u8 = 7;
+/// Distributed wire: worker→supervisor liveness heartbeat.
+pub(crate) const KIND_DIST_HEARTBEAT: u8 = 8;
+/// Distributed wire: supervisor→worker orderly shutdown.
+pub(crate) const KIND_DIST_SHUTDOWN: u8 = 9;
 
 /// Errors from decoding a persisted artifact.
 #[derive(Debug, PartialEq, Eq)]
@@ -86,6 +98,11 @@ impl Writer {
         }
     }
 
+    /// Append raw bytes (callers write their own length prefix).
+    pub(crate) fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     pub(crate) fn finish(mut self) -> Vec<u8> {
         let sum = fnv(&self.buf);
         self.u64(sum);
@@ -103,12 +120,20 @@ impl<'a> Reader<'a> {
         if buf.len() < 4 + 4 + 1 + 8 || &buf[..4] != MAGIC {
             return Err(PersistError::NotAnArtifact);
         }
-        let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let version = u32::from_le_bytes(
+            buf[4..8]
+                .try_into()
+                .map_err(|_| PersistError::NotAnArtifact)?,
+        );
         if version != VERSION {
             return Err(PersistError::VersionMismatch { found: version });
         }
         let body_end = buf.len() - 8;
-        let stored = u64::from_le_bytes(buf[body_end..].try_into().unwrap());
+        let stored = u64::from_le_bytes(
+            buf[body_end..]
+                .try_into()
+                .map_err(|_| PersistError::Corrupt)?,
+        );
         if fnv(&buf[..body_end]) != stored {
             return Err(PersistError::Corrupt);
         }
@@ -125,14 +150,27 @@ impl<'a> Reader<'a> {
         let end = self.pos.checked_add(8).ok_or(PersistError::Corrupt)?;
         let bytes = self.buf.get(self.pos..end).ok_or(PersistError::Corrupt)?;
         self.pos = end;
-        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            bytes.try_into().map_err(|_| PersistError::Corrupt)?,
+        ))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
         let end = self.pos.checked_add(4).ok_or(PersistError::Corrupt)?;
         let bytes = self.buf.get(self.pos..end).ok_or(PersistError::Corrupt)?;
         self.pos = end;
-        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            bytes.try_into().map_err(|_| PersistError::Corrupt)?,
+        ))
+    }
+
+    /// Read `len` raw bytes (length-prefixed blobs on the distributed
+    /// wire).
+    pub(crate) fn raw(&mut self, len: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(len).ok_or(PersistError::Corrupt)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(PersistError::Corrupt)?;
+        self.pos = end;
+        Ok(bytes)
     }
 
     /// Remaining unread bytes of the payload (sanity caps for

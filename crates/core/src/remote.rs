@@ -1,0 +1,1471 @@
+//! The distributed stage-sharding protocol: supervisor ↔ worker wire
+//! types, the block-dispatch abstraction, and the worker-side engine
+//! host.
+//!
+//! The R-LRPD commit frontier (paper §2.3) is the natural distribution
+//! boundary: everything at or below the frontier is permanently
+//! correct, so a worker subprocess that mirrors the committed prefix
+//! can execute any block of the next stage *idempotently* — if the
+//! worker dies, hangs, or returns a divergent result, the supervisor
+//! simply respawns it, replays the committed prefix, and re-dispatches
+//! the block.
+//!
+//! ## Wire format
+//!
+//! Every message is a length-framed [`crate::persist`] record
+//! (`u32 len | magic "RLPD" | u32 version | u8 kind | payload | u64
+//! fnv`) — the same envelope the crash journal uses on disk:
+//!
+//! * **Hello** ([`KIND_DIST_HELLO`], supervisor→worker): the run's
+//!   journal-header record (loop shape, array layout, element type)
+//!   plus a loop-spec string the worker resolves to the actual loop.
+//! * **Commit broadcast** ([`KIND_JOURNAL_COMMIT`]): byte-identical to
+//!   the crash journal's commit records (both sides share
+//!   [`crate::journal::record_from_delta`]), chained with the same FNV
+//!   chain starting from the same seed. Workers fold each record into
+//!   their mirror of shared storage.
+//! * **Block request** ([`KIND_DIST_REQUEST`], supervisor→worker): one
+//!   stage block `(stage, pos, start..end)` plus the supervisor's
+//!   current chain value. A worker whose own chain differs has diverged
+//!   and refuses the request.
+//! * **Block reply** ([`KIND_DIST_REPLY`], worker→supervisor): the
+//!   block's speculative outcome — per tested slot the touched
+//!   `(element, mark, value)` triples and reference count, per untested
+//!   slot the `(element, new value)` pairs, per-iteration costs, the
+//!   premature-exit iteration, and any contained panic. The reply
+//!   echoes the worker's chain; a mismatched echo is a **divergent
+//!   worker** and the supervisor discards the reply.
+//! * **Heartbeat** ([`KIND_DIST_HEARTBEAT`], worker→supervisor):
+//!   periodic liveness, emitted from a side thread so a *hung* block
+//!   (deadline exceeded, heartbeats flowing) is distinguishable from a
+//!   *dead* worker (pipe EOF / heartbeats stopped).
+//! * **Shutdown** ([`KIND_DIST_SHUTDOWN`], supervisor→worker): orderly
+//!   end of session.
+//!
+//! The supervisor side of the fleet (process spawning, heartbeats,
+//! deadlines, respawn with backoff) lives in the `rlrpd-dist` crate;
+//! this module defines everything both sides must agree on, plus the
+//! engine integration ([`Engine::execute_remote`] and the
+//! [`BlockDispatcher`] trait the fleet implements).
+
+use crate::checkpoint::CheckpointPolicy;
+use crate::ctx::IterCtx;
+use crate::driver::FallbackReason;
+use crate::engine::{Engine, EngineCfg, FaultEvent, StageDelta};
+use crate::journal::{elem_fingerprint, record_from_delta, JournalElem, JournalHeader, CHAIN_SEED};
+use crate::persist::{
+    fnv, PersistError, Reader, Writer, KIND_DIST_HEARTBEAT, KIND_DIST_HELLO, KIND_DIST_REPLY,
+    KIND_DIST_REQUEST, KIND_DIST_SHUTDOWN, KIND_JOURNAL_COMMIT,
+};
+use crate::report::RunReport;
+use crate::spec_loop::SpecLoop;
+use crate::value::Value;
+use rlrpd_runtime::{panic_message, BlockSchedule, CostModel, ExecMode, StageStats, StageTiming};
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Upper bound on one wire frame; larger lengths are protocol errors
+/// (a corrupt length prefix must not drive an allocation).
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// Wire mark code: exposed read only (consumed shared data, produced
+/// nothing).
+pub const MARK_EXPOSED: u8 = 1;
+/// Wire mark code: written, not exposed (the private slot holds the
+/// block's final value).
+pub const MARK_WRITE: u8 = 2;
+/// Wire mark code: written *and* exposed (read-then-write, or a
+/// materialized reduction).
+pub const MARK_WRITE_EXPOSED: u8 = 3;
+/// Wire mark code: reduction-only (the value is the accumulated delta).
+pub const MARK_REDUCTION: u8 = 4;
+
+/// Fault directive: none.
+pub const FAULT_NONE: u32 = 0;
+/// Fault directive: the worker aborts before executing the block
+/// (simulated crash — the supervisor sees pipe EOF).
+pub const FAULT_KILL: u32 = 1;
+/// Fault directive: the worker's main thread sleeps forever while its
+/// heartbeat thread keeps beating (simulated hang — only the block
+/// deadline can catch it).
+pub const FAULT_HANG: u32 = 2;
+/// Fault directive: the worker executes the block correctly but lies in
+/// its chain echo (simulated divergence — caught by the chain check).
+pub const FAULT_CORRUPT: u32 = 3;
+
+/// Frame kind of a session hello ([`WireHello`]).
+pub const FRAME_HELLO: u8 = KIND_DIST_HELLO;
+/// Frame kind of a commit broadcast (a crash-journal commit record).
+pub const FRAME_COMMIT: u8 = KIND_JOURNAL_COMMIT;
+/// Frame kind of a block request ([`BlockRequest`]).
+pub const FRAME_REQUEST: u8 = KIND_DIST_REQUEST;
+/// Frame kind of a block reply ([`BlockReply`]).
+pub const FRAME_REPLY: u8 = KIND_DIST_REPLY;
+/// Frame kind of a worker liveness heartbeat.
+pub const FRAME_HEARTBEAT: u8 = KIND_DIST_HEARTBEAT;
+/// Frame kind of an orderly-shutdown notice.
+pub const FRAME_SHUTDOWN: u8 = KIND_DIST_SHUTDOWN;
+
+/// Errors on the worker side of the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// An I/O operation on the worker pipes failed.
+    Io(std::io::Error),
+    /// The peer violated the protocol: malformed frame, chain mismatch,
+    /// or a run identity that does not match the resolved loop.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "worker I/O error: {e}"),
+            WireError::Protocol(m) => write!(f, "worker protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<PersistError> for WireError {
+    fn from(e: PersistError) -> Self {
+        WireError::Protocol(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one length-prefixed record and flush it.
+pub fn write_frame(w: &mut dyn Write, record: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(record.len() as u32).to_le_bytes())?;
+    w.write_all(record)?;
+    w.flush()
+}
+
+/// Read one length-prefixed record. `Ok(None)` is a clean EOF at a
+/// frame boundary (the peer closed the pipe); EOF inside a frame, a
+/// zero length, or a length beyond [`MAX_FRAME`] is an error.
+pub fn read_frame(r: &mut dyn Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("invalid frame length {len}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// The persist `kind` byte of a framed record (offset 8), if present.
+/// A peek only — decoding still validates magic, version, and checksum.
+pub fn frame_kind(record: &[u8]) -> Option<u8> {
+    record.get(8).copied()
+}
+
+/// The FNV chain value after `record` — how both ends advance their
+/// commit chain (identical to the crash journal's on-disk chain).
+pub fn record_chain(record: &[u8]) -> u64 {
+    fnv(record)
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------------
+
+/// The session hello: the run's identity plus the loop spec the worker
+/// resolves to an executable loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireHello {
+    /// The run's journal-header record bytes (a
+    /// [`crate::journal::JournalHeader`] chained from the journal
+    /// seed): loop shape, array layout, element type.
+    pub header: Vec<u8>,
+    /// Registry spec string (e.g. `"rlp:<source>"`) the worker resolves
+    /// to the loop it will execute.
+    pub spec: String,
+}
+
+impl WireHello {
+    /// Encode to a wire record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_DIST_HELLO);
+        w.u64(self.header.len() as u64);
+        w.raw(&self.header);
+        w.u64(self.spec.len() as u64);
+        w.raw(self.spec.as_bytes());
+        w.finish()
+    }
+
+    /// Decode from a wire record.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, KIND_DIST_HELLO)?;
+        let hl = r.u64()? as usize;
+        if hl > r.remaining() {
+            return Err(PersistError::Corrupt);
+        }
+        let header = r.raw(hl)?.to_vec();
+        let sl = r.u64()? as usize;
+        if sl > r.remaining() {
+            return Err(PersistError::Corrupt);
+        }
+        let spec = String::from_utf8(r.raw(sl)?.to_vec()).map_err(|_| PersistError::Corrupt)?;
+        r.done()?;
+        Ok(WireHello { header, spec })
+    }
+}
+
+/// One block of one stage, dispatched to a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRequest {
+    /// The supervisor's commit chain at dispatch time; a worker whose
+    /// own chain differs has diverged from the committed prefix.
+    pub chain: u64,
+    /// Stage ordinal (diagnostics).
+    pub stage: u32,
+    /// Block position in the stage schedule.
+    pub pos: u32,
+    /// First iteration of the block.
+    pub start: u64,
+    /// One past the last iteration of the block.
+    pub end: u64,
+}
+
+impl BlockRequest {
+    /// Encode to a wire record, attaching a fault directive
+    /// ([`FAULT_NONE`] for a normal request). The directive rides the
+    /// request — not the worker state — so a re-dispatched block never
+    /// re-fires a one-shot fault.
+    pub fn encode(&self, fault: u32) -> Vec<u8> {
+        let mut w = Writer::new(KIND_DIST_REQUEST);
+        w.u64(self.chain);
+        w.u32(self.stage);
+        w.u32(self.pos);
+        w.u64(self.start);
+        w.u64(self.end);
+        w.u32(fault);
+        w.finish()
+    }
+
+    /// Decode from a wire record, returning the request and its fault
+    /// directive.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, u32), PersistError> {
+        let mut r = Reader::open(bytes, KIND_DIST_REQUEST)?;
+        let req = BlockRequest {
+            chain: r.u64()?,
+            stage: r.u32()?,
+            pos: r.u32()?,
+            start: r.u64()?,
+            end: r.u64()?,
+        };
+        let fault = r.u32()?;
+        if fault > FAULT_CORRUPT {
+            return Err(PersistError::Corrupt);
+        }
+        r.done()?;
+        Ok((req, fault))
+    }
+}
+
+/// One tested slot's speculative outcome inside a [`BlockReply`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlotReply {
+    /// Dynamic reference count (marking-overhead accounting).
+    pub refs: u64,
+    /// Touched elements: `(element, mark code, value bits)`. The value
+    /// is the written value for write marks, the accumulated delta for
+    /// reduction marks, and 0 for exposed reads.
+    pub touched: Vec<(u32, u8, u64)>,
+}
+
+/// A worker's result for one dispatched block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlockReply {
+    /// The worker's commit chain when it executed the block; must match
+    /// the supervisor's or the worker has diverged.
+    pub chain: u64,
+    /// Echo of [`BlockRequest::pos`].
+    pub pos: u32,
+    /// Iteration at which the block requested a premature exit, if any.
+    pub exit_iter: Option<u32>,
+    /// A panic contained during the block: `(iteration, message)`.
+    pub fault: Option<(u64, String)>,
+    /// Per tested slot, in slot order.
+    pub tested: Vec<SlotReply>,
+    /// Per untested slot, in slot order: the `(element, new value
+    /// bits)` pairs the block wrote in place.
+    pub untested: Vec<Vec<(u32, u64)>>,
+    /// `(iteration, cost)` pairs executed, in execution order.
+    pub iter_costs: Vec<(u32, f64)>,
+}
+
+/// Sentinel for "no exit" / "no fault" flags on the wire.
+const NONE_SENTINEL: u64 = u64::MAX;
+
+impl BlockReply {
+    /// Encode to a wire record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_DIST_REPLY);
+        w.u64(self.chain);
+        w.u32(self.pos);
+        w.u64(self.exit_iter.map_or(NONE_SENTINEL, |e| e as u64));
+        match &self.fault {
+            None => w.u64(NONE_SENTINEL),
+            Some((iter, msg)) => {
+                w.u64(*iter);
+                w.u64(msg.len() as u64);
+                w.raw(msg.as_bytes());
+            }
+        }
+        w.u32(self.tested.len() as u32);
+        for slot in &self.tested {
+            w.u64(slot.refs);
+            w.u64(slot.touched.len() as u64);
+            for &(elem, code, bits) in &slot.touched {
+                w.u32(elem);
+                w.u32(code as u32);
+                w.u64(bits);
+            }
+        }
+        w.u32(self.untested.len() as u32);
+        for entries in &self.untested {
+            w.u64(entries.len() as u64);
+            for &(elem, bits) in entries {
+                w.u32(elem);
+                w.u64(bits);
+            }
+        }
+        w.u64(self.iter_costs.len() as u64);
+        for &(iter, cost) in &self.iter_costs {
+            w.u32(iter);
+            w.u64(cost.to_bits());
+        }
+        w.finish()
+    }
+
+    /// Decode from a wire record.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, KIND_DIST_REPLY)?;
+        let chain = r.u64()?;
+        let pos = r.u32()?;
+        let exit_raw = r.u64()?;
+        let exit_iter = if exit_raw == NONE_SENTINEL {
+            None
+        } else {
+            Some(u32::try_from(exit_raw).map_err(|_| PersistError::Corrupt)?)
+        };
+        let fault_raw = r.u64()?;
+        let fault = if fault_raw == NONE_SENTINEL {
+            None
+        } else {
+            let ml = r.u64()? as usize;
+            if ml > r.remaining() {
+                return Err(PersistError::Corrupt);
+            }
+            let msg = String::from_utf8(r.raw(ml)?.to_vec()).map_err(|_| PersistError::Corrupt)?;
+            Some((fault_raw, msg))
+        };
+        let num_tested = r.u32()? as usize;
+        if num_tested > r.remaining() {
+            return Err(PersistError::Corrupt);
+        }
+        let mut tested = Vec::with_capacity(num_tested);
+        for _ in 0..num_tested {
+            let refs = r.u64()?;
+            let count = r.u64()? as usize;
+            if count > r.remaining() / 16 + 1 {
+                return Err(PersistError::Corrupt);
+            }
+            let mut touched = Vec::with_capacity(count);
+            for _ in 0..count {
+                let elem = r.u32()?;
+                let code = r.u32()?;
+                if !(MARK_EXPOSED as u32..=MARK_REDUCTION as u32).contains(&code) {
+                    return Err(PersistError::Corrupt);
+                }
+                touched.push((elem, code as u8, r.u64()?));
+            }
+            tested.push(SlotReply { refs, touched });
+        }
+        let num_untested = r.u32()? as usize;
+        if num_untested > r.remaining() {
+            return Err(PersistError::Corrupt);
+        }
+        let mut untested = Vec::with_capacity(num_untested);
+        for _ in 0..num_untested {
+            let count = r.u64()? as usize;
+            if count > r.remaining() / 12 + 1 {
+                return Err(PersistError::Corrupt);
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let elem = r.u32()?;
+                entries.push((elem, r.u64()?));
+            }
+            untested.push(entries);
+        }
+        let num_costs = r.u64()? as usize;
+        if num_costs > r.remaining() / 12 + 1 {
+            return Err(PersistError::Corrupt);
+        }
+        let mut iter_costs = Vec::with_capacity(num_costs);
+        for _ in 0..num_costs {
+            let iter = r.u32()?;
+            iter_costs.push((iter, f64::from_bits(r.u64()?)));
+        }
+        r.done()?;
+        Ok(BlockReply {
+            chain,
+            pos,
+            exit_iter,
+            fault,
+            tested,
+            untested,
+            iter_costs,
+        })
+    }
+}
+
+/// Encode a liveness heartbeat carrying a worker-local sequence number.
+pub fn encode_heartbeat(seq: u64) -> Vec<u8> {
+    let mut w = Writer::new(KIND_DIST_HEARTBEAT);
+    w.u64(seq);
+    w.finish()
+}
+
+/// Encode an orderly-shutdown record.
+pub fn encode_shutdown() -> Vec<u8> {
+    Writer::new(KIND_DIST_SHUTDOWN).finish()
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor-side abstraction
+// ---------------------------------------------------------------------------
+
+/// The worker fleet is unrecoverable: the respawn budget is exhausted
+/// (or the fleet could never be launched). The engine reacts by
+/// degrading to in-process execution — never by failing the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerLoss {
+    /// Human-readable cause (diagnostics).
+    pub reason: String,
+}
+
+impl std::fmt::Display for WorkerLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker fleet lost: {}", self.reason)
+    }
+}
+
+/// Wall-clock transport accounting for one stage of distributed
+/// execution, drained via [`BlockDispatcher::take_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TransportStats {
+    /// Seconds spent encoding and shipping block requests.
+    pub dispatch_seconds: f64,
+    /// Seconds spent waiting on and decoding worker replies.
+    pub collect_seconds: f64,
+    /// Bytes moved over worker pipes, both directions.
+    pub wire_bytes: u64,
+    /// Workers respawned (kill, deadline, or divergence).
+    pub respawns: usize,
+}
+
+impl TransportStats {
+    /// Accumulate another measurement into this one.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.dispatch_seconds += other.dispatch_seconds;
+        self.collect_seconds += other.collect_seconds;
+        self.wire_bytes += other.wire_bytes;
+        self.respawns += other.respawns;
+    }
+}
+
+/// The supervisor's handle on a worker fleet. Implemented by
+/// `rlrpd-dist`'s subprocess fleet (heartbeats, deadlines, respawn with
+/// backoff, divergence rejection) and by in-process loopbacks in tests.
+///
+/// Contract: `dispatch` returns exactly one reply per request, in
+/// request order, each already validated against the supervisor's
+/// chain; every recoverable fault (dead, hung, or divergent worker) is
+/// handled *inside* the dispatcher by respawn + re-dispatch.
+/// [`WorkerLoss`] is returned only when the fleet is beyond recovery,
+/// and the engine then degrades to in-process execution.
+pub trait BlockDispatcher {
+    /// Broadcast one commit record (journal wire image) to every
+    /// worker, advancing their mirror of the committed prefix.
+    fn broadcast(&mut self, record: &[u8]) -> Result<(), WorkerLoss>;
+
+    /// Execute one stage's blocks on the fleet and collect the replies.
+    fn dispatch(&mut self, reqs: &[BlockRequest]) -> Result<Vec<BlockReply>, WorkerLoss>;
+
+    /// Drain the transport accounting accumulated since the last call.
+    fn take_stats(&mut self) -> TransportStats;
+}
+
+/// Launches a worker fleet for a run. Implemented by `rlrpd-dist`'s
+/// process launcher; the indirection keeps `rlrpd-core` free of any
+/// process-management code.
+pub trait DistConnector {
+    /// Launch (or attach to) a fleet for the run described by `hello`.
+    /// An `Err` degrades the run to the in-process pooled path and is
+    /// recorded as a worker loss.
+    fn connect(&mut self, hello: &WireHello) -> Result<Box<dyn BlockDispatcher>, String>;
+}
+
+/// The engine's live connection to a worker fleet.
+pub(crate) struct RemoteLink<T> {
+    /// The fleet.
+    pub dispatcher: Box<dyn BlockDispatcher>,
+    /// FNV chain over hello-header + broadcast commit records.
+    pub chain: u64,
+    /// Commit records broadcast so far (stage ordinal of the next one).
+    pub commits: usize,
+    /// Element-type bit converters (captured where `T: JournalElem` is
+    /// known, so the engine itself stays `T: Value`).
+    pub to_bits: fn(T) -> u64,
+    /// Inverse of `to_bits`.
+    pub from_bits: fn(u64) -> T,
+}
+
+impl<T: Value> Engine<'_, T> {
+    /// Execute one stage's blocks on the worker fleet, loading the
+    /// replies into the per-block states exactly as local execution
+    /// would have left them. On [`WorkerLoss`] nothing has been loaded
+    /// and the caller re-runs the stage in-process.
+    pub(crate) fn execute_remote(
+        &mut self,
+        schedule: &BlockSchedule,
+        stage: usize,
+        stats: &mut StageStats,
+    ) -> Result<(StageTiming, Option<FaultEvent>), WorkerLoss> {
+        let start = std::time::Instant::now();
+        let (replies, from_bits, chain) = {
+            let link = self.remote.as_mut().expect("execute_remote needs a link");
+            let reqs: Vec<BlockRequest> = schedule
+                .blocks()
+                .iter()
+                .enumerate()
+                .map(|(pos, b)| BlockRequest {
+                    chain: link.chain,
+                    stage: stage as u32,
+                    pos: pos as u32,
+                    start: b.range.start as u64,
+                    end: b.range.end as u64,
+                })
+                .collect();
+            // Drain transport stats in both outcomes: the respawns
+            // leading up to a fleet loss belong on the report too.
+            let replies = link.dispatcher.dispatch(&reqs);
+            let t = link.dispatcher.take_stats();
+            stats.dispatch_seconds += t.dispatch_seconds;
+            stats.collect_seconds += t.collect_seconds;
+            stats.wire_bytes += t.wire_bytes;
+            stats.respawns += t.respawns;
+            (replies?, link.from_bits, link.chain)
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        if replies.len() != schedule.num_blocks() {
+            return Err(WorkerLoss {
+                reason: format!(
+                    "{} replies for {} blocks",
+                    replies.len(),
+                    schedule.num_blocks()
+                ),
+            });
+        }
+        // Defensive re-validation of the dispatcher contract; only
+        // after every reply passes does any engine state change, so a
+        // loss here leaves the stage cleanly re-runnable in-process.
+        for (pos, reply) in replies.iter().enumerate() {
+            if reply.pos as usize != pos || reply.chain != chain {
+                return Err(WorkerLoss {
+                    reason: format!("divergent reply for block {pos}"),
+                });
+            }
+            if reply.tested.len() != self.tested_ids.len()
+                || reply.untested.len() != self.untested_ids.len()
+            {
+                return Err(WorkerLoss {
+                    reason: format!("malformed reply for block {pos}"),
+                });
+            }
+        }
+
+        let mut fault: Option<FaultEvent> = None;
+        let mut per_block_cost = vec![0.0; schedule.num_blocks()];
+        for (pos, reply) in replies.into_iter().enumerate() {
+            let st = &mut self.states[pos];
+            st.iter_costs.clear();
+            st.iter_costs.extend_from_slice(&reply.iter_costs);
+            st.exit_iter = reply.exit_iter;
+            per_block_cost[pos] = reply.iter_costs.iter().map(|&(_, c)| c).sum();
+            for (slot, sr) in reply.tested.iter().enumerate() {
+                let view = &mut st.views[slot];
+                for &(elem, code, bits) in &sr.touched {
+                    let e = elem as usize;
+                    match code {
+                        MARK_EXPOSED => view.replay_exposed_read(e),
+                        MARK_WRITE => view.replay_write(e, from_bits(bits), false),
+                        MARK_WRITE_EXPOSED => view.replay_write(e, from_bits(bits), true),
+                        _ => view.replay_reduction(e, from_bits(bits)),
+                    }
+                }
+                view.set_refs(sr.refs);
+            }
+            for (slot, entries) in reply.untested.iter().enumerate() {
+                let buf = &self.shared[self.untested_ids[slot]];
+                for &(elem, bits) in entries {
+                    let e = elem as usize;
+                    // SAFETY: untested contract — this block is the
+                    // sole writer of element e this stage, and the
+                    // first-write snapshot reads the pre-stage value.
+                    st.wlog.record(slot, e, || unsafe { buf.get(e) });
+                    unsafe { buf.set(e, from_bits(bits), pos as u32) };
+                }
+            }
+            if fault.is_none() {
+                if let Some((iter, message)) = reply.fault {
+                    // Replies arrive in block order, so the first fault
+                    // seen is the lowest position — same rule as the
+                    // local executors.
+                    fault = Some(FaultEvent {
+                        pos,
+                        iter: iter as usize,
+                        message,
+                    });
+                }
+            }
+        }
+        Ok((
+            StageTiming {
+                per_block_cost,
+                wall_seconds,
+            },
+            fault,
+        ))
+    }
+
+    /// Broadcast one stage's commit record to the fleet (no-op without
+    /// a live link). The record is assembled by the same
+    /// [`record_from_delta`] the crash journal uses and chained with
+    /// the same FNV chain, so a journaled distributed run writes
+    /// byte-identical records to disk and wire. A broadcast failure
+    /// drops the link (the workers are gone) and the run continues
+    /// in-process.
+    pub(crate) fn broadcast_commit(
+        &mut self,
+        frontier: usize,
+        exited_at: Option<usize>,
+        fallback: bool,
+        delta: &StageDelta<T>,
+    ) {
+        let Some(link) = self.remote.as_mut() else {
+            return;
+        };
+        let rec = record_from_delta(
+            link.commits,
+            frontier,
+            exited_at,
+            fallback,
+            delta,
+            link.to_bits,
+        );
+        let bytes = rec.encode(link.chain);
+        match link.dispatcher.broadcast(&bytes) {
+            Ok(()) => {
+                link.chain = fnv(&bytes);
+                link.commits += 1;
+            }
+            Err(_) => {
+                self.remote = None;
+                self.worker_loss = true;
+            }
+        }
+    }
+}
+
+/// Attach a worker fleet to `engine` (called by the distributed run
+/// entry points before driving). A connector failure records a worker
+/// loss and leaves the engine on its in-process path.
+pub(crate) fn attach_remote<T: Value + JournalElem>(
+    engine: &mut Engine<'_, T>,
+    header: &JournalHeader,
+    spec: &str,
+    connector: &mut dyn DistConnector,
+) {
+    let hello = WireHello {
+        header: header.encode(CHAIN_SEED),
+        spec: spec.to_string(),
+    };
+    match connector.connect(&hello) {
+        Ok(dispatcher) => {
+            engine.remote = Some(RemoteLink {
+                chain: fnv(&hello.header),
+                commits: 0,
+                to_bits: T::to_bits,
+                from_bits: T::from_bits,
+                dispatcher,
+            });
+        }
+        Err(_) => engine.worker_loss = true,
+    }
+}
+
+/// Drop the fleet (its `Drop` shuts the workers down) and record a
+/// worker loss on the report if one occurred anywhere in the run.
+pub(crate) fn release_remote<T: Value>(engine: &mut Engine<'_, T>, report: &mut RunReport) {
+    engine.remote = None;
+    if engine.worker_loss && report.fallback.is_none() {
+        report.fallback = Some(FallbackReason::WorkerLoss);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Serve one worker session over `input`/`send`: validate the hello's
+/// run identity against `lp`, then loop — fold commit broadcasts into
+/// the mirror of shared storage, execute block requests, reply —
+/// until an orderly shutdown or EOF (supervisor death; also an orderly
+/// end, so a SIGKILLed supervisor never leaves orphans running).
+///
+/// `send` is a closure rather than a writer so the caller can interleave
+/// heartbeat frames from a side thread behind one lock.
+///
+/// Block execution is **idempotent**: the worker's arrays always hold
+/// exactly the committed prefix — speculative untested writes are
+/// rolled back through the write-log after every block — so the
+/// supervisor may re-dispatch any block to a fresh worker at any time.
+pub fn serve_worker<T: Value + JournalElem>(
+    lp: &dyn SpecLoop<T>,
+    hello: &WireHello,
+    input: &mut dyn Read,
+    send: &mut dyn FnMut(&[u8]) -> std::io::Result<()>,
+) -> Result<(), WireError> {
+    let header = JournalHeader::decode(&hello.header, CHAIN_SEED)
+        .map_err(|e| WireError::Protocol(format!("bad hello header: {e}")))?;
+    let mut engine = Engine::new(
+        lp,
+        EngineCfg {
+            p: 1,
+            exec: ExecMode::Simulated,
+            cost: CostModel::default(),
+            // Rollback after every block needs the undo log.
+            checkpoint: CheckpointPolicy::OnDemand,
+            commit_prefix_on_failure: true,
+            fault: None,
+            capture_deltas: false,
+        },
+        false,
+    );
+    if header.n != engine.n {
+        return Err(WireError::Protocol(format!(
+            "iteration count {} != resolved loop's {}",
+            header.n, engine.n
+        )));
+    }
+    if header.arrays != engine.layout() {
+        return Err(WireError::Protocol("array layout mismatch".into()));
+    }
+    if header.elem_hash != elem_fingerprint::<T>() {
+        return Err(WireError::Protocol("element type mismatch".into()));
+    }
+
+    let mut chain = fnv(&hello.header);
+    loop {
+        let Some(frame) = read_frame(input)? else {
+            return Ok(()); // supervisor went away: orderly end
+        };
+        match frame_kind(&frame) {
+            Some(KIND_DIST_SHUTDOWN) => {
+                Reader::open(&frame, KIND_DIST_SHUTDOWN)?.done()?;
+                return Ok(());
+            }
+            Some(KIND_JOURNAL_COMMIT) => {
+                let rec = crate::journal::CommitRecord::decode(&frame, chain)
+                    .map_err(|e| WireError::Protocol(format!("bad commit broadcast: {e}")))?;
+                for (id, elems) in &rec.arrays {
+                    let buf = engine
+                        .shared
+                        .get_mut(*id as usize)
+                        .ok_or_else(|| WireError::Protocol("commit names unknown array".into()))?;
+                    let slice = buf.as_mut_slice();
+                    for &(elem, bits) in elems {
+                        let slot = slice.get_mut(elem as usize).ok_or_else(|| {
+                            WireError::Protocol("commit element out of bounds".into())
+                        })?;
+                        *slot = T::from_bits(bits);
+                    }
+                }
+                chain = fnv(&frame);
+            }
+            Some(KIND_DIST_REQUEST) => {
+                let (req, fault) = BlockRequest::decode(&frame)
+                    .map_err(|e| WireError::Protocol(format!("bad block request: {e}")))?;
+                if req.chain != chain {
+                    return Err(WireError::Protocol(format!(
+                        "chain mismatch: supervisor {:#x}, worker {chain:#x}",
+                        req.chain
+                    )));
+                }
+                match fault {
+                    FAULT_KILL => std::process::abort(),
+                    FAULT_HANG => loop {
+                        // The heartbeat side thread keeps beating: only
+                        // the block deadline can recover from this.
+                        std::thread::sleep(std::time::Duration::from_secs(3600));
+                    },
+                    _ => {}
+                }
+                let mut reply = run_block(&mut engine, &req);
+                reply.chain = if fault == FAULT_CORRUPT {
+                    chain ^ 1 // lie: the divergence check must catch it
+                } else {
+                    chain
+                };
+                send(&reply.encode())?;
+            }
+            _ => {
+                return Err(WireError::Protocol(format!(
+                    "unexpected frame kind {:?}",
+                    frame_kind(&frame)
+                )));
+            }
+        }
+    }
+}
+
+/// Execute one block against the worker's mirror of the committed
+/// prefix and package the speculative outcome, then roll the mirror
+/// back so the next (re-)dispatch starts from identical state.
+fn run_block<T: Value + JournalElem>(engine: &mut Engine<'_, T>, req: &BlockRequest) -> BlockReply {
+    let start = (req.start as usize).min(engine.n);
+    let end = (req.end as usize).min(engine.n);
+    for buf in &mut engine.shared {
+        buf.new_epoch();
+    }
+    let lp = engine.lp;
+    let meta = &engine.meta;
+    let shared = &engine.shared;
+    let st = &mut engine.states[0];
+    st.iter_costs.clear();
+    st.exit_iter = None;
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        for iter in start..end {
+            let mut ctx = IterCtx {
+                iter,
+                writer: 0,
+                meta,
+                shared,
+                views: &mut st.views,
+                wlog: Some(&mut st.wlog),
+                iter_marks: None,
+                extra_cost: 0.0,
+                exited: false,
+            };
+            lp.body(iter, &mut ctx);
+            let exited = ctx.exited;
+            st.iter_costs
+                .push((iter as u32, lp.cost(iter) + ctx.extra_cost));
+            if exited {
+                st.exit_iter = Some(iter as u32);
+                break;
+            }
+        }
+    }));
+    // One entry per completed iteration, executed in order: the
+    // faulting iteration is the next one (same rule as the engine).
+    let fault = run.err().map(|payload| {
+        (
+            (start + st.iter_costs.len()) as u64,
+            panic_message(payload.as_ref()),
+        )
+    });
+
+    let tested = st
+        .views
+        .iter()
+        .map(|view| {
+            let mut touched = Vec::with_capacity(view.num_touched());
+            for (elem, mark) in view.touched() {
+                let (code, bits) = if mark.is_written() {
+                    let code = if mark.is_exposed_read() {
+                        MARK_WRITE_EXPOSED
+                    } else {
+                        MARK_WRITE
+                    };
+                    (code, T::to_bits(view.written_value(elem)))
+                } else if mark.is_reduction_only() {
+                    (MARK_REDUCTION, T::to_bits(view.reduction_delta(elem)))
+                } else {
+                    (MARK_EXPOSED, 0)
+                };
+                touched.push((elem as u32, code, bits));
+            }
+            SlotReply {
+                refs: view.refs(),
+                touched,
+            }
+        })
+        .collect();
+    let untested = (0..engine.untested_ids.len())
+        .map(|slot| {
+            let buf = &engine.shared[engine.untested_ids[slot]];
+            st.wlog
+                .written(slot)
+                .map(|elem| {
+                    // SAFETY: this process's single block is the only
+                    // writer; the element was just written by it.
+                    (elem as u32, T::to_bits(unsafe { buf.get(elem) }))
+                })
+                .collect()
+        })
+        .collect();
+    let reply = BlockReply {
+        chain: 0, // the caller stamps the echo
+        pos: req.pos,
+        exit_iter: st.exit_iter,
+        fault,
+        tested,
+        untested,
+        iter_costs: st.iter_costs.clone(),
+    };
+
+    // Roll back: restore untested writes, drop all speculative state.
+    // The worker's arrays are again exactly the committed prefix.
+    for (slot, elem, old) in st.wlog.undo_rev() {
+        // SAFETY: restoring elements only this block wrote.
+        unsafe { engine.shared[engine.untested_ids[slot]].set(elem, old, 0) };
+    }
+    for v in &mut st.views {
+        v.clear();
+    }
+    st.wlog.clear();
+    reply
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{ArrayDecl, ArrayId, ShadowKind};
+    use crate::driver::{FallbackReason, RunConfig, Runner, Strategy};
+    use crate::engine::run_sequential;
+    use crate::spec_loop::ClosureLoop;
+    use crate::window::WindowConfig;
+    use std::sync::mpsc::{channel, Receiver, Sender};
+
+    /// A partially parallel loop touching every wire path: a tested
+    /// array with read-modify-writes (exposed + write marks), plain
+    /// writes, a sum reduction, and an untested array.
+    fn model_loop(n: usize) -> ClosureLoop {
+        ClosureLoop::new(
+            n,
+            move || {
+                vec![
+                    ArrayDecl::tested("A", vec![1.0; 64], ShadowKind::Dense),
+                    ArrayDecl::reduction(
+                        "S",
+                        vec![0.0; 4],
+                        ShadowKind::Dense,
+                        crate::value::Reduction::sum(),
+                    ),
+                    ArrayDecl::untested("U", vec![0.0; 256]),
+                ]
+            },
+            |i, ctx| {
+                let a = ArrayId(0);
+                let s = ArrayId(1);
+                let u = ArrayId(2);
+                // Backward flow dependence of stride 13 → partially
+                // parallel; read-modify-write of element i % 64.
+                let v = ctx.read(a, (i % 64).saturating_sub(13));
+                let cur = ctx.read(a, i % 64);
+                ctx.write(a, i % 64, cur + v);
+                ctx.reduce(s, i % 4, v);
+                ctx.write(u, i % 256, v + i as f64);
+            },
+        )
+    }
+
+    /// `Read` over an mpsc channel of byte chunks (a fake worker stdin).
+    struct ChanReader {
+        rx: Receiver<Vec<u8>>,
+        buf: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for ChanReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.buf.len() {
+                match self.rx.recv() {
+                    Ok(b) => {
+                        self.buf = b;
+                        self.pos = 0;
+                    }
+                    Err(_) => return Ok(0), // supervisor dropped: EOF
+                }
+            }
+            let n = (self.buf.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// Spawn an in-process worker thread running [`serve_worker`] over
+    /// channels — the loopback analogue of a worker subprocess.
+    fn spawn_loopback_worker(hello: WireHello, n: usize) -> (Sender<Vec<u8>>, Receiver<Vec<u8>>) {
+        let (tx_in, rx_in) = channel::<Vec<u8>>();
+        let (tx_out, rx_out) = channel::<Vec<u8>>();
+        std::thread::spawn(move || {
+            let lp = model_loop(n);
+            let mut input = ChanReader {
+                rx: rx_in,
+                buf: Vec::new(),
+                pos: 0,
+            };
+            let mut send = |bytes: &[u8]| {
+                tx_out.send(bytes.to_vec()).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::BrokenPipe, "supervisor gone")
+                })
+            };
+            serve_worker::<f64>(&lp, &hello, &mut input, &mut send)
+        });
+        (tx_in, rx_out)
+    }
+
+    /// Single-worker in-process dispatcher speaking the real protocol.
+    struct Loopback {
+        to_worker: Sender<Vec<u8>>,
+        from_worker: Receiver<Vec<u8>>,
+        stats: TransportStats,
+        /// Dispatch ordinals whose requests carry a corrupt-result
+        /// directive (divergence-detection tests).
+        corrupt_at: Vec<usize>,
+        ordinal: usize,
+    }
+
+    impl Loopback {
+        fn frame(record: &[u8]) -> Vec<u8> {
+            let mut framed = Vec::with_capacity(record.len() + 4);
+            write_frame(&mut framed, record).unwrap();
+            framed
+        }
+    }
+
+    impl BlockDispatcher for Loopback {
+        fn broadcast(&mut self, record: &[u8]) -> Result<(), WorkerLoss> {
+            self.stats.wire_bytes += record.len() as u64;
+            self.to_worker
+                .send(Self::frame(record))
+                .map_err(|_| WorkerLoss {
+                    reason: "loopback worker gone".into(),
+                })
+        }
+
+        fn dispatch(&mut self, reqs: &[BlockRequest]) -> Result<Vec<BlockReply>, WorkerLoss> {
+            let mut replies = Vec::with_capacity(reqs.len());
+            for req in reqs {
+                let fault = if self.corrupt_at.contains(&self.ordinal) {
+                    FAULT_CORRUPT
+                } else {
+                    FAULT_NONE
+                };
+                self.ordinal += 1;
+                let bytes = req.encode(fault);
+                self.stats.wire_bytes += bytes.len() as u64;
+                self.to_worker
+                    .send(Self::frame(&bytes))
+                    .map_err(|_| WorkerLoss {
+                        reason: "loopback worker gone".into(),
+                    })?;
+                let raw = self
+                    .from_worker
+                    .recv_timeout(std::time::Duration::from_secs(30))
+                    .map_err(|_| WorkerLoss {
+                        reason: "loopback worker silent".into(),
+                    })?;
+                self.stats.wire_bytes += raw.len() as u64;
+                let reply = BlockReply::decode(&raw).map_err(|e| WorkerLoss {
+                    reason: format!("bad loopback reply: {e}"),
+                })?;
+                if reply.chain != req.chain {
+                    // A real fleet would respawn and re-dispatch; the
+                    // loopback treats divergence as fleet loss so tests
+                    // can observe the degradation ladder.
+                    return Err(WorkerLoss {
+                        reason: "divergent loopback reply".into(),
+                    });
+                }
+                replies.push(reply);
+            }
+            Ok(replies)
+        }
+
+        fn take_stats(&mut self) -> TransportStats {
+            std::mem::take(&mut self.stats)
+        }
+    }
+
+    /// Connector launching one loopback worker thread per run.
+    struct LoopbackConnector {
+        n: usize,
+        corrupt_at: Vec<usize>,
+    }
+
+    impl LoopbackConnector {
+        fn new(n: usize) -> Self {
+            LoopbackConnector {
+                n,
+                corrupt_at: Vec::new(),
+            }
+        }
+    }
+
+    impl DistConnector for LoopbackConnector {
+        fn connect(&mut self, hello: &WireHello) -> Result<Box<dyn BlockDispatcher>, String> {
+            let (tx, rx) = spawn_loopback_worker(hello.clone(), self.n);
+            Ok(Box::new(Loopback {
+                to_worker: tx,
+                from_worker: rx,
+                stats: TransportStats::default(),
+                corrupt_at: std::mem::take(&mut self.corrupt_at),
+                ordinal: 0,
+            }))
+        }
+    }
+
+    /// A connector that cannot launch anything.
+    struct DeadConnector;
+
+    impl DistConnector for DeadConnector {
+        fn connect(&mut self, _hello: &WireHello) -> Result<Box<dyn BlockDispatcher>, String> {
+            Err("no workers available".into())
+        }
+    }
+
+    #[test]
+    fn wire_types_round_trip_and_are_hardened() {
+        let hello = WireHello {
+            header: vec![1, 2, 3, 4, 5],
+            spec: "rlp:A[i] = A[i - 1];".into(),
+        };
+        assert_eq!(WireHello::decode(&hello.encode()).unwrap(), hello);
+        crate::persist::assert_decode_hardened(&hello.encode(), WireHello::decode);
+
+        let req = BlockRequest {
+            chain: 0xdead_beef_1234_5678,
+            stage: 7,
+            pos: 3,
+            start: 100,
+            end: 164,
+        };
+        assert_eq!(
+            BlockRequest::decode(&req.encode(FAULT_HANG)).unwrap(),
+            (req, FAULT_HANG)
+        );
+        crate::persist::assert_decode_hardened(&req.encode(FAULT_NONE), |b| {
+            BlockRequest::decode(b)
+        });
+
+        let reply = BlockReply {
+            chain: 42,
+            pos: 1,
+            exit_iter: Some(17),
+            fault: Some((23, "boom: index out of range".into())),
+            tested: vec![
+                SlotReply {
+                    refs: 9,
+                    touched: vec![
+                        (0, MARK_EXPOSED, 0),
+                        (3, MARK_WRITE, 4.5f64.to_bits()),
+                        (4, MARK_WRITE_EXPOSED, 1.0f64.to_bits()),
+                    ],
+                },
+                SlotReply {
+                    refs: 2,
+                    touched: vec![(1, MARK_REDUCTION, 2.25f64.to_bits())],
+                },
+            ],
+            untested: vec![vec![(5, 8.0f64.to_bits()), (6, 9.0f64.to_bits())], vec![]],
+            iter_costs: vec![(100, 1.0), (101, 2.5)],
+        };
+        assert_eq!(BlockReply::decode(&reply.encode()).unwrap(), reply);
+        crate::persist::assert_decode_hardened(&reply.encode(), BlockReply::decode);
+
+        crate::persist::assert_decode_hardened(&encode_heartbeat(3), |b| {
+            Reader::open(b, KIND_DIST_HEARTBEAT).and_then(|mut r| r.u64())
+        });
+        assert_eq!(frame_kind(&encode_shutdown()), Some(FRAME_SHUTDOWN));
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_rejects_bad_lengths() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"world!").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"world!");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut &zero[..]).is_err(), "zero length");
+        let huge = (u32::MAX).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err(), "oversized length");
+        let torn = [5u8, 0, 0, 0, b'x'];
+        assert!(read_frame(&mut &torn[..]).is_err(), "EOF inside frame");
+        let part = [5u8, 0];
+        assert!(read_frame(&mut &part[..]).is_err(), "EOF inside length");
+    }
+
+    fn assert_matches_sequential(cfg: RunConfig, n: usize) {
+        let lp = model_loop(n);
+        let mut connector = LoopbackConnector::new(n);
+        let got = Runner::new(cfg)
+            .try_run_distributed(&lp, "loopback", &mut connector)
+            .expect("distributed run");
+        let (seq, _) = run_sequential(&lp);
+        assert_eq!(got.arrays, seq, "distributed state differs from sequential");
+        assert_eq!(got.report.fallback, None, "no degradation expected");
+        assert!(got.report.wire_bytes() > 0, "transport stats recorded");
+        assert!(got.report.restarts > 0, "loop should be partially parallel");
+    }
+
+    #[test]
+    fn distributed_run_matches_sequential_rd() {
+        let mut cfg = RunConfig::new(4);
+        cfg.strategy = Strategy::Rd;
+        assert_matches_sequential(cfg, 200);
+    }
+
+    #[test]
+    fn distributed_run_matches_sequential_nrd() {
+        let mut cfg = RunConfig::new(3);
+        cfg.strategy = Strategy::Nrd;
+        assert_matches_sequential(cfg, 150);
+    }
+
+    #[test]
+    fn distributed_run_matches_sequential_sliding_window() {
+        let mut cfg = RunConfig::new(4);
+        cfg.strategy = Strategy::SlidingWindow(WindowConfig::fixed(7));
+        assert_matches_sequential(cfg, 200);
+    }
+
+    #[test]
+    fn distributed_and_pooled_runs_are_equivalent() {
+        for strategy in [
+            Strategy::Nrd,
+            Strategy::Rd,
+            Strategy::SlidingWindow(WindowConfig::fixed(5)),
+        ] {
+            let n = 180;
+            let lp = model_loop(n);
+            let mut cfg = RunConfig::new(4);
+            cfg.strategy = strategy;
+            let local = Runner::new(cfg).try_run(&lp).expect("in-process run");
+            let mut connector = LoopbackConnector::new(n);
+            let dist = Runner::new(cfg)
+                .try_run_distributed(&lp, "loopback", &mut connector)
+                .expect("distributed run");
+            assert_eq!(dist.arrays, local.arrays, "{strategy:?}");
+            assert_eq!(dist.report.restarts, local.report.restarts, "{strategy:?}");
+            assert_eq!(
+                dist.report.stages.len(),
+                local.report.stages.len(),
+                "{strategy:?}"
+            );
+            for (d, l) in dist.report.stages.iter().zip(&local.report.stages) {
+                assert_eq!(d.iters_committed, l.iters_committed, "{strategy:?}");
+                assert_eq!(d.iters_attempted, l.iters_attempted, "{strategy:?}");
+                assert_eq!(d.loop_time, l.loop_time, "{strategy:?}");
+                assert_eq!(d.overhead.total(), l.overhead.total(), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn premature_exit_propagates_through_the_wire() {
+        let n = 120;
+        let exit_at = 73;
+        let mk = move || {
+            ClosureLoop::new(
+                n,
+                || vec![ArrayDecl::tested("A", vec![0.0; 128], ShadowKind::Dense)],
+                move |i, ctx| {
+                    let a = ArrayId(0);
+                    let v = ctx.read(a, i.saturating_sub(1));
+                    ctx.write(a, i, v + 1.0);
+                    if i == exit_at {
+                        ctx.exit();
+                    }
+                },
+            )
+        };
+        let lp = mk();
+        // Worker resolves the same loop via its own constructor.
+        let (tx_in, rx_in) = channel::<Vec<u8>>();
+        let (tx_out, rx_out) = channel::<Vec<u8>>();
+        type Channel = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+        struct ExitConnector {
+            ch: Option<Channel>,
+        }
+        impl DistConnector for ExitConnector {
+            fn connect(&mut self, _hello: &WireHello) -> Result<Box<dyn BlockDispatcher>, String> {
+                let (tx, rx) = self.ch.take().ok_or("already connected")?;
+                Ok(Box::new(Loopback {
+                    to_worker: tx,
+                    from_worker: rx,
+                    stats: TransportStats::default(),
+                    corrupt_at: Vec::new(),
+                    ordinal: 0,
+                }))
+            }
+        }
+        let hello_rx = rx_in;
+        std::thread::spawn(move || {
+            let lp = mk();
+            let mut input = ChanReader {
+                rx: hello_rx,
+                buf: Vec::new(),
+                pos: 0,
+            };
+            // First frame is the hello in this hand-rolled transport.
+            let hello_bytes = read_frame(&mut input).unwrap().unwrap();
+            let hello = WireHello::decode(&hello_bytes).unwrap();
+            let mut send = |bytes: &[u8]| {
+                tx_out.send(bytes.to_vec()).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::BrokenPipe, "supervisor gone")
+                })
+            };
+            serve_worker::<f64>(&lp, &hello, &mut input, &mut send)
+        });
+        struct HelloFirst {
+            inner: ExitConnector,
+            tx: Sender<Vec<u8>>,
+        }
+        impl DistConnector for HelloFirst {
+            fn connect(&mut self, hello: &WireHello) -> Result<Box<dyn BlockDispatcher>, String> {
+                self.tx
+                    .send(Loopback::frame(&hello.encode()))
+                    .map_err(|e| e.to_string())?;
+                self.inner.connect(hello)
+            }
+        }
+        let mut connector = HelloFirst {
+            inner: ExitConnector {
+                ch: Some((tx_in.clone(), rx_out)),
+            },
+            tx: tx_in,
+        };
+        let mut cfg = RunConfig::new(4);
+        cfg.strategy = Strategy::Rd;
+        let got = Runner::new(cfg)
+            .try_run_distributed(&lp, "loopback", &mut connector)
+            .expect("distributed run");
+        let (seq, _) = run_sequential(&lp);
+        assert_eq!(got.arrays, seq);
+        assert_eq!(got.report.exited_at, Some(exit_at));
+        assert_eq!(got.report.fallback, None);
+    }
+
+    #[test]
+    fn connector_failure_degrades_to_in_process_with_worker_loss() {
+        let n = 160;
+        let lp = model_loop(n);
+        let mut cfg = RunConfig::new(4);
+        cfg.strategy = Strategy::Rd;
+        let got = Runner::new(cfg)
+            .try_run_distributed(&lp, "loopback", &mut DeadConnector)
+            .expect("run must survive a dead connector");
+        let (seq, _) = run_sequential(&lp);
+        assert_eq!(got.arrays, seq);
+        assert_eq!(got.report.fallback, Some(FallbackReason::WorkerLoss));
+        assert_eq!(got.report.wire_bytes(), 0, "nothing ever went on a wire");
+    }
+
+    #[test]
+    fn divergent_worker_mid_run_degrades_without_losing_state() {
+        let n = 200;
+        let lp = model_loop(n);
+        let mut cfg = RunConfig::new(4);
+        cfg.strategy = Strategy::Rd;
+        let mut connector = LoopbackConnector::new(n);
+        // Corrupt the 5th dispatched block's chain echo: the loopback
+        // dispatcher reports fleet loss, the engine re-runs that stage
+        // in-process, and the run completes correctly.
+        connector.corrupt_at = vec![4];
+        let got = Runner::new(cfg)
+            .try_run_distributed(&lp, "loopback", &mut connector)
+            .expect("run must survive divergence");
+        let (seq, _) = run_sequential(&lp);
+        assert_eq!(got.arrays, seq);
+        assert_eq!(got.report.fallback, Some(FallbackReason::WorkerLoss));
+    }
+
+    #[test]
+    fn worker_rejects_a_mismatched_run_identity() {
+        let n = 60;
+        let lp = model_loop(n);
+        let other = model_loop(n + 1); // different iteration count
+        let ecfg = EngineCfg {
+            p: 2,
+            exec: ExecMode::Simulated,
+            cost: CostModel::default(),
+            checkpoint: CheckpointPolicy::OnDemand,
+            commit_prefix_on_failure: true,
+            fault: None,
+            capture_deltas: false,
+        };
+        let engine = Engine::new(&lp, ecfg, false);
+        let header = JournalHeader {
+            n: engine.n,
+            p: 2,
+            strategy_hash: 0,
+            elem_hash: elem_fingerprint::<f64>(),
+            arrays: engine.layout(),
+        };
+        let hello = WireHello {
+            header: header.encode(CHAIN_SEED),
+            spec: "loopback".into(),
+        };
+        let mut input = std::io::empty();
+        let mut send = |_: &[u8]| Ok(());
+        let err = serve_worker::<f64>(&other, &hello, &mut input, &mut send).unwrap_err();
+        assert!(
+            matches!(err, WireError::Protocol(ref m) if m.contains("iteration count")),
+            "{err}"
+        );
+        // The matching loop accepts the hello and ends cleanly on EOF.
+        serve_worker::<f64>(&lp, &hello, &mut input, &mut send).expect("clean EOF");
+    }
+}

@@ -77,6 +77,31 @@ impl RunReport {
         self.stages.iter().map(|s| s.journal_bytes).sum()
     }
 
+    /// Workers respawned across all stages of a distributed run —
+    /// deaths, deadline kills, and divergence rejections combined (0
+    /// for in-process runs).
+    pub fn respawns(&self) -> usize {
+        self.stages.iter().map(|s| s.respawns).sum()
+    }
+
+    /// Bytes moved over worker pipes across all stages of a distributed
+    /// run (0 for in-process runs).
+    pub fn wire_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.wire_bytes).sum()
+    }
+
+    /// Wall-clock seconds spent shipping block requests to workers
+    /// across all stages (0.0 for in-process runs).
+    pub fn dispatch_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.dispatch_seconds).sum()
+    }
+
+    /// Wall-clock seconds spent waiting on and decoding worker replies
+    /// across all stages (0.0 for in-process runs).
+    pub fn collect_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.collect_seconds).sum()
+    }
+
     /// Wall-clock per-phase totals across all stages (all zero when the
     /// run used the simulated executor).
     pub fn phase_totals(&self) -> PhaseSeconds {
@@ -111,7 +136,22 @@ impl std::fmt::Display for RunReport {
             writeln!(f, "contained faults: {faults}")?;
         }
         if let Some(reason) = self.fallback {
-            writeln!(f, "fell back to sequential execution: {reason:?}")?;
+            if reason == FallbackReason::WorkerLoss {
+                writeln!(f, "worker fleet lost: degraded to in-process execution")?;
+            } else {
+                writeln!(f, "fell back to sequential execution: {reason:?}")?;
+            }
+        }
+        let wbytes = self.wire_bytes();
+        if wbytes > 0 || self.respawns() > 0 {
+            writeln!(
+                f,
+                "transport: {wbytes} wire bytes, {} respawns, \
+                 {:.4}s dispatch, {:.4}s collect",
+                self.respawns(),
+                self.dispatch_seconds(),
+                self.collect_seconds()
+            )?;
         }
         let jbytes = self.journal_bytes();
         if jbytes > 0 {

@@ -197,6 +197,44 @@ impl<T: Value> ProcView<T> {
         self.refs
     }
 
+    /// Replay an exposed-read mark received from a distributed worker
+    /// ([`crate::remote`]): the element read shared data and produced
+    /// nothing, exactly as a local [`ProcView::read`] first touch would
+    /// record.
+    pub(crate) fn replay_exposed_read(&mut self, e: usize) {
+        self.shadow.on_read(e);
+    }
+
+    /// Replay a written element from a distributed worker: the private
+    /// slot holds `v`, and `exposed` carries whether the element also
+    /// consumed shared data (read-then-write, or a materialized
+    /// reduction). Produces the same final mark bits as the local
+    /// reference sequence.
+    pub(crate) fn replay_write(&mut self, e: usize, v: T, exposed: bool) {
+        if exposed {
+            self.shadow.on_read(e);
+        }
+        self.shadow.on_write(e);
+        self.store.set(e, v);
+    }
+
+    /// Replay a reduction-only element from a distributed worker: the
+    /// accumulator holds the worker's final `delta` for this stage.
+    pub(crate) fn replay_reduction(&mut self, e: usize, delta: T) {
+        self.shadow.on_reduce(e);
+        self.accum
+            .as_mut()
+            .expect("reduction replay on array declared without an operator")
+            .set(e, delta);
+    }
+
+    /// Adopt the worker-counted dynamic reference count so the
+    /// marking-overhead accounting is identical under local and
+    /// distributed execution.
+    pub(crate) fn set_refs(&mut self, refs: u64) {
+        self.refs = refs;
+    }
+
     /// Re-initialize for the next stage in O(touched).
     pub fn clear(&mut self) {
         self.shadow.clear();

@@ -139,6 +139,9 @@ pub(crate) fn run_window<T: Value>(
 
         if let Some(e) = outcome.exit {
             // Trusted premature exit: the loop is complete.
+            if let Some(delta) = outcome.delta.as_ref() {
+                engine.broadcast_commit(e + 1, Some(e), false, delta);
+            }
             journal_stage(journal, &mut outcome.stats, e + 1, Some(e), outcome.delta)?;
             report.exited_at = Some(e);
             report.stages.push(outcome.stats);
@@ -176,6 +179,10 @@ pub(crate) fn run_window<T: Value>(
                 rotation = schedule.blocks()[q].proc.index();
                 w = adapt(w, wcfg.policy);
             }
+        }
+        // Keep the worker fleet's mirror current (no-op without one).
+        if let Some(delta) = outcome.delta.as_ref() {
+            engine.broadcast_commit(commit_point, None, false, delta);
         }
         // Write-ahead: this window's commit becomes durable before the
         // run advances past it (the frontier is the updated commit

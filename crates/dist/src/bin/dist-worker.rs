@@ -1,0 +1,6 @@
+//! Standalone worker binary for the crate's own subprocess tests; the
+//! shipped equivalent is the `rlrpd worker` subcommand.
+
+fn main() {
+    std::process::exit(rlrpd_dist::worker_entry());
+}

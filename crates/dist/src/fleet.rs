@@ -1,0 +1,519 @@
+//! The supervisor side: a pool of worker subprocesses with heartbeats,
+//! per-block deadlines, retry-with-backoff, and divergence detection.
+
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rlrpd_core::remote::{
+    encode_shutdown, frame_kind, read_frame, write_frame, BlockDispatcher, BlockReply,
+    BlockRequest, DistConnector, TransportStats, WireHello, WorkerLoss, FAULT_CORRUPT, FAULT_HANG,
+    FAULT_KILL, FAULT_NONE, FRAME_HEARTBEAT, FRAME_REPLY,
+};
+use rlrpd_runtime::{FaultPlan, WorkerFault};
+
+/// How often the supervisor's collect loop wakes to check deadlines and
+/// heartbeat staleness when no frame has arrived.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Floor on the heartbeat-staleness timeout, so that short block
+/// deadlines (as used by the chaos tests) do not make ordinary
+/// scheduling jitter look like a dead worker.
+const MIN_HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Fault-tolerance policy of a worker fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistPolicy {
+    /// Worker subprocesses to keep alive.
+    pub workers: usize,
+    /// A block outstanding longer than this marks its worker hung; the
+    /// worker is killed, respawned, and the block re-dispatched.
+    pub block_deadline: Duration,
+    /// Total respawns (deaths, deadline kills, and divergence
+    /// rejections combined) tolerated across the run before the fleet
+    /// reports [`WorkerLoss`] and the run degrades to the in-process
+    /// pooled path.
+    pub max_respawns: usize,
+    /// Base delay before the first respawn; doubles per respawn.
+    pub backoff: Duration,
+}
+
+impl Default for DistPolicy {
+    fn default() -> Self {
+        DistPolicy {
+            workers: 2,
+            block_deadline: Duration::from_secs(5),
+            max_respawns: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Launches worker subprocesses for distributed runs: the
+/// [`DistConnector`] handed to `Runner::try_run_distributed`.
+///
+/// `program` + `args` must start a process that speaks the worker
+/// protocol on stdin/stdout — `rlrpd worker`, or any binary calling
+/// [`crate::worker_entry`].
+#[derive(Clone, Debug)]
+pub struct DistLauncher {
+    /// Worker executable.
+    pub program: PathBuf,
+    /// Arguments handed to every worker (e.g. the `worker` subcommand).
+    pub args: Vec<String>,
+    /// Fault-tolerance policy for the fleet.
+    pub policy: DistPolicy,
+    /// Worker-fault injection plan; directives ride the block request
+    /// frames keyed by dispatch ordinal, so a re-dispatched block never
+    /// re-fires a one-shot fault.
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl DistLauncher {
+    /// A launcher with the default policy and no fault injection.
+    pub fn new(program: PathBuf, args: Vec<String>) -> Self {
+        DistLauncher {
+            program,
+            args,
+            policy: DistPolicy::default(),
+            fault: None,
+        }
+    }
+
+    /// Replace the fault-tolerance policy.
+    pub fn with_policy(mut self, policy: DistPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attach a worker-fault injection plan.
+    pub fn with_fault(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+impl DistConnector for DistLauncher {
+    fn connect(&mut self, hello: &WireHello) -> Result<Box<dyn BlockDispatcher>, String> {
+        Fleet::launch(self, hello).map(|f| Box::new(f) as Box<dyn BlockDispatcher>)
+    }
+}
+
+/// An event forwarded by a worker's reader thread.
+enum Event {
+    /// A complete frame arrived on the worker's stdout.
+    Frame(Vec<u8>),
+    /// The worker's stdout closed (process death) or framed garbage
+    /// arrived.
+    Eof,
+}
+
+/// One worker subprocess plus its supervisor-side bookkeeping.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    /// Spawn generation; events tagged with an older generation belong
+    /// to a killed predecessor and are discarded.
+    generation: u64,
+    last_heartbeat: Instant,
+    /// `(request index, dispatch time)` of blocks sent and not yet
+    /// answered.
+    outstanding: Vec<(usize, Instant)>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// A live pool of worker subprocesses implementing [`BlockDispatcher`].
+///
+/// Created by [`DistLauncher::connect`]; owned by the engine for the
+/// duration of one distributed run. Dropping the fleet sends shutdown
+/// frames and reaps every child.
+pub struct Fleet {
+    program: PathBuf,
+    args: Vec<String>,
+    policy: DistPolicy,
+    fault: Option<Arc<FaultPlan>>,
+    /// Encoded hello record, replayed first to every (re)spawned worker.
+    hello: Vec<u8>,
+    /// Every commit record broadcast so far, in order — the replay log
+    /// that rebuilds a fresh worker's mirror of the committed prefix.
+    history: Vec<Vec<u8>>,
+    workers: Vec<Worker>,
+    tx: Sender<(usize, u64, Event)>,
+    rx: Receiver<(usize, u64, Event)>,
+    next_generation: u64,
+    total_respawns: usize,
+    /// 0-based count of block transmissions (re-dispatches included);
+    /// keys the worker-fault injection sites.
+    dispatch_ordinal: usize,
+    stats: TransportStats,
+    lost: bool,
+}
+
+impl Fleet {
+    /// Spawn `policy.workers` worker subprocesses and replay `hello` to
+    /// each. Fails (as a connect error, degrading the run in-process)
+    /// if any worker cannot be started.
+    pub fn launch(launcher: &DistLauncher, hello: &WireHello) -> Result<Fleet, String> {
+        let (tx, rx) = mpsc::channel();
+        let mut fleet = Fleet {
+            program: launcher.program.clone(),
+            args: launcher.args.clone(),
+            policy: launcher.policy,
+            fault: launcher.fault.clone(),
+            hello: hello.encode(),
+            history: Vec::new(),
+            workers: Vec::new(),
+            tx,
+            rx,
+            next_generation: 0,
+            total_respawns: 0,
+            dispatch_ordinal: 0,
+            stats: TransportStats::default(),
+            lost: false,
+        };
+        for idx in 0..launcher.policy.workers.max(1) {
+            let w = fleet
+                .spawn_worker(idx)
+                .map_err(|e| format!("cannot start worker {idx}: {e}"))?;
+            fleet.workers.push(w);
+        }
+        Ok(fleet)
+    }
+
+    /// Workers respawned so far (deaths, deadline kills, divergence).
+    pub fn respawns(&self) -> usize {
+        self.total_respawns
+    }
+
+    /// Start one worker subprocess and replay hello + commit history
+    /// into it. Does not touch `self.workers`.
+    fn spawn_worker(&mut self, idx: usize) -> std::io::Result<Worker> {
+        let mut child = Command::new(&self.program)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let mut stdin = child.stdin.take().expect("worker stdin piped");
+        let mut stdout = child.stdout.take().expect("worker stdout piped");
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let tx = self.tx.clone();
+        let reader = std::thread::spawn(move || loop {
+            match read_frame(&mut stdout) {
+                Ok(Some(frame)) => {
+                    if tx.send((idx, generation, Event::Frame(frame))).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = tx.send((idx, generation, Event::Eof));
+                    break;
+                }
+            }
+        });
+        let mut bytes = 4 + self.hello.len() as u64;
+        write_frame(&mut stdin, &self.hello)?;
+        for record in &self.history {
+            write_frame(&mut stdin, record)?;
+            bytes += 4 + record.len() as u64;
+        }
+        self.stats.wire_bytes += bytes;
+        Ok(Worker {
+            child,
+            stdin,
+            generation,
+            last_heartbeat: Instant::now(),
+            outstanding: Vec::new(),
+            reader: Some(reader),
+        })
+    }
+
+    /// Kill worker `idx` and start a replacement (after an exponential
+    /// backoff), replaying hello + history so its mirror of the
+    /// committed prefix is rebuilt. Returns the request indices that
+    /// were outstanding on the dead worker — the caller must
+    /// re-dispatch them. Fails with [`WorkerLoss`] once the respawn
+    /// budget is exhausted.
+    fn respawn(&mut self, idx: usize, why: &str) -> Result<Vec<usize>, WorkerLoss> {
+        self.total_respawns += 1;
+        self.stats.respawns += 1;
+        if self.total_respawns > self.policy.max_respawns {
+            self.lost = true;
+            return Err(WorkerLoss {
+                reason: format!(
+                    "worker {idx}: {why}; respawn budget ({}) exhausted",
+                    self.policy.max_respawns
+                ),
+            });
+        }
+        {
+            let old = &mut self.workers[idx];
+            let _ = old.child.kill();
+            let _ = old.child.wait();
+            if let Some(h) = old.reader.take() {
+                let _ = h.join();
+            }
+        }
+        let exp = (self.total_respawns - 1).min(10) as u32;
+        let backoff = self.policy.backoff * 2u32.saturating_pow(exp);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        let orphans: Vec<usize> = self.workers[idx]
+            .outstanding
+            .drain(..)
+            .map(|(req, _)| req)
+            .collect();
+        match self.spawn_worker(idx) {
+            Ok(w) => {
+                self.workers[idx] = w;
+                Ok(orphans)
+            }
+            Err(e) => {
+                self.lost = true;
+                Err(WorkerLoss {
+                    reason: format!("worker {idx}: {why}; respawn failed: {e}"),
+                })
+            }
+        }
+    }
+
+    /// The fault directive for the next block transmission.
+    fn next_fault_code(&mut self) -> u32 {
+        let ordinal = self.dispatch_ordinal;
+        self.dispatch_ordinal += 1;
+        match self.fault.as_ref().and_then(|f| f.worker_fault(ordinal)) {
+            None => FAULT_NONE,
+            Some(WorkerFault::Kill) => FAULT_KILL,
+            Some(WorkerFault::Hang) => FAULT_HANG,
+            Some(WorkerFault::CorruptResult) => FAULT_CORRUPT,
+        }
+    }
+
+    /// Transmit one block request to worker `idx`, respawning (within
+    /// budget) on a broken pipe.
+    fn send_request(
+        &mut self,
+        idx: usize,
+        req: &BlockRequest,
+        req_index: usize,
+    ) -> Result<(), WorkerLoss> {
+        loop {
+            let record = req.encode(self.next_fault_code());
+            match write_frame(&mut self.workers[idx].stdin, &record) {
+                Ok(()) => {
+                    self.stats.wire_bytes += 4 + record.len() as u64;
+                    self.workers[idx]
+                        .outstanding
+                        .push((req_index, Instant::now()));
+                    return Ok(());
+                }
+                Err(e) => {
+                    // The worker died between blocks; its outstanding
+                    // list is re-queued by respawn and re-sent here.
+                    let orphans = self.respawn(idx, &format!("request write failed: {e}"))?;
+                    for orphan in orphans {
+                        debug_assert_ne!(orphan, req_index);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-dispatch the given request indices to worker `idx`.
+    fn redispatch(
+        &mut self,
+        idx: usize,
+        orphans: Vec<usize>,
+        reqs: &[BlockRequest],
+    ) -> Result<(), WorkerLoss> {
+        for req_index in orphans {
+            self.send_request(idx, &reqs[req_index], req_index)?;
+        }
+        Ok(())
+    }
+
+    /// Heartbeat-staleness threshold: a busy worker silent this long is
+    /// presumed dead even if its block deadline has not yet passed.
+    fn heartbeat_timeout(&self) -> Duration {
+        self.policy.block_deadline.max(MIN_HEARTBEAT_TIMEOUT)
+    }
+}
+
+impl BlockDispatcher for Fleet {
+    fn broadcast(&mut self, record: &[u8]) -> Result<(), WorkerLoss> {
+        if self.lost {
+            return Err(WorkerLoss {
+                reason: "fleet already lost".into(),
+            });
+        }
+        let t0 = Instant::now();
+        // Push first: a respawn triggered by a failed write replays the
+        // history *including* this record, so the replacement needs no
+        // separate retry.
+        self.history.push(record.to_vec());
+        for idx in 0..self.workers.len() {
+            match write_frame(&mut self.workers[idx].stdin, record) {
+                Ok(()) => self.stats.wire_bytes += 4 + record.len() as u64,
+                Err(e) => {
+                    let orphans = self.respawn(idx, &format!("commit broadcast failed: {e}"))?;
+                    debug_assert!(orphans.is_empty(), "broadcast happens between stages");
+                }
+            }
+        }
+        self.stats.dispatch_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn dispatch(&mut self, reqs: &[BlockRequest]) -> Result<Vec<BlockReply>, WorkerLoss> {
+        if self.lost {
+            return Err(WorkerLoss {
+                reason: "fleet already lost".into(),
+            });
+        }
+        let workers = self.workers.len();
+        let t0 = Instant::now();
+        for (i, req) in reqs.iter().enumerate() {
+            self.send_request(i % workers, req, i)?;
+        }
+        self.stats.dispatch_seconds += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut replies: Vec<Option<BlockReply>> = reqs.iter().map(|_| None).collect();
+        let mut remaining = reqs.len();
+        let mut last_sweep = Instant::now();
+        while remaining > 0 {
+            match self.rx.recv_timeout(TICK) {
+                Ok((idx, generation, event)) => {
+                    if idx >= self.workers.len() || self.workers[idx].generation != generation {
+                        continue; // stale event from a killed predecessor
+                    }
+                    match event {
+                        Event::Frame(frame) => {
+                            self.stats.wire_bytes += 4 + frame.len() as u64;
+                            match frame_kind(&frame) {
+                                Some(FRAME_HEARTBEAT) => {
+                                    self.workers[idx].last_heartbeat = Instant::now();
+                                }
+                                Some(FRAME_REPLY) => {
+                                    self.workers[idx].last_heartbeat = Instant::now();
+                                    let reply = match BlockReply::decode(&frame) {
+                                        Ok(r) => r,
+                                        Err(e) => {
+                                            let orphans = self
+                                                .respawn(idx, &format!("undecodable reply: {e}"))?;
+                                            self.redispatch(idx, orphans, reqs)?;
+                                            continue;
+                                        }
+                                    };
+                                    let req_index = self.workers[idx]
+                                        .outstanding
+                                        .iter()
+                                        .position(|&(r, _)| reqs[r].pos == reply.pos);
+                                    let Some(slot) = req_index else {
+                                        let orphans = self
+                                            .respawn(idx, "reply for a block never dispatched")?;
+                                        self.redispatch(idx, orphans, reqs)?;
+                                        continue;
+                                    };
+                                    let (req_index, _) = self.workers[idx].outstanding[slot];
+                                    if reply.chain != reqs[req_index].chain {
+                                        // Divergent worker: its mirror of
+                                        // the committed state no longer
+                                        // matches ours. Reject the result
+                                        // and rebuild it from scratch.
+                                        let orphans = self.respawn(
+                                            idx,
+                                            "divergent result (input-chain mismatch)",
+                                        )?;
+                                        self.redispatch(idx, orphans, reqs)?;
+                                        continue;
+                                    }
+                                    self.workers[idx].outstanding.swap_remove(slot);
+                                    if replies[req_index].replace(reply).is_none() {
+                                        remaining -= 1;
+                                    }
+                                }
+                                _ => {
+                                    let orphans = self.respawn(idx, "unexpected frame kind")?;
+                                    self.redispatch(idx, orphans, reqs)?;
+                                }
+                            }
+                        }
+                        Event::Eof => {
+                            let orphans = self.respawn(idx, "worker exited")?;
+                            self.redispatch(idx, orphans, reqs)?;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable: the fleet holds a sender clone.
+                    self.lost = true;
+                    return Err(WorkerLoss {
+                        reason: "event channel disconnected".into(),
+                    });
+                }
+            }
+            // Deadline/staleness sweep on every pass, not only when the
+            // channel is quiet: a hung worker whose heartbeat thread is
+            // still alive keeps frames flowing at the heartbeat interval,
+            // so `recv_timeout` may never actually time out.
+            if last_sweep.elapsed() >= TICK {
+                last_sweep = Instant::now();
+                let now = Instant::now();
+                let deadline = self.policy.block_deadline;
+                let stale_after = self.heartbeat_timeout();
+                for idx in 0..self.workers.len() {
+                    let w = &self.workers[idx];
+                    if w.outstanding.is_empty() {
+                        continue;
+                    }
+                    let overdue = w
+                        .outstanding
+                        .iter()
+                        .any(|&(_, sent)| now.duration_since(sent) > deadline);
+                    let stale = now.duration_since(w.last_heartbeat) > stale_after;
+                    if overdue || stale {
+                        let why = if overdue {
+                            "block deadline exceeded"
+                        } else {
+                            "heartbeat lost"
+                        };
+                        let orphans = self.respawn(idx, why)?;
+                        self.redispatch(idx, orphans, reqs)?;
+                    }
+                }
+            }
+        }
+        self.stats.collect_seconds += t1.elapsed().as_secs_f64();
+        Ok(replies
+            .into_iter()
+            .map(|r| r.expect("all collected"))
+            .collect())
+    }
+
+    fn take_stats(&mut self) -> TransportStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        let bye = encode_shutdown();
+        for w in &mut self.workers {
+            let _ = write_frame(&mut w.stdin, &bye);
+        }
+        for w in &mut self.workers {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+            if let Some(h) = w.reader.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Fault-tolerant multi-process stage sharding.
+//!
+//! This crate turns the in-process R-LRPD drivers into a
+//! supervisor/worker system: the supervisor (the normal
+//! [`rlrpd_core::Runner`]) dispatches each stage's block work to worker
+//! **subprocesses** over length-framed pipes, collects per-block
+//! shadow/delta results, re-runs the existing parallel LRPD analysis on
+//! the merged shadows, and advances the commit frontier exactly as the
+//! in-process drivers do. The paper's observation that everything below
+//! the commit frontier is permanently correct (Section 2.3) is what
+//! makes this safe: a worker only ever needs the committed prefix plus
+//! one block request, so every block is idempotent and can be
+//! re-dispatched after any failure.
+//!
+//! The robustness machinery lives in [`Fleet`]:
+//!
+//! - **heartbeats** — every worker emits a heartbeat frame on a fixed
+//!   interval from a dedicated thread; a busy worker whose heartbeats
+//!   stop is presumed dead and killed;
+//! - **deadlines** — a block outstanding past
+//!   [`DistPolicy::block_deadline`] marks its worker hung (its
+//!   heartbeats may well continue: only the deadline catches a stuck
+//!   main thread);
+//! - **retry with backoff** — a dead, hung, or divergent worker is
+//!   respawned after an exponentially growing backoff and its
+//!   outstanding blocks re-dispatched, up to
+//!   [`DistPolicy::max_respawns`] across the run;
+//! - **divergence detection** — every block reply echoes the FNV chain
+//!   hash of the inputs the worker computed from (the same chain the
+//!   crash journal uses); a mismatch means the worker's mirror of the
+//!   committed state has diverged, so the result is rejected and the
+//!   worker rebuilt from scratch.
+//!
+//! Exhausting the respawn budget degrades the run to the in-process
+//! pooled path (recorded as `FallbackReason::WorkerLoss` on the
+//! [`rlrpd_core::RunReport`]) — never an error, and never a loss of
+//! committed work.
+
+#![warn(missing_docs)]
+
+mod fleet;
+mod spec;
+mod worker;
+
+pub use fleet::{DistLauncher, DistPolicy, Fleet};
+pub use spec::resolve_spec;
+pub use worker::{worker_entry, EXIT_OK, EXIT_TRANSPORT, EXIT_USAGE};

@@ -1,0 +1,87 @@
+//! The loop-spec registry: how a worker subprocess rebuilds the loop
+//! the supervisor is running.
+//!
+//! The wire hello carries a spec string instead of code; both sides
+//! must resolve it to the *same deterministic* loop, or the run-identity
+//! check in the worker (iteration count, array layout, element type)
+//! rejects the connection.
+
+use rlrpd_core::SpecLoop;
+use rlrpd_loops::fptrak::FptrakInput;
+use rlrpd_loops::{Dcdcmp15Loop, FptrakLoop, NlfiltInput, NlfiltLoop};
+
+/// Resolve a loop-spec string to the loop it names.
+///
+/// Supported forms:
+///
+/// - `rlp:<source>` — a loop-language program, compiled with
+///   `rlrpd_lang::compile` (what `rlrpd run --dist-workers` sends);
+/// - `fptrak:<index>` — the FPTRAK_300 kernel on deck `index` of
+///   [`FptrakInput::all`];
+/// - `dcdcmp15:<seed>` — the small SPICE DCDCMP deck generated from
+///   `seed`;
+/// - `nlfilt:i4_50` — the NLFILT_300 kernel on the 4-50 input.
+pub fn resolve_spec(spec: &str) -> Result<Box<dyn SpecLoop<f64>>, String> {
+    if let Some(src) = spec.strip_prefix("rlp:") {
+        return rlrpd_lang::compile(src)
+            .map(|lp| Box::new(lp) as Box<dyn SpecLoop<f64>>)
+            .map_err(|e| format!("rlp spec does not compile: {e}"));
+    }
+    if let Some(index) = spec.strip_prefix("fptrak:") {
+        let index: usize = index
+            .parse()
+            .map_err(|_| format!("fptrak deck index {index:?} is not a number"))?;
+        let decks = FptrakInput::all();
+        let deck = decks
+            .get(index)
+            .cloned()
+            .ok_or_else(|| format!("fptrak deck {index} out of range (have {})", decks.len()))?;
+        return Ok(Box::new(FptrakLoop::new(deck)));
+    }
+    if let Some(seed) = spec.strip_prefix("dcdcmp15:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("dcdcmp15 seed {seed:?} is not a number"))?;
+        return Ok(Box::new(Dcdcmp15Loop::small(seed)));
+    }
+    if spec == "nlfilt:i4_50" {
+        return Ok(Box::new(NlfiltLoop::new(NlfiltInput::i4_50())));
+    }
+    Err(format!("unknown loop spec {spec:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_every_registered_family() {
+        let lp =
+            resolve_spec("rlp:array A[64] = 1;\nfor i in 0..64 { A[i] = A[max(0, i - 3)] + 1; }")
+                .unwrap();
+        assert_eq!(lp.num_iters(), 64);
+        assert!(resolve_spec("fptrak:0").unwrap().num_iters() > 0);
+        assert!(resolve_spec("dcdcmp15:17").unwrap().num_iters() > 0);
+        assert!(resolve_spec("nlfilt:i4_50").unwrap().num_iters() > 0);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(resolve_spec("rlp:this is not a loop").is_err());
+        assert!(resolve_spec("fptrak:banana").is_err());
+        assert!(resolve_spec("fptrak:99").is_err());
+        assert!(resolve_spec("dcdcmp15:").is_err());
+        assert!(resolve_spec("nonsense").is_err());
+        assert!(resolve_spec("nlfilt:other").is_err());
+    }
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let a = resolve_spec("dcdcmp15:17").unwrap();
+        let b = resolve_spec("dcdcmp15:17").unwrap();
+        assert_eq!(a.num_iters(), b.num_iters());
+        let da = a.arrays();
+        let db = b.arrays();
+        assert_eq!(da.len(), db.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! The worker side: what `rlrpd worker` runs.
+//!
+//! A worker reads one hello frame from stdin (run identity + loop
+//! spec), resolves the spec locally, starts a heartbeat thread, and
+//! then serves block requests with `rlrpd_core::serve_worker` until the
+//! supervisor closes the pipe or sends a shutdown frame.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rlrpd_core::remote::{
+    encode_heartbeat, frame_kind, read_frame, write_frame, WireError, WireHello, FRAME_HELLO,
+};
+use rlrpd_core::serve_worker;
+
+use crate::spec::resolve_spec;
+
+/// Worker exit code: clean shutdown (pipe closed or shutdown frame).
+pub const EXIT_OK: i32 = 0;
+/// Worker exit code: transport I/O failure mid-run (supervisor died).
+pub const EXIT_TRANSPORT: i32 = 1;
+/// Worker exit code: protocol or usage error — an undecodable or
+/// out-of-sequence frame, an unknown loop spec, or a run-identity
+/// mismatch. Matches the CLI's usage-error exit code.
+pub const EXIT_USAGE: i32 = 64;
+
+/// Interval between heartbeat frames.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Run the worker protocol on this process's stdin/stdout; returns the
+/// process exit code.
+///
+/// Exit codes: [`EXIT_OK`] on clean shutdown, [`EXIT_USAGE`] on
+/// protocol or usage errors, [`EXIT_TRANSPORT`] on mid-run I/O
+/// failures.
+pub fn worker_entry() -> i32 {
+    let mut input = std::io::stdin().lock();
+    let frame = match read_frame(&mut input) {
+        Ok(Some(f)) => f,
+        Ok(None) => return EXIT_OK, // launched and immediately abandoned
+        Err(e) => {
+            eprintln!("rlrpd worker: bad hello frame: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    if frame_kind(&frame) != Some(FRAME_HELLO) {
+        eprintln!("rlrpd worker: first frame is not a hello");
+        return EXIT_USAGE;
+    }
+    let hello = match WireHello::decode(&frame) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("rlrpd worker: undecodable hello: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let lp = match resolve_spec(&hello.spec) {
+        Ok(lp) => lp,
+        Err(e) => {
+            eprintln!("rlrpd worker: {e}");
+            return EXIT_USAGE;
+        }
+    };
+
+    // Heartbeats share stdout with block replies under one lock so
+    // frames never interleave. A failed heartbeat write means the
+    // supervisor is gone — exit quietly rather than spin.
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    let alive = Arc::new(AtomicBool::new(true));
+    let beat = {
+        let out = Arc::clone(&out);
+        let alive = Arc::clone(&alive);
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while alive.load(Ordering::Relaxed) {
+                std::thread::sleep(HEARTBEAT_INTERVAL);
+                let record = encode_heartbeat(seq);
+                seq += 1;
+                let mut o = out.lock().expect("stdout lock");
+                if write_frame(&mut *o, &record).is_err() {
+                    std::process::exit(EXIT_OK);
+                }
+            }
+        })
+    };
+
+    let mut send = |record: &[u8]| {
+        let mut o = out.lock().expect("stdout lock");
+        write_frame(&mut *o, record)
+    };
+    let result = serve_worker::<f64>(lp.as_ref(), &hello, &mut input, &mut send);
+    alive.store(false, Ordering::Relaxed);
+    let _ = beat.join();
+    match result {
+        Ok(()) => EXIT_OK,
+        Err(WireError::Io(e)) => {
+            eprintln!("rlrpd worker: transport failed: {e}");
+            EXIT_TRANSPORT
+        }
+        Err(WireError::Protocol(e)) => {
+            eprintln!("rlrpd worker: protocol error: {e}");
+            EXIT_USAGE
+        }
+    }
+}

@@ -38,6 +38,13 @@ pub enum ExecMode {
     Pooled,
     /// Deterministic sequential emulation with virtual per-block clocks.
     Simulated,
+    /// Supervisor of a fleet of worker subprocesses: block bodies are
+    /// dispatched over a wire protocol while analysis/commit phases run
+    /// on the in-process pool. When the dispatcher is lost (worker-loss
+    /// budget exhausted) the executor itself behaves exactly like
+    /// [`ExecMode::Pooled`], which is the first rung of the distributed
+    /// degradation ladder.
+    Distributed,
 }
 
 /// Raw timing of one executed stage, before the driver layers analysis /
@@ -90,7 +97,7 @@ impl Executor {
     /// one engine per restarted run — reuses the same OS threads.
     pub fn with_procs(mode: ExecMode, procs: usize) -> Self {
         let pool = match mode {
-            ExecMode::Pooled => Some(WorkerPool::shared(procs)),
+            ExecMode::Pooled | ExecMode::Distributed => Some(WorkerPool::shared(procs)),
             ExecMode::Threads | ExecMode::Simulated => None,
         };
         Executor { mode, pool }
@@ -209,7 +216,7 @@ impl Executor {
                     panic_slot.into_inner().unwrap(),
                 )
             }
-            ExecMode::Pooled => {
+            ExecMode::Pooled | ExecMode::Distributed => {
                 let start = std::time::Instant::now();
                 let pool = self.pool.as_ref().expect("pooled executor has a pool");
                 let states_ptr = SendPtr::new(states.as_mut_ptr());
@@ -249,7 +256,7 @@ impl Executor {
     {
         match self.mode {
             ExecMode::Simulated => (0..n).map(f).collect(),
-            ExecMode::Pooled => self
+            ExecMode::Pooled | ExecMode::Distributed => self
                 .pool
                 .as_ref()
                 .expect("pooled executor has a pool")

@@ -34,7 +34,7 @@
 //! `(proc, iteration)` pair, not by thread timing, injection is
 //! deterministic across the simulated, threaded, and pooled executors.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// The unwind payload of an injected panic.
 ///
@@ -103,6 +103,23 @@ impl Site {
     }
 }
 
+/// A worker-subprocess fault directive, keyed by dispatch ordinal (the
+/// count of block transmissions over the run, re-dispatches included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The worker aborts (SIGABRT) on receipt — models a crash/SIGKILL;
+    /// the supervisor sees EOF and must respawn + re-dispatch.
+    Kill,
+    /// The worker's main thread stops making progress while its
+    /// heartbeat thread keeps beating — only the per-block deadline can
+    /// catch it.
+    Hang,
+    /// The worker computes the block normally but lies about the chain
+    /// hash of its inputs — the supervisor must reject the result as
+    /// divergent and re-dispatch.
+    CorruptResult,
+}
+
 /// A deterministic, seedable description of faults to inject into a
 /// speculative run. See the module docs for the fault vocabulary.
 ///
@@ -120,6 +137,14 @@ pub struct FaultPlan {
     io_corrupts: Vec<Site>,
     /// Record ordinals whose durability barrier (fsync) fails.
     io_fsync_fails: Vec<Site>,
+    /// `(site keyed by record ordinal, remaining transient failures)` —
+    /// the first `remaining` write attempts of that record fail with a
+    /// transient errno (EINTR); the bounded retry in the journal should
+    /// absorb them.
+    io_transients: Vec<(Site, AtomicU32)>,
+    /// `(site keyed by dispatch ordinal, directive)` — worker-process
+    /// faults, delivered in the block request frame.
+    worker_faults: Vec<(Site, WorkerFault)>,
 }
 
 impl FaultPlan {
@@ -185,6 +210,40 @@ impl FaultPlan {
         self
     }
 
+    /// Fail the first `times` write attempts of journal record ordinal
+    /// `record` with a transient errno (EINTR). Unlike the other I/O
+    /// sites this is a *counted* site: it fires `times` times, then the
+    /// write goes through — exercising the journal's bounded retry.
+    pub fn transient_io_at(mut self, record: usize, times: u32) -> Self {
+        self.io_transients
+            .push((Site::new(0, record), AtomicU32::new(times)));
+        self
+    }
+
+    /// Kill the worker that receives dispatch ordinal `dispatch`
+    /// (0-based count of block transmissions over the run), one-shot.
+    pub fn kill_worker_at(mut self, dispatch: usize) -> Self {
+        self.worker_faults
+            .push((Site::new(ANY_PROC, dispatch), WorkerFault::Kill));
+        self
+    }
+
+    /// Hang the worker that receives dispatch ordinal `dispatch` — its
+    /// heartbeats continue but the block never completes — one-shot.
+    pub fn hang_worker_at(mut self, dispatch: usize) -> Self {
+        self.worker_faults
+            .push((Site::new(ANY_PROC, dispatch), WorkerFault::Hang));
+        self
+    }
+
+    /// Make the worker that receives dispatch ordinal `dispatch` return
+    /// a result with a corrupted input-chain hash, one-shot.
+    pub fn corrupt_result_at(mut self, dispatch: usize) -> Self {
+        self.worker_faults
+            .push((Site::new(ANY_PROC, dispatch), WorkerFault::CorruptResult));
+        self
+    }
+
     /// Derive a single-panic plan from `seed` for a loop of `n`
     /// iterations: the canonical "inject a panic into any one
     /// iteration" configuration of the containment acceptance suite,
@@ -205,6 +264,8 @@ impl FaultPlan {
             && self.io_short_writes.is_empty()
             && self.io_corrupts.is_empty()
             && self.io_fsync_fails.is_empty()
+            && self.io_transients.is_empty()
+            && self.worker_faults.is_empty()
     }
 
     /// Should a panic fire for iteration `iter` on processor `proc`?
@@ -263,6 +324,30 @@ impl FaultPlan {
             .iter()
             .any(|s| s.iter as usize == record && s.armed.swap(false, Ordering::Relaxed))
     }
+
+    /// Should this write attempt of journal record ordinal `record`
+    /// fail with a transient errno? Decrements the site's remaining
+    /// count (counted, not one-shot).
+    #[inline]
+    pub fn io_transient(&self, record: usize) -> bool {
+        self.io_transients.iter().any(|(s, remaining)| {
+            s.iter as usize == record
+                && remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+        })
+    }
+
+    /// The worker fault directive (if any) for dispatch ordinal
+    /// `dispatch`. Disarms the site (one-shot), so a re-dispatch of the
+    /// same block after recovery runs clean.
+    #[inline]
+    pub fn worker_fault(&self, dispatch: usize) -> Option<WorkerFault> {
+        self.worker_faults
+            .iter()
+            .find(|(s, _)| s.iter as usize == dispatch && s.armed.swap(false, Ordering::Relaxed))
+            .map(|(_, k)| *k)
+    }
 }
 
 impl std::fmt::Display for FaultPlan {
@@ -289,6 +374,21 @@ impl std::fmt::Display for FaultPlan {
         }
         for s in &self.io_fsync_fails {
             parts.push(format!("fsync-fail@record {}", s.iter));
+        }
+        for (s, remaining) in &self.io_transients {
+            parts.push(format!(
+                "transient-io@record {} (×{})",
+                s.iter,
+                remaining.load(Ordering::Relaxed)
+            ));
+        }
+        for (s, kind) in &self.worker_faults {
+            let name = match kind {
+                WorkerFault::Kill => "kill-worker",
+                WorkerFault::Hang => "hang-worker",
+                WorkerFault::CorruptResult => "corrupt-result",
+            };
+            parts.push(format!("{name}@dispatch {}", s.iter));
         }
         if parts.is_empty() {
             write!(f, "no faults")
@@ -412,6 +512,36 @@ mod tests {
         assert!(text.contains("short-write@record 1 (keep 8)"), "{text}");
         assert!(text.contains("corrupt@record 2"), "{text}");
         assert!(text.contains("fsync-fail@record 3"), "{text}");
+    }
+
+    #[test]
+    fn transient_io_fires_a_counted_number_of_times() {
+        let plan = FaultPlan::new().transient_io_at(2, 3);
+        assert!(!plan.is_empty());
+        assert!(!plan.io_transient(1), "wrong record never fires");
+        assert!(plan.io_transient(2));
+        assert!(plan.io_transient(2));
+        assert!(plan.io_transient(2));
+        assert!(!plan.io_transient(2), "count exhausted");
+        assert!(plan.to_string().contains("transient-io@record 2"));
+    }
+
+    #[test]
+    fn worker_faults_are_one_shot_and_keyed_by_dispatch() {
+        let plan = FaultPlan::new()
+            .kill_worker_at(0)
+            .hang_worker_at(3)
+            .corrupt_result_at(5);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.worker_fault(1), None);
+        assert_eq!(plan.worker_fault(0), Some(WorkerFault::Kill));
+        assert_eq!(plan.worker_fault(0), None, "kill is one-shot");
+        assert_eq!(plan.worker_fault(3), Some(WorkerFault::Hang));
+        assert_eq!(plan.worker_fault(5), Some(WorkerFault::CorruptResult));
+        let text = plan.to_string();
+        assert!(text.contains("kill-worker@dispatch 0"), "{text}");
+        assert!(text.contains("hang-worker@dispatch 3"), "{text}");
+        assert!(text.contains("corrupt-result@dispatch 5"), "{text}");
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod stats;
 pub use balance::{FeedbackPartitioner, TrendMode};
 pub use cost::{Cost, CostModel};
 pub use executor::{ExecMode, Executor, StageTiming};
-pub use fault::{panic_message, FaultPlan, InjectedFault};
+pub use fault::{panic_message, FaultPlan, InjectedFault, WorkerFault};
 pub use pool::{JobPanic, WorkerPool};
 pub use proc::ProcId;
 pub use schedule::{Block, BlockSchedule};

@@ -161,6 +161,20 @@ pub struct StageStats {
     /// Bytes appended to the crash journal for this stage (0 when the
     /// run is not journaled).
     pub journal_bytes: u64,
+    /// Wall-clock seconds spent encoding and shipping block requests to
+    /// worker subprocesses (0.0 except under distributed execution).
+    /// Like the journal fields this is real I/O measured under every
+    /// executor and never feeds back into virtual-time results.
+    pub dispatch_seconds: f64,
+    /// Wall-clock seconds spent waiting on and decoding worker replies
+    /// (0.0 except under distributed execution).
+    pub collect_seconds: f64,
+    /// Bytes moved over worker pipes for this stage, both directions
+    /// (0 except under distributed execution).
+    pub wire_bytes: u64,
+    /// Worker subprocesses respawned while executing this stage (after
+    /// a kill, a missed block deadline, or a divergent result).
+    pub respawns: usize,
 }
 
 impl StageStats {

@@ -8,6 +8,9 @@
 //!                      [--threads|--pooled] [--timeline] [--report] [--runs K]
 //!                      [--fault-seed S] [--watchdog F] [--max-restarts R]
 //!                      [--max-stages M] [--journal <path>] [--resume]
+//!                      [--dist-workers N|auto] [--block-deadline SECS]
+//!                      [--max-respawns R] [--dist-fault k:O[,k:O...]]
+//! rlrpd worker
 //! rlrpd classify <file.rlp>
 //! rlrpd fmt <file.rlp>
 //! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
@@ -23,15 +26,22 @@
 //! |  2   | genuine program fault (the loop itself is faulty)    |
 //! |  3   | run exceeded its `--max-stages` cap                  |
 //! |  4   | crash-journal failure (corrupt, mismatched, or I/O)  |
-//! |  64  | usage error (unknown command, flag, or flag value)   |
+//! |  64  | usage error (unknown command, flag, or flag value;   |
+//! |      | `rlrpd worker` protocol errors)                      |
+//!
+//! Worker-fleet loss (`--dist-workers` with all respawn budget spent)
+//! is **not** an exit code: the run degrades to in-process execution
+//! and exits 0, reporting the degradation on stdout.
 
 use rlrpd::core::{AdaptRule, FallbackPolicy, FaultPlan, Timeline};
+use rlrpd::dist::{DistLauncher, DistPolicy};
 use rlrpd::{
-    extract_ddg, run_sequential, BalancePolicy, CheckpointPolicy, ExecMode, Journal, RlrpdError,
-    RunConfig, Runner, Strategy, WindowConfig,
+    extract_ddg, run_sequential, BalancePolicy, CheckpointPolicy, ExecMode, FallbackReason,
+    Journal, RlrpdError, RunConfig, Runner, Strategy, WindowConfig,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A CLI failure, classified for the process exit code.
 enum CliError {
@@ -106,7 +116,9 @@ fn usage() -> String {
     "usage:\n  rlrpd run <file.rlp> [--procs N] [--strategy nrd|rd|adaptive|sw:W] \
      [--checkpoint eager|ondemand] [--balance even|feedback|trend] [--threads|--pooled] \
      [--timeline] [--report] [--runs K] [--fault-seed S] [--watchdog F] \
-     [--max-restarts R] [--max-stages M] [--journal <path>] [--resume]\n  rlrpd classify \
+     [--max-restarts R] [--max-stages M] [--journal <path>] [--resume] \
+     [--dist-workers N|auto] [--block-deadline SECS] [--max-respawns R] \
+     [--dist-fault kill|hang|corrupt:ORDINAL[,...]]\n  rlrpd worker\n  rlrpd classify \
      <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
         .into()
@@ -118,6 +130,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     let rest: Vec<String> = it.collect();
     match cmd.as_str() {
         "run" => cmd_run(rest),
+        "worker" => cmd_worker(rest),
         "classify" => cmd_classify(rest).map_err(CliError::from),
         "fmt" => cmd_fmt(rest).map_err(CliError::from),
         "ddg" => cmd_ddg(rest).map_err(CliError::from),
@@ -154,6 +167,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-restarts",
     "--max-stages",
     "--journal",
+    "--dist-workers",
+    "--block-deadline",
+    "--max-respawns",
+    "--dist-fault",
 ];
 
 fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
@@ -275,6 +292,107 @@ fn config(flags: &Flags) -> Result<RunConfig, String> {
     Ok(cfg)
 }
 
+/// `rlrpd worker`: speak the distributed worker protocol on
+/// stdin/stdout until the supervisor hangs up. Exits 64 on protocol or
+/// usage errors, matching the CLI's usage-error convention.
+fn cmd_worker(args: Vec<String>) -> Result<(), CliError> {
+    if !args.is_empty() {
+        return Err(CliError::Usage(
+            "worker takes no arguments; it speaks the fleet protocol on stdin/stdout".into(),
+        ));
+    }
+    std::process::exit(rlrpd::dist::worker_entry());
+}
+
+/// Distributed execution options (`None` without `--dist-workers`).
+struct DistOptions {
+    policy: DistPolicy,
+    fault: Option<Arc<FaultPlan>>,
+}
+
+fn dist_options(flags: &Flags) -> Result<Option<DistOptions>, String> {
+    let Some(workers) = flags.get("--dist-workers") else {
+        for f in ["--block-deadline", "--max-respawns", "--dist-fault"] {
+            if flags.get(f).is_some() {
+                return Err(format!("{f} requires --dist-workers"));
+            }
+        }
+        return Ok(None);
+    };
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = if workers == "auto" {
+        available
+    } else {
+        let n: usize = workers
+            .parse()
+            .map_err(|_| format!("--dist-workers expects an integer or 'auto', got '{workers}'"))?;
+        if n == 0 {
+            return Err("--dist-workers expects at least 1 worker".into());
+        }
+        if n > available {
+            eprintln!(
+                "rlrpd: warning: --dist-workers {n} exceeds available parallelism \
+                 ({available}); clamping to {available}"
+            );
+            available
+        } else {
+            n
+        }
+    };
+    let mut policy = DistPolicy {
+        workers,
+        ..DistPolicy::default()
+    };
+    if let Some(secs) = flags.get("--block-deadline") {
+        let s: f64 = secs
+            .parse()
+            .map_err(|_| format!("--block-deadline expects seconds, got '{secs}'"))?;
+        if !(s > 0.0 && s.is_finite()) {
+            return Err(format!("--block-deadline must be positive, got '{secs}'"));
+        }
+        policy.block_deadline = Duration::from_secs_f64(s);
+    }
+    policy.max_respawns = flags.usize_of("--max-respawns", policy.max_respawns)?;
+    let fault = match flags.get("--dist-fault") {
+        None => None,
+        Some(spec) => {
+            let mut plan = FaultPlan::new();
+            for part in spec.split(',') {
+                let (kind, ordinal) = part.split_once(':').ok_or(format!(
+                    "--dist-fault expects kind:ordinal entries, got '{part}'"
+                ))?;
+                let ordinal: usize = ordinal
+                    .parse()
+                    .map_err(|_| format!("bad dispatch ordinal '{ordinal}' in --dist-fault"))?;
+                plan = match kind {
+                    "kill" => plan.kill_worker_at(ordinal),
+                    "hang" => plan.hang_worker_at(ordinal),
+                    "corrupt" => plan.corrupt_result_at(ordinal),
+                    other => {
+                        return Err(format!(
+                            "unknown worker fault '{other}' (expected kill, hang, or corrupt)"
+                        ))
+                    }
+                };
+            }
+            Some(Arc::new(plan))
+        }
+    };
+    Ok(Some(DistOptions { policy, fault }))
+}
+
+/// A launcher running `rlrpd worker` on this very binary.
+fn self_launcher(opts: &DistOptions) -> Result<DistLauncher, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut launcher = DistLauncher::new(exe, vec!["worker".into()]).with_policy(opts.policy);
+    if let Some(fault) = &opts.fault {
+        launcher = launcher.with_fault(Arc::clone(fault));
+    }
+    Ok(launcher)
+}
+
 fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
     let flags = parse_flags(args).map_err(CliError::Usage)?;
     let src = source(&flags)?;
@@ -283,6 +401,7 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
     if resume && journal_path.is_none() {
         return Err(CliError::Usage("--resume requires --journal <path>".into()));
     }
+    let dist = dist_options(&flags).map_err(CliError::Usage)?;
     // Counter programs run under the EXTEND two-pass induction scheme.
     if let Ok(ind) = rlrpd::lang::CompiledInduction::compile(&src) {
         if journal_path.is_some() {
@@ -290,10 +409,24 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
                 "--journal is not supported for induction programs".into(),
             ));
         }
+        if dist.is_some() {
+            return Err(CliError::Usage(
+                "--dist-workers is not supported for induction programs".into(),
+            ));
+        }
         return run_induction_program(ind, &flags).map_err(CliError::from);
     }
     let prog = rlrpd::lang::CompiledProgram::compile(&src).map_err(|e| e.to_string())?;
-    let cfg = config(&flags).map_err(CliError::Usage)?;
+    let mut cfg = config(&flags).map_err(CliError::Usage)?;
+    if dist.is_some() {
+        if flags.has("--threads") {
+            return Err(CliError::Usage(
+                "--threads cannot combine with --dist-workers (blocks run in worker processes)"
+                    .into(),
+            ));
+        }
+        cfg.exec = ExecMode::Distributed;
+    }
     let runs = flags.usize_of("--runs", 1).map_err(CliError::Usage)?.max(1);
     if journal_path.is_some() && runs > 1 {
         return Err(CliError::Usage(
@@ -316,6 +449,14 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
             println!("fault injection: seed {seed} -> {plan}");
             runner = runner.with_fault(Arc::new(plan));
         }
+        // The worker fleet resolves the same source through the spec
+        // registry, rebuilding an identical loop on its side of the
+        // pipe.
+        let spec = format!("rlp:{src}");
+        let mut connector = match &dist {
+            Some(opts) => Some(self_launcher(opts).map_err(CliError::Other)?),
+            None => None,
+        };
         let mut last = None;
         for k in 0..runs {
             let res = match &journal_path {
@@ -334,10 +475,15 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
                         Journal::create(path)
                             .map_err(|e| CliError::Journal(format!("{path}: {e}")))?
                     };
-                    let res = if resume {
-                        runner.resume(&lp, &mut journal)?
-                    } else {
-                        runner.try_run_journaled(&lp, &mut journal)?
+                    let res = match (resume, connector.as_mut()) {
+                        (true, Some(conn)) => {
+                            runner.resume_distributed(&lp, &spec, conn, &mut journal)?
+                        }
+                        (true, None) => runner.resume(&lp, &mut journal)?,
+                        (false, Some(conn)) => {
+                            runner.try_run_distributed_journaled(&lp, &spec, conn, &mut journal)?
+                        }
+                        (false, None) => runner.try_run_journaled(&lp, &mut journal)?,
                     };
                     println!(
                         "journal: {path} holds {} records ({} commits)",
@@ -346,7 +492,10 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
                     );
                     res
                 }
-                None => runner.try_run(&lp)?,
+                None => match connector.as_mut() {
+                    Some(conn) => runner.try_run_distributed(&lp, &spec, conn)?,
+                    None => runner.try_run(&lp)?,
+                },
             };
             let faults = res.report.contained_faults();
             println!(
@@ -369,6 +518,8 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
                     String::new()
                 },
                 match res.report.fallback {
+                    Some(FallbackReason::WorkerLoss) =>
+                        ", degraded to in-process (worker loss)".to_string(),
                     Some(r) => format!(", fell back to sequential ({r:?})"),
                     None => String::new(),
                 }
@@ -376,6 +527,17 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
             last = Some(res);
         }
         let res = last.expect("at least one run");
+        if let Some(opts) = &dist {
+            println!(
+                "distributed: {} workers, {} respawns, {} wire bytes, \
+                 {:.4}s dispatch, {:.4}s collect",
+                opts.policy.workers,
+                res.report.respawns(),
+                res.report.wire_bytes(),
+                res.report.dispatch_seconds(),
+                res.report.collect_seconds()
+            );
+        }
         println!("program-lifetime PR = {:.3}", runner.pr.pr());
 
         if flags.has("--report") {
@@ -394,6 +556,11 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         if journal_path.is_some() {
             return Err(CliError::Usage(
                 "--journal operates on single-loop programs".into(),
+            ));
+        }
+        if dist.is_some() {
+            return Err(CliError::Usage(
+                "--dist-workers operates on single-loop programs".into(),
             ));
         }
         // Multi-loop program: run the phases in sequence.

@@ -23,6 +23,10 @@
 //!   loop language whose compiler statically classifies each array
 //!   (tested / untested / reduction) and executes the loop under the
 //!   speculative engine.
+//! * [`dist`] ([`rlrpd_dist`]) — fault-tolerant multi-process stage
+//!   sharding: supervisor/worker subprocess fleets with heartbeats,
+//!   per-block deadlines, retry-with-backoff, and divergence
+//!   detection.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory and substitutions, and `EXPERIMENTS.md` for the
@@ -30,6 +34,7 @@
 //! `examples/` and the per-figure binaries in `crates/bench`.
 
 pub use rlrpd_core as core;
+pub use rlrpd_dist as dist;
 pub use rlrpd_lang as lang;
 pub use rlrpd_loops as loops;
 pub use rlrpd_model as model;

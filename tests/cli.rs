@@ -275,3 +275,159 @@ fn journaled_run_resumes_after_a_torn_tail() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn worker_subcommand_rejects_arguments_with_64() {
+    assert_eq!(exit_code(&["worker", "extra"]), 64);
+}
+
+#[test]
+fn worker_with_garbage_on_stdin_exits_64() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rlrpd"))
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // A well-framed record that is not a hello: protocol error.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(&[5, 0, 0, 0, 1, 2, 3, 4, 5])
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(64), "{out:?}");
+}
+
+#[test]
+fn worker_abandoned_at_launch_exits_0() {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rlrpd"))
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    drop(child.stdin.take()); // supervisor hangs up before the hello
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn dist_flag_misuse_exits_64() {
+    let prog = program("tracking.rlp");
+    assert_eq!(exit_code(&["run", &prog, "--dist-workers", "zero"]), 64);
+    assert_eq!(exit_code(&["run", &prog, "--dist-workers", "0"]), 64);
+    assert_eq!(exit_code(&["run", &prog, "--block-deadline", "1"]), 64);
+    assert_eq!(exit_code(&["run", &prog, "--max-respawns", "3"]), 64);
+    assert_eq!(
+        exit_code(&[
+            "run",
+            &prog,
+            "--dist-workers",
+            "1",
+            "--dist-fault",
+            "melt:1"
+        ]),
+        64
+    );
+    assert_eq!(
+        exit_code(&["run", &prog, "--dist-workers", "1", "--dist-fault", "kill"]),
+        64
+    );
+    assert_eq!(
+        exit_code(&["run", &prog, "--dist-workers", "1", "--threads"]),
+        64
+    );
+}
+
+#[test]
+fn distributed_run_verifies_and_reports_transport() {
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--strategy",
+        "rd",
+        "--dist-workers",
+        "auto",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("distributed:"), "{stdout}");
+    assert!(stdout.contains("wire bytes"), "{stdout}");
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn distributed_run_recovers_from_an_injected_worker_kill() {
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--strategy",
+        "rd",
+        "--dist-workers",
+        "auto",
+        "--dist-fault",
+        "kill:1",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        !stdout.contains(" 0 respawns"),
+        "the injected kill must cost a respawn: {stdout}"
+    );
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn distributed_journaled_run_resumes_after_a_torn_tail() {
+    let path = scratch("dist-resume-journal.bin");
+    let path_str = path.to_str().unwrap().to_owned();
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--dist-workers",
+        "auto",
+        "--journal",
+        &path_str,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("journal:"), "{stdout}");
+
+    // Crash mid-append, then resume *distributed*: the fleet is
+    // brought to the recovered frontier with one synthetic broadcast.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--dist-workers",
+        "auto",
+        "--journal",
+        &path_str,
+        "--resume",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("resumed from iteration"), "{stdout}");
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&path).ok();
+}

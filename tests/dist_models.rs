@@ -1,0 +1,139 @@
+//! Distributed execution on the paper's workload models, end to end:
+//! supervisor + real `rlrpd worker` subprocesses running TRACK
+//! (FPTRAK), SPICE (DCDCMP), and NLFILT kernels while workers are
+//! killed, hung, and corrupted at seeded dispatch points — the final
+//! arrays must stay byte-identical to sequential execution, and a
+//! fault-free distributed run must report the same commit-frontier
+//! series as the in-process pooled path.
+//!
+//! This is the workload-level counterpart of the synthetic-loop chaos
+//! suite in `crates/dist/tests/worker_chaos.rs`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rlrpd::dist::{DistLauncher, DistPolicy};
+use rlrpd::{
+    run_sequential, ExecMode, FaultPlan, RunConfig, Runner, SpecLoop, Strategy, WindowConfig,
+};
+
+/// `(spec string, loop)` pairs: the supervisor resolves the very same
+/// registry entry the worker subprocess will.
+fn models() -> Vec<(&'static str, Box<dyn SpecLoop<f64>>)> {
+    ["fptrak:0", "dcdcmp15:17", "nlfilt:i4_50"]
+        .into_iter()
+        .map(|spec| {
+            (
+                spec,
+                rlrpd::dist::resolve_spec(spec).expect("registry spec"),
+            )
+        })
+        .collect()
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Nrd,
+        Strategy::Rd,
+        Strategy::SlidingWindow(WindowConfig::fixed(7)),
+    ]
+}
+
+/// Seeds for the chaos sweep; the CI matrix pins one per job through
+/// `RLRPD_FAULT_SEED`.
+fn seeds() -> Vec<u64> {
+    match std::env::var("RLRPD_FAULT_SEED") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("RLRPD_FAULT_SEED must be an unsigned integer")],
+        Err(_) => vec![3, 17, 2002],
+    }
+}
+
+fn launcher(fault: Option<FaultPlan>) -> DistLauncher {
+    let policy = DistPolicy {
+        workers: 2,
+        block_deadline: Duration::from_millis(800),
+        max_respawns: 8,
+        backoff: Duration::from_millis(10),
+    };
+    let mut l = DistLauncher::new(
+        PathBuf::from(env!("CARGO_BIN_EXE_rlrpd")),
+        vec!["worker".into()],
+    )
+    .with_policy(policy);
+    if let Some(f) = fault {
+        l = l.with_fault(Arc::new(f));
+    }
+    l
+}
+
+/// One worker fault derived from a seed: the kind rotates with `salt`,
+/// the dispatch ordinal scatters with the seed.
+fn seeded_fault(seed: u64, salt: usize) -> FaultPlan {
+    let ordinal = (seed as usize).wrapping_mul(31).wrapping_add(salt) % 8;
+    match (seed as usize + salt) % 3 {
+        0 => FaultPlan::new().kill_worker_at(ordinal),
+        1 => FaultPlan::new().hang_worker_at(ordinal),
+        _ => FaultPlan::new().corrupt_result_at(ordinal),
+    }
+}
+
+#[test]
+fn chaotic_distributed_model_runs_match_sequential() {
+    for seed in seeds() {
+        for (k, (spec, lp)) in models().iter().enumerate() {
+            let strategy = strategies()[(seed as usize + k) % 3];
+            let cfg = RunConfig::new(4)
+                .with_strategy(strategy)
+                .with_exec(ExecMode::Distributed);
+            let mut connector = launcher(Some(seeded_fault(seed, k)));
+            let got = Runner::new(cfg)
+                .try_run_distributed(lp.as_ref(), spec, &mut connector)
+                .unwrap_or_else(|e| panic!("{spec}: seed {seed}: {e}"));
+            let (seq, _) = run_sequential(lp.as_ref());
+            assert_eq!(
+                got.arrays, seq,
+                "{spec}: seed {seed}: {strategy:?}: final state differs from sequential"
+            );
+            assert_eq!(
+                got.report.fallback, None,
+                "{spec}: seed {seed}: the fleet must recover, not degrade"
+            );
+        }
+    }
+}
+
+#[test]
+fn distributed_and_pooled_reports_share_the_commit_frontier_series() {
+    for (spec, lp) in models() {
+        for strategy in strategies() {
+            let base = RunConfig::new(4).with_strategy(strategy);
+            let local = Runner::new(base.with_exec(ExecMode::Pooled))
+                .try_run(lp.as_ref())
+                .unwrap_or_else(|e| panic!("{spec}: pooled: {e}"));
+            let mut connector = launcher(None);
+            let dist = Runner::new(base.with_exec(ExecMode::Distributed))
+                .try_run_distributed(lp.as_ref(), spec, &mut connector)
+                .unwrap_or_else(|e| panic!("{spec}: distributed: {e}"));
+            assert_eq!(dist.arrays, local.arrays, "{spec}: {strategy:?}");
+            assert_eq!(dist.report.fallback, None, "{spec}: {strategy:?}");
+            assert_eq!(
+                dist.report.restarts, local.report.restarts,
+                "{spec}: {strategy:?}"
+            );
+            assert_eq!(
+                dist.report.stages.len(),
+                local.report.stages.len(),
+                "{spec}: {strategy:?}"
+            );
+            for (d, l) in dist.report.stages.iter().zip(&local.report.stages) {
+                assert_eq!(d.iters_committed, l.iters_committed, "{spec}: {strategy:?}");
+                assert_eq!(d.iters_attempted, l.iters_attempted, "{spec}: {strategy:?}");
+                assert_eq!(d.loop_time, l.loop_time, "{spec}: {strategy:?}");
+            }
+            assert!(dist.report.wire_bytes() > 0, "{spec}: {strategy:?}");
+        }
+    }
+}
