@@ -1,0 +1,157 @@
+//! Benchmarks of the static dependence-analysis subsystem.
+//!
+//! Two comparisons back the symbolic classifier:
+//!
+//! 1. **Exact enumeration vs GCD/Banerjee** across iteration counts.
+//!    The old oracle walks every iteration of the loop, so its cost is
+//!    O(n · refs); the symbolic classifier decides each conflicting
+//!    pair from closed-form integer arithmetic, so its cost is
+//!    O(refs²) and *independent of n*. The bench holds the reference
+//!    count fixed and scales n — the exact column must grow linearly
+//!    while the symbolic column stays flat.
+//! 2. **Shadow elision end-to-end** on `tracking_large.rlp`: the
+//!    compile that skips shadow allocation for provably-safe arrays vs
+//!    the fully instrumented baseline, same strategy and processor
+//!    count.
+//!
+//! Besides the criterion output, the harness re-times the headline
+//! configurations directly and records them to `BENCH_static.json` at
+//! the repository root (set `RLRPD_BENCH_NO_JSON=1` to skip).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rlrpd_core::RunConfig;
+use rlrpd_lang::{classify_loop_exact, classify_program, parse, CompiledProgram};
+use std::hint::black_box;
+use std::time::Instant;
+
+const TRACKING_LARGE: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/programs/tracking_large.rlp"
+));
+
+/// An affine loop of `n` iterations with a fixed reference population:
+/// strided writes, a guarded backward flow dependence, a disjoint
+/// output array, and a modulo reduction. The reference count does not
+/// change with `n`, so classifier cost differences across sizes are
+/// attributable to iteration-space sensitivity alone.
+fn affine_program(n: usize) -> String {
+    let sz = 3 * n + 16;
+    format!(
+        "array A[{sz}] = 1;\narray B[{sz}];\narray H[16];\n\
+         for i in 0..{n} {{\n\
+         \x20 let v = A[2 * i + 1] + B[i];\n\
+         \x20 if i >= 9 {{ A[i] = A[i - 9] * 0.5 + v; }}\n\
+         \x20 A[3 * i + 2] = v;\n\
+         \x20 B[i + 4] = v * 0.25;\n\
+         \x20 H[i % 16] += v;\n\
+         }}"
+    )
+}
+
+fn exact_vs_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier");
+    for &n in &[256usize, 1_024, 4_096, 16_384] {
+        let prog = parse(&affine_program(n)).unwrap();
+        g.bench_with_input(BenchmarkId::new("exact", n), &(), |b, _| {
+            b.iter(|| black_box(classify_loop_exact(black_box(&prog), 0)));
+        });
+        g.bench_with_input(BenchmarkId::new("symbolic", n), &(), |b, _| {
+            b.iter(|| black_box(classify_program(black_box(&prog))));
+        });
+    }
+    g.finish();
+}
+
+fn elision_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracking_large");
+    g.sample_size(10);
+    let elided = CompiledProgram::compile(TRACKING_LARGE).unwrap();
+    let full = CompiledProgram::compile(TRACKING_LARGE)
+        .unwrap()
+        .with_full_instrumentation();
+    let cfg = RunConfig::new(8);
+    g.bench_function("elision_on", |b| {
+        b.iter(|| black_box(elided.run(cfg).reports.len()));
+    });
+    g.bench_function("elision_off", |b| {
+        b.iter(|| black_box(full.run(cfg).reports.len()));
+    });
+    g.finish();
+}
+
+/// Median-of-`runs` wall time of `f`, in nanoseconds.
+fn time_ns(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Re-time the headline configurations and write `BENCH_static.json`
+/// at the repository root (plain JSON, hand-rolled — no serializer
+/// needed for a flat record).
+fn record_baseline() {
+    if std::env::var_os("RLRPD_BENCH_NO_JSON").is_some() {
+        return;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+
+    for &n in &[256usize, 1_024, 4_096, 16_384] {
+        let prog = parse(&affine_program(n)).unwrap();
+        let exact = time_ns(9, || {
+            black_box(classify_loop_exact(black_box(&prog), 0));
+        });
+        let symbolic = time_ns(9, || {
+            black_box(classify_program(black_box(&prog)));
+        });
+        entries.push(format!(
+            "    {{\"bench\": \"classifier\", \"iters\": {n}, \"exact_ns\": {exact:.0}, \
+             \"symbolic_ns\": {symbolic:.0}, \"exact_over_symbolic\": {:.3}}}",
+            exact / symbolic
+        ));
+    }
+
+    let elided = CompiledProgram::compile(TRACKING_LARGE).unwrap();
+    let full = CompiledProgram::compile(TRACKING_LARGE)
+        .unwrap()
+        .with_full_instrumentation();
+    let cfg = RunConfig::new(8);
+    let on = time_ns(5, || {
+        black_box(elided.run(cfg).reports.len());
+    });
+    let off = time_ns(5, || {
+        black_box(full.run(cfg).reports.len());
+    });
+    entries.push(format!(
+        "    {{\"bench\": \"tracking_large_elision\", \"procs\": 8, \
+         \"elision_on_ns\": {on:.0}, \"elision_off_ns\": {off:.0}, \
+         \"instrumentation_overhead\": {:.3}}}",
+        off / on
+    ));
+
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_static.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("baseline recorded to {path}");
+    }
+}
+
+criterion_group!(benches, exact_vs_symbolic, elision_end_to_end);
+
+fn main() {
+    benches();
+    record_baseline();
+}

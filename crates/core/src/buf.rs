@@ -44,6 +44,8 @@ pub struct SharedBuf<T> {
 // forbidden by the same contract (`get` is unsafe). With that contract
 // upheld there are no data races, so sharing across threads is sound.
 unsafe impl<T: Send + Sync> Sync for SharedBuf<T> {}
+// SAFETY: the buffer owns its storage; moving it between threads moves
+// plain `Send` data with no thread-affine state.
 unsafe impl<T: Send> Send for SharedBuf<T> {}
 
 impl<T: Copy> SharedBuf<T> {
@@ -189,6 +191,7 @@ mod tests {
     #[test]
     fn same_writer_may_rewrite_within_epoch() {
         let b = SharedBuf::new(vec![0; 4]);
+        // SAFETY: single-threaded test, one writer id, no racing reads.
         unsafe {
             b.set(2, 1, 7);
             b.set(2, 2, 7); // same writer: fine
@@ -198,8 +201,10 @@ mod tests {
     #[test]
     fn new_epoch_resets_ownership() {
         let mut b = SharedBuf::new(vec![0; 4]);
+        // SAFETY: single-threaded test; each epoch has one writer.
         unsafe { b.set(1, 5, 0) };
         b.new_epoch();
+        // SAFETY: as above — the epoch rolled, so writer 1 is sole owner.
         unsafe { b.set(1, 6, 1) }; // different writer, new epoch: fine
         assert_eq!(b.as_slice()[1], 6);
     }
@@ -232,6 +237,9 @@ mod tests {
     #[should_panic(expected = "contract violated")]
     fn conflicting_writers_panic_in_debug() {
         let b = SharedBuf::new(vec![0; 4]);
+        // SAFETY: deliberately violates the per-epoch single-writer
+        // contract to exercise the debug-mode detector; single-threaded,
+        // so the violation is a panic, not a data race.
         unsafe {
             b.set(1, 5, 0);
             b.set(1, 6, 1); // second writer, same epoch: contract violation

@@ -180,6 +180,11 @@ pub struct RunConfig {
     pub max_stages: usize,
     /// Bounded-retry / sequential-fallback policy.
     pub fallback: FallbackPolicy,
+    /// Statically-predicted first dependence sink (earliest iteration
+    /// that can consume a cross-iteration value), supplied by the
+    /// compiler's dependence analysis; recorded in the report for
+    /// predicted-vs-observed comparison.
+    pub predicted_first_dependence: Option<usize>,
 }
 
 impl RunConfig {
@@ -196,6 +201,7 @@ impl RunConfig {
             balance: BalancePolicy::Even,
             max_stages: 100_000,
             fallback: FallbackPolicy::default(),
+            predicted_first_dependence: None,
         }
     }
 
@@ -232,6 +238,14 @@ impl RunConfig {
     /// Replace the fallback policy.
     pub fn with_fallback(mut self, f: FallbackPolicy) -> Self {
         self.fallback = f;
+        self
+    }
+
+    /// Record a statically-predicted first dependence sink (e.g. the
+    /// minimum-distance sink from the compiler's GCD/Banerjee pass) for
+    /// predicted-vs-observed comparison in the run report.
+    pub fn with_dependence_prediction(mut self, first_sink: Option<usize>) -> Self {
+        self.predicted_first_dependence = first_sink;
         self
     }
 
@@ -691,6 +705,11 @@ impl Runner {
             let Some(q) = violation else { break };
             report.restarts += 1;
             let restart = frontier;
+            // The first failed stage's restart point is the run-time
+            // observation of the first dependence sink (block-aligned
+            // lower bound; stages execute in commit order, so the first
+            // one recorded is the earliest).
+            report.observed_first_dependence.get_or_insert(restart);
             if let Some(f) = &fault {
                 // The fault bound the restart (no earlier dependence
                 // sink) and bound it at the same point as the previous
@@ -747,6 +766,7 @@ impl Runner {
         arcs: Vec<DepArc>,
     ) -> RunResult<T> {
         report.wall_seconds = report.stages.iter().map(|s| s.wall_seconds).sum();
+        report.predicted_first_dependence = self.cfg.predicted_first_dependence;
         if matches!(
             self.cfg.balance,
             BalancePolicy::FeedbackGuided | BalancePolicy::FeedbackTrend

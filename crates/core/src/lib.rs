@@ -52,6 +52,7 @@
 //!   that *do* admit an inspector).
 
 #![warn(missing_docs)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod analysis;
 pub mod array;
@@ -101,7 +102,7 @@ pub use remote::{
     TransportStats, WireError, WireHello, WorkerLoss,
 };
 pub use report::{PrAccumulator, RunReport};
-pub use spec_loop::{ClosureLoop, SpecLoop};
+pub use spec_loop::{ClosureLoop, FullyInstrumented, SpecLoop};
 pub use timeline::Timeline;
 pub use value::{Reduction, Value};
 pub use wavefront::{execute_wavefronts, WavefrontReport, WavefrontSchedule};

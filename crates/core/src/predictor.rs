@@ -60,6 +60,27 @@ impl StrategyPredictor {
         ])
     }
 
+    /// A predictor seeded from a statically-predicted minimum
+    /// dependence distance `d` on `p` processors.
+    ///
+    /// A loop with minimum distance `d` commits at least `d` iterations
+    /// per stage, so a sliding window of about `d / p` iterations per
+    /// processor is the natural schedule (≈⌈n/(p·d)⌉ stages total, the
+    /// R-LRPD bound). That window size is prepended to the default
+    /// candidate set so exploration tries the statically-derived
+    /// schedule first; measured history still takes over afterwards.
+    pub fn with_static_distance(distance: usize, p: usize) -> Self {
+        let per_proc = (distance / p.max(1)).max(1);
+        let mut candidates = vec![Strategy::SlidingWindow(WindowConfig::fixed(per_proc))];
+        for s in Self::new().scores {
+            let strategy = s.strategy;
+            if !candidates.contains(&strategy) {
+                candidates.push(strategy);
+            }
+        }
+        Self::with_candidates(candidates)
+    }
+
     /// A predictor over an explicit candidate set.
     ///
     /// # Panics
@@ -168,6 +189,14 @@ impl PredictiveRunner {
         self
     }
 
+    /// Seed the candidate set from a statically-predicted minimum
+    /// dependence distance (see
+    /// [`StrategyPredictor::with_static_distance`]).
+    pub fn with_static_hint(mut self, distance: usize) -> Self {
+        self.predictor = StrategyPredictor::with_static_distance(distance, self.base_cfg.p);
+        self
+    }
+
     /// Run one instantiation under the predicted strategy.
     pub fn run<T: Value>(&mut self, lp: &dyn SpecLoop<T>) -> RunResult<T> {
         let strategy = self.predictor.next_strategy();
@@ -208,11 +237,26 @@ mod tests {
             }],
             restarts: 0,
             sequential_work: work,
-            wall_seconds: 0.0,
-            exited_at: None,
-            fallback: None,
-            resumed_at: None,
+            ..Default::default()
         }
+    }
+
+    #[test]
+    fn static_distance_seeds_a_matching_window_candidate() {
+        let p = StrategyPredictor::with_static_distance(32, 4);
+        // d/p = 8 iterations per processor, tried before anything else.
+        assert_eq!(
+            p.next_strategy(),
+            Strategy::SlidingWindow(WindowConfig::fixed(8))
+        );
+        // The default candidates are still in the pool.
+        assert!(p.scores().iter().any(|(s, _, _)| *s == Strategy::Nrd));
+        // Degenerate inputs clamp to a 1-iteration window.
+        let tiny = StrategyPredictor::with_static_distance(1, 8);
+        assert_eq!(
+            tiny.next_strategy(),
+            Strategy::SlidingWindow(WindowConfig::fixed(1))
+        );
     }
 
     #[test]

@@ -647,6 +647,10 @@ impl<T: Value> Engine<'_, T> {
                     // sole writer of element e this stage, and the
                     // first-write snapshot reads the pre-stage value.
                     st.wlog.record(slot, e, || unsafe { buf.get(e) });
+                    // SAFETY: same exclusivity contract as the read
+                    // above — no other block writes element e this
+                    // stage, and the supervisor applies replies on one
+                    // thread.
                     unsafe { buf.set(e, from_bits(bits), pos as u32) };
                 }
             }

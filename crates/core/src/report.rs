@@ -26,6 +26,17 @@ pub struct RunReport {
     /// recovery); `None` for a run started from iteration 0. The
     /// `stages` series covers only the post-resume stages.
     pub resumed_at: Option<usize>,
+    /// First dependence sink the static analysis predicted (the
+    /// earliest iteration that can consume a cross-iteration value),
+    /// copied from the run configuration for predicted-vs-observed
+    /// comparison. `None` when no static prediction was supplied.
+    pub predicted_first_dependence: Option<usize>,
+    /// First dependence sink actually observed: the restart point of
+    /// the earliest failed stage — the first iteration of the earliest
+    /// dependence-sink block the LRPD test reported, a block-aligned
+    /// lower bound on the true sink iteration. `None` for a run that
+    /// never failed a stage.
+    pub observed_first_dependence: Option<usize>,
 }
 
 impl RunReport {
@@ -130,6 +141,20 @@ impl std::fmt::Display for RunReport {
         )?;
         if let Some(from) = self.resumed_at {
             writeln!(f, "resumed from journal at iteration {from}")?;
+        }
+        if self.predicted_first_dependence.is_some() || self.observed_first_dependence.is_some() {
+            writeln!(
+                f,
+                "first dependence: predicted {}, observed {}",
+                match self.predicted_first_dependence {
+                    Some(i) => format!("iteration {i}"),
+                    None => "none".into(),
+                },
+                match self.observed_first_dependence {
+                    Some(i) => format!("iteration {i}"),
+                    None => "none".into(),
+                }
+            )?;
         }
         let faults = self.contained_faults();
         if faults > 0 {
@@ -247,10 +272,7 @@ mod tests {
             stages: vec![stage(10.0, 1.0), stage(5.0, 1.0)],
             restarts: 1,
             sequential_work: 30.0,
-            wall_seconds: 0.0,
-            exited_at: None,
-            fallback: None,
-            resumed_at: None,
+            ..Default::default()
         };
         assert_eq!(r.virtual_time(), 17.0);
         assert!((r.speedup() - 30.0 / 17.0).abs() < 1e-12);
@@ -263,10 +285,7 @@ mod tests {
             stages: vec![stage(10.0, 1.0)],
             restarts: 0,
             sequential_work: 40.0,
-            wall_seconds: 0.0,
-            exited_at: None,
-            fallback: None,
-            resumed_at: None,
+            ..Default::default()
         };
         assert_eq!(r.pr(), 1.0);
     }
@@ -293,10 +312,8 @@ mod tests {
             stages: vec![s1],
             restarts: 0,
             sequential_work: 12.0,
-            wall_seconds: 0.0,
             exited_at: Some(5),
-            fallback: None,
-            resumed_at: None,
+            ..Default::default()
         };
         let text = r.to_string();
         assert!(text.contains("stages: 1"), "{text}");
@@ -304,6 +321,24 @@ mod tests {
         assert!(text.contains("Commit"), "{text}");
         assert!(text.contains("speedup"), "{text}");
         assert!(!text.contains("Restore"), "zero overheads omitted: {text}");
+    }
+
+    #[test]
+    fn first_dependence_fields_render_when_set() {
+        let r = RunReport {
+            predicted_first_dependence: Some(16),
+            observed_first_dependence: Some(17),
+            ..Default::default()
+        };
+        let text = r.to_string();
+        assert!(text.contains("predicted iteration 16"), "{text}");
+        assert!(text.contains("observed iteration 17"), "{text}");
+        assert!(
+            !RunReport::default()
+                .to_string()
+                .contains("first dependence"),
+            "omitted when absent"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! body owns no mutable state of its own, re-executing any suffix of
 //! iterations in a later stage is trivially sound.
 
-use crate::array::ArrayDecl;
+use crate::array::{ArrayDecl, ArrayKind, ShadowKind};
 use crate::ctx::IterCtx;
 use crate::value::Value;
 
@@ -83,5 +83,53 @@ impl<T: Value> SpecLoop<T> for ClosureLoop<T> {
 
     fn cost(&self, iter: usize) -> f64 {
         (self.cost)(iter)
+    }
+}
+
+/// A [`SpecLoop`] adapter that disables shadow elision: every untested
+/// (checkpointed) array is promoted to a fully instrumented tested
+/// array with a dense shadow. Reduction declarations are left alone —
+/// their parallel fold is a different commit path, not an
+/// instrumentation level, and reordering an `f64` fold would change
+/// low-order bits.
+///
+/// This is the always-instrumented baseline the shadow-elision tests
+/// compare against: a run of the wrapped loop must produce
+/// byte-identical arrays, because a tested array that never fails the
+/// LRPD test commits exactly the last value written per element — the
+/// same value a direct (untested) write sequence leaves behind.
+pub struct FullyInstrumented<'a, T: Value = f64> {
+    inner: &'a dyn SpecLoop<T>,
+}
+
+impl<'a, T: Value> FullyInstrumented<'a, T> {
+    /// Wrap `inner`, promoting its untested arrays to tested.
+    pub fn new(inner: &'a dyn SpecLoop<T>) -> Self {
+        FullyInstrumented { inner }
+    }
+}
+
+impl<T: Value> SpecLoop<T> for FullyInstrumented<'_, T> {
+    fn num_iters(&self) -> usize {
+        self.inner.num_iters()
+    }
+
+    fn arrays(&self) -> Vec<ArrayDecl<T>> {
+        self.inner
+            .arrays()
+            .into_iter()
+            .map(|decl| match decl.kind {
+                ArrayKind::Untested => ArrayDecl::tested(decl.name, decl.init, ShadowKind::Dense),
+                _ => decl,
+            })
+            .collect()
+    }
+
+    fn body(&self, iter: usize, ctx: &mut IterCtx<'_, T>) {
+        self.inner.body(iter, ctx)
+    }
+
+    fn cost(&self, iter: usize) -> f64 {
+        self.inner.cost(iter)
     }
 }

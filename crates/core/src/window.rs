@@ -160,6 +160,10 @@ pub(crate) fn run_window<T: Value>(
                     .ok_or_else(|| RlrpdError::StageInvariant {
                         message: "violation implies a restart point".into(),
                     })?;
+                // Windows execute in commit order, so the first failed
+                // window's restart point is the earliest observed
+                // dependence sink (block-aligned lower bound).
+                report.observed_first_dependence.get_or_insert(restart);
                 if let Some(f) = &outcome.fault {
                     // Same rule as the recursive driver: a fault that
                     // binds the restart twice at the same point re-ran

@@ -16,6 +16,48 @@
 //! }
 //! ```
 
+/// A source position (1-based line and column) carried by the array
+/// references and guards that dependence diagnostics need to point at.
+///
+/// Spans intentionally do **not** participate in equality: two ASTs
+/// that differ only in where their tokens sat in the source are the
+/// same program (the pretty-printer round-trip relies on this).
+#[derive(Clone, Copy, Debug, Default, Eq)]
+pub struct Span {
+    /// 1-based source line (0 = synthesized, no source position).
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Span {
+    /// A span at the given position.
+    pub fn at(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// The span of a synthesized node with no source position.
+    pub fn none() -> Self {
+        Span::default()
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
 /// Binary operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BinOp {
@@ -65,6 +107,8 @@ pub enum Expr {
         array: usize,
         /// Subscript expression.
         index: Box<Expr>,
+        /// Source position of the array name.
+        span: Span,
     },
     /// Binary operation.
     Bin {
@@ -122,6 +166,8 @@ pub enum Stmt {
         index: Expr,
         /// Value.
         expr: Expr,
+        /// Source position of the array name.
+        span: Span,
     },
     /// `A[idx] += e;` or `A[idx] *= e;` — the reduction-shaped update.
     Update {
@@ -133,6 +179,8 @@ pub enum Stmt {
         op: UpdateOp,
         /// Delta expression.
         expr: Expr,
+        /// Source position of the array name.
+        span: Span,
     },
     /// `bump NAME;` — conditionally increment the induction counter.
     Bump,
@@ -150,6 +198,8 @@ pub enum Stmt {
         then_body: Vec<Stmt>,
         /// Else-branch statements.
         else_body: Vec<Stmt>,
+        /// Source position of the `if` keyword (guard diagnostics).
+        span: Span,
     },
 }
 
@@ -203,6 +253,8 @@ pub struct LoopNest {
     pub body: Vec<Stmt>,
     /// Number of `let` slots used by the body.
     pub num_locals: usize,
+    /// Source position of the `for` keyword (diagnostics).
+    pub span: Span,
 }
 
 /// A parsed program: array/scalar declarations followed by one or more

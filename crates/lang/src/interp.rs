@@ -94,7 +94,7 @@ impl<'a, C: DataCtx> Eval<'a, C> {
             Expr::LoopVar => self.i,
             Expr::Counter => self.ctx.counter() as f64,
             Expr::Local(slot) => self.locals[*slot],
-            Expr::Read { array, index } => {
+            Expr::Read { array, index, .. } => {
                 let idx = self.expr(index);
                 self.ctx.read(*array, subscript(idx))
             }
@@ -167,7 +167,9 @@ impl<'a, C: DataCtx> Eval<'a, C> {
                 Stmt::Let { slot, expr } => {
                     self.locals[*slot] = self.expr(expr);
                 }
-                Stmt::Assign { array, index, expr } => {
+                Stmt::Assign {
+                    array, index, expr, ..
+                } => {
                     let idx = subscript(self.expr(index));
                     let v = self.expr(expr);
                     self.ctx.write(*array, idx, v);
@@ -177,6 +179,7 @@ impl<'a, C: DataCtx> Eval<'a, C> {
                     index,
                     op,
                     expr,
+                    ..
                 } => {
                     let idx = subscript(self.expr(index));
                     let delta = self.expr(expr);
@@ -204,6 +207,7 @@ impl<'a, C: DataCtx> Eval<'a, C> {
                     cond,
                     then_body,
                     else_body,
+                    ..
                 } => {
                     let taken = if self.expr(cond) != 0.0 {
                         self.stmts(then_body)

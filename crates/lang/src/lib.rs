@@ -47,14 +47,17 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod depend;
 pub mod error;
 mod interp;
+pub mod lint;
 pub mod parse;
 pub mod pretty;
 pub mod token;
 
-pub use analyze::{classify_loop, classify_program, Class, Classification};
+pub use analyze::{classify_loop, classify_loop_exact, classify_program, Class, Classification};
 pub use error::LangError;
+pub use lint::{lint, Diagnostic, Level};
 pub use parse::parse;
 pub use pretty::print_program;
 
@@ -66,9 +69,6 @@ use rlrpd_core::{
 };
 use std::cell::RefCell;
 
-/// Arrays at least this large get sparse shadows when tested.
-const SPARSE_THRESHOLD: usize = 1 << 20;
-
 /// A compiled mini-language program: one or more loops, executed in
 /// sequence over shared arrays, each with its own classification.
 #[derive(Debug)]
@@ -76,9 +76,16 @@ pub struct CompiledProgram {
     program: Program,
     /// `classes[loop][array]`.
     classes: Vec<Vec<Classification>>,
+    /// Plain per-loop class tables (`class_tables[loop][array]`),
+    /// precomputed so the per-iteration body never rebuilds them.
+    class_tables: Vec<Vec<Class>>,
     /// Leaked array names (`ArrayDecl` requires `&'static str`; one
     /// small leak per compilation, documented).
     names: Vec<&'static str>,
+    /// When set, `Untested` verdicts are ignored at declaration time
+    /// and every non-reduction array is fully instrumented — the
+    /// baseline the shadow-elision tests compare against.
+    full_instrumentation: bool,
 }
 
 /// Results of running a whole program speculatively.
@@ -120,6 +127,10 @@ impl CompiledProgram {
             ));
         }
         let classes = classify_program(&program);
+        let class_tables = classes
+            .iter()
+            .map(|loop_classes| loop_classes.iter().map(|c| c.class).collect())
+            .collect();
         let names = program
             .arrays
             .iter()
@@ -128,8 +139,21 @@ impl CompiledProgram {
         Ok(CompiledProgram {
             program,
             classes,
+            class_tables,
             names,
+            full_instrumentation: false,
         })
+    }
+
+    /// Disable shadow elision: every non-reduction array is declared
+    /// `Tested` with a dense shadow, regardless of the static verdict.
+    /// Reductions keep their classification (their parallel fold is a
+    /// different commit path, not an instrumentation level). This is
+    /// the always-instrumented baseline the elision tests compare
+    /// against — results must be byte-identical.
+    pub fn with_full_instrumentation(mut self) -> Self {
+        self.full_instrumentation = true;
+        self
     }
 
     /// Number of loops in the program.
@@ -167,13 +191,28 @@ impl CompiledProgram {
             .collect()
     }
 
+    /// The statically-predicted first dependence sink of loop `k`: the
+    /// earliest iteration any Tested array's dependence evidence says
+    /// can consume a cross-iteration value (`None` when the analysis
+    /// found no dependence or could not bound the sink).
+    pub fn predicted_first_dependence(&self, k: usize) -> Option<usize> {
+        self.classes[k]
+            .iter()
+            .filter_map(|c| c.evidence.as_ref().and_then(|ev| ev.first_sink))
+            .min()
+    }
+
     /// Execute the whole program speculatively: each loop runs under
     /// its own speculative run, state flowing from one to the next.
+    /// Each loop's config carries that loop's statically-predicted
+    /// first dependence sink so the report can compare it with the
+    /// observed one.
     pub fn run(&self, cfg: RunConfig) -> ProgramResult {
         let mut state = self.initial_arrays();
         let mut reports = Vec::new();
         for k in 0..self.num_loops() {
             let view = self.loop_view(k, state);
+            let cfg = cfg.with_dependence_prediction(self.predicted_first_dependence(k));
             let res = rlrpd_core::run_speculative(&view, cfg);
             state = res.arrays.into_iter().map(|(_, data)| data).collect();
             reports.push(res.report);
@@ -234,14 +273,23 @@ impl CompiledProgram {
             .zip(&self.names)
             .zip(init)
             .map(|(((decl, class), &name), data)| {
-                let shadow = if decl.size >= SPARSE_THRESHOLD {
-                    ShadowKind::Sparse
-                } else {
-                    ShadowKind::Dense
+                // Shadow selection from the predicted touch density
+                // (arrays the loop never references predict 0 touches).
+                let touched = class.touch.map_or(0, |t| t.touched);
+                let shadow = match rlrpd_shadow::select::choose(decl.size, touched) {
+                    rlrpd_shadow::ShadowChoice::Dense => ShadowKind::Dense,
+                    rlrpd_shadow::ShadowChoice::Packed => ShadowKind::DensePacked,
+                    rlrpd_shadow::ShadowChoice::Sparse => ShadowKind::Sparse,
                 };
                 match class.class {
                     Class::Tested => ArrayDecl::tested(name, data.clone(), shadow),
-                    Class::Untested => ArrayDecl::untested(name, data.clone()),
+                    // Shadow elision: a statically safe array gets no
+                    // shadow and no marking (unless the elision-check
+                    // baseline asked for full instrumentation).
+                    Class::Untested if !self.full_instrumentation => {
+                        ArrayDecl::untested(name, data.clone())
+                    }
+                    Class::Untested => ArrayDecl::tested(name, data.clone(), shadow),
                     Class::Reduction(op) => ArrayDecl::reduction(
                         name,
                         data.clone(),
@@ -278,7 +326,6 @@ impl SpecLoop<f64> for ProgramLoop<'_> {
     fn body(&self, iter: usize, ctx: &mut IterCtx<'_, f64>) {
         let nest = &self.prog.program.loops[self.k];
         let i = (nest.range.0 + iter) as f64;
-        let classes: Vec<Class> = self.prog.classes[self.k].iter().map(|c| c.class).collect();
         LOCALS.with(|cell| {
             let mut locals = cell.borrow_mut();
             locals.clear();
@@ -286,7 +333,7 @@ impl SpecLoop<f64> for ProgramLoop<'_> {
             let mut eval = Eval {
                 i,
                 locals: &mut locals,
-                classes: &classes,
+                classes: &self.prog.class_tables[self.k],
                 ctx,
             };
             let _ = eval.stmts(&nest.body);
@@ -360,7 +407,6 @@ impl SpecLoop<f64> for CompiledLoop {
     fn body(&self, iter: usize, ctx: &mut IterCtx<'_, f64>) {
         let nest = &self.inner.program.loops[0];
         let i = (nest.range.0 + iter) as f64;
-        let classes: Vec<Class> = self.inner.classes[0].iter().map(|c| c.class).collect();
         LOCALS.with(|cell| {
             let mut locals = cell.borrow_mut();
             locals.clear();
@@ -368,7 +414,7 @@ impl SpecLoop<f64> for CompiledLoop {
             let mut eval = Eval {
                 i,
                 locals: &mut locals,
-                classes: &classes,
+                classes: &self.inner.class_tables[0],
                 ctx,
             };
             let _ = eval.stmts(&nest.body);
@@ -395,6 +441,12 @@ pub fn compile(src: &str) -> Result<CompiledLoop, LangError> {
 pub struct CompiledInduction {
     program: Program,
     names: Vec<&'static str>,
+    /// Real classifier verdicts with `Reduction` demoted to `Tested`:
+    /// the induction context has no reduction path
+    /// ([`IndCtx::reduce`] panics), so `⊕=` must route as plain
+    /// read-modify-write — but every other verdict comes from the same
+    /// static analysis as parsed [`CompiledProgram`]s.
+    classes: Vec<Class>,
 }
 
 impl CompiledInduction {
@@ -412,12 +464,23 @@ impl CompiledInduction {
                 "induction programs have exactly one loop",
             ));
         }
+        let classes = classify_loop(&program, 0)
+            .into_iter()
+            .map(|c| match c.class {
+                Class::Reduction(_) => Class::Tested,
+                other => other,
+            })
+            .collect();
         let names = program
             .arrays
             .iter()
             .map(|d| &*Box::leak(d.name.clone().into_boxed_str()))
             .collect();
-        Ok(CompiledInduction { program, names })
+        Ok(CompiledInduction {
+            program,
+            names,
+            classes,
+        })
     }
 
     /// The counter's name and initial value.
@@ -453,9 +516,6 @@ impl InductionLoop<f64> for CompiledInduction {
     fn body(&self, iter: usize, ctx: &mut IndCtx<'_, f64>) {
         let nest = &self.program.loops[0];
         let i = (nest.range.0 + iter) as f64;
-        // Induction bodies route `⊕=` as plain read-modify-write; the
-        // class table below says "never a reduction".
-        let classes: Vec<Class> = self.program.arrays.iter().map(|_| Class::Tested).collect();
         LOCALS.with(|cell| {
             let mut locals = cell.borrow_mut();
             locals.clear();
@@ -463,7 +523,7 @@ impl InductionLoop<f64> for CompiledInduction {
             let mut eval = Eval {
                 i,
                 locals: &mut locals,
-                classes: &classes,
+                classes: &self.classes,
                 ctx,
             };
             let _ = eval.stmts(&nest.body);
@@ -670,6 +730,66 @@ mod tests {
         assert!(res.report.restarts > 0, "a recurrence must serialize");
         // Spot value: s after 2 iterations = (1*0.5 + 0)*0.5 + 1 = 1.25.
         assert_eq!(res.array("OUT")[1], 1.25);
+    }
+
+    #[test]
+    fn shadow_elision_is_byte_identical_on_the_examples() {
+        use rlrpd_core::{Strategy, WindowConfig};
+        // Skipping shadow allocation for statically-safe arrays must
+        // never change results: the fully-instrumented baseline (every
+        // untested array promoted to tested) and the elided compile
+        // must agree to the bit, under every strategy.
+        let sources = [
+            include_str!("../../../examples/programs/tracking.rlp"),
+            include_str!("../../../examples/programs/lu_sparse.rlp"),
+            include_str!("../../../examples/programs/premature_exit.rlp"),
+            include_str!("../../../examples/programs/two_phase.rlp"),
+        ];
+        let strategies = [
+            Strategy::Nrd,
+            Strategy::Rd,
+            Strategy::SlidingWindow(WindowConfig::fixed(16)),
+        ];
+        for src in sources {
+            let elided = CompiledProgram::compile(src).unwrap();
+            let full = CompiledProgram::compile(src)
+                .unwrap()
+                .with_full_instrumentation();
+            for strategy in strategies {
+                let cfg = RunConfig::new(4).with_strategy(strategy);
+                let a = elided.run(cfg);
+                let b = full.run(cfg);
+                for ((name, x), (name2, y)) in a.arrays.iter().zip(&b.arrays) {
+                    assert_eq!(name, name2);
+                    let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(xb, yb, "{name} diverged under {strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_reports_predicted_and_observed_first_dependence() {
+        // A[i] = A[i-8]: Must-dependence with distance 8, first sink 8.
+        let src = "array A[64] = 1;\nfor i in 0..64 { if i >= 8 { A[i] = A[i - 8] + 1; } }";
+        let prog = CompiledProgram::compile(src).unwrap();
+        assert_eq!(prog.predicted_first_dependence(0), Some(8));
+        let spec = prog.run(RunConfig::new(8));
+        let report = &spec.reports[0];
+        assert_eq!(report.predicted_first_dependence, Some(8));
+        if report.restarts > 0 {
+            let observed = report
+                .observed_first_dependence
+                .expect("a restarted run records its first observed violation");
+            assert!(observed >= 8, "no sink can precede the static minimum");
+        }
+        // An independent loop predicts (and observes) no dependence.
+        let free = CompiledProgram::compile("array B[32];\nfor i in 0..32 { B[i] = i; }").unwrap();
+        assert_eq!(free.predicted_first_dependence(0), None);
+        let run = free.run(RunConfig::new(4));
+        assert_eq!(run.reports[0].predicted_first_dependence, None);
+        assert_eq!(run.reports[0].observed_first_dependence, None);
     }
 
     #[test]

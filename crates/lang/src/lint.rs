@@ -1,0 +1,421 @@
+//! The `.rlp` lint pass — "clippy for speculative loops".
+//!
+//! Consumes the structured verdicts of [`crate::analyze`] and turns
+//! them into leveled, span-carrying diagnostics:
+//!
+//! * **errors** — the program asserts something the analysis refutes
+//!   (an `untested` hint on an array with a proven cross-iteration
+//!   dependence would make speculative runs silently wrong);
+//! * **warnings** — the loop is speculation-hostile in a way the
+//!   programmer could fix (a guard alone forcing the LRPD test, mixed
+//!   reduction operators, data-dependent subscripts);
+//! * **notes** — what the pass decided and what to expect at run time
+//!   (detected reductions, predicted shadow structure, the
+//!   `⌈n/(p·d)⌉`-stage schedule implied by a dependence distance).
+//!
+//! Driven by the `rlrpd analyze` CLI subcommand.
+
+use crate::analyze::{classify_program, Class, Classification};
+use crate::ast::{Program, Span, UpdateOp};
+use crate::depend::Certainty;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Informational: what the pass decided.
+    Note,
+    /// The loop is speculation-hostile but correct.
+    Warning,
+    /// The program asserts something the analysis refutes.
+    Error,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Error => "error",
+            Level::Warning => "warning",
+            Level::Note => "note",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: Level,
+    /// Stable kebab-case lint name (e.g. `guard-forced-test`).
+    pub code: &'static str,
+    /// Source position the finding points at (line 0 = whole program).
+    pub span: Span,
+    /// Which loop the finding concerns.
+    pub loop_index: usize,
+    /// Which array the finding concerns, when one.
+    pub array: Option<String>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]: {}", self.level, self.code, self.message)?;
+        if self.span.line > 0 {
+            write!(f, "\n  --> {}", self.span)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lint every loop of `program` assuming `p` processors (the schedule
+/// estimates need `p`). Classifies internally; use [`lint_classified`]
+/// to reuse existing classifications.
+pub fn lint(program: &Program, p: usize) -> Vec<Diagnostic> {
+    lint_classified(program, &classify_program(program), p)
+}
+
+/// Lint with precomputed classifications (`classes[loop][array]`).
+pub fn lint_classified(
+    program: &Program,
+    classes: &[Vec<Classification>],
+    p: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (k, loop_classes) in classes.iter().enumerate() {
+        let (lo, hi) = program.loops[k].range;
+        let n = hi.saturating_sub(lo);
+
+        // Fully elided loops deserve saying so: no array needs the
+        // LRPD test, so the loop runs as a single parallel doall.
+        if loop_classes
+            .iter()
+            .all(|c| matches!(c.class, Class::Untested))
+        {
+            out.push(Diagnostic {
+                level: Level::Note,
+                code: "loop-parallel",
+                span: program.loops[k].span,
+                loop_index: k,
+                array: None,
+                message: format!(
+                    "loop {k} needs no LRPD instrumentation: every array is statically \
+                     safe, so all shadows are elided and the loop runs as one parallel \
+                     stage"
+                ),
+            });
+        }
+        for (id, c) in loop_classes.iter().enumerate() {
+            let decl = &program.arrays[id];
+            let mut d = |level, code, span, message| {
+                out.push(Diagnostic {
+                    level,
+                    code,
+                    span,
+                    loop_index: k,
+                    array: Some(decl.name.clone()),
+                    message,
+                });
+            };
+            let decl_span = Span::at(decl.line, 1);
+            let name = &decl.name;
+
+            if let Some(u) = &c.unhinted {
+                lint_hint(c, u, name, decl_span, &mut d);
+            } else {
+                match c.class {
+                    Class::Tested => {
+                        if let Some((a, b)) = c.mixed_ops {
+                            d(
+                                Level::Warning,
+                                "mixed-reduction-ops",
+                                b,
+                                format!(
+                                    "array '{name}' mixes reduction operators at {a} and {b}; \
+                                     a single operator throughout would make it a parallel \
+                                     reduction"
+                                ),
+                            );
+                        } else if let Some(g) = c.guard_only {
+                            d(
+                                Level::Warning,
+                                "guard-forced-test",
+                                g,
+                                format!(
+                                    "array '{name}' is Tested only because of the guard at \
+                                     {g}; without the conditional references it is provably \
+                                     iteration-disjoint"
+                                ),
+                            );
+                        } else if let Some(ev) = &c.evidence {
+                            match ev.certainty {
+                                Certainty::Must => d(
+                                    Level::Warning,
+                                    "cross-iteration-dependence",
+                                    ev.sink.span,
+                                    format!(
+                                        "array '{name}' has a proven cross-iteration \
+                                         dependence between {} ({}) and {} ({}){}",
+                                        ev.src.text,
+                                        ev.src.span,
+                                        ev.sink.text,
+                                        ev.sink.span,
+                                        match ev.distance {
+                                            Some(dist) => format!(", minimum distance {dist}"),
+                                            None => String::new(),
+                                        }
+                                    ),
+                                ),
+                                Certainty::May => d(
+                                    Level::Warning,
+                                    "data-dependent-subscript",
+                                    ev.src.span,
+                                    format!(
+                                        "array '{name}' may conflict across iterations: \
+                                         {} vs {} cannot be analyzed statically, so the LRPD \
+                                         test must instrument every reference",
+                                        ev.src.text, ev.sink.text
+                                    ),
+                                ),
+                            }
+                        }
+                    }
+                    Class::Reduction(op) => d(
+                        Level::Note,
+                        "reduction-detected",
+                        decl_span,
+                        format!(
+                            "array '{name}' is a speculative '{}' reduction (validated at \
+                             run time, folded in parallel)",
+                            op_str(op)
+                        ),
+                    ),
+                    Class::Untested => {
+                        if c.touch.is_none() {
+                            d(
+                                Level::Note,
+                                "unused-array",
+                                decl_span,
+                                format!("array '{name}' is never referenced by loop {k}"),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Schedule prediction: a proven minimum distance bounds how
+            // fast the recursive R-LRPD run can converge.
+            if let Some(ev) = &c.evidence {
+                if let (Certainty::Must, Some(dist)) = (ev.certainty, ev.distance) {
+                    if dist > 0 && p > 0 && n > 0 {
+                        let stages = n.div_ceil(p * dist).max(1);
+                        d(
+                            Level::Note,
+                            "schedule-estimate",
+                            ev.sink.span,
+                            format!(
+                                "minimum dependence distance {dist} on '{name}' ⇒ expect \
+                                 ≈⌈n/(p·d)⌉ = ⌈{n}/({p}·{dist})⌉ = {stages}-stage R-LRPD \
+                                 schedule at p = {p}"
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // Shadow prediction for instrumented arrays.
+            if !matches!(c.class, Class::Untested) {
+                if let Some(t) = c.touch {
+                    d(
+                        Level::Note,
+                        "shadow-selection",
+                        decl_span,
+                        format!(
+                            "array '{name}': predicted touch density {:.1}% ({} of {} \
+                             elements) selects a {} shadow",
+                            t.density * 100.0,
+                            t.touched,
+                            decl.size,
+                            rlrpd_shadow::select::choose(decl.size, t.touched).describe(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out.sort_by_key(|d| (d.loop_index, std::cmp::Reverse(d.level), d.span.line));
+    out
+}
+
+/// Lints for hinted declarations: compare the hint against what the
+/// analysis alone concludes.
+fn lint_hint(
+    c: &Classification,
+    u: &Classification,
+    name: &str,
+    decl_span: Span,
+    d: &mut impl FnMut(Level, &'static str, Span, String),
+) {
+    match (c.class, u.class) {
+        (Class::Untested, Class::Tested) => {
+            if let Some(ev) = u
+                .evidence
+                .as_ref()
+                .filter(|e| e.certainty == Certainty::Must)
+            {
+                d(
+                    Level::Error,
+                    "unsound-hint",
+                    ev.sink.span,
+                    format!(
+                        "array '{name}' is declared 'untested' but two iterations provably \
+                         touch the same element: {} ({}) vs {} ({}){}; speculative runs \
+                         would commit wrong values without the LRPD test",
+                        ev.src.text,
+                        ev.src.span,
+                        ev.sink.text,
+                        ev.sink.span,
+                        match ev.distance {
+                            Some(dist) => format!(", distance {dist}"),
+                            None => String::new(),
+                        }
+                    ),
+                );
+            } else {
+                d(
+                    Level::Warning,
+                    "unverifiable-hint",
+                    decl_span,
+                    format!(
+                        "array '{name}' is declared 'untested' but the analysis cannot \
+                         prove it iteration-disjoint ({})",
+                        u.rationale
+                    ),
+                );
+            }
+        }
+        (Class::Tested, Class::Untested) => d(
+            Level::Warning,
+            "redundant-test-hint",
+            decl_span,
+            format!(
+                "array '{name}' is declared 'tested' but provably iteration-disjoint; \
+                 dropping the hint elides its shadow and marking entirely"
+            ),
+        ),
+        (Class::Reduction(op), other) if !matches!(other, Class::Reduction(_)) => d(
+            Level::Warning,
+            "unverifiable-hint",
+            decl_span,
+            format!(
+                "array '{name}' is declared 'reduction({})' but its references do not \
+                 all match the 'x {}= expr' pattern ({})",
+                op_str(op),
+                op_str(op),
+                u.rationale
+            ),
+        ),
+        _ => {}
+    }
+}
+
+fn op_str(op: UpdateOp) -> &'static str {
+    match op {
+        UpdateOp::Add => "+",
+        UpdateOp::Mul => "*",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        lint(&parse(src).unwrap(), 4)
+    }
+
+    fn find<'d>(ds: &'d [Diagnostic], code: &str) -> &'d Diagnostic {
+        ds.iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("no '{code}' in {ds:#?}"))
+    }
+
+    #[test]
+    fn unsound_untested_hint_is_an_error() {
+        let ds = lints("array A[101] : untested;\nfor i in 1..100 { A[i] = A[i - 1] + 1; }");
+        let d = find(&ds, "unsound-hint");
+        assert_eq!(d.level, Level::Error);
+        assert_eq!(d.span.line, 2, "points at the conflicting reference");
+        assert!(d.message.contains("distance 1"), "{}", d.message);
+    }
+
+    #[test]
+    fn redundant_tested_hint_warns() {
+        let ds = lints("array A[100] : tested;\nfor i in 0..100 { A[i] = i; }");
+        let d = find(&ds, "redundant-test-hint");
+        assert_eq!(d.level, Level::Warning);
+        assert_eq!(d.span.line, 1, "points at the declaration");
+    }
+
+    #[test]
+    fn guard_forced_test_points_at_the_guard() {
+        let ds = lints(
+            "array A[110];\nfor i in 0..100 { if i % 7 == 0 { A[i + 5] = 1; } A[i] = A[i] + 1; }",
+        );
+        let d = find(&ds, "guard-forced-test");
+        assert_eq!(d.level, Level::Warning);
+        assert_eq!(d.span.line, 2);
+    }
+
+    #[test]
+    fn mixed_reduction_ops_warns_with_both_spans() {
+        let ds = lints("array Y[10];\nfor i in 0..10 {\n  Y[0] += 1;\n  Y[1] *= 2;\n}");
+        let d = find(&ds, "mixed-reduction-ops");
+        assert!(
+            d.message.contains("3:") && d.message.contains("4:"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn schedule_estimate_uses_distance_and_p() {
+        // n = 92, d = 8, p = 4 -> ceil(92 / 32) = 3 stages.
+        let ds = lints("array A[200];\nfor i in 8..100 { A[i] = A[i - 8] + 1; }");
+        let d = find(&ds, "schedule-estimate");
+        assert_eq!(d.level, Level::Note);
+        assert!(d.message.contains("3-stage"), "{}", d.message);
+    }
+
+    #[test]
+    fn clean_programs_lint_clean_modulo_notes() {
+        let ds = lints("array A[100];\nfor i in 0..100 { A[i] = i; }");
+        assert!(
+            ds.iter().all(|d| d.level == Level::Note),
+            "only notes: {ds:#?}"
+        );
+    }
+
+    #[test]
+    fn reduction_and_shadow_notes_fire() {
+        let ds = lints("array Y[1000];\nfor i in 0..100 { Y[i % 16] += 1; }");
+        assert_eq!(find(&ds, "reduction-detected").level, Level::Note);
+        let s = find(&ds, "shadow-selection");
+        assert!(s.message.contains("16 of 1000"), "{}", s.message);
+    }
+
+    #[test]
+    fn unused_arrays_get_a_note() {
+        let ds = lints("array A[8];\narray B[8];\nfor i in 0..8 { A[i] = i; }");
+        let d = find(&ds, "unused-array");
+        assert_eq!(d.array.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn diagnostics_render_with_spans() {
+        let ds = lints("array A[101] : untested;\nfor i in 1..100 { A[i] = A[i - 1] + 1; }");
+        let text = format!("{}", find(&ds, "unsound-hint"));
+        assert!(text.starts_with("error[unsound-hint]:"), "{text}");
+        assert!(text.contains("--> 2:"), "{text}");
+    }
+}

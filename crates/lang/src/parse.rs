@@ -144,6 +144,10 @@ impl Parser {
                 }
                 self.expect_punct(';')?;
             }
+            let span = {
+                let t = self.peek();
+                Span::at(t.line, t.col)
+            };
             self.expect_keyword("for")?;
             let (var, ..) = self.ident()?;
             self.loop_var = var.clone();
@@ -163,6 +167,7 @@ impl Parser {
                 cost,
                 body,
                 num_locals: self.num_locals,
+                span,
             });
             if self.peek().kind == Tok::Eof {
                 break;
@@ -345,7 +350,8 @@ impl Parser {
                 Ok(Stmt::Break { cond })
             }
             Tok::Ident(s) if s == "if" => {
-                self.bump();
+                let kw = self.bump();
+                let span = Span::at(kw.line, kw.col);
                 let cond = self.expr()?;
                 let then_body = self.block()?;
                 let else_body = if matches!(&self.peek().kind, Tok::Ident(s) if s == "else") {
@@ -358,10 +364,12 @@ impl Parser {
                     cond,
                     then_body,
                     else_body,
+                    span,
                 })
             }
             Tok::Ident(name) => {
                 let (_, line, col) = self.ident()?;
+                let span = Span::at(line, col);
                 if let Some(&array) = self.scalar_ids.get(&name) {
                     // Scalar assignment: desugar to element 0.
                     let index = Expr::Num(0.0);
@@ -369,7 +377,12 @@ impl Parser {
                         Tok::Op("=") => {
                             self.bump();
                             let expr = self.expr()?;
-                            Stmt::Assign { array, index, expr }
+                            Stmt::Assign {
+                                array,
+                                index,
+                                expr,
+                                span,
+                            }
                         }
                         Tok::Op("+=") => {
                             self.bump();
@@ -379,6 +392,7 @@ impl Parser {
                                 index,
                                 op: UpdateOp::Add,
                                 expr,
+                                span,
                             }
                         }
                         Tok::Op("*=") => {
@@ -389,6 +403,7 @@ impl Parser {
                                 index,
                                 op: UpdateOp::Mul,
                                 expr,
+                                span,
                             }
                         }
                         ref other => {
@@ -413,7 +428,12 @@ impl Parser {
                     Tok::Op("=") => {
                         self.bump();
                         let expr = self.expr()?;
-                        Stmt::Assign { array, index, expr }
+                        Stmt::Assign {
+                            array,
+                            index,
+                            expr,
+                            span,
+                        }
                     }
                     Tok::Op("+=") => {
                         self.bump();
@@ -423,6 +443,7 @@ impl Parser {
                             index,
                             op: UpdateOp::Add,
                             expr,
+                            span,
                         }
                     }
                     Tok::Op("*=") => {
@@ -433,6 +454,7 @@ impl Parser {
                             index,
                             op: UpdateOp::Mul,
                             expr,
+                            span,
                         }
                     }
                     ref other => {
@@ -609,6 +631,7 @@ impl Parser {
                     Ok(Expr::Read {
                         array,
                         index: Box::new(index),
+                        span: Span::at(line, col),
                     })
                 } else if name == self.loop_var {
                     Ok(Expr::LoopVar)
@@ -619,6 +642,7 @@ impl Parser {
                     Ok(Expr::Read {
                         array,
                         index: Box::new(Expr::Num(0.0)),
+                        span: Span::at(line, col),
                     })
                 } else if matches!(&self.counter, Some((c, _)) if *c == name) {
                     Ok(Expr::Counter)

@@ -58,6 +58,22 @@ struct Names<'a> {
     loop_var: &'a str,
 }
 
+/// Render one array reference as source text (dependence diagnostics):
+/// `NAME[(subscript)]`, in the printer's fully parenthesized form.
+pub(crate) fn subscript_to_string(
+    program: &Program,
+    array: usize,
+    index: &Expr,
+    loop_var: &str,
+) -> String {
+    let names = Names { program, loop_var };
+    let mut out = String::new();
+    let _ = write!(out, "{}[", names.array(array));
+    expr_str(&mut out, index, &names);
+    out.push(']');
+    out
+}
+
 impl Names<'_> {
     fn array(&self, id: usize) -> &str {
         &self.program.arrays[id].name
@@ -88,7 +104,9 @@ fn stmt(out: &mut String, s: &Stmt, names: &Names<'_>, depth: usize) {
             expr_str(out, expr, names);
             out.push_str(";\n");
         }
-        Stmt::Assign { array, index, expr } => {
+        Stmt::Assign {
+            array, index, expr, ..
+        } => {
             let _ = write!(out, "{}[", names.array(*array));
             expr_str(out, index, names);
             out.push_str("] = ");
@@ -100,6 +118,7 @@ fn stmt(out: &mut String, s: &Stmt, names: &Names<'_>, depth: usize) {
             index,
             op,
             expr,
+            ..
         } => {
             let _ = write!(out, "{}[", names.array(*array));
             expr_str(out, index, names);
@@ -124,6 +143,7 @@ fn stmt(out: &mut String, s: &Stmt, names: &Names<'_>, depth: usize) {
             cond,
             then_body,
             else_body,
+            ..
         } => {
             out.push_str("if ");
             expr_str(out, cond, names);
@@ -157,7 +177,7 @@ fn expr_str(out: &mut String, e: &Expr, names: &Names<'_>) {
         Expr::Local(slot) => {
             let _ = write!(out, "__l{slot}");
         }
-        Expr::Read { array, index } => {
+        Expr::Read { array, index, .. } => {
             let _ = write!(out, "{}[", names.array(*array));
             expr_str(out, index, names);
             out.push(']');
@@ -272,6 +292,56 @@ mod tests {
         round_trip(
             "array A[16];\nfor i in 0..16 { A[i] = i; }\ncost 3;\nfor j in 0..16 { A[j] = A[j] * 2; }",
         );
+    }
+
+    #[test]
+    fn classification_survives_the_round_trip() {
+        // The printer may rename locals and normalize expression
+        // nesting, but nothing it does is allowed to change what the
+        // static analysis can prove: every array of every loop must
+        // classify identically before and after a print/reparse cycle,
+        // including the dependence evidence behind the class.
+        for src in [
+            // Affine strides, a guarded backward flow, a reduction.
+            "array A[128] = 1;\narray H[8];\nfor i in 0..32 {\n  \
+             let v = A[2 * i + 1];\n  \
+             if i >= 9 { A[i] = A[i - 9] + v; }\n  \
+             H[i % 8] += v;\n}",
+            // Data-dependent subscript: must stay Tested.
+            "array IDX[16] = 1;\narray A[32];\nfor i in 0..16 { A[IDX[i]] = i; }",
+            // Provably disjoint writes: must stay Untested (elided).
+            "array B[64];\nfor i in 0..32 { B[i + 4] = i; }",
+            // Counter program under the induction scheme.
+            "array T[100];\ncounter c = 10;\nfor i in 0..50 { T[c] = i; bump c; }",
+        ] {
+            let p1 = parse(src).unwrap();
+            let printed = print_program(&p1);
+            let p2 = parse(&printed).unwrap_or_else(|e| panic!("reprint failed: {e}\n{printed}"));
+            let c1 = crate::classify_program(&p1);
+            let c2 = crate::classify_program(&p2);
+            assert_eq!(c1.len(), c2.len());
+            for (k, (l1, l2)) in c1.iter().zip(&c2).enumerate() {
+                for (j, (a, b)) in l1.iter().zip(l2).enumerate() {
+                    assert_eq!(
+                        a.class, b.class,
+                        "loop {k}, array {}: class changed across round trip\n{printed}",
+                        p1.arrays[j].name
+                    );
+                    assert_eq!(
+                        a.evidence.as_ref().and_then(|e| e.first_sink),
+                        b.evidence.as_ref().and_then(|e| e.first_sink),
+                        "loop {k}, array {}: first sink changed across round trip",
+                        p1.arrays[j].name
+                    );
+                    assert_eq!(
+                        a.evidence.as_ref().and_then(|e| e.distance),
+                        b.evidence.as_ref().and_then(|e| e.distance),
+                        "loop {k}, array {}: distance changed across round trip",
+                        p1.arrays[j].name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The symbolic dependence classifier (GCD test + Banerjee-style bound
+//! intersection + interval analysis, `depend.rs`) against the exact
+//! enumeration oracle (`classify_loop_exact`), over randomly generated
+//! affine loops.
+//!
+//! The oracle evaluates every subscript of every iteration concretely —
+//! the brute-force ground truth the paper-era compiler would never
+//! afford at run time. The symbolic classifier must reach the *same*
+//! class for every array without touching the iteration space. On the
+//! affine fragment generated here (literal coefficients and offsets,
+//! `i >= k` guards, `%`-subscripted reductions) the GCD/Banerjee
+//! machinery is exact, so agreement is equality, not one-sided
+//! soundness.
+
+use proptest::prelude::*;
+use rlrpd_lang::{classify_loop_exact, classify_program, parse};
+
+/// Build a random affine loop over A (strided/backward refs), B
+/// (disjoint writes and reads of A), and H (modulo reduction).
+///
+/// Every template keeps its subscripts in bounds by construction:
+/// coefficients are at most 3, offsets at most 8, and the array sizes
+/// leave headroom (`3n + 24`).
+fn program(n: usize, stmts: &[(u8, usize, usize, usize)]) -> String {
+    let sz = 3 * n + 24;
+    let mut body = String::new();
+    for &(kind, a, b, k) in stmts {
+        let a = (a % 3) + 1; // stride 1..=3
+        let b = b % 8; // offset 0..8
+        let k = (k % (n / 4).max(1)) + 1; // backward distance 1..=n/4
+        match kind % 6 {
+            // Strided write: conflicts with any read/write that can
+            // land on the same residue class.
+            0 => body.push_str(&format!("  A[{a} * i + {b}] = i + {b};\n")),
+            // Guarded backward read at literal distance k: a Must
+            // dependence with distance k (demoted to May by the guard).
+            1 => body.push_str(&format!("  if i >= {k} {{ A[i] = A[i - {k}] + 1; }}\n")),
+            // Read A through an affine subscript, write B disjointly.
+            2 => body.push_str(&format!("  B[i] = A[{a} * i + {b}] * 0.5;\n")),
+            // Modulo-subscripted reduction: interval analysis gives the
+            // subscript an opaque-but-finite range; the update-only
+            // reference pattern classifies it as a reduction.
+            3 => body.push_str("  H[i % 8] += 1;\n"),
+            // Shifted write to B: write-write dependence at distance b
+            // against template 2's B[i] when both are present.
+            4 => body.push_str(&format!("  B[i + {b}] = i;\n")),
+            // Same-iteration read-modify-write: no cross-iteration pair.
+            _ => body.push_str("  let v = A[i] + 1;\n  A[i] = v;\n"),
+        }
+    }
+    format!("array A[{sz}] = 1;\narray B[{sz}] = 2;\narray H[8];\nfor i in 0..{n} {{\n{body}}}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// The symbolic classifier's class equals the oracle's class for
+    /// every array of every generated affine loop.
+    #[test]
+    fn symbolic_classifier_agrees_with_exact_oracle(
+        n in 16usize..64,
+        stmts in prop::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
+            1..5,
+        ),
+    ) {
+        let src = program(n, &stmts);
+        let prog = parse(&src).unwrap_or_else(|e| panic!("{src}\n{e}"));
+        let symbolic = classify_program(&prog);
+        let exact = classify_loop_exact(&prog, 0);
+        for (j, (s, e)) in symbolic[0].iter().zip(&exact).enumerate() {
+            prop_assert_eq!(
+                &s.class,
+                e,
+                "array {} of:\n{}\nsymbolic rationale: {}",
+                prog.arrays[j].name,
+                src,
+                s.rationale
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Shadow-elision equivalence over the paper's workload kernels.
+//!
+//! Eliding instrumentation for statically-safe (untested) arrays is an
+//! optimization, never a semantic change: a run with every array fully
+//! instrumented (untested declarations promoted to tested with a dense
+//! shadow — [`FullyInstrumented`]) must produce byte-identical results
+//! to the elided run, under every rescheduling strategy. A tested array
+//! that never fails the LRPD test commits exactly the last value
+//! written per element, which is the same value a direct (untested)
+//! write sequence leaves behind.
+
+use rlrpd_core::{run_speculative, FullyInstrumented, RunConfig, SpecLoop, Strategy, WindowConfig};
+use rlrpd_loops::fptrak::{FptrakInput, FptrakLoop};
+use rlrpd_loops::nlfilt::{NlfiltInput, NlfiltLoop};
+use rlrpd_loops::spice::BjtLoop;
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Nrd,
+        Strategy::Rd,
+        Strategy::SlidingWindow(WindowConfig::fixed(16)),
+    ]
+}
+
+/// Assert bit-level equality of the two runs' final arrays (plain `==`
+/// on `f64` would accept `-0.0 == 0.0` and reject equal NaNs).
+fn assert_identical(lp: &dyn SpecLoop, label: &str) {
+    for strategy in strategies() {
+        let cfg = RunConfig::new(4).with_strategy(strategy);
+        let elided = run_speculative(lp, cfg);
+        let full = run_speculative(&FullyInstrumented::new(lp), cfg);
+        assert_eq!(elided.arrays.len(), full.arrays.len(), "{label}");
+        for ((name, a), (name2, b)) in elided.arrays.iter().zip(&full.arrays) {
+            assert_eq!(name, name2, "{label}");
+            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                a_bits, b_bits,
+                "{label}/{name} under {strategy:?}: elided run diverged from instrumented"
+            );
+        }
+    }
+}
+
+#[test]
+fn track_fptrak_is_instrumentation_invariant() {
+    for input in FptrakInput::all() {
+        assert_identical(&FptrakLoop::new(input), "fptrak");
+    }
+}
+
+#[test]
+fn spice_bjt_is_instrumentation_invariant() {
+    // PARAM is a read-only untested array: promoting it to tested adds
+    // marking on every read but must commit nothing.
+    assert_identical(&BjtLoop::new(256, 64, 0xB17), "bjt");
+}
+
+#[test]
+fn nlfilt_is_instrumentation_invariant() {
+    // STATE is written through privately-owned rows (untested by
+    // construction); full instrumentation re-checks that claim at
+    // run time and must commit the same bytes.
+    assert_identical(&NlfiltLoop::new(NlfiltInput::i8_100()), "nlfilt");
+}

@@ -60,6 +60,8 @@ pub struct SendPtr<T>(*mut T);
 // disjointness. Sending the pointer itself between threads is sound
 // whenever the pointee values may move between threads.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — sharing the pointer grants no access by itself;
+// every dereference site must justify exclusivity on its own.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -467,6 +469,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-based; slow under the interpreter")]
     fn skewed_work_is_stolen_and_completes() {
         // All the work lands in worker 0's chunk by cost; thieves must
         // take from the back for the job to finish quickly — but

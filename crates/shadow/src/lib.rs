@@ -42,6 +42,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod dense;
 pub mod hasher;
@@ -49,6 +50,7 @@ pub mod iter_marks;
 pub mod last_ref;
 pub mod marks;
 pub mod packed;
+pub mod select;
 pub mod shadow;
 pub mod sparse;
 
@@ -57,5 +59,6 @@ pub use iter_marks::{ElemEvents, EventKind, IterMarks};
 pub use last_ref::LastRefTable;
 pub use marks::Mark;
 pub use packed::PackedShadow;
+pub use select::{choose, ShadowChoice};
 pub use shadow::Shadow;
 pub use sparse::SparseShadow;

@@ -1,0 +1,117 @@
+//! Static shadow-structure selection.
+//!
+//! The paper's shadow-structure optimization makes marking cost
+//! proportional to the number of *touched* elements rather than the
+//! array size — but only if the right structure is picked: a dense byte
+//! shadow is fastest per mark yet allocates (and, bit-packed, clears)
+//! the whole array; a sparse hash shadow allocates per touch but pays
+//! hashing on every mark. The run-time pass historically picked by
+//! array size alone; with the symbolic dependence analysis predicting
+//! per-array **touch density** ahead of the run, the choice can be made
+//! statically per loop (the first concrete step of the ROADMAP
+//! "adaptive shadow selection under memory budgets" item).
+//!
+//! [`choose`] is a pure function of `(size, predicted_touched)` so the
+//! decision is auditable and testable in isolation; the language crate
+//! maps the result onto the runtime's shadow kinds.
+
+/// Which shadow structure to instrument an array with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShadowChoice {
+    /// One mark byte per element ([`crate::DenseShadow`]): fastest
+    /// marks, O(size) allocation — right when most elements are hit.
+    Dense,
+    /// Bit-packed planes ([`crate::PackedShadow`]): ~4× smaller than
+    /// the byte shadow, slightly dearer marks — right for big arrays
+    /// with moderate density where footprint dominates.
+    Packed,
+    /// Hash-based ([`crate::SparseShadow`]): allocation proportional to
+    /// touches — right when a large array is touched sparsely.
+    Sparse,
+}
+
+impl ShadowChoice {
+    /// Short lowercase name for reports and lints.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ShadowChoice::Dense => "dense",
+            ShadowChoice::Packed => "packed",
+            ShadowChoice::Sparse => "sparse",
+        }
+    }
+}
+
+/// Below this size a dense byte shadow is always cheapest: the whole
+/// shadow fits in a couple of cache lines, so density games cannot win.
+pub const SMALL_ARRAY: usize = 1 << 10;
+
+/// Touch density at or below which hashing beats allocating the array:
+/// fewer than 1 in 64 elements marked.
+pub const SPARSE_DENSITY: f64 = 1.0 / 64.0;
+
+/// Touch density below which the bit-packed shadow's 4× footprint
+/// saving outweighs its dearer marks.
+pub const PACKED_DENSITY: f64 = 1.0 / 4.0;
+
+/// Pick the shadow structure for an array of `size` elements of which
+/// the static analysis predicts `touched` distinct ones are referenced
+/// per speculative stage. Pure and total: callers may feed `touched >
+/// size` (clamped) or `size == 0` (dense).
+pub fn choose(size: usize, touched: usize) -> ShadowChoice {
+    if size < SMALL_ARRAY {
+        return ShadowChoice::Dense;
+    }
+    let density = touched.min(size) as f64 / size as f64;
+    if density <= SPARSE_DENSITY {
+        ShadowChoice::Sparse
+    } else if density <= PACKED_DENSITY {
+        ShadowChoice::Packed
+    } else {
+        ShadowChoice::Dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arrays_are_always_dense() {
+        assert_eq!(choose(8, 1), ShadowChoice::Dense);
+        assert_eq!(choose(1023, 0), ShadowChoice::Dense);
+        assert_eq!(choose(0, 0), ShadowChoice::Dense);
+    }
+
+    #[test]
+    fn sparse_touches_on_big_arrays_hash() {
+        assert_eq!(choose(1 << 20, 100), ShadowChoice::Sparse);
+        assert_eq!(choose(1 << 20, (1 << 20) / 64), ShadowChoice::Sparse);
+    }
+
+    #[test]
+    fn moderate_density_bit_packs() {
+        assert_eq!(choose(1 << 20, 1 << 17), ShadowChoice::Packed);
+        assert_eq!(choose(4096, 512), ShadowChoice::Packed);
+    }
+
+    #[test]
+    fn dense_touches_stay_dense() {
+        assert_eq!(choose(1 << 20, 1 << 19), ShadowChoice::Dense);
+        assert_eq!(choose(4096, 4096), ShadowChoice::Dense);
+    }
+
+    #[test]
+    fn overcounted_touches_clamp() {
+        assert_eq!(choose(4096, usize::MAX), ShadowChoice::Dense);
+    }
+
+    #[test]
+    fn boundaries_are_stable() {
+        let size = 1 << 12;
+        // Exactly at the sparse threshold: still sparse (<=).
+        assert_eq!(choose(size, size / 64), ShadowChoice::Sparse);
+        assert_eq!(choose(size, size / 64 + 1), ShadowChoice::Packed);
+        assert_eq!(choose(size, size / 4), ShadowChoice::Packed);
+        assert_eq!(choose(size, size / 4 + 1), ShadowChoice::Dense);
+    }
+}

@@ -12,6 +12,7 @@
 //!                      [--max-respawns R] [--dist-fault k:O[,k:O...]]
 //! rlrpd worker
 //! rlrpd classify <file.rlp>
+//! rlrpd analyze <file.rlp> [--procs N] [--format text|json] [--deny-warnings]
 //! rlrpd fmt <file.rlp>
 //! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
 //! rlrpd model [n] [p] [omega] [ell] [sync] [alpha]
@@ -22,7 +23,9 @@
 //! | code | meaning                                              |
 //! |------|------------------------------------------------------|
 //! |  0   | success                                              |
-//! |  1   | other failure (I/O, compile error, internal)         |
+//! |  1   | other failure (I/O, compile error, internal); also   |
+//! |      | `analyze` findings at error level, or warnings under |
+//! |      | `--deny-warnings`                                    |
 //! |  2   | genuine program fault (the loop itself is faulty)    |
 //! |  3   | run exceeded its `--max-stages` cap                  |
 //! |  4   | crash-journal failure (corrupt, mismatched, or I/O)  |
@@ -119,7 +122,8 @@ fn usage() -> String {
      [--max-restarts R] [--max-stages M] [--journal <path>] [--resume] \
      [--dist-workers N|auto] [--block-deadline SECS] [--max-respawns R] \
      [--dist-fault kill|hang|corrupt:ORDINAL[,...]]\n  rlrpd worker\n  rlrpd classify \
-     <file.rlp>\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
+     <file.rlp>\n  rlrpd analyze <file.rlp> [--procs N] [--format text|json] \
+     [--deny-warnings]\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
         .into()
 }
@@ -132,6 +136,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "run" => cmd_run(rest),
         "worker" => cmd_worker(rest),
         "classify" => cmd_classify(rest).map_err(CliError::from),
+        "analyze" => cmd_analyze(rest),
         "fmt" => cmd_fmt(rest).map_err(CliError::from),
         "ddg" => cmd_ddg(rest).map_err(CliError::from),
         "model" => cmd_model(rest).map_err(CliError::from),
@@ -156,6 +161,7 @@ struct Flags {
 
 const VALUE_FLAGS: &[&str] = &[
     "--procs",
+    "--format",
     "--strategy",
     "--checkpoint",
     "--balance",
@@ -440,6 +446,7 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         // Single loop: a stateful runner accumulates PR and balancing
         // history across --runs instantiations.
         let lp = prog.loop_view(0, initial_state(&prog));
+        let cfg = cfg.with_dependence_prediction(prog.predicted_first_dependence(0));
         let mut runner = Runner::new(cfg);
         if let Some(seed) = flags.u64_opt("--fault-seed").map_err(CliError::Usage)? {
             // Transient (one-shot) injected fault: the containment
@@ -647,6 +654,91 @@ fn cmd_classify(args: Vec<String>) -> Result<(), String> {
     let prog = load(&flags)?;
     print!("{}", prog.report());
     Ok(())
+}
+
+/// `rlrpd analyze`: the static lint pass. Exit 0 when clean (notes are
+/// fine), 1 on error-level findings or on warnings under
+/// `--deny-warnings`, 64 on usage or parse errors.
+fn cmd_analyze(args: Vec<String>) -> Result<(), CliError> {
+    use rlrpd::lang::Level;
+    let flags = parse_flags(args).map_err(CliError::Usage)?;
+    // A missing or unreadable input is an invocation problem for a
+    // static analysis (nothing ran), same bucket as a parse error.
+    let src = source(&flags).map_err(CliError::Usage)?;
+    let program = rlrpd::lang::parse(&src).map_err(|e| CliError::Usage(e.to_string()))?;
+    let p = flags.usize_of("--procs", 8).map_err(CliError::Usage)?;
+    let diags = rlrpd::lang::lint(&program, p);
+    let count = |lv| diags.iter().filter(|d| d.level == lv).count();
+    let (errors, warnings, notes) = (
+        count(Level::Error),
+        count(Level::Warning),
+        count(Level::Note),
+    );
+    match flags.get("--format").unwrap_or("text") {
+        "text" => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("analyze: {errors} error(s), {warnings} warning(s), {notes} note(s)");
+        }
+        "json" => {
+            let mut out = String::from("{\"diagnostics\":[");
+            for (k, d) in diags.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"level\":\"{}\",\"code\":\"{}\",\"line\":{},\"col\":{},\
+                     \"loop\":{},\"array\":{},\"message\":\"{}\"}}",
+                    d.level,
+                    d.code,
+                    d.span.line,
+                    d.span.col,
+                    d.loop_index,
+                    match &d.array {
+                        Some(a) => format!("\"{}\"", json_escape(a)),
+                        None => "null".into(),
+                    },
+                    json_escape(&d.message)
+                ));
+            }
+            out.push_str(&format!(
+                "],\"errors\":{errors},\"warnings\":{warnings},\"notes\":{notes}}}"
+            ));
+            println!("{out}");
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--format expects 'text' or 'json', got '{other}'"
+            )))
+        }
+    }
+    if errors > 0 {
+        return Err(CliError::Other(format!("analysis found {errors} error(s)")));
+    }
+    if flags.has("--deny-warnings") && warnings > 0 {
+        return Err(CliError::Other(format!(
+            "analysis found {warnings} warning(s) (--deny-warnings)"
+        )));
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for diagnostic text.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn cmd_ddg(args: Vec<String>) -> Result<(), String> {

@@ -151,6 +151,130 @@ fn bad_inputs_fail_cleanly() {
     assert!(stderr.contains("unknown strategy"), "{stderr}");
 }
 
+#[test]
+fn run_report_carries_the_static_dependence_prediction() {
+    // lu_sparse has affine evidence alongside its indirection, so the
+    // single-loop CLI path must stamp the predicted first sink into
+    // the report next to the observed restart point.
+    let (ok, stdout, stderr) =
+        rlrpd(&["run", &program("lu_sparse.rlp"), "--procs", "4", "--report"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("first dependence: predicted iteration"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("observed iteration"), "{stdout}");
+}
+
+#[test]
+fn analyze_emits_span_carrying_diagnostics_on_every_example() {
+    for example in [
+        "tracking.rlp",
+        "tracking_large.rlp",
+        "lu_sparse.rlp",
+        "premature_exit.rlp",
+        "two_phase.rlp",
+        "extend.rlp",
+    ] {
+        let (ok, stdout, stderr) = rlrpd(&["analyze", &program(example)]);
+        assert!(ok, "{example}: {stderr}");
+        assert!(
+            stdout.contains("--> "),
+            "{example}: every diagnostic carries a source span\n{stdout}"
+        );
+        assert!(stdout.contains("analyze:"), "{example}: {stdout}");
+    }
+}
+
+#[test]
+fn analyze_text_output_names_the_lints() {
+    let (ok, stdout, _) = rlrpd(&["analyze", &program("tracking.rlp")]);
+    assert!(ok);
+    assert!(stdout.contains("warning[guard-forced-test]"), "{stdout}");
+    assert!(stdout.contains("note[reduction-detected]"), "{stdout}");
+    assert!(stdout.contains("note[shadow-selection]"), "{stdout}");
+}
+
+#[test]
+fn analyze_deny_warnings_turns_warnings_into_exit_1() {
+    // tracking.rlp has a guard-forced-test warning.
+    assert_eq!(exit_code(&["analyze", &program("tracking.rlp")]), 0);
+    assert_eq!(
+        exit_code(&["analyze", &program("tracking.rlp"), "--deny-warnings"]),
+        1
+    );
+    // premature_exit.rlp is clean (notes only) — denied warnings don't
+    // touch notes.
+    assert_eq!(
+        exit_code(&["analyze", &program("premature_exit.rlp"), "--deny-warnings"]),
+        0
+    );
+}
+
+#[test]
+fn analyze_usage_and_parse_errors_exit_64() {
+    let path = scratch("unparseable.rlp");
+    std::fs::write(&path, "array A[8;\nfor i in {").unwrap();
+    assert_eq!(exit_code(&["analyze", path.to_str().unwrap()]), 64);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        exit_code(&["analyze", &program("tracking.rlp"), "--format", "yaml"]),
+        64
+    );
+    assert_eq!(exit_code(&["analyze"]), 64);
+}
+
+#[test]
+fn analyze_json_output_is_structured() {
+    let (ok, stdout, stderr) = rlrpd(&[
+        "analyze",
+        &program("tracking.rlp"),
+        "--format",
+        "json",
+        "--procs",
+        "4",
+    ]);
+    assert!(ok, "{stderr}");
+    for key in [
+        "\"diagnostics\":",
+        "\"level\":",
+        "\"code\":",
+        "\"line\":",
+        "\"col\":",
+        "\"loop\":",
+        "\"message\":",
+        "\"errors\":",
+        "\"warnings\":",
+        "\"notes\":",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in\n{stdout}");
+    }
+    assert!(
+        stdout.contains("\"code\":\"guard-forced-test\""),
+        "{stdout}"
+    );
+    // Hand-rolled JSON must still be well-formed enough for a strict
+    // brace/bracket/quote balance check.
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in stdout.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced JSON:\n{stdout}");
+    assert!(!in_str, "unterminated string:\n{stdout}");
+}
+
 /// Exit code of one invocation (panics if the process was signalled).
 fn exit_code(args: &[&str]) -> i32 {
     Command::new(env!("CARGO_BIN_EXE_rlrpd"))
