@@ -1,0 +1,250 @@
+//! Benchmarks of the compiled loop tiers: tree-walk interpreter vs
+//! register-bytecode VM vs hand-written native closures, on the
+//! paper-shaped TRACK/SPICE/NLFILT DSL decks.
+//!
+//! Two comparisons back the bytecode compiler:
+//!
+//! 1. **Per-iteration execution path** — `run_sequential` drives the
+//!    loop body once per iteration through a direct-mode context, so
+//!    the measurement isolates body dispatch (AST walk vs bytecode
+//!    dispatch loop) from speculation machinery. TRACK additionally
+//!    gets the hand-written `ClosureLoop` ceiling the compiled tiers
+//!    chase.
+//! 2. **Speculative end-to-end with elision on/off** — the same deck
+//!    under a full speculative run, default shadow-elided codegen vs
+//!    `with_full_instrumentation` (which re-arms marking on the same
+//!    bytecode through the declaration table), on both tiers.
+//!
+//! Besides the criterion output, the harness re-times the headline
+//! configurations directly and records them to `BENCH_compile.json` at
+//! the repository root (set `RLRPD_BENCH_NO_JSON=1` to skip).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rlrpd_core::{
+    run_sequential, run_speculative, ArrayDecl, ArrayId, ClosureLoop, Reduction, RunConfig,
+    ShadowKind,
+};
+use rlrpd_lang::CompiledProgram;
+use rlrpd_loops::dsl::{nlfilt_dsl, spice_dsl, track_dsl};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Iteration count for the per-iteration comparison: large enough that
+/// body dispatch dominates setup, small enough for 9 timed runs per
+/// configuration.
+const SEQ_N: usize = 8_192;
+
+/// Iteration count for the speculative end-to-end comparison (restarts
+/// multiply the work, so this stays smaller).
+const SPEC_N: usize = 4_096;
+
+fn decks(n: usize) -> Vec<(&'static str, String)> {
+    vec![
+        ("TRACK", track_dsl(n)),
+        ("SPICE", spice_dsl(n)),
+        ("NLFILT", nlfilt_dsl(n)),
+    ]
+}
+
+/// The TRACK deck hand-written against the engine API — byte-for-byte
+/// the same address stream as `track_dsl(n)`, with the classifications
+/// the compiler derives (STATE tested, WORK elided, ENERGY reduction).
+fn native_track(n: usize) -> ClosureLoop<f64> {
+    const STATE: ArrayId = ArrayId(0);
+    const WORK: ArrayId = ArrayId(1);
+    const ENERGY: ArrayId = ArrayId(2);
+    ClosureLoop::new(
+        n,
+        move || {
+            vec![
+                ArrayDecl::tested("STATE", vec![1.0; n + 88], ShadowKind::Dense),
+                ArrayDecl::untested("WORK", vec![0.0; n]),
+                ArrayDecl::reduction("ENERGY", vec![0.0; 16], ShadowKind::Dense, Reduction::sum()),
+            ]
+        },
+        move |i, ctx| {
+            let src = (i * 11 + 3) % n;
+            let z = ctx.read(STATE, src);
+            let pr = z * 0.975 + i as f64 * 0.001;
+            let rs = z - pr * 0.955;
+            let w = rs.abs() * 0.25 + 0.125;
+            let g = (w * 0.5 + 0.0625).min(0.9);
+            let up = pr + g * rs;
+            let vel = z * 0.03 + pr * 0.01;
+            let acc = rs * 0.005 + vel * 0.875;
+            let p2 = up * 1.01 + vel * 0.125;
+            let bias = p2 * 0.0625 + acc * 0.25;
+            let damp = (bias * 0.5 + acc * 0.125).max(0.0375);
+            let e2 = rs * rs * 0.5 + up * up * 0.0225;
+            let sc = up.abs() * 0.0125 + w * 0.75;
+            let q = (e2 + 1.0).sqrt();
+            let nv = up * 0.96875 + q * 0.03125;
+            let jr = acc * 0.375 + bias * 0.0125;
+            let fl = damp * 0.8125 + jr * 0.1875;
+            let d2 = vel * 0.4375 + acc * 0.5625;
+            let g2 = g * 0.96875 + w * 0.03125;
+            let h2 = d2 * g2 + fl * 0.375;
+            let en = e2 * 0.9375 + h2 * h2;
+            let mx = sc * 0.5625 + en * 0.0625;
+            let t2 = h2 * 0.5 + mx * 0.25;
+            ctx.write(WORK, i, nv * 0.875 + t2 * 0.125);
+            if i % 32 == 0 {
+                ctx.write(STATE, src + 40, nv * 0.5 + z * 0.5);
+            }
+            ctx.reduce(ENERGY, i % 16, en * 0.5 + damp * damp);
+        },
+    )
+}
+
+/// Compile `src`, optionally demoted to the tree-walk tier.
+fn build(src: &str, interp: bool, full: bool) -> CompiledProgram {
+    let mut p = CompiledProgram::compile(src).expect("deck compiles");
+    if full {
+        p = p.with_full_instrumentation();
+    }
+    if interp {
+        p = p.with_interpreter();
+    }
+    p
+}
+
+fn per_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_iteration");
+    g.sample_size(20);
+    for (deck, src) in decks(SEQ_N) {
+        let interp = build(&src, true, false);
+        let vm = build(&src, false, false);
+        g.bench_with_input(BenchmarkId::new("interpreted", deck), &(), |b, _| {
+            b.iter(|| black_box(interp.run_sequential().len()));
+        });
+        g.bench_with_input(BenchmarkId::new("bytecode", deck), &(), |b, _| {
+            b.iter(|| black_box(vm.run_sequential().len()));
+        });
+    }
+    let native = native_track(SEQ_N);
+    g.bench_with_input(BenchmarkId::new("native", "TRACK"), &(), |b, _| {
+        b.iter(|| black_box(run_sequential(&native).0.len()));
+    });
+    g.finish();
+}
+
+fn speculative_elision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speculative");
+    g.sample_size(10);
+    let cfg = RunConfig::new(8);
+    for (deck, src) in decks(SPEC_N) {
+        for (tier, interp) in [("bytecode", false), ("interpreted", true)] {
+            for (mode, full) in [("elided", false), ("instrumented", true)] {
+                let prog = build(&src, interp, full);
+                let id = BenchmarkId::new(format!("{tier}_{mode}"), deck);
+                g.bench_with_input(id, &(), |b, _| {
+                    b.iter(|| black_box(prog.run(cfg).reports.len()));
+                });
+            }
+        }
+    }
+    let native = native_track(SPEC_N);
+    g.bench_with_input(BenchmarkId::new("native_spec", "TRACK"), &(), |b, _| {
+        b.iter(|| black_box(run_speculative(&native, cfg).report.stages.len()));
+    });
+    g.finish();
+}
+
+/// Median-of-`runs` wall time of `f`, in nanoseconds.
+fn time_ns(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Re-time the headline configurations and write `BENCH_compile.json`
+/// at the repository root (plain JSON, hand-rolled — no serializer
+/// needed for a flat record).
+fn record_baseline() {
+    if std::env::var_os("RLRPD_BENCH_NO_JSON").is_some() {
+        return;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+
+    // Per-iteration path: sequential execution, dispatch cost only.
+    for (deck, src) in decks(SEQ_N) {
+        let interp_prog = build(&src, true, false);
+        let vm_prog = build(&src, false, false);
+        let interp = time_ns(9, || {
+            black_box(interp_prog.run_sequential().len());
+        });
+        let vm = time_ns(9, || {
+            black_box(vm_prog.run_sequential().len());
+        });
+        let mut extra = String::new();
+        if deck == "TRACK" {
+            let lp = native_track(SEQ_N);
+            let native = time_ns(9, || {
+                black_box(run_sequential(&lp).0.len());
+            });
+            extra = format!(
+                ", \"native_ns\": {native:.0}, \"bytecode_over_native\": {:.3}",
+                vm / native
+            );
+        }
+        entries.push(format!(
+            "    {{\"bench\": \"per_iteration\", \"deck\": \"{deck}\", \"iters\": {SEQ_N}, \
+             \"interp_ns\": {interp:.0}, \"bytecode_ns\": {vm:.0}, \
+             \"interp_over_bytecode\": {:.3}{extra}}}",
+            interp / vm
+        ));
+    }
+
+    // Speculative end-to-end: elided vs fully instrumented, per tier.
+    let cfg = RunConfig::new(8);
+    for (deck, src) in decks(SPEC_N) {
+        let mut t = [0.0f64; 4];
+        for (slot, (interp, full)) in [(false, false), (false, true), (true, false), (true, true)]
+            .into_iter()
+            .enumerate()
+        {
+            let prog = build(&src, interp, full);
+            t[slot] = time_ns(5, || {
+                black_box(prog.run(cfg).reports.len());
+            });
+        }
+        let [vm_elided, vm_full, tw_elided, tw_full] = t;
+        entries.push(format!(
+            "    {{\"bench\": \"speculative_elision\", \"deck\": \"{deck}\", \
+             \"iters\": {SPEC_N}, \"procs\": 8, \
+             \"bytecode_elided_ns\": {vm_elided:.0}, \"bytecode_instrumented_ns\": {vm_full:.0}, \
+             \"interp_elided_ns\": {tw_elided:.0}, \"interp_instrumented_ns\": {tw_full:.0}, \
+             \"bytecode_instrumentation_overhead\": {:.3}, \
+             \"interp_over_bytecode_elided\": {:.3}}}",
+            vm_full / vm_elided,
+            tw_elided / vm_elided
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("baseline recorded to {path}");
+    }
+}
+
+criterion_group!(benches, per_iteration, speculative_elision);
+
+fn main() {
+    benches();
+    record_baseline();
+}

@@ -31,6 +31,15 @@ pub trait SpecLoop<T: Value = f64>: Sync {
     fn cost(&self, _iter: usize) -> f64 {
         1.0
     }
+
+    /// Human-readable name of the execution tier running this body —
+    /// surfaced in CLI/diagnostic output so operators can tell which
+    /// path a run exercised. Hand-written Rust bodies are `"native"`;
+    /// compiled DSL loops report `"bytecode VM"` or
+    /// `"tree-walk interpreter"`.
+    fn backend(&self) -> &'static str {
+        "native"
+    }
 }
 
 /// Boxed iteration-body closure.
@@ -131,5 +140,9 @@ impl<T: Value> SpecLoop<T> for FullyInstrumented<'_, T> {
 
     fn cost(&self, iter: usize) -> f64 {
         self.inner.cost(iter)
+    }
+
+    fn backend(&self) -> &'static str {
+        self.inner.backend()
     }
 }

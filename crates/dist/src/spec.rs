@@ -16,6 +16,9 @@ use rlrpd_loops::{Dcdcmp15Loop, FptrakLoop, NlfiltInput, NlfiltLoop};
 ///
 /// - `rlp:<source>` — a loop-language program, compiled with
 ///   `rlrpd_lang::compile` (what `rlrpd run --dist-workers` sends);
+/// - `rlp-interp:<source>` — the same, but the worker executes the body
+///   on the tree-walk interpreter instead of the bytecode VM (what
+///   `--no-compile` sends, so the escape hatch covers the whole fleet);
 /// - `fptrak:<index>` — the FPTRAK_300 kernel on deck `index` of
 ///   [`FptrakInput::all`];
 /// - `dcdcmp15:<seed>` — the small SPICE DCDCMP deck generated from
@@ -26,6 +29,11 @@ pub fn resolve_spec(spec: &str) -> Result<Box<dyn SpecLoop<f64>>, String> {
         return rlrpd_lang::compile(src)
             .map(|lp| Box::new(lp) as Box<dyn SpecLoop<f64>>)
             .map_err(|e| format!("rlp spec does not compile: {e}"));
+    }
+    if let Some(src) = spec.strip_prefix("rlp-interp:") {
+        return rlrpd_lang::compile(src)
+            .map(|lp| Box::new(lp.with_interpreter()) as Box<dyn SpecLoop<f64>>)
+            .map_err(|e| format!("rlp-interp spec does not compile: {e}"));
     }
     if let Some(index) = spec.strip_prefix("fptrak:") {
         let index: usize = index
@@ -60,6 +68,9 @@ mod tests {
             resolve_spec("rlp:array A[64] = 1;\nfor i in 0..64 { A[i] = A[max(0, i - 3)] + 1; }")
                 .unwrap();
         assert_eq!(lp.num_iters(), 64);
+        assert_eq!(lp.backend(), "bytecode VM");
+        let lp = resolve_spec("rlp-interp:array A[8];\nfor i in 0..8 { A[i] = i; }").unwrap();
+        assert_eq!(lp.backend(), "tree-walk interpreter");
         assert!(resolve_spec("fptrak:0").unwrap().num_iters() > 0);
         assert!(resolve_spec("dcdcmp15:17").unwrap().num_iters() > 0);
         assert!(resolve_spec("nlfilt:i4_50").unwrap().num_iters() > 0);

@@ -9,7 +9,59 @@
 use crate::analyze::Class;
 use crate::ast::*;
 use rlrpd_core::{ArrayId, IndCtx, IterCtx};
+use std::cell::RefCell;
 use std::ops::ControlFlow;
+
+thread_local! {
+    /// Per-thread `let`-slot buffer, shared by every tree-walked loop
+    /// body on the thread. The body is `&self`, so the iteration frame
+    /// cannot live in the loop object; keeping one grow-only buffer
+    /// per thread means the block hot loop never allocates — the same
+    /// treatment the VM gives its register file.
+    static LOCALS: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a zeroed `n`-slot locals buffer drawn from the
+/// per-thread scratch (no allocation once the buffer has grown to the
+/// largest body on this thread).
+pub(crate) fn with_locals<R>(n: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    LOCALS.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < n {
+            buf.resize(n, 0.0);
+        }
+        let slots = &mut buf[..n];
+        slots.fill(0.0);
+        f(slots)
+    })
+}
+
+/// Exactly `v.round() as i64` (round half away from zero, `as`-cast
+/// saturation included), computed with integer conversions instead of
+/// the float intrinsic. On baseline x86-64 (no SSE4.1) `f64::round`
+/// lowers to a libm call, and this helper sits on the hottest path of
+/// *both* compiled tiers — every `%` operand and every subscript —
+/// so the call overhead dominated iteration time. Shared by the
+/// tree-walk evaluator, the VM, and the constant folder, so all three
+/// agree bit-for-bit by construction.
+#[inline]
+pub(crate) fn round_i64(v: f64) -> i64 {
+    let t = v as i64; // truncate toward zero; saturating, NaN -> 0
+    let frac = v - t as f64;
+    t.saturating_add((frac >= 0.5) as i64 - (frac <= -0.5) as i64)
+}
+
+/// The `%` operator of the language: round both operands to integers,
+/// Euclidean remainder.
+///
+/// # Panics
+/// Panics when the rounded divisor is zero (a program fault).
+#[inline]
+pub(crate) fn rem_value(l: f64, r: f64) -> f64 {
+    let (li, ri) = (round_i64(l), round_i64(r));
+    assert!(ri != 0, "modulo by zero");
+    li.rem_euclid(ri) as f64
+}
 
 /// Evaluate a subscript value into an element index.
 ///
@@ -17,9 +69,9 @@ use std::ops::ControlFlow;
 /// Panics on negative or non-integral subscripts (a bug in the source
 /// program, reported with the offending value).
 fn subscript(v: f64) -> usize {
-    let r = v.round();
+    let r = round_i64(v);
     assert!(
-        (v - r).abs() < 1e-9 && r >= 0.0,
+        (v - r as f64).abs() < 1e-9 && r >= 0,
         "subscript {v} is not a non-negative integer"
     );
     r as usize
@@ -142,11 +194,7 @@ impl<'a, C: DataCtx> Eval<'a, C> {
                     BinOp::Sub => l - r,
                     BinOp::Mul => l * r,
                     BinOp::Div => l / r,
-                    BinOp::Rem => {
-                        let (li, ri) = (l.round() as i64, r.round() as i64);
-                        assert!(ri != 0, "modulo by zero");
-                        (li.rem_euclid(ri)) as f64
-                    }
+                    BinOp::Rem => rem_value(l, r),
                     BinOp::Eq => bool_val(l == r),
                     BinOp::Ne => bool_val(l != r),
                     BinOp::Lt => bool_val(l < r),

@@ -47,6 +47,7 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod bytecode;
 pub mod depend;
 pub mod error;
 mod interp;
@@ -54,6 +55,7 @@ pub mod lint;
 pub mod parse;
 pub mod pretty;
 pub mod token;
+mod vm;
 
 pub use analyze::{classify_loop, classify_loop_exact, classify_program, Class, Classification};
 pub use error::LangError;
@@ -62,12 +64,36 @@ pub use parse::parse;
 pub use pretty::print_program;
 
 use ast::Program;
+use bytecode::{lower_loop, LoopCode};
 use interp::Eval;
 use rlrpd_core::{
     ArrayDecl, IndCtx, InductionLoop, IterCtx, Reduction, RunConfig, RunReport, ShadowKind,
     SpecLoop,
 };
-use std::cell::RefCell;
+
+/// Which execution tier runs the loop bodies.
+///
+/// Compilation always lowers to bytecode; the backend selects what the
+/// engines actually execute per iteration. The tree-walk interpreter is
+/// kept as the differential oracle (and `--no-compile` escape hatch) —
+/// the two tiers are byte-identical by construction and by test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The register bytecode VM (default).
+    Bytecode,
+    /// The tree-walk AST interpreter (oracle / escape hatch).
+    TreeWalk,
+}
+
+impl Backend {
+    /// Human-readable backend name, as printed by the CLI.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Backend::Bytecode => "bytecode VM",
+            Backend::TreeWalk => "tree-walk interpreter",
+        }
+    }
+}
 
 /// A compiled mini-language program: one or more loops, executed in
 /// sequence over shared arrays, each with its own classification.
@@ -85,7 +111,16 @@ pub struct CompiledProgram {
     /// When set, `Untested` verdicts are ignored at declaration time
     /// and every non-reduction array is fully instrumented — the
     /// baseline the shadow-elision tests compare against.
+    ///
+    /// The *bytecode* is unchanged by this flag: elided `Load`/`Store`
+    /// ops still route through the context, which re-arms marking when
+    /// the declaration is flipped back to `Tested`.
     full_instrumentation: bool,
+    /// Per-loop lowered bytecode (`bytecode[loop]`), produced
+    /// unconditionally at compile time.
+    bytecode: Vec<LoopCode>,
+    /// Which tier executes the loop bodies.
+    backend: Backend,
 }
 
 /// Results of running a whole program speculatively.
@@ -136,12 +171,20 @@ impl CompiledProgram {
             .iter()
             .map(|d| &*Box::leak(d.name.clone().into_boxed_str()))
             .collect();
+        let bytecode = program
+            .loops
+            .iter()
+            .zip(&class_tables)
+            .map(|(nest, table): (_, &Vec<Class>)| lower_loop(nest, table))
+            .collect();
         Ok(CompiledProgram {
             program,
             classes,
             class_tables,
             names,
             full_instrumentation: false,
+            bytecode,
+            backend: Backend::Bytecode,
         })
     }
 
@@ -154,6 +197,40 @@ impl CompiledProgram {
     pub fn with_full_instrumentation(mut self) -> Self {
         self.full_instrumentation = true;
         self
+    }
+
+    /// Execute loop bodies on the tree-walk interpreter instead of the
+    /// bytecode VM — the differential oracle, exposed on the CLI as
+    /// `--no-compile`.
+    pub fn with_interpreter(mut self) -> Self {
+        self.backend = Backend::TreeWalk;
+        self
+    }
+
+    /// Which execution tier runs the loop bodies.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The lowered bytecode of loop `k`.
+    pub fn loop_code(&self, k: usize) -> &LoopCode {
+        &self.bytecode[k]
+    }
+
+    /// Human-readable disassembly of every loop's bytecode.
+    pub fn disassembly(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (k, code) in self.bytecode.iter().enumerate() {
+            let nest = &self.program.loops[k];
+            let _ = writeln!(
+                out,
+                "loop {k} (for {} in {}..{}):",
+                nest.loop_var, nest.range.0, nest.range.1
+            );
+            out.push_str(&code.disassemble(&self.names, &nest.loop_var));
+        }
+        out
     }
 
     /// Number of loops in the program.
@@ -326,22 +403,26 @@ impl SpecLoop<f64> for ProgramLoop<'_> {
     fn body(&self, iter: usize, ctx: &mut IterCtx<'_, f64>) {
         let nest = &self.prog.program.loops[self.k];
         let i = (nest.range.0 + iter) as f64;
-        LOCALS.with(|cell| {
-            let mut locals = cell.borrow_mut();
-            locals.clear();
-            locals.resize(nest.num_locals, 0.0);
-            let mut eval = Eval {
-                i,
-                locals: &mut locals,
-                classes: &self.prog.class_tables[self.k],
-                ctx,
-            };
-            let _ = eval.stmts(&nest.body);
-        });
+        match self.prog.backend {
+            Backend::Bytecode => vm::iterate(&self.prog.bytecode[self.k], i, ctx),
+            Backend::TreeWalk => interp::with_locals(nest.num_locals, |locals| {
+                let mut eval = Eval {
+                    i,
+                    locals,
+                    classes: &self.prog.class_tables[self.k],
+                    ctx,
+                };
+                let _ = eval.stmts(&nest.body);
+            }),
+        }
     }
 
     fn cost(&self, _iter: usize) -> f64 {
         self.prog.program.loops[self.k].cost
+    }
+
+    fn backend(&self) -> &'static str {
+        self.prog.backend.describe()
     }
 }
 
@@ -382,16 +463,27 @@ impl CompiledLoop {
         &self.inner
     }
 
+    /// Execute the body on the tree-walk interpreter instead of the
+    /// bytecode VM (the `--no-compile` escape hatch).
+    pub fn with_interpreter(mut self) -> Self {
+        self.inner = self.inner.with_interpreter();
+        self
+    }
+
+    /// Which execution tier runs the loop body.
+    pub fn backend(&self) -> Backend {
+        self.inner.backend()
+    }
+
+    /// Human-readable disassembly of the loop's bytecode.
+    pub fn disassembly(&self) -> String {
+        self.inner.disassembly()
+    }
+
     /// Pretty one-line-per-array report of the pass's decisions.
     pub fn report(&self) -> String {
         self.inner.report()
     }
-}
-
-thread_local! {
-    /// Per-thread scratch for `let` slots: the body is `&self`, so the
-    /// iteration frame cannot live in the loop object.
-    static LOCALS: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
 impl SpecLoop<f64> for CompiledLoop {
@@ -407,22 +499,26 @@ impl SpecLoop<f64> for CompiledLoop {
     fn body(&self, iter: usize, ctx: &mut IterCtx<'_, f64>) {
         let nest = &self.inner.program.loops[0];
         let i = (nest.range.0 + iter) as f64;
-        LOCALS.with(|cell| {
-            let mut locals = cell.borrow_mut();
-            locals.clear();
-            locals.resize(nest.num_locals, 0.0);
-            let mut eval = Eval {
-                i,
-                locals: &mut locals,
-                classes: &self.inner.class_tables[0],
-                ctx,
-            };
-            let _ = eval.stmts(&nest.body);
-        });
+        match self.inner.backend {
+            Backend::Bytecode => vm::iterate(&self.inner.bytecode[0], i, ctx),
+            Backend::TreeWalk => interp::with_locals(nest.num_locals, |locals| {
+                let mut eval = Eval {
+                    i,
+                    locals,
+                    classes: &self.inner.class_tables[0],
+                    ctx,
+                };
+                let _ = eval.stmts(&nest.body);
+            }),
+        }
     }
 
     fn cost(&self, _iter: usize) -> f64 {
         self.inner.program.loops[0].cost
+    }
+
+    fn backend(&self) -> &'static str {
+        self.inner.backend.describe()
     }
 }
 
@@ -447,6 +543,12 @@ pub struct CompiledInduction {
     /// read-modify-write — but every other verdict comes from the same
     /// static analysis as parsed [`CompiledProgram`]s.
     classes: Vec<Class>,
+    /// The lowered bytecode of the (single) loop. Lowered from the
+    /// demoted class table, so no `Reduce` instruction is ever emitted
+    /// (`IndCtx` has no reduction path).
+    code: LoopCode,
+    /// Which tier executes the loop body.
+    backend: Backend,
 }
 
 impl CompiledInduction {
@@ -464,7 +566,7 @@ impl CompiledInduction {
                 "induction programs have exactly one loop",
             ));
         }
-        let classes = classify_loop(&program, 0)
+        let classes: Vec<Class> = classify_loop(&program, 0)
             .into_iter()
             .map(|c| match c.class {
                 Class::Reduction(_) => Class::Tested,
@@ -476,10 +578,13 @@ impl CompiledInduction {
             .iter()
             .map(|d| &*Box::leak(d.name.clone().into_boxed_str()))
             .collect();
+        let code = lower_loop(&program.loops[0], &classes);
         Ok(CompiledInduction {
             program,
             names,
             classes,
+            code,
+            backend: Backend::Bytecode,
         })
     }
 
@@ -487,6 +592,32 @@ impl CompiledInduction {
     pub fn counter(&self) -> (&str, usize) {
         let (name, init) = self.program.counter.as_ref().expect("checked at compile");
         (name, *init)
+    }
+
+    /// Execute the body on the tree-walk interpreter instead of the
+    /// bytecode VM (the `--no-compile` escape hatch).
+    pub fn with_interpreter(mut self) -> Self {
+        self.backend = Backend::TreeWalk;
+        self
+    }
+
+    /// Which execution tier runs the loop body.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Human-readable disassembly of the loop's bytecode.
+    pub fn disassembly(&self) -> String {
+        use std::fmt::Write;
+        let nest = &self.program.loops[0];
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loop 0 (for {} in {}..{}):",
+            nest.loop_var, nest.range.0, nest.range.1
+        );
+        out.push_str(&self.code.disassemble(&self.names, &nest.loop_var));
+        out
     }
 }
 
@@ -516,18 +647,18 @@ impl InductionLoop<f64> for CompiledInduction {
     fn body(&self, iter: usize, ctx: &mut IndCtx<'_, f64>) {
         let nest = &self.program.loops[0];
         let i = (nest.range.0 + iter) as f64;
-        LOCALS.with(|cell| {
-            let mut locals = cell.borrow_mut();
-            locals.clear();
-            locals.resize(nest.num_locals, 0.0);
-            let mut eval = Eval {
-                i,
-                locals: &mut locals,
-                classes: &self.classes,
-                ctx,
-            };
-            let _ = eval.stmts(&nest.body);
-        });
+        match self.backend {
+            Backend::Bytecode => vm::iterate(&self.code, i, ctx),
+            Backend::TreeWalk => interp::with_locals(nest.num_locals, |locals| {
+                let mut eval = Eval {
+                    i,
+                    locals,
+                    classes: &self.classes,
+                    ctx,
+                };
+                let _ = eval.stmts(&nest.body);
+            }),
+        }
     }
 
     fn cost(&self, _iter: usize) -> f64 {

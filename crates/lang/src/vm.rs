@@ -1,0 +1,398 @@
+//! The register VM: executes lowered [`LoopCode`] one iteration at a
+//! time against the engine's instrumented context.
+//!
+//! This is the hot path of the compiled tier — one flat dispatch loop
+//! per iteration, no AST walks, no per-iteration allocation. The
+//! register file lives in a per-thread scratch that is *bound* to a
+//! loop: binding (sizing the file and materializing the constant pool
+//! into the constant registers) happens only when the thread switches
+//! loops, so across the millions of iterations of a block the
+//! per-iteration work is exactly: write the loop register, dispatch.
+//!
+//! Register and instruction fetches are unchecked; the lowering
+//! verifier (`bytecode::verify`) established the bounds at compile
+//! time. Panics out of the VM are *program* faults (bad subscript,
+//! modulo by zero) and carry the same messages as the tree-walk
+//! interpreter — plus the source span the bytecode's side table
+//! preserved — so fault-containment tests observe identical behavior
+//! on either backend.
+
+use crate::ast::Span;
+use crate::bytecode::{Insn, LoopCode, REG_I};
+use crate::interp::DataCtx;
+use std::cell::RefCell;
+
+/// Per-thread register file, bound to the loop whose constants it
+/// currently holds.
+struct Scratch {
+    regs: Vec<f64>,
+    /// [`LoopCode::uid`] of the bound loop (0 = unbound; uids start
+    /// at 1).
+    bound: u64,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            regs: Vec::new(),
+            bound: 0,
+        })
+    };
+}
+
+/// Execute one iteration of `code` with the loop variable at `i`.
+#[inline]
+pub(crate) fn iterate<C: DataCtx>(code: &LoopCode, i: f64, ctx: &mut C) {
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        if scratch.bound != code.uid {
+            bind(&mut scratch, code);
+        }
+        run(code, i, &mut scratch.regs, ctx);
+    });
+}
+
+/// (Re)bind the scratch to `code`: size the register file and
+/// materialize the constant pool. Paid once per `(thread, loop)`, not
+/// per iteration — cold so the binding code stays off the hot path.
+#[cold]
+fn bind(scratch: &mut Scratch, code: &LoopCode) {
+    scratch.regs.clear();
+    scratch.regs.resize(code.num_regs as usize, 0.0);
+    let cb = code.const_base();
+    scratch.regs[cb..cb + code.consts.len()].copy_from_slice(&code.consts);
+    scratch.bound = code.uid;
+}
+
+/// Evaluate a subscript value into an element index — same contract and
+/// message as the interpreter's, extended with the source span the
+/// instruction carries.
+///
+/// # Panics
+/// Panics on negative or non-integral subscripts (a bug in the source
+/// program).
+#[inline]
+fn subscript(v: f64, span: Span) -> usize {
+    let r = crate::interp::round_i64(v);
+    assert!(
+        (v - r as f64).abs() < 1e-9 && r >= 0,
+        "subscript {v} is not a non-negative integer (at {span})"
+    );
+    r as usize
+}
+
+/// Resolve a subscript register value to an element index. A `trusted`
+/// subscript was proven non-negative-integral at lowering
+/// (`bytecode`'s `is_nni`), so the cast is exact on the proven domain
+/// and validation is skipped; array bounds are still enforced by the
+/// access itself. Untrusted subscripts take the checked path with its
+/// source-span diagnostic.
+#[inline(always)]
+fn index(v: f64, trusted: bool, code: &LoopCode, pc: usize) -> usize {
+    if trusted {
+        v as usize
+    } else {
+        subscript(v, code.span_of(pc - 1))
+    }
+}
+
+#[inline]
+fn bool_val(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn run<C: DataCtx>(code: &LoopCode, i: f64, regs: &mut [f64], ctx: &mut C) {
+    debug_assert_eq!(regs.len(), code.num_regs as usize);
+    regs[REG_I as usize] = i;
+    // Local slots are *not* re-zeroed between iterations: the parser
+    // allocates a fresh, lexically scoped slot per `let`, so every
+    // local is written before it can be read and a previous
+    // iteration's values are unreachable. (`bind` zeroes the file
+    // once; the differential proptest guards the claim.)
+
+    let insns = code.code.as_slice();
+    let mut pc = 0usize;
+    // SAFETY (all unchecked accesses below): `bytecode::verify` proved
+    // at lowering time that every register operand is < num_regs ==
+    // regs.len(), every jump target is < insns.len(), and the body ends
+    // in a terminator, so `pc` never runs past the end.
+    macro_rules! get {
+        ($r:expr) => {
+            unsafe { *regs.get_unchecked($r as usize) }
+        };
+    }
+    macro_rules! set {
+        ($r:expr, $v:expr) => {{
+            // Evaluate the value outside the unsafe block so `get!`
+            // expansions in `$v` aren't silently nested inside it.
+            let v = $v;
+            unsafe { *regs.get_unchecked_mut($r as usize) = v }
+        }};
+    }
+    loop {
+        let insn = unsafe { *insns.get_unchecked(pc) };
+        pc += 1;
+        match insn {
+            Insn::Move { dst, src } => set!(dst, get!(src)),
+            Insn::Counter { dst } => set!(dst, ctx.counter() as f64),
+            Insn::Add { dst, a, b } => set!(dst, get!(a) + get!(b)),
+            Insn::Sub { dst, a, b } => set!(dst, get!(a) - get!(b)),
+            Insn::Mul { dst, a, b } => set!(dst, get!(a) * get!(b)),
+            Insn::Div { dst, a, b } => set!(dst, get!(a) / get!(b)),
+            Insn::Rem { dst, a, b } => {
+                set!(dst, crate::interp::rem_value(get!(a), get!(b)));
+            }
+            Insn::RemPow2 { dst, a, mask } => {
+                // Exactly `rem_value(a, mask + 1)`: Euclidean remainder
+                // by a power of two is a mask in two's complement.
+                set!(
+                    dst,
+                    (crate::interp::round_i64(get!(a)) & mask as i64) as f64
+                );
+            }
+            Insn::MulAdd { dst, a, b, c } => set!(dst, get!(a) * get!(b) + get!(c)),
+            Insn::DualMulAdd { dst, a, b, c, d } => {
+                set!(dst, get!(a) * get!(b) + get!(c) * get!(d));
+            }
+            Insn::MulSub { dst, a, b, c } => set!(dst, get!(a) * get!(b) - get!(c)),
+            Insn::MulRSub { dst, a, b, c } => set!(dst, get!(c) - get!(a) * get!(b)),
+            Insn::CmpEq { dst, a, b } => set!(dst, bool_val(get!(a) == get!(b))),
+            Insn::CmpNe { dst, a, b } => set!(dst, bool_val(get!(a) != get!(b))),
+            Insn::CmpLt { dst, a, b } => set!(dst, bool_val(get!(a) < get!(b))),
+            Insn::CmpLe { dst, a, b } => set!(dst, bool_val(get!(a) <= get!(b))),
+            Insn::CmpGt { dst, a, b } => set!(dst, bool_val(get!(a) > get!(b))),
+            Insn::CmpGe { dst, a, b } => set!(dst, bool_val(get!(a) >= get!(b))),
+            Insn::Neg { dst, a } => set!(dst, -get!(a)),
+            Insn::Not { dst, a } => set!(dst, bool_val(get!(a) == 0.0)),
+            Insn::Min { dst, a, b } => set!(dst, get!(a).min(get!(b))),
+            Insn::Max { dst, a, b } => set!(dst, get!(a).max(get!(b))),
+            Insn::Abs { dst, a } => set!(dst, get!(a).abs()),
+            Insn::Sqrt { dst, a } => set!(dst, get!(a).sqrt()),
+            Insn::Floor { dst, a } => set!(dst, get!(a).floor()),
+            // Marked and unmarked addressing modes both go through the
+            // context: routing there decides whether the access is
+            // direct or marks the shadow, so the same bytecode runs
+            // correctly when `with_full_instrumentation` re-arms an
+            // elided array's shadow at declaration time.
+            Insn::Load {
+                dst,
+                arr,
+                idx,
+                trusted,
+            }
+            | Insn::LoadMarked {
+                dst,
+                arr,
+                idx,
+                trusted,
+            } => {
+                let j = index(get!(idx), trusted, code, pc);
+                set!(dst, ctx.read(arr as usize, j));
+            }
+            Insn::Store {
+                arr,
+                idx,
+                src,
+                trusted,
+            }
+            | Insn::StoreMarked {
+                arr,
+                idx,
+                src,
+                trusted,
+            } => {
+                let j = index(get!(idx), trusted, code, pc);
+                ctx.write(arr as usize, j, get!(src));
+            }
+            Insn::Reduce {
+                arr,
+                idx,
+                src,
+                trusted,
+            } => {
+                let j = index(get!(idx), trusted, code, pc);
+                ctx.reduce(arr as usize, j, get!(src));
+            }
+            Insn::Jump { target } => pc = target as usize,
+            Insn::JumpIfZero { cond, target } => {
+                if get!(cond) == 0.0 {
+                    pc = target as usize;
+                }
+            }
+            Insn::JumpUnless { pred, a, b, target } => {
+                if !pred.eval(get!(a), get!(b)) {
+                    pc = target as usize;
+                }
+            }
+            Insn::Bump => ctx.bump(),
+            Insn::Exit => {
+                ctx.exit();
+                return;
+            }
+            Insn::Halt => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::classify_loop;
+    use crate::bytecode::lower_loop;
+    use crate::parse;
+    use std::collections::BTreeMap;
+
+    /// A direct-memory context recording which accesses were made —
+    /// enough to test VM semantics without an engine.
+    struct MemCtx {
+        arrays: Vec<Vec<f64>>,
+        reads: BTreeMap<(usize, usize), usize>,
+        writes: BTreeMap<(usize, usize), usize>,
+        exited: bool,
+    }
+
+    impl DataCtx for MemCtx {
+        fn read(&mut self, a: usize, i: usize) -> f64 {
+            *self.reads.entry((a, i)).or_insert(0) += 1;
+            self.arrays[a][i]
+        }
+        fn write(&mut self, a: usize, i: usize, v: f64) {
+            *self.writes.entry((a, i)).or_insert(0) += 1;
+            self.arrays[a][i] = v;
+        }
+        fn reduce(&mut self, a: usize, i: usize, v: f64) {
+            self.arrays[a][i] += v;
+        }
+        fn exit(&mut self) {
+            self.exited = true;
+        }
+    }
+
+    fn run_both(src: &str, iters: std::ops::Range<usize>) -> (MemCtx, MemCtx) {
+        let prog = parse(src).unwrap();
+        let classes: Vec<_> = classify_loop(&prog, 0)
+            .into_iter()
+            .map(|c| c.class)
+            .collect();
+        let code = lower_loop(&prog.loops[0], &classes);
+        let init: Vec<Vec<f64>> = prog.arrays.iter().map(|d| vec![d.init; d.size]).collect();
+        let mk = || MemCtx {
+            arrays: init.clone(),
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+            exited: false,
+        };
+        let mut vm_ctx = mk();
+        let mut tw_ctx = mk();
+        for it in iters {
+            let i = (prog.loops[0].range.0 + it) as f64;
+            if !vm_ctx.exited {
+                iterate(&code, i, &mut vm_ctx);
+            }
+            if !tw_ctx.exited {
+                let mut locals = vec![0.0; prog.loops[0].num_locals];
+                let mut eval = crate::interp::Eval {
+                    i,
+                    locals: &mut locals,
+                    classes: &classes,
+                    ctx: &mut tw_ctx,
+                };
+                let _ = eval.stmts(&prog.loops[0].body);
+            }
+        }
+        (vm_ctx, tw_ctx)
+    }
+
+    fn assert_identical(src: &str, n: usize) {
+        let (vm, tw) = run_both(src, 0..n);
+        for (a, (va, ta)) in vm.arrays.iter().zip(&tw.arrays).enumerate() {
+            for (i, (v, t)) in va.iter().zip(ta).enumerate() {
+                assert_eq!(v.to_bits(), t.to_bits(), "array {a} index {i}: {v} vs {t}");
+            }
+        }
+        assert_eq!(vm.reads, tw.reads, "read access pattern diverged");
+        assert_eq!(vm.writes, tw.writes, "write access pattern diverged");
+        assert_eq!(vm.exited, tw.exited);
+    }
+
+    #[test]
+    fn arithmetic_and_intrinsics_match_the_interpreter() {
+        assert_identical(
+            "array A[64] = 2;\narray B[64];\nfor i in 0..64 {\n  let v = sqrt(A[i]) + abs(0 - i) * 0.25;\n  B[i] = max(v, floor(v)) + min(i, 3) / 7;\n}",
+            64,
+        );
+    }
+
+    #[test]
+    fn guards_and_short_circuit_match_the_interpreter() {
+        // The rhs of && / || has a marking side effect (an array read),
+        // so evaluation order is observable in the access pattern.
+        assert_identical(
+            "array A[64] = 1;\narray B[64];\nfor i in 0..64 {\n  if i > 2 && A[i - 3] > 0 { B[i] = 1; } else { B[i] = 2; }\n  if i == 0 || A[i - 1] > 0 { B[i] = B[i] + 10; }\n}",
+            64,
+        );
+    }
+
+    #[test]
+    fn update_and_reduction_routing_match_the_interpreter() {
+        assert_identical(
+            "array A[16] = 1;\narray Y[4] : reduction(+);\nfor i in 0..32 {\n  A[i % 16] *= 1.5;\n  Y[i % 4] += i * 0.5;\n}",
+            32,
+        );
+    }
+
+    #[test]
+    fn premature_exit_stops_the_iteration_body() {
+        let (vm, tw) = run_both(
+            "array A[32];\nfor i in 0..32 {\n  break if i == 5;\n  A[i] = i;\n}",
+            0..32,
+        );
+        assert!(vm.exited && tw.exited);
+        assert_eq!(vm.arrays, tw.arrays);
+        // Iterations 0..5 wrote; 5 broke before its store.
+        assert_eq!(vm.arrays[0][4], 4.0);
+        assert_eq!(vm.arrays[0][5], 0.0);
+    }
+
+    #[test]
+    fn vm_subscript_fault_carries_the_source_span() {
+        let err = std::panic::catch_unwind(|| {
+            run_both("array A[8];\nfor i in 0..8 {\n  A[i - 4] = 1;\n}", 0..8);
+        })
+        .expect_err("negative subscript must panic");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("subscript"), "{msg}");
+        assert!(msg.contains("3:3"), "span missing: {msg}");
+    }
+
+    #[test]
+    fn scratch_rebinds_when_the_thread_switches_loops() {
+        // Two different loops executed interleaved on one thread: the
+        // constant registers must rebind each switch.
+        let mk = |src: &str| {
+            let prog = parse(src).unwrap();
+            let classes: Vec<_> = classify_loop(&prog, 0)
+                .into_iter()
+                .map(|c| c.class)
+                .collect();
+            (lower_loop(&prog.loops[0], &classes), prog)
+        };
+        let (code_a, _) = mk("array A[4];\nfor i in 0..4 { A[i] = 111; }");
+        let (code_b, _) = mk("array B[4];\nfor i in 0..4 { B[i] = 222; }");
+        let mut ctx = MemCtx {
+            arrays: vec![vec![0.0; 4]],
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+            exited: false,
+        };
+        for i in 0..4 {
+            iterate(&code_a, i as f64, &mut ctx);
+            iterate(&code_b, i as f64, &mut ctx);
+        }
+        assert_eq!(ctx.arrays[0], vec![222.0; 4]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Differential testing of the bytecode VM against the tree-walk
+//! interpreter over randomly generated affine/guarded programs.
+//!
+//! The tree-walk interpreter is the oracle: the VM's lowering
+//! (register allocation, constant pooling/folding, short-circuit jump
+//! threading, fused marking ops, elision-as-codegen) must be
+//! observationally invisible. Three observations per generated
+//! program:
+//!
+//! 1. **Final arrays, byte-identical** (`f64::to_bits`) after a full
+//!    speculative run — in the default elided mode *and* under
+//!    `with_full_instrumentation` (which re-arms marking on the same
+//!    bytecode via the declaration table);
+//! 2. **Run shape**: stage count, restarts, and premature-exit point
+//!    must match, or the two tiers scheduled different work;
+//! 3. **Shadow mark state**: the dependence arcs the sliding-window
+//!    test derives from the marks (flow/anti/output edge sets of the
+//!    extracted DDG) must be set-identical — marks drive restarts, so
+//!    any divergence in marking shows up here even when final values
+//!    happen to agree.
+
+use proptest::prelude::*;
+use rlrpd_core::{extract_ddg, RunConfig, WindowConfig};
+use rlrpd_lang::CompiledProgram;
+
+/// Build a random guarded/affine program over A (strided + backward
+/// refs), B (disjoint rows — elision candidates), and H (modulo
+/// reduction). Subscripts stay in bounds by construction (sizes leave
+/// `3n + 40` headroom). Templates deliberately cover every lowering
+/// path: arithmetic, intrinsics, `&&`/`||` short-circuits whose rhs
+/// has a marking side effect, nested ifs, non-reduction `⊕=`
+/// read-modify-writes, and `break if`.
+fn program(n: usize, stmts: &[(u8, usize, usize, usize)]) -> String {
+    let sz = 3 * n + 40;
+    let mut body = String::new();
+    for &(kind, a, b, k) in stmts {
+        let a = (a % 3) + 1; // stride 1..=3
+        let b = b % 8; // offset 0..8
+        let k = (k % (n / 4).max(1)) + 1; // backward distance 1..=n/4
+        match kind % 10 {
+            0 => body.push_str(&format!("  A[{a} * i + {b}] = i * 0.5 + {b};\n")),
+            1 => body.push_str(&format!("  if i >= {k} {{ A[i] = A[i - {k}] + 1; }}\n")),
+            2 => body.push_str(&format!("  B[i] = A[{a} * i + {b}] * 0.5;\n")),
+            3 => body.push_str("  H[i % 8] += sqrt(i + 1);\n"),
+            // Short-circuit guards whose rhs reads (marks) an array:
+            // evaluation order is observable in the mark state.
+            4 => body.push_str(&format!(
+                "  if i >= {k} && A[i - {k}] > 0.5 {{ B[i] = max(A[i], {b}); }}\n"
+            )),
+            5 => body.push_str(&format!(
+                "  if i % 5 == 0 || B[i] > 10 {{ A[i] = abs(B[i] - {b}) + floor(i * 0.5); }}\n"
+            )),
+            6 => body.push_str("  let v = A[i] + 1;\n  A[i] = min(v, 99);\n"),
+            // Non-reduction compound update: lowers to the fused
+            // load/op/store triple, not a Reduce.
+            7 => body.push_str("  A[i] *= 1.0 + 1 / (i + 2);\n"),
+            8 => body.push_str(&format!(
+                "  if i > {k} {{\n    if B[i - 1] < 2 {{ B[i] = B[i] + {a}; }} \
+                 else {{ B[i] = i; }}\n  }}\n"
+            )),
+            // Rare premature exit, far enough in that work happens.
+            _ => body.push_str(&format!("  break if i == {n} - 2 + {b};\n")),
+        }
+    }
+    format!("array A[{sz}] = 1;\narray B[{sz}] = 2;\narray H[8];\nfor i in 0..{n} {{\n{body}}}")
+}
+
+/// Run `prog` speculatively and return what the differential test
+/// observes: final arrays, run shape, and (from a separate
+/// sliding-window extraction) the mark-derived dependence edge sets.
+#[allow(clippy::type_complexity)]
+fn observe(
+    prog: &CompiledProgram,
+) -> (
+    Vec<(&'static str, Vec<u64>)>,
+    (usize, usize, Option<usize>),
+    (Vec<(u32, u32)>, Vec<(u32, u32)>, Vec<(u32, u32)>),
+) {
+    let res = prog.run(RunConfig::new(8));
+    let arrays = res
+        .arrays
+        .iter()
+        .map(|(name, data)| (*name, data.iter().map(|v| v.to_bits()).collect()))
+        .collect();
+    let report = &res.reports[0];
+    let shape = (report.stages.len(), report.restarts, report.exited_at);
+    let init = prog
+        .program()
+        .arrays
+        .iter()
+        .map(|d| vec![d.init; d.size])
+        .collect();
+    let lp = prog.loop_view(0, init);
+    let ddg = extract_ddg(&lp, &RunConfig::new(8), WindowConfig::fixed(16));
+    let mut edges = (ddg.graph.flow, ddg.graph.anti, ddg.graph.output);
+    edges.0.sort_unstable();
+    edges.1.sort_unstable();
+    edges.2.sort_unstable();
+    (arrays, shape, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// VM and tree-walk runs are byte-identical on final arrays, run
+    /// shape, and shadow mark state — with elision on (default) and
+    /// off (`with_full_instrumentation`).
+    #[test]
+    fn vm_is_byte_identical_to_the_tree_walk_oracle(
+        n in 16usize..48,
+        stmts in prop::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
+            1..5,
+        ),
+    ) {
+        let src = program(n, &stmts);
+        for full_instrumentation in [false, true] {
+            let build = |interp: bool| {
+                let mut p = CompiledProgram::compile(&src)
+                    .unwrap_or_else(|e| panic!("{src}\n{e}"));
+                if full_instrumentation {
+                    p = p.with_full_instrumentation();
+                }
+                if interp {
+                    p = p.with_interpreter();
+                }
+                p
+            };
+            let (vm_arrays, vm_shape, vm_marks) = observe(&build(false));
+            let (tw_arrays, tw_shape, tw_marks) = observe(&build(true));
+            prop_assert_eq!(
+                &vm_arrays, &tw_arrays,
+                "final arrays diverged (full_instrumentation={}) on:\n{}",
+                full_instrumentation, src
+            );
+            prop_assert_eq!(
+                vm_shape, tw_shape,
+                "run shape diverged (full_instrumentation={}) on:\n{}",
+                full_instrumentation, src
+            );
+            prop_assert_eq!(
+                &vm_marks, &tw_marks,
+                "shadow mark state diverged (full_instrumentation={}) on:\n{}",
+                full_instrumentation, src
+            );
+        }
+    }
+}

@@ -35,10 +35,14 @@
 //!   quartets scattering into six matrix entries each — both from the
 //!   intro's motivating application classes);
 //! * [`track_program`] — the whole-TRACK multi-instantiation harness
-//!   behind Fig. 12(b).
+//!   behind Fig. 12(b);
+//! * [`dsl`] — TRACK/SPICE/NLFILT reference shapes as mini-language
+//!   *source*, for measuring and differentially testing the compiled
+//!   tiers (tree-walk interpreter vs. register-bytecode VM).
 
 #![warn(missing_docs)]
 
+pub mod dsl;
 pub mod extend;
 pub mod fma3d;
 pub mod fock;

@@ -10,9 +10,11 @@
 //!                      [--max-stages M] [--journal <path>] [--resume]
 //!                      [--dist-workers N|auto] [--block-deadline SECS]
 //!                      [--max-respawns R] [--dist-fault k:O[,k:O...]]
+//!                      [--no-compile]
 //! rlrpd worker
 //! rlrpd classify <file.rlp>
 //! rlrpd analyze <file.rlp> [--procs N] [--format text|json] [--deny-warnings]
+//!                          [--emit bytecode]
 //! rlrpd fmt <file.rlp>
 //! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
 //! rlrpd model [n] [p] [omega] [ell] [sync] [alpha]
@@ -121,9 +123,9 @@ fn usage() -> String {
      [--timeline] [--report] [--runs K] [--fault-seed S] [--watchdog F] \
      [--max-restarts R] [--max-stages M] [--journal <path>] [--resume] \
      [--dist-workers N|auto] [--block-deadline SECS] [--max-respawns R] \
-     [--dist-fault kill|hang|corrupt:ORDINAL[,...]]\n  rlrpd worker\n  rlrpd classify \
+     [--dist-fault kill|hang|corrupt:ORDINAL[,...]] [--no-compile]\n  rlrpd worker\n  rlrpd classify \
      <file.rlp>\n  rlrpd analyze <file.rlp> [--procs N] [--format text|json] \
-     [--deny-warnings]\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
+     [--deny-warnings] [--emit bytecode]\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
         .into()
 }
@@ -162,6 +164,7 @@ struct Flags {
 const VALUE_FLAGS: &[&str] = &[
     "--procs",
     "--format",
+    "--emit",
     "--strategy",
     "--checkpoint",
     "--balance",
@@ -408,6 +411,7 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         return Err(CliError::Usage("--resume requires --journal <path>".into()));
     }
     let dist = dist_options(&flags).map_err(CliError::Usage)?;
+    let no_compile = flags.has("--no-compile");
     // Counter programs run under the EXTEND two-pass induction scheme.
     if let Ok(ind) = rlrpd::lang::CompiledInduction::compile(&src) {
         if journal_path.is_some() {
@@ -420,9 +424,17 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
                 "--dist-workers is not supported for induction programs".into(),
             ));
         }
+        let ind = if no_compile {
+            ind.with_interpreter()
+        } else {
+            ind
+        };
         return run_induction_program(ind, &flags).map_err(CliError::from);
     }
-    let prog = rlrpd::lang::CompiledProgram::compile(&src).map_err(|e| e.to_string())?;
+    let mut prog = rlrpd::lang::CompiledProgram::compile(&src).map_err(|e| e.to_string())?;
+    if no_compile {
+        prog = prog.with_interpreter();
+    }
     let mut cfg = config(&flags).map_err(CliError::Usage)?;
     if dist.is_some() {
         if flags.has("--threads") {
@@ -441,6 +453,7 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
     }
 
     println!("classification:\n{}", prog.report());
+    println!("backend: {}", prog.backend().describe());
 
     if prog.num_loops() == 1 {
         // Single loop: a stateful runner accumulates PR and balancing
@@ -458,8 +471,13 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         }
         // The worker fleet resolves the same source through the spec
         // registry, rebuilding an identical loop on its side of the
-        // pipe.
-        let spec = format!("rlp:{src}");
+        // pipe — on the same backend, so --no-compile reaches the
+        // workers too.
+        let spec = if no_compile {
+            format!("rlp-interp:{src}")
+        } else {
+            format!("rlp:{src}")
+        };
         let mut connector = match &dist {
             Some(opts) => Some(self_launcher(opts).map_err(CliError::Other)?),
             None => None,
@@ -597,6 +615,7 @@ fn run_induction_program(ind: rlrpd::lang::CompiledInduction, flags: &Flags) -> 
     let cfg = config(flags)?;
     let (name, init) = ind.counter();
     println!("induction program: counter '{name}' starting at {init}");
+    println!("backend: {}", ind.backend().describe());
     let res = rlrpd::run_induction(&ind, cfg.p, cfg.exec, cfg.cost);
     println!(
         "range test {}; stages = {}, PR = {:.3}, speedup = {:.2}x, final {name} = {}",
@@ -665,6 +684,15 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), CliError> {
     // A missing or unreadable input is an invocation problem for a
     // static analysis (nothing ran), same bucket as a parse error.
     let src = source(&flags).map_err(CliError::Usage)?;
+    match flags.get("--emit") {
+        None => {}
+        Some("bytecode") => return emit_bytecode(&src),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--emit expects 'bytecode', got '{other}'"
+            )))
+        }
+    }
     let program = rlrpd::lang::parse(&src).map_err(|e| CliError::Usage(e.to_string()))?;
     let p = flags.usize_of("--procs", 8).map_err(CliError::Usage)?;
     let diags = rlrpd::lang::lint(&program, p);
@@ -721,6 +749,22 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), CliError> {
             "analysis found {warnings} warning(s) (--deny-warnings)"
         )));
     }
+    Ok(())
+}
+
+/// `rlrpd analyze --emit bytecode`: print the lowered bytecode of every
+/// loop — opcode, registers, source span, and fused-mark annotations —
+/// exactly what the engines will execute. Counter programs disassemble
+/// through the induction scheme (whose demoted class table changes the
+/// lowering of `⊕=`).
+fn emit_bytecode(src: &str) -> Result<(), CliError> {
+    let text = match rlrpd::lang::CompiledInduction::compile(src) {
+        Ok(ind) => ind.disassembly(),
+        Err(_) => rlrpd::lang::CompiledProgram::compile(src)
+            .map_err(|e| CliError::Usage(e.to_string()))?
+            .disassembly(),
+    };
+    print!("{text}");
     Ok(())
 }
 

@@ -275,6 +275,109 @@ fn analyze_json_output_is_structured() {
     assert!(!in_str, "unterminated string:\n{stdout}");
 }
 
+#[test]
+fn run_reports_the_bytecode_backend_by_default() {
+    let (ok, stdout, stderr) = rlrpd(&["run", &program("tracking.rlp"), "--procs", "4"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("backend: bytecode VM"), "{stdout}");
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn no_compile_escape_hatch_runs_the_tree_walk_interpreter() {
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--no-compile",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("backend: tree-walk interpreter"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn no_compile_reaches_induction_programs_too() {
+    let (ok, stdout, _) = rlrpd(&["run", &program("extend.rlp"), "--no-compile"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("backend: tree-walk interpreter"),
+        "{stdout}"
+    );
+    let (ok, stdout, _) = rlrpd(&["run", &program("extend.rlp")]);
+    assert!(ok);
+    assert!(stdout.contains("backend: bytecode VM"), "{stdout}");
+}
+
+/// Every example program's disassembly matches its golden snapshot in
+/// `examples/bytecode/` — regenerate with
+/// `rlrpd analyze <file> --emit bytecode > examples/bytecode/<stem>.txt`
+/// after an intentional lowering change.
+#[test]
+fn emit_bytecode_matches_the_golden_snapshots() {
+    let dir = format!("{}/examples/programs", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rlp") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let (ok, stdout, stderr) =
+            rlrpd(&["analyze", path.to_str().unwrap(), "--emit", "bytecode"]);
+        assert!(ok, "{stem}: {stderr}");
+        let golden_path = format!(
+            "{}/examples/bytecode/{stem}.txt",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let golden =
+            std::fs::read_to_string(&golden_path).unwrap_or_else(|e| panic!("{golden_path}: {e}"));
+        assert_eq!(
+            stdout, golden,
+            "{stem}: disassembly drifted from its golden snapshot; if the \
+             lowering change is intentional, regenerate {golden_path}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "only {checked} example programs found");
+}
+
+#[test]
+fn emit_bytecode_annotates_marking_and_elision() {
+    let (ok, stdout, _) = rlrpd(&["analyze", &program("tracking.rlp"), "--emit", "bytecode"]);
+    assert!(ok);
+    assert!(stdout.contains("ld.mark"), "{stdout}");
+    assert!(stdout.contains("fused write-mark of STATE"), "{stdout}");
+    assert!(
+        stdout.contains("fused reduction-mark of ENERGY"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("unmarked (shadow elided: statically disjoint)"),
+        "{stdout}"
+    );
+    // Spans survive into the listing.
+    assert!(stdout.contains("@ "), "{stdout}");
+}
+
+#[test]
+fn emit_rejects_unknown_formats_with_64() {
+    assert_eq!(
+        exit_code(&["analyze", &program("tracking.rlp"), "--emit", "wasm"]),
+        64
+    );
+}
+
 /// Exit code of one invocation (panics if the process was signalled).
 fn exit_code(args: &[&str]) -> i32 {
     Command::new(env!("CARGO_BIN_EXE_rlrpd"))
