@@ -98,8 +98,8 @@ pub use lrpd::{run_classic_lrpd, try_run_classic_lrpd};
 pub use persist::PersistError;
 pub use predictor::{PredictiveRunner, StrategyPredictor};
 pub use remote::{
-    serve_worker, BlockDispatcher, BlockReply, BlockRequest, DistConnector, SlotReply,
-    TransportStats, WireError, WireHello, WorkerLoss,
+    serve_worker, BlockDispatcher, BlockReply, BlockRequest, DistConnector, HelloAck, SlotReply,
+    TransportStats, WireError, WireHello, WorkerLoss, PROTOCOL_VERSION,
 };
 pub use report::{PrAccumulator, RunReport};
 pub use spec_loop::{ClosureLoop, FullyInstrumented, SpecLoop};

@@ -68,6 +68,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// (a corrupt length prefix must not drive an allocation).
 pub const MAX_FRAME: usize = 256 << 20;
 
+/// Version of the supervisor↔worker protocol. Carried in every
+/// [`WireHello`] and echoed in the worker's [`HelloAck`]; a worker whose
+/// own version differs refuses the session with a protocol error (exit
+/// 64 for a standalone worker) *before* any block work — a mismatched
+/// binary must be rejected at the handshake, not surface later as chain
+/// divergence.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Wire mark code: exposed read only (consumed shared data, produced
 /// nothing).
 pub const MARK_EXPOSED: u8 = 1;
@@ -198,10 +206,22 @@ pub fn record_chain(record: &[u8]) -> u64 {
 // Wire types
 // ---------------------------------------------------------------------------
 
-/// The session hello: the run's identity plus the loop spec the worker
-/// resolves to an executable loop.
+/// The session hello: the protocol handshake, the run's identity, and
+/// the loop spec the worker resolves to an executable loop.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireHello {
+    /// Dist-protocol version of the supervisor binary
+    /// ([`PROTOCOL_VERSION`]); the worker refuses a session from a
+    /// mismatched binary at the handshake.
+    pub protocol: u32,
+    /// Identity of this run (unique per supervisor process and run);
+    /// echoed in the worker's [`HelloAck`] so a cross-wired connection
+    /// is caught at the handshake.
+    pub run_id: u64,
+    /// Heartbeat interval the worker must beat at, in milliseconds
+    /// (`0` = the worker's built-in default). Set by the transport
+    /// connector from its `DistPolicy`, not by the engine.
+    pub heartbeat_millis: u32,
     /// The run's journal-header record bytes (a
     /// [`crate::journal::JournalHeader`] chained from the journal
     /// seed): loop shape, array layout, element type.
@@ -215,6 +235,9 @@ impl WireHello {
     /// Encode to a wire record.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new(KIND_DIST_HELLO);
+        w.u32(self.protocol);
+        w.u64(self.run_id);
+        w.u32(self.heartbeat_millis);
         w.u64(self.header.len() as u64);
         w.raw(&self.header);
         w.u64(self.spec.len() as u64);
@@ -222,9 +245,14 @@ impl WireHello {
         w.finish()
     }
 
-    /// Decode from a wire record.
+    /// Decode from a wire record. A version mismatch is *not* a decode
+    /// error — the worker reports it as a protocol error with both
+    /// versions in the message, which a raw [`PersistError`] could not.
     pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
         let mut r = Reader::open(bytes, KIND_DIST_HELLO)?;
+        let protocol = r.u32()?;
+        let run_id = r.u64()?;
+        let heartbeat_millis = r.u32()?;
         let hl = r.u64()? as usize;
         if hl > r.remaining() {
             return Err(PersistError::Corrupt);
@@ -236,7 +264,61 @@ impl WireHello {
         }
         let spec = String::from_utf8(r.raw(sl)?.to_vec()).map_err(|_| PersistError::Corrupt)?;
         r.done()?;
-        Ok(WireHello { header, spec })
+        Ok(WireHello {
+            protocol,
+            run_id,
+            heartbeat_millis,
+            header,
+            spec,
+        })
+    }
+
+    /// FNV of the header bytes — the value a correct worker echoes in
+    /// [`HelloAck::header_fnv`], and the seed both sides start their
+    /// commit chain from.
+    pub fn header_fnv(&self) -> u64 {
+        fnv(&self.header)
+    }
+}
+
+/// The worker's half of the handshake, sent as its first frame after
+/// validating the hello: its own protocol version, the run identity it
+/// accepted, and the FNV of the header it chained from. The supervisor
+/// validates all three; a mismatch means a wrong binary or a
+/// cross-wired connection, and the worker is quarantined rather than
+/// respawned (a deterministic mismatch cannot be respawned away).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The worker binary's [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Echo of [`WireHello::run_id`].
+    pub run_id: u64,
+    /// FNV of the hello's header bytes — the chain seed both sides
+    /// start their commit chain from.
+    pub header_fnv: u64,
+}
+
+impl HelloAck {
+    /// Encode to a wire record. Shares [`KIND_DIST_HELLO`] with the
+    /// hello itself; direction disambiguates (only workers send acks).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_DIST_HELLO);
+        w.u32(self.protocol);
+        w.u64(self.run_id);
+        w.u64(self.header_fnv);
+        w.finish()
+    }
+
+    /// Decode from a wire record.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, KIND_DIST_HELLO)?;
+        let ack = HelloAck {
+            protocol: r.u32()?,
+            run_id: r.u64()?,
+            header_fnv: r.u64()?,
+        };
+        r.done()?;
+        Ok(ack)
     }
 }
 
@@ -484,7 +566,7 @@ impl std::fmt::Display for WorkerLoss {
 
 /// Wall-clock transport accounting for one stage of distributed
 /// execution, drained via [`BlockDispatcher::take_stats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TransportStats {
     /// Seconds spent encoding and shipping block requests.
     pub dispatch_seconds: f64,
@@ -492,17 +574,38 @@ pub struct TransportStats {
     pub collect_seconds: f64,
     /// Bytes moved over worker pipes, both directions.
     pub wire_bytes: u64,
-    /// Workers respawned (kill, deadline, or divergence).
+    /// Workers respawned (kill, deadline, or divergence), fleet-wide.
     pub respawns: usize,
+    /// Cumulative respawn count per worker slot — one flapping host is
+    /// visible as one hot entry instead of vanishing into the sum.
+    pub per_worker_respawns: Vec<u32>,
+    /// Worker slots quarantined (removed from rotation for the rest of
+    /// the run after exhausting their own respawn budget or failing a
+    /// deterministic check such as the handshake).
+    pub quarantined: usize,
 }
 
 impl TransportStats {
-    /// Accumulate another measurement into this one.
+    /// Accumulate another measurement into this one. `per_worker_respawns`
+    /// is a cumulative snapshot, so elementwise max — not a sum — merges
+    /// two drains of the same fleet.
     pub fn merge(&mut self, other: &TransportStats) {
         self.dispatch_seconds += other.dispatch_seconds;
         self.collect_seconds += other.collect_seconds;
         self.wire_bytes += other.wire_bytes;
         self.respawns += other.respawns;
+        if self.per_worker_respawns.len() < other.per_worker_respawns.len() {
+            self.per_worker_respawns
+                .resize(other.per_worker_respawns.len(), 0);
+        }
+        for (mine, theirs) in self
+            .per_worker_respawns
+            .iter_mut()
+            .zip(&other.per_worker_respawns)
+        {
+            *mine = (*mine).max(*theirs);
+        }
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -587,6 +690,7 @@ impl<T: Value> Engine<'_, T> {
             stats.collect_seconds += t.collect_seconds;
             stats.wire_bytes += t.wire_bytes;
             stats.respawns += t.respawns;
+            stats.quarantined += t.quarantined;
             (replies?, link.from_bits, link.chain)
         };
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -715,6 +819,16 @@ impl<T: Value> Engine<'_, T> {
     }
 }
 
+/// A run identity unique within this machine: the supervisor pid in the
+/// high half, a process-local counter in the low half. Two concurrent
+/// supervisors — or two runs of one supervisor — never share one, so a
+/// worker accepted into the wrong session is caught at the handshake.
+pub(crate) fn fresh_run_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    ((std::process::id() as u64) << 32) | (NEXT.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
+}
+
 /// Attach a worker fleet to `engine` (called by the distributed run
 /// entry points before driving). A connector failure records a worker
 /// loss and leaves the engine on its in-process path.
@@ -725,6 +839,11 @@ pub(crate) fn attach_remote<T: Value + JournalElem>(
     connector: &mut dyn DistConnector,
 ) {
     let hello = WireHello {
+        protocol: PROTOCOL_VERSION,
+        run_id: fresh_run_id(),
+        // 0 = worker default; the transport connector overrides this
+        // from its policy before the hello goes on a wire.
+        heartbeat_millis: 0,
         header: header.encode(CHAIN_SEED),
         spec: spec.to_string(),
     };
@@ -774,6 +893,13 @@ pub fn serve_worker<T: Value + JournalElem>(
     input: &mut dyn Read,
     send: &mut dyn FnMut(&[u8]) -> std::io::Result<()>,
 ) -> Result<(), WireError> {
+    if hello.protocol != PROTOCOL_VERSION {
+        return Err(WireError::Protocol(format!(
+            "protocol version mismatch: supervisor speaks v{}, this worker speaks v{} \
+             (mismatched rlrpd binaries?)",
+            hello.protocol, PROTOCOL_VERSION
+        )));
+    }
     let header = JournalHeader::decode(&hello.header, CHAIN_SEED)
         .map_err(|e| WireError::Protocol(format!("bad hello header: {e}")))?;
     let mut engine = Engine::new(
@@ -802,6 +928,18 @@ pub fn serve_worker<T: Value + JournalElem>(
     if header.elem_hash != elem_fingerprint::<T>() {
         return Err(WireError::Protocol("element type mismatch".into()));
     }
+
+    // Identity validated: acknowledge. The ack is the worker's first
+    // frame, so the supervisor can reject a mismatched or cross-wired
+    // worker before dispatching any block to it.
+    send(
+        &HelloAck {
+            protocol: PROTOCOL_VERSION,
+            run_id: hello.run_id,
+            header_fnv: fnv(&hello.header),
+        }
+        .encode(),
+    )?;
 
     let mut chain = fnv(&hello.header);
     loop {
@@ -1111,13 +1249,21 @@ mod tests {
                     .map_err(|_| WorkerLoss {
                         reason: "loopback worker gone".into(),
                     })?;
-                let raw = self
-                    .from_worker
-                    .recv_timeout(std::time::Duration::from_secs(30))
-                    .map_err(|_| WorkerLoss {
-                        reason: "loopback worker silent".into(),
-                    })?;
-                self.stats.wire_bytes += raw.len() as u64;
+                // Skip non-reply frames (the handshake ack, heartbeats):
+                // a real fleet's reader thread does the same dispatch on
+                // frame kind.
+                let raw = loop {
+                    let raw = self
+                        .from_worker
+                        .recv_timeout(std::time::Duration::from_secs(30))
+                        .map_err(|_| WorkerLoss {
+                            reason: "loopback worker silent".into(),
+                        })?;
+                    self.stats.wire_bytes += raw.len() as u64;
+                    if frame_kind(&raw) == Some(FRAME_REPLY) {
+                        break raw;
+                    }
+                };
                 let reply = BlockReply::decode(&raw).map_err(|e| WorkerLoss {
                     reason: format!("bad loopback reply: {e}"),
                 })?;
@@ -1179,11 +1325,22 @@ mod tests {
     #[test]
     fn wire_types_round_trip_and_are_hardened() {
         let hello = WireHello {
+            protocol: PROTOCOL_VERSION,
+            run_id: 0x1234_0000_0042,
+            heartbeat_millis: 25,
             header: vec![1, 2, 3, 4, 5],
             spec: "rlp:A[i] = A[i - 1];".into(),
         };
         assert_eq!(WireHello::decode(&hello.encode()).unwrap(), hello);
         crate::persist::assert_decode_hardened(&hello.encode(), WireHello::decode);
+
+        let ack = HelloAck {
+            protocol: PROTOCOL_VERSION,
+            run_id: 0x1234_0000_0042,
+            header_fnv: fnv(&hello.header),
+        };
+        assert_eq!(HelloAck::decode(&ack.encode()).unwrap(), ack);
+        crate::persist::assert_decode_hardened(&ack.encode(), HelloAck::decode);
 
         let req = BlockRequest {
             chain: 0xdead_beef_1234_5678,
@@ -1459,6 +1616,9 @@ mod tests {
             arrays: engine.layout(),
         };
         let hello = WireHello {
+            protocol: PROTOCOL_VERSION,
+            run_id: fresh_run_id(),
+            heartbeat_millis: 0,
             header: header.encode(CHAIN_SEED),
             spec: "loopback".into(),
         };
@@ -1471,5 +1631,113 @@ mod tests {
         );
         // The matching loop accepts the hello and ends cleanly on EOF.
         serve_worker::<f64>(&lp, &hello, &mut input, &mut send).expect("clean EOF");
+    }
+
+    #[test]
+    fn worker_rejects_a_protocol_version_mismatch_before_identity_checks() {
+        let n = 40;
+        let lp = model_loop(n);
+        let hello = WireHello {
+            protocol: PROTOCOL_VERSION + 1,
+            run_id: fresh_run_id(),
+            heartbeat_millis: 0,
+            // Garbage header: the version check must fire first, so a
+            // future binary whose header layout we cannot parse still
+            // gets a version-mismatch diagnostic, not "bad header".
+            header: vec![0xff; 16],
+            spec: "loopback".into(),
+        };
+        let mut input = std::io::empty();
+        let mut sent = Vec::new();
+        let mut send = |bytes: &[u8]| {
+            sent.push(bytes.to_vec());
+            Ok(())
+        };
+        let err = serve_worker::<f64>(&lp, &hello, &mut input, &mut send).unwrap_err();
+        assert!(
+            matches!(err, WireError::Protocol(ref m) if m.contains("protocol version mismatch")),
+            "{err}"
+        );
+        assert!(sent.is_empty(), "no ack may precede the version check");
+    }
+
+    #[test]
+    fn worker_acknowledges_an_accepted_hello_with_its_identity() {
+        let n = 50;
+        let lp = model_loop(n);
+        let ecfg = EngineCfg {
+            p: 2,
+            exec: ExecMode::Simulated,
+            cost: CostModel::default(),
+            checkpoint: CheckpointPolicy::OnDemand,
+            commit_prefix_on_failure: true,
+            fault: None,
+            capture_deltas: false,
+        };
+        let engine = Engine::new(&lp, ecfg, false);
+        let header = JournalHeader {
+            n: engine.n,
+            p: 2,
+            strategy_hash: 0,
+            elem_hash: elem_fingerprint::<f64>(),
+            arrays: engine.layout(),
+        };
+        let hello = WireHello {
+            protocol: PROTOCOL_VERSION,
+            run_id: fresh_run_id(),
+            heartbeat_millis: 10,
+            header: header.encode(CHAIN_SEED),
+            spec: "loopback".into(),
+        };
+        let mut input = std::io::empty();
+        let mut sent = Vec::new();
+        let mut send = |bytes: &[u8]| {
+            sent.push(bytes.to_vec());
+            Ok(())
+        };
+        serve_worker::<f64>(&lp, &hello, &mut input, &mut send).expect("clean EOF");
+        assert_eq!(sent.len(), 1, "exactly the ack");
+        let ack = HelloAck::decode(&sent[0]).unwrap();
+        assert_eq!(
+            ack,
+            HelloAck {
+                protocol: PROTOCOL_VERSION,
+                run_id: hello.run_id,
+                header_fnv: fnv(&hello.header),
+            }
+        );
+    }
+
+    #[test]
+    fn run_ids_are_process_unique() {
+        let a = fresh_run_id();
+        let b = fresh_run_id();
+        assert_ne!(a, b);
+        assert_eq!(a >> 32, (std::process::id() as u64) & 0xffff_ffff);
+    }
+
+    #[test]
+    fn transport_stats_merge_sums_counters_and_maxes_per_worker_snapshots() {
+        let mut a = TransportStats {
+            dispatch_seconds: 1.0,
+            collect_seconds: 2.0,
+            wire_bytes: 10,
+            respawns: 1,
+            per_worker_respawns: vec![1, 0],
+            quarantined: 0,
+        };
+        let b = TransportStats {
+            dispatch_seconds: 0.5,
+            collect_seconds: 0.25,
+            wire_bytes: 5,
+            respawns: 2,
+            per_worker_respawns: vec![1, 2, 1],
+            quarantined: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.wire_bytes, 15);
+        assert_eq!(a.respawns, 3);
+        assert_eq!(a.per_worker_respawns, vec![1, 2, 1]);
+        assert_eq!(a.quarantined, 1);
     }
 }

@@ -101,6 +101,14 @@ impl RunReport {
         self.stages.iter().map(|s| s.wire_bytes).sum()
     }
 
+    /// Worker slots quarantined across all stages of a distributed run
+    /// — removed from rotation after exhausting their own respawn
+    /// budget or failing a deterministic handshake check (0 for
+    /// in-process runs).
+    pub fn quarantined(&self) -> usize {
+        self.stages.iter().map(|s| s.quarantined).sum()
+    }
+
     /// Wall-clock seconds spent shipping block requests to workers
     /// across all stages (0.0 for in-process runs).
     pub fn dispatch_seconds(&self) -> f64 {
@@ -169,7 +177,7 @@ impl std::fmt::Display for RunReport {
         }
         let wbytes = self.wire_bytes();
         if wbytes > 0 || self.respawns() > 0 {
-            writeln!(
+            write!(
                 f,
                 "transport: {wbytes} wire bytes, {} respawns, \
                  {:.4}s dispatch, {:.4}s collect",
@@ -177,6 +185,10 @@ impl std::fmt::Display for RunReport {
                 self.dispatch_seconds(),
                 self.collect_seconds()
             )?;
+            if self.quarantined() > 0 {
+                write!(f, ", {} quarantined", self.quarantined())?;
+            }
+            writeln!(f)?;
         }
         let jbytes = self.journal_bytes();
         if jbytes > 0 {

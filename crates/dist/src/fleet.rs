@@ -1,6 +1,11 @@
-//! The supervisor side: a pool of worker subprocesses with heartbeats,
-//! per-block deadlines, retry-with-backoff, and divergence detection.
+//! The supervisor side: a fleet of workers — subprocesses over pipes,
+//! remote hosts over TCP, or a mix — with heartbeats, per-block
+//! deadlines, retry-with-backoff, per-worker quarantine, and divergence
+//! detection.
 
+use std::collections::VecDeque;
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -10,10 +15,13 @@ use std::time::{Duration, Instant};
 
 use rlrpd_core::remote::{
     encode_shutdown, frame_kind, read_frame, write_frame, BlockDispatcher, BlockReply,
-    BlockRequest, DistConnector, TransportStats, WireHello, WorkerLoss, FAULT_CORRUPT, FAULT_HANG,
-    FAULT_KILL, FAULT_NONE, FRAME_HEARTBEAT, FRAME_REPLY,
+    BlockRequest, DistConnector, HelloAck, TransportStats, WireHello, WorkerLoss, FAULT_CORRUPT,
+    FAULT_HANG, FAULT_KILL, FAULT_NONE, FRAME_HEARTBEAT, FRAME_HELLO, FRAME_REPLY,
+    PROTOCOL_VERSION,
 };
 use rlrpd_runtime::{FaultPlan, WorkerFault};
+
+use crate::net::{self, TcpTuning};
 
 /// How often the supervisor's collect loop wakes to check deadlines and
 /// heartbeat staleness when no frame has arrived.
@@ -27,18 +35,30 @@ const MIN_HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(500);
 /// Fault-tolerance policy of a worker fleet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DistPolicy {
-    /// Worker subprocesses to keep alive.
+    /// Worker count when the launcher has no explicit endpoint list
+    /// (all subprocess workers). With endpoints, their count wins.
     pub workers: usize,
     /// A block outstanding longer than this marks its worker hung; the
     /// worker is killed, respawned, and the block re-dispatched.
     pub block_deadline: Duration,
-    /// Total respawns (deaths, deadline kills, and divergence
-    /// rejections combined) tolerated across the run before the fleet
-    /// reports [`WorkerLoss`] and the run degrades to the in-process
-    /// pooled path.
+    /// Respawns (deaths, deadline kills, and divergence rejections
+    /// combined) tolerated **per worker slot** before that slot is
+    /// quarantined — removed from the rotation for the rest of the run
+    /// while the remaining workers carry on.
     pub max_respawns: usize,
-    /// Base delay before the first respawn; doubles per respawn.
+    /// Fleet-wide respawn cap across all slots; exhausting it reports
+    /// [`WorkerLoss`] and the run degrades to the in-process pooled
+    /// path. `0` means auto: `(workers × max_respawns).max(4)`.
+    pub fleet_max_respawns: usize,
+    /// Base delay before the first respawn of a slot; doubles per
+    /// respawn of that slot, plus deterministic jitter.
     pub backoff: Duration,
+    /// Interval between worker heartbeat frames; travels to the worker
+    /// in the hello. Must be comfortably below `block_deadline` or the
+    /// staleness sweep cannot tell busy from dead (the CLI validates
+    /// this; the fleet just floors the staleness timeout at 4
+    /// heartbeats).
+    pub heartbeat: Duration,
 }
 
 impl Default for DistPolicy {
@@ -47,22 +67,61 @@ impl Default for DistPolicy {
             workers: 2,
             block_deadline: Duration::from_secs(5),
             max_respawns: 3,
+            fleet_max_respawns: 0,
             backoff: Duration::from_millis(50),
+            heartbeat: Duration::from_millis(25),
         }
     }
 }
 
-/// Launches worker subprocesses for distributed runs: the
-/// [`DistConnector`] handed to `Runner::try_run_distributed`.
+impl DistPolicy {
+    /// The effective fleet-wide respawn cap for a fleet of `workers`
+    /// slots (resolves the `0` = auto default).
+    pub fn fleet_cap(&self, workers: usize) -> usize {
+        if self.fleet_max_respawns == 0 {
+            (workers * self.max_respawns).max(4)
+        } else {
+            self.fleet_max_respawns
+        }
+    }
+}
+
+/// Where one worker slot lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A subprocess spawned by the supervisor (the launcher's `program`
+    /// + `args`), framed over stdin/stdout pipes.
+    Local,
+    /// A remote `rlrpd worker --listen` host (`host:port`), dialed over
+    /// TCP with the launcher's [`TcpTuning`]. A "respawn" of a TCP slot
+    /// is a fresh connection that replays hello + commit history —
+    /// which is also how a partitioned slot rejoins.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Local => write!(f, "local"),
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+/// Launches worker fleets for distributed runs: the [`DistConnector`]
+/// handed to `Runner::try_run_distributed`.
 ///
 /// `program` + `args` must start a process that speaks the worker
 /// protocol on stdin/stdout — `rlrpd worker`, or any binary calling
-/// [`crate::worker_entry`].
+/// [`crate::worker_entry`]. With an endpoint list, `Endpoint::Local`
+/// slots use that subprocess and `Endpoint::Tcp` slots dial a listener
+/// instead.
 #[derive(Clone, Debug)]
 pub struct DistLauncher {
-    /// Worker executable.
+    /// Worker executable for [`Endpoint::Local`] slots.
     pub program: PathBuf,
-    /// Arguments handed to every worker (e.g. the `worker` subcommand).
+    /// Arguments handed to every subprocess worker (e.g. the `worker`
+    /// subcommand).
     pub args: Vec<String>,
     /// Fault-tolerance policy for the fleet.
     pub policy: DistPolicy,
@@ -70,6 +129,11 @@ pub struct DistLauncher {
     /// frames keyed by dispatch ordinal, so a re-dispatched block never
     /// re-fires a one-shot fault.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Explicit worker slots; `None` means `policy.workers` subprocess
+    /// slots.
+    pub endpoints: Option<Vec<Endpoint>>,
+    /// Socket tuning for [`Endpoint::Tcp`] slots.
+    pub tuning: TcpTuning,
 }
 
 impl DistLauncher {
@@ -80,6 +144,8 @@ impl DistLauncher {
             args,
             policy: DistPolicy::default(),
             fault: None,
+            endpoints: None,
+            tuning: TcpTuning::default(),
         }
     }
 
@@ -94,6 +160,19 @@ impl DistLauncher {
         self.fault = Some(fault);
         self
     }
+
+    /// Use an explicit endpoint list instead of `policy.workers`
+    /// subprocess slots.
+    pub fn with_endpoints(mut self, endpoints: Vec<Endpoint>) -> Self {
+        self.endpoints = Some(endpoints);
+        self
+    }
+
+    /// Replace the TCP socket tuning.
+    pub fn with_tuning(mut self, tuning: TcpTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
 }
 
 impl DistConnector for DistLauncher {
@@ -104,17 +183,57 @@ impl DistConnector for DistLauncher {
 
 /// An event forwarded by a worker's reader thread.
 enum Event {
-    /// A complete frame arrived on the worker's stdout.
+    /// A complete frame arrived from the worker.
     Frame(Vec<u8>),
-    /// The worker's stdout closed (process death) or framed garbage
-    /// arrived.
+    /// The worker's stream closed (process death, socket shutdown) or
+    /// framed garbage arrived.
     Eof,
 }
 
-/// One worker subprocess plus its supervisor-side bookkeeping.
+/// The writable half of one worker slot.
+enum Link {
+    /// Subprocess worker: pipe pair.
+    Child { child: Child, stdin: ChildStdin },
+    /// TCP worker: the connected socket (reads happen on a clone owned
+    /// by the reader thread).
+    Tcp(TcpStream),
+    /// Killed or quarantined; writes fail immediately.
+    Closed,
+}
+
+impl Link {
+    /// Write one frame to the worker.
+    fn write_record(&mut self, record: &[u8]) -> std::io::Result<()> {
+        match self {
+            Link::Child { stdin, .. } => write_frame(stdin, record),
+            Link::Tcp(stream) => write_frame(stream, record),
+            Link::Closed => Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "worker link closed",
+            )),
+        }
+    }
+
+    /// Tear the worker down: kill + reap a subprocess, shut down a
+    /// socket (which also unblocks the reader thread's pending read).
+    fn kill(&mut self) {
+        match self {
+            Link::Child { child, .. } => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Link::Tcp(stream) => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            Link::Closed => {}
+        }
+        *self = Link::Closed;
+    }
+}
+
+/// One worker slot plus its supervisor-side bookkeeping.
 struct Worker {
-    child: Child,
-    stdin: ChildStdin,
+    link: Link,
     /// Spawn generation; events tagged with an older generation belong
     /// to a killed predecessor and are discarded.
     generation: u64,
@@ -123,20 +242,33 @@ struct Worker {
     /// answered.
     outstanding: Vec<(usize, Instant)>,
     reader: Option<JoinHandle<()>>,
+    /// Respawns charged to this slot so far.
+    respawns: u32,
+    /// Out of the rotation for the rest of the run.
+    quarantined: bool,
+    /// The slot's current incarnation passed handshake validation.
+    acked: bool,
 }
 
-/// A live pool of worker subprocesses implementing [`BlockDispatcher`].
+/// A live worker fleet implementing [`BlockDispatcher`].
 ///
 /// Created by [`DistLauncher::connect`]; owned by the engine for the
 /// duration of one distributed run. Dropping the fleet sends shutdown
-/// frames and reaps every child.
+/// frames, reaps every subprocess, and hangs up every socket.
 pub struct Fleet {
     program: PathBuf,
     args: Vec<String>,
     policy: DistPolicy,
     fault: Option<Arc<FaultPlan>>,
-    /// Encoded hello record, replayed first to every (re)spawned worker.
+    tuning: TcpTuning,
+    endpoints: Vec<Endpoint>,
+    /// Encoded hello record (heartbeat interval already stamped in),
+    /// replayed first to every (re)spawned worker.
     hello: Vec<u8>,
+    /// This run's identity — every worker must echo it in its ack.
+    run_id: u64,
+    /// FNV of the hello's header bytes — ditto.
+    header_fnv: u64,
     /// Every commit record broadcast so far, in order — the replay log
     /// that rebuilds a fresh worker's mirror of the committed prefix.
     history: Vec<Vec<u8>>,
@@ -145,6 +277,8 @@ pub struct Fleet {
     rx: Receiver<(usize, u64, Event)>,
     next_generation: u64,
     total_respawns: usize,
+    /// Round-robin cursor over non-quarantined slots.
+    cursor: usize,
     /// 0-based count of block transmissions (re-dispatches included);
     /// keys the worker-fault injection sites.
     dispatch_ordinal: usize,
@@ -153,32 +287,74 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// Spawn `policy.workers` worker subprocesses and replay `hello` to
-    /// each. Fails (as a connect error, degrading the run in-process)
-    /// if any worker cannot be started.
+    /// Spawn/connect one worker per endpoint and replay the hello to
+    /// each. A slot that cannot be started is quarantined on the spot
+    /// (the fleet starts smaller); only a fleet with **zero** startable
+    /// slots fails (as a connect error, degrading the run in-process).
     pub fn launch(launcher: &DistLauncher, hello: &WireHello) -> Result<Fleet, String> {
+        let endpoints = launcher
+            .endpoints
+            .clone()
+            .unwrap_or_else(|| vec![Endpoint::Local; launcher.policy.workers.max(1)]);
+        // Stamp the policy's heartbeat interval into the hello the
+        // workers see. Only the header bytes seed the commit chain, so
+        // this cannot perturb divergence detection.
+        let mut hello = hello.clone();
+        hello.heartbeat_millis = launcher.policy.heartbeat.as_millis().min(u32::MAX as u128) as u32;
+        let run_id = hello.run_id;
+        let header_fnv = hello.header_fnv();
         let (tx, rx) = mpsc::channel();
         let mut fleet = Fleet {
             program: launcher.program.clone(),
             args: launcher.args.clone(),
             policy: launcher.policy,
             fault: launcher.fault.clone(),
+            tuning: launcher.tuning,
+            endpoints,
             hello: hello.encode(),
+            run_id,
+            header_fnv,
             history: Vec::new(),
             workers: Vec::new(),
             tx,
             rx,
             next_generation: 0,
             total_respawns: 0,
+            cursor: 0,
             dispatch_ordinal: 0,
             stats: TransportStats::default(),
             lost: false,
         };
-        for idx in 0..launcher.policy.workers.max(1) {
-            let w = fleet
-                .spawn_worker(idx)
-                .map_err(|e| format!("cannot start worker {idx}: {e}"))?;
-            fleet.workers.push(w);
+        let mut failures = Vec::new();
+        for idx in 0..fleet.endpoints.len() {
+            match fleet.spawn_worker(idx) {
+                Ok(w) => fleet.workers.push(w),
+                Err(e) => {
+                    failures.push(format!("worker {idx} ({}): {e}", fleet.endpoints[idx]));
+                    let generation = fleet.next_generation;
+                    fleet.next_generation += 1;
+                    fleet.workers.push(Worker {
+                        link: Link::Closed,
+                        generation,
+                        last_heartbeat: Instant::now(),
+                        outstanding: Vec::new(),
+                        reader: None,
+                        respawns: 0,
+                        quarantined: true,
+                        acked: false,
+                    });
+                    fleet.stats.quarantined += 1;
+                }
+            }
+        }
+        if fleet.workers.iter().all(|w| w.quarantined) {
+            return Err(format!(
+                "no worker could be started: {}",
+                failures.join("; ")
+            ));
+        }
+        for failure in failures {
+            eprintln!("rlrpd supervisor: {failure}; slot quarantined");
         }
         Ok(fleet)
     }
@@ -188,22 +364,39 @@ impl Fleet {
         self.total_respawns
     }
 
-    /// Start one worker subprocess and replay hello + commit history
-    /// into it. Does not touch `self.workers`.
+    /// The effective fleet-wide respawn cap.
+    fn fleet_cap(&self) -> usize {
+        self.policy.fleet_cap(self.endpoints.len())
+    }
+
+    /// Start one worker (subprocess or TCP connection, per the slot's
+    /// endpoint) and replay hello + commit history into it. Does not
+    /// touch `self.workers`.
     fn spawn_worker(&mut self, idx: usize) -> std::io::Result<Worker> {
-        let mut child = Command::new(&self.program)
-            .args(&self.args)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()?;
-        let mut stdin = child.stdin.take().expect("worker stdin piped");
-        let mut stdout = child.stdout.take().expect("worker stdout piped");
         let generation = self.next_generation;
         self.next_generation += 1;
+        let (mut link, input): (Link, Box<dyn Read + Send>) = match &self.endpoints[idx] {
+            Endpoint::Local => {
+                let mut child = Command::new(&self.program)
+                    .args(&self.args)
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()?;
+                let stdin = child.stdin.take().expect("worker stdin piped");
+                let stdout = child.stdout.take().expect("worker stdout piped");
+                (Link::Child { child, stdin }, Box::new(stdout))
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = net::connect(addr, &self.tuning, idx as u64)?;
+                let reader = stream.try_clone()?;
+                (Link::Tcp(stream), Box::new(BufReader::new(reader)))
+            }
+        };
         let tx = self.tx.clone();
+        let mut input = input;
         let reader = std::thread::spawn(move || loop {
-            match read_frame(&mut stdout) {
+            match read_frame(&mut input) {
                 Ok(Some(frame)) => {
                     if tx.send((idx, generation, Event::Frame(frame))).is_err() {
                         break;
@@ -216,50 +409,94 @@ impl Fleet {
             }
         });
         let mut bytes = 4 + self.hello.len() as u64;
-        write_frame(&mut stdin, &self.hello)?;
+        link.write_record(&self.hello)?;
         for record in &self.history {
-            write_frame(&mut stdin, record)?;
+            link.write_record(record)?;
             bytes += 4 + record.len() as u64;
         }
         self.stats.wire_bytes += bytes;
         Ok(Worker {
-            child,
-            stdin,
+            link,
             generation,
             last_heartbeat: Instant::now(),
             outstanding: Vec::new(),
-            reader: Some(reader),
-        })
+            reader: None,
+            respawns: 0,
+            quarantined: false,
+            acked: false,
+        }
+        .with_reader(reader))
     }
 
-    /// Kill worker `idx` and start a replacement (after an exponential
-    /// backoff), replaying hello + history so its mirror of the
-    /// committed prefix is rebuilt. Returns the request indices that
-    /// were outstanding on the dead worker — the caller must
-    /// re-dispatch them. Fails with [`WorkerLoss`] once the respawn
-    /// budget is exhausted.
+    /// Take slot `idx` out of the rotation for good: tear the link
+    /// down, reclaim its outstanding blocks (returned for re-dispatch
+    /// elsewhere), and shrink the active fleet. Fails with
+    /// [`WorkerLoss`] only when no active worker remains.
+    fn quarantine(&mut self, idx: usize, why: &str) -> Result<Vec<usize>, WorkerLoss> {
+        let w = &mut self.workers[idx];
+        w.link.kill();
+        if let Some(h) = w.reader.take() {
+            let _ = h.join();
+        }
+        let orphans: Vec<usize> = w.outstanding.drain(..).map(|(req, _)| req).collect();
+        if !w.quarantined {
+            w.quarantined = true;
+            self.stats.quarantined += 1;
+            eprintln!(
+                "rlrpd supervisor: worker {idx} ({}) quarantined: {why}",
+                self.endpoints[idx]
+            );
+        }
+        if self.workers.iter().all(|w| w.quarantined) {
+            self.lost = true;
+            return Err(WorkerLoss {
+                reason: format!("worker {idx}: {why}; no active workers remain"),
+            });
+        }
+        Ok(orphans)
+    }
+
+    /// Kill worker `idx` and start a replacement (after a jittered
+    /// exponential backoff), replaying hello + history so its mirror of
+    /// the committed prefix is rebuilt. Returns the request indices
+    /// that were outstanding on the dead worker — the caller must
+    /// re-dispatch them (possibly to other slots). A slot that exhausts
+    /// its own budget — or cannot be restarted — is quarantined instead
+    /// of sinking the fleet; only exhausting the fleet-wide cap (or
+    /// losing the last active slot) fails with [`WorkerLoss`].
     fn respawn(&mut self, idx: usize, why: &str) -> Result<Vec<usize>, WorkerLoss> {
         self.total_respawns += 1;
         self.stats.respawns += 1;
-        if self.total_respawns > self.policy.max_respawns {
+        self.workers[idx].respawns += 1;
+        if self.total_respawns > self.fleet_cap() {
             self.lost = true;
             return Err(WorkerLoss {
                 reason: format!(
-                    "worker {idx}: {why}; respawn budget ({}) exhausted",
-                    self.policy.max_respawns
+                    "worker {idx}: {why}; fleet respawn budget ({}) exhausted",
+                    self.fleet_cap()
                 ),
             });
         }
+        if self.workers[idx].respawns as usize > self.policy.max_respawns {
+            return self.quarantine(
+                idx,
+                &format!(
+                    "{why}; slot respawn budget ({}) exhausted",
+                    self.policy.max_respawns
+                ),
+            );
+        }
         {
             let old = &mut self.workers[idx];
-            let _ = old.child.kill();
-            let _ = old.child.wait();
+            old.link.kill();
             if let Some(h) = old.reader.take() {
                 let _ = h.join();
             }
         }
-        let exp = (self.total_respawns - 1).min(10) as u32;
-        let backoff = self.policy.backoff * 2u32.saturating_pow(exp);
+        let per = self.workers[idx].respawns;
+        let exp = (per - 1).min(10);
+        let backoff = self.policy.backoff * 2u32.saturating_pow(exp)
+            + net::jitter(idx as u64, per as u64, self.policy.backoff);
         if !backoff.is_zero() {
             std::thread::sleep(backoff);
         }
@@ -269,17 +506,33 @@ impl Fleet {
             .map(|(req, _)| req)
             .collect();
         match self.spawn_worker(idx) {
-            Ok(w) => {
+            Ok(mut w) => {
+                w.respawns = per;
                 self.workers[idx] = w;
                 Ok(orphans)
             }
             Err(e) => {
-                self.lost = true;
-                Err(WorkerLoss {
-                    reason: format!("worker {idx}: {why}; respawn failed: {e}"),
-                })
+                // The endpoint is gone (binary deleted, host down,
+                // connection refused past the retry budget): quarantine
+                // the slot, keep the fleet.
+                let mut all = self.quarantine(idx, &format!("{why}; restart failed: {e}"))?;
+                all.extend(orphans);
+                Ok(all)
             }
         }
+    }
+
+    /// The next non-quarantined slot, round-robin.
+    fn next_active(&mut self) -> Option<usize> {
+        let n = self.workers.len();
+        for _ in 0..n {
+            let idx = self.cursor % n;
+            self.cursor += 1;
+            if !self.workers[idx].quarantined {
+                return Some(idx);
+            }
+        }
+        None
     }
 
     /// The fault directive for the next block transmission.
@@ -294,53 +547,93 @@ impl Fleet {
         }
     }
 
-    /// Transmit one block request to worker `idx`, respawning (within
-    /// budget) on a broken pipe.
-    fn send_request(
+    /// Drain the pending queue: transmit each request to the next
+    /// active slot, respawning (within budget) on write failures —
+    /// whose orphans join the queue and flow to surviving slots.
+    fn pump_pending(
         &mut self,
-        idx: usize,
-        req: &BlockRequest,
-        req_index: usize,
+        pending: &mut VecDeque<usize>,
+        reqs: &[BlockRequest],
     ) -> Result<(), WorkerLoss> {
-        loop {
-            let record = req.encode(self.next_fault_code());
-            match write_frame(&mut self.workers[idx].stdin, &record) {
-                Ok(()) => {
-                    self.stats.wire_bytes += 4 + record.len() as u64;
-                    self.workers[idx]
-                        .outstanding
-                        .push((req_index, Instant::now()));
-                    return Ok(());
-                }
-                Err(e) => {
-                    // The worker died between blocks; its outstanding
-                    // list is re-queued by respawn and re-sent here.
-                    let orphans = self.respawn(idx, &format!("request write failed: {e}"))?;
-                    for orphan in orphans {
-                        debug_assert_ne!(orphan, req_index);
+        while let Some(req_index) = pending.pop_front() {
+            loop {
+                let Some(idx) = self.next_active() else {
+                    // Unreachable in practice: losing the last active
+                    // slot already failed the respawn/quarantine call.
+                    self.lost = true;
+                    return Err(WorkerLoss {
+                        reason: "no active workers remain".into(),
+                    });
+                };
+                let record = reqs[req_index].encode(self.next_fault_code());
+                match self.workers[idx].link.write_record(&record) {
+                    Ok(()) => {
+                        self.stats.wire_bytes += 4 + record.len() as u64;
+                        self.workers[idx]
+                            .outstanding
+                            .push((req_index, Instant::now()));
+                        break;
+                    }
+                    Err(e) => {
+                        // The worker died between blocks; its orphans
+                        // join the queue and this request retries on
+                        // whatever slot is next.
+                        let orphans = self.respawn(idx, &format!("request write failed: {e}"))?;
+                        pending.extend(orphans);
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    /// Re-dispatch the given request indices to worker `idx`.
-    fn redispatch(
-        &mut self,
-        idx: usize,
-        orphans: Vec<usize>,
-        reqs: &[BlockRequest],
-    ) -> Result<(), WorkerLoss> {
-        for req_index in orphans {
-            self.send_request(idx, &reqs[req_index], req_index)?;
+    /// Validate a worker's handshake ack. A mismatch is deterministic —
+    /// a wrong binary or a cross-wired connection — so the slot is
+    /// quarantined outright without burning respawn budget (a restart
+    /// would fail the same way). Returns orphans to re-dispatch.
+    fn check_ack(&mut self, idx: usize, frame: &[u8]) -> Result<Vec<usize>, WorkerLoss> {
+        let ack = match HelloAck::decode(frame) {
+            Ok(a) => a,
+            Err(e) => return self.respawn(idx, &format!("undecodable hello ack: {e}")),
+        };
+        if ack.protocol != PROTOCOL_VERSION {
+            return self.quarantine(
+                idx,
+                &format!(
+                    "protocol version mismatch: supervisor speaks v{}, worker speaks v{} \
+                     (mismatched rlrpd binaries?)",
+                    PROTOCOL_VERSION, ack.protocol
+                ),
+            );
         }
-        Ok(())
+        if ack.run_id != self.run_id || ack.header_fnv != self.header_fnv {
+            return self.quarantine(
+                idx,
+                &format!(
+                    "handshake identity mismatch: expected run {:#x}/header {:#x}, \
+                     worker acknowledged run {:#x}/header {:#x} (cross-wired connection?)",
+                    self.run_id, self.header_fnv, ack.run_id, ack.header_fnv
+                ),
+            );
+        }
+        self.workers[idx].acked = true;
+        Ok(Vec::new())
     }
 
     /// Heartbeat-staleness threshold: a busy worker silent this long is
     /// presumed dead even if its block deadline has not yet passed.
     fn heartbeat_timeout(&self) -> Duration {
-        self.policy.block_deadline.max(MIN_HEARTBEAT_TIMEOUT)
+        self.policy
+            .block_deadline
+            .max(MIN_HEARTBEAT_TIMEOUT)
+            .max(self.policy.heartbeat * 4)
+    }
+}
+
+impl Worker {
+    fn with_reader(mut self, reader: JoinHandle<()>) -> Worker {
+        self.reader = Some(reader);
+        self
     }
 }
 
@@ -357,7 +650,10 @@ impl BlockDispatcher for Fleet {
         // separate retry.
         self.history.push(record.to_vec());
         for idx in 0..self.workers.len() {
-            match write_frame(&mut self.workers[idx].stdin, record) {
+            if self.workers[idx].quarantined {
+                continue;
+            }
+            match self.workers[idx].link.write_record(record) {
                 Ok(()) => self.stats.wire_bytes += 4 + record.len() as u64,
                 Err(e) => {
                     let orphans = self.respawn(idx, &format!("commit broadcast failed: {e}"))?;
@@ -375,11 +671,9 @@ impl BlockDispatcher for Fleet {
                 reason: "fleet already lost".into(),
             });
         }
-        let workers = self.workers.len();
         let t0 = Instant::now();
-        for (i, req) in reqs.iter().enumerate() {
-            self.send_request(i % workers, req, i)?;
-        }
+        let mut pending: VecDeque<usize> = (0..reqs.len()).collect();
+        self.pump_pending(&mut pending, reqs)?;
         self.stats.dispatch_seconds += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
@@ -389,13 +683,23 @@ impl BlockDispatcher for Fleet {
         while remaining > 0 {
             match self.rx.recv_timeout(TICK) {
                 Ok((idx, generation, event)) => {
-                    if idx >= self.workers.len() || self.workers[idx].generation != generation {
+                    if idx >= self.workers.len()
+                        || self.workers[idx].generation != generation
+                        || self.workers[idx].quarantined
+                    {
                         continue; // stale event from a killed predecessor
                     }
                     match event {
                         Event::Frame(frame) => {
                             self.stats.wire_bytes += 4 + frame.len() as u64;
                             match frame_kind(&frame) {
+                                Some(FRAME_HELLO) => {
+                                    // The worker's handshake ack.
+                                    self.workers[idx].last_heartbeat = Instant::now();
+                                    let orphans = self.check_ack(idx, &frame)?;
+                                    pending.extend(orphans);
+                                    self.pump_pending(&mut pending, reqs)?;
+                                }
                                 Some(FRAME_HEARTBEAT) => {
                                     self.workers[idx].last_heartbeat = Instant::now();
                                 }
@@ -406,7 +710,8 @@ impl BlockDispatcher for Fleet {
                                         Err(e) => {
                                             let orphans = self
                                                 .respawn(idx, &format!("undecodable reply: {e}"))?;
-                                            self.redispatch(idx, orphans, reqs)?;
+                                            pending.extend(orphans);
+                                            self.pump_pending(&mut pending, reqs)?;
                                             continue;
                                         }
                                     };
@@ -417,7 +722,8 @@ impl BlockDispatcher for Fleet {
                                     let Some(slot) = req_index else {
                                         let orphans = self
                                             .respawn(idx, "reply for a block never dispatched")?;
-                                        self.redispatch(idx, orphans, reqs)?;
+                                        pending.extend(orphans);
+                                        self.pump_pending(&mut pending, reqs)?;
                                         continue;
                                     };
                                     let (req_index, _) = self.workers[idx].outstanding[slot];
@@ -430,7 +736,8 @@ impl BlockDispatcher for Fleet {
                                             idx,
                                             "divergent result (input-chain mismatch)",
                                         )?;
-                                        self.redispatch(idx, orphans, reqs)?;
+                                        pending.extend(orphans);
+                                        self.pump_pending(&mut pending, reqs)?;
                                         continue;
                                     }
                                     self.workers[idx].outstanding.swap_remove(slot);
@@ -440,13 +747,15 @@ impl BlockDispatcher for Fleet {
                                 }
                                 _ => {
                                     let orphans = self.respawn(idx, "unexpected frame kind")?;
-                                    self.redispatch(idx, orphans, reqs)?;
+                                    pending.extend(orphans);
+                                    self.pump_pending(&mut pending, reqs)?;
                                 }
                             }
                         }
                         Event::Eof => {
                             let orphans = self.respawn(idx, "worker exited")?;
-                            self.redispatch(idx, orphans, reqs)?;
+                            pending.extend(orphans);
+                            self.pump_pending(&mut pending, reqs)?;
                         }
                     }
                 }
@@ -470,7 +779,7 @@ impl BlockDispatcher for Fleet {
                 let stale_after = self.heartbeat_timeout();
                 for idx in 0..self.workers.len() {
                     let w = &self.workers[idx];
-                    if w.outstanding.is_empty() {
+                    if w.quarantined || w.outstanding.is_empty() {
                         continue;
                     }
                     let overdue = w
@@ -485,7 +794,8 @@ impl BlockDispatcher for Fleet {
                             "heartbeat lost"
                         };
                         let orphans = self.respawn(idx, why)?;
-                        self.redispatch(idx, orphans, reqs)?;
+                        pending.extend(orphans);
+                        self.pump_pending(&mut pending, reqs)?;
                     }
                 }
             }
@@ -498,7 +808,11 @@ impl BlockDispatcher for Fleet {
     }
 
     fn take_stats(&mut self) -> TransportStats {
-        std::mem::take(&mut self.stats)
+        let mut stats = std::mem::take(&mut self.stats);
+        // Cumulative per-slot snapshot (the engine's merge takes the
+        // elementwise max, so repeated snapshots don't double-count).
+        stats.per_worker_respawns = self.workers.iter().map(|w| w.respawns).collect();
+        stats
     }
 }
 
@@ -506,11 +820,12 @@ impl Drop for Fleet {
     fn drop(&mut self) {
         let bye = encode_shutdown();
         for w in &mut self.workers {
-            let _ = write_frame(&mut w.stdin, &bye);
+            if !w.quarantined {
+                let _ = w.link.write_record(&bye);
+            }
         }
         for w in &mut self.workers {
-            let _ = w.child.kill();
-            let _ = w.child.wait();
+            w.link.kill();
             if let Some(h) = w.reader.take() {
                 let _ = h.join();
             }

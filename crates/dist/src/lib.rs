@@ -31,17 +31,48 @@
 //!   committed state has diverged, so the result is rejected and the
 //!   worker rebuilt from scratch.
 //!
-//! Exhausting the respawn budget degrades the run to the in-process
-//! pooled path (recorded as `FallbackReason::WorkerLoss` on the
-//! [`rlrpd_core::RunReport`]) — never an error, and never a loss of
-//! committed work.
+//! Exhausting the fleet-wide respawn budget (or quarantining every
+//! worker) degrades the run to the in-process pooled path (recorded as
+//! `FallbackReason::WorkerLoss` on the [`rlrpd_core::RunReport`]) —
+//! never an error, and never a loss of committed work. A single
+//! flapping worker exhausts only its **own** budget and is quarantined
+//! (removed from rotation) while the rest of the fleet finishes the
+//! run.
+//!
+//! ## Transports
+//!
+//! Workers come in two flavors behind one wire protocol:
+//!
+//! - **subprocess** ([`Endpoint::Local`]) — spawned by the supervisor,
+//!   framed over stdin/stdout pipes;
+//! - **TCP** ([`Endpoint::Tcp`]) — a standalone `rlrpd worker --listen
+//!   ADDR` host ([`listen_entry`]), connected with per-attempt timeouts,
+//!   jittered exponential backoff, socket deadlines, and keepalive
+//!   ([`TcpTuning`]). A respawn is a fresh connection that replays
+//!   hello + commit history, so reconnect-and-rejoin after a transient
+//!   partition falls out of the same machinery.
+//!
+//! The hello carries a protocol version and run identity
+//! ([`rlrpd_core::PROTOCOL_VERSION`]); a mismatched binary is rejected
+//! at the handshake (worker exit 64, supervisor quarantine) instead of
+//! surfacing later as chain divergence.
+//!
+//! For testing the failure paths deterministically there is an in-repo
+//! chaos proxy ([`ChaosProxy`]) that injects connection refusal,
+//! mid-frame disconnects, half-open partitions, bytewise corruption,
+//! latency, and slow-loris trickle on a schedule keyed by connection
+//! ordinal ([`ChaosPlan`]).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod fleet;
+pub mod net;
 mod spec;
 mod worker;
 
-pub use fleet::{DistLauncher, DistPolicy, Fleet};
+pub use chaos::{ChaosFault, ChaosPlan, ChaosProxy};
+pub use fleet::{DistLauncher, DistPolicy, Endpoint, Fleet};
+pub use net::{listen_entry, TcpTuning};
 pub use spec::resolve_spec;
 pub use worker::{worker_entry, EXIT_OK, EXIT_TRANSPORT, EXIT_USAGE};

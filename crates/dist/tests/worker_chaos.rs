@@ -30,6 +30,7 @@ fn chaos_policy() -> DistPolicy {
         block_deadline: Duration::from_millis(800),
         max_respawns: 8,
         backoff: Duration::from_millis(10),
+        ..DistPolicy::default()
     }
 }
 
@@ -140,10 +141,19 @@ fn exhausted_respawn_budget_degrades_to_in_process_not_an_error() {
         backoff: Duration::from_millis(5),
         ..chaos_policy()
     };
-    // Two kills against a budget of one: the second respawn attempt
-    // exceeds it, the fleet reports loss, and the engine re-runs the
-    // stage on the in-process pooled path.
-    let fault = FaultPlan::new().kill_worker_at(0).kill_worker_at(1);
+    // Four kills against two slots with one respawn each: by the
+    // fourth, both slots have exhausted their budgets and quarantined,
+    // no active worker remains, the fleet reports loss, and the engine
+    // re-runs the stage on the in-process pooled path. The ordinals
+    // are spaced wider than any dispatch batch — adjacent ordinals can
+    // be written into the pipe of a worker already dying from the
+    // previous kill and silently lost with it, which would let every
+    // slot absorb only one kill and stay inside its budget.
+    let fault = FaultPlan::new()
+        .kill_worker_at(0)
+        .kill_worker_at(10)
+        .kill_worker_at(20)
+        .kill_worker_at(30);
     let mut connector = launcher(policy, Some(fault));
     let got = Runner::new(cfg)
         .try_run_distributed(lp.as_ref(), SPEC, &mut connector)
@@ -162,6 +172,43 @@ fn exhausted_respawn_budget_degrades_to_in_process_not_an_error() {
 }
 
 #[test]
+fn flapping_worker_is_quarantined_while_the_fleet_finishes() {
+    // Three kills across two slots with a one-respawn budget each: by
+    // pigeonhole one slot flaps twice and is quarantined, but the other
+    // survives — the fleet shrinks and the run completes distributed,
+    // with the quarantine on the report instead of a fallback. Spaced
+    // ordinals (see above) make every kill land on a live worker.
+    let lp = resolve_spec(SPEC).expect("registry spec");
+    let mut cfg = RunConfig::new(4);
+    cfg.strategy = Strategy::Rd;
+    let policy = DistPolicy {
+        workers: 2,
+        max_respawns: 1,
+        backoff: Duration::from_millis(5),
+        ..chaos_policy()
+    };
+    let fault = FaultPlan::new()
+        .kill_worker_at(0)
+        .kill_worker_at(10)
+        .kill_worker_at(20);
+    let mut connector = launcher(policy, Some(fault));
+    let got = Runner::new(cfg)
+        .try_run_distributed(lp.as_ref(), SPEC, &mut connector)
+        .expect("shrunken fleet still completes");
+    let (seq, _) = run_sequential(lp.as_ref());
+    assert_eq!(got.arrays, seq, "state differs from sequential");
+    assert_eq!(
+        got.report.fallback, None,
+        "a quarantined slot must not sink the fleet"
+    );
+    assert!(
+        got.report.quarantined() >= 1,
+        "the quarantine belongs on the report"
+    );
+    assert!(got.report.respawns() >= 3, "three kills, three respawns");
+}
+
+#[test]
 fn unresolvable_spec_degrades_to_in_process() {
     // Workers exit 64 on an unknown spec; the fleet burns its respawn
     // budget and the run completes in-process.
@@ -173,6 +220,7 @@ fn unresolvable_spec_degrades_to_in_process() {
         max_respawns: 1,
         backoff: Duration::from_millis(5),
         block_deadline: Duration::from_millis(400),
+        ..DistPolicy::default()
     };
     let mut connector = launcher(policy, None);
     let got = Runner::new(cfg)

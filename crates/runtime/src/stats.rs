@@ -175,6 +175,11 @@ pub struct StageStats {
     /// Worker subprocesses respawned while executing this stage (after
     /// a kill, a missed block deadline, or a divergent result).
     pub respawns: usize,
+    /// Worker slots quarantined while executing this stage — removed
+    /// from the fleet rotation for the rest of the run after exhausting
+    /// their own respawn budget or failing a deterministic handshake
+    /// check (0 except under distributed execution).
+    pub quarantined: usize,
 }
 
 impl StageStats {

@@ -8,10 +8,12 @@
 //!                      [--threads|--pooled] [--timeline] [--report] [--runs K]
 //!                      [--fault-seed S] [--watchdog F] [--max-restarts R]
 //!                      [--max-stages M] [--journal <path>] [--resume]
-//!                      [--dist-workers N|auto] [--block-deadline SECS]
-//!                      [--max-respawns R] [--dist-fault k:O[,k:O...]]
-//!                      [--no-compile]
-//! rlrpd worker
+//!                      [--dist-workers N|auto|SPEC] [--block-deadline SECS]
+//!                      [--max-respawns R] [--fleet-max-respawns R]
+//!                      [--heartbeat-interval SECS]
+//!                      [--dist-fault k:O[,k:O...]] [--no-compile]
+//! rlrpd worker [--listen ADDR]
+//! rlrpd chaos-proxy --listen ADDR --connect ADDR [--fault SPEC | --seed N]
 //! rlrpd classify <file.rlp>
 //! rlrpd analyze <file.rlp> [--procs N] [--format text|json] [--deny-warnings]
 //!                          [--emit bytecode]
@@ -32,14 +34,17 @@
 //! |  3   | run exceeded its `--max-stages` cap                  |
 //! |  4   | crash-journal failure (corrupt, mismatched, or I/O)  |
 //! |  64  | usage error (unknown command, flag, or flag value;   |
-//! |      | `rlrpd worker` protocol errors)                      |
+//! |      | `rlrpd worker` protocol errors, including a          |
+//! |      | protocol-version mismatch between supervisor and     |
+//! |      | worker binaries; incoherent `--heartbeat-interval` / |
+//! |      | `--block-deadline` combinations)                     |
 //!
 //! Worker-fleet loss (`--dist-workers` with all respawn budget spent)
 //! is **not** an exit code: the run degrades to in-process execution
 //! and exits 0, reporting the degradation on stdout.
 
 use rlrpd::core::{AdaptRule, FallbackPolicy, FaultPlan, Timeline};
-use rlrpd::dist::{DistLauncher, DistPolicy};
+use rlrpd::dist::{ChaosPlan, ChaosProxy, DistLauncher, DistPolicy, Endpoint};
 use rlrpd::{
     extract_ddg, run_sequential, BalancePolicy, CheckpointPolicy, ExecMode, FallbackReason,
     Journal, RlrpdError, RunConfig, Runner, Strategy, WindowConfig,
@@ -122,8 +127,11 @@ fn usage() -> String {
      [--checkpoint eager|ondemand] [--balance even|feedback|trend] [--threads|--pooled] \
      [--timeline] [--report] [--runs K] [--fault-seed S] [--watchdog F] \
      [--max-restarts R] [--max-stages M] [--journal <path>] [--resume] \
-     [--dist-workers N|auto] [--block-deadline SECS] [--max-respawns R] \
-     [--dist-fault kill|hang|corrupt:ORDINAL[,...]] [--no-compile]\n  rlrpd worker\n  rlrpd classify \
+     [--dist-workers N|auto|host:port[:N],local[:N],...] [--block-deadline SECS] \
+     [--max-respawns R] [--fleet-max-respawns R] [--heartbeat-interval SECS] \
+     [--dist-fault kill|hang|corrupt:ORDINAL[,...]] [--no-compile]\n  rlrpd worker \
+     [--listen ADDR]\n  rlrpd chaos-proxy --listen ADDR --connect ADDR \
+     [--fault kind:conn[:arg][,...] | --seed N]\n  rlrpd classify \
      <file.rlp>\n  rlrpd analyze <file.rlp> [--procs N] [--format text|json] \
      [--deny-warnings] [--emit bytecode]\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
@@ -137,6 +145,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     match cmd.as_str() {
         "run" => cmd_run(rest),
         "worker" => cmd_worker(rest),
+        "chaos-proxy" => cmd_chaos_proxy(rest),
         "classify" => cmd_classify(rest).map_err(CliError::from),
         "analyze" => cmd_analyze(rest),
         "fmt" => cmd_fmt(rest).map_err(CliError::from),
@@ -179,7 +188,13 @@ const VALUE_FLAGS: &[&str] = &[
     "--dist-workers",
     "--block-deadline",
     "--max-respawns",
+    "--fleet-max-respawns",
+    "--heartbeat-interval",
     "--dist-fault",
+    "--listen",
+    "--connect",
+    "--fault",
+    "--seed",
 ];
 
 fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
@@ -301,46 +316,99 @@ fn config(flags: &Flags) -> Result<RunConfig, String> {
     Ok(cfg)
 }
 
-/// `rlrpd worker`: speak the distributed worker protocol on
-/// stdin/stdout until the supervisor hangs up. Exits 64 on protocol or
-/// usage errors, matching the CLI's usage-error convention.
+/// `rlrpd worker`: speak the distributed worker protocol — on
+/// stdin/stdout until the supervisor hangs up, or as a standalone TCP
+/// listener under `--listen ADDR` (serving any number of supervisors
+/// until killed). Exits 64 on protocol or usage errors, matching the
+/// CLI's usage-error convention.
 fn cmd_worker(args: Vec<String>) -> Result<(), CliError> {
-    if !args.is_empty() {
+    let flags = parse_flags(args).map_err(CliError::Usage)?;
+    if !flags.positional.is_empty()
+        || !flags.lone.is_empty()
+        || flags.pairs.iter().any(|(k, _)| k != "--listen")
+    {
         return Err(CliError::Usage(
-            "worker takes no arguments; it speaks the fleet protocol on stdin/stdout".into(),
+            "worker takes only --listen ADDR; without it, it speaks the fleet protocol \
+             on stdin/stdout"
+                .into(),
         ));
     }
-    std::process::exit(rlrpd::dist::worker_entry());
+    match flags.get("--listen") {
+        Some(addr) => std::process::exit(rlrpd::dist::listen_entry(addr)),
+        None => std::process::exit(rlrpd::dist::worker_entry()),
+    }
+}
+
+/// `rlrpd chaos-proxy`: the deterministic network-fault injector, as a
+/// standalone process for CI and manual chaos runs. Forwards `--listen`
+/// to `--connect`, injecting the faults of `--fault SPEC` (or a
+/// seed-derived plan under `--seed N`) keyed by connection ordinal.
+/// Runs until killed.
+fn cmd_chaos_proxy(args: Vec<String>) -> Result<(), CliError> {
+    let flags = parse_flags(args).map_err(CliError::Usage)?;
+    if !flags.positional.is_empty() || !flags.lone.is_empty() {
+        return Err(CliError::Usage(
+            "chaos-proxy takes only --listen, --connect, and --fault/--seed".into(),
+        ));
+    }
+    let listen = flags
+        .get("--listen")
+        .ok_or_else(|| CliError::Usage("chaos-proxy needs --listen ADDR".into()))?;
+    let target = flags
+        .get("--connect")
+        .ok_or_else(|| CliError::Usage("chaos-proxy needs --connect ADDR".into()))?;
+    let plan = match (
+        flags.get("--fault"),
+        flags.u64_opt("--seed").map_err(CliError::Usage)?,
+    ) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--fault and --seed are mutually exclusive".into(),
+            ))
+        }
+        (Some(spec), None) => ChaosPlan::parse(spec).map_err(CliError::Usage)?,
+        (None, Some(seed)) => ChaosPlan::seeded(seed),
+        (None, None) => ChaosPlan::new(),
+    };
+    let summary = plan.to_string();
+    let proxy = ChaosProxy::bind(listen, target, plan)
+        .map_err(|e| CliError::Other(format!("cannot listen on {listen}: {e}")))?;
+    let local = proxy
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| listen.to_string());
+    println!("chaos proxy listening on {local} -> {target} ({summary})");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    proxy.run(); // forever
+    Ok(())
 }
 
 /// Distributed execution options (`None` without `--dist-workers`).
 struct DistOptions {
     policy: DistPolicy,
     fault: Option<Arc<FaultPlan>>,
+    endpoints: Vec<Endpoint>,
 }
 
-fn dist_options(flags: &Flags) -> Result<Option<DistOptions>, String> {
-    let Some(workers) = flags.get("--dist-workers") else {
-        for f in ["--block-deadline", "--max-respawns", "--dist-fault"] {
-            if flags.get(f).is_some() {
-                return Err(format!("{f} requires --dist-workers"));
-            }
-        }
-        return Ok(None);
-    };
+/// Parse a `--dist-workers` spec into worker endpoints.
+///
+/// Grammar: `auto` | `N` (local subprocess workers, clamped to the
+/// machine's parallelism) | a comma list of `local`, `local:N`,
+/// `host:port`, and `host:port:N` entries composing subprocess and
+/// remote TCP workers in one fleet.
+fn parse_dist_workers(spec: &str) -> Result<Vec<Endpoint>, String> {
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let workers = if workers == "auto" {
-        available
-    } else {
-        let n: usize = workers
-            .parse()
-            .map_err(|_| format!("--dist-workers expects an integer or 'auto', got '{workers}'"))?;
+    if spec == "auto" {
+        return Ok(vec![Endpoint::Local; available]);
+    }
+    if let Ok(n) = spec.parse::<usize>() {
         if n == 0 {
             return Err("--dist-workers expects at least 1 worker".into());
         }
-        if n > available {
+        let n = if n > available {
             eprintln!(
                 "rlrpd: warning: --dist-workers {n} exceeds available parallelism \
                  ({available}); clamping to {available}"
@@ -348,10 +416,66 @@ fn dist_options(flags: &Flags) -> Result<Option<DistOptions>, String> {
             available
         } else {
             n
+        };
+        return Ok(vec![Endpoint::Local; n]);
+    }
+    let mut endpoints = Vec::new();
+    for entry in spec.split(',') {
+        let usage = || {
+            format!(
+                "bad --dist-workers entry '{entry}' (expected local, local:N, \
+                 host:port, or host:port:N)"
+            )
+        };
+        if entry == "local" {
+            endpoints.push(Endpoint::Local);
+        } else if let Some(count) = entry.strip_prefix("local:") {
+            let n: usize = count.parse().map_err(|_| usage())?;
+            if n == 0 {
+                return Err(usage());
+            }
+            endpoints.extend(std::iter::repeat_n(Endpoint::Local, n));
+        } else {
+            // host:port, or host:port:N — split the trailing count off
+            // only when what remains still holds a host:port pair.
+            let (addr, n) = match entry.rsplit_once(':') {
+                Some((head, tail)) if head.contains(':') => {
+                    let n: usize = tail.parse().map_err(|_| usage())?;
+                    (head, n)
+                }
+                Some(_) => (entry, 1),
+                None => return Err(usage()),
+            };
+            if n == 0 || addr.is_empty() {
+                return Err(usage());
+            }
+            endpoints.extend(std::iter::repeat_n(Endpoint::Tcp(addr.to_string()), n));
         }
+    }
+    if endpoints.is_empty() {
+        return Err("--dist-workers expects at least 1 worker".into());
+    }
+    Ok(endpoints)
+}
+
+fn dist_options(flags: &Flags) -> Result<Option<DistOptions>, String> {
+    let Some(workers) = flags.get("--dist-workers") else {
+        for f in [
+            "--block-deadline",
+            "--max-respawns",
+            "--fleet-max-respawns",
+            "--heartbeat-interval",
+            "--dist-fault",
+        ] {
+            if flags.get(f).is_some() {
+                return Err(format!("{f} requires --dist-workers"));
+            }
+        }
+        return Ok(None);
     };
+    let endpoints = parse_dist_workers(workers)?;
     let mut policy = DistPolicy {
-        workers,
+        workers: endpoints.len(),
         ..DistPolicy::default()
     };
     if let Some(secs) = flags.get("--block-deadline") {
@@ -364,6 +488,30 @@ fn dist_options(flags: &Flags) -> Result<Option<DistOptions>, String> {
         policy.block_deadline = Duration::from_secs_f64(s);
     }
     policy.max_respawns = flags.usize_of("--max-respawns", policy.max_respawns)?;
+    policy.fleet_max_respawns =
+        flags.usize_of("--fleet-max-respawns", policy.fleet_max_respawns)?;
+    if let Some(secs) = flags.get("--heartbeat-interval") {
+        let s: f64 = secs
+            .parse()
+            .map_err(|_| format!("--heartbeat-interval expects seconds, got '{secs}'"))?;
+        if !(s > 0.0 && s.is_finite()) {
+            return Err(format!(
+                "--heartbeat-interval must be positive, got '{secs}'"
+            ));
+        }
+        // Coherence: the staleness sweep needs several heartbeats to
+        // fit inside the deadline window (floored at the fleet's
+        // 500ms minimum), or every busy worker looks dead.
+        let window = policy.block_deadline.as_secs_f64().max(0.5);
+        if 2.0 * s > window {
+            return Err(format!(
+                "--heartbeat-interval {s}s is incoherent with --block-deadline: \
+                 at least two heartbeats must fit in the failure-detection window \
+                 ({window}s); lower the interval or raise the deadline"
+            ));
+        }
+        policy.heartbeat = Duration::from_secs_f64(s);
+    }
     let fault = match flags.get("--dist-fault") {
         None => None,
         Some(spec) => {
@@ -389,13 +537,20 @@ fn dist_options(flags: &Flags) -> Result<Option<DistOptions>, String> {
             Some(Arc::new(plan))
         }
     };
-    Ok(Some(DistOptions { policy, fault }))
+    Ok(Some(DistOptions {
+        policy,
+        fault,
+        endpoints,
+    }))
 }
 
-/// A launcher running `rlrpd worker` on this very binary.
+/// A launcher whose `local` slots run `rlrpd worker` on this very
+/// binary and whose `host:port` slots dial standalone listeners.
 fn self_launcher(opts: &DistOptions) -> Result<DistLauncher, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
-    let mut launcher = DistLauncher::new(exe, vec!["worker".into()]).with_policy(opts.policy);
+    let mut launcher = DistLauncher::new(exe, vec!["worker".into()])
+        .with_policy(opts.policy)
+        .with_endpoints(opts.endpoints.clone());
     if let Some(fault) = &opts.fault {
         launcher = launcher.with_fault(Arc::clone(fault));
     }
@@ -554,10 +709,11 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         let res = last.expect("at least one run");
         if let Some(opts) = &dist {
             println!(
-                "distributed: {} workers, {} respawns, {} wire bytes, \
+                "distributed: {} workers, {} respawns, {} quarantined, {} wire bytes, \
                  {:.4}s dispatch, {:.4}s collect",
-                opts.policy.workers,
+                opts.endpoints.len(),
                 res.report.respawns(),
+                res.report.quarantined(),
                 res.report.wire_bytes(),
                 res.report.dispatch_seconds(),
                 res.report.collect_seconds()

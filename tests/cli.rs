@@ -573,6 +573,136 @@ fn dist_flag_misuse_exits_64() {
 }
 
 #[test]
+fn cross_host_flag_misuse_exits_64() {
+    let prog = program("tracking.rlp");
+    // Malformed endpoint lists.
+    assert_eq!(exit_code(&["run", &prog, "--dist-workers", "local:0"]), 64);
+    assert_eq!(exit_code(&["run", &prog, "--dist-workers", "local:x"]), 64);
+    assert_eq!(exit_code(&["run", &prog, "--dist-workers", ",local"]), 64);
+    assert_eq!(
+        exit_code(&["run", &prog, "--dist-workers", "host:4000:0"]),
+        64
+    );
+    // The heartbeat knobs are distributed-only and must be coherent
+    // with the failure-detection window.
+    assert_eq!(
+        exit_code(&["run", &prog, "--heartbeat-interval", "0.01"]),
+        64
+    );
+    assert_eq!(exit_code(&["run", &prog, "--fleet-max-respawns", "4"]), 64);
+    assert_eq!(
+        exit_code(&[
+            "run",
+            &prog,
+            "--dist-workers",
+            "1",
+            "--heartbeat-interval",
+            "0",
+        ]),
+        64
+    );
+    assert_eq!(
+        exit_code(&[
+            "run",
+            &prog,
+            "--dist-workers",
+            "1",
+            "--heartbeat-interval",
+            "2",
+            "--block-deadline",
+            "1",
+        ]),
+        64,
+        "two heartbeats must fit inside the failure-detection window"
+    );
+}
+
+#[test]
+fn worker_listen_on_a_bad_address_exits_64() {
+    assert_eq!(exit_code(&["worker", "--listen", "not-an-address"]), 64);
+    assert_eq!(
+        exit_code(&["worker", "--listen", "127.0.0.1:0", "extra"]),
+        64
+    );
+}
+
+#[test]
+fn chaos_proxy_misuse_exits_64() {
+    assert_eq!(exit_code(&["chaos-proxy"]), 64);
+    assert_eq!(exit_code(&["chaos-proxy", "--listen", "127.0.0.1:0"]), 64);
+    assert_eq!(
+        exit_code(&[
+            "chaos-proxy",
+            "--listen",
+            "127.0.0.1:0",
+            "--connect",
+            "127.0.0.1:1",
+            "--fault",
+            "melt:1",
+        ]),
+        64,
+        "unknown fault kinds are usage errors"
+    );
+    assert_eq!(
+        exit_code(&[
+            "chaos-proxy",
+            "--listen",
+            "127.0.0.1:0",
+            "--connect",
+            "127.0.0.1:1",
+            "--fault",
+            "refuse:0",
+            "--seed",
+            "7",
+        ]),
+        64,
+        "--fault and --seed are mutually exclusive"
+    );
+}
+
+/// End to end over the CLI surface: a standalone `rlrpd worker --listen`
+/// host plus a local subprocess slot composed in one fleet through
+/// `--dist-workers HOST:PORT:N,local`, with an explicit heartbeat.
+#[test]
+fn cross_host_run_composes_tcp_and_local_workers() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+    let mut host = Command::new(env!("CARGO_BIN_EXE_rlrpd"))
+        .args(["worker", "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn listener");
+    let banner = std::io::BufReader::new(host.stdout.take().expect("listener stdout"))
+        .lines()
+        .next()
+        .expect("listener banner")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("tracking.rlp"),
+        "--procs",
+        "4",
+        "--dist-workers",
+        &format!("{addr}:2,local"),
+        "--heartbeat-interval",
+        "0.05",
+    ]);
+    let _ = host.kill();
+    let _ = host.wait();
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("distributed: 3 workers"), "{stdout}");
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn distributed_run_verifies_and_reports_transport() {
     let (ok, stdout, stderr) = rlrpd(&[
         "run",

@@ -9,11 +9,13 @@
 //! This is the workload-level counterpart of the synthetic-loop chaos
 //! suite in `crates/dist/tests/worker_chaos.rs`.
 
+use std::io::BufRead;
 use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rlrpd::dist::{DistLauncher, DistPolicy};
+use rlrpd::dist::{DistLauncher, DistPolicy, Endpoint};
 use rlrpd::{
     run_sequential, ExecMode, FaultPlan, RunConfig, Runner, SpecLoop, Strategy, WindowConfig,
 };
@@ -57,6 +59,7 @@ fn launcher(fault: Option<FaultPlan>) -> DistLauncher {
         block_deadline: Duration::from_millis(800),
         max_respawns: 8,
         backoff: Duration::from_millis(10),
+        ..DistPolicy::default()
     };
     let mut l = DistLauncher::new(
         PathBuf::from(env!("CARGO_BIN_EXE_rlrpd")),
@@ -67,6 +70,42 @@ fn launcher(fault: Option<FaultPlan>) -> DistLauncher {
         l = l.with_fault(Arc::new(f));
     }
     l
+}
+
+/// A standalone `rlrpd worker --listen` host on a loopback port,
+/// reaped on drop.
+struct TcpWorkerHost {
+    child: Child,
+    addr: String,
+}
+
+impl TcpWorkerHost {
+    fn spawn() -> TcpWorkerHost {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rlrpd"))
+            .args(["worker", "--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn listener");
+        let stdout = child.stdout.take().expect("listener stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("listener banner")
+            .expect("read listener banner");
+        let addr = banner
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected listener banner: {banner}"))
+            .to_string();
+        TcpWorkerHost { child, addr }
+    }
+}
+
+impl Drop for TcpWorkerHost {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
 }
 
 /// One worker fault derived from a seed: the kind rotates with `salt`,
@@ -134,6 +173,41 @@ fn distributed_and_pooled_reports_share_the_commit_frontier_series() {
                 assert_eq!(d.loop_time, l.loop_time, "{spec}: {strategy:?}");
             }
             assert!(dist.report.wire_bytes() > 0, "{spec}: {strategy:?}");
+        }
+    }
+}
+
+/// The TCP leg: the same workload kernels served by a standalone
+/// `rlrpd worker --listen` host over loopback, mixed with one local
+/// subprocess slot — final arrays byte-identical to sequential, with
+/// seeded worker faults landing on whichever transport drew the
+/// faulted dispatch.
+#[test]
+fn tcp_fleets_run_the_models_identically_to_sequential() {
+    let host = TcpWorkerHost::spawn();
+    for seed in seeds() {
+        for (k, (spec, lp)) in models().iter().enumerate() {
+            let strategy = strategies()[(seed as usize + k) % 3];
+            let cfg = RunConfig::new(4)
+                .with_strategy(strategy)
+                .with_exec(ExecMode::Distributed);
+            let mut connector = launcher(Some(seeded_fault(seed, k))).with_endpoints(vec![
+                Endpoint::Tcp(host.addr.clone()),
+                Endpoint::Tcp(host.addr.clone()),
+                Endpoint::Local,
+            ]);
+            let got = Runner::new(cfg)
+                .try_run_distributed(lp.as_ref(), spec, &mut connector)
+                .unwrap_or_else(|e| panic!("{spec}: tcp seed {seed}: {e}"));
+            let (seq, _) = run_sequential(lp.as_ref());
+            assert_eq!(
+                got.arrays, seq,
+                "{spec}: tcp seed {seed}: {strategy:?}: final state differs from sequential"
+            );
+            assert_eq!(
+                got.report.fallback, None,
+                "{spec}: tcp seed {seed}: the fleet must recover, not degrade"
+            );
         }
     }
 }
