@@ -43,6 +43,34 @@ pub enum ShadowKind {
     Sparse,
 }
 
+impl ShadowKind {
+    /// The selection-layer choice this kind maps onto (the shadow
+    /// crate's pure selector speaks [`rlrpd_shadow::ShadowChoice`]; the
+    /// runtime additionally varies private storage by kind).
+    pub fn to_choice(self) -> rlrpd_shadow::ShadowChoice {
+        match self {
+            ShadowKind::Dense => rlrpd_shadow::ShadowChoice::Dense,
+            ShadowKind::DensePacked => rlrpd_shadow::ShadowChoice::Packed,
+            ShadowKind::Sparse => rlrpd_shadow::ShadowChoice::Sparse,
+        }
+    }
+
+    /// The kind implementing a selection-layer choice.
+    pub fn from_choice(choice: rlrpd_shadow::ShadowChoice) -> Self {
+        match choice {
+            rlrpd_shadow::ShadowChoice::Dense => ShadowKind::Dense,
+            rlrpd_shadow::ShadowChoice::Packed => ShadowKind::DensePacked,
+            rlrpd_shadow::ShadowChoice::Sparse => ShadowKind::Sparse,
+        }
+    }
+
+    /// The next-smaller representation on the budget-degradation
+    /// ladder, or `None` at the sparse floor.
+    pub fn down_tier(self) -> Option<ShadowKind> {
+        self.to_choice().down_tier().map(Self::from_choice)
+    }
+}
+
 /// How an array participates in the speculative execution.
 pub enum ArrayKind<T> {
     /// Compiler-unanalyzable: privatize, mark, test, commit.

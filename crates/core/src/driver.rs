@@ -100,6 +100,12 @@ pub enum FallbackReason {
     /// blocks are idempotent over the committed prefix, so no work was
     /// lost.
     WorkerLoss,
+    /// The shadow-memory budget ([`RunConfig::shadow_budget`]) was
+    /// exhausted after every degradation rung — per-array
+    /// representation down-tiering and (under the sliding window)
+    /// window shrinking — had been spent. The remainder executed
+    /// directly; the result is still exact. Never an abort.
+    ShadowBudget,
 }
 
 /// Bounded-retry and sequential-fallback policy.
@@ -185,6 +191,11 @@ pub struct RunConfig {
     /// compiler's dependence analysis; recorded in the report for
     /// predicted-vs-observed comparison.
     pub predicted_first_dependence: Option<usize>,
+    /// Per-run shadow-memory cap in bytes; `None` is unlimited. Every
+    /// shadow allocation of the run (all processors, and every worker
+    /// of a distributed fleet) is charged against this cap; crossing it
+    /// triggers the degradation ladder, never an abort.
+    pub shadow_budget: Option<u64>,
 }
 
 impl RunConfig {
@@ -202,6 +213,7 @@ impl RunConfig {
             max_stages: 100_000,
             fallback: FallbackPolicy::default(),
             predicted_first_dependence: None,
+            shadow_budget: None,
         }
     }
 
@@ -249,6 +261,15 @@ impl RunConfig {
         self
     }
 
+    /// Cap the run's total shadow-memory footprint at `bytes` (`None`
+    /// is unlimited). Exhaustion degrades gracefully — representation
+    /// down-tiering, window shrinking, sequential fallback — and never
+    /// aborts.
+    pub fn with_shadow_budget(mut self, bytes: Option<u64>) -> Self {
+        self.shadow_budget = bytes;
+        self
+    }
+
     pub(crate) fn engine_cfg(&self) -> EngineCfg {
         EngineCfg {
             p: self.p,
@@ -258,6 +279,7 @@ impl RunConfig {
             commit_prefix_on_failure: true,
             fault: None,
             capture_deltas: false,
+            budget: Arc::new(rlrpd_shadow::ShadowBudget::new(self.shadow_budget)),
         }
     }
 }
@@ -673,6 +695,8 @@ impl Runner {
             let violation = outcome.violation;
             let exit = outcome.exit;
             let fault = outcome.fault;
+            let shadow_pressure = outcome.shadow_pressure;
+            let shadow_relieved = outcome.shadow_relieved;
             // The frontier this stage's commit advanced to: everything
             // below it is permanently correct.
             let frontier = match (exit, violation) {
@@ -705,6 +729,29 @@ impl Runner {
             let Some(q) = violation else { break };
             report.restarts += 1;
             let restart = frontier;
+            if shadow_pressure {
+                // Budget exhaustion is contained like a speculation
+                // fault, but it is an execution-environment event, not
+                // an observation about the loop's dependence structure:
+                // it must not pollute the observed-first-dependence
+                // record or the genuine-fault detector. With the
+                // per-array ladder exhausted, the fixed strategies'
+                // only remaining rung is direct execution.
+                if !shadow_relieved {
+                    sequential_fallback(
+                        engine,
+                        &cfg,
+                        &mut report,
+                        restart,
+                        FallbackReason::ShadowBudget,
+                        journal,
+                    )?;
+                    break;
+                }
+                commit_point = restart;
+                schedule = schedule.nrd_restart(q);
+                continue;
+            }
             // The first failed stage's restart point is the run-time
             // observation of the first dependence sink (block-aligned
             // lower bound; stages execute in commit order, so the first
@@ -767,6 +814,18 @@ impl Runner {
     ) -> RunResult<T> {
         report.wall_seconds = report.stages.iter().map(|s| s.wall_seconds).sum();
         report.predicted_first_dependence = self.cfg.predicted_first_dependence;
+        report.shadow_budget = self.cfg.shadow_budget;
+        report.shadow_reprs = engine
+            .tested_ids
+            .iter()
+            .zip(&engine.tested_shadow)
+            .map(|(&id, kind)| {
+                (
+                    engine.meta[id].name.to_string(),
+                    kind.to_choice().describe().to_string(),
+                )
+            })
+            .collect();
         if matches!(
             self.cfg.balance,
             BalancePolicy::FeedbackGuided | BalancePolicy::FeedbackTrend

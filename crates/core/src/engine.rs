@@ -7,7 +7,7 @@
 //! everything inside a stage is identical and lives here.
 
 use crate::analysis::{analyze, AnalysisResult, DepArc};
-use crate::array::{ArrayDecl, ArrayKind};
+use crate::array::{ArrayDecl, ArrayKind, ShadowKind};
 use crate::buf::SharedBuf;
 use crate::checkpoint::{CheckpointPolicy, EagerSnapshot, WriteLog};
 use crate::commit::commit_tested;
@@ -20,7 +20,7 @@ use rlrpd_runtime::{
     panic_message, BlockSchedule, CostModel, ExecMode, Executor, FaultPlan, InjectedFault,
     OverheadKind, ProcId, StageStats, StageTiming,
 };
-use rlrpd_shadow::IterMarks;
+use rlrpd_shadow::{IterMarks, ShadowBudget};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -49,6 +49,11 @@ pub struct EngineCfg {
     /// writes (the crash journal's payload). `false` skips all capture
     /// work — the no-journal path.
     pub capture_deltas: bool,
+    /// The run's shared shadow-memory accountant. Every engine of one
+    /// run (strategy driver, baseline, distributed supervisor) charges
+    /// the same budget, so the cap governs the run's total footprint.
+    /// [`ShadowBudget::unlimited`] is the zero-pressure default.
+    pub budget: Arc<ShadowBudget>,
 }
 
 /// Per-block (per-processor) speculative state for one stage.
@@ -129,6 +134,16 @@ pub(crate) struct StageOutcome<T: Value> {
     /// Committed-write delta for the crash journal (`Some` iff
     /// [`EngineCfg::capture_deltas`]).
     pub delta: Option<StageDelta<T>>,
+    /// The shadow footprint crossed the budget cap during this stage.
+    /// The stage committed nothing (contained like a speculation fault:
+    /// untested writes restored, views rebuilt) and must re-execute
+    /// from `restart_iter` under the new configuration.
+    pub shadow_pressure: bool,
+    /// Relief made ladder progress (at least one array down-tiered its
+    /// representation). `shadow_pressure && !shadow_relieved` means the
+    /// per-array ladder is exhausted: the driver's window-shrink or
+    /// sequential-fallback rung must take over.
+    pub shadow_relieved: bool,
 }
 
 /// The speculative execution engine for one loop run.
@@ -139,6 +154,12 @@ pub(crate) struct Engine<'l, T: Value> {
     pub shared: Vec<SharedBuf<T>>,
     /// slot -> array declaration index.
     pub tested_ids: Vec<usize>,
+    /// slot -> declared size (migration rebuilds views from these).
+    pub tested_sizes: Vec<usize>,
+    /// slot -> *current* shadow representation: starts at the declared
+    /// kind (possibly down-tiered at construction to fit the budget)
+    /// and is re-decided at every commit point from observed density.
+    pub tested_shadow: Vec<ShadowKind>,
     pub reductions: Vec<Option<Reduction<T>>>,
     /// slot -> array declaration index for untested arrays.
     pub untested_ids: Vec<usize>,
@@ -161,6 +182,9 @@ pub(crate) struct Engine<'l, T: Value> {
     /// The worker fleet was lost (or never launched) at some point of
     /// this run — reported as [`crate::FallbackReason::WorkerLoss`].
     pub worker_loss: bool,
+    /// Shadow bytes this engine has charged to the budget accountant so
+    /// far (accounting is by delta at phase boundaries).
+    pub accounted_bytes: u64,
 }
 
 impl<'l, T: Value> Engine<'l, T> {
@@ -228,12 +252,14 @@ impl<'l, T: Value> Engine<'l, T> {
             })
             .collect();
 
-        Engine {
+        let mut eng = Engine {
             lp,
             n,
             meta,
             shared,
             tested_ids,
+            tested_sizes,
+            tested_shadow,
             reductions,
             untested_ids,
             states,
@@ -245,6 +271,63 @@ impl<'l, T: Value> Engine<'l, T> {
             stage_ordinal: 0,
             remote: None,
             worker_loss: false,
+            accounted_bytes: 0,
+        };
+        eng.enforce_budget_at_entry();
+        eng
+    }
+
+    /// Current shadow footprint of every view, in bytes.
+    fn shadow_bytes_now(&self) -> u64 {
+        self.states
+            .iter()
+            .flat_map(|st| st.views.iter())
+            .map(ProcView::shadow_bytes)
+            .sum()
+    }
+
+    /// Reconcile the budget accountant with the views' current
+    /// footprint (charge or release the delta since the last call).
+    pub(crate) fn account_shadow(&mut self) {
+        let now = self.shadow_bytes_now();
+        let was = self.accounted_bytes;
+        if now > was {
+            self.cfg.budget.charge(now - was);
+        } else {
+            self.cfg.budget.release(was - now);
+        }
+        self.accounted_bytes = now;
+    }
+
+    /// With a cap armed, down-tier the freshly built representations
+    /// (largest footprint first) until they fit — a worker handed a
+    /// budget smaller than its static selection assumed degrades here
+    /// instead of crashing. Ladder exhaustion is not an error: the
+    /// first stage's pressure check and the driver's window-shrink /
+    /// sequential-fallback rungs take over from there.
+    pub(crate) fn enforce_budget_at_entry(&mut self) {
+        self.account_shadow();
+        if !self.cfg.budget.is_limited() {
+            return;
+        }
+        while self.cfg.budget.over() {
+            let target = (0..self.tested_ids.len())
+                .filter(|&s| self.tested_shadow[s].down_tier().is_some())
+                .max_by_key(|&s| {
+                    self.states
+                        .iter()
+                        .map(|st| st.views[s].shadow_bytes())
+                        .sum::<u64>()
+                });
+            let Some(slot) = target else { return };
+            let next = self.tested_shadow[slot]
+                .down_tier()
+                .expect("filtered above");
+            self.tested_shadow[slot] = next;
+            for st in &mut self.states {
+                st.views[slot].migrate(next);
+            }
+            self.account_shadow();
         }
     }
 
@@ -395,6 +478,63 @@ impl<'l, T: Value> Engine<'l, T> {
         let timed = self.executor.mode() != ExecMode::Simulated;
         stats.phases.execute_seconds = timing.wall_seconds;
 
+        // 3.5 Budget accounting at the execute→analysis boundary: the
+        // shadows grew during the doall; charge the delta and decide
+        // whether the run is under budget pressure. Injected pressure
+        // charges phantom bytes (they show in the peak) and releases
+        // them immediately — only a run with a cap armed can trip.
+        self.account_shadow();
+        let mut pressured = self.cfg.budget.over();
+        let mut phantom = 0u64;
+        if let Some(plan) = &fault_plan {
+            if let Some(bytes) = plan.shadow_pressure(stage) {
+                self.cfg.budget.charge(bytes);
+                if self.cfg.budget.over() {
+                    pressured = true;
+                    // The injected spike is real pressure to the relief
+                    // ladder: the representations must shed enough
+                    // bytes to absorb it, or the ladder is exhausted.
+                    phantom = bytes;
+                }
+                self.cfg.budget.release(bytes);
+            }
+        }
+        if pressured {
+            // Containment, exactly like a speculation fault whose sink
+            // is block 0: nothing commits, every untested write is
+            // restored, and the whole stage re-executes — under a
+            // smaller configuration when the relief ladder made
+            // progress, under the driver's window-shrink or
+            // sequential-fallback rung when it did not. Never an abort.
+            stats.shadow_pressure_events = 1;
+            for buf in &mut self.shared {
+                buf.new_epoch();
+            }
+            if !self.untested_ids.is_empty() {
+                let max_restored = self.restore_untested_writes(0, snapshot.as_ref(), stage)?;
+                stats.overhead.add(
+                    OverheadKind::Restore,
+                    max_restored as f64 * cost.restore_per_elem,
+                );
+            }
+            let relieved = self.relieve_pressure(phantom, &mut stats);
+            self.rebuild_views();
+            self.account_shadow();
+            stats.shadow_bytes_peak = stats.shadow_bytes_peak.max(self.cfg.budget.peak());
+            return Ok(StageOutcome {
+                violation: Some(0),
+                restart_iter: Some(schedule.block_start(0)),
+                stats,
+                arcs: Vec::new(),
+                committed_marks: Vec::new(),
+                exit: None,
+                fault: None,
+                delta: self.cfg.capture_deltas.then(StageDelta::default),
+                shadow_pressure: true,
+                shadow_relieved: relieved,
+            });
+        }
+
         // 4. Analysis: merge shadows, locate the earliest sink. The
         // tree merge over p shadows costs O(max_touched · log p).
         let phase_start = std::time::Instant::now();
@@ -481,44 +621,8 @@ impl<'l, T: Value> Engine<'l, T> {
         // 6. Restore untested state written by failed or dead blocks.
         let phase_start = std::time::Instant::now();
         if (violation.is_some() || exit.is_some()) && !self.untested_ids.is_empty() {
-            let mut max_restored = 0usize;
-            for (off, st) in self.states[commit_upto..].iter().enumerate() {
-                let pos = commit_upto + off;
-                let restored = st.wlog.num_written();
-                match st.wlog.policy() {
-                    CheckpointPolicy::OnDemand => {
-                        for (slot, elem, old) in st.wlog.undo_rev() {
-                            // SAFETY: each failed block restores only the
-                            // elements it wrote, disjoint by the untested
-                            // contract; commit wrote only tested arrays.
-                            unsafe {
-                                self.shared[self.untested_ids[slot]].set(elem, old, pos as u32)
-                            };
-                        }
-                    }
-                    CheckpointPolicy::Eager => {
-                        // A missing snapshot under the eager policy is
-                        // an engine bug; surface it as a structured
-                        // error rather than aborting a long run.
-                        let snap = snapshot
-                            .as_ref()
-                            .ok_or_else(|| RlrpdError::StageInvariant {
-                                message: format!(
-                                    "eager policy took no snapshot before stage {stage}"
-                                ),
-                            })?;
-                        for (slot, &id) in self.untested_ids.iter().enumerate() {
-                            for elem in st.wlog.written(slot) {
-                                // SAFETY: as above.
-                                unsafe {
-                                    self.shared[id].set(elem, snap.value(slot, elem), pos as u32)
-                                };
-                            }
-                        }
-                    }
-                }
-                max_restored = max_restored.max(restored);
-            }
+            let max_restored =
+                self.restore_untested_writes(commit_upto, snapshot.as_ref(), stage)?;
             stats.overhead.add(
                 OverheadKind::Restore,
                 max_restored as f64 * cost.restore_per_elem,
@@ -567,6 +671,18 @@ impl<'l, T: Value> Engine<'l, T> {
         );
         let record = self.record_marks;
         let num_slots = self.tested_ids.len();
+        // Per-slot observed density for the commit-point re-selection
+        // below: the densest processor's distinct-touch count, captured
+        // before the clear wipes it.
+        let observed: Vec<usize> = (0..num_slots)
+            .map(|slot| {
+                self.states
+                    .iter()
+                    .map(|st| st.views[slot].num_touched())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
         self.executor.run_blocks(&mut self.states, |_, st| {
             for v in &mut st.views {
                 v.clear();
@@ -581,6 +697,18 @@ impl<'l, T: Value> Engine<'l, T> {
             stats.phases.shadow_clear_seconds = phase_start.elapsed().as_secs_f64();
         }
 
+        // 8.5 Commit-point re-selection: with the stage's work safely
+        // committed or restored and the views empty, re-decide each
+        // array's representation from the observed touch density and
+        // migrate (O(1) per unchanged slot). Then reconcile the
+        // accountant: this is where dense→sparse migrations give bytes
+        // back.
+        // Max-fold rather than overwrite: on a distributed stage the
+        // workers' reported footprints are already folded in.
+        self.reselect_shadows(&observed, &mut stats);
+        self.account_shadow();
+        stats.shadow_bytes_peak = stats.shadow_bytes_peak.max(self.cfg.budget.peak());
+
         // 9. Barrier.
         stats.overhead.add(OverheadKind::Sync, cost.sync);
 
@@ -593,7 +721,183 @@ impl<'l, T: Value> Engine<'l, T> {
             exit: exit.map(|(_, e)| e),
             fault,
             delta,
+            shadow_pressure: false,
+            shadow_relieved: false,
         })
+    }
+
+    /// Restore every untested-array element written by the blocks at
+    /// positions `commit_upto..` (their work is discarded), returning
+    /// the largest per-block restore count for overhead accounting —
+    /// the body of phase 6 of [`Engine::run_stage`], shared with the
+    /// budget-pressure containment path (which restores *all* blocks).
+    fn restore_untested_writes(
+        &mut self,
+        commit_upto: usize,
+        snapshot: Option<&EagerSnapshot<T>>,
+        stage: usize,
+    ) -> Result<usize, RlrpdError> {
+        let mut max_restored = 0usize;
+        for (off, st) in self.states[commit_upto..].iter().enumerate() {
+            let pos = commit_upto + off;
+            let restored = st.wlog.num_written();
+            match st.wlog.policy() {
+                CheckpointPolicy::OnDemand => {
+                    for (slot, elem, old) in st.wlog.undo_rev() {
+                        // SAFETY: each failed block restores only the
+                        // elements it wrote, disjoint by the untested
+                        // contract; commit wrote only tested arrays.
+                        unsafe { self.shared[self.untested_ids[slot]].set(elem, old, pos as u32) };
+                    }
+                }
+                CheckpointPolicy::Eager => {
+                    // A missing snapshot under the eager policy is
+                    // an engine bug; surface it as a structured
+                    // error rather than aborting a long run.
+                    let snap = snapshot.ok_or_else(|| RlrpdError::StageInvariant {
+                        message: format!("eager policy took no snapshot before stage {stage}"),
+                    })?;
+                    for (slot, &id) in self.untested_ids.iter().enumerate() {
+                        for elem in st.wlog.written(slot) {
+                            // SAFETY: as above.
+                            unsafe {
+                                self.shared[id].set(elem, snap.value(slot, elem), pos as u32)
+                            };
+                        }
+                    }
+                }
+            }
+            max_restored = max_restored.max(restored);
+        }
+        Ok(max_restored)
+    }
+
+    /// Budget-pressure relief: walk the largest-footprint arrays down
+    /// the dense→packed→sparse ladder until the projected footprint
+    /// (from observed touch counts, plus any injected `extra` bytes the
+    /// fault plan charged) fits the cap or the ladder runs out. Returns
+    /// whether any representation changed — `false` means the ladder is
+    /// exhausted and the driver's window-shrink or sequential-fallback
+    /// rung must relieve the pressure instead.
+    fn relieve_pressure(&mut self, extra: u64, stats: &mut StageStats) -> bool {
+        let Some(cap) = self.cfg.budget.cap() else {
+            return false;
+        };
+        let p = self.cfg.p as u64;
+        let mut by_size: Vec<(usize, u64, usize)> = (0..self.tested_ids.len())
+            .map(|slot| {
+                let bytes = self
+                    .states
+                    .iter()
+                    .map(|st| st.views[slot].shadow_bytes())
+                    .sum();
+                let touched = self
+                    .states
+                    .iter()
+                    .map(|st| st.views[slot].num_touched())
+                    .max()
+                    .unwrap_or(0);
+                (slot, bytes, touched)
+            })
+            .collect();
+        by_size.sort_by_key(|&(_, bytes, _)| std::cmp::Reverse(bytes));
+        let mut total: u64 = by_size
+            .iter()
+            .map(|&(_, b, _)| b)
+            .sum::<u64>()
+            .saturating_add(extra);
+        let mut changed = false;
+        for &(slot, bytes, touched) in &by_size {
+            if total <= cap {
+                break;
+            }
+            let Some(next) = self.tested_shadow[slot].down_tier() else {
+                continue;
+            };
+            self.tested_shadow[slot] = next;
+            stats.shadow_migrations += 1;
+            changed = true;
+            let projected =
+                p * rlrpd_shadow::footprint(next.to_choice(), self.tested_sizes[slot], touched);
+            total = total.saturating_sub(bytes).saturating_add(projected);
+        }
+        changed
+    }
+
+    /// Rebuild every view fresh from the current per-slot kinds —
+    /// the pressure path's replacement for the O(touched) clear. A
+    /// fresh build (unlike `clear`, which keeps allocations for reuse)
+    /// actually returns memory: already-sparse slots drop their hash
+    /// capacity too, so relief is real even below the ladder.
+    fn rebuild_views(&mut self) {
+        let record = self.record_marks;
+        let num_slots = self.tested_ids.len();
+        for st in &mut self.states {
+            for (slot, v) in st.views.iter_mut().enumerate() {
+                *v = ProcView::new(
+                    self.tested_sizes[slot],
+                    self.tested_shadow[slot],
+                    self.reductions[slot],
+                );
+            }
+            st.wlog.clear();
+            if record {
+                st.marks = (0..num_slots).map(|_| IterMarks::new()).collect();
+            }
+        }
+    }
+
+    /// Re-decide every array's representation from this stage's
+    /// observed per-processor touch density (slots the stage never
+    /// touched keep their current pick), clamp the set to the budget
+    /// cap largest-projected-first, and migrate the views whose kind
+    /// changed.
+    fn reselect_shadows(&mut self, observed: &[usize], stats: &mut StageStats) {
+        let p = self.cfg.p as u64;
+        let num_slots = self.tested_ids.len();
+        let current: Vec<ShadowKind> = self.tested_shadow.clone();
+        let mut choices: Vec<rlrpd_shadow::ShadowChoice> = (0..num_slots)
+            .map(|slot| {
+                if observed[slot] == 0 {
+                    current[slot].to_choice()
+                } else {
+                    rlrpd_shadow::choose(self.tested_sizes[slot], observed[slot], None)
+                }
+            })
+            .collect();
+        if let Some(cap) = self.cfg.budget.cap() {
+            loop {
+                let foot: Vec<u64> = (0..num_slots)
+                    .map(|slot| {
+                        p * rlrpd_shadow::footprint(
+                            choices[slot],
+                            self.tested_sizes[slot],
+                            observed[slot],
+                        )
+                    })
+                    .collect();
+                if foot.iter().sum::<u64>() <= cap {
+                    break;
+                }
+                let Some(slot) = (0..num_slots)
+                    .filter(|&s| choices[s].down_tier().is_some())
+                    .max_by_key(|&s| foot[s])
+                else {
+                    break;
+                };
+                choices[slot] = choices[slot].down_tier().expect("filtered above");
+            }
+        }
+        for slot in 0..num_slots {
+            let kind = ShadowKind::from_choice(choices[slot]);
+            if kind != current[slot] {
+                self.tested_shadow[slot] = kind;
+                for st in &mut self.states {
+                    st.views[slot].migrate(kind);
+                }
+                stats.shadow_migrations += 1;
+            }
+        }
     }
 
     /// Execute the stage's blocks on the in-process executor, containing

@@ -74,7 +74,7 @@ pub const MAX_FRAME: usize = 256 << 20;
 /// 64 for a standalone worker) *before* any block work — a mismatched
 /// binary must be rejected at the handshake, not surface later as chain
 /// divergence.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Wire mark code: exposed read only (consumed shared data, produced
 /// nothing).
@@ -222,6 +222,12 @@ pub struct WireHello {
     /// (`0` = the worker's built-in default). Set by the transport
     /// connector from its `DistPolicy`, not by the engine.
     pub heartbeat_millis: u32,
+    /// Shadow-memory budget every worker must enforce, in bytes
+    /// (`0` = unlimited). Stamped from the supervisor's own cap so a
+    /// distributed run degrades identically on every host; a worker
+    /// whose freshly built shadows exceed it down-tiers representations
+    /// at construction instead of crashing.
+    pub shadow_budget: u64,
     /// The run's journal-header record bytes (a
     /// [`crate::journal::JournalHeader`] chained from the journal
     /// seed): loop shape, array layout, element type.
@@ -238,6 +244,7 @@ impl WireHello {
         w.u32(self.protocol);
         w.u64(self.run_id);
         w.u32(self.heartbeat_millis);
+        w.u64(self.shadow_budget);
         w.u64(self.header.len() as u64);
         w.raw(&self.header);
         w.u64(self.spec.len() as u64);
@@ -253,6 +260,7 @@ impl WireHello {
         let protocol = r.u32()?;
         let run_id = r.u64()?;
         let heartbeat_millis = r.u32()?;
+        let shadow_budget = r.u64()?;
         let hl = r.u64()? as usize;
         if hl > r.remaining() {
             return Err(PersistError::Corrupt);
@@ -268,6 +276,7 @@ impl WireHello {
             protocol,
             run_id,
             heartbeat_millis,
+            shadow_budget,
             header,
             spec,
         })
@@ -404,6 +413,10 @@ pub struct BlockReply {
     pub untested: Vec<Vec<(u32, u64)>>,
     /// `(iteration, cost)` pairs executed, in execution order.
     pub iter_costs: Vec<(u32, f64)>,
+    /// The worker's shadow footprint (bytes) while this block's marks
+    /// were live — folded (max) into the supervisor's
+    /// `shadow_bytes_peak` so the report reflects the whole fleet.
+    pub shadow_bytes: u64,
 }
 
 /// Sentinel for "no exit" / "no fault" flags on the wire.
@@ -447,6 +460,7 @@ impl BlockReply {
             w.u32(iter);
             w.u64(cost.to_bits());
         }
+        w.u64(self.shadow_bytes);
         w.finish()
     }
 
@@ -520,6 +534,7 @@ impl BlockReply {
             let iter = r.u32()?;
             iter_costs.push((iter, f64::from_bits(r.u64()?)));
         }
+        let shadow_bytes = r.u64()?;
         r.done()?;
         Ok(BlockReply {
             chain,
@@ -529,6 +544,7 @@ impl BlockReply {
             tested,
             untested,
             iter_costs,
+            shadow_bytes,
         })
     }
 }
@@ -725,6 +741,7 @@ impl<T: Value> Engine<'_, T> {
         let mut fault: Option<FaultEvent> = None;
         let mut per_block_cost = vec![0.0; schedule.num_blocks()];
         for (pos, reply) in replies.into_iter().enumerate() {
+            stats.shadow_bytes_peak = stats.shadow_bytes_peak.max(reply.shadow_bytes);
             let st = &mut self.states[pos];
             st.iter_costs.clear();
             st.iter_costs.extend_from_slice(&reply.iter_costs);
@@ -844,6 +861,7 @@ pub(crate) fn attach_remote<T: Value + JournalElem>(
         // 0 = worker default; the transport connector overrides this
         // from its policy before the hello goes on a wire.
         heartbeat_millis: 0,
+        shadow_budget: engine.cfg.budget.cap().unwrap_or(0),
         header: header.encode(CHAIN_SEED),
         spec: spec.to_string(),
     };
@@ -913,6 +931,9 @@ pub fn serve_worker<T: Value + JournalElem>(
             commit_prefix_on_failure: true,
             fault: None,
             capture_deltas: false,
+            budget: std::sync::Arc::new(rlrpd_shadow::ShadowBudget::new(
+                (hello.shadow_budget != 0).then_some(hello.shadow_budget),
+            )),
         },
         false,
     );
@@ -1099,6 +1120,11 @@ fn run_block<T: Value + JournalElem>(engine: &mut Engine<'_, T>, req: &BlockRequ
         tested,
         untested,
         iter_costs: st.iter_costs.clone(),
+        shadow_bytes: st
+            .views
+            .iter()
+            .map(crate::view::ProcView::shadow_bytes)
+            .sum(),
     };
 
     // Roll back: restore untested writes, drop all speculative state.
@@ -1111,6 +1137,11 @@ fn run_block<T: Value + JournalElem>(engine: &mut Engine<'_, T>, req: &BlockRequ
         v.clear();
     }
     st.wlog.clear();
+    // Worker-side governance: a block that grew a sparse shadow past
+    // the hello's cap down-tiers here (cleared views keep their
+    // allocations, so the accountant still sees the growth) — the
+    // worker degrades rather than outgrowing the budget it was handed.
+    engine.enforce_budget_at_entry();
     reply
 }
 
@@ -1328,6 +1359,7 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             run_id: 0x1234_0000_0042,
             heartbeat_millis: 25,
+            shadow_budget: 4 << 20,
             header: vec![1, 2, 3, 4, 5],
             spec: "rlp:A[i] = A[i - 1];".into(),
         };
@@ -1378,6 +1410,7 @@ mod tests {
             ],
             untested: vec![vec![(5, 8.0f64.to_bits()), (6, 9.0f64.to_bits())], vec![]],
             iter_costs: vec![(100, 1.0), (101, 2.5)],
+            shadow_bytes: 12_288,
         };
         assert_eq!(BlockReply::decode(&reply.encode()).unwrap(), reply);
         crate::persist::assert_decode_hardened(&reply.encode(), BlockReply::decode);
@@ -1606,6 +1639,7 @@ mod tests {
             commit_prefix_on_failure: true,
             fault: None,
             capture_deltas: false,
+            budget: std::sync::Arc::new(rlrpd_shadow::ShadowBudget::new(None)),
         };
         let engine = Engine::new(&lp, ecfg, false);
         let header = JournalHeader {
@@ -1619,6 +1653,7 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             run_id: fresh_run_id(),
             heartbeat_millis: 0,
+            shadow_budget: 0,
             header: header.encode(CHAIN_SEED),
             spec: "loopback".into(),
         };
@@ -1641,6 +1676,7 @@ mod tests {
             protocol: PROTOCOL_VERSION + 1,
             run_id: fresh_run_id(),
             heartbeat_millis: 0,
+            shadow_budget: 0,
             // Garbage header: the version check must fire first, so a
             // future binary whose header layout we cannot parse still
             // gets a version-mismatch diagnostic, not "bad header".
@@ -1673,6 +1709,7 @@ mod tests {
             commit_prefix_on_failure: true,
             fault: None,
             capture_deltas: false,
+            budget: std::sync::Arc::new(rlrpd_shadow::ShadowBudget::new(None)),
         };
         let engine = Engine::new(&lp, ecfg, false);
         let header = JournalHeader {
@@ -1686,6 +1723,7 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             run_id: fresh_run_id(),
             heartbeat_millis: 10,
+            shadow_budget: 0,
             header: header.encode(CHAIN_SEED),
             spec: "loopback".into(),
         };

@@ -37,6 +37,15 @@ pub struct RunReport {
     /// lower bound on the true sink iteration. `None` for a run that
     /// never failed a stage.
     pub observed_first_dependence: Option<usize>,
+    /// The run's shadow-memory cap in bytes, copied from the
+    /// configuration (`None` = unlimited).
+    #[serde(default)]
+    pub shadow_budget: Option<u64>,
+    /// Per tested array, in declaration order: `(name, final shadow
+    /// representation)` at the end of the run — the observable trace of
+    /// commit-point re-selection and budget degradation.
+    #[serde(default)]
+    pub shadow_reprs: Vec<(String, String)>,
 }
 
 impl RunReport {
@@ -130,6 +139,29 @@ impl RunReport {
         }
         total
     }
+
+    /// Peak shadow-memory footprint over the run, in bytes: the max
+    /// over stages of the accountant's high-water mark (monotone within
+    /// a run, so this is the final stage's reading; distributed runs
+    /// fold worker peaks in per stage).
+    pub fn shadow_bytes_peak(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.shadow_bytes_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Shadow-representation migrations across all stages (commit-point
+    /// re-selections plus budget-relief down-tiers).
+    pub fn shadow_migrations(&self) -> usize {
+        self.stages.iter().map(|s| s.shadow_migrations).sum()
+    }
+
+    /// Budget-pressure events contained across all stages.
+    pub fn shadow_pressure_events(&self) -> usize {
+        self.stages.iter().map(|s| s.shadow_pressure_events).sum()
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -198,6 +230,31 @@ impl std::fmt::Display for RunReport {
                 self.stages.iter().filter(|s| s.journal_bytes > 0).count(),
                 self.journal_seconds()
             )?;
+        }
+        if self.shadow_budget.is_some()
+            || self.shadow_migrations() > 0
+            || self.shadow_pressure_events() > 0
+        {
+            write!(f, "shadow: peak {} bytes", self.shadow_bytes_peak())?;
+            match self.shadow_budget {
+                Some(cap) => write!(f, " of {cap} budget")?,
+                None => write!(f, " (unlimited budget)")?,
+            }
+            write!(
+                f,
+                ", {} migrations, {} pressure events",
+                self.shadow_migrations(),
+                self.shadow_pressure_events()
+            )?;
+            if !self.shadow_reprs.is_empty() {
+                let reprs: Vec<String> = self
+                    .shadow_reprs
+                    .iter()
+                    .map(|(n, r)| format!("{n}={r}"))
+                    .collect();
+                write!(f, "; final reprs: {}", reprs.join(", "))?;
+            }
+            writeln!(f)?;
         }
         writeln!(
             f,

@@ -64,6 +64,7 @@ pub struct ProcView<T> {
     accum: Option<PrivStore<T>>,
     op: Option<Reduction<T>>,
     shadow: Shadow,
+    size: usize,
     refs: u64,
 }
 
@@ -92,6 +93,7 @@ impl<T: Value> ProcView<T> {
             accum,
             op,
             shadow,
+            size,
             refs: 0,
         }
     }
@@ -243,6 +245,62 @@ impl<T: Value> ProcView<T> {
             a.clear();
         }
         self.refs = 0;
+    }
+
+    /// Shadow memory this view holds, in bytes (what the view reports
+    /// through the footprint accountant; sparse is a capacity-based
+    /// estimate).
+    pub fn shadow_bytes(&self) -> u64 {
+        self.shadow.shadow_bytes()
+    }
+
+    /// The representation this view's shadow currently uses.
+    pub fn shadow_kind(&self) -> ShadowKind {
+        ShadowKind::from_choice(self.shadow.choice())
+    }
+
+    /// Migrate this view to representation `kind`, carrying every piece
+    /// of live state across: shadow marks, private written values, and
+    /// reduction deltas.
+    ///
+    /// **Byte-identity guarantee:** after migration the view answers
+    /// every query identically — `mark(e)`, `written_value(e)`,
+    /// `reduction_delta(e)`, `num_touched()`, `refs()`, and the touched
+    /// *set* (touched *order* may differ; analysis must not depend on
+    /// it). The engine invokes this at commit points, where views are
+    /// empty and migration is O(1); the proptest suite holds it to the
+    /// contract on fully live views too.
+    pub fn migrate(&mut self, kind: ShadowKind) {
+        let choice = kind.to_choice();
+        if self.shadow.choice() != choice {
+            self.shadow = self.shadow.migrated(choice, self.size);
+        }
+        let dense_target = !matches!(kind, ShadowKind::Sparse);
+        let dense_now = matches!(self.store, PrivStore::Dense(_));
+        if dense_target != dense_now {
+            let mut store = if dense_target {
+                PrivStore::Dense(vec![T::default(); self.size])
+            } else {
+                PrivStore::Sparse(HashMap::default())
+            };
+            let mut accum = self.accum.as_ref().map(|_| {
+                if dense_target {
+                    PrivStore::Dense(vec![T::default(); self.size])
+                } else {
+                    PrivStore::Sparse(HashMap::default())
+                }
+            });
+            for (e, m) in self.shadow.touched() {
+                if m.is_written() {
+                    store.set(e, self.store.get(e));
+                } else if m.is_reduction_only() {
+                    let old = self.accum.as_ref().expect("reduction mark without accum");
+                    accum.as_mut().expect("accum").set(e, old.get(e));
+                }
+            }
+            self.store = store;
+            self.accum = accum;
+        }
     }
 }
 

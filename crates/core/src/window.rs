@@ -160,6 +160,43 @@ pub(crate) fn run_window<T: Value>(
                     .ok_or_else(|| RlrpdError::StageInvariant {
                         message: "violation implies a restart point".into(),
                     })?;
+                if outcome.shadow_pressure {
+                    // Budget pressure, not a dependence: nothing
+                    // committed, the window re-executes from its own
+                    // start. The representation ladder is tried first
+                    // (run_stage already down-tiered when it could);
+                    // once exhausted, the window itself shrinks — a
+                    // smaller window touches fewer elements per stage —
+                    // and only a single-iteration window that still
+                    // cannot fit falls back to sequential.
+                    if !outcome.shadow_relieved {
+                        if w == 1 {
+                            journal_stage(
+                                journal,
+                                &mut outcome.stats,
+                                restart,
+                                None,
+                                outcome.delta,
+                            )?;
+                            report.stages.push(outcome.stats);
+                            sequential_fallback(
+                                engine,
+                                cfg,
+                                &mut report,
+                                restart,
+                                FallbackReason::ShadowBudget,
+                                journal,
+                            )?;
+                            break;
+                        }
+                        w = (w / 2).max(1);
+                    }
+                    commit_point = restart;
+                    rotation = schedule.blocks()[q].proc.index();
+                    journal_stage(journal, &mut outcome.stats, restart, None, outcome.delta)?;
+                    report.stages.push(outcome.stats);
+                    continue;
+                }
                 // Windows execute in commit order, so the first failed
                 // window's restart point is the earliest observed
                 // dependence sink (block-aligned lower bound).

@@ -97,19 +97,23 @@ fn frame() -> impl Strategy<Value = Vec<u8>> {
             any::<u32>(),
             any::<u64>(),
             any::<u32>(),
+            any::<u64>(),
             prop::collection::vec(any::<u8>(), 0..96),
             "[ -~]{0,48}",
         )
-            .prop_map(|(protocol, run_id, heartbeat_millis, header, spec)| {
-                WireHello {
-                    protocol,
-                    run_id,
-                    heartbeat_millis,
-                    header,
-                    spec,
-                }
-                .encode()
-            }),
+            .prop_map(
+                |(protocol, run_id, heartbeat_millis, shadow_budget, header, spec)| {
+                    WireHello {
+                        protocol,
+                        run_id,
+                        heartbeat_millis,
+                        shadow_budget,
+                        header,
+                        spec,
+                    }
+                    .encode()
+                },
+            ),
         (
             any::<u64>(),
             any::<u32>(),
@@ -194,9 +198,10 @@ proptest! {
 fn every_two_chunk_split_decodes_identically() {
     let frames = vec![
         WireHello {
-            protocol: 2,
+            protocol: 3,
             run_id: 0xdead_beef_0000_0001,
             heartbeat_millis: 25,
+            shadow_budget: 1 << 20,
             header: vec![7u8; 33],
             spec: "rlp:array A[4] = 0; for i in 0..4 { A[i] = A[i] + 1; }".into(),
         }

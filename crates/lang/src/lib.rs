@@ -121,6 +121,39 @@ pub struct CompiledProgram {
     bytecode: Vec<LoopCode>,
     /// Which tier executes the loop bodies.
     backend: Backend,
+    /// Shadow-memory budget (bytes) the static shadow selection must
+    /// respect at loop entry: predicted-dense picks are clamped
+    /// down-tier when the dense footprint would blow the cap. `None` =
+    /// unlimited. The run-time accountant enforces the same cap against
+    /// *observed* footprints; this only shapes the starting point.
+    shadow_budget: Option<u64>,
+}
+
+/// One row of the observed-vs-predicted shadow audit
+/// (`rlrpd analyze --audit`): what the static touch-density model
+/// predicted for an array against the representation the run's
+/// commit-point re-selection converged on.
+#[derive(Clone, Debug)]
+pub struct DensityAuditRow {
+    /// Which loop the row concerns.
+    pub loop_index: usize,
+    /// Array name.
+    pub array: String,
+    /// Declared array size.
+    pub size: usize,
+    /// Statically predicted distinct elements touched.
+    pub predicted_touched: usize,
+    /// Representation the static selector chose from the prediction.
+    pub predicted_repr: &'static str,
+    /// Representation the run settled on after observing real touches.
+    pub observed_repr: String,
+}
+
+impl DensityAuditRow {
+    /// True when the prediction matched run-time behavior.
+    pub fn agrees(&self) -> bool {
+        self.predicted_repr == self.observed_repr
+    }
 }
 
 /// Results of running a whole program speculatively.
@@ -185,7 +218,17 @@ impl CompiledProgram {
             full_instrumentation: false,
             bytecode,
             backend: Backend::Bytecode,
+            shadow_budget: None,
         })
+    }
+
+    /// Arm a shadow-memory budget: the entry shadow selection clamps
+    /// dense picks down-tier so the predicted footprint fits `bytes`,
+    /// and callers should arm the same cap on the run config so the
+    /// run-time ladder takes over from there.
+    pub fn with_shadow_budget(mut self, bytes: Option<u64>) -> Self {
+        self.shadow_budget = bytes;
+        self
     }
 
     /// Disable shadow elision: every non-reduction array is declared
@@ -300,6 +343,40 @@ impl CompiledProgram {
         }
     }
 
+    /// Run the program speculatively and compare every instrumented
+    /// array's statically predicted shadow representation against the
+    /// one the run's commit-point re-selection settled on — the static
+    /// touch-density model audited against observed marking behavior.
+    pub fn density_audit(&self, cfg: RunConfig) -> Vec<DensityAuditRow> {
+        let res = self.run(cfg);
+        let mut rows = Vec::new();
+        for (k, report) in res.reports.iter().enumerate() {
+            for (decl, class) in self.program.arrays.iter().zip(&self.classes[k]) {
+                let touched = class.touch.map_or(0, |t| t.touched);
+                let predicted =
+                    rlrpd_shadow::select::choose(decl.size, touched, self.shadow_budget).describe();
+                // Only arrays the run actually instrumented appear on
+                // the report (elided arrays have no shadow to audit).
+                let Some((_, observed)) = report
+                    .shadow_reprs
+                    .iter()
+                    .find(|(name, _)| name == &decl.name)
+                else {
+                    continue;
+                };
+                rows.push(DensityAuditRow {
+                    loop_index: k,
+                    array: decl.name.clone(),
+                    size: decl.size,
+                    predicted_touched: touched,
+                    predicted_repr: predicted,
+                    observed_repr: observed.clone(),
+                });
+            }
+        }
+        rows
+    }
+
     /// Execute the whole program sequentially (ground truth).
     pub fn run_sequential(&self) -> Vec<(&'static str, Vec<f64>)> {
         let mut state = self.initial_arrays();
@@ -353,11 +430,12 @@ impl CompiledProgram {
                 // Shadow selection from the predicted touch density
                 // (arrays the loop never references predict 0 touches).
                 let touched = class.touch.map_or(0, |t| t.touched);
-                let shadow = match rlrpd_shadow::select::choose(decl.size, touched) {
-                    rlrpd_shadow::ShadowChoice::Dense => ShadowKind::Dense,
-                    rlrpd_shadow::ShadowChoice::Packed => ShadowKind::DensePacked,
-                    rlrpd_shadow::ShadowChoice::Sparse => ShadowKind::Sparse,
-                };
+                let shadow =
+                    match rlrpd_shadow::select::choose(decl.size, touched, self.shadow_budget) {
+                        rlrpd_shadow::ShadowChoice::Dense => ShadowKind::Dense,
+                        rlrpd_shadow::ShadowChoice::Packed => ShadowKind::DensePacked,
+                        rlrpd_shadow::ShadowChoice::Sparse => ShadowKind::Sparse,
+                    };
                 match class.class {
                     Class::Tested => ArrayDecl::tested(name, data.clone(), shadow),
                     // Shadow elision: a statically safe array gets no

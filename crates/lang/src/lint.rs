@@ -235,7 +235,7 @@ pub fn lint_classified(
                             t.density * 100.0,
                             t.touched,
                             decl.size,
-                            rlrpd_shadow::select::choose(decl.size, t.touched).describe(),
+                            rlrpd_shadow::select::choose(decl.size, t.touched, None).describe(),
                         ),
                     );
                 }

@@ -145,6 +145,14 @@ pub struct FaultPlan {
     /// `(site keyed by dispatch ordinal, directive)` — worker-process
     /// faults, delivered in the block request frame.
     worker_faults: Vec<(Site, WorkerFault)>,
+    /// `(site keyed by stage ordinal, phantom bytes)` — the engine
+    /// charges the bytes to its shadow-budget accountant at the end of
+    /// that stage's execute phase (and releases them immediately after
+    /// the pressure check), simulating a burst of shadow growth. The
+    /// injection only bites when a budget cap is armed: with an
+    /// unlimited budget the charge is accounted (it still shows in the
+    /// peak) but can never trip pressure.
+    shadow_pressure: Vec<(Site, u64)>,
 }
 
 impl FaultPlan {
@@ -244,6 +252,17 @@ impl FaultPlan {
         self
     }
 
+    /// Charge `bytes` of phantom shadow growth to the budget accountant
+    /// at the end of stage ordinal `stage`'s execute phase, one-shot.
+    /// Exercises the budget-pressure containment path (down-tier ladder,
+    /// window shrink, sequential fallback) deterministically; a run with
+    /// no budget cap armed records the charge in the peak but never
+    /// trips pressure.
+    pub fn shadow_pressure_at(mut self, stage: usize, bytes: u64) -> Self {
+        self.shadow_pressure.push((Site::new(0, stage), bytes));
+        self
+    }
+
     /// Derive a single-panic plan from `seed` for a loop of `n`
     /// iterations: the canonical "inject a panic into any one
     /// iteration" configuration of the containment acceptance suite,
@@ -266,6 +285,7 @@ impl FaultPlan {
             && self.io_fsync_fails.is_empty()
             && self.io_transients.is_empty()
             && self.worker_faults.is_empty()
+            && self.shadow_pressure.is_empty()
     }
 
     /// Should a panic fire for iteration `iter` on processor `proc`?
@@ -348,6 +368,18 @@ impl FaultPlan {
             .find(|(s, _)| s.iter as usize == dispatch && s.armed.swap(false, Ordering::Relaxed))
             .map(|(_, k)| *k)
     }
+
+    /// Phantom shadow bytes (if any) to charge at the end of stage
+    /// ordinal `stage`'s execute phase. Disarms the site (one-shot), so
+    /// the stage's re-execution under the degraded configuration runs
+    /// clean.
+    #[inline]
+    pub fn shadow_pressure(&self, stage: usize) -> Option<u64> {
+        self.shadow_pressure
+            .iter()
+            .find(|(s, _)| s.iter as usize == stage && s.armed.swap(false, Ordering::Relaxed))
+            .map(|(_, bytes)| *bytes)
+    }
 }
 
 impl std::fmt::Display for FaultPlan {
@@ -389,6 +421,9 @@ impl std::fmt::Display for FaultPlan {
                 WorkerFault::CorruptResult => "corrupt-result",
             };
             parts.push(format!("{name}@dispatch {}", s.iter));
+        }
+        for (s, bytes) in &self.shadow_pressure {
+            parts.push(format!("shadow-pressure@stage {} ({bytes} bytes)", s.iter));
         }
         if parts.is_empty() {
             write!(f, "no faults")
@@ -542,6 +577,20 @@ mod tests {
         assert!(text.contains("kill-worker@dispatch 0"), "{text}");
         assert!(text.contains("hang-worker@dispatch 3"), "{text}");
         assert!(text.contains("corrupt-result@dispatch 5"), "{text}");
+    }
+
+    #[test]
+    fn shadow_pressure_is_one_shot_and_keyed_by_stage() {
+        let plan = FaultPlan::new().shadow_pressure_at(2, 1 << 20);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.shadow_pressure(1), None);
+        assert_eq!(plan.shadow_pressure(2), Some(1 << 20));
+        assert_eq!(plan.shadow_pressure(2), None, "pressure site is one-shot");
+        let text = plan.to_string();
+        assert!(
+            text.contains("shadow-pressure@stage 2 (1048576 bytes)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -180,6 +180,22 @@ pub struct StageStats {
     /// their own respawn budget or failing a deterministic handshake
     /// check (0 except under distributed execution).
     pub quarantined: usize,
+    /// Peak shadow-memory footprint observed during this stage, in
+    /// bytes, summed across this engine's processors (the budget
+    /// accountant's high-water mark delta). Under distributed execution
+    /// the supervisor folds in the workers' own peaks.
+    #[serde(default)]
+    pub shadow_bytes_peak: u64,
+    /// Shadow-representation migrations performed at this stage's
+    /// commit point (re-selection from observed touch density) or by
+    /// the budget-pressure relief ladder.
+    #[serde(default)]
+    pub shadow_migrations: usize,
+    /// Budget-pressure events contained during this stage: the shadow
+    /// footprint crossed the cap and the stage re-executes under a
+    /// degraded configuration.
+    #[serde(default)]
+    pub shadow_pressure_events: usize,
 }
 
 impl StageStats {

@@ -92,6 +92,22 @@ impl DenseShadow {
         }
         self.touched.clear();
     }
+
+    /// Install a previously observed mark verbatim (representation
+    /// migration and replay). `mark` must be a touched, legal mark and
+    /// `elem` must currently be untouched.
+    pub fn restore(&mut self, elem: usize, mark: Mark) {
+        debug_assert!(mark.is_touched(), "restoring an untouched mark");
+        debug_assert!(!self.marks[elem].is_touched(), "restore over a live mark");
+        self.marks[elem] = mark;
+        self.touched.push(elem as u32);
+    }
+
+    /// Shadow memory held, in bytes: the mark array plus the touched
+    /// list's allocation (reported to the footprint accountant).
+    pub fn shadow_bytes(&self) -> usize {
+        self.marks.len() + self.touched.capacity() * 4
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::undocumented_unsafe_blocks)]
 
+pub mod budget;
 pub mod dense;
 pub mod hasher;
 pub mod iter_marks;
@@ -54,11 +55,12 @@ pub mod select;
 pub mod shadow;
 pub mod sparse;
 
+pub use budget::ShadowBudget;
 pub use dense::DenseShadow;
 pub use iter_marks::{ElemEvents, EventKind, IterMarks};
 pub use last_ref::LastRefTable;
 pub use marks::Mark;
 pub use packed::PackedShadow;
-pub use select::{choose, ShadowChoice};
+pub use select::{choose, clamp_to_budget, footprint, ShadowChoice};
 pub use shadow::Shadow;
 pub use sparse::SparseShadow;

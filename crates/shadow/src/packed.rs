@@ -151,9 +151,31 @@ impl PackedShadow {
         self.touched.clear();
     }
 
-    /// Shadow memory in bytes (for the footprint comparison).
+    /// Install a previously observed mark verbatim (representation
+    /// migration and replay): sets the bit planes directly, bypassing
+    /// the transition rules. `mark` must be a touched, legal mark and
+    /// `e` must currently be untouched.
+    pub fn restore(&mut self, e: usize, mark: Mark) {
+        debug_assert!(e < self.size);
+        debug_assert!(mark.is_touched(), "restoring an untouched mark");
+        debug_assert!(!self.is_touched(e), "restore over a live mark");
+        let (w, m) = slot(e);
+        if mark.is_written() {
+            self.write[w] |= m;
+        }
+        if mark.is_exposed_read() {
+            self.read[w] |= m;
+        }
+        if mark.is_reduction_only() {
+            self.red[w] |= m;
+        }
+        self.touched.push(e as u32);
+    }
+
+    /// Shadow memory in bytes: the bit planes plus the touched list's
+    /// allocation (reported to the footprint accountant).
     pub fn shadow_bytes(&self) -> usize {
-        (self.write.len() + self.read.len() + self.red.len()) * 8
+        (self.write.len() + self.read.len() + self.red.len()) * 8 + self.touched.capacity() * 4
     }
 }
 

@@ -8,12 +8,17 @@
 //! hashing on every mark. The run-time pass historically picked by
 //! array size alone; with the symbolic dependence analysis predicting
 //! per-array **touch density** ahead of the run, the choice can be made
-//! statically per loop (the first concrete step of the ROADMAP
-//! "adaptive shadow selection under memory budgets" item).
+//! statically per loop — and re-made at commit points from *observed*
+//! density (the ROADMAP "adaptive shadow selection under memory
+//! budgets" item).
 //!
-//! [`choose`] is a pure function of `(size, predicted_touched)` so the
-//! decision is auditable and testable in isolation; the language crate
-//! maps the result onto the runtime's shadow kinds.
+//! [`choose`] is a pure function of `(size, predicted_touched, budget)`
+//! so the decision is auditable and testable in isolation; the language
+//! crate maps the result onto the runtime's shadow kinds. The optional
+//! per-array budget clamps the density pick down the
+//! dense→packed→sparse ladder when the picked structure alone would
+//! exceed it ([`clamp_to_budget`]); sparse is the floor — its footprint
+//! follows touches, not `n`, so it is always admissible.
 
 /// Which shadow structure to instrument an array with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +44,16 @@ impl ShadowChoice {
             ShadowChoice::Sparse => "sparse",
         }
     }
+
+    /// The next-smaller representation on the degradation ladder, or
+    /// `None` at the sparse floor.
+    pub fn down_tier(self) -> Option<ShadowChoice> {
+        match self {
+            ShadowChoice::Dense => Some(ShadowChoice::Packed),
+            ShadowChoice::Packed => Some(ShadowChoice::Sparse),
+            ShadowChoice::Sparse => None,
+        }
+    }
 }
 
 /// Below this size a dense byte shadow is always cheapest: the whole
@@ -53,22 +68,73 @@ pub const SPARSE_DENSITY: f64 = 1.0 / 64.0;
 /// saving outweighs its dearer marks.
 pub const PACKED_DENSITY: f64 = 1.0 / 4.0;
 
+/// Estimated bytes per occupied sparse-shadow entry: an 8-byte key, a
+/// mark byte, and hash-table control/padding overhead.
+pub const SPARSE_ENTRY_BYTES: u64 = 16;
+
+/// Bytes each touched element costs in a dense/packed touched list
+/// (`u32` per first touch).
+pub const TOUCH_LIST_BYTES: u64 = 4;
+
+/// Predicted per-processor footprint, in bytes, of one shadow of
+/// `choice` over an array of `size` elements with `touched` distinct
+/// references per stage. Pure; mirrors what the live structures report
+/// through the accountant (dense: a mark byte per element; packed:
+/// three bit-planes; sparse: hash entries), so the budget clamp and the
+/// runtime ladder agree on which representations fit.
+pub fn footprint(choice: ShadowChoice, size: usize, touched: usize) -> u64 {
+    // Distinct touches cannot exceed the array (overcounted predictions
+    // clamp, mirroring `choose`'s density clamp).
+    let touched = touched.min(size) as u64;
+    match choice {
+        ShadowChoice::Dense => size as u64 + touched * TOUCH_LIST_BYTES,
+        ShadowChoice::Packed => size.div_ceil(64) as u64 * 24 + touched * TOUCH_LIST_BYTES,
+        ShadowChoice::Sparse => touched * SPARSE_ENTRY_BYTES,
+    }
+}
+
+/// Walk `choice` down the dense→packed→sparse ladder until its
+/// predicted [`footprint`] fits `budget` (no-op when `budget` is
+/// `None`). Sparse is the floor: it is returned even when its
+/// touch-proportional footprint exceeds the budget, because no
+/// representation can do better and the runtime's window-shrink /
+/// sequential-fallback rungs take over from there.
+pub fn clamp_to_budget(
+    choice: ShadowChoice,
+    size: usize,
+    touched: usize,
+    budget: Option<u64>,
+) -> ShadowChoice {
+    let Some(cap) = budget else { return choice };
+    let mut c = choice;
+    while footprint(c, size, touched) > cap {
+        match c.down_tier() {
+            Some(next) => c = next,
+            None => break,
+        }
+    }
+    c
+}
+
 /// Pick the shadow structure for an array of `size` elements of which
 /// the static analysis predicts `touched` distinct ones are referenced
-/// per speculative stage. Pure and total: callers may feed `touched >
-/// size` (clamped) or `size == 0` (dense).
-pub fn choose(size: usize, touched: usize) -> ShadowChoice {
-    if size < SMALL_ARRAY {
-        return ShadowChoice::Dense;
-    }
-    let density = touched.min(size) as f64 / size as f64;
-    if density <= SPARSE_DENSITY {
-        ShadowChoice::Sparse
-    } else if density <= PACKED_DENSITY {
-        ShadowChoice::Packed
-    } else {
+/// per speculative stage, under an optional per-array byte `budget`
+/// (see [`clamp_to_budget`]). Pure and total: callers may feed
+/// `touched > size` (clamped) or `size == 0` (dense).
+pub fn choose(size: usize, touched: usize, budget: Option<u64>) -> ShadowChoice {
+    let unclamped = if size < SMALL_ARRAY {
         ShadowChoice::Dense
-    }
+    } else {
+        let density = touched.min(size) as f64 / size as f64;
+        if density <= SPARSE_DENSITY {
+            ShadowChoice::Sparse
+        } else if density <= PACKED_DENSITY {
+            ShadowChoice::Packed
+        } else {
+            ShadowChoice::Dense
+        }
+    };
+    clamp_to_budget(unclamped, size, touched, budget)
 }
 
 #[cfg(test)]
@@ -77,41 +143,97 @@ mod tests {
 
     #[test]
     fn small_arrays_are_always_dense() {
-        assert_eq!(choose(8, 1), ShadowChoice::Dense);
-        assert_eq!(choose(1023, 0), ShadowChoice::Dense);
-        assert_eq!(choose(0, 0), ShadowChoice::Dense);
+        assert_eq!(choose(8, 1, None), ShadowChoice::Dense);
+        assert_eq!(choose(1023, 0, None), ShadowChoice::Dense);
+        assert_eq!(choose(0, 0, None), ShadowChoice::Dense);
     }
 
     #[test]
     fn sparse_touches_on_big_arrays_hash() {
-        assert_eq!(choose(1 << 20, 100), ShadowChoice::Sparse);
-        assert_eq!(choose(1 << 20, (1 << 20) / 64), ShadowChoice::Sparse);
+        assert_eq!(choose(1 << 20, 100, None), ShadowChoice::Sparse);
+        assert_eq!(choose(1 << 20, (1 << 20) / 64, None), ShadowChoice::Sparse);
     }
 
     #[test]
     fn moderate_density_bit_packs() {
-        assert_eq!(choose(1 << 20, 1 << 17), ShadowChoice::Packed);
-        assert_eq!(choose(4096, 512), ShadowChoice::Packed);
+        assert_eq!(choose(1 << 20, 1 << 17, None), ShadowChoice::Packed);
+        assert_eq!(choose(4096, 512, None), ShadowChoice::Packed);
     }
 
     #[test]
     fn dense_touches_stay_dense() {
-        assert_eq!(choose(1 << 20, 1 << 19), ShadowChoice::Dense);
-        assert_eq!(choose(4096, 4096), ShadowChoice::Dense);
+        assert_eq!(choose(1 << 20, 1 << 19, None), ShadowChoice::Dense);
+        assert_eq!(choose(4096, 4096, None), ShadowChoice::Dense);
     }
 
     #[test]
     fn overcounted_touches_clamp() {
-        assert_eq!(choose(4096, usize::MAX), ShadowChoice::Dense);
+        assert_eq!(choose(4096, usize::MAX, None), ShadowChoice::Dense);
     }
 
     #[test]
     fn boundaries_are_stable() {
         let size = 1 << 12;
         // Exactly at the sparse threshold: still sparse (<=).
-        assert_eq!(choose(size, size / 64), ShadowChoice::Sparse);
-        assert_eq!(choose(size, size / 64 + 1), ShadowChoice::Packed);
-        assert_eq!(choose(size, size / 4), ShadowChoice::Packed);
-        assert_eq!(choose(size, size / 4 + 1), ShadowChoice::Dense);
+        assert_eq!(choose(size, size / 64, None), ShadowChoice::Sparse);
+        assert_eq!(choose(size, size / 64 + 1, None), ShadowChoice::Packed);
+        assert_eq!(choose(size, size / 4, None), ShadowChoice::Packed);
+        assert_eq!(choose(size, size / 4 + 1, None), ShadowChoice::Dense);
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        for (size, touched) in [(8, 1), (1 << 20, 100), (4096, 512), (4096, 4096)] {
+            assert_eq!(
+                choose(size, touched, None),
+                choose(size, touched, Some(u64::MAX))
+            );
+        }
+    }
+
+    #[test]
+    fn dense_pick_over_budget_down_tiers() {
+        // A dense-density array whose byte shadow alone exceeds the
+        // budget must drop to packed, and then to sparse.
+        let size = 1 << 20;
+        let touched = size / 2;
+        assert_eq!(choose(size, touched, None), ShadowChoice::Dense);
+        let packed_fits = footprint(ShadowChoice::Packed, size, touched);
+        assert_eq!(
+            choose(size, touched, Some(packed_fits)),
+            ShadowChoice::Packed
+        );
+        // Below packed's footprint the only remaining tier is sparse.
+        assert_eq!(
+            choose(size, touched, Some(packed_fits - 1)),
+            ShadowChoice::Sparse
+        );
+    }
+
+    #[test]
+    fn sparse_is_the_floor_even_over_budget() {
+        // Nothing smaller exists: a starvation budget still yields
+        // sparse (the runtime ladder handles the rest).
+        assert_eq!(choose(1 << 20, 1 << 19, Some(1)), ShadowChoice::Sparse);
+        assert_eq!(
+            clamp_to_budget(ShadowChoice::Sparse, 1 << 20, 1 << 19, Some(1)),
+            ShadowChoice::Sparse
+        );
+    }
+
+    #[test]
+    fn small_arrays_also_respect_the_budget() {
+        // The small-array fast path is a performance default, not an
+        // exemption from governance.
+        assert_eq!(choose(512, 4, Some(64)), ShadowChoice::Sparse);
+    }
+
+    #[test]
+    fn footprint_orders_the_ladder() {
+        let (size, touched) = (1 << 20, 1 << 14);
+        let d = footprint(ShadowChoice::Dense, size, touched);
+        let p = footprint(ShadowChoice::Packed, size, touched);
+        let s = footprint(ShadowChoice::Sparse, size, touched);
+        assert!(d > p && p > s, "{d} > {p} > {s}");
     }
 }

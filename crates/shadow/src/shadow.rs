@@ -9,6 +9,7 @@
 use crate::dense::DenseShadow;
 use crate::marks::Mark;
 use crate::packed::PackedShadow;
+use crate::select::ShadowChoice;
 use crate::sparse::SparseShadow;
 
 /// A per-processor shadow of one array under test, dense or sparse.
@@ -36,6 +37,25 @@ impl Shadow {
     /// A sparse shadow (unbounded index space).
     pub fn sparse() -> Self {
         Shadow::Sparse(SparseShadow::new())
+    }
+
+    /// A fresh shadow of the representation `choice` picked for an
+    /// array of `size` elements.
+    pub fn for_choice(choice: ShadowChoice, size: usize) -> Self {
+        match choice {
+            ShadowChoice::Dense => Shadow::dense(size),
+            ShadowChoice::Packed => Shadow::packed(size),
+            ShadowChoice::Sparse => Shadow::sparse(),
+        }
+    }
+
+    /// Which representation this shadow currently is.
+    pub fn choice(&self) -> ShadowChoice {
+        match self {
+            Shadow::Dense(_) => ShadowChoice::Dense,
+            Shadow::Packed(_) => ShadowChoice::Packed,
+            Shadow::Sparse(_) => ShadowChoice::Sparse,
+        }
     }
 
     /// Record an ordinary read of `elem`.
@@ -115,6 +135,46 @@ impl Shadow {
             Shadow::Packed(s) => s.clear(),
             Shadow::Sparse(s) => s.clear(),
         }
+    }
+
+    /// Install a previously observed mark verbatim (representation
+    /// migration and replay). `mark` must be touched and `elem` must
+    /// currently be untouched.
+    #[inline]
+    pub fn restore(&mut self, elem: usize, mark: Mark) {
+        match self {
+            Shadow::Dense(s) => s.restore(elem, mark),
+            Shadow::Packed(s) => s.restore(elem, mark),
+            Shadow::Sparse(s) => s.restore(elem, mark),
+        }
+    }
+
+    /// Shadow memory held, in bytes (sparse is a capacity-based
+    /// estimate) — what this shadow reports through the footprint
+    /// accountant.
+    pub fn shadow_bytes(&self) -> u64 {
+        match self {
+            Shadow::Dense(s) => s.shadow_bytes() as u64,
+            Shadow::Packed(s) => s.shadow_bytes() as u64,
+            Shadow::Sparse(s) => s.shadow_bytes() as u64,
+        }
+    }
+
+    /// A copy of this shadow in representation `choice` over `size`
+    /// elements, carrying every live mark across.
+    ///
+    /// **Byte-identity guarantee:** the migrated shadow answers every
+    /// query identically — `mark(e)` for all `e`, `num_touched()`, and
+    /// the touched *set* (touched *order* may differ; analysis must not
+    /// depend on it, per [`Shadow::touched`]'s contract). The proptest
+    /// suite holds Dense↔Packed↔Sparse round-trips to this contract
+    /// for arbitrary mark sequences.
+    pub fn migrated(&self, choice: ShadowChoice, size: usize) -> Shadow {
+        let mut out = Shadow::for_choice(choice, size);
+        for (e, m) in self.touched() {
+            out.restore(e, m);
+        }
+        out
     }
 }
 

@@ -69,6 +69,25 @@ impl SparseShadow {
     pub fn clear(&mut self) {
         self.marks.clear();
     }
+
+    /// Install a previously observed mark verbatim (representation
+    /// migration and replay). `mark` must be a touched, legal mark and
+    /// `elem` must currently be untouched.
+    pub fn restore(&mut self, elem: usize, mark: Mark) {
+        debug_assert!(mark.is_touched(), "restoring an untouched mark");
+        let prev = self.marks.insert(elem, mark);
+        debug_assert!(prev.is_none(), "restore over a live mark");
+    }
+
+    /// Estimated shadow memory held, in bytes: the hash table's
+    /// capacity at ~16 bytes per slot (key + mark + control/padding),
+    /// reported to the footprint accountant. An estimate — `HashMap`
+    /// does not expose its exact layout — but a deliberate *over*-count
+    /// is impossible to promise, so the accountant treats every sparse
+    /// figure as approximate.
+    pub fn shadow_bytes(&self) -> usize {
+        self.marks.capacity() * 16
+    }
 }
 
 #[cfg(test)]

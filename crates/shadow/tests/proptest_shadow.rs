@@ -147,3 +147,92 @@ proptest! {
         }
     }
 }
+
+/// Apply one legal op to a [`Shadow`] (the runtime-selected wrapper),
+/// mirroring the view layer's materialize-before-ordinary routing.
+fn apply(shadow: &mut rlrpd_shadow::Shadow, op: &Op) {
+    match *op {
+        Op::Read(e) => {
+            if shadow.mark(e).is_reduction_only() {
+                shadow.materialize(e);
+            }
+            shadow.on_read(e);
+        }
+        Op::Write(e) => {
+            if shadow.mark(e).is_reduction_only() {
+                shadow.materialize(e);
+            }
+            shadow.on_write(e);
+        }
+        Op::Reduce(e) => {
+            if !shadow.mark(e).is_touched() || shadow.mark(e).is_reduction_only() {
+                shadow.on_reduce(e);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Migration is a byte-identity on mark state: after any legal op
+    /// sequence, walking the representation ladder in any order — and
+    /// round-tripping back — preserves every element's mark exactly.
+    #[test]
+    fn migration_preserves_all_marks(ops in ops(64)) {
+        use rlrpd_shadow::{Shadow, ShadowChoice};
+        let size = 64;
+        for start in [ShadowChoice::Dense, ShadowChoice::Packed, ShadowChoice::Sparse] {
+            let mut shadow = Shadow::for_choice(start, size);
+            for op in &ops {
+                apply(&mut shadow, op);
+            }
+            for dest in [ShadowChoice::Dense, ShadowChoice::Packed, ShadowChoice::Sparse] {
+                let migrated = shadow.migrated(dest, size);
+                prop_assert_eq!(migrated.choice(), dest);
+                for e in 0..size {
+                    prop_assert_eq!(
+                        shadow.mark(e), migrated.mark(e),
+                        "mark of {} diverged across {:?} -> {:?}", e, start, dest
+                    );
+                }
+                prop_assert_eq!(shadow.num_touched(), migrated.num_touched());
+                // And back: the round trip is also an identity.
+                let back = migrated.migrated(start, size);
+                for e in 0..size {
+                    prop_assert_eq!(shadow.mark(e), back.mark(e));
+                }
+            }
+        }
+    }
+
+    /// Migrating under live marks keeps operating correctly: ops applied
+    /// after a mid-sequence migration behave as if no migration happened.
+    #[test]
+    fn migration_mid_sequence_is_transparent(
+        ops_a in ops(48), ops_b in ops(48),
+        route in 0usize..3,
+    ) {
+        use rlrpd_shadow::{Shadow, ShadowChoice};
+        let size = 48;
+        let dest = [ShadowChoice::Dense, ShadowChoice::Packed, ShadowChoice::Sparse][route];
+        // Reference: one dense shadow, no migration.
+        let mut reference = Shadow::dense(size);
+        for op in ops_a.iter().chain(&ops_b) {
+            apply(&mut reference, op);
+        }
+        // Subject: migrate between the two halves of the sequence.
+        let mut subject = Shadow::dense(size);
+        for op in &ops_a {
+            apply(&mut subject, op);
+        }
+        subject = subject.migrated(dest, size);
+        for op in &ops_b {
+            apply(&mut subject, op);
+        }
+        for e in 0..size {
+            prop_assert_eq!(reference.mark(e), subject.mark(e));
+        }
+        prop_assert_eq!(reference.num_touched(), subject.num_touched());
+    }
+}

@@ -12,11 +12,13 @@
 //!                      [--max-respawns R] [--fleet-max-respawns R]
 //!                      [--heartbeat-interval SECS]
 //!                      [--dist-fault k:O[,k:O...]] [--no-compile]
+//!                      [--shadow-budget BYTES|auto]
+//!                      [--shadow-fault STAGE:BYTES[,...]]
 //! rlrpd worker [--listen ADDR]
 //! rlrpd chaos-proxy --listen ADDR --connect ADDR [--fault SPEC | --seed N]
 //! rlrpd classify <file.rlp>
 //! rlrpd analyze <file.rlp> [--procs N] [--format text|json] [--deny-warnings]
-//!                          [--emit bytecode]
+//!                          [--emit bytecode] [--audit]
 //! rlrpd fmt <file.rlp>
 //! rlrpd ddg <file.rlp> [--procs N] [--window W] [--save <out.bin>]
 //! rlrpd model [n] [p] [omega] [ell] [sync] [alpha]
@@ -129,11 +131,12 @@ fn usage() -> String {
      [--max-restarts R] [--max-stages M] [--journal <path>] [--resume] \
      [--dist-workers N|auto|host:port[:N],local[:N],...] [--block-deadline SECS] \
      [--max-respawns R] [--fleet-max-respawns R] [--heartbeat-interval SECS] \
-     [--dist-fault kill|hang|corrupt:ORDINAL[,...]] [--no-compile]\n  rlrpd worker \
+     [--dist-fault kill|hang|corrupt:ORDINAL[,...]] [--no-compile] \
+     [--shadow-budget BYTES|auto] [--shadow-fault STAGE:BYTES[,...]]\n  rlrpd worker \
      [--listen ADDR]\n  rlrpd chaos-proxy --listen ADDR --connect ADDR \
      [--fault kind:conn[:arg][,...] | --seed N]\n  rlrpd classify \
      <file.rlp>\n  rlrpd analyze <file.rlp> [--procs N] [--format text|json] \
-     [--deny-warnings] [--emit bytecode]\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
+     [--deny-warnings] [--emit bytecode] [--audit]\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
      [--procs N] [--window W] [--save <out.bin>]\n  rlrpd model [n p omega ell sync alpha]"
         .into()
 }
@@ -191,6 +194,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--fleet-max-respawns",
     "--heartbeat-interval",
     "--dist-fault",
+    "--shadow-budget",
+    "--shadow-fault",
     "--listen",
     "--connect",
     "--fault",
@@ -259,6 +264,63 @@ impl Flags {
     }
 }
 
+/// Parse a byte count with an optional binary suffix: `4096`, `512K`,
+/// `64M`, `2G` (case-insensitive).
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let bad = || format!("expected a byte count (with optional K/M/G suffix), got '{v}'");
+    let (digits, shift) = match v.chars().last() {
+        Some('k') | Some('K') => (&v[..v.len() - 1], 10),
+        Some('m') | Some('M') => (&v[..v.len() - 1], 20),
+        Some('g') | Some('G') => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_shl(shift).filter(|&b| b > 0).ok_or_else(bad)
+}
+
+/// Resolve `--shadow-budget` (`None` when the flag is absent: shadow
+/// memory stays ungoverned). `auto` derives a cap from the machine's
+/// available memory (a quarter of `MemAvailable`); an unreadable
+/// `/proc/meminfo` is a usage error rather than a silent unlimited run.
+fn shadow_budget(flags: &Flags) -> Result<Option<u64>, String> {
+    let Some(v) = flags.get("--shadow-budget") else {
+        return Ok(None);
+    };
+    if v == "auto" {
+        let info = std::fs::read_to_string("/proc/meminfo")
+            .map_err(|e| format!("--shadow-budget auto: cannot read /proc/meminfo: {e}"))?;
+        let kb: u64 = info
+            .lines()
+            .find_map(|l| l.strip_prefix("MemAvailable:"))
+            .and_then(|l| l.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .ok_or("--shadow-budget auto: no MemAvailable in /proc/meminfo")?;
+        return Ok(Some((kb * 1024 / 4).max(1)));
+    }
+    parse_bytes(v)
+        .map(Some)
+        .map_err(|e| format!("--shadow-budget {e}"))
+}
+
+/// Parse `--shadow-fault STAGE:BYTES[,...]` into deterministic
+/// shadow-pressure injections on a fault plan.
+fn shadow_faults(flags: &Flags, mut plan: FaultPlan) -> Result<(FaultPlan, bool), String> {
+    let Some(spec) = flags.get("--shadow-fault") else {
+        return Ok((plan, false));
+    };
+    for part in spec.split(',') {
+        let (stage, bytes) = part.split_once(':').ok_or(format!(
+            "--shadow-fault expects STAGE:BYTES entries, got '{part}'"
+        ))?;
+        let stage: usize = stage
+            .parse()
+            .map_err(|_| format!("bad stage ordinal '{stage}' in --shadow-fault"))?;
+        let bytes = parse_bytes(bytes).map_err(|e| format!("--shadow-fault {e}"))?;
+        plan = plan.shadow_pressure_at(stage, bytes);
+    }
+    Ok((plan, true))
+}
+
 fn source(flags: &Flags) -> Result<String, String> {
     let path = flags
         .positional
@@ -313,6 +375,7 @@ fn config(flags: &Flags) -> Result<RunConfig, String> {
         .with_exec(exec)
         .with_fallback(fallback);
     cfg.max_stages = flags.usize_of("--max-stages", cfg.max_stages)?;
+    cfg = cfg.with_shadow_budget(shadow_budget(flags)?);
     Ok(cfg)
 }
 
@@ -591,6 +654,12 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         prog = prog.with_interpreter();
     }
     let mut cfg = config(&flags).map_err(CliError::Usage)?;
+    if let Some(cap) = cfg.shadow_budget {
+        // The same cap governs the static entry selection and the
+        // run-time accountant (and, distributed, every worker).
+        println!("shadow budget: {cap} bytes");
+        prog = prog.with_shadow_budget(Some(cap));
+    }
     if dist.is_some() {
         if flags.has("--threads") {
             return Err(CliError::Usage(
@@ -616,12 +685,21 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         let lp = prog.loop_view(0, initial_state(&prog));
         let cfg = cfg.with_dependence_prediction(prog.predicted_first_dependence(0));
         let mut runner = Runner::new(cfg);
+        let mut plan = FaultPlan::new();
+        let mut seeded = false;
         if let Some(seed) = flags.u64_opt("--fault-seed").map_err(CliError::Usage)? {
             // Transient (one-shot) injected fault: the containment
             // layer recovers and the run must still verify below.
             use rlrpd::core::SpecLoop;
-            let plan = FaultPlan::seeded_panic(seed, lp.num_iters());
+            plan = FaultPlan::seeded_panic(seed, lp.num_iters());
             println!("fault injection: seed {seed} -> {plan}");
+            seeded = true;
+        }
+        let (plan, pressured) = shadow_faults(&flags, plan).map_err(CliError::Usage)?;
+        if pressured {
+            println!("fault injection: {plan}");
+        }
+        if seeded || pressured {
             runner = runner.with_fault(Arc::new(plan));
         }
         // The worker fleet resolves the same source through the spec
@@ -717,6 +795,20 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
                 res.report.wire_bytes(),
                 res.report.dispatch_seconds(),
                 res.report.collect_seconds()
+            );
+        }
+        let (migrations, pressure) = (
+            res.report.shadow_migrations(),
+            res.report.shadow_pressure_events(),
+        );
+        if cfg.shadow_budget.is_some() || migrations > 0 || pressure > 0 {
+            println!(
+                "shadow: peak {} bytes{}, {migrations} migrations, {pressure} pressure events",
+                res.report.shadow_bytes_peak(),
+                match cfg.shadow_budget {
+                    Some(cap) => format!(" of {cap} budget"),
+                    None => " (unlimited budget)".into(),
+                }
             );
         }
         println!("program-lifetime PR = {:.3}", runner.pr.pr());
@@ -851,6 +943,9 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), CliError> {
     }
     let program = rlrpd::lang::parse(&src).map_err(|e| CliError::Usage(e.to_string()))?;
     let p = flags.usize_of("--procs", 8).map_err(CliError::Usage)?;
+    if flags.has("--audit") {
+        return audit_densities(&src, p);
+    }
     let diags = rlrpd::lang::lint(&program, p);
     let count = |lv| diags.iter().filter(|d| d.level == lv).count();
     let (errors, warnings, notes) = (
@@ -905,6 +1000,47 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), CliError> {
             "analysis found {warnings} warning(s) (--deny-warnings)"
         )));
     }
+    Ok(())
+}
+
+/// `rlrpd analyze --audit`: execute the program speculatively and
+/// compare the static touch-density predictions (which pick each
+/// array's initial shadow representation) against the representations
+/// the run's commit-point re-selection converged on. Disagreement is
+/// reported, not fatal — the run self-corrects; the audit shows where
+/// the static model was wrong.
+fn audit_densities(src: &str, p: usize) -> Result<(), CliError> {
+    let prog = rlrpd::lang::CompiledProgram::compile(src).map_err(|e| {
+        CliError::Usage(format!(
+            "--audit runs the program speculatively, which failed to compile: {e}"
+        ))
+    })?;
+    let rows = prog.density_audit(RunConfig::new(p));
+    if rows.is_empty() {
+        println!("audit: no instrumented arrays (all shadows elided)");
+        return Ok(());
+    }
+    let mut disagreements = 0usize;
+    for r in &rows {
+        let verdict = if r.agrees() {
+            "agrees".to_string()
+        } else {
+            disagreements += 1;
+            format!(
+                "run settled on {} — static density model missed",
+                r.observed_repr
+            )
+        };
+        println!(
+            "audit: loop {} array '{}': predicted {} of {} elements touched -> {} shadow; {}",
+            r.loop_index, r.array, r.predicted_touched, r.size, r.predicted_repr, verdict
+        );
+    }
+    println!(
+        "audit: {} array(s) checked, {} disagreement(s)",
+        rows.len(),
+        disagreements
+    );
     Ok(())
 }
 

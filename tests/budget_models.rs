@@ -1,0 +1,243 @@
+//! Shadow-memory governance on the paper's workload models, end to
+//! end: TRACK (FPTRAK), SPICE (DCDCMP), and NLFILT kernels run under
+//! shadow budgets stepped from generous to starvation, under every
+//! fixed strategy plus the sliding window — and every run must stay
+//! byte-identical to sequential execution. Budget exhaustion is never
+//! an abort: the degradation ladder (representation migration → window
+//! shrink → sequential fallback) absorbs it, and the report records
+//! what degraded.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rlrpd::core::AdaptRule;
+use rlrpd::dist::{DistLauncher, DistPolicy};
+use rlrpd::loops::*;
+use rlrpd::{
+    run_sequential, ExecMode, FallbackReason, FaultPlan, RunConfig, Runner, SpecLoop, Strategy,
+    WindowConfig,
+};
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Nrd,
+        Strategy::Rd,
+        Strategy::AdaptiveRd(AdaptRule::Measured),
+        Strategy::SlidingWindow(WindowConfig::fixed(7)),
+    ]
+}
+
+/// The acceptance bar, per model loop:
+///
+/// 1. an armed-but-unlimited budget changes nothing observable (same
+///    arrays, stages, restarts, and density-driven migrations; no
+///    pressure);
+/// 2. every budget on a generous→starvation ladder still produces
+///    arrays byte-identical to sequential execution;
+/// 3. somewhere on the ladder the governance machinery visibly engaged
+///    (migrations, pressure events, or a `ShadowBudget` fallback).
+fn assert_budget_governed(name: &str, lp: &dyn SpecLoop) {
+    let (seq, _) = run_sequential(lp);
+    let p = 4;
+    for strategy in strategies() {
+        let base = RunConfig::new(p).with_strategy(strategy);
+        let free = Runner::new(base)
+            .try_run(lp)
+            .unwrap_or_else(|e| panic!("{name}: {strategy:?}: ungoverned: {e}"));
+        let armed = Runner::new(base.with_shadow_budget(Some(u64::MAX / 2)))
+            .try_run(lp)
+            .unwrap_or_else(|e| panic!("{name}: {strategy:?}: armed-unlimited: {e}"));
+        assert_eq!(
+            armed.arrays, free.arrays,
+            "{name}: {strategy:?}: arming an unlimited budget changed the results"
+        );
+        assert_eq!(armed.report.stages.len(), free.report.stages.len());
+        assert_eq!(armed.report.restarts, free.report.restarts);
+        // Commit-point re-selection is density-driven and runs with or
+        // without a cap, so the migration counts must agree — the cap
+        // itself must add nothing when there is headroom.
+        assert_eq!(
+            armed.report.shadow_migrations(),
+            free.report.shadow_migrations()
+        );
+        assert_eq!(armed.report.shadow_pressure_events(), 0);
+        let peak = armed.report.shadow_bytes_peak();
+        assert!(peak > 0, "{name}: {strategy:?}: accountant saw no shadows");
+
+        let mut engaged = false;
+        for budget in [
+            peak.saturating_mul(2), // generous: fits outright
+            (peak / 2).max(1),      // tight: the ladder must shed bytes
+            (peak / 8).max(1),      // tighter
+            64,                     // starvation: even sparse marks overflow
+        ] {
+            let res = Runner::new(base.with_shadow_budget(Some(budget)))
+                .try_run(lp)
+                .unwrap_or_else(|e| {
+                    panic!("{name}: {strategy:?}: budget {budget}: must degrade, not fail: {e}")
+                });
+            for ((sname, sdata), (rname, rdata)) in seq.iter().zip(&res.arrays) {
+                assert_eq!(sname, rname);
+                assert_eq!(
+                    sdata, rdata,
+                    "{name}: array {sname} differs under {strategy:?} budget {budget}"
+                );
+            }
+            assert_eq!(
+                res.report.shadow_budget,
+                Some(budget),
+                "{name}: budget not stamped"
+            );
+            if res.report.shadow_pressure_events() > 0
+                || res.report.fallback == Some(FallbackReason::ShadowBudget)
+                || res.report.shadow_migrations() > armed.report.shadow_migrations()
+            {
+                engaged = true;
+            }
+        }
+        assert!(
+            engaged,
+            "{name}: {strategy:?}: no budget on the ladder engaged the governance machinery"
+        );
+    }
+}
+
+#[test]
+fn track_fptrak_degrades_gracefully_under_budgets() {
+    let input = rlrpd::loops::fptrak::FptrakInput::all()
+        .into_iter()
+        .next()
+        .expect("TRACK ships at least one input deck");
+    assert_budget_governed("track/fptrak", &FptrakLoop::new(input));
+}
+
+#[test]
+fn spice_dcdcmp_degrades_gracefully_under_budgets() {
+    assert_budget_governed("spice/dcdcmp", &Dcdcmp15Loop::small(17));
+}
+
+#[test]
+fn nlfilt_degrades_gracefully_under_budgets() {
+    assert_budget_governed("nlfilt", &NlfiltLoop::new(NlfiltInput::i4_50()));
+}
+
+/// Injected pressure spikes (`FaultPlan::shadow_pressure_at`) are
+/// contained like speculation faults: a spike the ladder can absorb is
+/// relieved by migration and the run completes speculatively; a spike
+/// beyond the ladder falls back to sequential — and both remain
+/// byte-identical to sequential execution. The injection is
+/// deterministic: two identically-built plans produce identical runs.
+#[test]
+fn injected_pressure_is_contained_and_deterministic() {
+    let input = rlrpd::loops::fptrak::FptrakInput::all()
+        .into_iter()
+        .next()
+        .expect("deck");
+    let lp = FptrakLoop::new(input);
+    let (seq, _) = run_sequential(&lp);
+
+    let peak = {
+        let res = Runner::new(RunConfig::new(4).with_shadow_budget(Some(u64::MAX / 2)))
+            .try_run(&lp)
+            .expect("baseline");
+        res.report.shadow_bytes_peak()
+    };
+
+    let run = |spike: u64| {
+        let cfg = RunConfig::new(4).with_shadow_budget(Some(peak.saturating_mul(2)));
+        Runner::new(cfg)
+            .with_fault(Arc::new(FaultPlan::new().shadow_pressure_at(0, spike)))
+            .try_run(&lp)
+            .expect("pressure must be contained, never an abort")
+    };
+
+    for spike in [peak.saturating_mul(3), u64::MAX / 4] {
+        let a = run(spike);
+        assert_eq!(a.arrays, seq, "spike {spike}: differs from sequential");
+        assert!(
+            a.report.shadow_pressure_events() >= 1,
+            "spike {spike}: pressure not recorded"
+        );
+        let b = run(spike);
+        assert_eq!(
+            a.arrays, b.arrays,
+            "spike {spike}: nondeterministic results"
+        );
+        assert_eq!(
+            a.report.stages.len(),
+            b.report.stages.len(),
+            "spike {spike}: nondeterministic schedule"
+        );
+        assert_eq!(a.report.restarts, b.report.restarts);
+    }
+
+    // Without a cap armed, the same injection is inert.
+    let inert = Runner::new(RunConfig::new(4))
+        .with_fault(Arc::new(
+            FaultPlan::new().shadow_pressure_at(0, u64::MAX / 4),
+        ))
+        .try_run(&lp)
+        .expect("inert injection");
+    assert_eq!(inert.report.shadow_pressure_events(), 0);
+    assert_eq!(inert.arrays, seq);
+}
+
+/// The distributed leg: the budget rides the hello, so real `rlrpd
+/// worker` subprocesses enforce the same cap — a tight budget degrades
+/// the whole fleet's representations identically and the run still
+/// matches sequential execution byte for byte.
+#[test]
+fn distributed_runs_enforce_the_budget_fleet_wide() {
+    let models: Vec<(&str, Box<dyn SpecLoop<f64>>)> = ["fptrak:0", "dcdcmp15:17"]
+        .into_iter()
+        .map(|spec| {
+            (
+                spec,
+                rlrpd::dist::resolve_spec(spec).expect("registry spec"),
+            )
+        })
+        .collect();
+    for (spec, lp) in models {
+        let (seq, _) = run_sequential(lp.as_ref());
+        let peak = {
+            let res = Runner::new(RunConfig::new(4).with_shadow_budget(Some(u64::MAX / 2)))
+                .try_run(lp.as_ref())
+                .expect("baseline");
+            res.report.shadow_bytes_peak()
+        };
+        for budget in [peak.saturating_mul(2), (peak / 4).max(1)] {
+            let policy = DistPolicy {
+                workers: 2,
+                block_deadline: Duration::from_millis(800),
+                max_respawns: 8,
+                backoff: Duration::from_millis(10),
+                ..DistPolicy::default()
+            };
+            let mut connector = DistLauncher::new(
+                PathBuf::from(env!("CARGO_BIN_EXE_rlrpd")),
+                vec!["worker".into()],
+            )
+            .with_policy(policy);
+            let cfg = RunConfig::new(4)
+                .with_exec(ExecMode::Distributed)
+                .with_shadow_budget(Some(budget));
+            let got = Runner::new(cfg)
+                .try_run_distributed(lp.as_ref(), spec, &mut connector)
+                .unwrap_or_else(|e| panic!("{spec}: budget {budget}: {e}"));
+            assert_eq!(
+                got.arrays, seq,
+                "{spec}: budget {budget}: differs from sequential"
+            );
+            assert_ne!(
+                got.report.fallback,
+                Some(FallbackReason::WorkerLoss),
+                "{spec}: budget {budget}: fleet must survive budget pressure"
+            );
+            assert!(
+                got.report.shadow_bytes_peak() > 0,
+                "{spec}: budget {budget}: worker footprints not merged into the report"
+            );
+        }
+    }
+}
