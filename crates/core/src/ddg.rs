@@ -250,7 +250,7 @@ pub fn extract_ddg<T: Value>(
     let num_slots = engine.tested_ids.len();
     let n = engine.n;
     let mut collector = DepCollector::new(num_slots);
-    let (report, arcs) = window::run_window(&mut engine, cfg, wcfg, 0, &mut None, |blocks| {
+    let (report, arcs) = window::run_window(&mut engine, cfg, wcfg, 0, &mut None, None, |blocks| {
         collector.consume(blocks);
     })
     .unwrap_or_else(|e| panic!("DDG extraction failed: {e}"));

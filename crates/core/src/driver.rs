@@ -37,6 +37,7 @@ use rlrpd_runtime::{
     TrendMode,
 };
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// How a failed stage's remainder is rescheduled.
@@ -314,6 +315,7 @@ pub struct Runner {
     cfg: RunConfig,
     partitioner: FeedbackPartitioner,
     fault: Option<Arc<FaultPlan>>,
+    stop: Option<Arc<AtomicBool>>,
     /// Parallelism-ratio accumulator over all runs of this runner.
     pub pr: PrAccumulator,
 }
@@ -329,6 +331,7 @@ impl Runner {
             cfg,
             partitioner,
             fault: None,
+            stop: None,
             pr: PrAccumulator::default(),
         }
     }
@@ -337,6 +340,18 @@ impl Runner {
     /// (testing and resilience benchmarks).
     pub fn with_fault(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Wire a cooperative stop flag into every run of this runner: when
+    /// the flag becomes true the driver finishes the in-flight stage,
+    /// makes its commit durable, and returns with
+    /// [`RunReport::stopped_at`] holding the commit frontier instead of
+    /// executing further stages. The run is *paused*, not failed — a
+    /// journaled run resumes from the frontier with [`Runner::resume`].
+    /// The daemon's graceful drain (SIGTERM) is built on this.
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
         self
     }
 
@@ -631,7 +646,15 @@ impl Runner {
         match self.cfg.strategy {
             Strategy::SlidingWindow(wcfg) => {
                 let cfg = self.cfg;
-                window::run_window(engine, &cfg, wcfg, start, journal, |_| {})
+                window::run_window(
+                    engine,
+                    &cfg,
+                    wcfg,
+                    start,
+                    journal,
+                    self.stop.as_deref(),
+                    |_| {},
+                )
             }
             _ => self.drive_recursive(engine, start, journal),
         }
@@ -662,6 +685,16 @@ impl Runner {
         let mut last_fault_restart: Option<usize> = None;
 
         loop {
+            if self
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                // Cooperative drain: everything below the commit point
+                // is durable; record where the run paused and return.
+                report.stopped_at = Some(commit_point);
+                break;
+            }
             if report.stages.len() >= cfg.max_stages {
                 return Err(RlrpdError::StageLimit {
                     max_stages: cfg.max_stages,

@@ -364,6 +364,28 @@ impl CommitRecord {
     }
 }
 
+/// The boxed callback inside a [`FrameObserver`].
+type FrameFn = Box<dyn FnMut(&[u8]) + Send>;
+
+/// A live tap on the journal's append stream: called with the exact
+/// frame bytes (`u32 len | record`) after each durable append. The
+/// daemon uses this to fan journal frames out to subscribed clients —
+/// the wire stream *is* the journal stream, byte for byte.
+pub struct FrameObserver(FrameFn);
+
+impl FrameObserver {
+    /// Wrap a callback as a journal frame observer.
+    pub fn new(f: impl FnMut(&[u8]) + Send + 'static) -> Self {
+        FrameObserver(Box::new(f))
+    }
+}
+
+impl std::fmt::Debug for FrameObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FrameObserver")
+    }
+}
+
 /// A crash-durable run journal (see the module docs for format and
 /// recovery semantics).
 #[derive(Debug)]
@@ -380,6 +402,7 @@ pub struct Journal {
     /// Torn/corrupt bytes discarded by the last [`Journal::open`].
     truncated_bytes: u64,
     fault: Option<Arc<FaultPlan>>,
+    observer: Option<FrameObserver>,
 }
 
 impl Journal {
@@ -401,6 +424,7 @@ impl Journal {
             commits: Vec::new(),
             truncated_bytes: 0,
             fault: None,
+            observer: None,
         })
     }
 
@@ -472,6 +496,7 @@ impl Journal {
             commits,
             truncated_bytes,
             fault: None,
+            observer: None,
         })
     }
 
@@ -479,6 +504,14 @@ impl Journal {
     /// (see [`FaultPlan::short_write_at`] and friends).
     pub fn set_fault(&mut self, plan: Option<Arc<FaultPlan>>) {
         self.fault = plan.filter(|p| !p.is_empty());
+    }
+
+    /// Tap the append stream: `observer` runs with each frame's exact
+    /// wire bytes after the append is durable (write-ahead ordering is
+    /// preserved — subscribers never see a frame that could be lost to
+    /// a crash).
+    pub fn set_observer(&mut self, observer: Option<FrameObserver>) {
+        self.observer = observer;
     }
 
     /// The journal file's path.
@@ -559,12 +592,18 @@ impl Journal {
                 // Silent media corruption: the append *succeeds* (the
                 // run continues normally) but the bytes on disk are
                 // wrong — only the next open's validation catches it.
+                // Observers see the *intended* bytes: the run's live
+                // view is the logical record, not the damaged media.
                 let mid = 4 + rec.len() / 2;
-                frame[mid] ^= 0x01;
-                self.file.write_all(&frame)?;
+                let mut damaged = frame.clone();
+                damaged[mid] ^= 0x01;
+                self.file.write_all(&damaged)?;
                 self.file.sync_data()?;
                 self.chain = next_chain;
                 self.records += 1;
+                if let Some(obs) = self.observer.as_mut() {
+                    (obs.0)(&frame);
+                }
                 return Ok(frame.len() as u64);
             }
             if plan.io_fsync_fail(ordinal) {
@@ -582,6 +621,9 @@ impl Journal {
         self.write_frame_with_retry(&frame, ordinal)?;
         self.chain = next_chain;
         self.records += 1;
+        if let Some(obs) = self.observer.as_mut() {
+            (obs.0)(&frame);
+        }
         Ok(frame.len() as u64)
     }
 

@@ -93,13 +93,15 @@ pub use engine::run_sequential;
 pub use error::RlrpdError;
 pub use induction::{run_induction, IndCtx, InductionLoop, InductionResult};
 pub use inspector::{run_inspector_executor, AccessTrace, Inspectable, InspectorResult};
-pub use journal::{CommitRecord, Journal, JournalElem, JournalError, JournalHeader};
+pub use journal::{CommitRecord, FrameObserver, Journal, JournalElem, JournalError, JournalHeader};
 pub use lrpd::{run_classic_lrpd, try_run_classic_lrpd};
 pub use persist::PersistError;
 pub use predictor::{PredictiveRunner, StrategyPredictor};
 pub use remote::{
-    serve_worker, BlockDispatcher, BlockReply, BlockRequest, DistConnector, HelloAck, SlotReply,
-    TransportStats, WireError, WireHello, WorkerLoss, PROTOCOL_VERSION,
+    serve_worker, BlockDispatcher, BlockReply, BlockRequest, DistConnector, FrontierSummary,
+    HelloAck, JobDecision, JobSpec, JobState, JobStatusFrame, RejectReason, SlotReply,
+    StatusRequest, TransportStats, WireError, WireHello, WorkerLoss, PROTOCOL_VERSION,
+    SERVE_PROTOCOL_VERSION,
 };
 pub use report::{PrAccumulator, RunReport};
 pub use spec_loop::{ClosureLoop, FullyInstrumented, SpecLoop};

@@ -37,6 +37,20 @@ pub(crate) const KIND_DIST_REPLY: u8 = 7;
 pub(crate) const KIND_DIST_HEARTBEAT: u8 = 8;
 /// Distributed wire: supervisor→worker orderly shutdown.
 pub(crate) const KIND_DIST_SHUTDOWN: u8 = 9;
+/// Serve wire: client→daemon job submission (loop spec + run options +
+/// idempotency key).
+pub(crate) const KIND_SERVE_SUBMIT: u8 = 10;
+/// Serve wire: daemon→client admission decision (accepted / queued /
+/// typed rejection).
+pub(crate) const KIND_SERVE_DECISION: u8 = 11;
+/// Serve wire: daemon→client terminal job status (exit-code contract +
+/// report digest). Also the on-disk status sidecar record.
+pub(crate) const KIND_SERVE_STATUS: u8 = 12;
+/// Serve wire: daemon→client frontier summary, substituted for dropped
+/// journal frames when a slow client's stream buffer overflows.
+pub(crate) const KIND_SERVE_SUMMARY: u8 = 13;
+/// Serve wire: client→daemon status query by idempotency key.
+pub(crate) const KIND_SERVE_STATUS_REQ: u8 = 14;
 
 /// Errors from decoding a persisted artifact.
 #[derive(Debug, PartialEq, Eq)]

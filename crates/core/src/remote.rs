@@ -1145,6 +1145,447 @@ fn run_block<T: Value + JournalElem>(engine: &mut Engine<'_, T>, req: &BlockRequ
     reply
 }
 
+// ---------------------------------------------------------------------------
+// Serve wire types (client ↔ daemon protocol)
+// ---------------------------------------------------------------------------
+
+/// Version of the client↔daemon (`rlrpd serve`) protocol. Carried in
+/// every [`JobSpec`] and [`StatusRequest`]; the daemon rejects a
+/// mismatched client at submission, before any state is created.
+pub const SERVE_PROTOCOL_VERSION: u32 = 1;
+
+/// Frame kind of a job submission ([`JobSpec`]).
+pub const FRAME_SUBMIT: u8 = crate::persist::KIND_SERVE_SUBMIT;
+/// Frame kind of an admission decision ([`JobDecision`]).
+pub const FRAME_DECISION: u8 = crate::persist::KIND_SERVE_DECISION;
+/// Frame kind of a job status ([`JobStatusFrame`]).
+pub const FRAME_STATUS: u8 = crate::persist::KIND_SERVE_STATUS;
+/// Frame kind of a frontier summary ([`FrontierSummary`]).
+pub const FRAME_SUMMARY: u8 = crate::persist::KIND_SERVE_SUMMARY;
+/// Frame kind of a status query ([`StatusRequest`]).
+pub const FRAME_STATUS_REQ: u8 = crate::persist::KIND_SERVE_STATUS_REQ;
+
+/// A client's job submission: everything the daemon needs to rebuild
+/// the run configuration, plus the client-chosen idempotency key. The
+/// encoded record doubles as the job's on-disk meta file, so a
+/// restarted daemon recovers jobs by decoding the exact bytes the
+/// client sent — and a resubmission with the same key but different
+/// bytes is a detectable conflict, not a silent overwrite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Serve-protocol version of the client ([`SERVE_PROTOCOL_VERSION`]).
+    pub protocol: u32,
+    /// Client-chosen idempotency key: resubmitting the same key with
+    /// the same bytes attaches to the existing job (running or done)
+    /// instead of starting a duplicate.
+    pub key: u64,
+    /// Registry spec string (e.g. `"rlp:<source>"`, `"fptrak:0"`) the
+    /// daemon resolves to the loop it will execute.
+    pub spec: String,
+    /// Virtual processor count.
+    pub p: u32,
+    /// Strategy string in CLI syntax (`"adaptive"`, `"nrd"`, `"rd"`,
+    /// `"sw:W"`).
+    pub strategy: String,
+    /// Shadow-budget request in bytes; `0` asks the daemon to carve a
+    /// fair share of its process-wide pool.
+    pub budget_bytes: u64,
+    /// Deterministic panic-fault seed (`0` = none) — each job's faults
+    /// are its own, injected from its own plan.
+    pub fault_seed: u64,
+    /// Shadow-pressure injections in CLI syntax (`"STAGE:BYTES[,..]"`,
+    /// empty = none).
+    pub shadow_fault: String,
+    /// Hard stage cap (`0` = the daemon's default).
+    pub max_stages: u64,
+}
+
+impl JobSpec {
+    /// Encode to a wire record (also the on-disk job meta image).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(crate::persist::KIND_SERVE_SUBMIT);
+        w.u32(self.protocol);
+        w.u64(self.key);
+        w.u32(self.p);
+        w.u64(self.budget_bytes);
+        w.u64(self.fault_seed);
+        w.u64(self.max_stages);
+        for s in [&self.spec, &self.strategy, &self.shadow_fault] {
+            w.u64(s.len() as u64);
+            w.raw(s.as_bytes());
+        }
+        w.finish()
+    }
+
+    /// Decode from a wire record or a recovered meta file.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, crate::persist::KIND_SERVE_SUBMIT)?;
+        let protocol = r.u32()?;
+        let key = r.u64()?;
+        let p = r.u32()?;
+        let budget_bytes = r.u64()?;
+        let fault_seed = r.u64()?;
+        let max_stages = r.u64()?;
+        let mut strings = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let len = r.u64()? as usize;
+            if len > r.remaining() {
+                return Err(PersistError::Corrupt);
+            }
+            strings
+                .push(String::from_utf8(r.raw(len)?.to_vec()).map_err(|_| PersistError::Corrupt)?);
+        }
+        r.done()?;
+        let shadow_fault = strings.pop().expect("three strings");
+        let strategy = strings.pop().expect("two strings");
+        let spec = strings.pop().expect("one string");
+        Ok(JobSpec {
+            protocol,
+            key,
+            spec,
+            p,
+            strategy,
+            budget_bytes,
+            fault_seed,
+            shadow_fault,
+            max_stages,
+        })
+    }
+}
+
+/// Why the daemon refused a submission. Typed so clients can decide
+/// (retry later vs. give up vs. shrink the request) without parsing
+/// prose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The requested budget exceeds the daemon's *entire* pool — no
+    /// amount of queueing will ever fit it.
+    OverPool {
+        /// Bytes the job asked for.
+        requested: u64,
+        /// The daemon's whole pool.
+        pool: u64,
+    },
+    /// The key is already bound to a job with *different* submission
+    /// bytes — an idempotency violation, not a resubmission.
+    KeyConflict,
+    /// The spec, strategy, or options could not be parsed/resolved.
+    BadSpec(String),
+    /// The daemon is draining (SIGTERM) and admits nothing new.
+    Draining,
+    /// The client speaks a different serve-protocol version.
+    ProtocolMismatch {
+        /// The daemon's version.
+        server: u32,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::OverPool { requested, pool } => {
+                write!(f, "requested budget {requested} exceeds pool {pool}")
+            }
+            RejectReason::KeyConflict => write!(f, "key bound to a different submission"),
+            RejectReason::BadSpec(m) => write!(f, "bad job spec: {m}"),
+            RejectReason::Draining => write!(f, "daemon is draining"),
+            RejectReason::ProtocolMismatch { server } => {
+                write!(f, "serve protocol mismatch (server v{server})")
+            }
+        }
+    }
+}
+
+const DECISION_ACCEPTED: u32 = 0;
+const DECISION_QUEUED: u32 = 1;
+const DECISION_REJECTED: u32 = 2;
+const DECISION_ATTACHED: u32 = 3;
+
+const REJECT_OVER_POOL: u32 = 0;
+const REJECT_KEY_CONFLICT: u32 = 1;
+const REJECT_BAD_SPEC: u32 = 2;
+const REJECT_DRAINING: u32 = 3;
+const REJECT_PROTOCOL: u32 = 4;
+
+/// The daemon's admission decision, sent as the first reply to a
+/// [`JobSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobDecision {
+    /// Admitted; dispatch may still wait for a budget grant.
+    Accepted,
+    /// Admitted but waiting in the tenant's queue for pool budget.
+    Queued,
+    /// This key already names an identical job (running or finished);
+    /// the stream attaches to it instead of starting a duplicate.
+    Attached,
+    /// Refused, with a typed reason.
+    Rejected(RejectReason),
+}
+
+impl JobDecision {
+    /// Encode to a wire record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(crate::persist::KIND_SERVE_DECISION);
+        let (code, reason_code, a, b, msg): (u32, u32, u64, u64, &str) = match self {
+            JobDecision::Accepted => (DECISION_ACCEPTED, 0, 0, 0, ""),
+            JobDecision::Queued => (DECISION_QUEUED, 0, 0, 0, ""),
+            JobDecision::Attached => (DECISION_ATTACHED, 0, 0, 0, ""),
+            JobDecision::Rejected(r) => match r {
+                RejectReason::OverPool { requested, pool } => {
+                    (DECISION_REJECTED, REJECT_OVER_POOL, *requested, *pool, "")
+                }
+                RejectReason::KeyConflict => (DECISION_REJECTED, REJECT_KEY_CONFLICT, 0, 0, ""),
+                RejectReason::BadSpec(m) => (DECISION_REJECTED, REJECT_BAD_SPEC, 0, 0, m.as_str()),
+                RejectReason::Draining => (DECISION_REJECTED, REJECT_DRAINING, 0, 0, ""),
+                RejectReason::ProtocolMismatch { server } => {
+                    (DECISION_REJECTED, REJECT_PROTOCOL, *server as u64, 0, "")
+                }
+            },
+        };
+        w.u32(code);
+        w.u32(reason_code);
+        w.u64(a);
+        w.u64(b);
+        w.u64(msg.len() as u64);
+        w.raw(msg.as_bytes());
+        w.finish()
+    }
+
+    /// Decode from a wire record.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, crate::persist::KIND_SERVE_DECISION)?;
+        let code = r.u32()?;
+        let reason_code = r.u32()?;
+        let a = r.u64()?;
+        let b = r.u64()?;
+        let ml = r.u64()? as usize;
+        if ml > r.remaining() {
+            return Err(PersistError::Corrupt);
+        }
+        let msg = String::from_utf8(r.raw(ml)?.to_vec()).map_err(|_| PersistError::Corrupt)?;
+        r.done()?;
+        Ok(match code {
+            DECISION_ACCEPTED => JobDecision::Accepted,
+            DECISION_QUEUED => JobDecision::Queued,
+            DECISION_ATTACHED => JobDecision::Attached,
+            DECISION_REJECTED => JobDecision::Rejected(match reason_code {
+                REJECT_OVER_POOL => RejectReason::OverPool {
+                    requested: a,
+                    pool: b,
+                },
+                REJECT_KEY_CONFLICT => RejectReason::KeyConflict,
+                REJECT_BAD_SPEC => RejectReason::BadSpec(msg),
+                REJECT_DRAINING => RejectReason::Draining,
+                REJECT_PROTOCOL => RejectReason::ProtocolMismatch { server: a as u32 },
+                _ => return Err(PersistError::Corrupt),
+            }),
+            _ => return Err(PersistError::Corrupt),
+        })
+    }
+}
+
+/// Lifecycle state of a daemon job, carried in [`JobStatusFrame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in its tenant's queue for a budget grant.
+    Queued,
+    /// Executing.
+    Running,
+    /// Paused at a durable commit point by a drain; will resume.
+    Paused,
+    /// Finished (exit code 0).
+    Done,
+    /// Finished with a non-zero exit code.
+    Failed,
+    /// The daemon has no job under this key.
+    Unknown,
+}
+
+impl JobState {
+    fn code(self) -> u32 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Paused => 2,
+            JobState::Done => 3,
+            JobState::Failed => 4,
+            JobState::Unknown => 5,
+        }
+    }
+
+    fn from_code(c: u32) -> Result<Self, PersistError> {
+        Ok(match c {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Paused,
+            3 => JobState::Done,
+            4 => JobState::Failed,
+            5 => JobState::Unknown,
+            _ => return Err(PersistError::Corrupt),
+        })
+    }
+}
+
+/// A job's status: the CLI exit-code contract (0 success / 1 other /
+/// 2 program fault / 3 stage limit / 4 journal / 64 usage) mapped onto
+/// a wire frame, plus the run-report JSON (the `--format json` schema)
+/// for finished jobs. Also written (atomically) as the job's on-disk
+/// status sidecar, so a restarted daemon knows which jobs finished.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobStatusFrame {
+    /// The job's idempotency key.
+    pub key: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Exit code per the CLI contract (meaningful for `Done`/`Failed`).
+    pub exit_code: u32,
+    /// True when the finished arrays were verified byte-identical to a
+    /// sequential execution of the same loop.
+    pub verified: bool,
+    /// Last durable commit frontier.
+    pub frontier: u64,
+    /// [`RunReport::to_json`] of the finished run (empty until then).
+    pub report_json: String,
+    /// Human-readable diagnostic (error text for `Failed`).
+    pub message: String,
+}
+
+impl JobStatusFrame {
+    /// Encode to a wire record (also the status sidecar image).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(crate::persist::KIND_SERVE_STATUS);
+        w.u64(self.key);
+        w.u32(self.state.code());
+        w.u32(self.exit_code);
+        w.u32(self.verified as u32);
+        w.u64(self.frontier);
+        for s in [&self.report_json, &self.message] {
+            w.u64(s.len() as u64);
+            w.raw(s.as_bytes());
+        }
+        w.finish()
+    }
+
+    /// Decode from a wire record or a recovered sidecar file.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, crate::persist::KIND_SERVE_STATUS)?;
+        let key = r.u64()?;
+        let state = JobState::from_code(r.u32()?)?;
+        let exit_code = r.u32()?;
+        let verified = match r.u32()? {
+            0 => false,
+            1 => true,
+            _ => return Err(PersistError::Corrupt),
+        };
+        let frontier = r.u64()?;
+        let mut strings = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let len = r.u64()? as usize;
+            if len > r.remaining() {
+                return Err(PersistError::Corrupt);
+            }
+            strings
+                .push(String::from_utf8(r.raw(len)?.to_vec()).map_err(|_| PersistError::Corrupt)?);
+        }
+        r.done()?;
+        let message = strings.pop().expect("two strings");
+        let report_json = strings.pop().expect("one string");
+        Ok(JobStatusFrame {
+            key,
+            state,
+            exit_code,
+            verified,
+            frontier,
+            report_json,
+            message,
+        })
+    }
+}
+
+/// A frontier summary: substituted for journal frames a slow client's
+/// bounded stream buffer had to drop. The client learns how far its job
+/// has durably progressed (and how much detail it missed) without the
+/// daemon buffering unboundedly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrontierSummary {
+    /// The job's idempotency key.
+    pub key: u64,
+    /// Last durable commit frontier at summary time.
+    pub frontier: u64,
+    /// Journal records appended so far (header included).
+    pub records: u64,
+    /// Full frames dropped from this client's stream since the last
+    /// summary.
+    pub dropped: u64,
+}
+
+impl FrontierSummary {
+    /// Encode to a wire record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(crate::persist::KIND_SERVE_SUMMARY);
+        w.u64(self.key);
+        w.u64(self.frontier);
+        w.u64(self.records);
+        w.u64(self.dropped);
+        w.finish()
+    }
+
+    /// Decode from a wire record.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, crate::persist::KIND_SERVE_SUMMARY)?;
+        let s = FrontierSummary {
+            key: r.u64()?,
+            frontier: r.u64()?,
+            records: r.u64()?,
+            dropped: r.u64()?,
+        };
+        r.done()?;
+        Ok(s)
+    }
+}
+
+/// A status query by idempotency key (`rlrpd status`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatusRequest {
+    /// Serve-protocol version of the client.
+    pub protocol: u32,
+    /// Key of the job being asked about.
+    pub key: u64,
+}
+
+impl StatusRequest {
+    /// Encode to a wire record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(crate::persist::KIND_SERVE_STATUS_REQ);
+        w.u32(self.protocol);
+        w.u64(self.key);
+        w.finish()
+    }
+
+    /// Decode from a wire record.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::open(bytes, crate::persist::KIND_SERVE_STATUS_REQ)?;
+        let s = StatusRequest {
+            protocol: r.u32()?,
+            key: r.u64()?,
+        };
+        r.done()?;
+        Ok(s)
+    }
+}
+
+/// The commit frontier of a framed journal commit record, if `record`
+/// is one — a peek for stream consumers (progress display, frontier
+/// summaries) that does not re-validate the checksum. Payload layout
+/// after the 9-byte persist header: `u64 chain | u64 frontier | …`.
+pub fn commit_frontier(record: &[u8]) -> Option<u64> {
+    if frame_kind(record) != Some(KIND_JOURNAL_COMMIT) {
+        return None;
+    }
+    let bytes = record.get(17..25)?;
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

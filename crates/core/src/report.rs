@@ -46,6 +46,11 @@ pub struct RunReport {
     /// commit-point re-selection and budget degradation.
     #[serde(default)]
     pub shadow_reprs: Vec<(String, String)>,
+    /// Commit frontier at which a cooperative stop
+    /// ([`crate::Runner::with_stop`]) paused this run; `None` for a run
+    /// that completed. A paused journaled run resumes from here.
+    #[serde(default)]
+    pub stopped_at: Option<usize>,
 }
 
 impl RunReport {
@@ -162,6 +167,90 @@ impl RunReport {
     pub fn shadow_pressure_events(&self) -> usize {
         self.stages.iter().map(|s| s.shadow_pressure_events).sum()
     }
+
+    /// Machine-readable JSON image of the report: the schema behind
+    /// `rlrpd run --format json` and the daemon's job-status frames.
+    /// Hand-rolled (no JSON dependency); keys are stable.
+    pub fn to_json(&self) -> String {
+        fn opt_usize(v: Option<usize>) -> String {
+            v.map_or("null".into(), |x| x.to_string())
+        }
+        fn opt_u64(v: Option<u64>) -> String {
+            v.map_or("null".into(), |x| x.to_string())
+        }
+        let fallback = match self.fallback {
+            Some(r) => format!("\"{r:?}\""),
+            None => "null".into(),
+        };
+        let reprs: Vec<String> = self
+            .shadow_reprs
+            .iter()
+            .map(|(n, r)| {
+                format!(
+                    "{{\"array\":{},\"repr\":{}}}",
+                    json_string(n),
+                    json_string(r)
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"stages\":{},\"restarts\":{},\"pr\":{:.6},",
+                "\"sequential_work\":{:.6},\"virtual_time\":{:.6},\"speedup\":{:.6},",
+                "\"wall_seconds\":{:.6},\"exited_at\":{},\"fallback\":{},",
+                "\"resumed_at\":{},\"stopped_at\":{},",
+                "\"predicted_first_dependence\":{},\"observed_first_dependence\":{},",
+                "\"contained_faults\":{},\"quarantined\":{},\"respawns\":{},",
+                "\"wire_bytes\":{},\"journal_bytes\":{},\"journal_seconds\":{:.6},",
+                "\"shadow_budget\":{},\"shadow_bytes_peak\":{},",
+                "\"shadow_migrations\":{},\"shadow_pressure_events\":{},",
+                "\"shadow_reprs\":[{}]}}"
+            ),
+            self.stages.len(),
+            self.restarts,
+            self.pr(),
+            self.sequential_work,
+            self.virtual_time(),
+            self.speedup(),
+            self.wall_seconds,
+            opt_usize(self.exited_at),
+            fallback,
+            opt_usize(self.resumed_at),
+            opt_usize(self.stopped_at),
+            opt_usize(self.predicted_first_dependence),
+            opt_usize(self.observed_first_dependence),
+            self.contained_faults(),
+            self.quarantined(),
+            self.respawns(),
+            self.wire_bytes(),
+            self.journal_bytes(),
+            self.journal_seconds(),
+            opt_u64(self.shadow_budget),
+            self.shadow_bytes_peak(),
+            self.shadow_migrations(),
+            self.shadow_pressure_events(),
+            reprs.join(",")
+        )
+    }
+}
+
+/// Escape `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl std::fmt::Display for RunReport {
@@ -181,6 +270,9 @@ impl std::fmt::Display for RunReport {
         )?;
         if let Some(from) = self.resumed_at {
             writeln!(f, "resumed from journal at iteration {from}")?;
+        }
+        if let Some(at) = self.stopped_at {
+            writeln!(f, "paused by cooperative stop at iteration {at}")?;
         }
         if self.predicted_first_dependence.is_some() || self.observed_first_dependence.is_some() {
             writeln!(

@@ -23,6 +23,7 @@ use crate::journal::JournalSink;
 use crate::report::RunReport;
 use crate::value::Value;
 use rlrpd_runtime::BlockSchedule;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Window-size adaptation policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -86,6 +87,7 @@ pub(crate) fn run_window<T: Value>(
     wcfg: WindowConfig,
     start: usize,
     journal: &mut Option<JournalSink<'_, T>>,
+    stop: Option<&AtomicBool>,
     mut on_commit: impl FnMut(&[CommittedBlockMarks]),
 ) -> Result<(RunReport, Vec<DepArc>), RlrpdError> {
     let n = engine.n;
@@ -104,6 +106,12 @@ pub(crate) fn run_window<T: Value>(
     let mut last_fault_restart: Option<usize> = None;
 
     while commit_point < n {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            // Cooperative drain: the last window's commit is already
+            // durable; record where the run paused and return.
+            report.stopped_at = Some(commit_point);
+            break;
+        }
         if report.stages.len() >= cfg.max_stages {
             return Err(RlrpdError::StageLimit {
                 max_stages: cfg.max_stages,

@@ -73,6 +73,6 @@ mod worker;
 
 pub use chaos::{ChaosFault, ChaosPlan, ChaosProxy};
 pub use fleet::{DistLauncher, DistPolicy, Endpoint, Fleet};
-pub use net::{listen_entry, TcpTuning};
+pub use net::{listen_entry, TcpTuning, DEFAULT_IDLE_TIMEOUT};
 pub use spec::resolve_spec;
 pub use worker::{worker_entry, EXIT_OK, EXIT_TRANSPORT, EXIT_USAGE};

@@ -159,12 +159,18 @@ fn set_keepalive(stream: &TcpStream) {
 #[cfg(not(target_os = "linux"))]
 fn set_keepalive(_stream: &TcpStream) {}
 
+/// Default pre-hello idle deadline of a listening worker: a connection
+/// that sends no hello within this window is reclaimed. Generous — a
+/// real supervisor sends its hello immediately after connecting.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// `rlrpd worker --listen ADDR`: bind and serve worker sessions until
 /// killed. Returns only on a bind failure ([`EXIT_USAGE`]).
 ///
 /// The bound address is printed to stdout (`listening on ADDR`) so
-/// scripts can bind port 0 and discover the port.
-pub fn listen_entry(addr: &str) -> i32 {
+/// scripts can bind port 0 and discover the port. `idle` is the
+/// pre-hello idle deadline (`None` disables the reaper).
+pub fn listen_entry(addr: &str, idle: Option<Duration>) -> i32 {
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -178,18 +184,24 @@ pub fn listen_entry(addr: &str) -> i32 {
         .unwrap_or_else(|_| addr.to_string());
     println!("listening on {local}");
     let _ = std::io::stdout().flush();
-    run_listener(listener)
+    run_listener(listener, idle)
 }
 
 /// Accept loop: one session thread per connection. A protocol error on
 /// one session (e.g. a mismatched supervisor binary) ends that session
 /// with a stderr diagnostic; the listener keeps serving — one bad
 /// client must not take the host out of every other fleet's rotation.
-pub fn run_listener(listener: TcpListener) -> i32 {
+///
+/// `idle` is the pre-hello idle deadline: a connected-but-silent client
+/// would otherwise hold its session thread (and socket) forever. The
+/// deadline is lifted once a valid hello arrives — a supervisor mid-run
+/// is legitimately silent while it merges shadows and commits between
+/// stages, and must not be reaped.
+pub fn run_listener(listener: TcpListener, idle: Option<Duration>) -> i32 {
     loop {
         match listener.accept() {
             Ok((stream, peer)) => {
-                std::thread::spawn(move || serve_tcp_session(stream, peer));
+                std::thread::spawn(move || serve_tcp_session(stream, peer, idle));
             }
             Err(e) => {
                 // Transient accept failures (EMFILE, aborted handshake)
@@ -202,14 +214,15 @@ pub fn run_listener(listener: TcpListener) -> i32 {
 }
 
 /// Serve one supervisor session on an accepted socket.
-fn serve_tcp_session(stream: TcpStream, peer: SocketAddr) {
+fn serve_tcp_session(stream: TcpStream, peer: SocketAddr, idle: Option<Duration>) {
     let label = format!("rlrpd worker [{peer}]");
     if let Err(e) = stream.set_nodelay(true) {
         eprintln!("{label}: socket setup failed: {e}");
         return;
     }
-    // Write deadline only: a worker blocked writing to a partitioned
-    // supervisor must eventually fail and free the session. No read
+    // Write deadline only (plus the pre-hello idle deadline below): a
+    // worker blocked writing to a partitioned supervisor must
+    // eventually fail and free the session. No post-hello read
     // deadline — the supervisor is legitimately silent while it merges
     // shadows and commits between stages.
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -234,8 +247,20 @@ fn serve_tcp_session(stream: TcpStream, peer: SocketAddr) {
     let on_heartbeat_failure: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
         let _ = hangup.shutdown(Shutdown::Both);
     });
+    // Arm the idle reaper until the hello proves the peer is real.
+    let disarm = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{label}: socket clone failed: {e}");
+            return;
+        }
+    };
+    let _ = stream.set_read_timeout(idle);
+    let on_hello = move || {
+        let _ = disarm.set_read_timeout(None);
+    };
     let mut input = BufReader::new(stream);
-    serve_session(&label, &mut input, output, on_heartbeat_failure);
+    serve_session(&label, &mut input, output, on_heartbeat_failure, on_hello);
 }
 
 #[cfg(test)]
@@ -283,5 +308,35 @@ mod tests {
         assert!(stream.read_timeout().unwrap().is_some());
         assert!(stream.write_timeout().unwrap().is_some());
         assert!(stream.nodelay().unwrap());
+    }
+
+    #[test]
+    fn abandoned_half_open_connection_is_reclaimed() {
+        use std::io::Read as _;
+        // A listener with a short idle deadline: a client that connects
+        // and never sends a hello must be hung up on, not hold its
+        // session thread forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || run_listener(listener, Some(Duration::from_millis(150))));
+
+        let mut client = TcpStream::connect(&addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let t0 = std::time::Instant::now();
+        let mut buf = [0u8; 16];
+        // The reaped session drops its socket: the client observes EOF
+        // (or a reset) well before our own 10s guard.
+        let got = client.read(&mut buf);
+        assert!(
+            matches!(got, Ok(0) | Err(_)),
+            "expected hangup, got {got:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(8),
+            "reaper must fire from the idle deadline, took {:?}",
+            t0.elapsed()
+        );
     }
 }

@@ -46,16 +46,32 @@ const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(25);
 /// its peers apart. `on_heartbeat_failure` runs when a heartbeat write
 /// fails — the supervisor is gone, and the transport decides what that
 /// means (stdio: exit the process; TCP: shut the socket down so the
-/// blocked session reader unblocks and the thread exits).
+/// blocked session reader unblocks and the thread exits). `on_hello`
+/// runs once a valid hello has been decoded — the TCP transport uses
+/// it to lift its pre-hello idle deadline (a connected-but-silent
+/// client is reaped; a real supervisor mid-run is legitimately silent
+/// between stages and must not be).
 pub(crate) fn serve_session(
     label: &str,
     input: &mut dyn Read,
     output: Arc<Mutex<Box<dyn Write + Send>>>,
     on_heartbeat_failure: Arc<dyn Fn() + Send + Sync>,
+    on_hello: impl FnOnce(),
 ) -> i32 {
     let frame = match read_frame(input) {
         Ok(Some(f)) => f,
         Ok(None) => return EXIT_OK, // connected and immediately abandoned
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            // The transport's idle deadline fired before any hello: an
+            // abandoned half-open connection, reclaimed without fuss.
+            eprintln!("{label}: no hello before the idle deadline; session reclaimed");
+            return EXIT_OK;
+        }
         Err(e) => {
             eprintln!("{label}: bad hello frame: {e}");
             return EXIT_USAGE;
@@ -72,6 +88,7 @@ pub(crate) fn serve_session(
             return EXIT_USAGE;
         }
     };
+    on_hello();
     let lp = match resolve_spec(&hello.spec) {
         Ok(lp) => lp,
         Err(e) => {
@@ -143,5 +160,11 @@ pub fn worker_entry() -> i32 {
     // supervisor pipe means there is nothing left to do.
     let on_heartbeat_failure: Arc<dyn Fn() + Send + Sync> =
         Arc::new(|| std::process::exit(EXIT_OK));
-    serve_session("rlrpd worker", &mut input, output, on_heartbeat_failure)
+    serve_session(
+        "rlrpd worker",
+        &mut input,
+        output,
+        on_heartbeat_failure,
+        || {},
+    )
 }

@@ -49,7 +49,7 @@ fn strategies() -> Vec<Strategy> {
 fn spawn_listener() -> String {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
-    std::thread::spawn(move || net::run_listener(listener));
+    std::thread::spawn(move || net::run_listener(listener, Some(net::DEFAULT_IDLE_TIMEOUT)));
     addr
 }
 

@@ -1,0 +1,269 @@
+//! The client side: `rlrpd submit` and `rlrpd status`.
+//!
+//! Submission is **idempotent**: the client picks the job key, and a
+//! resubmission of the same bytes attaches to the existing job instead
+//! of starting a duplicate. That makes the retry loop trivial — any
+//! connection loss (daemon restart, network blip, drain) is handled by
+//! reconnecting with exponential backoff and resubmitting verbatim;
+//! the daemon replays the journal stream from its own durable copy, so
+//! the client never misses the terminal status frame.
+
+use std::io::ErrorKind;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rlrpd_core::remote::{
+    commit_frontier, frame_kind, read_frame, write_frame, FrontierSummary, JobDecision, JobSpec,
+    JobState, JobStatusFrame, RejectReason, StatusRequest, FRAME_STATUS, FRAME_SUMMARY,
+};
+
+/// Client-side retry policy and reporting switches.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Overall deadline for the submission (connect + stream +
+    /// however many reconnects it takes).
+    pub deadline: Duration,
+    /// Initial reconnect backoff; doubles per attempt, capped at 2s.
+    pub backoff: Duration,
+    /// Print progress lines (commit frontiers, summaries, reconnects)
+    /// to stdout.
+    pub progress: bool,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            deadline: Duration::from_secs(60),
+            backoff: Duration::from_millis(25),
+            progress: false,
+        }
+    }
+}
+
+/// Why a submission or query gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The daemon refused, with its typed reason. Retryable reasons
+    /// ([`RejectReason::Draining`]) are retried internally; this
+    /// surfaces only terminal refusals.
+    Rejected(RejectReason),
+    /// The deadline elapsed without reaching a terminal status.
+    Timeout(String),
+    /// The daemon sent something undecodable.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected(r) => write!(f, "rejected: {r}"),
+            ClientError::Timeout(m) => write!(f, "timed out: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What a completed submission observed.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// The job's terminal status frame.
+    pub status: JobStatusFrame,
+    /// Journal frames received across all connections (catch-up
+    /// replays included).
+    pub frames: u64,
+    /// Frontier summaries received (each stands for dropped frames).
+    pub summaries: u64,
+    /// Total frames the daemon dropped from this client's stream.
+    pub dropped: u64,
+    /// Reconnect attempts made after the initial connection.
+    pub reconnects: u64,
+}
+
+struct Backoff {
+    cur: Duration,
+}
+
+impl Backoff {
+    fn new(initial: Duration) -> Self {
+        Backoff { cur: initial }
+    }
+
+    fn wait(&mut self) {
+        std::thread::sleep(self.cur);
+        self.cur = (self.cur * 2).min(Duration::from_secs(2));
+    }
+}
+
+/// Submit `spec` to the daemon at `addr` and follow the job to its
+/// terminal status. Reconnects (resubmitting idempotently) on any
+/// connection loss, daemon drain, or read stall until the deadline.
+pub fn submit(
+    addr: &str,
+    spec: &JobSpec,
+    opts: &ClientOptions,
+) -> Result<SubmitOutcome, ClientError> {
+    let start = Instant::now();
+    let mut backoff = Backoff::new(opts.backoff);
+    let mut out = SubmitOutcome {
+        status: JobStatusFrame {
+            key: spec.key,
+            state: JobState::Unknown,
+            exit_code: 0,
+            verified: false,
+            frontier: 0,
+            report_json: String::new(),
+            message: String::new(),
+        },
+        frames: 0,
+        summaries: 0,
+        dropped: 0,
+        reconnects: 0,
+    };
+    let mut first_attempt = true;
+    loop {
+        if start.elapsed() > opts.deadline {
+            return Err(ClientError::Timeout(format!(
+                "no terminal status for job {:016x} within {:?}",
+                spec.key, opts.deadline
+            )));
+        }
+        if !first_attempt {
+            out.reconnects += 1;
+            if opts.progress {
+                println!("submit: reconnecting (attempt {})", out.reconnects);
+            }
+            backoff.wait();
+        }
+        first_attempt = false;
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        if write_frame(&mut stream, &spec.encode()).is_err() {
+            continue;
+        }
+        let decision = match read_frame(&mut stream) {
+            Ok(Some(frame)) => match JobDecision::decode(&frame) {
+                Ok(d) => d,
+                Err(e) => return Err(ClientError::Protocol(format!("bad decision frame: {e}"))),
+            },
+            _ => continue,
+        };
+        match decision {
+            JobDecision::Rejected(RejectReason::Draining) => continue,
+            JobDecision::Rejected(r) => return Err(ClientError::Rejected(r)),
+            d => {
+                if opts.progress {
+                    println!("submit: {d:?}");
+                }
+            }
+        }
+        // Follow the stream. Any failure from here on loops back to an
+        // idempotent resubmission.
+        match follow_stream(&mut stream, &mut out, opts) {
+            Some(status) if matches!(status.state, JobState::Done | JobState::Failed) => {
+                out.status = status;
+                return Ok(out);
+            }
+            Some(_paused) => continue, // daemon drained; retry after it returns
+            None => continue,
+        }
+    }
+}
+
+/// Read frames until a status frame or a connection problem. Returns
+/// the status frame if one arrived.
+fn follow_stream(
+    stream: &mut TcpStream,
+    out: &mut SubmitOutcome,
+    opts: &ClientOptions,
+) -> Option<JobStatusFrame> {
+    loop {
+        let frame = match read_frame(stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return None,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return None
+            }
+            Err(_) => return None,
+        };
+        match frame_kind(&frame) {
+            Some(FRAME_STATUS) => match JobStatusFrame::decode(&frame) {
+                Ok(st) => {
+                    if opts.progress {
+                        println!("submit: job {:016x} {:?}", st.key, st.state);
+                    }
+                    return Some(st);
+                }
+                Err(_) => return None,
+            },
+            Some(FRAME_SUMMARY) => {
+                if let Ok(s) = FrontierSummary::decode(&frame) {
+                    out.summaries += 1;
+                    out.dropped += s.dropped;
+                    if opts.progress {
+                        println!(
+                            "submit: frontier {} ({} records, {} frames skipped)",
+                            s.frontier, s.records, s.dropped
+                        );
+                    }
+                }
+            }
+            _ => {
+                out.frames += 1;
+                if let Some(fr) = commit_frontier(&frame) {
+                    if opts.progress {
+                        println!("submit: commit frontier {fr}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Query the status of job `key` at the daemon `addr`, retrying
+/// connection failures until the deadline.
+pub fn query_status(
+    addr: &str,
+    key: u64,
+    opts: &ClientOptions,
+) -> Result<JobStatusFrame, ClientError> {
+    let start = Instant::now();
+    let mut backoff = Backoff::new(opts.backoff);
+    let req = StatusRequest {
+        protocol: rlrpd_core::remote::SERVE_PROTOCOL_VERSION,
+        key,
+    };
+    loop {
+        if start.elapsed() > opts.deadline {
+            return Err(ClientError::Timeout(format!(
+                "no status for job {key:016x} within {:?}",
+                opts.deadline
+            )));
+        }
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            backoff.wait();
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        if write_frame(&mut stream, &req.encode()).is_err() {
+            backoff.wait();
+            continue;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) if frame_kind(&frame) == Some(FRAME_STATUS) => {
+                return JobStatusFrame::decode(&frame)
+                    .map_err(|e| ClientError::Protocol(format!("bad status frame: {e}")));
+            }
+            Ok(Some(_)) => {
+                return Err(ClientError::Protocol("unexpected frame kind".into()));
+            }
+            _ => {
+                backoff.wait();
+                continue;
+            }
+        }
+    }
+}

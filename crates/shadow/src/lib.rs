@@ -55,7 +55,7 @@ pub mod select;
 pub mod shadow;
 pub mod sparse;
 
-pub use budget::ShadowBudget;
+pub use budget::{BudgetLease, BudgetPool, ShadowBudget};
 pub use dense::DenseShadow;
 pub use iter_marks::{ElemEvents, EventKind, IterMarks};
 pub use last_ref::LastRefTable;

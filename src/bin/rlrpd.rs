@@ -132,8 +132,15 @@ fn usage() -> String {
      [--dist-workers N|auto|host:port[:N],local[:N],...] [--block-deadline SECS] \
      [--max-respawns R] [--fleet-max-respawns R] [--heartbeat-interval SECS] \
      [--dist-fault kill|hang|corrupt:ORDINAL[,...]] [--no-compile] \
-     [--shadow-budget BYTES|auto] [--shadow-fault STAGE:BYTES[,...]]\n  rlrpd worker \
-     [--listen ADDR]\n  rlrpd chaos-proxy --listen ADDR --connect ADDR \
+     [--shadow-budget BYTES|auto] [--shadow-fault STAGE:BYTES[,...]] \
+     [--format text|json]\n  rlrpd worker \
+     [--listen ADDR [--idle-timeout SECS]]\n  rlrpd serve --state-dir DIR [--listen ADDR] \
+     [--pool-budget BYTES|auto] [--max-jobs N] [--stream-buffer FRAMES] [--resume]\n  \
+     rlrpd submit --connect ADDR --key K <file.rlp | --spec SPEC> [--procs N] \
+     [--strategy S] [--shadow-budget BYTES|auto] [--fault-seed S] \
+     [--shadow-fault STAGE:BYTES[,...]] [--max-stages M] [--retry SECS] \
+     [--format text|json]\n  rlrpd status --connect ADDR --key K [--retry SECS] \
+     [--format text|json]\n  rlrpd chaos-proxy --listen ADDR --connect ADDR \
      [--fault kind:conn[:arg][,...] | --seed N]\n  rlrpd classify \
      <file.rlp>\n  rlrpd analyze <file.rlp> [--procs N] [--format text|json] \
      [--deny-warnings] [--emit bytecode] [--audit]\n  rlrpd fmt <file.rlp>\n  rlrpd ddg <file.rlp> \
@@ -148,6 +155,9 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     match cmd.as_str() {
         "run" => cmd_run(rest),
         "worker" => cmd_worker(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
         "chaos-proxy" => cmd_chaos_proxy(rest),
         "classify" => cmd_classify(rest).map_err(CliError::from),
         "analyze" => cmd_analyze(rest),
@@ -200,6 +210,15 @@ const VALUE_FLAGS: &[&str] = &[
     "--connect",
     "--fault",
     "--seed",
+    "--idle-timeout",
+    "--state-dir",
+    "--max-jobs",
+    "--pool-budget",
+    "--stream-buffer",
+    "--spec",
+    "--key",
+    "--budget",
+    "--retry",
 ];
 
 fn parse_flags(args: Vec<String>) -> Result<Flags, String> {
@@ -278,28 +297,59 @@ fn parse_bytes(v: &str) -> Result<u64, String> {
     n.checked_shl(shift).filter(|&b| b > 0).ok_or_else(bad)
 }
 
+/// `MemAvailable` from `/proc/meminfo`, in bytes.
+fn mem_available() -> Result<u64, String> {
+    let info = std::fs::read_to_string("/proc/meminfo")
+        .map_err(|e| format!("cannot read /proc/meminfo: {e}"))?;
+    info.lines()
+        .find_map(|l| l.strip_prefix("MemAvailable:"))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .ok_or_else(|| "no MemAvailable in /proc/meminfo".into())
+}
+
+/// The machine-derived budget `auto` resolves to for a *standalone*
+/// process: a quarter of `MemAvailable`. (Under `rlrpd serve`, `auto`
+/// means something else entirely — "carve my share from the daemon's
+/// pool" — and never consults the machine; the daemon's admission
+/// control is the authority there.)
+fn auto_budget(flag: &str) -> Result<u64, String> {
+    let avail = mem_available().map_err(|e| format!("{flag} auto: {e}"))?;
+    Ok((avail / 4).max(1))
+}
+
 /// Resolve `--shadow-budget` (`None` when the flag is absent: shadow
 /// memory stays ungoverned). `auto` derives a cap from the machine's
 /// available memory (a quarter of `MemAvailable`); an unreadable
 /// `/proc/meminfo` is a usage error rather than a silent unlimited run.
+/// A budget that cannot actually be satisfied warns up front instead
+/// of thrashing silently mid-run.
 fn shadow_budget(flags: &Flags) -> Result<Option<u64>, String> {
     let Some(v) = flags.get("--shadow-budget") else {
         return Ok(None);
     };
     if v == "auto" {
-        let info = std::fs::read_to_string("/proc/meminfo")
-            .map_err(|e| format!("--shadow-budget auto: cannot read /proc/meminfo: {e}"))?;
-        let kb: u64 = info
-            .lines()
-            .find_map(|l| l.strip_prefix("MemAvailable:"))
-            .and_then(|l| l.split_whitespace().next())
-            .and_then(|n| n.parse().ok())
-            .ok_or("--shadow-budget auto: no MemAvailable in /proc/meminfo")?;
-        return Ok(Some((kb * 1024 / 4).max(1)));
+        let cap = auto_budget("--shadow-budget")?;
+        if cap < (1 << 20) {
+            eprintln!(
+                "rlrpd: warning: --shadow-budget auto resolved to only {cap} bytes \
+                 (the machine is memory-starved); expect down-tiering or sequential fallback"
+            );
+        }
+        return Ok(Some(cap));
     }
-    parse_bytes(v)
-        .map(Some)
-        .map_err(|e| format!("--shadow-budget {e}"))
+    let bytes = parse_bytes(v).map_err(|e| format!("--shadow-budget {e}"))?;
+    if let Ok(avail) = mem_available() {
+        if bytes > avail {
+            eprintln!(
+                "rlrpd: warning: --shadow-budget {bytes} exceeds available memory \
+                 ({avail} bytes); the budget cannot be honored if the shadows actually \
+                 grow that large"
+            );
+        }
+    }
+    Ok(Some(bytes))
 }
 
 /// Parse `--shadow-fault STAGE:BYTES[,...]` into deterministic
@@ -388,17 +438,247 @@ fn cmd_worker(args: Vec<String>) -> Result<(), CliError> {
     let flags = parse_flags(args).map_err(CliError::Usage)?;
     if !flags.positional.is_empty()
         || !flags.lone.is_empty()
-        || flags.pairs.iter().any(|(k, _)| k != "--listen")
+        || flags
+            .pairs
+            .iter()
+            .any(|(k, _)| k != "--listen" && k != "--idle-timeout")
     {
         return Err(CliError::Usage(
-            "worker takes only --listen ADDR; without it, it speaks the fleet protocol \
-             on stdin/stdout"
+            "worker takes only --listen ADDR [--idle-timeout SECS]; without --listen, \
+             it speaks the fleet protocol on stdin/stdout"
                 .into(),
         ));
     }
+    // Idle reaper for listener sessions: a connection that never sends
+    // its hello within this window is reclaimed. 0 disables.
+    let idle = match flags.get("--idle-timeout") {
+        None => Some(rlrpd::dist::DEFAULT_IDLE_TIMEOUT),
+        Some(v) => {
+            let s: f64 = v.parse().map_err(|_| {
+                CliError::Usage(format!("--idle-timeout expects seconds, got '{v}'"))
+            })?;
+            if s < 0.0 || !s.is_finite() {
+                return Err(CliError::Usage(format!(
+                    "--idle-timeout must be non-negative, got '{v}'"
+                )));
+            }
+            (s > 0.0).then(|| Duration::from_secs_f64(s))
+        }
+    };
     match flags.get("--listen") {
-        Some(addr) => std::process::exit(rlrpd::dist::listen_entry(addr)),
-        None => std::process::exit(rlrpd::dist::worker_entry()),
+        Some(addr) => std::process::exit(rlrpd::dist::listen_entry(addr, idle)),
+        None => {
+            if flags.get("--idle-timeout").is_some() {
+                return Err(CliError::Usage(
+                    "--idle-timeout requires --listen (stdio sessions have no accept loop)".into(),
+                ));
+            }
+            std::process::exit(rlrpd::dist::worker_entry())
+        }
+    }
+}
+
+/// `rlrpd serve`: the long-lived multi-tenant job daemon. Accepts
+/// submissions over the length-framed protocol, multiplexes runs over
+/// one process-wide budget pool, journals every job under
+/// `--state-dir`, drains gracefully on SIGTERM, and resumes
+/// incomplete jobs on restart under `--resume`. Runs until signalled.
+fn cmd_serve(args: Vec<String>) -> Result<(), CliError> {
+    let flags = parse_flags(args).map_err(CliError::Usage)?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(
+            "serve takes no positional arguments (jobs arrive over the wire)".into(),
+        ));
+    }
+    let state_dir = flags
+        .get("--state-dir")
+        .ok_or_else(|| CliError::Usage("serve needs --state-dir DIR".into()))?;
+    let pool_budget = match flags.get("--pool-budget") {
+        None => 64 << 20,
+        Some("auto") => auto_budget("--pool-budget").map_err(CliError::Usage)?,
+        Some(v) => parse_bytes(v).map_err(|e| CliError::Usage(format!("--pool-budget {e}")))?,
+    };
+    let cfg = rlrpd::serve::ServeConfig {
+        listen: flags.get("--listen").unwrap_or("127.0.0.1:0").to_string(),
+        state_dir: state_dir.into(),
+        pool_budget,
+        max_jobs: flags.usize_of("--max-jobs", 4).map_err(CliError::Usage)?,
+        stream_buffer: flags
+            .usize_of("--stream-buffer", 256)
+            .map_err(CliError::Usage)?,
+        resume: flags.has("--resume"),
+        ..rlrpd::serve::ServeConfig::default()
+    };
+    std::process::exit(rlrpd::serve::serve_entry(cfg))
+}
+
+/// Parse `--key K` (decimal or 0x-prefixed hex).
+fn job_key(flags: &Flags) -> Result<u64, CliError> {
+    let v = flags
+        .get("--key")
+        .ok_or_else(|| CliError::Usage("--key K is required (the job's idempotency key)".into()))?;
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| CliError::Usage(format!("--key expects an integer, got '{v}'")))
+}
+
+/// Shared client retry options from `--retry SECS`.
+fn client_options(flags: &Flags, progress: bool) -> Result<rlrpd::serve::ClientOptions, CliError> {
+    let secs = flags.f64_of("--retry", 60.0).map_err(CliError::Usage)?;
+    if !(secs > 0.0 && secs.is_finite()) {
+        return Err(CliError::Usage("--retry must be positive seconds".into()));
+    }
+    Ok(rlrpd::serve::ClientOptions {
+        deadline: Duration::from_secs_f64(secs),
+        progress,
+        ..rlrpd::serve::ClientOptions::default()
+    })
+}
+
+/// A job-status frame as one JSON object (the embedded report uses
+/// the same schema as `rlrpd run --format json`).
+fn status_json(st: &rlrpd::core::remote::JobStatusFrame) -> String {
+    format!(
+        "{{\"key\":\"{:016x}\",\"state\":\"{:?}\",\"exit_code\":{},\"verified\":{},\
+         \"frontier\":{},\"report\":{},\"message\":\"{}\"}}",
+        st.key,
+        st.state,
+        st.exit_code,
+        st.verified,
+        st.frontier,
+        if st.report_json.is_empty() {
+            "null"
+        } else {
+            &st.report_json
+        },
+        json_escape(&st.message)
+    )
+}
+
+/// `rlrpd submit`: send one job to a daemon and follow it to its
+/// terminal status, reconnecting (idempotently, keyed by `--key`)
+/// through daemon restarts. The process exits with the *job's* exit
+/// code under the CLI contract (0 success / 2 program fault / 3 stage
+/// limit / 4 journal / 1 other), so shell pipelines treat a remote
+/// run exactly like a local one.
+fn cmd_submit(args: Vec<String>) -> Result<(), CliError> {
+    let flags = parse_flags(args).map_err(CliError::Usage)?;
+    let addr = flags
+        .get("--connect")
+        .ok_or_else(|| CliError::Usage("submit needs --connect ADDR".into()))?;
+    let key = job_key(&flags)?;
+    let spec_str = match (flags.get("--spec"), flags.positional.first()) {
+        (Some(s), None) => s.to_string(),
+        (None, Some(path)) => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+            format!("rlp:{src}")
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "submit takes a program file or --spec SPEC (exactly one)".into(),
+            ))
+        }
+    };
+    // `auto` (or omitting the flag) asks the daemon to carve a fair
+    // share of its pool; an explicit byte count is a hard request the
+    // daemon may queue behind, or reject if it exceeds the whole pool.
+    let budget_bytes = match flags.get("--shadow-budget") {
+        None | Some("auto") => 0,
+        Some(v) => parse_bytes(v).map_err(|e| CliError::Usage(format!("--shadow-budget {e}")))?,
+    };
+    let json = match flags.get("--format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--format expects 'text' or 'json', got '{other}'"
+            )))
+        }
+    };
+    let spec = rlrpd::core::remote::JobSpec {
+        protocol: rlrpd::core::remote::SERVE_PROTOCOL_VERSION,
+        key,
+        spec: spec_str,
+        p: flags.usize_of("--procs", 8).map_err(CliError::Usage)? as u32,
+        strategy: flags.get("--strategy").unwrap_or("adaptive").to_string(),
+        budget_bytes,
+        fault_seed: flags
+            .u64_opt("--fault-seed")
+            .map_err(CliError::Usage)?
+            .unwrap_or(0),
+        shadow_fault: flags.get("--shadow-fault").unwrap_or("").to_string(),
+        max_stages: flags
+            .u64_opt("--max-stages")
+            .map_err(CliError::Usage)?
+            .unwrap_or(0),
+    };
+    let opts = client_options(&flags, !json)?;
+    match rlrpd::serve::submit(addr, &spec, &opts) {
+        Ok(out) => {
+            if json {
+                println!("{}", status_json(&out.status));
+            } else {
+                println!(
+                    "job {key:016x}: {:?}, exit {}, verified {}, frontier {}, \
+                     {} frames ({} dropped, {} reconnects)",
+                    out.status.state,
+                    out.status.exit_code,
+                    out.status.verified,
+                    out.status.frontier,
+                    out.frames,
+                    out.dropped,
+                    out.reconnects
+                );
+                if !out.status.message.is_empty() {
+                    println!("job {key:016x}: {}", out.status.message);
+                }
+            }
+            std::process::exit(out.status.exit_code as i32)
+        }
+        Err(rlrpd::serve::ClientError::Rejected(r)) => {
+            Err(CliError::Usage(format!("submission rejected: {r}")))
+        }
+        Err(e) => Err(CliError::Other(e.to_string())),
+    }
+}
+
+/// `rlrpd status`: one status query by key. Exits with the job's exit
+/// code when it is terminal, 0 while it is queued/running/paused, and
+/// 1 when the daemon has no job under the key.
+fn cmd_status(args: Vec<String>) -> Result<(), CliError> {
+    use rlrpd::core::remote::JobState;
+    let flags = parse_flags(args).map_err(CliError::Usage)?;
+    let addr = flags
+        .get("--connect")
+        .ok_or_else(|| CliError::Usage("status needs --connect ADDR".into()))?;
+    let key = job_key(&flags)?;
+    let json = flags.get("--format") == Some("json");
+    let opts = client_options(&flags, false)?;
+    let st =
+        rlrpd::serve::query_status(addr, key, &opts).map_err(|e| CliError::Other(e.to_string()))?;
+    if json {
+        println!("{}", status_json(&st));
+    } else {
+        println!(
+            "job {key:016x}: {:?}, exit {}, verified {}, frontier {}{}",
+            st.state,
+            st.exit_code,
+            st.verified,
+            st.frontier,
+            if st.message.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", st.message)
+            }
+        );
+    }
+    match st.state {
+        JobState::Done | JobState::Failed => std::process::exit(st.exit_code as i32),
+        JobState::Unknown => Err(CliError::Other(format!("no job under key {key:016x}"))),
+        _ => Ok(()),
     }
 }
 
@@ -629,6 +909,15 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         return Err(CliError::Usage("--resume requires --journal <path>".into()));
     }
     let dist = dist_options(&flags).map_err(CliError::Usage)?;
+    let json = match flags.get("--format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--format expects 'text' or 'json', got '{other}'"
+            )))
+        }
+    };
     let no_compile = flags.has("--no-compile");
     // Counter programs run under the EXTEND two-pass induction scheme.
     if let Ok(ind) = rlrpd::lang::CompiledInduction::compile(&src) {
@@ -640,6 +929,11 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         if dist.is_some() {
             return Err(CliError::Usage(
                 "--dist-workers is not supported for induction programs".into(),
+            ));
+        }
+        if json {
+            return Err(CliError::Usage(
+                "--format json is not supported for induction programs".into(),
             ));
         }
         let ind = if no_compile {
@@ -825,6 +1119,14 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         // with a rounding-level tolerance.
         let (seq, _) = run_sequential(&lp);
         verify(&seq, &res.arrays)?;
+        println!("verified against sequential execution ✓");
+        if json {
+            // Machine-readable report, last on stdout so pipelines can
+            // `tail -1 | jq`. The same schema rides inside the daemon's
+            // job-status frames (`rlrpd submit --format json`).
+            println!("{}", res.report.to_json());
+        }
+        return Ok(());
     } else {
         if journal_path.is_some() {
             return Err(CliError::Usage(
@@ -854,8 +1156,12 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         println!("whole-program speedup = {:.2}x", res.speedup());
         let seq = prog.run_sequential();
         verify(&seq, &res.arrays)?;
+        println!("verified against sequential execution ✓");
+        if json {
+            let reports: Vec<String> = res.reports.iter().map(|r| r.to_json()).collect();
+            println!("[{}]", reports.join(","));
+        }
     }
-    println!("verified against sequential execution ✓");
     Ok(())
 }
 

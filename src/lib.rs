@@ -27,6 +27,11 @@
 //!   sharding: supervisor/worker subprocess fleets with heartbeats,
 //!   per-block deadlines, retry-with-backoff, and divergence
 //!   detection.
+//! * [`serve`] ([`rlrpd_serve`]) — the crash-tolerant multi-tenant
+//!   job daemon behind `rlrpd serve`/`submit`/`status`: admission
+//!   control over a process-wide budget pool, fair round-robin
+//!   dispatch, bounded journal streaming with backpressure, graceful
+//!   drain, and restart recovery.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory and substitutions, and `EXPERIMENTS.md` for the
@@ -39,6 +44,7 @@ pub use rlrpd_lang as lang;
 pub use rlrpd_loops as loops;
 pub use rlrpd_model as model;
 pub use rlrpd_runtime as runtime;
+pub use rlrpd_serve as serve;
 pub use rlrpd_shadow as shadow;
 
 // The most-used types, flattened for convenience.

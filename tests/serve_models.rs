@@ -1,0 +1,344 @@
+//! The `rlrpd serve` daemon on the paper's workload models, end to
+//! end and in-process: three tenants submit TRACK (FPTRAK), SPICE
+//! (DCDCMP), and NLFILT jobs concurrently — some with seeded panic
+//! injection, some under shadow pressure — and every job must finish
+//! `Done`, exit 0, and *verified* (the daemon itself checked the
+//! arrays byte-identical to a sequential execution). Along the way
+//! the suite pins the admission-control, backpressure, drain, and
+//! recovery contracts from DESIGN.md §15.
+//!
+//! This is the service-level counterpart of the subprocess chaos
+//! suite in `tests/dist_models.rs`; the CI `serve-chaos` job drives
+//! the same daemon as a real process with SIGTERM and SIGKILL.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rlrpd::core::remote::{write_frame, JobSpec, JobState, RejectReason, SERVE_PROTOCOL_VERSION};
+use rlrpd::serve::{query_status, submit, ClientError, ClientOptions, Daemon, ServeConfig};
+
+/// A fresh, collision-free state directory per daemon instance.
+fn state_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rlrpd-serve-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Registry specs exercised by the soak — the same workload models as
+/// the distributed chaos suite.
+const MODELS: [&str; 3] = ["fptrak:0", "dcdcmp15:17", "nlfilt:i4_50"];
+
+/// Seeds for the chaos sweep; the CI matrix pins one per job through
+/// `RLRPD_FAULT_SEED`.
+fn seeds() -> Vec<u64> {
+    match std::env::var("RLRPD_FAULT_SEED") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("RLRPD_FAULT_SEED must be an unsigned integer")],
+        Err(_) => vec![3, 17, 2002],
+    }
+}
+
+fn spec_for(key: u64, spec: &str) -> JobSpec {
+    JobSpec {
+        protocol: SERVE_PROTOCOL_VERSION,
+        key,
+        spec: spec.into(),
+        p: 4,
+        strategy: "adaptive".into(),
+        budget_bytes: 0,
+        fault_seed: 0,
+        shadow_fault: String::new(),
+        max_stages: 0,
+    }
+}
+
+fn opts() -> ClientOptions {
+    ClientOptions {
+        deadline: Duration::from_secs(120),
+        backoff: Duration::from_millis(10),
+        progress: false,
+    }
+}
+
+fn start(cfg: ServeConfig) -> rlrpd::serve::DaemonHandle {
+    Daemon::start(cfg).expect("daemon start")
+}
+
+/// Three tenants, two jobs each, submitted from six concurrent client
+/// threads: one faulted leg (seeded panic injection), one shadow-
+/// pressure leg, and clean legs. Every job must come back `Done`,
+/// exit 0, verified by the daemon against sequential execution; the
+/// pool's granted high-water mark must never exceed its capacity.
+#[test]
+fn multi_tenant_chaos_soak() {
+    for seed in seeds() {
+        let dir = state_dir("soak");
+        let handle = start(ServeConfig {
+            state_dir: dir.clone(),
+            pool_budget: 16 << 20,
+            max_jobs: 3,
+            ..ServeConfig::default()
+        });
+        let addr = handle.addr().to_string();
+
+        // tenant = upper 32 bits of the key; three tenants interleave.
+        let jobs: Vec<JobSpec> = (0u64..6)
+            .map(|i| {
+                let tenant = i % 3 + 1;
+                // Key = tenant in the upper 32 bits, seed + ordinal
+                // below (masked so a huge RLRPD_FAULT_SEED cannot
+                // bleed into the tenant bits).
+                let key = (tenant << 32) | ((seed & 0x00FF_FFFF) << 8) | i;
+                let mut spec = spec_for(key, MODELS[(i % 3) as usize]);
+                match i {
+                    0 => spec.fault_seed = seed,
+                    1 => spec.shadow_fault = "0:3000".into(),
+                    _ => {}
+                }
+                spec
+            })
+            .collect();
+
+        let outcomes: Vec<_> = jobs
+            .iter()
+            .map(|spec| {
+                let addr = addr.clone();
+                let spec = spec.clone();
+                std::thread::spawn(move || (spec.key, submit(&addr, &spec, &opts())))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("client thread"))
+            .collect();
+
+        for (key, out) in outcomes {
+            let out = out.unwrap_or_else(|e| panic!("job {key:016x} (seed {seed}): {e}"));
+            assert_eq!(
+                out.status.state,
+                JobState::Done,
+                "job {key:016x} (seed {seed}) must finish"
+            );
+            assert_eq!(out.status.exit_code, 0, "job {key:016x} exit code");
+            assert!(
+                out.status.verified,
+                "job {key:016x} (seed {seed}): daemon-side verification against \
+                 sequential execution failed"
+            );
+            assert!(
+                out.status.report_json.contains("\"stages\":"),
+                "terminal status carries the machine-readable report"
+            );
+        }
+        // Clean legs contained nothing; the faulted leg's panics were
+        // contained (it still verified above).
+        let clean_key = jobs[2].key;
+        let st = query_status(&addr, clean_key, &opts()).expect("status query");
+        assert!(
+            st.report_json.contains("\"contained_faults\":0"),
+            "clean job {clean_key:016x} must report zero contained faults: {}",
+            st.report_json
+        );
+
+        assert!(
+            handle.pool_granted_peak() <= handle.pool_total(),
+            "concurrently granted budgets summed above the pool: peak {} > total {}",
+            handle.pool_granted_peak(),
+            handle.pool_total()
+        );
+        assert!(
+            handle.pool_granted_peak() > 0,
+            "fair-share carving never granted anything"
+        );
+
+        handle.drain();
+        assert_eq!(handle.join(), 0, "clean drain exits 0");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A budget request larger than the whole pool can never run; it is
+/// refused up front with the typed `OverPool` reason (not queued into
+/// a permanent stall).
+#[test]
+fn over_pool_submission_gets_typed_rejection() {
+    let dir = state_dir("overpool");
+    let handle = start(ServeConfig {
+        state_dir: dir.clone(),
+        pool_budget: 1 << 20,
+        ..ServeConfig::default()
+    });
+    let mut spec = spec_for(0x7_0000_0001, MODELS[0]);
+    spec.budget_bytes = 2 << 20; // twice the pool
+    match submit(handle.addr(), &spec, &opts()) {
+        Err(ClientError::Rejected(RejectReason::OverPool { requested, pool })) => {
+            assert_eq!(requested, 2 << 20);
+            assert_eq!(pool, 1 << 20);
+        }
+        other => panic!("expected a typed OverPool rejection, got {other:?}"),
+    }
+    handle.drain();
+    assert_eq!(handle.join(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resubmitting the same key with identical bytes attaches to the
+/// existing job and observes the same terminal status; the same key
+/// with *different* bytes is a `KeyConflict`.
+#[test]
+fn resubmission_is_idempotent_and_conflicts_are_typed() {
+    let dir = state_dir("idem");
+    let handle = start(ServeConfig {
+        state_dir: dir.clone(),
+        ..ServeConfig::default()
+    });
+    let spec = spec_for(0x9_0000_0042, MODELS[1]);
+    let first = submit(handle.addr(), &spec, &opts()).expect("first submission");
+    assert_eq!(first.status.state, JobState::Done);
+
+    let again = submit(handle.addr(), &spec, &opts()).expect("idempotent resubmission");
+    assert_eq!(again.status.state, JobState::Done);
+    assert_eq!(again.status.frontier, first.status.frontier);
+    assert_eq!(again.status.report_json, first.status.report_json);
+
+    let mut mutated = spec.clone();
+    mutated.strategy = "rd".into();
+    match submit(handle.addr(), &mutated, &opts()) {
+        Err(ClientError::Rejected(RejectReason::KeyConflict)) => {}
+        other => panic!("mutated resubmission must be a KeyConflict, got {other:?}"),
+    }
+    handle.drain();
+    assert_eq!(handle.join(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that submits and then never reads its stream must not
+/// block any other tenant: its frames pile into a bounded queue (and
+/// are dropped past the cap), while a second tenant's job runs to a
+/// verified finish.
+#[test]
+fn stalled_client_does_not_block_other_tenants() {
+    let dir = state_dir("stall");
+    let handle = start(ServeConfig {
+        state_dir: dir.clone(),
+        stream_buffer: 4,
+        stall_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+
+    // The stalled tenant: submit over a raw socket and go silent
+    // without ever reading a byte back.
+    let stalled = spec_for(0xA_0000_0001, MODELS[2]);
+    let mut silent = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(&mut silent, &stalled.encode()).expect("submit frame");
+
+    // The live tenant completes normally while the other socket sulks.
+    let live = spec_for(0xB_0000_0001, MODELS[0]);
+    let out = submit(handle.addr(), &live, &opts()).expect("live tenant");
+    assert_eq!(out.status.state, JobState::Done);
+    assert!(out.status.verified);
+
+    // The stalled job itself still ran to a durable finish — client
+    // liveness and job durability are decoupled.
+    let st = query_status(handle.addr(), stalled.key, &opts()).expect("status");
+    assert_eq!(st.state, JobState::Done, "stalled client's job: {st:?}");
+    assert!(st.verified);
+    drop(silent);
+    handle.drain();
+    assert_eq!(handle.join(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drain mid-flight, then restart over the same state directory with
+/// `resume`: the job picks up from its durable journal and finishes
+/// verified, with the frontier at the full iteration count. Covers
+/// both drain outcomes — paused at a commit point, or already done.
+#[test]
+fn drain_then_resume_finishes_the_job() {
+    let dir = state_dir("drain");
+    let handle = start(ServeConfig {
+        state_dir: dir.clone(),
+        ..ServeConfig::default()
+    });
+    let spec = spec_for(0xC_0000_0007, MODELS[1]);
+    let n = rlrpd::dist::resolve_spec(&spec.spec)
+        .expect("registry spec")
+        .num_iters() as u64;
+
+    // Submit from a thread; drain as soon as the job is observed
+    // running (or submitted, if it finishes first).
+    let addr = handle.addr().to_string();
+    let spec2 = spec.clone();
+    let client = std::thread::spawn(move || submit(&addr, &spec2, &opts()));
+    let t0 = Instant::now();
+    while handle.running_jobs() == 0 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    handle.drain();
+    assert_eq!(handle.join(), 0, "drain exits 0");
+    // The client either saw the terminal status or a Paused frame and
+    // keeps retrying; it must not have seen a failure.
+    // (It will finish against the restarted daemon below — but it is
+    // pointed at the dead port, so don't join it; query directly.)
+    drop(client);
+
+    // A restart WITHOUT resume must refuse a state dir holding
+    // incomplete jobs rather than silently stranding them...
+    let incomplete =
+        std::fs::read_dir(&dir).expect("state dir").count() > 0 && query_incomplete(&dir);
+    if incomplete {
+        let refused = Daemon::start(ServeConfig {
+            state_dir: dir.clone(),
+            ..ServeConfig::default()
+        });
+        assert!(
+            refused.is_err(),
+            "fresh start over live journals must be refused"
+        );
+    }
+
+    // ...while --resume picks them up and finishes them.
+    let restarted = start(ServeConfig {
+        state_dir: dir.clone(),
+        resume: true,
+        ..ServeConfig::default()
+    });
+    let t0 = Instant::now();
+    let st = loop {
+        let st = query_status(restarted.addr(), spec.key, &opts()).expect("status");
+        if matches!(st.state, JobState::Done | JobState::Failed) {
+            break st;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "resumed job stuck in {:?}",
+            st.state
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(st.state, JobState::Done);
+    assert_eq!(st.exit_code, 0);
+    assert!(st.verified, "resumed job must verify against sequential");
+    assert_eq!(st.frontier, n, "frontier reaches the full iteration count");
+    restarted.drain();
+    assert_eq!(restarted.join(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Does the state dir hold any job without a terminal status sidecar?
+fn query_incomplete(dir: &std::path::Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.path().is_dir() && !e.path().join("status.bin").exists())
+        })
+        .unwrap_or(false)
+}
