@@ -1,0 +1,113 @@
+//! DOACROSS vs speculation on chain loops with proven distances.
+//!
+//! The workload is the worst case for the R-LRPD test and the best
+//! case for the hybrid tier: a pure recurrence `A[i] = f(A[i - d])`
+//! whose every iteration depends on iteration `i - d`. Speculation
+//! must discover each dependence by restarting; the DOACROSS tier
+//! proves the distance statically and pipelines `min(d, p)` lanes
+//! with post/wait cells, no shadow, no restarts.
+//!
+//! All comparisons run in simulated (virtual-time) mode, so the
+//! recorded times are the cost model's deterministic predictions —
+//! the same quantity the paper's figures plot — not host wall time.
+//! The headline grid (d ∈ {1, 2, 8} × p ∈ {2, 4, 8}) is written to
+//! `BENCH_doacross.json` at the repository root (set
+//! `RLRPD_BENCH_NO_JSON=1` to skip); the expectation is DOACROSS
+//! beating the sliding-window speculative baseline outright at small
+//! d, where speculation pays a restart per uncovered dependence but
+//! the pipeline still overlaps marking-free body work.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rlrpd_core::{RunConfig, Strategy, WindowConfig};
+use rlrpd_lang::CompiledProgram;
+use std::hint::black_box;
+
+/// A chain loop with uniform planted distance `d`.
+fn chain_source(n: usize, d: usize) -> String {
+    format!(
+        "array A[{n}] = 1;\ncost 10;\n\
+         for i in {d}..{n} {{\n    A[i] = A[i - {d}] * 0.996 + A[i] * 0.125 + i;\n}}\n"
+    )
+}
+
+const N: usize = 4096;
+
+fn doacross_vs_speculation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain");
+    g.sample_size(10);
+    for &d in &[1usize, 2, 8] {
+        let prog = CompiledProgram::compile(&chain_source(N, d)).unwrap();
+        for &p in &[4usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("doacross_d{d}"), p),
+                &(),
+                |b, _| {
+                    b.iter(|| black_box(prog.run_auto(RunConfig::new(p)).reports.len()));
+                },
+            );
+            let sw = RunConfig::new(p)
+                .with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(p.max(2))));
+            g.bench_with_input(BenchmarkId::new(format!("sw_d{d}"), p), &(), |b, _| {
+                b.iter(|| black_box(prog.run(sw).reports.len()));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Record the virtual-time grid to `BENCH_doacross.json`.
+fn record_baseline() {
+    if std::env::var_os("RLRPD_BENCH_NO_JSON").is_some() {
+        return;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+    for &d in &[1usize, 2, 8] {
+        let prog = CompiledProgram::compile(&chain_source(N, d)).unwrap();
+        for &p in &[2usize, 4, 8] {
+            let auto = prog.run_auto(RunConfig::new(p));
+            let da = &auto.reports[0];
+            assert_eq!(
+                da.restarts, 0,
+                "the chain loop must take the DOACROSS tier (d = {d}, p = {p})"
+            );
+            let sw_cfg = RunConfig::new(p)
+                .with_strategy(Strategy::SlidingWindow(WindowConfig::fixed(p.max(2))));
+            let spec = prog.run(sw_cfg);
+            let sw = &spec.reports[0];
+            entries.push(format!(
+                "    {{\"bench\": \"chain\", \"d\": {d}, \"p\": {p}, \"n\": {N}, \
+                 \"seq_time\": {:.1}, \
+                 \"doacross_time\": {:.1}, \"doacross_speedup\": {:.3}, \
+                 \"sw_time\": {:.1}, \"sw_speedup\": {:.3}, \"sw_restarts\": {}, \
+                 \"doacross_over_sw\": {:.3}}}",
+                da.sequential_work,
+                da.virtual_time(),
+                da.speedup(),
+                sw.virtual_time(),
+                sw.speedup(),
+                sw.restarts,
+                sw.virtual_time() / da.virtual_time(),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_doacross.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("baseline recorded to {path}");
+    }
+}
+
+criterion_group!(benches, doacross_vs_speculation);
+
+fn main() {
+    benches();
+    record_baseline();
+}

@@ -51,6 +51,86 @@ pub enum Strategy {
     AdaptiveRd(AdaptRule),
     /// Strip-mine with the sliding-window R-LRPD test.
     SlidingWindow(WindowConfig),
+    /// Don't speculate at all: the static analyzer *proved* every
+    /// cross-iteration dependence sits at a uniform distance, so
+    /// iterations pipeline across the worker pool with point-to-point
+    /// post/wait cells at the proven distances — no shadow memory, no
+    /// restarts, byte-identical to sequential execution by
+    /// construction (DESIGN.md §16). Select it through
+    /// [`RunConfig::auto_strategy`] with the classifier's verdict.
+    Doacross(DoacrossConfig),
+}
+
+/// The statically proven uniform dependence distances that schedule a
+/// [`Strategy::Doacross`] run.
+///
+/// `Copy` (so [`Strategy`] stays `Copy`) by bounding the stored vector:
+/// the eight *smallest* distinct distances are kept — the minimum is
+/// what bounds the pipeline depth, and waiting at a distance smaller
+/// than the true one is always sound (it only over-synchronizes), so
+/// dropping the largest entries never breaks the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoacrossConfig {
+    len: u8,
+    distances: [u32; Self::MAX_DEPS],
+}
+
+impl DoacrossConfig {
+    /// Distinct distances retained (ascending; smallest kept on
+    /// overflow).
+    pub const MAX_DEPS: usize = 8;
+
+    /// A single proven distance `d ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics when `d == 0` (distance zero is an intra-iteration
+    /// reference, not a cross-iteration dependence).
+    pub fn at(d: usize) -> Self {
+        Self::from_distances(&[d]).expect("DOACROSS distance must be >= 1")
+    }
+
+    /// Package a proven distance set. Returns `None` when `ds` is empty
+    /// or contains 0; keeps the [`Self::MAX_DEPS`] smallest distinct
+    /// distances (clamped into `u32`, which is correctness-safe: any
+    /// stored value ≤ the true distance keeps the protocol sound).
+    pub fn from_distances(ds: &[usize]) -> Option<Self> {
+        if ds.is_empty() || ds.contains(&0) {
+            return None;
+        }
+        let mut sorted: Vec<u32> = ds
+            .iter()
+            .map(|&d| d.min(u32::MAX as usize) as u32)
+            .collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.truncate(Self::MAX_DEPS);
+        let mut distances = [0u32; Self::MAX_DEPS];
+        for (slot, &d) in distances.iter_mut().zip(&sorted) {
+            *slot = d;
+        }
+        Some(DoacrossConfig {
+            len: sorted.len() as u8,
+            distances,
+        })
+    }
+
+    /// The proven distances, ascending (one post/wait cell each).
+    pub fn distances(&self) -> &[u32] {
+        &self.distances[..self.len as usize]
+    }
+
+    /// The minimum proven distance — the dependence that bounds the
+    /// pipeline's parallelism.
+    pub fn min_distance(&self) -> usize {
+        self.distances[0] as usize
+    }
+
+    /// Concurrent lanes a `p`-processor run can sustain:
+    /// `min(d_min, p)` — iterations closer than `d_min` are proven
+    /// independent, so up to `d_min` of them may be in flight at once.
+    pub fn pipeline_depth(&self, p: usize) -> usize {
+        self.min_distance().min(p).max(1)
+    }
 }
 
 /// Decision rule for [`Strategy::AdaptiveRd`].
@@ -268,6 +348,20 @@ impl RunConfig {
     /// aborts.
     pub fn with_shadow_budget(mut self, bytes: Option<u64>) -> Self {
         self.shadow_budget = bytes;
+        self
+    }
+
+    /// Consult the static classifier's verdict: with a *proven*
+    /// distance vector the run is scheduled [`Strategy::Doacross`] (the
+    /// analyzer acting as a scheduler, not a linter); with `None` —
+    /// a `May` dependence, an opaque subscript, a guard, a non-uniform
+    /// distance — the configured speculative strategy is kept. This is
+    /// the top rung of the Doacross → R-LRPD → sequential degradation
+    /// ladder (DESIGN.md §16).
+    pub fn auto_strategy(mut self, proven: Option<DoacrossConfig>) -> Self {
+        if let Some(d) = proven {
+            self.strategy = Strategy::Doacross(d);
+        }
         self
     }
 
@@ -656,6 +750,17 @@ impl Runner {
                     |_| {},
                 )
             }
+            Strategy::Doacross(dcfg) => {
+                let cfg = self.cfg;
+                crate::doacross::run_doacross(
+                    engine,
+                    &cfg,
+                    dcfg,
+                    start,
+                    journal,
+                    self.stop.as_deref(),
+                )
+            }
             _ => self.drive_recursive(engine, start, journal),
         }
     }
@@ -823,7 +928,9 @@ impl Runner {
                     .stages
                     .last()
                     .is_some_and(|last| last.loop_time > last.overhead.total()),
-                Strategy::SlidingWindow(_) => unreachable!("handled in run()"),
+                Strategy::SlidingWindow(_) | Strategy::Doacross(_) => {
+                    unreachable!("handled in run()")
+                }
             };
             schedule = if redistribute {
                 let new = self.cut(remaining, cfg.p);

@@ -61,6 +61,7 @@ pub mod checkpoint;
 pub mod commit;
 pub mod ctx;
 pub mod ddg;
+mod doacross;
 pub mod driver;
 mod engine;
 pub mod error;
@@ -86,8 +87,8 @@ pub use checkpoint::CheckpointPolicy;
 pub use ctx::IterCtx;
 pub use ddg::{extract_ddg, DdgResult, DepCollector, DepGraph, EdgeKind};
 pub use driver::{
-    run_speculative, try_run_speculative, AdaptRule, BalancePolicy, FallbackPolicy, FallbackReason,
-    RunConfig, RunResult, Runner, Strategy,
+    run_speculative, try_run_speculative, AdaptRule, BalancePolicy, DoacrossConfig, FallbackPolicy,
+    FallbackReason, RunConfig, RunResult, Runner, Strategy,
 };
 pub use engine::run_sequential;
 pub use error::RlrpdError;

@@ -866,6 +866,307 @@ fn self_conflict(a: &AccessDesc, lo: usize, n_iters: u64) -> Option<PairDep> {
     }
 }
 
+/// One proven uniform-distance cross-iteration dependence of a
+/// DOACROSS plan: at every iteration `i ≥ lo + distance`, the `sink`
+/// reference touches the element the `source` reference touched at
+/// iteration `i - distance`.
+#[derive(Clone, Debug)]
+pub struct DoacrossDep {
+    /// Array declaration index.
+    pub array: usize,
+    /// Uniform dependence distance, in iterations (`≥ 1`).
+    pub distance: usize,
+    /// The earlier-iteration endpoint.
+    pub source: RefInfo,
+    /// The later-iteration endpoint.
+    pub sink: RefInfo,
+}
+
+/// Why a loop was demoted from DOACROSS to speculation.
+#[derive(Clone, Debug)]
+pub struct DoacrossBlock {
+    /// Array declaration index of the blocking reference, when the
+    /// block is attributable to one array.
+    pub array: Option<usize>,
+    /// The reference that forced speculation, when one.
+    pub reference: Option<RefInfo>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Eligibility verdict of [`doacross_plan`].
+#[derive(Clone, Debug)]
+pub enum DoacrossVerdict {
+    /// Every cross-iteration dependence is proven (`Must`) with a
+    /// uniform distance: the loop can run DOACROSS under post/wait
+    /// cells at those distances, with no speculation and no shadow.
+    Eligible,
+    /// No cross-iteration dependence exists at all — a doall. DOACROSS
+    /// synchronization would be pure overhead; plain speculation never
+    /// restarts on such a loop.
+    Independent,
+    /// At least one reference defeats the proof; the loop must
+    /// speculate (R-LRPD).
+    Blocked(DoacrossBlock),
+}
+
+/// The per-array distance-vector proof behind the hybrid DOACROSS
+/// tier: either *every* cross-iteration dependence of the loop is a
+/// `Must` at a uniform (iteration-independent) distance — in which
+/// case the distance set is a complete synchronization recipe — or the
+/// loop is demoted to speculation, with the demoting reference named.
+///
+/// The proof is deliberately all-or-nothing: one `May`, one opaque or
+/// non-uniform subscript, one guarded conflicting pair, and the whole
+/// loop speculates. A DOACROSS run performs direct (undo-less) writes,
+/// so there is no partial-credit mode.
+#[derive(Clone, Debug)]
+pub struct DoacrossPlan {
+    /// Eligibility verdict.
+    pub verdict: DoacrossVerdict,
+    /// The proven uniform-distance dependences (deduplicated per
+    /// `(array, distance)`); non-empty iff the verdict is `Eligible`.
+    pub deps: Vec<DoacrossDep>,
+    /// Iteration count of the analyzed loop.
+    pub n_iters: usize,
+}
+
+impl DoacrossPlan {
+    /// Is the loop proven DOACROSS-runnable?
+    pub fn eligible(&self) -> bool {
+        matches!(self.verdict, DoacrossVerdict::Eligible)
+    }
+
+    /// Minimum proven distance (the pipeline-limiting one), when the
+    /// plan has dependences.
+    pub fn min_distance(&self) -> Option<usize> {
+        self.deps.iter().map(|d| d.distance).min()
+    }
+
+    /// Proven distances, ascending and deduplicated.
+    pub fn distances(&self) -> Vec<usize> {
+        let mut ds: Vec<usize> = self.deps.iter().map(|d| d.distance).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+
+    /// Iterations that can be in flight concurrently on `p` processors:
+    /// `min(d_min, p)` — iteration `i` may only overlap iterations
+    /// within `d_min` of it, and no more than `p` run at once.
+    pub fn pipeline_depth(&self, p: usize) -> usize {
+        match self.min_distance() {
+            Some(d) => d.min(p).max(1),
+            None => p.max(1),
+        }
+    }
+}
+
+/// Is there a `break` anywhere in `body`? A premature exit under
+/// DOACROSS would leave direct writes from in-flight later iterations
+/// with nothing to undo them, so it demotes the loop to speculation.
+fn body_has_break(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Break { .. } => true,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => body_has_break(then_body) || body_has_break(else_body),
+        _ => false,
+    })
+}
+
+/// Build the DOACROSS eligibility proof for loop `k` of `program`.
+///
+/// The ladder, in order: counter programs are blocked (they compile to
+/// the EXTEND two-pass scheme, not a pipelineable body); loops with
+/// fewer than two iterations are trivially independent; every
+/// conflicting reference pair must be affine with *equal* strides
+/// (uniform distance) and unguarded, or provably disjoint — anything
+/// else blocks; reduction-classified arrays block (their lowered body
+/// performs speculative reduction ops with no direct-mode equivalent);
+/// a `break` blocks; and a loop whose surviving dependence set is
+/// empty is `Independent`, not `Eligible`.
+pub fn doacross_plan(program: &Program, k: usize) -> DoacrossPlan {
+    let nest = &program.loops[k];
+    let (lo, hi) = nest.range;
+    let n_iters = hi.saturating_sub(lo);
+    let blocked = |array: Option<usize>, reference: Option<RefInfo>, reason: String| DoacrossPlan {
+        verdict: DoacrossVerdict::Blocked(DoacrossBlock {
+            array,
+            reference,
+            reason,
+        }),
+        deps: Vec::new(),
+        n_iters,
+    };
+
+    if program.counter.is_some() {
+        return blocked(
+            None,
+            None,
+            "program declares an induction counter (EXTEND scheme)".into(),
+        );
+    }
+    if n_iters < 2 {
+        return DoacrossPlan {
+            verdict: DoacrossVerdict::Independent,
+            deps: Vec::new(),
+            n_iters,
+        };
+    }
+
+    let refs = collect_refs(program, k);
+    let mut deps: Vec<DoacrossDep> = Vec::new();
+    for (array, ar) in refs.iter().enumerate() {
+        // Reduction-classified arrays lower to speculative reduction
+        // ops (no direct-mode execution path), so their presence in a
+        // dependent loop blocks the plan outright.
+        let hinted_reduction = matches!(program.arrays[array].hint, Some(KindHint::Reduction(_)));
+        let mut ops = ar.updates.iter().map(|(op, _)| *op);
+        let natural_reduction = !ar.updates.is_empty()
+            && !ar.non_reduction_ref
+            && ops.next().is_some_and(|first| ops.all(|op| op == first));
+        if hinted_reduction || natural_reduction {
+            let span = ar.updates.first().map(|(_, s)| *s).unwrap_or_default();
+            return blocked(
+                Some(array),
+                ar.accesses.first().map(RefInfo::of),
+                format!(
+                    "'{}' is a reduction (line {}): reductions lower to speculative ops",
+                    program.arrays[array].name, span.line
+                ),
+            );
+        }
+
+        for (p, ap) in ar.accesses.iter().enumerate() {
+            for aq in &ar.accesses[p..] {
+                if !ap.is_write && !aq.is_write {
+                    continue;
+                }
+                let is_self = std::ptr::eq(ap, aq);
+                match (ap.subscript, aq.subscript) {
+                    (Subscript::Affine { a: a1, b: b1 }, Subscript::Affine { a: a2, b: b2 })
+                        if a1 == a2 =>
+                    {
+                        // Uniform-distance candidate: i2 = i1 + t with
+                        // t = (b1 - b2) / a fixed across iterations.
+                        let t: i128 = if a1 == 0 {
+                            if is_self || b1 == b2 {
+                                1 // the same element, every iteration
+                            } else {
+                                continue; // distinct constants: disjoint
+                            }
+                        } else {
+                            if is_self {
+                                continue; // injective subscript: no self dep
+                            }
+                            let c = b1 as i128 - b2 as i128;
+                            if c % a1 as i128 != 0 {
+                                continue; // never the same element
+                            }
+                            c / a1 as i128
+                        };
+                        let d = t.unsigned_abs();
+                        if d == 0 || d >= n_iters as u128 {
+                            continue; // same-iteration touch or out of range
+                        }
+                        if ap.guard.is_some() || aq.guard.is_some() {
+                            let r = if ap.guard.is_some() { ap } else { aq };
+                            return blocked(
+                                Some(array),
+                                Some(RefInfo::of(r)),
+                                format!(
+                                    "'{}' (line {}) conflicts under a guard: the dependence may or may not fire",
+                                    r.text, r.span.line
+                                ),
+                            );
+                        }
+                        let (source, sink) = if a1 == 0 {
+                            // Same element every iteration: orient the
+                            // write as the source.
+                            if aq.is_write && !ap.is_write {
+                                (RefInfo::of(aq), RefInfo::of(ap))
+                            } else {
+                                (RefInfo::of(ap), RefInfo::of(aq))
+                            }
+                        } else if t > 0 {
+                            (RefInfo::of(ap), RefInfo::of(aq))
+                        } else {
+                            (RefInfo::of(aq), RefInfo::of(ap))
+                        };
+                        let distance = d as usize;
+                        if !deps
+                            .iter()
+                            .any(|e| e.array == array && e.distance == distance)
+                        {
+                            deps.push(DoacrossDep {
+                                array,
+                                distance,
+                                source,
+                                sink,
+                            });
+                        }
+                    }
+                    _ => {
+                        // Non-uniform or opaque geometry: only a proof
+                        // of disjointness saves the plan.
+                        let dep = if is_self {
+                            self_conflict(ap, lo, n_iters as u64)
+                        } else {
+                            subscripts_conflict(ap.subscript, aq.subscript, lo, hi)
+                        };
+                        if dep.is_some() {
+                            let opaque = matches!(ap.subscript, Subscript::Opaque { .. })
+                                || matches!(aq.subscript, Subscript::Opaque { .. });
+                            let r = if matches!(ap.subscript, Subscript::Opaque { .. }) {
+                                ap
+                            } else {
+                                aq
+                            };
+                            return blocked(
+                                Some(array),
+                                Some(RefInfo::of(r)),
+                                format!(
+                                    "'{}' (line {}) {}",
+                                    r.text,
+                                    r.span.line,
+                                    if opaque {
+                                        "has an opaque subscript: no uniform distance can be proven"
+                                    } else {
+                                        "conflicts at a non-uniform distance (unequal strides)"
+                                    }
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if deps.is_empty() {
+        return DoacrossPlan {
+            verdict: DoacrossVerdict::Independent,
+            deps,
+            n_iters,
+        };
+    }
+    if body_has_break(&nest.body) {
+        return blocked(
+            None,
+            None,
+            "loop has a premature exit: in-flight later iterations could not be undone".into(),
+        );
+    }
+    DoacrossPlan {
+        verdict: DoacrossVerdict::Eligible,
+        deps,
+        n_iters,
+    }
+}
+
 /// Predicted marking footprint of one array in one loop.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TouchEstimate {
@@ -1112,6 +1413,110 @@ mod tests {
             ev.src.text.contains('A') && ev.sink.text.contains('A'),
             "{ev:?}"
         );
+    }
+
+    fn plan_for(src: &str) -> DoacrossPlan {
+        doacross_plan(&parse(src).unwrap(), 0)
+    }
+
+    #[test]
+    fn uniform_distance_loop_is_eligible() {
+        let plan = plan_for("array A[200];\nfor i in 3..100 { A[i] = A[i - 3] + 1; }");
+        assert!(plan.eligible(), "{:?}", plan.verdict);
+        assert_eq!(plan.min_distance(), Some(3));
+        assert_eq!(plan.distances(), vec![3]);
+        assert_eq!(plan.pipeline_depth(8), 3);
+        assert_eq!(plan.pipeline_depth(2), 2);
+        let dep = &plan.deps[0];
+        assert!(dep.source.is_write && !dep.sink.is_write);
+    }
+
+    #[test]
+    fn multiple_distances_collect_into_one_plan() {
+        let plan = plan_for("array A[300];\nfor i in 8..100 { A[i] = A[i - 2] + A[i - 8]; }");
+        assert!(plan.eligible());
+        assert_eq!(plan.distances(), vec![2, 8]);
+        assert_eq!(plan.min_distance(), Some(2));
+    }
+
+    #[test]
+    fn independent_loop_is_not_eligible() {
+        let plan = plan_for("array A[100];\narray B[100];\nfor i in 0..100 { A[i] = B[i] * 2; }");
+        assert!(matches!(plan.verdict, DoacrossVerdict::Independent));
+        assert!(plan.deps.is_empty());
+    }
+
+    #[test]
+    fn guarded_conflict_blocks() {
+        let plan = plan_for(
+            "array A[200];\nfor i in 0..100 { if i > 5 { A[i] = A[i] + 1; } A[i + 5] = 2; }",
+        );
+        match plan.verdict {
+            DoacrossVerdict::Blocked(b) => {
+                assert!(b.reason.contains("guard"), "{}", b.reason);
+                assert_eq!(b.array, Some(0));
+                assert!(b.reference.is_some());
+            }
+            v => panic!("expected Blocked, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_subscript_blocks() {
+        let plan = plan_for("array A[10];\nfor i in 0..100 { A[i % 10] = A[i % 10] + 1; }");
+        match plan.verdict {
+            DoacrossVerdict::Blocked(b) => assert!(b.reason.contains("opaque"), "{}", b.reason),
+            v => panic!("expected Blocked, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn unequal_strides_block_as_non_uniform() {
+        let plan = plan_for("array A[300];\nfor i in 0..100 { A[2 * i] = A[3 * i + 1] + 1; }");
+        match plan.verdict {
+            DoacrossVerdict::Blocked(b) => {
+                assert!(b.reason.contains("non-uniform"), "{}", b.reason)
+            }
+            v => panic!("expected Blocked, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_unequal_strides_stay_independent() {
+        // 2i vs 2i' + 201 over 0..100: ranges [0,198] vs [201,399].
+        let plan = plan_for("array A[400];\nfor i in 0..100 { A[2 * i] = A[2 * i + 201] + 1; }");
+        assert!(matches!(plan.verdict, DoacrossVerdict::Independent));
+    }
+
+    #[test]
+    fn reductions_and_breaks_and_counters_block() {
+        let plan = plan_for("array S[4];\nfor i in 1..100 { S[0] += i; }");
+        assert!(
+            matches!(&plan.verdict, DoacrossVerdict::Blocked(b) if b.reason.contains("reduction"))
+        );
+
+        let plan =
+            plan_for("array A[200];\nfor i in 1..100 { A[i] = A[i - 1] + 1; break if A[i] > 50; }");
+        assert!(matches!(&plan.verdict, DoacrossVerdict::Blocked(b) if b.reason.contains("exit")));
+
+        let plan =
+            plan_for("array A[200];\ncounter c = 0;\nfor i in 1..100 { if A[i] > 0 { bump c; } }");
+        assert!(
+            matches!(&plan.verdict, DoacrossVerdict::Blocked(b) if b.reason.contains("counter"))
+        );
+    }
+
+    #[test]
+    fn constant_subscript_write_serializes_at_distance_one() {
+        let plan = plan_for("array A[10];\narray B[100];\nfor i in 0..100 { A[3] = B[i]; }");
+        assert!(plan.eligible(), "{:?}", plan.verdict);
+        assert_eq!(plan.min_distance(), Some(1));
+    }
+
+    #[test]
+    fn tiny_loops_are_independent() {
+        let plan = plan_for("array A[10];\nfor i in 0..1 { A[i] = A[i] + 1; }");
+        assert!(matches!(plan.verdict, DoacrossVerdict::Independent));
     }
 
     #[test]

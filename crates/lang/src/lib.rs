@@ -58,6 +58,7 @@ pub mod token;
 mod vm;
 
 pub use analyze::{classify_loop, classify_loop_exact, classify_program, Class, Classification};
+pub use depend::{doacross_plan, DoacrossBlock, DoacrossDep, DoacrossPlan, DoacrossVerdict};
 pub use error::LangError;
 pub use lint::{lint, Diagnostic, Level};
 pub use parse::parse;
@@ -299,7 +300,42 @@ impl CompiledProgram {
             prog: self,
             k,
             init,
+            plain: false,
         }
+    }
+
+    /// A *plain* [`SpecLoop`] view of loop `k`: every array is declared
+    /// untested regardless of the classifier's verdict, so the engine
+    /// allocates no shadow memory and performs no marking. Only valid
+    /// for execution tiers that never speculate — the DOACROSS tier,
+    /// whose post/wait protocol makes cross-iteration order correct by
+    /// construction, or plain sequential execution.
+    pub fn loop_view_plain(&self, k: usize, init: Vec<Vec<f64>>) -> ProgramLoop<'_> {
+        assert_eq!(init.len(), self.program.arrays.len());
+        ProgramLoop {
+            prog: self,
+            k,
+            init,
+            plain: true,
+        }
+    }
+
+    /// The DOACROSS eligibility proof for loop `k`: the uniform
+    /// distance set, source/sink roles, and (when blocked) the
+    /// reference that forced speculation. See [`depend::doacross_plan`].
+    pub fn doacross_plan(&self, k: usize) -> DoacrossPlan {
+        depend::doacross_plan(&self.program, k)
+    }
+
+    /// The proven distance vector of loop `k` packaged for
+    /// [`rlrpd_core::Strategy::Doacross`] — `Some` exactly when the
+    /// plan's verdict is `Eligible` (a proof, not a heuristic).
+    pub fn doacross_config(&self, k: usize) -> Option<rlrpd_core::DoacrossConfig> {
+        let plan = self.doacross_plan(k);
+        if !plan.eligible() {
+            return None;
+        }
+        rlrpd_core::DoacrossConfig::from_distances(&plan.distances())
     }
 
     /// Initial array contents from the declarations.
@@ -334,6 +370,37 @@ impl CompiledProgram {
             let view = self.loop_view(k, state);
             let cfg = cfg.with_dependence_prediction(self.predicted_first_dependence(k));
             let res = rlrpd_core::run_speculative(&view, cfg);
+            state = res.arrays.into_iter().map(|(_, data)| data).collect();
+            reports.push(res.report);
+        }
+        ProgramResult {
+            arrays: self.names.iter().copied().zip(state).collect(),
+            reports,
+        }
+    }
+
+    /// Execute the whole program with per-loop strategy auto-selection:
+    /// loops the classifier *proves* regular (an [`DoacrossPlan`]
+    /// eligibility verdict) run DOACROSS over a plain zero-shadow view
+    /// — no speculation, no restarts — while `May`/opaque loops keep
+    /// the speculative strategy of `cfg`. This is the degradation
+    /// ladder of DESIGN.md §16, surfaced on the CLI as
+    /// `--doacross auto`.
+    pub fn run_auto(&self, cfg: RunConfig) -> ProgramResult {
+        let mut state = self.initial_arrays();
+        let mut reports = Vec::new();
+        for k in 0..self.num_loops() {
+            let cfg_k = cfg.with_dependence_prediction(self.predicted_first_dependence(k));
+            let res = match self.doacross_config(k) {
+                Some(proven) => {
+                    let view = self.loop_view_plain(k, state);
+                    rlrpd_core::run_speculative(&view, cfg_k.auto_strategy(Some(proven)))
+                }
+                None => {
+                    let view = self.loop_view(k, state);
+                    rlrpd_core::run_speculative(&view, cfg_k)
+                }
+            };
             state = res.arrays.into_iter().map(|(_, data)| data).collect();
             reports.push(res.report);
         }
@@ -458,6 +525,20 @@ impl CompiledProgram {
             })
             .collect()
     }
+
+    /// Declarations for a plain (zero-shadow) view: every array is
+    /// untested, so the engine neither allocates shadow state nor marks
+    /// accesses. The bytecode is unchanged — elided ops route through
+    /// the context, which simply skips marking when no shadow exists.
+    fn plain_decls_for(&self, init: &[Vec<f64>]) -> Vec<ArrayDecl<f64>> {
+        self.program
+            .arrays
+            .iter()
+            .zip(&self.names)
+            .zip(init)
+            .map(|((_, &name), data)| ArrayDecl::untested(name, data.clone()))
+            .collect()
+    }
 }
 
 /// One loop of a [`CompiledProgram`], viewed as a [`SpecLoop`] starting
@@ -466,6 +547,9 @@ pub struct ProgramLoop<'a> {
     prog: &'a CompiledProgram,
     k: usize,
     init: Vec<Vec<f64>>,
+    /// Zero-shadow view: declare every array untested (see
+    /// [`CompiledProgram::loop_view_plain`]).
+    plain: bool,
 }
 
 impl SpecLoop<f64> for ProgramLoop<'_> {
@@ -475,7 +559,11 @@ impl SpecLoop<f64> for ProgramLoop<'_> {
     }
 
     fn arrays(&self) -> Vec<ArrayDecl<f64>> {
-        self.prog.decls_for(self.k, &self.init)
+        if self.plain {
+            self.prog.plain_decls_for(&self.init)
+        } else {
+            self.prog.decls_for(self.k, &self.init)
+        }
     }
 
     fn body(&self, iter: usize, ctx: &mut IterCtx<'_, f64>) {
@@ -764,6 +852,87 @@ mod tests {
             }
         }
         run_speculative(&lp, RunConfig::new(p))
+    }
+
+    #[test]
+    fn doacross_config_is_some_exactly_for_proven_loops() {
+        let prog = CompiledProgram::compile(
+            "array A[256] = 1;\nfor i in 4..256 { A[i] = A[i - 4] * 0.5 + 1; }",
+        )
+        .unwrap();
+        let cfg = prog.doacross_config(0).expect("uniform distance 4 proven");
+        assert_eq!(cfg.min_distance(), 4);
+
+        // Guarded conflict: the proof must refuse.
+        let prog = CompiledProgram::compile(
+            "array A[300];\nfor i in 0..256 { if i % 3 == 0 { A[i + 7] = 1; } A[i] = i; }",
+        )
+        .unwrap();
+        assert!(prog.doacross_config(0).is_none());
+
+        // Opaque subscript: refuse.
+        let prog = CompiledProgram::compile(
+            "array A[300];\nfor i in 0..256 { A[(i * 7) % 200] = A[i] + 1; }",
+        )
+        .unwrap();
+        assert!(prog.doacross_config(0).is_none());
+
+        // Doall: Independent, not Eligible — no synchronization plan.
+        let prog = CompiledProgram::compile("array A[64];\nfor i in 0..64 { A[i] = i; }").unwrap();
+        assert!(prog.doacross_config(0).is_none());
+    }
+
+    #[test]
+    fn run_auto_is_byte_identical_and_shadow_free_on_the_beta_deck() {
+        let src = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/programs/beta_pipeline.rlp"
+        ))
+        .unwrap();
+        let prog = CompiledProgram::compile(&src).unwrap();
+        // Ground truth: sequential execution, state flowing loop to loop.
+        let mut state: Vec<Vec<f64>> = prog
+            .program()
+            .arrays
+            .iter()
+            .map(|d| vec![d.init; d.size])
+            .collect();
+        for k in 0..prog.num_loops() {
+            let (seq, _) = run_sequential(&prog.loop_view(k, state));
+            state = seq.into_iter().map(|(_, data)| data).collect();
+        }
+
+        for p in [1usize, 2, 4, 8] {
+            let res = prog.run_auto(RunConfig::new(p));
+            for ((name, want), (rn, got)) in prog.names.iter().zip(&state).zip(&res.arrays) {
+                assert_eq!(name, rn);
+                let want: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+                let got: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(want, got, "array {name} at p = {p}");
+            }
+            for (k, report) in res.reports.iter().enumerate() {
+                assert_eq!(report.shadow_bytes_peak(), 0, "loop {k}: no shadow");
+                assert_eq!(report.restarts, 0, "loop {k}: no restarts");
+                assert_eq!(report.stages.len(), 1, "loop {k}: one pipelined stage");
+            }
+        }
+    }
+
+    #[test]
+    fn run_auto_still_speculates_on_may_loops() {
+        // Opaque scatter: the proof refuses, so run_auto must fall back
+        // to the speculative tier (shadow memory present) and still
+        // match plain run().
+        let src = "array STATE[600] = 1;\narray W[128];\nfor i in 0..128 {\n  let s = (i * 11 + 3) % 128;\n  W[i] = STATE[s] * 0.5 + i;\n  STATE[(s * 3) % 400] = W[i];\n}";
+        let prog = CompiledProgram::compile(src).unwrap();
+        assert!(prog.doacross_config(0).is_none(), "May loop must not prove");
+        let auto = prog.run_auto(RunConfig::new(4));
+        let spec = prog.run(RunConfig::new(4));
+        assert_eq!(auto.arrays, spec.arrays);
+        assert!(
+            auto.reports[0].shadow_bytes_peak() > 0,
+            "the fallback really is the instrumented R-LRPD tier"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::analyze::{classify_program, Class, Classification};
 use crate::ast::{Program, Span, UpdateOp};
-use crate::depend::Certainty;
+use crate::depend::{doacross_plan, Certainty, DoacrossVerdict};
 
 /// Severity of a [`Diagnostic`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -53,6 +53,13 @@ pub struct Diagnostic {
     pub loop_index: usize,
     /// Which array the finding concerns, when one.
     pub array: Option<String>,
+    /// Statically computed dependence distance backing the finding,
+    /// when the geometry is known — carried even for `May` evidence
+    /// (a guarded conflict has an exact distance *if* it fires).
+    pub distance: Option<usize>,
+    /// The finding involves a guarded (conditional) reference, so any
+    /// reported distance is contingent on the guard firing.
+    pub guarded: bool,
     /// Human-readable message.
     pub message: String,
 }
@@ -97,6 +104,8 @@ pub fn lint_classified(
                 span: program.loops[k].span,
                 loop_index: k,
                 array: None,
+                distance: None,
+                guarded: false,
                 message: format!(
                     "loop {k} needs no LRPD instrumentation: every array is statically \
                      safe, so all shadows are elided and the loop runs as one parallel \
@@ -104,15 +113,67 @@ pub fn lint_classified(
                 ),
             });
         }
+
+        // DOACROSS verdict: can proven uniform distances replace the
+        // speculation entirely?
+        let plan = doacross_plan(program, k);
+        match &plan.verdict {
+            DoacrossVerdict::Eligible => {
+                let dmin = plan.min_distance().unwrap_or(1);
+                let depth = plan.pipeline_depth(p);
+                let distances = plan.distances();
+                out.push(Diagnostic {
+                    level: Level::Note,
+                    code: "doacross-eligible",
+                    span: program.loops[k].span,
+                    loop_index: k,
+                    array: None,
+                    distance: Some(dmin),
+                    guarded: false,
+                    message: format!(
+                        "loop {k} is DOACROSS-eligible: every cross-iteration dependence \
+                         is proven at uniform distance{} {distances:?}; post/wait cells \
+                         give pipeline depth min(d, p) = min({dmin}, {p}) = {depth} with \
+                         no shadow memory and no restarts",
+                        if distances.len() == 1 { "" } else { "s" },
+                    ),
+                });
+            }
+            DoacrossVerdict::Blocked(b) => {
+                let span = b
+                    .reference
+                    .as_ref()
+                    .map(|r| r.span)
+                    .unwrap_or(program.loops[k].span);
+                out.push(Diagnostic {
+                    level: Level::Note,
+                    code: "doacross-blocked",
+                    span,
+                    loop_index: k,
+                    array: b.array.map(|id| program.arrays[id].name.clone()),
+                    distance: None,
+                    guarded: b.reference.as_ref().is_some_and(|r| r.guard.is_some()),
+                    message: format!(
+                        "loop {k} cannot run DOACROSS and will speculate: {}",
+                        b.reason
+                    ),
+                });
+            }
+            // A doall: the loop-parallel / per-array notes already say
+            // everything DOACROSS synchronization could add (nothing).
+            DoacrossVerdict::Independent => {}
+        }
         for (id, c) in loop_classes.iter().enumerate() {
             let decl = &program.arrays[id];
-            let mut d = |level, code, span, message| {
+            let mut d = |level, code, span, message, distance: Option<usize>, guarded: bool| {
                 out.push(Diagnostic {
                     level,
                     code,
                     span,
                     loop_index: k,
                     array: Some(decl.name.clone()),
+                    distance,
+                    guarded,
                     message,
                 });
             };
@@ -134,6 +195,8 @@ pub fn lint_classified(
                                      a single operator throughout would make it a parallel \
                                      reduction"
                                 ),
+                                None,
+                                false,
                             );
                         } else if let Some(g) = c.guard_only {
                             d(
@@ -145,6 +208,8 @@ pub fn lint_classified(
                                      {g}; without the conditional references it is provably \
                                      iteration-disjoint"
                                 ),
+                                None,
+                                true,
                             );
                         } else if let Some(ev) = &c.evidence {
                             match ev.certainty {
@@ -164,17 +229,33 @@ pub fn lint_classified(
                                             None => String::new(),
                                         }
                                     ),
+                                    ev.distance,
+                                    ev.guarded,
                                 ),
                                 Certainty::May => d(
                                     Level::Warning,
                                     "data-dependent-subscript",
                                     ev.src.span,
-                                    format!(
-                                        "array '{name}' may conflict across iterations: \
-                                         {} vs {} cannot be analyzed statically, so the LRPD \
-                                         test must instrument every reference",
-                                        ev.src.text, ev.sink.text
-                                    ),
+                                    match ev.distance {
+                                        // A guarded conflict with known
+                                        // geometry: the distance holds
+                                        // *if* the guard fires.
+                                        Some(dist) => format!(
+                                            "array '{name}' may conflict across iterations: \
+                                             {} vs {} sits at distance {dist} but only under \
+                                             a guard, so the LRPD test must instrument every \
+                                             reference",
+                                            ev.src.text, ev.sink.text
+                                        ),
+                                        None => format!(
+                                            "array '{name}' may conflict across iterations: \
+                                             {} vs {} cannot be analyzed statically, so the LRPD \
+                                             test must instrument every reference",
+                                            ev.src.text, ev.sink.text
+                                        ),
+                                    },
+                                    ev.distance,
+                                    ev.guarded,
                                 ),
                             }
                         }
@@ -188,6 +269,8 @@ pub fn lint_classified(
                              run time, folded in parallel)",
                             op_str(op)
                         ),
+                        None,
+                        false,
                     ),
                     Class::Untested => {
                         if c.touch.is_none() {
@@ -196,6 +279,8 @@ pub fn lint_classified(
                                 "unused-array",
                                 decl_span,
                                 format!("array '{name}' is never referenced by loop {k}"),
+                                None,
+                                false,
                             );
                         }
                     }
@@ -217,6 +302,8 @@ pub fn lint_classified(
                                  ≈⌈n/(p·d)⌉ = ⌈{n}/({p}·{dist})⌉ = {stages}-stage R-LRPD \
                                  schedule at p = {p}"
                             ),
+                            Some(dist),
+                            ev.guarded,
                         );
                     }
                 }
@@ -237,6 +324,8 @@ pub fn lint_classified(
                             decl.size,
                             rlrpd_shadow::select::choose(decl.size, t.touched, None).describe(),
                         ),
+                        None,
+                        false,
                     );
                 }
             }
@@ -253,7 +342,7 @@ fn lint_hint(
     u: &Classification,
     name: &str,
     decl_span: Span,
-    d: &mut impl FnMut(Level, &'static str, Span, String),
+    d: &mut impl FnMut(Level, &'static str, Span, String, Option<usize>, bool),
 ) {
     match (c.class, u.class) {
         (Class::Untested, Class::Tested) => {
@@ -279,6 +368,8 @@ fn lint_hint(
                             None => String::new(),
                         }
                     ),
+                    ev.distance,
+                    ev.guarded,
                 );
             } else {
                 d(
@@ -290,6 +381,8 @@ fn lint_hint(
                          prove it iteration-disjoint ({})",
                         u.rationale
                     ),
+                    None,
+                    false,
                 );
             }
         }
@@ -301,6 +394,8 @@ fn lint_hint(
                 "array '{name}' is declared 'tested' but provably iteration-disjoint; \
                  dropping the hint elides its shadow and marking entirely"
             ),
+            None,
+            false,
         ),
         (Class::Reduction(op), other) if !matches!(other, Class::Reduction(_)) => d(
             Level::Warning,
@@ -313,6 +408,8 @@ fn lint_hint(
                 op_str(op),
                 u.rationale
             ),
+            None,
+            false,
         ),
         _ => {}
     }
@@ -409,6 +506,122 @@ mod tests {
         let ds = lints("array A[8];\narray B[8];\nfor i in 0..8 { A[i] = i; }");
         let d = find(&ds, "unused-array");
         assert_eq!(d.array.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn doacross_eligible_carries_distance_and_depth() {
+        let ds = lints("array A[200];\nfor i in 8..100 { A[i] = A[i - 8] + 1; }");
+        let d = find(&ds, "doacross-eligible");
+        assert_eq!(d.level, Level::Note);
+        assert_eq!(d.distance, Some(8));
+        assert!(!d.guarded);
+        // p = 4 < d = 8, so the projected pipeline depth is p.
+        assert!(d.message.contains("min(8, 4) = 4"), "{}", d.message);
+    }
+
+    #[test]
+    fn doacross_blocked_names_the_blocking_reference() {
+        // The guarded write defeats the proof even though its geometry
+        // is a clean distance-5 conflict.
+        let ds = lints(
+            "array A[110];\nfor i in 0..100 { if i % 2 == 0 { A[i + 5] = 1; } A[i] = A[i] + 2; }",
+        );
+        let d = find(&ds, "doacross-blocked");
+        assert_eq!(d.level, Level::Note);
+        assert_eq!(d.array.as_deref(), Some("A"));
+        assert!(d.guarded, "the blocking reference sits under a guard");
+        assert!(
+            d.message.contains("A[(i + 5)]") && d.message.contains("guard"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn doacross_blocked_on_opaque_subscripts() {
+        let ds = lints("array A[600];\nfor i in 0..512 { A[(i * 11) % 512] = A[i] + 1; }");
+        let d = find(&ds, "doacross-blocked");
+        assert!(d.message.contains("opaque"), "{}", d.message);
+    }
+
+    #[test]
+    fn independent_loops_get_neither_doacross_code() {
+        let ds = lints("array A[100];\nfor i in 0..100 { A[i] = i; }");
+        assert!(
+            !ds.iter().any(|d| d.code.starts_with("doacross-")),
+            "doalls say loop-parallel, not doacross-*: {ds:#?}"
+        );
+        find(&ds, "loop-parallel");
+    }
+
+    #[test]
+    fn guarded_may_evidence_carries_distance() {
+        // Satellite fix: a guarded conflict with known geometry must
+        // surface the distance (with guarded = true), not drop it. The
+        // unguarded opaque write keeps the array Tested even without
+        // the guard (so no guard-forced-test), and among the May
+        // candidates the guarded distance-5 pair ranks first because
+        // its geometry is known.
+        let ds = lints(
+            "array A[200];\nfor i in 0..100 { if i % 2 == 0 { A[i + 5] = 1; } A[(i * 3) % 150] = A[i] + 1; }",
+        );
+        let d = find(&ds, "data-dependent-subscript");
+        assert_eq!(d.distance, Some(5), "geometry known despite May: {d:#?}");
+        assert!(d.guarded);
+        assert!(d.message.contains("distance 5"), "{}", d.message);
+    }
+
+    #[test]
+    fn every_example_program_gets_a_doacross_verdict() {
+        // Every shipped .rlp must produce, per loop, exactly one of:
+        // doacross-eligible, doacross-blocked, or (for doalls) neither
+        // plus a loop-parallel-compatible analysis — and the β deck
+        // must be the one that is eligible.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/programs");
+        let mut saw_eligible = false;
+        let mut saw_blocked = false;
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rlp") {
+                continue;
+            }
+            let src = std::fs::read_to_string(&path).unwrap();
+            let program = parse(&src).unwrap();
+            let ds = lint(&program, 4);
+            for k in 0..program.loops.len() {
+                let eligible = ds
+                    .iter()
+                    .filter(|d| d.loop_index == k && d.code == "doacross-eligible")
+                    .count();
+                let blocked = ds
+                    .iter()
+                    .filter(|d| d.loop_index == k && d.code == "doacross-blocked")
+                    .count();
+                assert!(
+                    eligible + blocked <= 1,
+                    "{}: loop {k} got contradictory doacross verdicts",
+                    path.display()
+                );
+                saw_eligible |= eligible == 1;
+                saw_blocked |= blocked == 1;
+                if eligible == 1 {
+                    let d = ds
+                        .iter()
+                        .find(|d| d.loop_index == k && d.code == "doacross-eligible")
+                        .unwrap();
+                    assert!(
+                        d.distance.is_some(),
+                        "{}: eligible without distance",
+                        path.display()
+                    );
+                }
+            }
+        }
+        assert!(
+            saw_eligible,
+            "the β deck (beta_pipeline.rlp) must be eligible"
+        );
+        assert!(saw_blocked, "TRACK/NLFILT-style examples must be blocked");
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod prefix;
 pub mod proc;
 pub mod schedule;
 pub mod stats;
+pub mod sync;
 
 pub use balance::{FeedbackPartitioner, TrendMode};
 pub use cost::{Cost, CostModel};
@@ -69,3 +70,4 @@ pub use pool::{JobPanic, WorkerPool};
 pub use proc::ProcId;
 pub use schedule::{Block, BlockSchedule};
 pub use stats::{OverheadBreakdown, OverheadKind, PhaseSeconds, StageStats};
+pub use sync::PostCell;

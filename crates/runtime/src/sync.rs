@@ -1,0 +1,176 @@
+//! Point-to-point post/wait cells for DOACROSS pipelining.
+//!
+//! A [`PostCell`] is a monotone sequence counter shared by the lanes of
+//! a DOACROSS execution: it holds the number of iterations that have
+//! *posted* (completed and published their writes), always a prefix of
+//! the iteration space because lanes post in iteration order. One cell
+//! exists per proven dependence distance; a consumer iteration `j`
+//! waits until the counter covers its source iteration (`seq ≥ j − d +
+//! 1`) before reading, and waits for its own turn (`seq == j`) before
+//! posting `j + 1`.
+//!
+//! Waiting spins briefly (the producer is typically one body-execution
+//! away) and then parks on a condvar, so a deep pipeline stall costs no
+//! CPU. Each cell is cache-line padded: the counters are the only
+//! cross-lane write traffic of a DOACROSS run, and false sharing
+//! between cells would put every dependence on one contended line.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Spins before parking: long enough to cover a short body execution,
+/// short enough that a genuinely stalled lane yields its core quickly.
+const SPIN_ROUNDS: usize = 256;
+
+/// A cache-line-padded monotone sequence counter with blocking waits.
+///
+/// The counter only increases ([`PostCell::post`]); waiters observe the
+/// value with `Acquire` so every write that happened before the
+/// producer's `Release` post is visible after the wait returns — this
+/// pair is the entire memory-ordering contract of the DOACROSS tier.
+#[repr(align(64))]
+pub struct PostCell {
+    seq: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for PostCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PostCell({})", self.load())
+    }
+}
+
+impl PostCell {
+    /// A cell primed at `seq` (use the resume frontier when continuing
+    /// a partially completed run, 0 otherwise).
+    pub fn new(seq: usize) -> Self {
+        PostCell {
+            seq: AtomicUsize::new(seq),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current sequence value (`Acquire`).
+    pub fn load(&self) -> usize {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Publish a new sequence value (`Release`) and wake every parked
+    /// waiter. `seq` must not decrease; posts are made in iteration
+    /// order by construction of the lane schedule.
+    pub fn post(&self, seq: usize) {
+        debug_assert!(seq >= self.seq.load(Ordering::Relaxed));
+        // The store happens under the lock so a waiter cannot check the
+        // counter, miss the update, and then park forever: either it
+        // sees the new value, or it parks before the store and the
+        // notify wakes it.
+        let _g = self.lock.lock().unwrap();
+        self.seq.store(seq, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Block until the counter reaches `target` (or `abort` is raised).
+    /// Returns `false` on abort — the caller must unwind its lane
+    /// without posting further.
+    pub fn wait_for(&self, target: usize, abort: &AtomicBool) -> bool {
+        for _ in 0..SPIN_ROUNDS {
+            if self.seq.load(Ordering::Acquire) >= target {
+                return true;
+            }
+            if abort.load(Ordering::Relaxed) {
+                return false;
+            }
+            std::hint::spin_loop();
+        }
+        let mut g = self.lock.lock().unwrap();
+        loop {
+            if self.seq.load(Ordering::Acquire) >= target {
+                return true;
+            }
+            if abort.load(Ordering::Relaxed) {
+                return false;
+            }
+            let (ng, _) = self
+                .cv
+                .wait_timeout(g, std::time::Duration::from_millis(10))
+                .unwrap();
+            g = ng;
+        }
+    }
+
+    /// Wake every parked waiter without changing the counter — used by
+    /// the abort path so lanes observing the abort flag can exit their
+    /// waits promptly.
+    pub fn wake_all(&self) {
+        let _g = self.lock.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_returns_immediately_when_already_posted() {
+        let c = PostCell::new(5);
+        let abort = AtomicBool::new(false);
+        assert!(c.wait_for(3, &abort));
+        assert!(c.wait_for(5, &abort));
+        assert_eq!(c.load(), 5);
+    }
+
+    #[test]
+    fn wait_blocks_until_posted_across_threads() {
+        let c = Arc::new(PostCell::new(0));
+        let abort = Arc::new(AtomicBool::new(false));
+        let (c2, a2) = (Arc::clone(&c), Arc::clone(&abort));
+        let h = std::thread::spawn(move || c2.wait_for(1000, &a2));
+        for s in 1..=1000 {
+            c.post(s);
+        }
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn abort_releases_a_parked_waiter() {
+        let c = Arc::new(PostCell::new(0));
+        let abort = Arc::new(AtomicBool::new(false));
+        let (c2, a2) = (Arc::clone(&c), Arc::clone(&abort));
+        let h = std::thread::spawn(move || c2.wait_for(usize::MAX, &a2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        abort.store(true, Ordering::Relaxed);
+        c.wake_all();
+        assert!(!h.join().unwrap(), "aborted wait reports failure");
+    }
+
+    #[test]
+    fn pipeline_of_three_lanes_posts_in_order() {
+        // Three lanes, distance-3 protocol: each lane handles j, j+3, …
+        // and posts j+1 after waiting for seq == j. The final counter
+        // must equal n and every post must have been in order.
+        let n = 300usize;
+        let c = Arc::new(PostCell::new(0));
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut hs = Vec::new();
+        for w in 0..3usize {
+            let (c, abort) = (Arc::clone(&c), Arc::clone(&abort));
+            hs.push(std::thread::spawn(move || {
+                let mut j = w;
+                while j < n {
+                    assert!(c.wait_for(j, &abort));
+                    c.post(j + 1);
+                    j += 3;
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(), n);
+    }
+}

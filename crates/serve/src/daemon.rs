@@ -48,7 +48,7 @@ use rlrpd_shadow::{BudgetLease, BudgetPool};
 
 use crate::jobs::{
     count_frames, job_dir, key_of_dir, read_frames, tenant_of, write_atomic, Job, StreamItem,
-    META_FILE,
+    META_FILE, STATUS_FILE,
 };
 
 /// Daemon configuration.
@@ -72,6 +72,12 @@ pub struct ServeConfig {
     pub stall_timeout: Duration,
     /// Scan the state directory on startup and resume incomplete jobs.
     pub resume: bool,
+    /// Evict *terminal* job state (status sidecar present) once the
+    /// sidecar is older than this TTL. `None` keeps everything
+    /// forever. Non-terminal directories — a queued, running, or
+    /// paused job's live journal — are never touched, whatever their
+    /// age.
+    pub job_ttl: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +90,7 @@ impl Default for ServeConfig {
             stream_buffer: 256,
             stall_timeout: Duration::from_secs(5),
             resume: false,
+            job_ttl: None,
         }
     }
 }
@@ -238,10 +245,85 @@ impl Daemon {
     }
 }
 
+/// One TTL sweep over the state directory: remove every job
+/// directory whose status sidecar exists *and* is older than the
+/// TTL. The sidecar is the terminal witness — it is written (tmp +
+/// rename + fsync) only once a job reaches `Done` or `Failed` — so a
+/// directory without one belongs to a queued, running, or paused job
+/// and is never touched, whatever its age. Returns the evicted keys.
+pub(crate) fn evict_expired_dirs(state_dir: &std::path::Path, ttl: Duration) -> Vec<u64> {
+    let mut evicted = Vec::new();
+    let Ok(entries) = std::fs::read_dir(state_dir) else {
+        return evicted;
+    };
+    let now = std::time::SystemTime::now();
+    for entry in entries.flatten() {
+        let Some(key) = entry.file_name().to_str().and_then(key_of_dir) else {
+            continue;
+        };
+        let dir = entry.path();
+        // Age is measured on the sidecar, not the directory: journal
+        // appends and late meta rewrites must not refresh the clock.
+        let Ok(meta) = std::fs::metadata(dir.join(STATUS_FILE)) else {
+            continue; // no sidecar: the job is not terminal
+        };
+        let expired = meta
+            .modified()
+            .ok()
+            .and_then(|m| now.duration_since(m).ok())
+            .is_some_and(|age| age >= ttl);
+        if !expired {
+            continue;
+        }
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => evicted.push(key),
+            Err(e) => eprintln!("serve: job {key:016x}: ttl eviction failed: {e}"),
+        }
+    }
+    evicted
+}
+
+/// The scheduler-thread face of the sweep: rate-limited by the TTL
+/// itself (capped at one pass per second), and after the filesystem
+/// pass it drops the evicted keys' in-memory records — but only ones
+/// still in a terminal state, so a key resubmitted in the window
+/// between the scan and the lock is left alone.
+fn evict_expired(shared: &Arc<Shared>, last_sweep: &mut std::time::Instant) {
+    let Some(ttl) = shared.cfg.job_ttl else {
+        return;
+    };
+    if last_sweep.elapsed() < ttl.min(Duration::from_secs(1)) {
+        return;
+    }
+    *last_sweep = std::time::Instant::now();
+    let evicted = evict_expired_dirs(&shared.cfg.state_dir, ttl);
+    if evicted.is_empty() {
+        return;
+    }
+    let mut jobs = shared.jobs.lock().expect("jobs lock");
+    for key in &evicted {
+        if let Some(job) = jobs.get(key) {
+            if matches!(job.current_state(), JobState::Done | JobState::Failed) {
+                jobs.remove(key);
+            }
+        }
+    }
+}
+
 /// Scan the state directory: terminal jobs (status sidecar present)
 /// are loaded for status queries and late attaches; incomplete jobs
 /// are re-queued when resuming, refused otherwise.
 fn recover(shared: &Arc<Shared>) -> std::io::Result<()> {
+    if let Some(ttl) = shared.cfg.job_ttl {
+        let evicted = evict_expired_dirs(&shared.cfg.state_dir, ttl);
+        if !evicted.is_empty() {
+            eprintln!(
+                "serve: evicted {} terminal job(s) past the {:.0?} TTL",
+                evicted.len(),
+                ttl
+            );
+        }
+    }
     let mut incomplete = Vec::new();
     for entry in std::fs::read_dir(&shared.cfg.state_dir)? {
         let entry = entry?;
@@ -366,26 +448,30 @@ fn paused_status(job: &Job, frontier: u64) -> JobStatusFrame {
 /// pool and the running-job cap. A job whose budget does not fit yet
 /// keeps its place at the front of its tenant's queue.
 fn scheduler(shared: Arc<Shared>) {
+    let mut last_sweep = std::time::Instant::now();
     loop {
         let dispatch = {
             let mut sched = shared.sched.lock().expect("sched lock");
-            loop {
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-                match try_dispatch(&shared, &mut sched) {
-                    Some(d) => break d,
-                    None => {
-                        let (s, _) = shared
-                            .sched_cond
-                            .wait_timeout(sched, Duration::from_millis(50))
-                            .expect("sched lock");
-                        sched = s;
-                    }
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            match try_dispatch(&shared, &mut sched) {
+                Some(d) => Some(d),
+                None => {
+                    let _ = shared
+                        .sched_cond
+                        .wait_timeout(sched, Duration::from_millis(50))
+                        .expect("sched lock");
+                    None
                 }
             }
         };
-        let (job, lease) = dispatch;
+        // Outside the scheduler lock: the TTL sweep touches the
+        // filesystem and must not stall dispatch or admission.
+        evict_expired(&shared, &mut last_sweep);
+        let Some((job, lease)) = dispatch else {
+            continue;
+        };
         shared.running.fetch_add(1, Ordering::SeqCst);
         job.set_state(JobState::Running);
         let shared2 = Arc::clone(&shared);

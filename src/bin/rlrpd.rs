@@ -14,6 +14,7 @@
 //!                      [--dist-fault k:O[,k:O...]] [--no-compile]
 //!                      [--shadow-budget BYTES|auto]
 //!                      [--shadow-fault STAGE:BYTES[,...]]
+//!                      [--doacross auto|on|off]
 //! rlrpd worker [--listen ADDR]
 //! rlrpd chaos-proxy --listen ADDR --connect ADDR [--fault SPEC | --seed N]
 //! rlrpd classify <file.rlp>
@@ -133,9 +134,10 @@ fn usage() -> String {
      [--max-respawns R] [--fleet-max-respawns R] [--heartbeat-interval SECS] \
      [--dist-fault kill|hang|corrupt:ORDINAL[,...]] [--no-compile] \
      [--shadow-budget BYTES|auto] [--shadow-fault STAGE:BYTES[,...]] \
-     [--format text|json]\n  rlrpd worker \
+     [--doacross auto|on|off] [--format text|json]\n  rlrpd worker \
      [--listen ADDR [--idle-timeout SECS]]\n  rlrpd serve --state-dir DIR [--listen ADDR] \
-     [--pool-budget BYTES|auto] [--max-jobs N] [--stream-buffer FRAMES] [--resume]\n  \
+     [--pool-budget BYTES|auto] [--max-jobs N] [--stream-buffer FRAMES] [--resume] \
+     [--job-ttl SECS]\n  \
      rlrpd submit --connect ADDR --key K <file.rlp | --spec SPEC> [--procs N] \
      [--strategy S] [--shadow-budget BYTES|auto] [--fault-seed S] \
      [--shadow-fault STAGE:BYTES[,...]] [--max-stages M] [--retry SECS] \
@@ -206,6 +208,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--dist-fault",
     "--shadow-budget",
     "--shadow-fault",
+    "--doacross",
+    "--job-ttl",
     "--listen",
     "--connect",
     "--fault",
@@ -429,6 +433,28 @@ fn config(flags: &Flags) -> Result<RunConfig, String> {
     Ok(cfg)
 }
 
+/// `--doacross` selection: whether proven dependence distances may (or
+/// must) replace speculation with post/wait pipelining.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DoacrossMode {
+    /// Pipeline loops the classifier proves eligible; speculate on the
+    /// rest (the default).
+    Auto,
+    /// Require the proof: exit 64 if any loop is not eligible.
+    On,
+    /// Never pipeline; always speculate.
+    Off,
+}
+
+fn doacross_mode(flags: &Flags) -> Result<DoacrossMode, String> {
+    match flags.get("--doacross").unwrap_or("auto") {
+        "auto" => Ok(DoacrossMode::Auto),
+        "on" => Ok(DoacrossMode::On),
+        "off" => Ok(DoacrossMode::Off),
+        other => Err(format!("--doacross expects auto|on|off, got '{other}'")),
+    }
+}
+
 /// `rlrpd worker`: speak the distributed worker protocol — on
 /// stdin/stdout until the supervisor hangs up, or as a standalone TCP
 /// listener under `--listen ADDR` (serving any number of supervisors
@@ -498,6 +524,20 @@ fn cmd_serve(args: Vec<String>) -> Result<(), CliError> {
         Some("auto") => auto_budget("--pool-budget").map_err(CliError::Usage)?,
         Some(v) => parse_bytes(v).map_err(|e| CliError::Usage(format!("--pool-budget {e}")))?,
     };
+    let job_ttl = match flags.get("--job-ttl") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--job-ttl expects seconds, got '{v}'")))?;
+            if !(secs >= 0.0 && secs.is_finite()) {
+                return Err(CliError::Usage(
+                    "--job-ttl must be a non-negative number of seconds".into(),
+                ));
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
     let cfg = rlrpd::serve::ServeConfig {
         listen: flags.get("--listen").unwrap_or("127.0.0.1:0").to_string(),
         state_dir: state_dir.into(),
@@ -507,6 +547,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), CliError> {
             .usize_of("--stream-buffer", 256)
             .map_err(CliError::Usage)?,
         resume: flags.has("--resume"),
+        job_ttl,
         ..rlrpd::serve::ServeConfig::default()
     };
     std::process::exit(rlrpd::serve::serve_entry(cfg))
@@ -919,8 +960,16 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         }
     };
     let no_compile = flags.has("--no-compile");
+    let doacross = doacross_mode(&flags).map_err(CliError::Usage)?;
     // Counter programs run under the EXTEND two-pass induction scheme.
     if let Ok(ind) = rlrpd::lang::CompiledInduction::compile(&src) {
+        if doacross == DoacrossMode::On {
+            return Err(CliError::Usage(
+                "--doacross on: counter programs compile to the EXTEND induction scheme, \
+                 which has no pipelineable loop body"
+                    .into(),
+            ));
+        }
         if journal_path.is_some() {
             return Err(CliError::Usage(
                 "--journal is not supported for induction programs".into(),
@@ -970,14 +1019,84 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         ));
     }
 
+    // DOACROSS eligibility: one verdict per loop. `on` demands the
+    // proof everywhere; `auto` steps down to speculation per loop; both
+    // defer to the speculative tier when fault-injection flags ask to
+    // exercise its containment, or when blocks run in worker processes
+    // (post/wait cells are in-process shared memory).
+    let fault_flags = flags.get("--fault-seed").is_some() || flags.get("--shadow-fault").is_some();
+    let proven: Vec<Option<rlrpd::core::DoacrossConfig>> = (0..prog.num_loops())
+        .map(|k| prog.doacross_config(k))
+        .collect();
+    if doacross == DoacrossMode::On {
+        if dist.is_some() {
+            return Err(CliError::Usage(
+                "--doacross on cannot combine with --dist-workers: post/wait cells \
+                 synchronize threads in one address space"
+                    .into(),
+            ));
+        }
+        if fault_flags {
+            return Err(CliError::Usage(
+                "--doacross on cannot combine with fault injection: a DOACROSS run has \
+                 no speculative containment to exercise"
+                    .into(),
+            ));
+        }
+        for (k, p) in proven.iter().enumerate() {
+            if p.is_none() {
+                let reason = match prog.doacross_plan(k).verdict {
+                    rlrpd::lang::DoacrossVerdict::Blocked(b) => b.reason,
+                    rlrpd::lang::DoacrossVerdict::Independent => {
+                        "no cross-iteration dependence exists (a doall: synchronization \
+                         would be pure overhead)"
+                            .into()
+                    }
+                    rlrpd::lang::DoacrossVerdict::Eligible => unreachable!("eligible proves Some"),
+                };
+                return Err(CliError::Usage(format!(
+                    "--doacross on: loop {k} is not provably DOACROSS-eligible: {reason}"
+                )));
+            }
+        }
+    }
+    let doacross_active = doacross != DoacrossMode::Off && dist.is_none() && !fault_flags;
+    if doacross == DoacrossMode::Auto && !doacross_active && proven.iter().any(|p| p.is_some()) {
+        println!(
+            "doacross: skipped ({})",
+            if dist.is_some() {
+                "--dist-workers runs blocks out of process"
+            } else {
+                "fault injection exercises the speculative tier"
+            }
+        );
+    }
+
     println!("classification:\n{}", prog.report());
     println!("backend: {}", prog.backend().describe());
 
     if prog.num_loops() == 1 {
         // Single loop: a stateful runner accumulates PR and balancing
         // history across --runs instantiations.
-        let lp = prog.loop_view(0, initial_state(&prog));
-        let cfg = cfg.with_dependence_prediction(prog.predicted_first_dependence(0));
+        let proven0 = if doacross_active { proven[0] } else { None };
+        let lp = match proven0 {
+            // The proof licenses a plain zero-shadow view: post/wait
+            // cells, not the LRPD test, order conflicting accesses.
+            Some(_) => prog.loop_view_plain(0, initial_state(&prog)),
+            None => prog.loop_view(0, initial_state(&prog)),
+        };
+        if let Some(d) = proven0 {
+            println!(
+                "doacross: proven distances {:?}, pipeline depth min({}, {}) = {}",
+                d.distances(),
+                d.min_distance(),
+                cfg.p,
+                d.pipeline_depth(cfg.p)
+            );
+        }
+        let cfg = cfg
+            .with_dependence_prediction(prog.predicted_first_dependence(0))
+            .auto_strategy(proven0);
         let mut runner = Runner::new(cfg);
         let mut plan = FaultPlan::new();
         let mut seeded = false;
@@ -1115,11 +1234,18 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         }
 
         // Always verify against sequential execution. Reductions
-        // reassociate floating-point sums across blocks, so compare
-        // with a rounding-level tolerance.
+        // reassociate floating-point sums across blocks, so the
+        // speculative tiers compare with a rounding-level tolerance;
+        // DOACROSS runs in sequential-equivalent order and must be
+        // byte-identical.
         let (seq, _) = run_sequential(&lp);
-        verify(&seq, &res.arrays)?;
-        println!("verified against sequential execution ✓");
+        if proven0.is_some() {
+            verify_exact(&seq, &res.arrays)?;
+            println!("verified byte-identical to sequential execution ✓");
+        } else {
+            verify(&seq, &res.arrays)?;
+            println!("verified against sequential execution ✓");
+        }
         if json {
             // Machine-readable report, last on stdout so pipelines can
             // `tail -1 | jq`. The same schema rides inside the daemon's
@@ -1138,11 +1264,24 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
                 "--dist-workers operates on single-loop programs".into(),
             ));
         }
-        // Multi-loop program: run the phases in sequence.
-        let res = prog.run(cfg);
+        // Multi-loop program: run the phases in sequence, each loop on
+        // the tier its proof (or lack of one) selects.
+        let res = if doacross_active {
+            prog.run_auto(cfg)
+        } else {
+            prog.run(cfg)
+        };
         for (k, report) in res.reports.iter().enumerate() {
+            let tier = match (doacross_active, &proven[k]) {
+                (true, Some(d)) => format!(
+                    ", DOACROSS (d = {}, depth {})",
+                    d.min_distance(),
+                    d.pipeline_depth(cfg.p)
+                ),
+                _ => String::new(),
+            };
             println!(
-                "loop {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}",
+                "loop {k}: stages = {}, restarts = {}, PR = {:.3}, speedup = {:.2}x{}{tier}",
                 report.stages.len(),
                 report.restarts,
                 report.pr(),
@@ -1155,8 +1294,13 @@ fn cmd_run(args: Vec<String>) -> Result<(), CliError> {
         }
         println!("whole-program speedup = {:.2}x", res.speedup());
         let seq = prog.run_sequential();
-        verify(&seq, &res.arrays)?;
-        println!("verified against sequential execution ✓");
+        if doacross_active && proven.iter().all(|p| p.is_some()) {
+            verify_exact(&seq, &res.arrays)?;
+            println!("verified byte-identical to sequential execution ✓");
+        } else {
+            verify(&seq, &res.arrays)?;
+            println!("verified against sequential execution ✓");
+        }
         if json {
             let reports: Vec<String> = res.reports.iter().map(|r| r.to_json()).collect();
             println!("[{}]", reports.join(","));
@@ -1198,6 +1342,26 @@ fn verify(
             if (a - b).abs() > tol {
                 return Err(format!(
                     "INTERNAL: array {name}[{k}] differs from sequential execution                      ({a} vs {b})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// DOACROSS runs perform direct in-order writes with no reduction
+/// reassociation, so the contract is *byte identity*: every f64 must
+/// match sequential execution bit for bit.
+fn verify_exact(
+    seq: &[(&'static str, Vec<f64>)],
+    spec: &[(&'static str, Vec<f64>)],
+) -> Result<(), String> {
+    for ((name, s), (_, r)) in seq.iter().zip(spec) {
+        for (k, (a, b)) in s.iter().zip(r).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!(
+                    "INTERNAL: array {name}[{k}] is not byte-identical to sequential \
+                     execution ({a} vs {b})"
                 ));
             }
         }
@@ -1274,7 +1438,8 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), CliError> {
                 }
                 out.push_str(&format!(
                     "{{\"level\":\"{}\",\"code\":\"{}\",\"line\":{},\"col\":{},\
-                     \"loop\":{},\"array\":{},\"message\":\"{}\"}}",
+                     \"loop\":{},\"array\":{},\"distance\":{},\"guarded\":{},\
+                     \"message\":\"{}\"}}",
                     d.level,
                     d.code,
                     d.span.line,
@@ -1284,6 +1449,14 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), CliError> {
                         Some(a) => format!("\"{}\"", json_escape(a)),
                         None => "null".into(),
                     },
+                    // The satellite fix: a guarded (May) conflict with
+                    // known geometry keeps its distance — `guarded`
+                    // tells the consumer it is contingent.
+                    match d.distance {
+                        Some(dist) => dist.to_string(),
+                        None => "null".into(),
+                    },
+                    d.guarded,
                     json_escape(&d.message)
                 ));
             }

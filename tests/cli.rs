@@ -748,6 +748,133 @@ fn distributed_run_recovers_from_an_injected_worker_kill() {
     );
 }
 
+/// The β-deck's loops carry statically proven uniform distances, so
+/// the default `--doacross auto` routes both to the DOACROSS tier:
+/// one stage, zero restarts, byte-identical verification.
+#[test]
+fn doacross_auto_pipelines_the_beta_deck() {
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("beta_pipeline.rlp"),
+        "--procs",
+        "4",
+        "--verify",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("DOACROSS (d = 4, depth 4)"), "{stdout}");
+    assert!(stdout.contains("DOACROSS (d = 2, depth 2)"), "{stdout}");
+    assert!(!stdout.contains("restarts = 1"), "{stdout}");
+    assert!(
+        stdout.contains("verified byte-identical to sequential execution"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn doacross_off_still_speculates_the_beta_deck() {
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        &program("beta_pipeline.rlp"),
+        "--procs",
+        "4",
+        "--verify",
+        "--doacross",
+        "off",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        !stdout.contains("DOACROSS"),
+        "--doacross off must fall back to the R-LRPD test: {stdout}"
+    );
+    assert!(
+        stdout.contains("verified against sequential execution"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn doacross_single_loop_announces_the_proof() {
+    let path = scratch("single_d3.rlp");
+    std::fs::write(
+        &path,
+        "array A[64] = 1;\nfor i in 3..64 { A[i] = A[i - 3] * 0.5 + i; }\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = rlrpd(&[
+        "run",
+        path.to_str().unwrap(),
+        "--procs",
+        "2",
+        "--verify",
+        "--doacross",
+        "on",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("doacross: proven distances [3], pipeline depth min(3, 2) = 2"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("verified byte-identical to sequential execution"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn doacross_flag_misuse_exits_64() {
+    let beta = program("beta_pipeline.rlp");
+    // Unknown mode.
+    assert_eq!(exit_code(&["run", &beta, "--doacross", "bogus"]), 64);
+    // `on` demands a proof: tracking's indirection has none.
+    assert_eq!(
+        exit_code(&["run", &program("tracking.rlp"), "--doacross", "on"]),
+        64
+    );
+    // Counter programs compile to the induction scheme — no loop body
+    // to pipeline.
+    assert_eq!(
+        exit_code(&["run", &program("extend.rlp"), "--doacross", "on"]),
+        64
+    );
+    // Fault injection has nothing to exercise without speculation.
+    assert_eq!(
+        exit_code(&["run", &beta, "--doacross", "on", "--fault-seed", "7"]),
+        64
+    );
+    // Post/wait cells are one-address-space; distributed fleets can't
+    // share them.
+    assert_eq!(
+        exit_code(&["run", &beta, "--doacross", "on", "--dist-workers", "auto"]),
+        64
+    );
+}
+
+#[test]
+fn analyze_json_carries_distance_and_guard_fields() {
+    let (ok, stdout, stderr) =
+        rlrpd(&["analyze", &program("beta_pipeline.rlp"), "--format", "json"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"distance\":4"), "{stdout}");
+    assert!(stdout.contains("\"distance\":null"), "{stdout}");
+    assert!(stdout.contains("\"guarded\":false"), "{stdout}");
+    assert!(
+        stdout.contains("\"code\":\"doacross-eligible\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn analyze_names_doacross_blocked_references() {
+    let (ok, stdout, _) = rlrpd(&["analyze", &program("tracking.rlp")]);
+    assert!(ok);
+    assert!(stdout.contains("note[doacross-blocked]"), "{stdout}");
+    assert!(
+        stdout.contains("cannot run DOACROSS and will speculate"),
+        "{stdout}"
+    );
+}
+
 #[test]
 fn distributed_journaled_run_resumes_after_a_torn_tail() {
     let path = scratch("dist-resume-journal.bin");

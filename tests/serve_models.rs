@@ -332,6 +332,94 @@ fn drain_then_resume_finishes_the_job() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Terminal job state older than `--job-ttl` is evicted — directory,
+/// sidecar, journal, and the in-memory record — while a job directory
+/// *without* a status sidecar (a live journal mid-run) is never
+/// touched by the sweep, whatever its age.
+#[test]
+fn job_ttl_evicts_terminal_state_but_spares_live_journals() {
+    let dir = state_dir("ttl");
+    let handle = start(ServeConfig {
+        state_dir: dir.clone(),
+        job_ttl: Some(Duration::from_millis(600)),
+        ..ServeConfig::default()
+    });
+
+    let spec = spec_for(0xD_0000_0001, MODELS[0]);
+    let out = submit(handle.addr(), &spec, &opts()).expect("submission");
+    assert_eq!(out.status.state, JobState::Done);
+    let job_path = dir.join(format!("job-{:016x}", spec.key));
+    assert!(
+        job_path.join("status.bin").exists(),
+        "terminal sidecar written"
+    );
+
+    // A live journal: a job directory with no status sidecar. Only
+    // the TTL sweep ever sees it (recovery ran before it existed),
+    // and the sweep must leave it alone.
+    let live = dir.join(format!("job-{:016x}", 0xE_0000_0001u64));
+    std::fs::create_dir_all(&live).expect("live dir");
+    std::fs::write(live.join("journal.bin"), b"half-written journal").expect("live journal");
+
+    let t0 = Instant::now();
+    while job_path.exists() && t0.elapsed() < Duration::from_secs(20) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(!job_path.exists(), "terminal job dir evicted after the TTL");
+    let st = query_status(handle.addr(), spec.key, &opts()).expect("status");
+    assert_eq!(
+        st.state,
+        JobState::Unknown,
+        "in-memory record evicted with the directory"
+    );
+    assert!(
+        live.join("journal.bin").exists(),
+        "non-terminal journal untouched by the sweep"
+    );
+
+    handle.drain();
+    assert_eq!(handle.join(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A restart with a zero TTL sweeps all terminal state from the state
+/// directory *before* recovery loads it: the old job is gone from
+/// disk and from status queries alike. Without a TTL, terminal state
+/// is kept forever (the drain in between proves it survives).
+#[test]
+fn job_ttl_zero_sweeps_terminal_state_at_startup() {
+    let dir = state_dir("ttl-restart");
+    let handle = start(ServeConfig {
+        state_dir: dir.clone(),
+        ..ServeConfig::default()
+    });
+    let spec = spec_for(0xF_0000_0001, MODELS[1]);
+    let out = submit(handle.addr(), &spec, &opts()).expect("submission");
+    assert_eq!(out.status.state, JobState::Done);
+    handle.drain();
+    assert_eq!(handle.join(), 0);
+    let job_path = dir.join(format!("job-{:016x}", spec.key));
+    assert!(
+        job_path.exists(),
+        "terminal state survives a drain when no TTL is set"
+    );
+
+    let restarted = start(ServeConfig {
+        state_dir: dir.clone(),
+        job_ttl: Some(Duration::ZERO),
+        ..ServeConfig::default()
+    });
+    assert!(
+        !job_path.exists(),
+        "startup sweep evicts expired terminal state before recovery"
+    );
+    let st = query_status(restarted.addr(), spec.key, &opts()).expect("status");
+    assert_eq!(st.state, JobState::Unknown);
+    restarted.drain();
+    assert_eq!(restarted.join(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Does the state dir hold any job without a terminal status sidecar?
 fn query_incomplete(dir: &std::path::Path) -> bool {
     std::fs::read_dir(dir)
